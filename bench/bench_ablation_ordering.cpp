@@ -1,0 +1,43 @@
+// Ablation: station ordering vs TLR compression (the claim of Sec. 4 /
+// refs [23][24]: Hilbert sorting beats Morton beats the natural acquisition
+// order because it minimises intra-tile spatial spread).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== Ablation: station ordering vs compression ===\n";
+  tlr::CompressionConfig cc;
+  cc.nb = 24;
+  cc.acc = 1e-4;
+
+  TablePrinter table({"Ordering", "Compressed", "Dense", "Ratio",
+                      "Mean tile rank"});
+  for (const auto& [name, ordering] :
+       {std::pair{"Natural (acquisition)", reorder::Ordering::kNatural},
+        std::pair{"Morton (Z-order)", reorder::Ordering::kMorton},
+        std::pair{"Hilbert", reorder::Ordering::kHilbert}}) {
+    auto cfg = bench::bench_dataset_config();
+    cfg.ordering = ordering;
+    const auto data = seismic::build_dataset(cfg);
+    double comp = 0.0, dense = 0.0, rank_sum = 0.0;
+    index_t nmat = 0;
+    for (index_t q = 0; q < data.num_freqs(); q += 4) {
+      const auto t =
+          tlr::compress_tlr(data.p_down[static_cast<std::size_t>(q)], cc);
+      comp += t.compressed_bytes();
+      dense += t.dense_bytes();
+      rank_sum += t.rank_stats().mean;
+      ++nmat;
+    }
+    table.add_row({name, format_bytes(comp), format_bytes(dense),
+                   cell(dense / comp, 2) + "x",
+                   cell(rank_sum / static_cast<double>(nmat), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "(paper: Hilbert provides the best compression, enabling the "
+               "7x factor at acc=1e-4)\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks of the compression backends on a paper-sized tile
+// (70 x 70, the nb = 70 configuration) and a full small frequency matrix.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/gk_svd.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace {
+
+using namespace tlrwse;
+
+la::MatrixCF make_tile(index_t n) {
+  la::MatrixCF k(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const double d = std::abs(static_cast<double>(i - j)) /
+                           static_cast<double>(n) +
+                       0.03;
+      k(i, j) = cf32{static_cast<float>(std::cos(10.0 * d) / (1.0 + 6.0 * d)),
+                     static_cast<float>(std::sin(10.0 * d) / (1.0 + 6.0 * d))};
+    }
+  }
+  return k;
+}
+
+template <tlr::CompressionBackend B>
+void BM_CompressTile(benchmark::State& bst) {
+  const auto tile = make_tile(70);
+  tlr::CompressionConfig cfg;
+  cfg.nb = 70;
+  cfg.acc = 1e-4;
+  cfg.backend = B;
+  Rng rng(7);
+  for (auto _ : bst) {
+    auto f = tlr::compress_tile(tile, cfg, rng);
+    benchmark::DoNotOptimize(f.U.data());
+  }
+}
+BENCHMARK(BM_CompressTile<tlr::CompressionBackend::kSvd>);
+BENCHMARK(BM_CompressTile<tlr::CompressionBackend::kRrqr>);
+BENCHMARK(BM_CompressTile<tlr::CompressionBackend::kRsvd>);
+BENCHMARK(BM_CompressTile<tlr::CompressionBackend::kAca>);
+
+void BM_CompressMatrix(benchmark::State& bst) {
+  const auto a = make_tile(static_cast<index_t>(bst.range(0)));
+  tlr::CompressionConfig cfg;
+  cfg.nb = 70;
+  cfg.acc = 1e-4;
+  for (auto _ : bst) {
+    auto t = tlr::compress_tlr(a, cfg);
+    benchmark::DoNotOptimize(t.compressed_bytes());
+  }
+}
+BENCHMARK(BM_CompressMatrix)->Arg(140)->Arg(280);
+
+/// SVD algorithm face-off on a real 70 x 70 tile (the split-real planes a
+/// PE stores): Golub-Kahan vs one-sided Jacobi.
+void BM_SvdJacobiReal(benchmark::State& bst) {
+  Rng rng(3);
+  la::MatrixD a(70, 70);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  for (auto _ : bst) {
+    auto f = la::svd_jacobi(a);
+    benchmark::DoNotOptimize(f.S.data());
+  }
+}
+BENCHMARK(BM_SvdJacobiReal);
+
+void BM_SvdGolubKahan(benchmark::State& bst) {
+  Rng rng(3);
+  la::MatrixD a(70, 70);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  for (auto _ : bst) {
+    auto f = la::svd_golub_kahan(a);
+    benchmark::DoNotOptimize(f.S.data());
+  }
+}
+BENCHMARK(BM_SvdGolubKahan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

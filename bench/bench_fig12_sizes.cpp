@@ -1,0 +1,45 @@
+// Fig. 12 (bottom): aggregated size of the U and V bases as a function of
+// frequency for the 12 (nb, acc) combinations, at the paper's full scale
+// (26040 x 15930, 230 frequency matrices) via the calibrated rank model.
+//
+// Paper reference totals (GB): nb=25 {110, 67, 59, 57}, nb=50 {109, 63,
+// 47, 39}, nb=70 {112, 66, 49, 40}; dense dataset 763 GB (~7x compression
+// at acc = 1e-4).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== Fig. 12 (bottom): size per frequency matrix, paper scale "
+               "===\n";
+  TablePrinter table({"nb", "acc", "size @ 5 Hz (GB)", "size @ 25 Hz (GB)",
+                      "size @ 50 Hz (GB)", "total (GB)", "vs dense"});
+  for (index_t nb : {index_t{25}, index_t{50}, index_t{70}}) {
+    for (double acc : {1e-4, 3e-4, 5e-4, 7e-4}) {
+      seismic::RankModelConfig cfg;
+      cfg.nb = nb;
+      cfg.acc = acc;
+      const seismic::RankModel model(cfg);
+      // Representative frequencies: bins nearest 5/25/50 Hz.
+      const index_t q5 = 230 * 5 / 50 - 1;
+      const index_t q25 = 230 * 25 / 50 - 1;
+      const index_t q50 = 229;
+      double total = 0.0;
+      for (index_t q = 0; q < cfg.num_freqs; ++q) {
+        total += model.size_per_matrix_bytes(q);
+      }
+      table.add_row(
+          {cell(nb), bench::acc_cell(acc),
+           cell(bytes_to_gb(model.size_per_matrix_bytes(q5))),
+           cell(bytes_to_gb(model.size_per_matrix_bytes(q25))),
+           cell(bytes_to_gb(model.size_per_matrix_bytes(q50))),
+           cell(bytes_to_gb(total), 0),
+           cell(model.dense_total_bytes() / total, 1) + "x"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(paper totals: 110/67/59/57, 109/63/47/39, 112/66/49/40 GB; "
+               "dense 763 GB)\n";
+  return 0;
+}

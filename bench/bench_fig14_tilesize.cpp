@@ -1,0 +1,29 @@
+// Fig. 14: impact of the tile size on relative and absolute memory
+// bandwidth for a single-precision batched MVM with constant matrix size N
+// on every PE of one CS-2.
+//
+// Paper behaviour: relative bandwidth saturates to ~2 PB/s as N grows
+// (transitioning the batch from memory- to compute-bound) and the absolute
+// bandwidth is ~3x the relative one.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== Fig. 14: bandwidth vs tile size N (one CS-2, 750x994 PEs) "
+               "===\n";
+  const wse::WseSpec spec;
+  const wse::CostModelParams cost;
+  TablePrinter table({"N", "Relative bw (PB/s)", "Absolute bw (PB/s)",
+                      "Abs/Rel"});
+  for (index_t n : {2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512}) {
+    const auto pt = wse::simulate_constant_batch(spec, cost, n);
+    table.add_row({cell(n), cell(bytes_to_pb(pt.relative_bw)),
+                   cell(bytes_to_pb(pt.absolute_bw)),
+                   cell(pt.absolute_bw / pt.relative_bw, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "(paper: relative saturates ~2 PB/s; absolute ~3x relative)\n";
+  return 0;
+}

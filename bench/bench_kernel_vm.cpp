@@ -1,0 +1,69 @@
+// Validation bench: the instruction-level PE VM vs the calibrated analytic
+// cost model, on real compressed chunks. The VM prices the hardware bound
+// (dual-issue fmac under the 2R+1W/banking rules of Sec. 6.5); the analytic
+// model adds the measured software-pipeline inefficiency. Their ratio is
+// the "kernel quality" headroom a CSL implementation has on real silicon.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/wse/functional.hpp"
+#include "tlrwse/wse/kernel_vm.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== PE kernel VM vs analytic cost model ===\n";
+  const auto data = seismic::build_dataset(bench::bench_dataset_config());
+  const wse::WseSpec spec;
+
+  TablePrinter table({"nb", "sw", "chunks", "VM worst cycles",
+                      "analytic worst", "SW factor", "bank conflicts",
+                      "VM bytes / abs bytes"});
+  for (index_t nb : {index_t{16}, index_t{24}}) {
+    tlr::CompressionConfig cc;
+    cc.nb = nb;
+    cc.acc = 1e-4;
+    std::vector<tlr::TlrMatrix<cf32>> mats;
+    mats.push_back(tlr::compress_tlr(
+        data.p_down[static_cast<std::size_t>(data.num_freqs() / 2)], cc));
+    wse::TlrRankSource source(mats);
+    tlr::StackedTlr<cf32> stacks(mats[0]);
+
+    Rng rng(1);
+    std::vector<cf32> x(static_cast<std::size_t>(data.num_receivers()));
+    fill_normal(rng, x.data(), x.size());
+
+    for (index_t sw : {index_t{8}, index_t{16}, index_t{32}}) {
+      double vm_worst = 0.0, vm_bytes = 0.0, conflicts = 0.0, abs_bytes = 0.0;
+      index_t chunks = 0;
+      wse::for_each_chunk(source, sw, [&](const wse::Chunk& c) {
+        ++chunks;
+        auto assembled = wse::assemble_chunk(
+            spec, stacks, c,
+            std::span<const cf32>(
+                x.data() + stacks.grid().col_offset(c.tile_col),
+                static_cast<std::size_t>(c.nb)));
+        wse::PeSimulator sim(assembled.memory);
+        const auto stats = sim.run(assembled.program);
+        vm_worst = std::max(vm_worst, stats.cycles);
+        vm_bytes += stats.bytes_accessed;
+        conflicts += stats.bank_conflicts;
+        for (const auto& s : wse::chunk_mvm_shapes(c)) {
+          abs_bytes += s.absolute_bytes();
+        }
+      });
+      wse::ClusterConfig cfg;
+      cfg.stack_width = sw;
+      const auto analytic = wse::simulate_cluster(source, cfg);
+      table.add_row({cell(nb), cell(sw), cell(chunks), cell(vm_worst, 0),
+                     cell(analytic.worst_cycles, 0),
+                     cell(analytic.worst_cycles / vm_worst, 2) + "x",
+                     cell(conflicts, 0), cell(vm_bytes / abs_bytes, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(VM = hardware bound under the dual-read/banking rules; the "
+               "analytic model's calibrated software factor sits on top)\n";
+  return 0;
+}

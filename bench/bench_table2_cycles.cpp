@@ -1,0 +1,31 @@
+// Table 2: worst cycle count and total relative/absolute memory accesses
+// (bytes) of the five green configurations on six CS-2 systems.
+//
+// Paper reference values: cycles {21350, 19214, 19131, 12275, 12999},
+// relative accesses {2.94e11, 2.60e11, 2.60e11, 1.64e11, 1.64e11},
+// absolute accesses {6.85e11, 6.71e11, 6.89e11, 3.89e11, 4.06e11}.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== Table 2: worst cycle count / memory accesses (bytes) ===\n";
+  TablePrinter table({"nb", "acc", "Worst cycle cnt", "Relative accesses",
+                      "Absolute accesses"});
+  for (const auto& pc : bench::green_configs()) {
+    bench::RankModelSource source(pc.nb, pc.acc);
+    wse::ClusterConfig cfg;
+    cfg.stack_width = pc.stack_width;
+    cfg.systems = 6;
+    const auto rep = wse::simulate_cluster(source, cfg);
+    table.add_row({cell(pc.nb), bench::acc_cell(pc.acc),
+                   cell(static_cast<long long>(rep.worst_cycles)),
+                   cell_sci(rep.relative_bytes), cell_sci(rep.absolute_bytes)});
+  }
+  table.print(std::cout);
+  std::cout << "(paper: 21350/2.94e11/6.85e11, 19214/2.60e11/6.71e11, "
+               "19131/2.60e11/6.89e11, 12275/1.64e11/3.89e11, "
+               "12999/1.64e11/4.06e11)\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table 3: aggregate relative/absolute bandwidth (PB/s) and PFlop/s of the
+// five green configurations on six shards / six CS-2 systems.
+//
+// Paper reference values: relative {11.24, 11.70, 11.92, 12.26, 11.60},
+// absolute {26.19, 30.15, 31.62, 29.05, 28.79},
+// PFlop/s {3.77, 4.60, 4.89, 4.16, 4.23}.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== Table 3: aggregate bandwidth metrics on six shards ===\n";
+  TablePrinter table(
+      {"nb", "acc", "Agg. relative bw (PB/s)", "Agg. absolute bw (PB/s)",
+       "PFlop/s"});
+  for (const auto& pc : bench::green_configs()) {
+    bench::RankModelSource source(pc.nb, pc.acc);
+    wse::ClusterConfig cfg;
+    cfg.stack_width = pc.stack_width;
+    cfg.systems = 6;
+    const auto rep = wse::simulate_cluster(source, cfg);
+    table.add_row({cell(pc.nb), bench::acc_cell(pc.acc),
+                   cell(bytes_to_pb(rep.relative_bw)),
+                   cell(bytes_to_pb(rep.absolute_bw)),
+                   cell(rep.flops_rate / 1e15)});
+  }
+  table.print(std::cout);
+  std::cout << "(paper: 11.24/26.19/3.77, 11.70/30.15/4.60, 11.92/31.62/4.89, "
+               "12.26/29.05/4.16, 11.60/28.79/4.23)\n";
+  return 0;
+}

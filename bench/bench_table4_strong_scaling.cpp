@@ -1,0 +1,50 @@
+// Table 4: strong scaling of the nb = 25, acc = 1e-4 configuration.
+// Strategy 1 splits the stack width (64 -> 32 -> 24 -> 19) to expose more
+// concurrency over 6/12/16/20 shards; the 48-shard row uses strategy 2
+// (the eight real MVMs scattered over eight PEs at stack width 64).
+//
+// Paper reference values (relative bw PB/s): 11.24, 22.13, 29.28, 35.77,
+// 87.73; parallel efficiency 95% at 20 shards, 97% at 48.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::cout << "=== Table 4: strong scaling, nb=25 acc=1e-4 ===\n";
+  bench::RankModelSource source(25, 1e-4);
+
+  struct Row {
+    index_t shards;
+    index_t stack_width;
+    wse::Strategy strategy;
+  };
+  const std::vector<Row> rows = {
+      {6, 64, wse::Strategy::kSplitStackWidth},
+      {12, 32, wse::Strategy::kSplitStackWidth},
+      {16, 24, wse::Strategy::kSplitStackWidth},
+      {20, 19, wse::Strategy::kSplitStackWidth},
+      {48, 64, wse::Strategy::kScatterRealMvms},
+  };
+
+  TablePrinter table({"Shards", "Stack width", "Agg. relative bw (PB/s)",
+                      "Agg. absolute bw (PB/s)", "PFlop/s", "Par. eff."});
+  wse::ClusterReport baseline;
+  for (const auto& row : rows) {
+    wse::ClusterConfig cfg;
+    cfg.stack_width = row.stack_width;
+    cfg.strategy = row.strategy;
+    cfg.systems = row.shards;
+    const auto rep = wse::simulate_cluster(source, cfg);
+    if (row.shards == 6) baseline = rep;
+    table.add_row({cell(row.shards), cell(row.stack_width),
+                   cell(bytes_to_pb(rep.relative_bw)),
+                   cell(bytes_to_pb(rep.absolute_bw)),
+                   cell(rep.flops_rate / 1e15),
+                   cell(100.0 * rep.parallel_efficiency_vs(baseline), 0) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "(paper relative bw: 11.24, 22.13, 29.28, 35.77, 87.73 PB/s; "
+               "95% par. eff. at 20 shards)\n";
+  return 0;
+}

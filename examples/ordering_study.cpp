@@ -1,0 +1,50 @@
+// Station-ordering study: how the space-filling-curve reordering of
+// sources/receivers changes tile ranks and compression — the paper's
+// Hilbert pre-processing step in isolation.
+#include <cstdio>
+
+#include "tlrwse/common/units.hpp"
+#include "tlrwse/seismic/modeling.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+int main() {
+  using namespace tlrwse;
+  std::printf("== Station ordering vs TLR compression ==\n");
+  std::printf("%-22s %12s %10s %12s %12s\n", "ordering", "compressed",
+              "ratio", "mean rank", "max rank");
+
+  for (const auto& [name, ordering] :
+       {std::pair{"natural (acquisition)", reorder::Ordering::kNatural},
+        std::pair{"Morton (Z-order)", reorder::Ordering::kMorton},
+        std::pair{"Hilbert curve", reorder::Ordering::kHilbert}}) {
+    seismic::DatasetConfig cfg;
+    cfg.geometry = seismic::AcquisitionGeometry::small_scale(16, 12, 12, 9);
+    cfg.f_min = 3.0;
+    cfg.f_max = 25.0;
+    cfg.ordering = ordering;
+    const auto data = seismic::build_dataset(cfg);
+
+    tlr::CompressionConfig cc;
+    cc.nb = 24;
+    cc.acc = 1e-4;
+    double comp = 0.0, dense = 0.0, mean = 0.0;
+    index_t max_rank = 0, nmat = 0;
+    for (index_t q = 0; q < data.num_freqs(); q += 3) {
+      const auto t =
+          tlr::compress_tlr(data.p_down[static_cast<std::size_t>(q)], cc);
+      comp += t.compressed_bytes();
+      dense += t.dense_bytes();
+      const auto s = t.rank_stats();
+      mean += s.mean;
+      max_rank = std::max(max_rank, s.max);
+      ++nmat;
+    }
+    std::printf("%-22s %12s %9.2fx %12.1f %12lld\n", name,
+                format_bytes(comp).c_str(), dense / comp,
+                mean / static_cast<double>(nmat),
+                static_cast<long long>(max_rank));
+  }
+  std::printf("(the paper: Hilbert sorting gathers energy near the diagonal "
+              "and delivers the 7x dataset compression)\n");
+  return 0;
+}

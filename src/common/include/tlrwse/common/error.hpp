@@ -1,0 +1,50 @@
+// Error handling helpers.
+//
+// Library code validates preconditions with TLRWSE_REQUIRE, which throws
+// std::invalid_argument / std::runtime_error with a formatted message; this
+// keeps hot kernels assert-free in release builds while making misuse of the
+// public API loudly visible.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tlrwse {
+
+namespace detail {
+template <typename... Args>
+[[nodiscard]] std::string format_message(const char* expr, const char* file,
+                                         int line, Args&&... args) {
+  std::ostringstream os;
+  os << "tlrwse: requirement `" << expr << "` failed at " << file << ":"
+     << line;
+  if constexpr (sizeof...(Args) > 0) {
+    os << ": ";
+    (os << ... << args);
+  }
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace tlrwse
+
+/// Precondition check for public API entry points. Always on (not tied to
+/// NDEBUG): the cost is negligible relative to the O(n^2)+ kernels guarded.
+#define TLRWSE_REQUIRE(cond, ...)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw std::invalid_argument(::tlrwse::detail::format_message(       \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__));         \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check for conditions that indicate a library bug
+/// rather than caller misuse.
+#define TLRWSE_ENSURE(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw std::logic_error(::tlrwse::detail::format_message(            \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__));         \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,59 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component (randomized SVD test matrices, synthetic noise,
+// workload generators) takes an explicit seed so that benches and tests are
+// bit-reproducible across runs.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse {
+
+/// Thin wrapper over a fixed-algorithm engine (mt19937_64) so results do not
+/// depend on the standard library's default_random_engine choice.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  /// Standard normal.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  /// Complex with independent standard normal real/imag parts.
+  template <typename Real>
+  std::complex<Real> cnormal() {
+    return {static_cast<Real>(normal()), static_cast<Real>(normal())};
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Fills a span-like container with standard normal values (real or complex).
+template <typename T>
+void fill_normal(Rng& rng, T* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if constexpr (is_complex_v<T>) {
+      data[i] = rng.cnormal<real_of_t<T>>();
+    } else {
+      data[i] = static_cast<T>(rng.normal());
+    }
+  }
+}
+
+}  // namespace tlrwse

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit the
+// paper's tables/figure series in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tlrwse {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Numeric formatting is the caller's responsibility (see cell() helpers).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant decimal digits after the point.
+[[nodiscard]] std::string cell(double v, int prec = 2);
+/// Formats a double in scientific notation (e.g. 2.94e+11).
+[[nodiscard]] std::string cell_sci(double v, int prec = 2);
+/// Formats an integer with thousands grouping disabled (plain digits).
+[[nodiscard]] std::string cell(long long v);
+[[nodiscard]] inline std::string cell(int v) { return cell(static_cast<long long>(v)); }
+[[nodiscard]] inline std::string cell(long v) { return cell(static_cast<long long>(v)); }
+[[nodiscard]] inline std::string cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+
+}  // namespace tlrwse

@@ -1,0 +1,50 @@
+// Fundamental scalar and index types shared across the tlrwse libraries.
+//
+// The paper's workload is single-precision complex (Sec. 6.6: "Precision
+// reported: Single precision complex"), so `cf32` is the working type of the
+// seismic kernels; `cf64`/double are used in compression reference paths and
+// accuracy checks.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace tlrwse {
+
+using cf32 = std::complex<float>;
+using cf64 = std::complex<double>;
+
+/// Signed index type used for matrix dimensions and loop bounds; signed so
+/// that `i - 1` in backward loops and OpenMP canonical loops are well formed.
+using index_t = std::int64_t;
+
+/// Scalar traits: maps a (possibly complex) scalar to its real counterpart.
+template <typename T>
+struct real_of {
+  using type = T;
+};
+template <typename T>
+struct real_of<std::complex<T>> {
+  using type = T;
+};
+template <typename T>
+using real_of_t = typename real_of<T>::type;
+
+template <typename T>
+inline constexpr bool is_complex_v = false;
+template <typename T>
+inline constexpr bool is_complex_v<std::complex<T>> = true;
+
+/// Complex conjugate that is a no-op for real scalars, so that generic
+/// kernels (dot products, adjoint MVMs) work across float/double/complex.
+template <typename T>
+[[nodiscard]] constexpr T conj_if_complex(const T& v) noexcept {
+  if constexpr (is_complex_v<T>) {
+    return std::conj(v);
+  } else {
+    return v;
+  }
+}
+
+}  // namespace tlrwse

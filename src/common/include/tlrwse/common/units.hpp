@@ -1,0 +1,26 @@
+// Byte/bandwidth/flop unit helpers for reporting in the paper's units
+// (GB for dataset sizes, PB/s for sustained bandwidth, PFlop/s for rates).
+#pragma once
+
+#include <string>
+
+namespace tlrwse {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+
+[[nodiscard]] inline double bytes_to_gb(double bytes) { return bytes / kGB; }
+[[nodiscard]] inline double bytes_to_pb(double bytes) { return bytes / kPB; }
+
+/// Human-readable byte count, e.g. "763.2 GB" / "110.4 GB" / "48.0 kB".
+[[nodiscard]] std::string format_bytes(double bytes);
+/// Human-readable rate, e.g. "92.58 PB/s".
+[[nodiscard]] std::string format_bandwidth(double bytes_per_sec);
+/// Human-readable flop rate, e.g. "37.95 PFlop/s".
+[[nodiscard]] std::string format_flops(double flops_per_sec);
+
+}  // namespace tlrwse

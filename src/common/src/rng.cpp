@@ -1,0 +1,13 @@
+// Rng is header-only today; this translation unit anchors the library and
+// instantiates the common fill paths used across tests so they are compiled
+// exactly once.
+#include "tlrwse/common/rng.hpp"
+
+namespace tlrwse {
+
+template void fill_normal<float>(Rng&, float*, std::size_t);
+template void fill_normal<double>(Rng&, double*, std::size_t);
+template void fill_normal<cf32>(Rng&, cf32*, std::size_t);
+template void fill_normal<cf64>(Rng&, cf64*, std::size_t);
+
+}  // namespace tlrwse

@@ -1,0 +1,38 @@
+#include "tlrwse/common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tlrwse {
+
+namespace {
+std::string scaled(double value, const char* unit) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr std::array<Scale, 6> kScales = {{{1e15, "P"},
+                                                    {1e12, "T"},
+                                                    {1e9, "G"},
+                                                    {1e6, "M"},
+                                                    {1e3, "k"},
+                                                    {1.0, ""}}};
+  for (const auto& s : kScales) {
+    if (std::abs(value) >= s.factor || s.factor == 1.0) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(2) << value / s.factor << " "
+         << s.prefix << unit;
+      return os.str();
+    }
+  }
+  return {};
+}
+}  // namespace
+
+std::string format_bytes(double bytes) { return scaled(bytes, "B"); }
+std::string format_bandwidth(double bps) { return scaled(bps, "B/s"); }
+std::string format_flops(double fps) { return scaled(fps, "Flop/s"); }
+
+}  // namespace tlrwse

@@ -1,0 +1,54 @@
+// Kernel archives: the full set of TLR-compressed frequency kernels of a
+// survey, persisted with band metadata.
+//
+// The paper excludes compression from its timed region because it happens
+// once on the host (Sec. 6.6); a production workflow compresses a survey,
+// archives the bases, and reuses them for every virtual source / every
+// reprocessing. An archive is exactly what would be shipped to the CS-2
+// cluster's host.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlrwse/mdc/mdc_operator.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/seismic/modeling.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace tlrwse::io {
+
+struct KernelArchive {
+  index_t nt = 0;
+  double dt = 0.0;
+  std::vector<index_t> freq_bins;
+  std::vector<double> freqs_hz;
+  std::vector<tlr::TlrMatrix<cf32>> kernels;  // dA already folded in
+
+  [[nodiscard]] index_t num_freqs() const {
+    return static_cast<index_t>(kernels.size());
+  }
+  [[nodiscard]] double compressed_bytes() const {
+    double total = 0.0;
+    for (const auto& k : kernels) total += k.compressed_bytes();
+    return total;
+  }
+};
+
+/// Compresses every frequency kernel of the dataset (with the MDC surface
+/// element folded in) into an archive.
+[[nodiscard]] KernelArchive build_archive(
+    const seismic::SeismicDataset& data,
+    const tlr::CompressionConfig& compression);
+
+/// Binary round trip. The format embeds the per-kernel TLR containers of
+/// serialize.hpp after a band-metadata header.
+void save_archive(const std::string& path, const KernelArchive& archive);
+[[nodiscard]] KernelArchive load_archive(const std::string& path);
+
+/// Builds the MDC operator directly from an archive (no recompression).
+[[nodiscard]] std::unique_ptr<mdc::MdcOperator> make_operator(
+    const KernelArchive& archive, mdc::TlrKernel kernel = mdc::TlrKernel::kFused);
+
+}  // namespace tlrwse::io

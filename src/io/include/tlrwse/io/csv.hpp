@@ -1,0 +1,30 @@
+// Minimal CSV writer for exporting benchmark series (so the paper's
+// figures can be re-plotted from the harness output).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tlrwse::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Appends a row; must match the header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  std::ofstream os_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell per RFC 4180 (quotes fields containing separators).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace tlrwse::io

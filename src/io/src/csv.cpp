@@ -1,0 +1,38 @@
+#include "tlrwse/io/csv.hpp"
+
+#include <stdexcept>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::io {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : os_(path), arity_(columns.size()) {
+  if (!os_) throw std::runtime_error("tlrwse::io: cannot open csv: " + path);
+  TLRWSE_REQUIRE(arity_ > 0, "csv needs at least one column");
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    os_ << csv_escape(columns[c]) << (c + 1 == columns.size() ? "\n" : ",");
+  }
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  TLRWSE_REQUIRE(cells.size() == arity_, "csv row arity mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    os_ << csv_escape(cells[c]) << (c + 1 == cells.size() ? "\n" : ",");
+  }
+  ++rows_;
+}
+
+}  // namespace tlrwse::io

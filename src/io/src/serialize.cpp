@@ -1,0 +1,143 @@
+#include "tlrwse/io/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::io {
+
+namespace {
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::int64_t read_i64(std::istream& is) {
+  std::int64_t v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_matrix_payload(std::ostream& os, const la::MatrixCF& m) {
+  write_i64(os, m.rows());
+  write_i64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                        sizeof(cf32)));
+}
+
+la::MatrixCF read_matrix_payload(std::istream& is) {
+  const index_t rows = read_i64(is);
+  const index_t cols = read_i64(is);
+  TLRWSE_REQUIRE(rows >= 0 && cols >= 0, "corrupt matrix header");
+  la::MatrixCF m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                       sizeof(cf32)));
+  if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+  return m;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("tlrwse::io: cannot open for write: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tlrwse::io: cannot open for read: " + path);
+  return is;
+}
+
+}  // namespace
+
+void save_matrix(const std::string& path, const la::MatrixCF& m) {
+  auto os = open_out(path);
+  write_u32(os, kDenseMagic);
+  write_u32(os, kFormatVersion);
+  write_matrix_payload(os, m);
+  if (!os) throw std::runtime_error("tlrwse::io: write failed: " + path);
+}
+
+la::MatrixCF load_matrix(const std::string& path) {
+  auto is = open_in(path);
+  if (read_u32(is) != kDenseMagic) {
+    throw std::runtime_error("tlrwse::io: bad magic in " + path);
+  }
+  if (read_u32(is) != kFormatVersion) {
+    throw std::runtime_error("tlrwse::io: unsupported version in " + path);
+  }
+  return read_matrix_payload(is);
+}
+
+void save_tlr(const std::string& path, const tlr::TlrMatrix<cf32>& m) {
+  auto os = open_out(path);
+  write_u32(os, kTlrMagic);
+  write_u32(os, kFormatVersion);
+  const auto& g = m.grid();
+  write_i64(os, g.rows());
+  write_i64(os, g.cols());
+  write_i64(os, g.nb());
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      write_i64(os, m.rank(i, j));
+    }
+  }
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const auto& t = m.tile(i, j);
+      write_matrix_payload(os, t.U);
+      write_matrix_payload(os, t.Vh);
+    }
+  }
+  if (!os) throw std::runtime_error("tlrwse::io: write failed: " + path);
+}
+
+tlr::TlrMatrix<cf32> load_tlr(const std::string& path) {
+  auto is = open_in(path);
+  if (read_u32(is) != kTlrMagic) {
+    throw std::runtime_error("tlrwse::io: bad magic in " + path);
+  }
+  if (read_u32(is) != kFormatVersion) {
+    throw std::runtime_error("tlrwse::io: unsupported version in " + path);
+  }
+  const index_t rows = read_i64(is);
+  const index_t cols = read_i64(is);
+  const index_t nb = read_i64(is);
+  const tlr::TileGrid g(rows, cols, nb);
+  std::vector<index_t> ranks(static_cast<std::size_t>(g.num_tiles()));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      ranks[static_cast<std::size_t>(g.tile_index(i, j))] = read_i64(is);
+    }
+  }
+  std::vector<la::LowRankFactors<cf32>> tiles(
+      static_cast<std::size_t>(g.num_tiles()));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      la::LowRankFactors<cf32> t;
+      t.U = read_matrix_payload(is);
+      t.Vh = read_matrix_payload(is);
+      const auto idx = static_cast<std::size_t>(g.tile_index(i, j));
+      TLRWSE_REQUIRE(t.U.cols() == ranks[idx] && t.Vh.rows() == ranks[idx],
+                     "rank table mismatch in ", path);
+      TLRWSE_REQUIRE(t.U.rows() == g.tile_rows(i) &&
+                         t.Vh.cols() == g.tile_cols(j),
+                     "tile shape mismatch in ", path);
+      tiles[idx] = std::move(t);
+    }
+  }
+  return tlr::TlrMatrix<cf32>(g, std::move(tiles));
+}
+
+}  // namespace tlrwse::io

@@ -1,0 +1,172 @@
+// Adaptive Cross Approximation with partial pivoting (ACA+ style stopping).
+//
+// ACA is the third compression backend named by the paper (Sec. 4, ref [49]).
+// It builds A ~= sum_k u_k v_k^H from individual rows/columns of A without
+// ever forming a factorisation, making it the cheapest backend when ranks
+// are very low — at the cost of weaker error guarantees than SVD/RRQR.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/matrix.hpp"
+#include "tlrwse/la/svd.hpp"
+
+namespace tlrwse::la {
+
+/// Compresses A to relative Frobenius tolerance `tol` via partially pivoted
+/// ACA. Stops when ||u_k|| * ||v_k|| <= tol * ||A_k||_F (running estimate of
+/// the approximant norm), or when `max_rank` terms have been produced.
+template <typename T>
+[[nodiscard]] LowRankFactors<T> compress_aca(const Matrix<T>& A,
+                                             real_of_t<T> tol,
+                                             index_t max_rank = 0) {
+  using R = real_of_t<T>;
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  const index_t kmax = (max_rank > 0) ? std::min(max_rank, std::min(m, n))
+                                      : std::min(m, n);
+
+  std::vector<std::vector<T>> us;  // m-vectors
+  std::vector<std::vector<T>> vs;  // n-vectors (stored conjugated as rows)
+  std::vector<bool> row_used(static_cast<std::size_t>(m), false);
+  std::vector<bool> col_used(static_cast<std::size_t>(n), false);
+
+  // Residual row/column evaluation: R_k(i, :) = A(i, :) - sum u_l[i] v_l.
+  auto residual_row = [&](index_t i, std::vector<T>& row) {
+    row.resize(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) row[static_cast<std::size_t>(j)] = A(i, j);
+    for (std::size_t l = 0; l < us.size(); ++l) {
+      const T ui = us[l][static_cast<std::size_t>(i)];
+      for (index_t j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] -= ui * vs[l][static_cast<std::size_t>(j)];
+      }
+    }
+  };
+  auto residual_col = [&](index_t j, std::vector<T>& colv) {
+    colv.resize(static_cast<std::size_t>(m));
+    for (index_t i = 0; i < m; ++i) colv[static_cast<std::size_t>(i)] = A(i, j);
+    for (std::size_t l = 0; l < us.size(); ++l) {
+      const T vj = vs[l][static_cast<std::size_t>(j)];
+      for (index_t i = 0; i < m; ++i) {
+        colv[static_cast<std::size_t>(i)] -= us[l][static_cast<std::size_t>(i)] * vj;
+      }
+    }
+  };
+
+  R approx_norm2{};  // running ||A_k||_F^2 of the approximant
+  index_t next_row = 0;
+  std::vector<T> row, colv;
+  for (index_t k = 0; k < kmax; ++k) {
+    // Pick the next unused pivot row (cyclic partial pivoting).
+    while (next_row < m && row_used[static_cast<std::size_t>(next_row)]) ++next_row;
+    if (next_row >= m) break;
+    index_t pi = next_row;
+    residual_row(pi, row);
+
+    // Pivot column: largest residual entry in the pivot row.
+    index_t pj = -1;
+    R best{};
+    for (index_t j = 0; j < n; ++j) {
+      if (col_used[static_cast<std::size_t>(j)]) continue;
+      const R a = static_cast<R>(std::abs(row[static_cast<std::size_t>(j)]));
+      if (a > best) {
+        best = a;
+        pj = j;
+      }
+    }
+    if (pj < 0 || best == R{}) {
+      // Degenerate row; mark used and retry with the next one.
+      row_used[static_cast<std::size_t>(pi)] = true;
+      --k;
+      continue;
+    }
+
+    residual_col(pj, colv);
+    // Improve the row pivot: largest entry of the pivot column.
+    index_t pi2 = pi;
+    R bestc{};
+    for (index_t i = 0; i < m; ++i) {
+      if (row_used[static_cast<std::size_t>(i)]) continue;
+      const R a = static_cast<R>(std::abs(colv[static_cast<std::size_t>(i)]));
+      if (a > bestc) {
+        bestc = a;
+        pi2 = i;
+      }
+    }
+    if (pi2 != pi) {
+      pi = pi2;
+      residual_row(pi, row);
+      // Recompute the column pivot for the improved row.
+      pj = -1;
+      best = R{};
+      for (index_t j = 0; j < n; ++j) {
+        if (col_used[static_cast<std::size_t>(j)]) continue;
+        const R a = static_cast<R>(std::abs(row[static_cast<std::size_t>(j)]));
+        if (a > best) {
+          best = a;
+          pj = j;
+        }
+      }
+      if (pj < 0 || best == R{}) {
+        row_used[static_cast<std::size_t>(pi)] = true;
+        --k;
+        continue;
+      }
+      residual_col(pj, colv);
+    }
+
+    const T pivot = row[static_cast<std::size_t>(pj)];
+    row_used[static_cast<std::size_t>(pi)] = true;
+    col_used[static_cast<std::size_t>(pj)] = true;
+
+    // u_k = residual column / pivot, v_k = residual row.
+    std::vector<T> u(colv);
+    for (T& e : u) e /= pivot;
+    std::vector<T> v(row);
+
+    const R un = norm2(std::span<const T>(u.data(), u.size()));
+    const R vn = norm2(std::span<const T>(v.data(), v.size()));
+
+    // Update the running approximant norm:
+    // ||A_{k+1}||^2 = ||A_k||^2 + 2 Re sum_l (u^H u_l)(v_l v^H) + ||u||^2||v||^2.
+    R cross{};
+    for (std::size_t l = 0; l < us.size(); ++l) {
+      T uu{}, vv{};
+      for (index_t i = 0; i < m; ++i) {
+        uu += conj_if_complex(us[l][static_cast<std::size_t>(i)]) *
+              u[static_cast<std::size_t>(i)];
+      }
+      for (index_t j = 0; j < n; ++j) {
+        // <v_l, v> with Frobenius convention: sum conj(v_l[j]) * v[j].
+        vv += conj_if_complex(vs[l][static_cast<std::size_t>(j)]) *
+              v[static_cast<std::size_t>(j)];
+      }
+      cross += R{2} * std::real(uu * vv);
+    }
+    approx_norm2 += cross + un * un * vn * vn;
+
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+
+    if (un * vn <= tol * std::sqrt(std::max(approx_norm2, R{}))) break;
+  }
+
+  LowRankFactors<T> out;
+  const index_t k = static_cast<index_t>(us.size());
+  out.U = Matrix<T>(m, k);
+  out.Vh = Matrix<T>(k, n);
+  for (index_t l = 0; l < k; ++l) {
+    for (index_t i = 0; i < m; ++i) {
+      out.U(i, l) = us[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+    }
+    for (index_t j = 0; j < n; ++j) {
+      out.Vh(l, j) = vs[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+}  // namespace tlrwse::la

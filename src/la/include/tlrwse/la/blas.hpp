@@ -1,0 +1,164 @@
+// BLAS-like dense kernels (MVM, GEMM, dot products, norms).
+//
+// These are the reference kernels against which the TLR and WSE paths are
+// validated, and the building blocks of the compression algorithms. Loops
+// are written column-major-streaming (axpy-style MVM) — the same access
+// pattern the paper's PE kernel uses: for each column A_j and element x_j,
+// y += A_j * x_j (Sec. 6.6).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/la/matrix.hpp"
+
+namespace tlrwse::la {
+
+/// y = alpha*A*x + beta*y  (column-sweep axpy formulation).
+template <typename T>
+void gemv(const Matrix<T>& A, std::span<const T> x, std::span<T> y,
+          T alpha = T{1}, T beta = T{0}) {
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == A.cols(), "gemv: x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == A.rows(), "gemv: y size");
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  if (beta == T{0}) {
+    for (index_t i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] = T{};
+  } else if (beta != T{1}) {
+    for (index_t i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] *= beta;
+  }
+  for (index_t j = 0; j < n; ++j) {
+    const T axj = alpha * x[static_cast<std::size_t>(j)];
+    if (axj == T{}) continue;
+    const T* aj = A.col(j);
+    for (index_t i = 0; i < m; ++i) {
+      y[static_cast<std::size_t>(i)] += aj[i] * axj;
+    }
+  }
+}
+
+/// y = alpha*A^H*x + beta*y (conjugate-transpose MVM; dot-product form).
+template <typename T>
+void gemv_adjoint(const Matrix<T>& A, std::span<const T> x, std::span<T> y,
+                  T alpha = T{1}, T beta = T{0}) {
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == A.rows(), "gemvH: x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == A.cols(), "gemvH: y size");
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  for (index_t j = 0; j < n; ++j) {
+    const T* aj = A.col(j);
+    T acc{};
+    for (index_t i = 0; i < m; ++i) {
+      acc += conj_if_complex(aj[i]) * x[static_cast<std::size_t>(i)];
+    }
+    auto& yj = y[static_cast<std::size_t>(j)];
+    yj = alpha * acc + (beta == T{0} ? T{} : beta * yj);
+  }
+}
+
+/// C = alpha*A*B + beta*C.
+template <typename T>
+void gemm(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& C,
+          T alpha = T{1}, T beta = T{0}) {
+  TLRWSE_REQUIRE(A.cols() == B.rows(), "gemm: inner dims");
+  TLRWSE_REQUIRE(C.rows() == A.rows() && C.cols() == B.cols(),
+                 "gemm: output dims");
+  const index_t m = A.rows();
+  const index_t k = A.cols();
+  const index_t n = B.cols();
+  if (beta == T{0}) {
+    C.fill(T{});
+  } else if (beta != T{1}) {
+    for (index_t j = 0; j < n; ++j) {
+      T* cj = C.col(j);
+      for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+#pragma omp parallel for schedule(static) if (m * n * k > 1 << 16)
+  for (index_t j = 0; j < n; ++j) {
+    T* cj = C.col(j);
+    const T* bj = B.col(j);
+    for (index_t l = 0; l < k; ++l) {
+      const T ab = alpha * bj[l];
+      if (ab == T{}) continue;
+      const T* al = A.col(l);
+      for (index_t i = 0; i < m; ++i) cj[i] += al[i] * ab;
+    }
+  }
+}
+
+/// Convenience GEMM returning a fresh matrix.
+template <typename T>
+[[nodiscard]] Matrix<T> matmul(const Matrix<T>& A, const Matrix<T>& B) {
+  Matrix<T> C(A.rows(), B.cols());
+  gemm(A, B, C);
+  return C;
+}
+
+/// Hermitian inner product <x, y> = x^H y.
+template <typename T>
+[[nodiscard]] T dot(std::span<const T> x, std::span<const T> y) {
+  TLRWSE_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += conj_if_complex(x[i]) * y[i];
+  }
+  return acc;
+}
+
+/// Euclidean norm of a vector.
+template <typename T>
+[[nodiscard]] real_of_t<T> norm2(std::span<const T> x) {
+  using R = real_of_t<T>;
+  // Two-pass scaled norm to avoid overflow/underflow in float.
+  R maxabs{};
+  for (const T& v : x) maxabs = std::max(maxabs, static_cast<R>(std::abs(v)));
+  if (maxabs == R{}) return R{};
+  R sum{};
+  for (const T& v : x) {
+    const R s = static_cast<R>(std::abs(v)) / maxabs;
+    sum += s * s;
+  }
+  return maxabs * std::sqrt(sum);
+}
+
+/// Frobenius norm of a matrix.
+template <typename T>
+[[nodiscard]] real_of_t<T> frobenius_norm(const Matrix<T>& A) {
+  return norm2(std::span<const T>(A.data(), static_cast<std::size_t>(A.size())));
+}
+
+/// ||A - B||_F.
+template <typename T>
+[[nodiscard]] real_of_t<T> frobenius_distance(const Matrix<T>& A,
+                                              const Matrix<T>& B) {
+  TLRWSE_REQUIRE(A.rows() == B.rows() && A.cols() == B.cols(),
+                 "frobenius_distance: shape mismatch");
+  using R = real_of_t<T>;
+  R sum{};
+  for (index_t j = 0; j < A.cols(); ++j) {
+    const T* aj = A.col(j);
+    const T* bj = B.col(j);
+    for (index_t i = 0; i < A.rows(); ++i) {
+      const R d = static_cast<R>(std::abs(aj[i] - bj[i]));
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+/// y += alpha * x.
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  TLRWSE_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+template <typename T>
+void scal(T alpha, std::span<T> x) {
+  for (T& v : x) v *= alpha;
+}
+
+}  // namespace tlrwse::la

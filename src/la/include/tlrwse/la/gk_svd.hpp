@@ -1,0 +1,24 @@
+// Golub–Kahan SVD for REAL matrices: Householder bidiagonalization followed
+// by the implicit-shift bidiagonal QR iteration (Golub & Van Loan, Alg.
+// 8.6.1/8.6.2). Complements the one-sided Jacobi SVD: GK is the classic
+// O(mn^2) dense factorisation with fast global convergence, used here for
+// the real split-basis paths and as an independent cross-check of Jacobi in
+// the test suite. Complex matrices route through svd_jacobi.
+#pragma once
+
+#include <vector>
+
+#include "tlrwse/la/matrix.hpp"
+#include "tlrwse/la/svd.hpp"
+
+namespace tlrwse::la {
+
+/// Economy SVD A = U diag(S) V^T for real A (m >= n internally; transposed
+/// inputs are handled by swapping the factors). Singular values descend.
+template <typename T>
+[[nodiscard]] SvdResult<T> svd_golub_kahan(const Matrix<T>& A);
+
+extern template SvdResult<float> svd_golub_kahan(const Matrix<float>&);
+extern template SvdResult<double> svd_golub_kahan(const Matrix<double>&);
+
+}  // namespace tlrwse::la

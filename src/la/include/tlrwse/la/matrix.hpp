@@ -1,0 +1,118 @@
+// Column-major dense matrix with 64-byte-aligned storage.
+//
+// Column-major is the layout of the stacked V/U bases in the TLR-MVM design
+// (Figs. 4 and 9 of the paper): a batched MVM walks contiguous columns, and
+// the Cerebras layout stores per-tile-column bases side by side.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "tlrwse/common/aligned.hpp"
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::la {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols)) {}
+  Matrix(index_t rows, index_t cols, T fill_value) : Matrix(rows, cols) {
+    std::fill(data_.begin(), data_.end(), fill_value);
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] T& operator()(index_t i, index_t j) noexcept {
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+  [[nodiscard]] const T& operator()(index_t i, index_t j) const noexcept {
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  /// Pointer to the first element of column j (columns are contiguous).
+  [[nodiscard]] T* col(index_t j) noexcept { return data() + j * rows_; }
+  [[nodiscard]] const T* col(index_t j) const noexcept {
+    return data() + j * rows_;
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Copies the block [r0, r0+nr) x [c0, c0+nc) into a new matrix.
+  [[nodiscard]] Matrix block(index_t r0, index_t c0, index_t nr,
+                             index_t nc) const {
+    TLRWSE_REQUIRE(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_,
+                   "block out of range");
+    Matrix out(nr, nc);
+    for (index_t j = 0; j < nc; ++j) {
+      std::copy_n(col(c0 + j) + r0, nr, out.col(j));
+    }
+    return out;
+  }
+
+  /// Writes `b` into this matrix at offset (r0, c0).
+  void set_block(index_t r0, index_t c0, const Matrix& b) {
+    TLRWSE_REQUIRE(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+                   "set_block out of range");
+    for (index_t j = 0; j < b.cols(); ++j) {
+      std::copy_n(b.col(j), b.rows(), col(c0 + j) + r0);
+    }
+  }
+
+  /// Conjugate transpose (plain transpose for real T).
+  [[nodiscard]] Matrix adjoint() const {
+    Matrix out(cols_, rows_);
+    for (index_t j = 0; j < cols_; ++j) {
+      for (index_t i = 0; i < rows_; ++i) {
+        out(j, i) = conj_if_complex((*this)(i, j));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Matrix transpose() const {
+    Matrix out(cols_, rows_);
+    for (index_t j = 0; j < cols_; ++j) {
+      for (index_t i = 0; i < rows_; ++i) out(j, i) = (*this)(i, j);
+    }
+    return out;
+  }
+
+  [[nodiscard]] static Matrix identity(index_t n) {
+    Matrix out(n, n, T{});
+    for (index_t i = 0; i < n; ++i) out(i, i) = T{1};
+    return out;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t checked_size(index_t rows, index_t cols) {
+    TLRWSE_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dims");
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T, AlignedAllocator<T>> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+using MatrixCF = Matrix<cf32>;
+using MatrixCD = Matrix<cf64>;
+
+}  // namespace tlrwse::la

@@ -1,0 +1,288 @@
+#include "tlrwse/la/gk_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/la/blas.hpp"
+
+namespace tlrwse::la {
+
+namespace {
+
+/// Givens rotation [c s; -s c] with c*a + s*b = r, -s*a + c*b = 0.
+template <typename T>
+void givens(T a, T b, T& c, T& s) {
+  if (b == T{0}) {
+    c = T{1};
+    s = T{0};
+    return;
+  }
+  const T r = std::hypot(a, b);
+  c = a / r;
+  s = b / r;
+}
+
+/// Applies a right rotation to columns (j1, j2) of M: for each row i,
+/// [m1, m2] <- [c*m1 + s*m2, -s*m1 + c*m2].
+template <typename T>
+void rotate_cols(Matrix<T>& M, index_t j1, index_t j2, T c, T s) {
+  T* a = M.col(j1);
+  T* b = M.col(j2);
+  for (index_t i = 0; i < M.rows(); ++i) {
+    const T t1 = c * a[i] + s * b[i];
+    const T t2 = -s * a[i] + c * b[i];
+    a[i] = t1;
+    b[i] = t2;
+  }
+}
+
+/// Householder bidiagonalization: A (m x n, m >= n) = U * B * V^T with B
+/// upper bidiagonal (diagonal d, superdiagonal e). U is m x n, V is n x n.
+template <typename T>
+void bidiagonalize(const Matrix<T>& A, Matrix<T>& U, Matrix<T>& V,
+                   std::vector<T>& d, std::vector<T>& e) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  Matrix<T> W = A;  // working copy
+
+  std::vector<std::vector<T>> lv(static_cast<std::size_t>(n));  // left refl.
+  std::vector<std::vector<T>> rv(static_cast<std::size_t>(n));  // right refl.
+
+  auto house = [](std::vector<T>& v) -> T {
+    // Normalised Householder vector for x (stored in v); returns tau such
+    // that (I - tau v v^T) x = -sign(x0)||x|| e1. Empty/zero -> tau = 0.
+    T norm{};
+    for (T x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == T{0}) return T{0};
+    const T alpha = (v[0] >= T{0}) ? -norm : norm;
+    v[0] -= alpha;
+    T vn{};
+    for (T x : v) vn += x * x;
+    vn = std::sqrt(vn);
+    if (vn == T{0}) return T{0};
+    for (T& x : v) x /= vn;
+    return T{2};
+  };
+
+  for (index_t k = 0; k < n; ++k) {
+    // Left reflector annihilating column k below the diagonal.
+    auto& v = lv[static_cast<std::size_t>(k)];
+    v.assign(static_cast<std::size_t>(m - k), T{});
+    for (index_t i = k; i < m; ++i) v[static_cast<std::size_t>(i - k)] = W(i, k);
+    const T tau = house(v);
+    if (tau != T{0}) {
+      for (index_t j = k; j < n; ++j) {
+        T w{};
+        for (index_t i = k; i < m; ++i) {
+          w += v[static_cast<std::size_t>(i - k)] * W(i, j);
+        }
+        w *= tau;
+        for (index_t i = k; i < m; ++i) {
+          W(i, j) -= v[static_cast<std::size_t>(i - k)] * w;
+        }
+      }
+    }
+
+    // Right reflector annihilating row k right of the superdiagonal.
+    if (k + 2 <= n - 1 || k + 1 <= n - 1) {
+      auto& w = rv[static_cast<std::size_t>(k)];
+      if (k + 1 < n) {
+        w.assign(static_cast<std::size_t>(n - k - 1), T{});
+        for (index_t j = k + 1; j < n; ++j) {
+          w[static_cast<std::size_t>(j - k - 1)] = W(k, j);
+        }
+        const T tau_r = house(w);
+        if (tau_r != T{0}) {
+          for (index_t i = k; i < m; ++i) {
+            T acc{};
+            for (index_t j = k + 1; j < n; ++j) {
+              acc += W(i, j) * w[static_cast<std::size_t>(j - k - 1)];
+            }
+            acc *= tau_r;
+            for (index_t j = k + 1; j < n; ++j) {
+              W(i, j) -= acc * w[static_cast<std::size_t>(j - k - 1)];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  d.assign(static_cast<std::size_t>(n), T{});
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  for (index_t k = 0; k < n; ++k) {
+    d[static_cast<std::size_t>(k)] = W(k, k);
+    if (k + 1 < n) e[static_cast<std::size_t>(k)] = W(k, k + 1);
+  }
+
+  // Accumulate U = H_0 ... H_{n-1} I_mn.
+  U = Matrix<T>(m, n, T{});
+  for (index_t i = 0; i < n; ++i) U(i, i) = T{1};
+  for (index_t k = n - 1; k >= 0; --k) {
+    const auto& v = lv[static_cast<std::size_t>(k)];
+    if (v.empty()) continue;
+    for (index_t j = 0; j < n; ++j) {
+      T w{};
+      for (index_t i = k; i < m; ++i) {
+        w += v[static_cast<std::size_t>(i - k)] * U(i, j);
+      }
+      w *= T{2};
+      for (index_t i = k; i < m; ++i) {
+        U(i, j) -= v[static_cast<std::size_t>(i - k)] * w;
+      }
+    }
+  }
+  // Accumulate V = G_0 ... G_{n-2} I_n (right reflectors act on rows k+1..).
+  V = Matrix<T>::identity(n);
+  for (index_t k = n - 1; k >= 0; --k) {
+    const auto& w = rv[static_cast<std::size_t>(k)];
+    if (w.empty()) continue;
+    for (index_t j = 0; j < n; ++j) {
+      T acc{};
+      for (index_t i = k + 1; i < n; ++i) {
+        acc += w[static_cast<std::size_t>(i - k - 1)] * V(i, j);
+      }
+      acc *= T{2};
+      for (index_t i = k + 1; i < n; ++i) {
+        V(i, j) -= w[static_cast<std::size_t>(i - k - 1)] * acc;
+      }
+    }
+  }
+}
+
+/// One implicit-shift Golub-Kahan QR step on the unreduced block
+/// [lo, hi] of the bidiagonal (d, e); rotations accumulated into U and V.
+template <typename T>
+void gk_step(std::vector<T>& d, std::vector<T>& e, index_t lo, index_t hi,
+             Matrix<T>& U, Matrix<T>& V) {
+  // Wilkinson shift from the trailing 2x2 of B^T B.
+  const T dm = d[static_cast<std::size_t>(hi - 1)];
+  const T dn = d[static_cast<std::size_t>(hi)];
+  const T em = e[static_cast<std::size_t>(hi - 1)];
+  const T el = (hi >= 2 && hi - 2 >= lo) ? e[static_cast<std::size_t>(hi - 2)]
+                                         : T{0};
+  const T t11 = dm * dm + el * el;
+  const T t12 = dm * em;
+  const T t22 = dn * dn + em * em;
+  const T delta = (t11 - t22) / T{2};
+  const T denom =
+      delta + ((delta >= T{0}) ? T{1} : T{-1}) *
+                  std::sqrt(delta * delta + t12 * t12);
+  const T mu = (denom != T{0}) ? t22 - t12 * t12 / denom : t22;
+
+  T x = d[static_cast<std::size_t>(lo)] * d[static_cast<std::size_t>(lo)] - mu;
+  T z = d[static_cast<std::size_t>(lo)] * e[static_cast<std::size_t>(lo)];
+
+  for (index_t k = lo; k < hi; ++k) {
+    T c, s;
+    givens(x, z, c, s);
+    // The rotation that zeroes the off-bidiagonal bulge also rotates the
+    // previous superdiagonal element into place.
+    if (k > lo) e[static_cast<std::size_t>(k - 1)] = c * x + s * z;
+    // Right rotation on columns (k, k+1) of B.
+    const T dk = d[static_cast<std::size_t>(k)];
+    const T ek = e[static_cast<std::size_t>(k)];
+    const T dk1 = d[static_cast<std::size_t>(k + 1)];
+    d[static_cast<std::size_t>(k)] = c * dk + s * ek;
+    e[static_cast<std::size_t>(k)] = -s * dk + c * ek;
+    d[static_cast<std::size_t>(k + 1)] = c * dk1;
+    T bulge = s * dk1;
+    rotate_cols(V, k, k + 1, c, s);
+
+    // Left rotation zeroing the bulge below the diagonal.
+    givens(d[static_cast<std::size_t>(k)], bulge, c, s);
+    d[static_cast<std::size_t>(k)] =
+        c * d[static_cast<std::size_t>(k)] + s * bulge;
+    const T ek2 = e[static_cast<std::size_t>(k)];
+    const T dk2 = d[static_cast<std::size_t>(k + 1)];
+    e[static_cast<std::size_t>(k)] = c * ek2 + s * dk2;
+    d[static_cast<std::size_t>(k + 1)] = -s * ek2 + c * dk2;
+    rotate_cols(U, k, k + 1, c, s);
+    if (k + 1 < hi) {
+      const T ek1 = e[static_cast<std::size_t>(k + 1)];
+      bulge = s * ek1;
+      e[static_cast<std::size_t>(k + 1)] = c * ek1;
+      x = e[static_cast<std::size_t>(k)];
+      z = bulge;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+SvdResult<T> svd_golub_kahan(const Matrix<T>& A) {
+  static_assert(!is_complex_v<T>, "GK path is real-only; use svd_jacobi");
+  if (A.rows() < A.cols()) {
+    SvdResult<T> t = svd_golub_kahan(Matrix<T>(A.transpose()));
+    return {std::move(t.V), std::move(t.S), std::move(t.U)};
+  }
+  const index_t n = A.cols();
+  if (n == 0) return {Matrix<T>(A.rows(), 0), {}, Matrix<T>(0, 0)};
+
+  Matrix<T> U, V;
+  std::vector<T> d, e;
+  bidiagonalize(A, U, V, d, e);
+
+  const T eps = std::numeric_limits<T>::epsilon();
+  const int max_iters = 120 * static_cast<int>(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Deflate negligible superdiagonals.
+    index_t hi = n - 1;
+    bool done = true;
+    for (index_t k = 0; k < n - 1; ++k) {
+      const T tol = eps * (std::abs(d[static_cast<std::size_t>(k)]) +
+                           std::abs(d[static_cast<std::size_t>(k + 1)]));
+      if (std::abs(e[static_cast<std::size_t>(k)]) <= tol) {
+        e[static_cast<std::size_t>(k)] = T{0};
+      } else {
+        done = false;
+      }
+    }
+    if (done || n == 1) break;
+    // Find the trailing unreduced block [lo, hi].
+    while (hi > 0 && e[static_cast<std::size_t>(hi - 1)] == T{0}) --hi;
+    if (hi == 0) continue;
+    index_t lo = hi - 1;
+    while (lo > 0 && e[static_cast<std::size_t>(lo - 1)] != T{0}) --lo;
+    gk_step(d, e, lo, hi, U, V);
+  }
+
+  // Fix signs and sort descending.
+  SvdResult<T> out;
+  out.S.resize(static_cast<std::size_t>(n));
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    out.S[static_cast<std::size_t>(k)] = std::abs(d[static_cast<std::size_t>(k)]);
+    if (d[static_cast<std::size_t>(k)] < T{0}) {
+      // Flip the corresponding U column.
+      T* u = U.col(k);
+      for (index_t i = 0; i < U.rows(); ++i) u[i] = -u[i];
+    }
+    order[static_cast<std::size_t>(k)] = k;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return out.S[static_cast<std::size_t>(a)] > out.S[static_cast<std::size_t>(b)];
+  });
+  Matrix<T> Us(U.rows(), n);
+  Matrix<T> Vs(n, n);
+  std::vector<real_of_t<T>> Ss(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[static_cast<std::size_t>(j)];
+    Ss[static_cast<std::size_t>(j)] = out.S[static_cast<std::size_t>(src)];
+    std::copy_n(U.col(src), U.rows(), Us.col(j));
+    std::copy_n(V.col(src), n, Vs.col(j));
+  }
+  out.U = std::move(Us);
+  out.V = std::move(Vs);
+  out.S = std::move(Ss);
+  return out;
+}
+
+template SvdResult<float> svd_golub_kahan(const Matrix<float>&);
+template SvdResult<double> svd_golub_kahan(const Matrix<double>&);
+
+}  // namespace tlrwse::la

@@ -1,0 +1,40 @@
+// Explicit instantiations of the heavy template entry points for the
+// precisions used across the project, so each is compiled exactly once.
+#include "tlrwse/la/aca.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/matrix.hpp"
+#include "tlrwse/la/qr.hpp"
+#include "tlrwse/la/svd.hpp"
+
+namespace tlrwse::la {
+
+template class Matrix<float>;
+template class Matrix<double>;
+template class Matrix<cf32>;
+template class Matrix<cf64>;
+
+template QrResult<float> qr(const Matrix<float>&);
+template QrResult<double> qr(const Matrix<double>&);
+template QrResult<cf32> qr(const Matrix<cf32>&);
+template QrResult<cf64> qr(const Matrix<cf64>&);
+
+template RrqrResult<cf32> rrqr_truncated(const Matrix<cf32>&, float, index_t);
+template RrqrResult<cf64> rrqr_truncated(const Matrix<cf64>&, double, index_t);
+template RrqrResult<float> rrqr_truncated(const Matrix<float>&, float, index_t);
+template RrqrResult<double> rrqr_truncated(const Matrix<double>&, double, index_t);
+
+template SvdResult<float> svd_jacobi(const Matrix<float>&);
+template SvdResult<double> svd_jacobi(const Matrix<double>&);
+template SvdResult<cf32> svd_jacobi(const Matrix<cf32>&);
+template SvdResult<cf64> svd_jacobi(const Matrix<cf64>&);
+
+template LowRankFactors<cf32> compress_svd(const Matrix<cf32>&, float, index_t);
+template LowRankFactors<cf64> compress_svd(const Matrix<cf64>&, double, index_t);
+template LowRankFactors<cf32> compress_aca(const Matrix<cf32>&, float, index_t);
+template LowRankFactors<cf64> compress_aca(const Matrix<cf64>&, double, index_t);
+template LowRankFactors<cf32> compress_rsvd(const Matrix<cf32>&, float, Rng&,
+                                            index_t, int, index_t);
+template LowRankFactors<cf64> compress_rsvd(const Matrix<cf64>&, double, Rng&,
+                                            index_t, int, index_t);
+
+}  // namespace tlrwse::la

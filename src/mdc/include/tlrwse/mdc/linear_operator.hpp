@@ -1,0 +1,27 @@
+// Abstract real linear operator, the interface consumed by the LSQR solver.
+#pragma once
+
+#include <span>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::mdc {
+
+/// A real linear map A : R^cols -> R^rows with an exact adjoint.
+/// Implementations must satisfy <A x, y> == <x, A^T y> to solver precision
+/// (verified by the dot test in the test suite).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  [[nodiscard]] virtual index_t rows() const = 0;
+  [[nodiscard]] virtual index_t cols() const = 0;
+
+  /// y = A x.
+  virtual void apply(std::span<const float> x, std::span<float> y) const = 0;
+  /// x = A^T y.
+  virtual void apply_adjoint(std::span<const float> y,
+                             std::span<float> x) const = 0;
+};
+
+}  // namespace tlrwse::mdc

@@ -1,0 +1,49 @@
+// The Multi-Dimensional Convolution operator y = F^H K F x (Eqn. 2).
+//
+// x is a time-domain wavefield over receivers (nt x nR, column-major per
+// trace), y over sources (nt x nS). Forward: batched rFFT along time, one
+// kernel MVM per retained frequency, Hermitian-symmetric inverse rFFT.
+// The adjoint runs the same pipeline with K^H: with the scaling conventions
+// of rfft/irfft (forward unnormalised, inverse 1/nt, band excluding DC and
+// Nyquist, Hermitian doubling in irfft) the composition irfft . K^H . rfft
+// is the EXACT real adjoint of irfft . K . rfft — the (2/nt) factors of the
+// two directions cancel identically, so the dot test holds to round-off.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tlrwse/mdc/frequency_mvm.hpp"
+#include "tlrwse/mdc/linear_operator.hpp"
+
+namespace tlrwse::mdc {
+
+class MdcOperator final : public LinearOperator {
+ public:
+  /// `freq_bins[q]` is the rFFT bin index of kernel q; bins must lie
+  /// strictly between DC and Nyquist. All kernels must share dimensions.
+  MdcOperator(index_t nt, std::vector<index_t> freq_bins,
+              std::vector<std::unique_ptr<FrequencyMvm>> kernels);
+
+  [[nodiscard]] index_t rows() const override { return nt_ * ns_; }
+  [[nodiscard]] index_t cols() const override { return nt_ * nr_; }
+  [[nodiscard]] index_t nt() const noexcept { return nt_; }
+  [[nodiscard]] index_t num_sources() const noexcept { return ns_; }
+  [[nodiscard]] index_t num_receivers() const noexcept { return nr_; }
+  [[nodiscard]] index_t num_freqs() const noexcept {
+    return static_cast<index_t>(kernels_.size());
+  }
+
+  void apply(std::span<const float> x, std::span<float> y) const override;
+  void apply_adjoint(std::span<const float> y,
+                     std::span<float> x) const override;
+
+ private:
+  index_t nt_ = 0;
+  index_t ns_ = 0;  // kernel rows (sources)
+  index_t nr_ = 0;  // kernel cols (receivers)
+  std::vector<index_t> freq_bins_;
+  std::vector<std::unique_ptr<FrequencyMvm>> kernels_;
+};
+
+}  // namespace tlrwse::mdc

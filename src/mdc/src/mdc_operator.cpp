@@ -1,0 +1,84 @@
+#include "tlrwse/mdc/mdc_operator.hpp"
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/fft/fft.hpp"
+
+namespace tlrwse::mdc {
+
+MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
+                         std::vector<std::unique_ptr<FrequencyMvm>> kernels)
+    : nt_(nt), freq_bins_(std::move(freq_bins)), kernels_(std::move(kernels)) {
+  TLRWSE_REQUIRE(nt_ >= 4, "nt too small");
+  TLRWSE_REQUIRE(!kernels_.empty(), "need at least one frequency kernel");
+  TLRWSE_REQUIRE(freq_bins_.size() == kernels_.size(),
+                 "bins/kernels count mismatch");
+  ns_ = kernels_.front()->rows();
+  nr_ = kernels_.front()->cols();
+  for (std::size_t q = 0; q < kernels_.size(); ++q) {
+    TLRWSE_REQUIRE(kernels_[q]->rows() == ns_ && kernels_[q]->cols() == nr_,
+                   "kernel dimension mismatch at frequency ", q);
+    const index_t bin = freq_bins_[q];
+    TLRWSE_REQUIRE(bin > 0 && bin < nt_ / 2,
+                   "frequency bin must exclude DC and Nyquist, got ", bin);
+  }
+}
+
+void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
+  const index_t nf_full = nt_ / 2 + 1;
+
+  // F: batched rFFT over receiver traces.
+  std::vector<cf32> xhat(static_cast<std::size_t>(nf_full * nr_));
+  fft::rfft_batch(x, nt_, nr_, std::span<cf32>(xhat));
+
+  // K: per-frequency kernel MVMs into the source-side spectrum.
+  std::vector<cf32> yhat(static_cast<std::size_t>(nf_full * ns_), cf32{});
+  std::vector<cf32> xk(static_cast<std::size_t>(nr_));
+  std::vector<cf32> yk(static_cast<std::size_t>(ns_));
+  for (std::size_t q = 0; q < kernels_.size(); ++q) {
+    const index_t bin = freq_bins_[q];
+    for (index_t r = 0; r < nr_; ++r) {
+      xk[static_cast<std::size_t>(r)] =
+          xhat[static_cast<std::size_t>(r * nf_full + bin)];
+    }
+    kernels_[q]->apply(xk, yk);
+    for (index_t s = 0; s < ns_; ++s) {
+      yhat[static_cast<std::size_t>(s * nf_full + bin)] =
+          yk[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // F^H: Hermitian inverse rFFT back to time.
+  fft::irfft_batch(std::span<const cf32>(yhat), nt_, ns_, y);
+}
+
+void MdcOperator::apply_adjoint(std::span<const float> y,
+                                std::span<float> x) const {
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
+  const index_t nf_full = nt_ / 2 + 1;
+
+  std::vector<cf32> yhat(static_cast<std::size_t>(nf_full * ns_));
+  fft::rfft_batch(y, nt_, ns_, std::span<cf32>(yhat));
+
+  std::vector<cf32> xhat(static_cast<std::size_t>(nf_full * nr_), cf32{});
+  std::vector<cf32> yk(static_cast<std::size_t>(ns_));
+  std::vector<cf32> xk(static_cast<std::size_t>(nr_));
+  for (std::size_t q = 0; q < kernels_.size(); ++q) {
+    const index_t bin = freq_bins_[q];
+    for (index_t s = 0; s < ns_; ++s) {
+      yk[static_cast<std::size_t>(s)] =
+          yhat[static_cast<std::size_t>(s * nf_full + bin)];
+    }
+    kernels_[q]->apply_adjoint(yk, xk);
+    for (index_t r = 0; r < nr_; ++r) {
+      xhat[static_cast<std::size_t>(r * nf_full + bin)] =
+          xk[static_cast<std::size_t>(r)];
+    }
+  }
+
+  fft::irfft_batch(std::span<const cf32>(xhat), nt_, nr_, x);
+}
+
+}  // namespace tlrwse::mdc

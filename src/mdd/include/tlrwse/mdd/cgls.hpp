@@ -1,0 +1,32 @@
+// CGLS (conjugate gradients on the normal equations) — the standard
+// alternative to LSQR for least-squares inverse problems. Mathematically
+// it generates the same Krylov iterates in exact arithmetic; LSQR is more
+// robust in floating point (the paper uses LSQR), so CGLS serves here as a
+// cross-check solver and an ablation subject.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/mdc/linear_operator.hpp"
+
+namespace tlrwse::mdd {
+
+struct CglsConfig {
+  int max_iters = 30;
+  double tol = 1e-8;  // relative ||A^T r|| stopping tolerance
+};
+
+struct CglsResult {
+  std::vector<float> x;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  std::vector<double> residual_history;
+};
+
+/// Solves min_x ||A x - b|| from a zero initial guess.
+[[nodiscard]] CglsResult cgls_solve(const mdc::LinearOperator& A,
+                                    std::span<const float> b,
+                                    const CglsConfig& cfg = {});
+
+}  // namespace tlrwse::mdd

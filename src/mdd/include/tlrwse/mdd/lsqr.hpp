@@ -1,0 +1,39 @@
+// LSQR (Paige & Saunders, 1982) for least-squares problems min ||A x - b||.
+//
+// The paper solves the MDD inverse problem "via 30 iterations of LSQR"
+// (Sec. 6.2). This implementation follows the original algorithm: Golub-
+// Kahan bidiagonalisation with plane rotations, optional damping, and
+// standard stopping rules on the residual estimates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/mdc/linear_operator.hpp"
+
+namespace tlrwse::mdd {
+
+struct LsqrConfig {
+  int max_iters = 30;     // the paper's iteration budget
+  double atol = 1e-8;     // relative A^T r tolerance
+  double btol = 1e-8;     // relative residual tolerance
+  double damp = 0.0;      // Tikhonov damping (lambda)
+  bool verbose = false;
+};
+
+struct LsqrResult {
+  std::vector<float> x;
+  int iterations = 0;
+  double residual_norm = 0.0;      // ||b - A x||
+  double normal_residual = 0.0;    // ||A^T (b - A x)||
+  std::vector<double> residual_history;
+  enum class Stop { kMaxIters, kResidualTol, kNormalTol } stop =
+      Stop::kMaxIters;
+};
+
+/// Solves min_x ||A x - b||_2^2 + damp^2 ||x||_2^2 from a zero initial guess.
+[[nodiscard]] LsqrResult lsqr_solve(const mdc::LinearOperator& A,
+                                    std::span<const float> b,
+                                    const LsqrConfig& cfg = {});
+
+}  // namespace tlrwse::mdd

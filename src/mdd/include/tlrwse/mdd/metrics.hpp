@@ -1,0 +1,23 @@
+// Quality metrics for MDD solutions (NMSE and friends).
+#pragma once
+
+#include <span>
+
+namespace tlrwse::mdd {
+
+/// Normalised mean squared error: ||est - ref||^2 / ||ref||^2.
+[[nodiscard]] double nmse(std::span<const float> est,
+                          std::span<const float> ref);
+
+/// Percentage change of NMSE of `est` relative to the NMSE of `baseline`
+/// (both against the same reference) — the metric of Fig. 12 (top, black).
+[[nodiscard]] double nmse_change_percent(double nmse_est, double nmse_baseline);
+
+/// Energy (sum of squares) of a signal window.
+[[nodiscard]] double energy(std::span<const float> x);
+
+/// Pearson correlation between two equally-sized signals.
+[[nodiscard]] double correlation(std::span<const float> a,
+                                 std::span<const float> b);
+
+}  // namespace tlrwse::mdd

@@ -1,0 +1,34 @@
+// Multi-virtual-source MDD: the production pattern of Sec. 6.4, where a
+// line (or grid) of virtual sources is deconvolved in an embarrassingly
+// parallel fashion ("177 x 4 = 708 NVIDIA V100 GPUs" in the paper; OpenMP
+// threads here). Each source shares the same MDC operator — exactly why
+// the batched TLR-MMM of Sec. 8 is the natural next step.
+#pragma once
+
+#include <vector>
+
+#include "tlrwse/mdd/mdd_solver.hpp"
+
+namespace tlrwse::mdd {
+
+struct MultiSourceResult {
+  std::vector<index_t> sources;          // virtual-source indices solved
+  std::vector<LsqrResult> solutions;     // one per source
+  std::vector<double> nmse_vs_truth;     // scored against the known truth
+  double mean_nmse = 0.0;
+  double worst_nmse = 0.0;
+};
+
+/// Solves MDD for every virtual source in `sources`, in parallel across
+/// OpenMP threads, and scores each against the dataset's exact local
+/// reflectivity.
+[[nodiscard]] MultiSourceResult solve_mdd_multi(
+    const seismic::SeismicDataset& data, const mdc::MdcOperator& op,
+    const std::vector<index_t>& sources, const LsqrConfig& lsqr);
+
+/// Convenience: a crossline of `count` consecutive virtual sources starting
+/// at `first` (clamped to the receiver range).
+[[nodiscard]] std::vector<index_t> virtual_source_line(
+    const seismic::SeismicDataset& data, index_t first, index_t count);
+
+}  // namespace tlrwse::mdd

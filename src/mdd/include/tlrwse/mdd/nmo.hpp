@@ -1,0 +1,38 @@
+// Normal-moveout (NMO) correction and stacking.
+//
+// The paper's Fig. 13 last panel applies "a standard post-processing flow
+// ... to stack all of those traces corresponding to a single source-to-
+// receiver midpoint; this is required because the zero-offset trace is
+// usually noisy". NMO maps each offset trace onto its zero-offset time via
+// t0 = sqrt(t^2 - (h/v)^2) (hyperbolic moveout at stacking velocity v) and
+// averages traces sharing a midpoint, boosting signal-to-noise by ~sqrt(n).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::mdd {
+
+struct NmoConfig {
+  double velocity = 2200.0;   // stacking velocity (m/s)
+  double dt = 0.004;          // temporal sampling (s)
+  double stretch_mute = 1.5;  // mute samples stretched by more than this
+};
+
+/// Applies NMO correction to one trace recorded at offset `offset_m`:
+/// output sample at zero-offset time t0 is interpolated from the input at
+/// t = sqrt(t0^2 + (offset/v)^2). Samples whose NMO stretch exceeds the
+/// mute factor are zeroed.
+[[nodiscard]] std::vector<float> nmo_correct(std::span<const float> trace,
+                                             double offset_m,
+                                             const NmoConfig& cfg);
+
+/// NMO-corrects and stacks a gather: traces[k] was recorded at offsets[k];
+/// all share a midpoint. Returns the mean of the corrected traces.
+[[nodiscard]] std::vector<float> nmo_stack(
+    const std::vector<std::vector<float>>& traces,
+    const std::vector<double>& offsets, const NmoConfig& cfg);
+
+}  // namespace tlrwse::mdd

@@ -1,0 +1,64 @@
+#include "tlrwse/mdd/cgls.hpp"
+
+#include <cmath>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::mdd {
+
+namespace {
+double norm2sq(std::span<const float> v) {
+  double s = 0.0;
+  for (float e : v) s += static_cast<double>(e) * static_cast<double>(e);
+  return s;
+}
+}  // namespace
+
+CglsResult cgls_solve(const mdc::LinearOperator& A, std::span<const float> b,
+                      const CglsConfig& cfg) {
+  TLRWSE_REQUIRE(static_cast<index_t>(b.size()) == A.rows(), "b size");
+  const auto m = static_cast<std::size_t>(A.rows());
+  const auto n = static_cast<std::size_t>(A.cols());
+
+  CglsResult out;
+  out.x.assign(n, 0.0f);
+  std::vector<float> r(b.begin(), b.end());  // r = b - A x (x = 0)
+  std::vector<float> s(n), p(n), q(m);
+  A.apply_adjoint(r, std::span<float>(s));
+  p = s;
+  double gamma = norm2sq(s);
+  const double gamma0 = gamma;
+  out.residual_history.push_back(std::sqrt(norm2sq(r)));
+  if (gamma0 == 0.0) return out;
+
+  int it = 0;
+  for (; it < cfg.max_iters; ++it) {
+    A.apply(p, std::span<float>(q));
+    const double qq = norm2sq(q);
+    if (qq == 0.0) break;
+    const double alpha = gamma / qq;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.x[i] += static_cast<float>(alpha) * p[i];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      r[i] -= static_cast<float>(alpha) * q[i];
+    }
+    A.apply_adjoint(r, std::span<float>(s));
+    const double gamma_new = norm2sq(s);
+    out.residual_history.push_back(std::sqrt(norm2sq(r)));
+    if (std::sqrt(gamma_new) <= cfg.tol * std::sqrt(gamma0)) {
+      ++it;
+      break;
+    }
+    const double beta = gamma_new / gamma;
+    gamma = gamma_new;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = s[i] + static_cast<float>(beta) * p[i];
+    }
+  }
+  out.iterations = it;
+  out.residual_norm = std::sqrt(norm2sq(r));
+  return out;
+}
+
+}  // namespace tlrwse::mdd

@@ -1,0 +1,136 @@
+#include "tlrwse/mdd/lsqr.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::mdd {
+
+namespace {
+
+double norm2(std::span<const float> v) {
+  double sum = 0.0;
+  for (float e : v) sum += static_cast<double>(e) * static_cast<double>(e);
+  return std::sqrt(sum);
+}
+
+void scale(std::span<float> v, double a) {
+  for (float& e : v) e = static_cast<float>(e * a);
+}
+
+}  // namespace
+
+LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
+                      const LsqrConfig& cfg) {
+  TLRWSE_REQUIRE(static_cast<index_t>(b.size()) == A.rows(), "b size");
+  const auto m = static_cast<std::size_t>(A.rows());
+  const auto n = static_cast<std::size_t>(A.cols());
+
+  LsqrResult out;
+  out.x.assign(n, 0.0f);
+
+  // Golub-Kahan initialisation: beta u = b; alpha v = A^T u.
+  std::vector<float> u(b.begin(), b.end());
+  double beta = norm2(u);
+  std::vector<float> v(n, 0.0f);
+  double alpha = 0.0;
+  if (beta > 0.0) {
+    scale(u, 1.0 / beta);
+    A.apply_adjoint(u, v);
+    alpha = norm2(v);
+    if (alpha > 0.0) scale(v, 1.0 / alpha);
+  }
+  std::vector<float> w(v.begin(), v.end());
+
+  double phibar = beta;
+  double rhobar = alpha;
+  const double bnorm = beta;
+  double anorm = 0.0;   // running estimate of ||A||_F
+  double rnorm = beta;
+  double arnorm = alpha * beta;
+
+  out.residual_history.push_back(rnorm);
+  if (arnorm == 0.0) {
+    out.stop = LsqrResult::Stop::kNormalTol;
+    return out;  // b is zero or already orthogonal to range(A)
+  }
+
+  std::vector<float> tmp_m(m), tmp_n(n);
+  const double damp = cfg.damp;
+
+  int it = 0;
+  for (; it < cfg.max_iters; ++it) {
+    // Bidiagonalisation step: beta u = A v - alpha u.
+    A.apply(v, tmp_m);
+    for (std::size_t i = 0; i < m; ++i) {
+      u[i] = tmp_m[i] - static_cast<float>(alpha) * u[i];
+    }
+    beta = norm2(u);
+    if (beta > 0.0) {
+      scale(u, 1.0 / beta);
+      // alpha v = A^T u - beta v.
+      A.apply_adjoint(u, tmp_n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = tmp_n[i] - static_cast<float>(beta) * v[i];
+      }
+      alpha = norm2(v);
+      if (alpha > 0.0) scale(v, 1.0 / alpha);
+    }
+    anorm = std::sqrt(anorm * anorm + alpha * alpha + beta * beta +
+                      damp * damp);
+
+    // Eliminate the damping parameter with a first rotation.
+    double rhobar1 = rhobar;
+    double phibar1 = phibar;
+    if (damp > 0.0) {
+      rhobar1 = std::sqrt(rhobar * rhobar + damp * damp);
+      const double c1 = rhobar / rhobar1;
+      phibar1 = c1 * phibar;
+    }
+
+    // Plane rotation to eliminate beta of the lower bidiagonal.
+    const double rho = std::sqrt(rhobar1 * rhobar1 + beta * beta);
+    const double c = rhobar1 / rho;
+    const double s = beta / rho;
+    const double theta = s * alpha;
+    rhobar = -c * alpha;
+    const double phi = c * phibar1;
+    phibar = s * phibar1;
+
+    // Update x and the search direction w.
+    const double t1 = phi / rho;
+    const double t2 = -theta / rho;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.x[i] += static_cast<float>(t1) * w[i];
+      w[i] = v[i] + static_cast<float>(t2) * w[i];
+    }
+
+    rnorm = phibar;
+    arnorm = alpha * std::abs(s * phi);
+    out.residual_history.push_back(rnorm);
+    if (cfg.verbose) {
+      std::printf("lsqr it %3d  |r| = %.4e  |A'r| = %.4e\n", it + 1, rnorm,
+                  arnorm);
+    }
+
+    // Stopping rules (Paige-Saunders tests 1 and 2).
+    if (rnorm <= cfg.btol * bnorm) {
+      out.stop = LsqrResult::Stop::kResidualTol;
+      ++it;
+      break;
+    }
+    if (arnorm <= cfg.atol * anorm * std::max(rnorm, 1e-300)) {
+      out.stop = LsqrResult::Stop::kNormalTol;
+      ++it;
+      break;
+    }
+  }
+
+  out.iterations = it;
+  out.residual_norm = rnorm;
+  out.normal_residual = arnorm;
+  return out;
+}
+
+}  // namespace tlrwse::mdd

@@ -1,0 +1,52 @@
+#include "tlrwse/mdd/metrics.hpp"
+
+#include <cmath>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::mdd {
+
+double nmse(std::span<const float> est, std::span<const float> ref) {
+  TLRWSE_REQUIRE(est.size() == ref.size(), "nmse: size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    const double d = static_cast<double>(est[i]) - static_cast<double>(ref[i]);
+    num += d * d;
+    den += static_cast<double>(ref[i]) * static_cast<double>(ref[i]);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double nmse_change_percent(double nmse_est, double nmse_baseline) {
+  if (nmse_baseline <= 0.0) return 0.0;
+  return 100.0 * (nmse_est - nmse_baseline) / nmse_baseline;
+}
+
+double energy(std::span<const float> x) {
+  double sum = 0.0;
+  for (float v : x) sum += static_cast<double>(v) * static_cast<double>(v);
+  return sum;
+}
+
+double correlation(std::span<const float> a, std::span<const float> b) {
+  TLRWSE_REQUIRE(a.size() == b.size() && !a.empty(), "correlation: sizes");
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(a.size());
+  mb /= static_cast<double>(b.size());
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  const double den = std::sqrt(da * db);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace tlrwse::mdd

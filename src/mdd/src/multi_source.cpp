@@ -1,0 +1,51 @@
+#include "tlrwse/mdd/multi_source.hpp"
+
+#include <algorithm>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/mdd/metrics.hpp"
+
+namespace tlrwse::mdd {
+
+MultiSourceResult solve_mdd_multi(const seismic::SeismicDataset& data,
+                                  const mdc::MdcOperator& op,
+                                  const std::vector<index_t>& sources,
+                                  const LsqrConfig& lsqr) {
+  TLRWSE_REQUIRE(!sources.empty(), "no virtual sources given");
+  MultiSourceResult out;
+  out.sources = sources;
+  out.solutions.resize(sources.size());
+  out.nmse_vs_truth.resize(sources.size());
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    const index_t v = sources[k];
+    const auto rhs = virtual_source_rhs(data, v);
+    const auto truth = true_reflectivity_traces(data, v);
+    out.solutions[k] = lsqr_solve(op, rhs, lsqr);
+    out.nmse_vs_truth[k] = nmse(out.solutions[k].x, truth);
+  }
+
+  double sum = 0.0;
+  out.worst_nmse = 0.0;
+  for (double n : out.nmse_vs_truth) {
+    sum += n;
+    out.worst_nmse = std::max(out.worst_nmse, n);
+  }
+  out.mean_nmse = sum / static_cast<double>(sources.size());
+  return out;
+}
+
+std::vector<index_t> virtual_source_line(const seismic::SeismicDataset& data,
+                                         index_t first, index_t count) {
+  TLRWSE_REQUIRE(count >= 1, "count must be positive");
+  std::vector<index_t> line;
+  for (index_t k = 0; k < count; ++k) {
+    const index_t v = first + k;
+    if (v >= 0 && v < data.num_receivers()) line.push_back(v);
+  }
+  TLRWSE_REQUIRE(!line.empty(), "line outside the receiver range");
+  return line;
+}
+
+}  // namespace tlrwse::mdd

@@ -1,0 +1,59 @@
+#include "tlrwse/mdd/nmo.hpp"
+
+#include <cmath>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::mdd {
+
+std::vector<float> nmo_correct(std::span<const float> trace, double offset_m,
+                               const NmoConfig& cfg) {
+  TLRWSE_REQUIRE(cfg.velocity > 0.0 && cfg.dt > 0.0, "bad NMO config");
+  const auto nt = static_cast<index_t>(trace.size());
+  std::vector<float> out(trace.size(), 0.0f);
+  const double shift2 = (offset_m / cfg.velocity) * (offset_m / cfg.velocity);
+
+  for (index_t k = 0; k < nt; ++k) {
+    const double t0 = static_cast<double>(k) * cfg.dt;
+    const double t = std::sqrt(t0 * t0 + shift2);
+    // NMO stretch factor dt/dt0 = t0 / t (inverse); mute strongly
+    // stretched shallow samples.
+    if (t0 > 0.0 && t / t0 > cfg.stretch_mute) continue;
+    if (t0 == 0.0 && shift2 > 0.0) continue;
+    const double s = t / cfg.dt;
+    const auto i0 = static_cast<index_t>(s);
+    if (i0 + 1 >= nt) continue;
+    const auto frac = static_cast<float>(s - static_cast<double>(i0));
+    out[static_cast<std::size_t>(k)] =
+        (1.0f - frac) * trace[static_cast<std::size_t>(i0)] +
+        frac * trace[static_cast<std::size_t>(i0 + 1)];
+  }
+  return out;
+}
+
+std::vector<float> nmo_stack(const std::vector<std::vector<float>>& traces,
+                             const std::vector<double>& offsets,
+                             const NmoConfig& cfg) {
+  TLRWSE_REQUIRE(!traces.empty(), "empty gather");
+  TLRWSE_REQUIRE(traces.size() == offsets.size(), "offsets/traces mismatch");
+  const std::size_t nt = traces.front().size();
+  std::vector<float> stack(nt, 0.0f);
+  std::vector<int> fold(nt, 0);
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    TLRWSE_REQUIRE(traces[k].size() == nt, "ragged gather");
+    const auto corrected =
+        nmo_correct(std::span<const float>(traces[k]), offsets[k], cfg);
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (corrected[t] != 0.0f) {
+        stack[t] += corrected[t];
+        ++fold[t];
+      }
+    }
+  }
+  for (std::size_t t = 0; t < nt; ++t) {
+    if (fold[t] > 0) stack[t] /= static_cast<float>(fold[t]);
+  }
+  return stack;
+}
+
+}  // namespace tlrwse::mdd

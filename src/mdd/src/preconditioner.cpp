@@ -1,0 +1,83 @@
+#include "tlrwse/mdd/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/mdc/combinators.hpp"
+
+namespace tlrwse::mdd {
+
+std::vector<float> causality_gate(const seismic::SeismicDataset& data,
+                                  index_t v, const GateConfig& cfg) {
+  TLRWSE_REQUIRE(v >= 0 && v < data.num_receivers(), "virtual source index");
+  const index_t nt = data.config.nt;
+  const index_t nr = data.num_receivers();
+  const auto& model = data.config.model;
+  TLRWSE_REQUIRE(!model.interfaces.empty(), "no reflectors in the model");
+
+  // Shallowest possible reflection point below the datum across the
+  // survey: conservative global minimum of the interface depth field.
+  double z_min = 1e30;
+  for (const auto& layer : model.interfaces) {
+    // Sample the corners and centre of the receiver patch.
+    const auto& g = data.config.geometry.receivers;
+    const double x1 = g.x0 + static_cast<double>(g.nx - 1) * g.dx;
+    const double y1 = g.y0 + static_cast<double>(g.ny - 1) * g.dy;
+    for (const auto& [px, py] :
+         {std::pair{g.x0, g.y0}, std::pair{x1, g.y0}, std::pair{g.x0, y1},
+          std::pair{x1, y1}, std::pair{(g.x0 + x1) / 2, (g.y0 + y1) / 2}}) {
+      z_min = std::min(z_min, layer.depth_at(px, py) - model.water_depth);
+    }
+  }
+  z_min = std::max(z_min, 0.0);
+
+  const auto& xv = data.receiver_pos[static_cast<std::size_t>(v)];
+  std::vector<float> gate(static_cast<std::size_t>(nt * nr), 0.0f);
+  for (index_t r = 0; r < nr; ++r) {
+    const auto& xr = data.receiver_pos[static_cast<std::size_t>(r)];
+    const double h = seismic::horizontal_distance(xv, xr);
+    const double t_first =
+        2.0 * std::sqrt(0.25 * h * h + z_min * z_min) /
+        model.sediment_velocity;
+    const double t_open = std::max(t_first - cfg.margin_sec, 0.0);
+    for (index_t t = 0; t < nt; ++t) {
+      const double time = static_cast<double>(t) * data.config.dt;
+      float w = 0.0f;
+      if (time >= t_open + cfg.taper_sec) {
+        w = 1.0f;
+      } else if (time > t_open && cfg.taper_sec > 0.0) {
+        const double s = (time - t_open) / cfg.taper_sec;
+        w = static_cast<float>(
+            0.5 * (1.0 - std::cos(std::numbers::pi_v<double> * s)));
+      }
+      gate[static_cast<std::size_t>(r * nt + t)] = w;
+    }
+  }
+  return gate;
+}
+
+GatedResult solve_mdd_gated(const mdc::MdcOperator& op,
+                            std::span<const float> rhs,
+                            std::span<const float> gate,
+                            const LsqrConfig& cfg) {
+  TLRWSE_REQUIRE(static_cast<index_t>(gate.size()) == op.cols(),
+                 "gate size must match the model space");
+  // Non-owning view of `op` inside the combinator chain.
+  const std::shared_ptr<const mdc::LinearOperator> op_view(
+      &op, [](const mdc::LinearOperator*) {});
+  auto mask = std::make_shared<mdc::DiagonalOperator>(
+      std::vector<float>(gate.begin(), gate.end()));
+  const auto gated = mdc::chain(op_view, mask);
+
+  GatedResult out;
+  out.inner = lsqr_solve(*gated, rhs, cfg);
+  out.x.resize(out.inner.x.size());
+  for (std::size_t i = 0; i < out.x.size(); ++i) {
+    out.x[i] = gate[i] * out.inner.x[i];
+  }
+  return out;
+}
+
+}  // namespace tlrwse::mdd

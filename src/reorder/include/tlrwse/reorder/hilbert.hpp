@@ -1,0 +1,33 @@
+// Hilbert and Morton space-filling curve indexing.
+//
+// The paper (Sec. 4, refs [23][24]) applies a distance-aware re-arrangement
+// of the rows (sources) and columns (receivers) of each frequency matrix.
+// Sorting acquisition coordinates along a Hilbert curve gathers spatially
+// close sources/receivers into the same tile, dramatically lowering tile
+// ranks; Hilbert beats Morton because consecutive Hilbert indices are always
+// spatial neighbours (no quadrant jumps).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::reorder {
+
+/// Maps grid coordinates (x, y) in [0, 2^order) to the Hilbert curve index
+/// d in [0, 4^order).
+[[nodiscard]] std::uint64_t hilbert_xy_to_d(std::uint32_t order, std::uint64_t x,
+                                            std::uint64_t y);
+
+/// Inverse of hilbert_xy_to_d.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> hilbert_d_to_xy(
+    std::uint32_t order, std::uint64_t d);
+
+/// Morton (Z-order) index by bit interleaving of x and y (each < 2^32).
+[[nodiscard]] std::uint64_t morton_xy_to_d(std::uint64_t x, std::uint64_t y);
+
+/// Smallest curve order whose 2^order grid covers both extents.
+[[nodiscard]] std::uint32_t required_order(std::uint64_t nx, std::uint64_t ny);
+
+}  // namespace tlrwse::reorder

@@ -1,0 +1,66 @@
+#include "tlrwse/reorder/hilbert.hpp"
+
+namespace tlrwse::reorder {
+
+namespace {
+// One Hilbert rotation/reflection step (classic Wikipedia formulation).
+void rot(std::uint64_t n, std::uint64_t& x, std::uint64_t& y, std::uint64_t rx,
+         std::uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+}  // namespace
+
+std::uint64_t hilbert_xy_to_d(std::uint32_t order, std::uint64_t x,
+                              std::uint64_t y) {
+  std::uint64_t d = 0;
+  for (std::uint64_t s = (order == 0) ? 0 : (1ULL << (order - 1)); s > 0;
+       s >>= 1) {
+    const std::uint64_t rx = (x & s) ? 1 : 0;
+    const std::uint64_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    rot(1ULL << order, x, y, rx, ry);
+  }
+  return d;
+}
+
+std::pair<std::uint64_t, std::uint64_t> hilbert_d_to_xy(std::uint32_t order,
+                                                        std::uint64_t d) {
+  std::uint64_t x = 0, y = 0;
+  std::uint64_t t = d;
+  for (std::uint64_t s = 1; s < (1ULL << order); s <<= 1) {
+    const std::uint64_t rx = 1 & (t / 2);
+    const std::uint64_t ry = 1 & (t ^ rx);
+    rot(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+std::uint64_t morton_xy_to_d(std::uint64_t x, std::uint64_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xFFFFFFFFULL;
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::uint32_t required_order(std::uint64_t nx, std::uint64_t ny) {
+  std::uint32_t order = 0;
+  while ((1ULL << order) < nx || (1ULL << order) < ny) ++order;
+  return order;
+}
+
+}  // namespace tlrwse::reorder

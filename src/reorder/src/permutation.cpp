@@ -1,0 +1,49 @@
+#include "tlrwse/reorder/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/reorder/hilbert.hpp"
+
+namespace tlrwse::reorder {
+
+std::vector<index_t> ordering_permutation(const std::vector<GridPoint>& points,
+                                          Ordering ordering) {
+  std::vector<index_t> perm(points.size());
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  if (ordering == Ordering::kNatural || points.empty()) return perm;
+
+  index_t max_x = 0, max_y = 0;
+  for (const auto& p : points) {
+    TLRWSE_REQUIRE(p.ix >= 0 && p.iy >= 0, "grid coordinates must be >= 0");
+    max_x = std::max(max_x, p.ix);
+    max_y = std::max(max_y, p.iy);
+  }
+  const std::uint32_t order = required_order(
+      static_cast<std::uint64_t>(max_x) + 1, static_cast<std::uint64_t>(max_y) + 1);
+
+  std::vector<std::uint64_t> key(points.size());
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const auto x = static_cast<std::uint64_t>(points[k].ix);
+    const auto y = static_cast<std::uint64_t>(points[k].iy);
+    key[k] = (ordering == Ordering::kHilbert) ? hilbert_xy_to_d(order, x, y)
+                                              : morton_xy_to_d(x, y);
+  }
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    return key[static_cast<std::size_t>(a)] < key[static_cast<std::size_t>(b)];
+  });
+  return perm;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    const auto p = static_cast<std::size_t>(perm[k]);
+    TLRWSE_REQUIRE(p < perm.size(), "permutation entry out of range");
+    inv[p] = static_cast<index_t>(k);
+  }
+  return inv;
+}
+
+}  // namespace tlrwse::reorder

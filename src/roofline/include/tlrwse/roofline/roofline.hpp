@@ -1,0 +1,62 @@
+// Roofline performance models for Figs. 15 and 16.
+//
+// Machine peaks follow the configurations the paper compares against:
+// Fig. 15 pits six CS-2 systems against the MINIMUM number of devices of
+// each vendor able to host the compressed dataset in memory; Fig. 16 pits
+// 48 CS-2s (Condor Galaxy) against the June '23 Top500 top five. Peak
+// numbers are vendor datasheet values (HBM/SRAM bandwidth, FP32 vector
+// peak) aggregated over the device counts named in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::roofline {
+
+struct MachineSpec {
+  std::string name;
+  index_t units = 1;              // device/node count
+  double peak_bw_per_unit = 0.0;  // bytes/s
+  double peak_flops_per_unit = 0.0;  // FP32 flop/s
+
+  [[nodiscard]] double peak_bw() const {
+    return peak_bw_per_unit * static_cast<double>(units);
+  }
+  [[nodiscard]] double peak_flops() const {
+    return peak_flops_per_unit * static_cast<double>(units);
+  }
+  /// Attainable flop rate at arithmetic intensity `ai` (flop/byte).
+  [[nodiscard]] double attainable_flops(double ai) const {
+    const double mem_bound = ai * peak_bw();
+    return mem_bound < peak_flops() ? mem_bound : peak_flops();
+  }
+};
+
+/// A measured/estimated kernel point on the roofline plot.
+struct RooflinePoint {
+  std::string label;
+  double arithmetic_intensity = 0.0;  // flop/byte
+  double bandwidth = 0.0;             // bytes/s
+  [[nodiscard]] double flops_rate() const {
+    return arithmetic_intensity * bandwidth;
+  }
+};
+
+/// Fig. 15 contenders: the minimum vendor configurations able to host the
+/// compressed dataset (six CS-2, one MI250X, two A100, four A64FX, three
+/// SX-Aurora, one EPYC Rome, one Ice Lake).
+[[nodiscard]] std::vector<MachineSpec> fig15_machines();
+
+/// Fig. 16 contenders: Condor Galaxy (48 CS-2) and the top-5 systems
+/// (Fugaku, Frontier, LUMI, Leonardo, Summit) at full scale.
+[[nodiscard]] std::vector<MachineSpec> fig16_machines();
+
+/// Arithmetic intensity of TLR-MVM under the two access accountings:
+/// flops / bytes = 2*MN / 4(MN+M+N) ~ 0.5 (cache/relative) and
+/// 2*MN / 4(3MN+N) ~ 1/6 (flat-SRAM/absolute).
+[[nodiscard]] double tlr_mvm_intensity_relative(double mn, double m, double n);
+[[nodiscard]] double tlr_mvm_intensity_absolute(double mn, double n);
+
+}  // namespace tlrwse::roofline

@@ -1,0 +1,46 @@
+#include "tlrwse/roofline/roofline.hpp"
+
+namespace tlrwse::roofline {
+
+namespace {
+constexpr double kTB = 1e12;
+constexpr double kPB = 1e15;
+constexpr double kTF = 1e12;
+constexpr double kPF = 1e15;
+}  // namespace
+
+std::vector<MachineSpec> fig15_machines() {
+  return {
+      // 20 PB/s SRAM and 1.7 PFlop/s FP32 per CS-2 (the paper's Fig. 15
+      // shows 120 PB/s and 10.2 PFlop/s for the six-system roof).
+      {"Six Cerebras CS-2", 6, 20.0 * kPB, 1.7 * kPF},
+      {"One AMD MI250X", 1, 3.2 * kTB, 47.9 * kTF},
+      {"Two NVIDIA A100", 2, 2.0 * kTB, 19.5 * kTF},
+      {"Four Fujitsu A64FX", 4, 1.024 * kTB, 6.76 * kTF},
+      {"Three NEC SX-Aurora TSUBASA", 3, 1.53 * kTB, 4.91 * kTF},
+      {"One AMD EPYC Rome", 1, 0.2048 * kTB, 4.6 * kTF},
+      {"One Intel Ice Lake", 1, 0.2048 * kTB, 5.3 * kTF},
+  };
+}
+
+std::vector<MachineSpec> fig16_machines() {
+  return {
+      // 48 CS-2 = 960 PB/s roof, 81.6 PFlop/s (Fig. 16 annotations).
+      {"Condor Galaxy (48 Cerebras CS-2)", 48, 20.0 * kPB, 1.7 * kPF},
+      {"Fugaku (158976 Fujitsu A64FX)", 158976, 1.024 * kTB, 6.76 * kTF},
+      {"Frontier (37888 AMD MI250X)", 37888, 3.2 * kTB, 47.9 * kTF},
+      {"LUMI (10240 AMD MI250X)", 10240, 3.2 * kTB, 47.9 * kTF},
+      {"Leonardo (13824 NVIDIA A100)", 13824, 2.0 * kTB, 19.5 * kTF},
+      {"Summit (27648 NVIDIA V100)", 27648, 0.9 * kTB, 15.7 * kTF},
+  };
+}
+
+double tlr_mvm_intensity_relative(double mn, double m, double n) {
+  return 2.0 * mn / (4.0 * (mn + m + n));
+}
+
+double tlr_mvm_intensity_absolute(double mn, double n) {
+  return 2.0 * mn / (4.0 * (3.0 * mn + n));
+}
+
+}  // namespace tlrwse::roofline

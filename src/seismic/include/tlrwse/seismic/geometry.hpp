@@ -1,0 +1,61 @@
+// Ocean-bottom acquisition geometry.
+//
+// Mirrors the paper's setup (Sec. 6.1): a regular grid of sources just
+// below the free surface (depth 10 m) and a regular grid of receivers on
+// the seafloor (depth = water column, 300 m), with uniform inline/crossline
+// spacing. The paper uses 217 x 120 sources and 177 x 90 receivers at 20 m
+// spacing; the scaled-down functional experiments shrink the grids but keep
+// the same structure.
+#pragma once
+
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+#include "tlrwse/reorder/permutation.hpp"
+
+namespace tlrwse::seismic {
+
+struct Position {
+  double x = 0.0;  // inline (m)
+  double y = 0.0;  // crossline (m)
+  double z = 0.0;  // depth (m), positive down
+};
+
+/// A regular (nx x ny) station grid at fixed depth.
+struct StationGrid {
+  index_t nx = 0;
+  index_t ny = 0;
+  double dx = 20.0;
+  double dy = 20.0;
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double depth = 0.0;
+
+  [[nodiscard]] index_t count() const noexcept { return nx * ny; }
+  /// Station k (row-major over the grid: k = iy * nx + ix).
+  [[nodiscard]] Position position(index_t k) const;
+  /// Integer grid coordinates for space-filling-curve ordering.
+  [[nodiscard]] std::vector<reorder::GridPoint> grid_points() const;
+};
+
+struct AcquisitionGeometry {
+  StationGrid sources;    // near-surface airgun grid
+  StationGrid receivers;  // ocean-bottom node grid
+
+  /// The paper's geometry: 217 x 120 sources at 10 m depth, 177 x 90
+  /// receivers at 300 m depth, both on 20 m spacing.
+  [[nodiscard]] static AcquisitionGeometry paper_scale();
+
+  /// Scaled-down geometry with the same structure for functional runs.
+  [[nodiscard]] static AcquisitionGeometry small_scale(index_t nsx = 32,
+                                                       index_t nsy = 24,
+                                                       index_t nrx = 24,
+                                                       index_t nry = 18);
+};
+
+/// Straight-line distance between two positions.
+[[nodiscard]] double distance(const Position& a, const Position& b);
+/// Horizontal (map-view) distance.
+[[nodiscard]] double horizontal_distance(const Position& a, const Position& b);
+
+}  // namespace tlrwse::seismic

@@ -1,0 +1,53 @@
+// Subsurface model: water column + layered/overthrust-style interfaces.
+//
+// The paper uses the SEG/EAGE Overthrust model with a 300 m water column
+// (Sec. 6.1). We cannot ship that dataset, so the substitute is a layered
+// medium with laterally perturbed ("thrusted") interfaces below the seafloor
+// datum: each interface contributes a reflection coefficient and a depth
+// map z_L(x, y); travel times use straight rays through the RMS velocity.
+// This preserves what the experiments need: a known ground-truth local
+// reflectivity below the datum, a reverberating water layer above it that
+// creates free-surface multiples, and oscillatory frequency matrices whose
+// tiles are compressible after a Hilbert sort.
+#pragma once
+
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+#include "tlrwse/seismic/geometry.hpp"
+
+namespace tlrwse::seismic {
+
+/// One reflecting interface below the receiver datum.
+struct Interface {
+  double depth = 800.0;      // mean depth below the free surface (m)
+  double reflectivity = 0.1; // plane-wave reflection coefficient
+  double dip_x = 0.0;        // lateral slope along x (m of depth per m)
+  double dip_y = 0.0;        // lateral slope along y
+  double thrust_amp = 0.0;   // overthrust-style sinusoidal perturbation (m)
+  double thrust_wavelength_x = 1500.0;  // perturbation wavelength (m)
+
+  /// Local interface depth at map position (x, y).
+  [[nodiscard]] double depth_at(double x, double y) const;
+};
+
+struct SubsurfaceModel {
+  double water_velocity = 1500.0;   // m/s
+  double water_depth = 300.0;       // seafloor depth (m)
+  double seafloor_reflectivity = 0.35;
+  double sediment_velocity = 2200.0;  // effective velocity below the datum
+  std::vector<Interface> interfaces;  // reflectors below the datum
+
+  /// Overthrust-flavoured default: three dipping/thrusted interfaces,
+  /// reflectivities and depths loosely following the SEG/EAGE model's
+  /// strong contrasts.
+  [[nodiscard]] static SubsurfaceModel overthrust_like();
+
+  /// Time-lapse variant for the paper's CO2-storage motivation (Secs. 1/3:
+  /// "a CO2 storage site to be monitored over time"): the injected plume
+  /// softens the target reflector's impedance contrast. `saturation` in
+  /// [0, 1] scales the reflectivity change of the deepest interface.
+  [[nodiscard]] static SubsurfaceModel co2_monitor(double saturation);
+};
+
+}  // namespace tlrwse::seismic

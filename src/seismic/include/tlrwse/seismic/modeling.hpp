@@ -1,0 +1,99 @@
+// Frequency-domain synthesis of the MDD input wavefields.
+//
+// The substitution for the paper's 1.8 TB finite-difference Overthrust
+// dataset (see DESIGN.md): we synthesise, per retained frequency f,
+//   * P+(f)  (nS x nR): downgoing wavefield at the receiver datum — direct
+//     arrival, free-surface ghost, and water-layer reverberations via image
+//     sources, all scaled by the source wavelet spectrum;
+//   * R(f)   (nR x nR): ground-truth local reflectivity of the medium below
+//     the datum (sum over interfaces of oscillatory kernels with geometric
+//     spreading) — by construction free of any overburden/free-surface
+//     effects, exactly the quantity MDD is supposed to recover;
+//   * P-(f) = P+(f) * R(f) * dA : upgoing wavefield, generated through the
+//     exact MDC representation theorem, so that the MDD inverse problem has
+//     a known exact solution and free-surface multiples enter P- through
+//     the reverberations contained in P+.
+//
+// Matrix convention follows the paper's kernel K: rows are sources
+// (26040 = 217x120 at paper scale), columns are receivers (15930 = 177x90).
+#pragma once
+
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+#include "tlrwse/la/matrix.hpp"
+#include "tlrwse/reorder/permutation.hpp"
+#include "tlrwse/seismic/geometry.hpp"
+#include "tlrwse/seismic/model.hpp"
+#include "tlrwse/seismic/wavelet.hpp"
+
+namespace tlrwse::seismic {
+
+struct DatasetConfig {
+  AcquisitionGeometry geometry = AcquisitionGeometry::small_scale();
+  SubsurfaceModel model = SubsurfaceModel::overthrust_like();
+  WaveletConfig wavelet;
+  index_t nt = 256;        // time samples
+  double dt = 0.004;       // temporal sampling (paper: 4 ms)
+  double f_min = 3.0;      // retained band (Hz)
+  double f_max = 45.0;
+  int water_multiples = 3; // image-source reverberation orders in P+
+  reorder::Ordering ordering = reorder::Ordering::kHilbert;
+};
+
+/// The synthesised multi-frequency dataset. All matrices share the station
+/// ordering selected in the config (source/receiver lists are permuted
+/// before synthesis, so "Hilbert ordering" is baked into the matrices the
+/// way the paper's pre-processing does it).
+struct SeismicDataset {
+  DatasetConfig config;
+  std::vector<Position> source_pos;    // permuted station lists
+  std::vector<Position> receiver_pos;
+  std::vector<index_t> source_perm;    // permuted index -> original grid index
+  std::vector<index_t> receiver_perm;
+  std::vector<index_t> freq_bins;      // rfft bin index per retained frequency
+  std::vector<double> freqs_hz;
+  std::vector<la::MatrixCF> p_down;        // per frequency, nS x nR
+  std::vector<la::MatrixCF> p_up;          // per frequency, nS x nR
+  std::vector<la::MatrixCF> reflectivity;  // per frequency, nR x nR (truth)
+
+  [[nodiscard]] index_t num_sources() const {
+    return static_cast<index_t>(source_pos.size());
+  }
+  [[nodiscard]] index_t num_receivers() const {
+    return static_cast<index_t>(receiver_pos.size());
+  }
+  [[nodiscard]] index_t num_freqs() const {
+    return static_cast<index_t>(freqs_hz.size());
+  }
+  /// Receiver-area element dA used in the MDC integral discretisation.
+  [[nodiscard]] double surface_element() const {
+    return config.geometry.receivers.dx * config.geometry.receivers.dy;
+  }
+};
+
+/// Downgoing wavefield matrix at one frequency (before wavelet scaling).
+[[nodiscard]] la::MatrixCF downgoing_matrix(
+    const std::vector<Position>& sources,
+    const std::vector<Position>& receivers, const SubsurfaceModel& model,
+    double f_hz, int water_multiples);
+
+/// Ground-truth local reflectivity matrix at one frequency.
+[[nodiscard]] la::MatrixCF reflectivity_matrix(
+    const std::vector<Position>& virtual_sources,
+    const std::vector<Position>& receivers, const SubsurfaceModel& model,
+    double f_hz);
+
+/// Full synthesis: permutes stations per the config ordering, then builds
+/// P+, R, and P- = P+ R dA for every retained frequency. The dominant cost
+/// is the per-frequency GEMM for P-; OpenMP-parallel over frequencies.
+[[nodiscard]] SeismicDataset build_dataset(const DatasetConfig& cfg);
+
+/// Converts a per-frequency spectrum sampled on the dataset's retained band
+/// (values[f][trace]) into time-domain traces (column-major nt x ntraces),
+/// zero-filling outside the band.
+[[nodiscard]] std::vector<float> band_to_time(
+    const SeismicDataset& data, const std::vector<std::vector<cf32>>& values,
+    index_t ntraces);
+
+}  // namespace tlrwse::seismic

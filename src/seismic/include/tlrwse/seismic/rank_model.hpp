@@ -1,0 +1,72 @@
+// Analytic tile-rank model at the paper's full dataset scale.
+//
+// The CS-2 experiments (Tables 1-5, Fig. 14) depend on the dataset only
+// through the per-tile ranks of the compressed frequency matrices — not on
+// the matrix entries. Materialising the paper's 26040 x 15930 x 230 dataset
+// (763 GB dense) is impossible here, so this model synthesises per-tile rank
+// fields with the statistics the paper reports for the Hilbert-ordered
+// Overthrust dataset (Fig. 12 bottom):
+//   * compressed size grows ~linearly with frequency (about 7x from the
+//     lowest to the highest retained frequency at acc = 1e-4);
+//   * total compressed sizes match the paper's figures per (nb, acc), e.g.
+//     112 GB for nb = 70, acc = 1e-4 vs. 763 GB dense (~7x compression);
+//   * ranks peak near the tile diagonal (Hilbert sort gathers the main
+//     contributions there) and decay away from it, with mild jitter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+#include "tlrwse/tlr/tile_grid.hpp"
+
+namespace tlrwse::seismic {
+
+struct RankModelConfig {
+  index_t num_sources = 26040;    // matrix rows (217 x 120)
+  index_t num_receivers = 15930;  // matrix cols (177 x 90)
+  index_t num_freqs = 230;
+  double f_max_hz = 50.0;
+  index_t nb = 70;
+  double acc = 1e-4;
+  double low_to_high_ratio = 7.0;  // size(f_max) / size(f_min), Fig. 12
+  double diag_boost = 2.5;         // rank peak factor on the tile diagonal
+  double diag_sigma = 0.18;        // width of the diagonal band (fraction)
+  std::uint64_t seed = 1234;
+};
+
+/// Paper-reported total compressed size in GB for the 12 calibrated
+/// (nb, acc) combinations of Fig. 12 (throws for other combinations).
+[[nodiscard]] double calibrated_total_gb(index_t nb, double acc);
+
+class RankModel {
+ public:
+  explicit RankModel(const RankModelConfig& cfg);
+
+  [[nodiscard]] const RankModelConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] double frequency_hz(index_t q) const;
+
+  /// Modelled compressed size (bytes of cf32 U+V bases) of matrix q.
+  [[nodiscard]] double size_per_matrix_bytes(index_t q) const;
+
+  /// Per-tile ranks of frequency matrix q, column-of-tiles-major
+  /// (the layout TileGrid::tile_index produces).
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t q) const;
+
+  /// Actual byte total of tile_ranks(q) storage: sum (rows+cols)*k*8.
+  [[nodiscard]] double actual_bytes(const std::vector<index_t>& ranks) const;
+
+  /// Sum of actual_bytes over all frequencies (evaluates every matrix).
+  [[nodiscard]] double total_bytes() const;
+
+  /// Dense dataset size: rows * cols * sizeof(cf32) * num_freqs.
+  [[nodiscard]] double dense_total_bytes() const;
+
+ private:
+  RankModelConfig cfg_;
+  tlr::TileGrid grid_;
+  double weight_sum_ = 0.0;  // sum over tiles of (rows+cols) * w_ij
+};
+
+}  // namespace tlrwse::seismic

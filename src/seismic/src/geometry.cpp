@@ -1,0 +1,64 @@
+#include "tlrwse/seismic/geometry.hpp"
+
+#include <cmath>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::seismic {
+
+Position StationGrid::position(index_t k) const {
+  TLRWSE_REQUIRE(k >= 0 && k < count(), "station index out of range");
+  const index_t iy = k / nx;
+  const index_t ix = k % nx;
+  return {x0 + static_cast<double>(ix) * dx, y0 + static_cast<double>(iy) * dy,
+          depth};
+}
+
+std::vector<reorder::GridPoint> StationGrid::grid_points() const {
+  std::vector<reorder::GridPoint> pts(static_cast<std::size_t>(count()));
+  for (index_t k = 0; k < count(); ++k) {
+    pts[static_cast<std::size_t>(k)] = {k % nx, k / nx};
+  }
+  return pts;
+}
+
+AcquisitionGeometry AcquisitionGeometry::paper_scale() {
+  AcquisitionGeometry g;
+  g.sources = {217, 120, 20.0, 20.0, 0.0, 0.0, 10.0};
+  g.receivers = {177, 90, 20.0, 20.0, 400.0, 300.0, 300.0};
+  return g;
+}
+
+AcquisitionGeometry AcquisitionGeometry::small_scale(index_t nsx, index_t nsy,
+                                                     index_t nrx, index_t nry) {
+  AcquisitionGeometry g;
+  g.sources = {nsx, nsy, 20.0, 20.0, 0.0, 0.0, 10.0};
+  // Receiver patch centred under the source patch, on the seafloor.
+  const double sx_extent = static_cast<double>(nsx - 1) * 20.0;
+  const double sy_extent = static_cast<double>(nsy - 1) * 20.0;
+  const double rx_extent = static_cast<double>(nrx - 1) * 20.0;
+  const double ry_extent = static_cast<double>(nry - 1) * 20.0;
+  g.receivers = {nrx,
+                 nry,
+                 20.0,
+                 20.0,
+                 (sx_extent - rx_extent) / 2.0,
+                 (sy_extent - ry_extent) / 2.0,
+                 300.0};
+  return g;
+}
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double horizontal_distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace tlrwse::seismic

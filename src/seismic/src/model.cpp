@@ -1,0 +1,46 @@
+#include "tlrwse/seismic/model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tlrwse::seismic {
+
+double Interface::depth_at(double x, double y) const {
+  double z = depth + dip_x * x + dip_y * y;
+  if (thrust_amp != 0.0) {
+    z += thrust_amp *
+         std::sin(2.0 * std::numbers::pi_v<double> * x / thrust_wavelength_x) *
+         std::cos(2.0 * std::numbers::pi_v<double> * y /
+                  (1.7 * thrust_wavelength_x));
+  }
+  return z;
+}
+
+SubsurfaceModel SubsurfaceModel::co2_monitor(double saturation) {
+  SubsurfaceModel m = overthrust_like();
+  // CO2 replacing brine lowers the P-impedance of the storage sand: the
+  // top-reservoir reflection weakens (and would eventually flip polarity
+  // at full saturation in a real rock-physics model; we stay linear).
+  auto& target = m.interfaces.back();
+  target.reflectivity *= (1.0 - 0.6 * saturation);
+  return m;
+}
+
+SubsurfaceModel SubsurfaceModel::overthrust_like() {
+  SubsurfaceModel m;
+  m.water_velocity = 1500.0;
+  m.water_depth = 300.0;
+  m.seafloor_reflectivity = 0.35;
+  m.sediment_velocity = 2200.0;
+  m.interfaces = {
+      // Shallow thrusted horizon: strong and rough.
+      {700.0, 0.18, 0.03, 0.00, 60.0, 1400.0},
+      // Mid horizon with opposite dip.
+      {1100.0, 0.12, -0.02, 0.015, 40.0, 1900.0},
+      // Deep flat-ish strong reflector (the "target").
+      {1600.0, 0.20, 0.005, -0.005, 25.0, 2600.0},
+  };
+  return m;
+}
+
+}  // namespace tlrwse::seismic

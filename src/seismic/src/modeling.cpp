@@ -1,0 +1,198 @@
+#include "tlrwse/seismic/modeling.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/fft/fft.hpp"
+#include "tlrwse/la/blas.hpp"
+
+namespace tlrwse::seismic {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi_v<double>;
+
+/// Monochromatic free-space Green's function with geometric spreading:
+/// G(d) = exp(-i*2*pi*f*d/c) / (4*pi*d).
+cf64 greens(double dist, double f_hz, double velocity) {
+  const double d = std::max(dist, 1.0);  // clamp to avoid the singularity
+  const double phase = -2.0 * kPi * f_hz * dist / velocity;
+  const double amp = 1.0 / (4.0 * kPi * d);
+  return {amp * std::cos(phase), amp * std::sin(phase)};
+}
+
+std::vector<Position> permuted_positions(const StationGrid& grid,
+                                         const std::vector<index_t>& perm) {
+  std::vector<Position> out(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    out[k] = grid.position(perm[k]);
+  }
+  return out;
+}
+
+}  // namespace
+
+la::MatrixCF downgoing_matrix(const std::vector<Position>& sources,
+                              const std::vector<Position>& receivers,
+                              const SubsurfaceModel& model, double f_hz,
+                              int water_multiples) {
+  const auto ns = static_cast<index_t>(sources.size());
+  const auto nr = static_cast<index_t>(receivers.size());
+  la::MatrixCF K(ns, nr);
+
+  // Image-source expansion of the water-layer reverberation train: the
+  // k-th round trip between seafloor (+r_sf) and free surface (-1) adds
+  // 2*d_w of depth and a factor (-r_sf)^k; the free-surface ghost mirrors
+  // each image with a factor -1.
+  struct Image {
+    double depth_offset;  // added to the source depth coordinate
+    double coeff;
+    bool mirrored;        // ghost image (negated depth)
+  };
+  std::vector<Image> images;
+  double coeff = 1.0;
+  for (int k = 0; k <= water_multiples; ++k) {
+    const double off = 2.0 * static_cast<double>(k) * model.water_depth;
+    images.push_back({off, coeff, false});
+    images.push_back({off, -coeff, true});
+    coeff *= -model.seafloor_reflectivity;
+  }
+
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < nr; ++r) {
+    const Position& xr = receivers[static_cast<std::size_t>(r)];
+    for (index_t s = 0; s < ns; ++s) {
+      const Position& xs = sources[static_cast<std::size_t>(s)];
+      const double h = horizontal_distance(xs, xr);
+      cf64 acc{};
+      for (const Image& im : images) {
+        const double zs = im.mirrored ? -(xs.z + im.depth_offset)
+                                      : (xs.z + im.depth_offset);
+        const double dz = xr.z - zs;
+        const double dist = std::sqrt(h * h + dz * dz);
+        acc += im.coeff * greens(dist, f_hz, model.water_velocity);
+      }
+      K(s, r) = static_cast<cf32>(acc);
+    }
+  }
+  return K;
+}
+
+la::MatrixCF reflectivity_matrix(const std::vector<Position>& virtual_sources,
+                                 const std::vector<Position>& receivers,
+                                 const SubsurfaceModel& model, double f_hz) {
+  const auto nv = static_cast<index_t>(virtual_sources.size());
+  const auto nr = static_cast<index_t>(receivers.size());
+  la::MatrixCF R(nv, nr);
+
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < nr; ++r) {
+    const Position& xr = receivers[static_cast<std::size_t>(r)];
+    for (index_t v = 0; v < nv; ++v) {
+      const Position& xv = virtual_sources[static_cast<std::size_t>(v)];
+      const double h = horizontal_distance(xv, xr);
+      const double mx = 0.5 * (xv.x + xr.x);
+      const double my = 0.5 * (xv.y + xr.y);
+      cf64 acc{};
+      for (const Interface& layer : model.interfaces) {
+        // Depth below the receiver datum at the midpoint; straight-ray
+        // two-way path through the effective sediment velocity.
+        const double z_below = layer.depth_at(mx, my) - model.water_depth;
+        if (z_below <= 0.0) continue;
+        const double half = std::sqrt(0.25 * h * h + z_below * z_below);
+        const double path = 2.0 * half;
+        acc += layer.reflectivity *
+               greens(path, f_hz, model.sediment_velocity);
+      }
+      R(v, r) = static_cast<cf32>(acc);
+    }
+  }
+  return R;
+}
+
+SeismicDataset build_dataset(const DatasetConfig& cfg) {
+  TLRWSE_REQUIRE(cfg.nt >= 8 && cfg.dt > 0.0, "bad time axis");
+  TLRWSE_REQUIRE(cfg.f_min > 0.0 && cfg.f_max > cfg.f_min, "bad band");
+
+  SeismicDataset data;
+  data.config = cfg;
+
+  // Station ordering: permute the station lists before synthesis so that
+  // the frequency matrices are born in curve order (the paper's Hilbert
+  // pre-processing step).
+  data.source_perm = reorder::ordering_permutation(
+      cfg.geometry.sources.grid_points(), cfg.ordering);
+  data.receiver_perm = reorder::ordering_permutation(
+      cfg.geometry.receivers.grid_points(), cfg.ordering);
+  data.source_pos = permuted_positions(cfg.geometry.sources, data.source_perm);
+  data.receiver_pos =
+      permuted_positions(cfg.geometry.receivers, data.receiver_perm);
+
+  // Retained band: rfft bins with f_min <= f <= f_max (paper: 230 matrices
+  // up to 50 Hz).
+  const auto all_freqs = fft::rfft_frequencies(cfg.nt, cfg.dt);
+  for (index_t k = 0; k < static_cast<index_t>(all_freqs.size()); ++k) {
+    const double f = all_freqs[static_cast<std::size_t>(k)];
+    if (f >= cfg.f_min && f <= cfg.f_max) {
+      data.freq_bins.push_back(k);
+      data.freqs_hz.push_back(f);
+    }
+  }
+  TLRWSE_REQUIRE(!data.freqs_hz.empty(), "empty frequency band");
+
+  const auto wavelet = wavelet_spectrum(cfg.wavelet, data.freqs_hz);
+  const double dA = data.surface_element();
+
+  const index_t nf = data.num_freqs();
+  data.p_down.resize(static_cast<std::size_t>(nf));
+  data.p_up.resize(static_cast<std::size_t>(nf));
+  data.reflectivity.resize(static_cast<std::size_t>(nf));
+
+  for (index_t q = 0; q < nf; ++q) {
+    const double f = data.freqs_hz[static_cast<std::size_t>(q)];
+    la::MatrixCF pd = downgoing_matrix(data.source_pos, data.receiver_pos,
+                                       cfg.model, f, cfg.water_multiples);
+    // Fold the wavelet spectrum into the downgoing (source-side) field.
+    const auto w = static_cast<cf32>(wavelet[static_cast<std::size_t>(q)]);
+    for (index_t j = 0; j < pd.cols(); ++j) {
+      cf32* col = pd.col(j);
+      for (index_t i = 0; i < pd.rows(); ++i) col[i] *= w;
+    }
+    la::MatrixCF R = reflectivity_matrix(data.receiver_pos, data.receiver_pos,
+                                         cfg.model, f);
+    // P- = P+ * R * dA: the exact MDC forward model (Eqn. 1 discretised).
+    la::MatrixCF pu(pd.rows(), R.cols());
+    la::gemm(pd, R, pu, static_cast<cf32>(dA), cf32{});
+    data.p_down[static_cast<std::size_t>(q)] = std::move(pd);
+    data.p_up[static_cast<std::size_t>(q)] = std::move(pu);
+    data.reflectivity[static_cast<std::size_t>(q)] = std::move(R);
+  }
+  return data;
+}
+
+std::vector<float> band_to_time(const SeismicDataset& data,
+                                const std::vector<std::vector<cf32>>& values,
+                                index_t ntraces) {
+  const index_t nt = data.config.nt;
+  const index_t nf_full = nt / 2 + 1;
+  TLRWSE_REQUIRE(static_cast<index_t>(values.size()) == data.num_freqs(),
+                 "band_to_time: frequency count");
+  std::vector<cf32> spec(static_cast<std::size_t>(nf_full * ntraces), cf32{});
+  for (index_t q = 0; q < data.num_freqs(); ++q) {
+    const auto& vals = values[static_cast<std::size_t>(q)];
+    TLRWSE_REQUIRE(static_cast<index_t>(vals.size()) == ntraces,
+                   "band_to_time: trace count");
+    const index_t bin = data.freq_bins[static_cast<std::size_t>(q)];
+    for (index_t tr = 0; tr < ntraces; ++tr) {
+      spec[static_cast<std::size_t>(tr * nf_full + bin)] =
+          vals[static_cast<std::size_t>(tr)];
+    }
+  }
+  std::vector<float> traces(static_cast<std::size_t>(nt * ntraces));
+  fft::irfft_batch(std::span<const cf32>(spec), nt, ntraces,
+                   std::span<float>(traces));
+  return traces;
+}
+
+}  // namespace tlrwse::seismic

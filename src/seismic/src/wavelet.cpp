@@ -1,0 +1,58 @@
+#include "tlrwse/seismic/wavelet.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/fft/fft.hpp"
+
+namespace tlrwse::seismic {
+
+namespace {
+constexpr double kPi = std::numbers::pi_v<double>;
+
+double flat_band_amplitude(double f, double f_max, double taper) {
+  const double fa = std::abs(f);
+  if (fa <= f_max - taper) return 1.0;
+  if (fa >= f_max) return 0.0;
+  // Half-cosine roll-off over [f_max - taper, f_max].
+  const double t = (fa - (f_max - taper)) / taper;
+  return 0.5 * (1.0 + std::cos(kPi * t));
+}
+
+double ricker_amplitude(double f, double fp) {
+  // Ricker spectrum: (f/fp)^2 exp(1 - (f/fp)^2) normalised to peak 1 at fp.
+  const double r = f / fp;
+  return r * r * std::exp(1.0 - r * r);
+}
+}  // namespace
+
+std::vector<cf64> wavelet_spectrum(const WaveletConfig& cfg,
+                                   const std::vector<double>& freqs_hz) {
+  std::vector<cf64> w(freqs_hz.size());
+  for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
+    const double f = freqs_hz[k];
+    const double a = (cfg.kind == WaveletKind::kFlatBand)
+                         ? flat_band_amplitude(f, cfg.f_max, cfg.taper_hz)
+                         : ricker_amplitude(f, cfg.peak_hz);
+    w[k] = cf64{a, 0.0};
+  }
+  return w;
+}
+
+std::vector<double> wavelet_time(const WaveletConfig& cfg, index_t nt,
+                                 double dt) {
+  TLRWSE_REQUIRE(nt >= 2 && dt > 0.0, "bad wavelet time grid");
+  const auto freqs = fft::rfft_frequencies(nt, dt);
+  auto spec = wavelet_spectrum(cfg, freqs);
+  // Linear phase for a centre shift of nt/2 samples so the zero-phase
+  // wavelet appears in the middle of the window.
+  const double shift = static_cast<double>(nt / 2) * dt;
+  for (std::size_t k = 0; k < spec.size(); ++k) {
+    const double ang = -2.0 * kPi * freqs[k] * shift;
+    spec[k] *= cf64{std::cos(ang), std::sin(ang)};
+  }
+  return fft::irfft(spec, nt);
+}
+
+}  // namespace tlrwse::seismic

@@ -1,0 +1,64 @@
+// Mixed-precision TLR storage (the extension of refs [23][24]: "tile
+// low-rank compression, and mixed-precision computations").
+//
+// Tiles whose contribution to the operator norm is small can store their
+// U/V bases in reduced precision without hurting the MDD solution. Since
+// the build targets FP32 hardware, FP16/BF16 storage is EMULATED: values
+// are rounded through the narrow format back to float, while the byte
+// accounting reflects the narrow storage size. This reproduces the
+// accuracy/footprint trade-off without native half support.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace tlrwse::tlr {
+
+enum class StoragePrecision { kFp32, kFp16, kBf16 };
+
+[[nodiscard]] constexpr double bytes_per_real(StoragePrecision p) {
+  return p == StoragePrecision::kFp32 ? 4.0 : 2.0;
+}
+
+/// Rounds a float through IEEE binary16 (round-to-nearest-even), returning
+/// the nearest representable value as float. Overflow saturates to +-inf's
+/// nearest finite half (65504), underflow flushes denormals to zero.
+[[nodiscard]] float round_to_fp16(float v);
+
+/// Rounds a float through bfloat16 (truncated 8-bit-exponent format with
+/// round-to-nearest-even on the 7-bit mantissa).
+[[nodiscard]] float round_to_bf16(float v);
+
+[[nodiscard]] cf32 round_complex(cf32 v, StoragePrecision p);
+
+/// Precision assignment policy: tiles are ranked by their Frobenius norm
+/// relative to the largest tile of the matrix; the weakest tiles get BF16,
+/// mid tiles FP16, the strongest keep FP32.
+struct MixedPrecisionPolicy {
+  double fp16_below = 0.25;  // tiles with relative norm < this use FP16
+  double bf16_below = 0.05;  // ... < this use BF16 (coarser mantissa)
+};
+
+struct MixedTlrResult {
+  TlrMatrix<cf32> matrix;                   // bases rounded through storage
+  std::vector<StoragePrecision> precision;  // per tile (tile_index order)
+  double stored_bytes = 0.0;                // at the narrow sizes
+  double fp32_bytes = 0.0;                  // full-precision footprint
+  index_t tiles_fp32 = 0;
+  index_t tiles_fp16 = 0;
+  index_t tiles_bf16 = 0;
+
+  [[nodiscard]] double saving() const {
+    return stored_bytes > 0.0 ? fp32_bytes / stored_bytes : 1.0;
+  }
+};
+
+/// Applies the policy to a compressed matrix: quantizes each tile's bases
+/// through the chosen storage format and accounts the storage bytes.
+[[nodiscard]] MixedTlrResult quantize_tlr(const TlrMatrix<cf32>& src,
+                                          const MixedPrecisionPolicy& policy);
+
+}  // namespace tlrwse::tlr

@@ -1,0 +1,170 @@
+// Complex MVM as four real MVMs (paper Sec. 6.6).
+//
+// Batched-MVM support for complex datatypes is missing from vendor
+// libraries (and from the Cerebras SDK's fmac path), so the paper splits
+// every complex matrix into real and imaginary parts:
+//   y = A x,  A = Ar + i Ai,  x = xr + i xi
+//   yr = Ar xr - Ai xi,   yi = Ar xi + Ai xr
+// With the two bases (V then U) of TLR-MVM this yields EIGHT independent
+// real batched MVMs — the unit of work distributed over PEs by strong
+// scaling strategy 2 (Sec. 6.7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/tlr/tlr_mvm.hpp"
+
+namespace tlrwse::tlr {
+
+/// Real/imaginary split of the stacked bases of a complex TLR matrix.
+/// Stack shapes and tile offsets are identical to the source StackedTlr;
+/// only the element type changes from complex<R> to R.
+template <typename R>
+class RealSplitStacks {
+ public:
+  explicit RealSplitStacks(const StackedTlr<std::complex<R>>& A)
+      : grid_(A.grid()) {
+    const index_t mt = grid_.mt();
+    const index_t nt = grid_.nt();
+    vr_.reserve(static_cast<std::size_t>(nt));
+    vi_.reserve(static_cast<std::size_t>(nt));
+    for (index_t j = 0; j < nt; ++j) {
+      split(A.v_stack(j), vr_, vi_);
+    }
+    ur_.reserve(static_cast<std::size_t>(mt));
+    ui_.reserve(static_cast<std::size_t>(mt));
+    for (index_t i = 0; i < mt; ++i) {
+      split(A.u_stack(i), ur_, ui_);
+    }
+    // Copy offset maps for the fused dataflow.
+    v_offset_.resize(static_cast<std::size_t>(mt * nt));
+    u_offset_.resize(static_cast<std::size_t>(mt * nt));
+    ranks_.resize(static_cast<std::size_t>(mt * nt));
+    for (index_t j = 0; j < nt; ++j) {
+      for (index_t i = 0; i < mt; ++i) {
+        const auto idx = static_cast<std::size_t>(grid_.tile_index(i, j));
+        v_offset_[idx] = A.v_offset(i, j);
+        u_offset_[idx] = A.u_offset(i, j);
+        ranks_[idx] = A.rank(i, j);
+      }
+    }
+  }
+
+  [[nodiscard]] const TileGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const la::Matrix<R>& vr(index_t j) const {
+    return vr_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const la::Matrix<R>& vi(index_t j) const {
+    return vi_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const la::Matrix<R>& ur(index_t i) const {
+    return ur_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const la::Matrix<R>& ui(index_t i) const {
+    return ui_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] index_t v_offset(index_t i, index_t j) const {
+    return v_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+  [[nodiscard]] index_t u_offset(index_t i, index_t j) const {
+    return u_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+  [[nodiscard]] index_t rank(index_t i, index_t j) const {
+    return ranks_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+
+  /// Total bytes of the split real bases (2x the complex base count of
+  /// elements, same byte total as the complex storage).
+  [[nodiscard]] double bytes() const {
+    double total = 0.0;
+    for (const auto& m : vr_) total += static_cast<double>(m.size());
+    for (const auto& m : vi_) total += static_cast<double>(m.size());
+    for (const auto& m : ur_) total += static_cast<double>(m.size());
+    for (const auto& m : ui_) total += static_cast<double>(m.size());
+    return total * sizeof(R);
+  }
+
+ private:
+  static void split(const la::Matrix<std::complex<R>>& src,
+                    std::vector<la::Matrix<R>>& re_out,
+                    std::vector<la::Matrix<R>>& im_out) {
+    la::Matrix<R> re(src.rows(), src.cols());
+    la::Matrix<R> im(src.rows(), src.cols());
+    for (index_t j = 0; j < src.cols(); ++j) {
+      const std::complex<R>* s = src.col(j);
+      R* r = re.col(j);
+      R* m = im.col(j);
+      for (index_t i = 0; i < src.rows(); ++i) {
+        r[i] = s[i].real();
+        m[i] = s[i].imag();
+      }
+    }
+    re_out.push_back(std::move(re));
+    im_out.push_back(std::move(im));
+  }
+
+  TileGrid grid_;
+  std::vector<la::Matrix<R>> vr_, vi_;  // per tile column
+  std::vector<la::Matrix<R>> ur_, ui_;  // per tile row
+  std::vector<index_t> v_offset_, u_offset_, ranks_;
+};
+
+/// Fused (communication-avoiding) complex TLR-MVM executed as eight real
+/// batched MVMs. Bit-compatible with tlr_mvm_fused on the complex stacks
+/// up to floating-point reassociation.
+template <typename R>
+void tlr_mvm_real_split(const RealSplitStacks<R>& A,
+                        std::span<const std::complex<R>> x,
+                        std::span<std::complex<R>> y) {
+  const TileGrid& g = A.grid();
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
+  std::fill(y.begin(), y.end(), std::complex<R>{});
+
+  std::vector<R> xr, xi, yvr, yvi;
+  for (index_t j = 0; j < g.nt(); ++j) {
+    const index_t w = g.tile_cols(j);
+    xr.resize(static_cast<std::size_t>(w));
+    xi.resize(static_cast<std::size_t>(w));
+    for (index_t c = 0; c < w; ++c) {
+      const auto v = x[static_cast<std::size_t>(g.col_offset(j) + c)];
+      xr[static_cast<std::size_t>(c)] = v.real();
+      xi[static_cast<std::size_t>(c)] = v.imag();
+    }
+    const auto& Vr = A.vr(j);
+    const auto& Vi = A.vi(j);
+    const index_t kr = Vr.rows();
+    yvr.assign(static_cast<std::size_t>(kr), R{});
+    yvi.assign(static_cast<std::size_t>(kr), R{});
+    // V-batch: 4 real MVMs. yvr = Vr xr - Vi xi; yvi = Vr xi + Vi xr.
+    la::gemv(Vr, std::span<const R>(xr), std::span<R>(yvr), R{1}, R{0});
+    la::gemv(Vi, std::span<const R>(xi), std::span<R>(yvr), R{-1}, R{1});
+    la::gemv(Vr, std::span<const R>(xi), std::span<R>(yvi), R{1}, R{0});
+    la::gemv(Vi, std::span<const R>(xr), std::span<R>(yvi), R{1}, R{1});
+
+    // U-batch: 4 real MVMs per tile of the column, accumulated into y.
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t k = A.rank(i, j);
+      if (k == 0) continue;
+      const auto& Ur = A.ur(i);
+      const auto& Ui = A.ui(i);
+      const index_t uoff = A.u_offset(i, j);
+      const index_t voff = A.v_offset(i, j);
+      std::complex<R>* yi_out = y.data() + g.row_offset(i);
+      for (index_t c = 0; c < k; ++c) {
+        const R sr = yvr[static_cast<std::size_t>(voff + c)];
+        const R si = yvi[static_cast<std::size_t>(voff + c)];
+        const R* urc = Ur.col(uoff + c);
+        const R* uic = Ui.col(uoff + c);
+        for (index_t r = 0; r < g.tile_rows(i); ++r) {
+          // (ur + i ui)(sr + i si) accumulated into complex y.
+          yi_out[r] += std::complex<R>(urc[r] * sr - uic[r] * si,
+                                       urc[r] * si + uic[r] * sr);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tlrwse::tlr

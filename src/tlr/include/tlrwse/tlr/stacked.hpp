@@ -1,0 +1,111 @@
+// Stacked memory layouts for TLR-MVM.
+//
+// Two layouts from the paper:
+//  * The x86/GPU layout (Fig. 4): per tile COLUMN, the V^H bases of all
+//    tiles in the column are stacked vertically (rows = sum of ranks); per
+//    tile ROW, the U bases are stacked horizontally (cols = sum of ranks).
+//    MVM then runs as V-batch (Fig. 5) -> shuffle (Fig. 6) -> U-batch
+//    (Fig. 7).
+//  * The Cerebras communication-avoiding layout (Fig. 9): U bases are
+//    stored per tile COLUMN (side by side, reshaped), so both batches of a
+//    tile column execute locally and the cross-fabric shuffle disappears;
+//    the cost is that each tile column accumulates its own partial y.
+//
+// Both layouts here share the same underlying stacks: a per-column V stack,
+// plus either per-row U stacks (3-phase) or per-column U groups (fused).
+#pragma once
+
+#include <vector>
+
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace tlrwse::tlr {
+
+/// Precomputed stacks for a fixed TLR matrix, reusable across many MVMs
+/// (the MDD solver applies the same frequency matrix every LSQR iteration).
+template <typename T>
+class StackedTlr {
+ public:
+  explicit StackedTlr(const TlrMatrix<T>& A) : grid_(A.grid()) {
+    const index_t mt = grid_.mt();
+    const index_t nt = grid_.nt();
+
+    // Per tile column j: vertical stack of Vh_ij (rank_ij x tile_cols(j)).
+    v_stack_.resize(static_cast<std::size_t>(nt));
+    v_offset_.assign(static_cast<std::size_t>(mt * nt), 0);
+    col_ranks_.assign(static_cast<std::size_t>(nt), 0);
+    for (index_t j = 0; j < nt; ++j) {
+      index_t total = 0;
+      for (index_t i = 0; i < mt; ++i) {
+        v_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))] = total;
+        total += A.rank(i, j);
+      }
+      col_ranks_[static_cast<std::size_t>(j)] = total;
+      la::Matrix<T>& stack = v_stack_[static_cast<std::size_t>(j)];
+      stack = la::Matrix<T>(total, grid_.tile_cols(j));
+      for (index_t i = 0; i < mt; ++i) {
+        stack.set_block(v_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))],
+                        0, A.tile(i, j).Vh);
+      }
+    }
+
+    // Per tile row i: horizontal stack of U_ij (tile_rows(i) x rank_ij).
+    u_stack_.resize(static_cast<std::size_t>(mt));
+    u_offset_.assign(static_cast<std::size_t>(mt * nt), 0);
+    row_ranks_.assign(static_cast<std::size_t>(mt), 0);
+    for (index_t i = 0; i < mt; ++i) {
+      index_t total = 0;
+      for (index_t j = 0; j < nt; ++j) {
+        u_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))] = total;
+        total += A.rank(i, j);
+      }
+      row_ranks_[static_cast<std::size_t>(i)] = total;
+      la::Matrix<T>& stack = u_stack_[static_cast<std::size_t>(i)];
+      stack = la::Matrix<T>(grid_.tile_rows(i), total);
+      for (index_t j = 0; j < nt; ++j) {
+        stack.set_block(0, u_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))],
+                        A.tile(i, j).U);
+      }
+    }
+  }
+
+  [[nodiscard]] const TileGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const la::Matrix<T>& v_stack(index_t j) const {
+    return v_stack_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const la::Matrix<T>& u_stack(index_t i) const {
+    return u_stack_[static_cast<std::size_t>(i)];
+  }
+  /// Row offset of tile (i, j) inside v_stack(j).
+  [[nodiscard]] index_t v_offset(index_t i, index_t j) const {
+    return v_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+  /// Column offset of tile (i, j) inside u_stack(i).
+  [[nodiscard]] index_t u_offset(index_t i, index_t j) const {
+    return u_offset_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+  [[nodiscard]] index_t col_rank_sum(index_t j) const {
+    return col_ranks_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] index_t row_rank_sum(index_t i) const {
+    return row_ranks_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] index_t rank(index_t i, index_t j) const {
+    const index_t v0 = v_offset(i, j);
+    const index_t v1 = (i + 1 < grid_.mt()) ? v_offset(i + 1, j)
+                                            : col_rank_sum(j);
+    return v1 - v0;
+  }
+
+ private:
+  TileGrid grid_;
+  std::vector<la::Matrix<T>> v_stack_;   // nt stacks, (sum_i k_ij) x nb_j
+  std::vector<la::Matrix<T>> u_stack_;   // mt stacks, mb_i x (sum_j k_ij)
+  std::vector<index_t> v_offset_;        // per tile, row offset in v_stack
+  std::vector<index_t> u_offset_;        // per tile, col offset in u_stack
+  std::vector<index_t> col_ranks_;
+  std::vector<index_t> row_ranks_;
+};
+
+}  // namespace tlrwse::tlr

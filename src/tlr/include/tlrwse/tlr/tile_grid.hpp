@@ -1,0 +1,58 @@
+// Uniform tile partitioning of an M x N matrix with tile size nb
+// (trailing tiles are ragged when nb does not divide M or N).
+//
+// This is the "flat" TLR partition of the paper (Fig. 2): a 10 x 6 grid of
+// nb-sized tiles, each compressed independently.
+#pragma once
+
+#include <algorithm>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::tlr {
+
+class TileGrid {
+ public:
+  TileGrid() = default;
+  TileGrid(index_t rows, index_t cols, index_t nb)
+      : rows_(rows), cols_(cols), nb_(nb) {
+    TLRWSE_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dims");
+    TLRWSE_REQUIRE(nb >= 1, "tile size must be >= 1");
+    mt_ = (rows + nb - 1) / nb;
+    nt_ = (cols + nb - 1) / nb;
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nb() const noexcept { return nb_; }
+  /// Number of tile rows / tile columns.
+  [[nodiscard]] index_t mt() const noexcept { return mt_; }
+  [[nodiscard]] index_t nt() const noexcept { return nt_; }
+  [[nodiscard]] index_t num_tiles() const noexcept { return mt_ * nt_; }
+
+  /// Height of tile row i (ragged on the last row).
+  [[nodiscard]] index_t tile_rows(index_t i) const noexcept {
+    return std::min(nb_, rows_ - i * nb_);
+  }
+  /// Width of tile column j (ragged on the last column).
+  [[nodiscard]] index_t tile_cols(index_t j) const noexcept {
+    return std::min(nb_, cols_ - j * nb_);
+  }
+  [[nodiscard]] index_t row_offset(index_t i) const noexcept { return i * nb_; }
+  [[nodiscard]] index_t col_offset(index_t j) const noexcept { return j * nb_; }
+
+  /// Linear index of tile (i, j), tiles stored column-of-tiles-major.
+  [[nodiscard]] index_t tile_index(index_t i, index_t j) const noexcept {
+    return j * mt_ + i;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nb_ = 1;
+  index_t mt_ = 0;
+  index_t nt_ = 0;
+};
+
+}  // namespace tlrwse::tlr

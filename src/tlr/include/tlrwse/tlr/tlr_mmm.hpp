@@ -1,0 +1,142 @@
+// TLR matrix-matrix multiplication (TLR-MMM) — the multi-shot extension
+// the paper names as its next frontier (Sec. 8: "we want to consider
+// seismic processing of multiple shots simultaneously, by recasting our
+// TLR-MVM kernel into TLR matrix-matrix multiplication").
+//
+// Y = A * X with X (n x s), Y (m x s): processing s virtual sources at
+// once. The fused dataflow is identical to tlr_mvm_fused with the vector
+// stages widened to GEMM panels; arithmetic intensity rises by ~s on the
+// V/U bases (each base element now feeds s fmacs), which is exactly why
+// the paper calls MMM a re-exacerbation of the memory wall: the bases stop
+// being the traffic bottleneck and the partial-Y panels take over.
+#pragma once
+
+#include "tlrwse/tlr/stacked.hpp"
+
+namespace tlrwse::tlr {
+
+/// Fused (communication-avoiding) TLR-MMM: Y = A X.
+/// X is (cols x s) column-major, Y is (rows x s).
+template <typename T>
+void tlr_mmm_fused(const StackedTlr<T>& A, const la::Matrix<T>& X,
+                   la::Matrix<T>& Y) {
+  const TileGrid& g = A.grid();
+  TLRWSE_REQUIRE(X.rows() == g.cols(), "X rows");
+  TLRWSE_REQUIRE(Y.rows() == g.rows() && Y.cols() == X.cols(), "Y shape");
+  Y.fill(T{});
+  const index_t s = X.cols();
+
+  la::Matrix<T> yv;  // V-batch panel of one tile column
+  for (index_t j = 0; j < g.nt(); ++j) {
+    const auto& vs = A.v_stack(j);
+    if (vs.rows() == 0) continue;
+    // yv = Vstack_j * X_j  (panel GEMM over the tile column's slice of X).
+    yv = la::Matrix<T>(vs.rows(), s, T{});
+    for (index_t c = 0; c < s; ++c) {
+      la::gemv(vs,
+               std::span<const T>(X.col(c) + g.col_offset(j),
+                                  static_cast<std::size_t>(g.tile_cols(j))),
+               std::span<T>(yv.col(c), static_cast<std::size_t>(vs.rows())));
+    }
+    // Y_i += U_ij * yv_ij for every tile in the column.
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t k = A.rank(i, j);
+      if (k == 0) continue;
+      const auto& us = A.u_stack(i);
+      const index_t uoff = A.u_offset(i, j);
+      const index_t voff = A.v_offset(i, j);
+      for (index_t c = 0; c < s; ++c) {
+        T* yc = Y.col(c) + g.row_offset(i);
+        const T* seg = yv.col(c) + voff;
+        for (index_t r = 0; r < k; ++r) {
+          const T w = seg[r];
+          if (w == T{}) continue;
+          const T* ucol = us.col(uoff + r);
+          for (index_t row = 0; row < g.tile_rows(i); ++row) {
+            yc[row] += ucol[row] * w;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Adjoint TLR-MMM: Y = A^H X, X (rows x s), Y (cols x s).
+template <typename T>
+void tlr_mmm_adjoint(const StackedTlr<T>& A, const la::Matrix<T>& X,
+                     la::Matrix<T>& Y) {
+  const TileGrid& g = A.grid();
+  TLRWSE_REQUIRE(X.rows() == g.rows(), "X rows");
+  TLRWSE_REQUIRE(Y.rows() == g.cols() && Y.cols() == X.cols(), "Y shape");
+  Y.fill(T{});
+  const index_t s = X.cols();
+
+  la::Matrix<T> yu;
+  for (index_t i = 0; i < g.mt(); ++i) {
+    const auto& us = A.u_stack(i);
+    if (us.cols() == 0) continue;
+    yu = la::Matrix<T>(us.cols(), s, T{});
+    for (index_t c = 0; c < s; ++c) {
+      la::gemv_adjoint(
+          us,
+          std::span<const T>(X.col(c) + g.row_offset(i),
+                             static_cast<std::size_t>(g.tile_rows(i))),
+          std::span<T>(yu.col(c), static_cast<std::size_t>(us.cols())));
+    }
+    for (index_t j = 0; j < g.nt(); ++j) {
+      const index_t k = A.rank(i, j);
+      if (k == 0) continue;
+      const auto& vs = A.v_stack(j);
+      const index_t voff = A.v_offset(i, j);
+      const index_t uoff = A.u_offset(i, j);
+      for (index_t c = 0; c < s; ++c) {
+        T* yc = Y.col(c) + g.col_offset(j);
+        const T* seg = yu.col(c) + uoff;
+        for (index_t col = 0; col < g.tile_cols(j); ++col) {
+          const T* vcol = vs.col(col) + voff;
+          T acc{};
+          for (index_t r = 0; r < k; ++r) {
+            acc += conj_if_complex(vcol[r]) * seg[r];
+          }
+          yc[col] += acc;
+        }
+      }
+    }
+  }
+}
+
+/// Memory-traffic model of TLR-MMM vs s independent TLR-MVMs (absolute
+/// accounting, Sec. 6.6 rules): bases are read once per panel instead of
+/// once per vector, but the partial-Y panels are re-read/written per base
+/// column. Returns {mvm_bytes, mmm_bytes} for s right-hand sides.
+struct MmmTraffic {
+  double mvm_bytes = 0.0;  // s independent MVMs
+  double mmm_bytes = 0.0;  // one panel MMM
+  [[nodiscard]] double saving() const {
+    return mmm_bytes > 0.0 ? mvm_bytes / mmm_bytes : 0.0;
+  }
+};
+
+template <typename T>
+[[nodiscard]] MmmTraffic tlr_mmm_traffic(const StackedTlr<T>& A, index_t s) {
+  const TileGrid& g = A.grid();
+  MmmTraffic t;
+  double base_elems = 0.0;
+  double y_elems = 0.0;  // per-vector fmac count (drives y read+write)
+  for (index_t j = 0; j < g.nt(); ++j) {
+    base_elems += static_cast<double>(A.v_stack(j).size());
+  }
+  for (index_t i = 0; i < g.mt(); ++i) {
+    base_elems += static_cast<double>(A.u_stack(i).size());
+  }
+  y_elems = base_elems;  // one fmac (y read + y write) per base element
+  const double es = static_cast<double>(sizeof(T));
+  const double sd = static_cast<double>(s);
+  // MVM x s: every vector reads all bases plus its own y traffic.
+  t.mvm_bytes = sd * (base_elems * es + 2.0 * y_elems * es);
+  // MMM: bases once, y-panel traffic still scales with s.
+  t.mmm_bytes = base_elems * es + sd * 2.0 * y_elems * es;
+  return t;
+}
+
+}  // namespace tlrwse::tlr

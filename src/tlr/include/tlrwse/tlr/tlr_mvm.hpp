@@ -1,0 +1,186 @@
+// TLR-MVM kernels: the classic 3-phase algorithm (Figs. 5-7) and the
+// communication-avoiding fused variant the paper introduces for the CS-2
+// (Fig. 9), plus adjoint variants required by the LSQR solver and the
+// complex-to-4-real splitting of Sec. 6.6.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/tlr/stacked.hpp"
+
+namespace tlrwse::tlr {
+
+/// Workspace reused across MVM calls (avoids per-call allocation inside
+/// the LSQR iteration loop).
+template <typename T>
+struct MvmWorkspace {
+  std::vector<T> yv;  // V-batch outputs, one segment per tile column
+  std::vector<T> yu;  // shuffled inputs of the U-batch, per tile row
+};
+
+/// Phase structure of the classic TLR-MVM:
+///   1. V-batch:   yv_j = Vstack_j * x_j          (per tile column)
+///   2. Shuffle:   regroup yv segments by tile row (cross-memory traffic)
+///   3. U-batch:   y_i  = Ustack_i * yu_i          (per tile row)
+template <typename T>
+void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
+                    std::span<T> y, MvmWorkspace<T>& ws) {
+  const TileGrid& g = A.grid();
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
+
+  // Total rank volume and per-column/row segment offsets.
+  index_t total_rank = 0;
+  for (index_t j = 0; j < g.nt(); ++j) total_rank += A.col_rank_sum(j);
+  ws.yv.assign(static_cast<std::size_t>(total_rank), T{});
+  ws.yu.assign(static_cast<std::size_t>(total_rank), T{});
+
+  // Phase 1: V-batch over tile columns.
+  index_t yv_base = 0;
+  std::vector<index_t> yv_bases(static_cast<std::size_t>(g.nt()));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    yv_bases[static_cast<std::size_t>(j)] = yv_base;
+    const auto& vs = A.v_stack(j);
+    la::gemv(vs,
+             x.subspan(static_cast<std::size_t>(g.col_offset(j)),
+                       static_cast<std::size_t>(g.tile_cols(j))),
+             std::span<T>(ws.yv.data() + yv_base,
+                          static_cast<std::size_t>(vs.rows())));
+    yv_base += vs.rows();
+  }
+
+  // Phase 2: shuffle yv (grouped by tile column) into yu (grouped by row).
+  index_t yu_base = 0;
+  std::vector<index_t> yu_bases(static_cast<std::size_t>(g.mt()));
+  for (index_t i = 0; i < g.mt(); ++i) {
+    yu_bases[static_cast<std::size_t>(i)] = yu_base;
+    yu_base += A.row_rank_sum(i);
+  }
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t k = A.rank(i, j);
+      const T* src = ws.yv.data() + yv_bases[static_cast<std::size_t>(j)] +
+                     A.v_offset(i, j);
+      T* dst = ws.yu.data() + yu_bases[static_cast<std::size_t>(i)] +
+               A.u_offset(i, j);
+      std::copy_n(src, k, dst);
+    }
+  }
+
+  // Phase 3: U-batch over tile rows.
+  for (index_t i = 0; i < g.mt(); ++i) {
+    const auto& us = A.u_stack(i);
+    la::gemv(us,
+             std::span<const T>(ws.yu.data() + yu_bases[static_cast<std::size_t>(i)],
+                                static_cast<std::size_t>(us.cols())),
+             y.subspan(static_cast<std::size_t>(g.row_offset(i)),
+                       static_cast<std::size_t>(g.tile_rows(i))));
+  }
+}
+
+/// Communication-avoiding TLR-MVM (paper Fig. 9): phases 1 and 3 are fused
+/// per tile column, eliminating the shuffle. Each tile column j computes
+/// its V-batch locally, then immediately applies its U bases, accumulating
+/// partial y vectors. On the CS-2 this keeps all traffic inside one PE's
+/// SRAM; here the partial-y accumulation is the extra "multiple y vectors
+/// in and out" traffic the paper describes.
+template <typename T>
+void tlr_mvm_fused(const StackedTlr<T>& A, std::span<const T> x,
+                   std::span<T> y, MvmWorkspace<T>& ws) {
+  const TileGrid& g = A.grid();
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
+  std::fill(y.begin(), y.end(), T{});
+
+  for (index_t j = 0; j < g.nt(); ++j) {
+    const auto& vs = A.v_stack(j);
+    ws.yv.assign(static_cast<std::size_t>(vs.rows()), T{});
+    la::gemv(vs,
+             x.subspan(static_cast<std::size_t>(g.col_offset(j)),
+                       static_cast<std::size_t>(g.tile_cols(j))),
+             std::span<T>(ws.yv));
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t k = A.rank(i, j);
+      if (k == 0) continue;
+      const auto& us = A.u_stack(i);
+      const index_t uoff = A.u_offset(i, j);
+      T* yi = y.data() + g.row_offset(i);
+      const T* seg = ws.yv.data() + A.v_offset(i, j);
+      // y_i += U_ij * yv_ij, reading U_ij columns out of the row stack.
+      for (index_t c = 0; c < k; ++c) {
+        const T s = seg[c];
+        if (s == T{}) continue;
+        const T* ucol = us.col(uoff + c);
+        for (index_t r = 0; r < g.tile_rows(i); ++r) yi[r] += ucol[r] * s;
+      }
+    }
+  }
+}
+
+/// Adjoint TLR-MVM: y = A^H x. Needed by LSQR. Runs the transposed
+/// dataflow: per tile row i, project x_i through U^H, then through V.
+template <typename T>
+void tlr_mvm_adjoint(const StackedTlr<T>& A, std::span<const T> x,
+                     std::span<T> y, MvmWorkspace<T>& ws) {
+  const TileGrid& g = A.grid();
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.rows(), "x size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.cols(), "y size");
+  std::fill(y.begin(), y.end(), T{});
+
+  for (index_t i = 0; i < g.mt(); ++i) {
+    const auto& us = A.u_stack(i);
+    ws.yu.assign(static_cast<std::size_t>(us.cols()), T{});
+    // yu_i = Ustack_i^H x_i.
+    la::gemv_adjoint(us,
+                     x.subspan(static_cast<std::size_t>(g.row_offset(i)),
+                               static_cast<std::size_t>(g.tile_rows(i))),
+                     std::span<T>(ws.yu));
+    // Scatter through V: y_j += Vh_ij^H yu_ij.
+    for (index_t j = 0; j < g.nt(); ++j) {
+      const index_t k = A.rank(i, j);
+      if (k == 0) continue;
+      const auto& vs = A.v_stack(j);
+      const index_t voff = A.v_offset(i, j);
+      T* yj = y.data() + g.col_offset(j);
+      const T* seg = ws.yu.data() + A.u_offset(i, j);
+      // y_j += (Vh rows voff..voff+k)^H seg: column-major walk over Vh.
+      for (index_t c = 0; c < g.tile_cols(j); ++c) {
+        const T* vcol = vs.col(c) + voff;
+        T acc{};
+        for (index_t r = 0; r < k; ++r) {
+          acc += conj_if_complex(vcol[r]) * seg[r];
+        }
+        yj[c] += acc;
+      }
+    }
+  }
+}
+
+/// Convenience wrappers allocating their own workspace.
+template <typename T>
+[[nodiscard]] std::vector<T> tlr_mvm_3phase(const StackedTlr<T>& A,
+                                            std::span<const T> x) {
+  std::vector<T> y(static_cast<std::size_t>(A.grid().rows()));
+  MvmWorkspace<T> ws;
+  tlr_mvm_3phase(A, x, std::span<T>(y), ws);
+  return y;
+}
+template <typename T>
+[[nodiscard]] std::vector<T> tlr_mvm_fused(const StackedTlr<T>& A,
+                                           std::span<const T> x) {
+  std::vector<T> y(static_cast<std::size_t>(A.grid().rows()));
+  MvmWorkspace<T> ws;
+  tlr_mvm_fused(A, x, std::span<T>(y), ws);
+  return y;
+}
+template <typename T>
+[[nodiscard]] std::vector<T> tlr_mvm_adjoint(const StackedTlr<T>& A,
+                                             std::span<const T> x) {
+  std::vector<T> y(static_cast<std::size_t>(A.grid().cols()));
+  MvmWorkspace<T> ws;
+  tlr_mvm_adjoint(A, x, std::span<T>(y), ws);
+  return y;
+}
+
+}  // namespace tlrwse::tlr

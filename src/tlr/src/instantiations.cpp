@@ -1,0 +1,47 @@
+// Explicit instantiations of the TLR templates for the project precisions.
+#include "tlrwse/tlr/real_split.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+#include "tlrwse/tlr/tlr_mmm.hpp"
+#include "tlrwse/tlr/tlr_mvm.hpp"
+
+namespace tlrwse::tlr {
+
+template class TlrMatrix<cf32>;
+template class TlrMatrix<cf64>;
+template class TlrMatrix<float>;
+template class TlrMatrix<double>;
+
+template TlrMatrix<cf32> compress_tlr(const la::Matrix<cf32>&,
+                                      const CompressionConfig&);
+template TlrMatrix<cf64> compress_tlr(const la::Matrix<cf64>&,
+                                      const CompressionConfig&);
+template TlrMatrix<float> compress_tlr(const la::Matrix<float>&,
+                                       const CompressionConfig&);
+template TlrMatrix<double> compress_tlr(const la::Matrix<double>&,
+                                        const CompressionConfig&);
+
+template class StackedTlr<cf32>;
+template class StackedTlr<cf64>;
+template class StackedTlr<float>;
+template class StackedTlr<double>;
+
+template class RealSplitStacks<float>;
+template class RealSplitStacks<double>;
+
+template void tlr_mvm_real_split(const RealSplitStacks<float>&,
+                                 std::span<const cf32>, std::span<cf32>);
+template void tlr_mvm_real_split(const RealSplitStacks<double>&,
+                                 std::span<const cf64>, std::span<cf64>);
+
+template void tlr_mmm_fused(const StackedTlr<cf32>&, const la::Matrix<cf32>&,
+                            la::Matrix<cf32>&);
+template void tlr_mmm_fused(const StackedTlr<cf64>&, const la::Matrix<cf64>&,
+                            la::Matrix<cf64>&);
+template void tlr_mmm_adjoint(const StackedTlr<cf32>&, const la::Matrix<cf32>&,
+                              la::Matrix<cf32>&);
+template void tlr_mmm_adjoint(const StackedTlr<cf64>&, const la::Matrix<cf64>&,
+                              la::Matrix<cf64>&);
+template MmmTraffic tlr_mmm_traffic(const StackedTlr<cf32>&, index_t);
+
+}  // namespace tlrwse::tlr

@@ -1,0 +1,147 @@
+#include "tlrwse/tlr/mixed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tlrwse/la/blas.hpp"
+
+namespace tlrwse::tlr {
+
+namespace {
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+float bits_float(std::uint32_t b) {
+  float v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+float round_to_fp16(float v) {
+  if (std::isnan(v)) return v;
+  const std::uint32_t bits = float_bits(v);
+  const std::uint32_t sign = bits & 0x80000000u;
+  const float av = std::abs(v);
+  // Saturate to the largest finite half value.
+  constexpr float kMaxHalf = 65504.0f;
+  if (av > kMaxHalf) return sign ? -kMaxHalf : kMaxHalf;
+  // Flush half-denormals (|v| < 2^-14) to zero: the emulation targets the
+  // normal range used by normalised seismic bases.
+  if (av < 6.103515625e-05f) return sign ? -0.0f : 0.0f;
+  // Round the 23-bit mantissa to 10 bits (round-to-nearest-even).
+  const std::uint32_t mant_shift = 13;
+  std::uint32_t b = bits;
+  const std::uint32_t lsb = 1u << mant_shift;
+  const std::uint32_t round_bit = lsb >> 1;
+  const std::uint32_t sticky = b & (round_bit - 1);
+  if ((b & round_bit) && (sticky || (b & lsb))) {
+    b += lsb;
+  }
+  b &= ~(lsb - 1);
+  return bits_float(b);
+}
+
+float round_to_bf16(float v) {
+  if (std::isnan(v)) return v;
+  std::uint32_t b = float_bits(v);
+  // Round the 23-bit mantissa to 7 bits (round-to-nearest-even on the
+  // upper 16 bits of the word).
+  const std::uint32_t lsb = 1u << 16;
+  const std::uint32_t round_bit = lsb >> 1;
+  const std::uint32_t sticky = b & (round_bit - 1);
+  if ((b & round_bit) && (sticky || (b & lsb))) {
+    b += lsb;
+  }
+  b &= 0xFFFF0000u;
+  return bits_float(b);
+}
+
+cf32 round_complex(cf32 v, StoragePrecision p) {
+  switch (p) {
+    case StoragePrecision::kFp32:
+      return v;
+    case StoragePrecision::kFp16:
+      return {round_to_fp16(v.real()), round_to_fp16(v.imag())};
+    case StoragePrecision::kBf16:
+      return {round_to_bf16(v.real()), round_to_bf16(v.imag())};
+  }
+  return v;
+}
+
+MixedTlrResult quantize_tlr(const TlrMatrix<cf32>& src,
+                            const MixedPrecisionPolicy& policy) {
+  const TileGrid& g = src.grid();
+
+  // Tile norms relative to the strongest tile.
+  std::vector<double> norms(static_cast<std::size_t>(g.num_tiles()), 0.0);
+  double max_norm = 0.0;
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const auto& t = src.tile(i, j);
+      // ||U V^H||_F <= ||U||_F ||Vh||_2 ~ use the product of Frobenius
+      // norms as a cheap upper bound proxy for ranking tiles.
+      const double n = static_cast<double>(la::frobenius_norm(t.U)) *
+                       static_cast<double>(la::frobenius_norm(t.Vh));
+      norms[static_cast<std::size_t>(g.tile_index(i, j))] = n;
+      max_norm = std::max(max_norm, n);
+    }
+  }
+
+  MixedTlrResult out;
+  out.precision.resize(static_cast<std::size_t>(g.num_tiles()),
+                       StoragePrecision::kFp32);
+  std::vector<la::LowRankFactors<cf32>> tiles(
+      static_cast<std::size_t>(g.num_tiles()));
+
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const auto idx = static_cast<std::size_t>(g.tile_index(i, j));
+      const double rel = max_norm > 0.0 ? norms[idx] / max_norm : 0.0;
+      StoragePrecision p = StoragePrecision::kFp32;
+      if (rel < policy.bf16_below) {
+        p = StoragePrecision::kBf16;
+        ++out.tiles_bf16;
+      } else if (rel < policy.fp16_below) {
+        p = StoragePrecision::kFp16;
+        ++out.tiles_fp16;
+      } else {
+        ++out.tiles_fp32;
+      }
+      out.precision[idx] = p;
+
+      const auto& t = src.tile(i, j);
+      la::LowRankFactors<cf32> q;
+      q.U = t.U;
+      q.Vh = t.Vh;
+      if (p != StoragePrecision::kFp32) {
+        for (index_t c = 0; c < q.U.cols(); ++c) {
+          cf32* col = q.U.col(c);
+          for (index_t r = 0; r < q.U.rows(); ++r) {
+            col[r] = round_complex(col[r], p);
+          }
+        }
+        for (index_t c = 0; c < q.Vh.cols(); ++c) {
+          cf32* col = q.Vh.col(c);
+          for (index_t r = 0; r < q.Vh.rows(); ++r) {
+            col[r] = round_complex(col[r], p);
+          }
+        }
+      }
+      const double elems =
+          static_cast<double>(t.U.size() + t.Vh.size()) * 2.0;  // reals
+      out.stored_bytes += elems * bytes_per_real(p);
+      out.fp32_bytes += elems * 4.0;
+      tiles[idx] = std::move(q);
+    }
+  }
+  out.matrix = TlrMatrix<cf32>(g, std::move(tiles));
+  return out;
+}
+
+}  // namespace tlrwse::tlr

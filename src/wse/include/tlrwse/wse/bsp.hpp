@@ -1,0 +1,53 @@
+// Bulk-Synchronous-Parallel (Graphcore IPU) execution model of the
+// 3-phase TLR-MVM — the predecessor implementation the paper improves on.
+//
+// Sec. 5.3: "our previous implementation on Graphcore IPUs consists of
+// porting the three computational phases of TLR-MVM ... the second phase
+// (i.e. memory shuffling) requires synchronization across the IPUs, which
+// is further exacerbated due to the Bulk Synchronous Parallel (BSP)
+// paradigm that characterizes the Graphcore architecture."
+//
+// The model runs the kernel as three supersteps (V-batch | exchange+barrier
+// | U-batch): every tile computes, then ALL traffic moves in a global
+// exchange phase bounded by the all-to-all exchange bandwidth, then a
+// barrier. The CS-2's fused layout removes the middle superstep entirely;
+// comparing the two quantifies the communication-avoiding win.
+#pragma once
+
+#include "tlrwse/wse/chunking.hpp"
+
+namespace tlrwse::wse {
+
+/// Graphcore GC200 (IPU-M2000 era) characteristics, per device.
+struct IpuSpec {
+  index_t tiles = 1472;                  // cores per IPU
+  double clock_hz = 1.33e9;
+  index_t sram_bytes_per_tile = 624 * 1024;
+  double exchange_bytes_per_sec = 47e12; // on-chip all-to-all exchange
+  double barrier_sec = 1.5e-6;           // BSP sync cost per superstep
+  double flops_per_cycle_per_tile = 2.0; // fp32 AMP-less fmac path
+
+  [[nodiscard]] double sram_total() const {
+    return static_cast<double>(tiles) *
+           static_cast<double>(sram_bytes_per_tile);
+  }
+};
+
+struct BspReport {
+  index_t devices = 0;          // IPUs needed to hold the bases
+  double compute_sec = 0.0;     // supersteps 1 + 3 (perfectly balanced)
+  double exchange_sec = 0.0;    // superstep 2: the V->U shuffle
+  double barrier_sec = 0.0;     // 3 global barriers
+  double total_sec = 0.0;
+  /// Fraction of the pass spent NOT computing — the BSP overhead the
+  /// fused CS-2 layout eliminates.
+  [[nodiscard]] double sync_fraction() const {
+    return total_sec > 0.0 ? (exchange_sec + barrier_sec) / total_sec : 0.0;
+  }
+};
+
+/// Executes one TLR-MVM pass of the dataset under the BSP model.
+[[nodiscard]] BspReport simulate_bsp_3phase(const RankSource& source,
+                                            const IpuSpec& spec);
+
+}  // namespace tlrwse::wse

@@ -1,0 +1,74 @@
+// Decomposition of a TLR dataset into per-PE chunks (the paper's mapping).
+//
+// Unit of work: for each frequency matrix and each tile column j, the V
+// bases are stacked vertically into (K_j x nb) with K_j = sum of the
+// column's tile ranks, and the U bases are stored side by side (Fig. 9).
+// The stack is cut into chunks of at most `stack_width` consecutive rank
+// rows; each chunk is owned by one PE (strategy 1) or eight PEs
+// (strategy 2, one per real MVM — Sec. 6.7). This reproduces the paper's
+// PE counts: e.g. nb = 25, acc = 1e-4, stack width 64 yields ~4.42M chunks,
+// Table 1's "PEs used" on six CS-2 systems.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+#include "tlrwse/tlr/tile_grid.hpp"
+#include "tlrwse/wse/cost_model.hpp"
+
+namespace tlrwse::wse {
+
+/// Abstract provider of per-frequency tile-rank fields. Implementations:
+/// the paper-scale analytic RankModel and real compressed TlrMatrix sets.
+class RankSource {
+ public:
+  virtual ~RankSource() = default;
+  [[nodiscard]] virtual index_t num_freqs() const = 0;
+  /// Tile grid shared by all frequency matrices.
+  [[nodiscard]] virtual const tlr::TileGrid& grid() const = 0;
+  /// Ranks of matrix q, column-of-tiles-major (TileGrid::tile_index).
+  [[nodiscard]] virtual std::vector<index_t> tile_ranks(index_t q) const = 0;
+};
+
+/// One PE-sized slice of a tile column's stacked bases.
+struct Chunk {
+  index_t freq = 0;
+  index_t tile_col = 0;
+  index_t nb = 0;  // width of this tile column (ragged on the last column)
+  index_t h = 0;   // rank rows in this chunk (<= stack width)
+
+  /// Contiguous run of rank rows belonging to one tile.
+  struct Segment {
+    index_t tile_row = 0;
+    index_t rank_begin = 0;  // first rank index within the tile
+    index_t count = 0;       // rank rows from this tile
+    index_t mb = 0;          // tile height (U column length)
+  };
+  std::vector<Segment> segments;
+};
+
+/// Invokes `fn` for every chunk of the dataset at the given stack width.
+/// Streaming: chunks are built one at a time and never stored.
+void for_each_chunk(const RankSource& source, index_t stack_width,
+                    const std::function<void(const Chunk&)>& fn);
+
+/// Total number of chunks (= PEs in strategy 1, PEs/8 in strategy 2).
+[[nodiscard]] index_t count_chunks(const RankSource& source,
+                                   index_t stack_width);
+
+/// The eight real MVM shapes of a chunk (four for the V batch, four for
+/// the U batch), in execution order Vr*xr, Vi*xi, Vr*xi, Vi*xr, then the
+/// same pattern for U.
+[[nodiscard]] std::vector<RealMvmShape> chunk_mvm_shapes(const Chunk& c);
+
+/// Data SRAM footprint of the chunk on a single PE running all eight MVMs
+/// (strategy 1): split real bases, x/y/intermediate vectors, per-array
+/// alignment padding.
+[[nodiscard]] index_t chunk_sram_bytes_strategy1(const Chunk& c);
+
+/// Worst per-PE data footprint under strategy 2 (each PE holds one real
+/// base copy plus its vectors).
+[[nodiscard]] index_t chunk_sram_bytes_strategy2(const Chunk& c);
+
+}  // namespace tlrwse::wse

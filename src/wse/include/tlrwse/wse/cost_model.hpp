@@ -1,0 +1,75 @@
+// Cycle and memory-access cost model of the per-PE fmac MVM kernel.
+//
+// Cycle model: an axpy-style MVM over columns of length L costs
+//   cycles = sum_cols (c_elem * L + c_col) + c_mvm        per MVM,
+// plus c_call once per kernel invocation on a PE. The constants are
+// calibrated against the paper's measured worst cycle counts (Table 2) and
+// the single-CS-2 saturation behaviour of Fig. 14: with c_elem = 1.25 the
+// relative bandwidth of a constant-size batched MVM saturates at ~2 PB/s
+// across 745,500 PEs and the absolute bandwidth at ~3x that — exactly the
+// asymptotes of Fig. 14.
+//
+// Access model (paper Sec. 6.6) per real M x N MVM with MN stored elements:
+//   relative bytes = 4 * (MN + M + N)   (cache-based machine: A once,
+//                                        x once, y once)
+//   absolute bytes = 4 * (3*MN + N)     (flat SRAM: per fmac read y, read
+//                                        A, write y; x once per column)
+//   flops          = 2 * MN             (multiply + add per element)
+#pragma once
+
+#include <cstdint>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::wse {
+
+struct CostModelParams {
+  double cycles_per_element = 1.25;  // sustained fmac cost (calibrated)
+  double cycles_per_column = 6.0;    // loop setup, x broadcast, DSR config
+  double cycles_per_mvm = 150.0;     // kernel prologue/epilogue per MVM
+  double cycles_per_call = 60.0;     // batch launch overhead per PE
+};
+
+/// Shape of one real MVM: output length M, N columns, and the true stored
+/// element count MN (== M*N for a rectangular MVM; for the ragged U-batch
+/// the columns have differing lengths, so MN < M*N is passed explicitly).
+struct RealMvmShape {
+  double m = 0.0;
+  double n = 0.0;
+  double mn = 0.0;
+
+  [[nodiscard]] double relative_bytes() const noexcept {
+    return 4.0 * (mn + m + n);
+  }
+  [[nodiscard]] double absolute_bytes() const noexcept {
+    return 4.0 * (3.0 * mn + n);
+  }
+  [[nodiscard]] double flops() const noexcept { return 2.0 * mn; }
+};
+
+/// Cycles of one real MVM whose columns sum to `mn` elements over `n`
+/// columns (call overhead excluded; add once per batch).
+[[nodiscard]] double mvm_cycles(const CostModelParams& p, double mn, double n);
+
+/// Aggregated counters of a batch of real MVMs executed on one PE.
+struct PeWork {
+  double cycles = 0.0;
+  double relative_bytes = 0.0;
+  double absolute_bytes = 0.0;
+  double flops = 0.0;
+  double sram_bytes = 0.0;  // data footprint (bases + vectors), no padding
+
+  void add_mvm(const CostModelParams& p, const RealMvmShape& s) {
+    cycles += mvm_cycles(p, s.mn, s.n);
+    relative_bytes += s.relative_bytes();
+    absolute_bytes += s.absolute_bytes();
+    flops += s.flops();
+  }
+};
+
+/// SRAM footprint helper: pads an array to the 64-bit dual-read alignment
+/// the fmac loop requires (16-byte units, one pad slot per array so the
+/// two reads of an fmac never share a bank).
+[[nodiscard]] index_t padded_array_bytes(index_t raw_bytes);
+
+}  // namespace tlrwse::wse

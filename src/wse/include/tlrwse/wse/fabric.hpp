@@ -1,0 +1,50 @@
+// Fabric (NoC) cost model for the shuffle phase the paper eliminates.
+//
+// The classic 3-phase TLR-MVM (Figs. 5-7) stores V stacks per tile COLUMN
+// and U stacks per tile ROW; between the two batched MVMs every V-batch
+// output element must travel from its V-PE to its U-PE across the 2D mesh
+// (or through the host when the two PEs sit on different CS-2 systems).
+// The communication-avoiding layout (Fig. 9) removes this phase entirely.
+//
+// This model maps BOTH layouts onto the wafer and counts the shuffle's
+// flit-hops: each cf32 element is two 32-bit flits, each link forwards one
+// flit per cycle (the fabric "allows to transfer data at the same rate as
+// the SRAM memory although at a higher latency", Sec. 5.2). Contention is
+// summarised by the average and a bottleneck estimate of per-router load.
+#pragma once
+
+#include "tlrwse/wse/chunking.hpp"
+#include "tlrwse/wse/wse_spec.hpp"
+
+namespace tlrwse::wse {
+
+struct FabricReport {
+  double shuffle_elements = 0.0;    // yv elements moved (per full pass)
+  double shuffle_bytes = 0.0;       // 8 bytes per cf32 element
+  double local_flit_hops = 0.0;     // same-system mesh traffic
+  double cross_system_bytes = 0.0;  // must leave the wafer via the host
+  double mean_hops = 0.0;           // average on-wafer Manhattan distance
+  index_t systems = 0;
+
+  /// Average per-router forwarding load in flit-cycles (uniform spread).
+  [[nodiscard]] double avg_router_cycles(const WseSpec& spec) const {
+    const double routers =
+        static_cast<double>(systems) * static_cast<double>(spec.usable_pes());
+    return routers > 0.0 ? local_flit_hops / routers : 0.0;
+  }
+  /// Bottleneck estimate: mesh hotspots concentrate several times the
+  /// average load on central routers (dimension-ordered routing).
+  [[nodiscard]] double worst_router_cycles(const WseSpec& spec) const {
+    return 3.0 * avg_router_cycles(spec);
+  }
+};
+
+/// Estimates the 3-phase shuffle traffic for a dataset at the given stack
+/// width: V chunks are laid out per tile column (as in Fig. 4), U chunks
+/// per tile row, both assigned to PEs in enumeration order; every rank row
+/// contributes one cf32 element moving from its V-PE to its U-PE.
+[[nodiscard]] FabricReport estimate_3phase_shuffle(const RankSource& source,
+                                                   const WseSpec& spec,
+                                                   index_t stack_width);
+
+}  // namespace tlrwse::wse

@@ -1,0 +1,54 @@
+// Host-to-wafer transfer model (paper Sec. 6.6).
+//
+// The paper excludes host data transfer from its timed region because the
+// CS-2's ethernet ingress "suffers from overheads due to a slow-bandwidth
+// ethernet interconnect, which may be mitigated with a double buffering
+// mechanism or ... the Compute Express Link (CXL) standard". This model
+// quantifies that claim: given a shard size and a per-system ingress
+// bandwidth, it computes the one-shot load time and the steady-state
+// overlap efficiency when frequency batches are double-buffered against
+// compute.
+#pragma once
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::wse {
+
+enum class HostLink {
+  kEthernet,  // 12 x 100 GbE ingress of a CS-2 (~150 GB/s aggregate)
+  kCxl,       // CXL-attached memory pool (~512 GB/s modelled)
+};
+
+struct HostIoModel {
+  double ethernet_bytes_per_sec = 150e9;
+  double cxl_bytes_per_sec = 512e9;
+  double latency_sec = 50e-6;  // per-batch setup latency
+
+  [[nodiscard]] double bandwidth(HostLink link) const {
+    return link == HostLink::kEthernet ? ethernet_bytes_per_sec
+                                       : cxl_bytes_per_sec;
+  }
+
+  /// Time to push `bytes` onto one system.
+  [[nodiscard]] double transfer_sec(double bytes, HostLink link) const {
+    return latency_sec + bytes / bandwidth(link);
+  }
+};
+
+struct OverlapReport {
+  double load_sec = 0.0;       // cold-start full-shard load
+  double batch_io_sec = 0.0;   // per-batch transfer time
+  double batch_compute_sec = 0.0;
+  double steady_efficiency = 0.0;  // compute / max(compute, io): 1 = hidden
+  bool io_bound = false;
+};
+
+/// Double-buffering overlap: while batch k computes, batch k+1 streams in.
+/// Efficiency is the fraction of wall time spent computing in steady state.
+[[nodiscard]] OverlapReport double_buffer_overlap(const HostIoModel& model,
+                                                  HostLink link,
+                                                  double shard_bytes,
+                                                  index_t num_batches,
+                                                  double compute_sec_per_batch);
+
+}  // namespace tlrwse::wse

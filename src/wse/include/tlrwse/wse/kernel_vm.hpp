@@ -1,0 +1,130 @@
+// Instruction-level PE virtual machine ("CSL-lite").
+//
+// The paper's kernels are CSL programs of fmac instructions whose
+// performance is governed by three microarchitectural rules (Sec. 6.5):
+// a PE issues up to two 64-bit reads and one 64-bit write per cycle, the
+// two reads of a cycle must target distinct 6 kB SRAM banks, and arrays
+// must be aligned/padded so that this holds "for every fmac instruction".
+//
+// This VM makes those rules executable: a chunk of the TLR mapping is
+// assembled into a program over a modelled 48 kB / 8-bank SRAM, executed
+// for VALUES (bit-compatible with the split-real kernels) and for CYCLES
+// (dual-issue when the operands' banks differ, serialised on conflicts).
+// It provides the hardware-bound second opinion on the calibrated analytic
+// cost model: vm_cycles <= analytic_cycles, with the gap being the
+// software-pipeline inefficiency the calibration absorbs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/wse/chunking.hpp"
+#include "tlrwse/wse/wse_spec.hpp"
+
+namespace tlrwse::wse {
+
+/// Byte-addressable single-PE SRAM with a bump allocator and bank mapping.
+class PeMemory {
+ public:
+  explicit PeMemory(const WseSpec& spec)
+      : bank_bytes_(spec.bank_bytes),
+        data_(static_cast<std::size_t>(spec.sram_bytes_per_pe / 4), 0.0f) {}
+
+  /// Allocates `count` floats, 16-byte aligned; returns the word address
+  /// (index into the float array). Throws when SRAM is exhausted.
+  [[nodiscard]] index_t alloc(index_t count);
+
+  /// Bank of a float word address.
+  [[nodiscard]] index_t bank(index_t word_addr) const {
+    return (word_addr * 4) / bank_bytes_;
+  }
+
+  [[nodiscard]] float load(index_t word_addr) const {
+    return data_.at(static_cast<std::size_t>(word_addr));
+  }
+  void store(index_t word_addr, float v) {
+    data_.at(static_cast<std::size_t>(word_addr)) = v;
+  }
+
+  [[nodiscard]] index_t words_used() const noexcept { return top_; }
+  [[nodiscard]] index_t capacity_words() const noexcept {
+    return static_cast<index_t>(data_.size());
+  }
+
+ private:
+  index_t bank_bytes_;
+  index_t top_ = 0;
+  std::vector<float> data_;
+};
+
+/// The instruction set of the kernel VM.
+struct Instruction {
+  enum class Op {
+    kZero,      // y[0..len) = 0
+    kLoadX,     // x register file <- mem[addr .. addr+len)
+    kFmacCol,   // y[0..len) += a[0..len) * xreg[reg]  (one matrix column)
+    kAxpyNeg,   // y[0..len) -= a[0..len) * xreg[reg]
+  };
+  Op op = Op::kZero;
+  index_t y_addr = 0;   // destination base (kZero/kFmacCol/kAxpyNeg)
+  index_t a_addr = 0;   // source column base (kFmacCol/kAxpyNeg/kLoadX src)
+  index_t reg = 0;      // x register index
+  index_t len = 0;      // column length / vector length
+};
+
+struct PeStats {
+  double cycles = 0.0;
+  double reads64 = 0.0;         // 64-bit read transactions issued
+  double writes64 = 0.0;        // 64-bit write transactions issued
+  double bank_conflicts = 0.0;  // dual-read pairs serialised by banking
+  double bytes_accessed = 0.0;  // total SRAM traffic
+};
+
+/// Per-instruction overhead of the VM's cycle model (loop setup, DSR
+/// configuration); the throughput part follows the 2R+1W/banking rules.
+struct VmCostParams {
+  double setup_cycles = 6.0;
+};
+
+/// Executes a program on a PE memory image, producing values and stats.
+class PeSimulator {
+ public:
+  PeSimulator(PeMemory& mem, VmCostParams params = {})
+      : mem_(&mem), params_(params) {}
+
+  /// Runs the program; x registers are a small per-PE register file
+  /// (reloaded by kLoadX from memory).
+  [[nodiscard]] PeStats run(const std::vector<Instruction>& program);
+
+ private:
+  PeMemory* mem_;
+  VmCostParams params_;
+  std::vector<float> xregs_;
+};
+
+/// A chunk assembled onto one PE: the memory image holds the split-real
+/// bases and vectors; `program` computes the eight real MVMs of Sec. 6.6
+/// (strategy 1 order). Outputs live at yr/yi for the chunk's partial y.
+struct AssembledChunk {
+  PeMemory memory;
+  std::vector<Instruction> program;
+  index_t xr_addr = 0, xi_addr = 0;
+  index_t yvr_addr = 0, yvi_addr = 0;
+  index_t yr_addr = 0, yi_addr = 0;
+  index_t y_rows = 0;  // distinct output rows (partial y length)
+
+  explicit AssembledChunk(const WseSpec& spec) : memory(spec) {}
+};
+
+/// Assembles chunk `c` of matrix `A` with input slice `x` (the tile
+/// column's portion of the full x vector, length c.nb).
+[[nodiscard]] AssembledChunk assemble_chunk(const WseSpec& spec,
+                                            const tlr::StackedTlr<cf32>& A,
+                                            const Chunk& c,
+                                            std::span<const cf32> x);
+
+/// Reads the chunk's complex partial-y vector out of the memory image.
+[[nodiscard]] std::vector<cf32> read_partial_y(const AssembledChunk& chunk);
+
+}  // namespace tlrwse::wse

@@ -1,0 +1,38 @@
+// Hardware description of one Cerebras CS-2 Wafer Scale Engine, as used by
+// the paper (Sec. 6.5): a 757 x 996 grid of tiles of which 750 x 994 PEs
+// are usable for compute (the rest route data on/off the wafer), 850 MHz
+// clock, 48 kB of single-cycle SRAM per PE in eight 6 kB banks, and a
+// memory pipe of two 64-bit reads plus one 64-bit write per cycle.
+#pragma once
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::wse {
+
+struct WseSpec {
+  index_t fabric_rows = 757;
+  index_t fabric_cols = 996;
+  index_t usable_rows = 750;
+  index_t usable_cols = 994;
+  double clock_hz = 850e6;
+  index_t sram_bytes_per_pe = 48 * 1024;
+  index_t sram_banks = 8;
+  index_t bank_bytes = 6 * 1024;
+  /// SRAM claimed by the kernel code, the CSL runtime, and communication
+  /// buffers — unavailable to the stacked bases (one 6 kB bank's worth).
+  index_t reserved_sram_bytes = 6 * 1024;
+  int reads_per_cycle = 2;   // 64-bit reads
+  int writes_per_cycle = 1;  // 64-bit writes
+
+  /// PEs available for compute on one CS-2 (745,500; 48 systems give the
+  /// paper's 35,784,000).
+  [[nodiscard]] index_t usable_pes() const noexcept {
+    return usable_rows * usable_cols;
+  }
+  /// SRAM available for data after the reserved region.
+  [[nodiscard]] index_t data_sram_bytes() const noexcept {
+    return sram_bytes_per_pe - reserved_sram_bytes;
+  }
+};
+
+}  // namespace tlrwse::wse

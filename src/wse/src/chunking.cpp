@@ -1,0 +1,130 @@
+#include "tlrwse/wse/chunking.hpp"
+
+#include <algorithm>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::wse {
+
+void for_each_chunk(const RankSource& source, index_t stack_width,
+                    const std::function<void(const Chunk&)>& fn) {
+  TLRWSE_REQUIRE(stack_width >= 1, "stack width must be >= 1");
+  const tlr::TileGrid& g = source.grid();
+  for (index_t q = 0; q < source.num_freqs(); ++q) {
+    const auto ranks = source.tile_ranks(q);
+    for (index_t j = 0; j < g.nt(); ++j) {
+      Chunk chunk;
+      chunk.freq = q;
+      chunk.tile_col = j;
+      chunk.nb = g.tile_cols(j);
+      chunk.h = 0;
+
+      auto flush = [&]() {
+        if (chunk.h > 0) {
+          fn(chunk);
+          chunk.segments.clear();
+          chunk.h = 0;
+        }
+      };
+
+      for (index_t i = 0; i < g.mt(); ++i) {
+        index_t remaining =
+            ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+        index_t consumed = 0;
+        while (remaining > 0) {
+          const index_t take = std::min(remaining, stack_width - chunk.h);
+          chunk.segments.push_back({i, consumed, take, g.tile_rows(i)});
+          chunk.h += take;
+          consumed += take;
+          remaining -= take;
+          if (chunk.h == stack_width) flush();
+        }
+      }
+      flush();
+    }
+  }
+}
+
+index_t count_chunks(const RankSource& source, index_t stack_width) {
+  index_t count = 0;
+  for_each_chunk(source, stack_width, [&](const Chunk&) { ++count; });
+  return count;
+}
+
+std::vector<RealMvmShape> chunk_mvm_shapes(const Chunk& c) {
+  // V batch: y_v (h) = Vslice (h x nb) * x (nb). Four real instances.
+  RealMvmShape v;
+  v.m = static_cast<double>(c.h);
+  v.n = static_cast<double>(c.nb);
+  v.mn = static_cast<double>(c.h) * static_cast<double>(c.nb);
+
+  // U batch: columns of length mb (per segment), h columns total; output
+  // spans the distinct tiles touched by the chunk.
+  RealMvmShape u;
+  u.n = static_cast<double>(c.h);
+  index_t prev_tile = -1;
+  for (const auto& seg : c.segments) {
+    u.mn += static_cast<double>(seg.count) * static_cast<double>(seg.mb);
+    if (seg.tile_row != prev_tile) {
+      u.m += static_cast<double>(seg.mb);
+      prev_tile = seg.tile_row;
+    }
+  }
+
+  return {v, v, v, v, u, u, u, u};
+}
+
+namespace {
+
+/// Distinct output rows of the U batch (partial y length).
+index_t u_output_rows(const Chunk& c) {
+  index_t m = 0;
+  index_t prev_tile = -1;
+  for (const auto& seg : c.segments) {
+    if (seg.tile_row != prev_tile) {
+      m += seg.mb;
+      prev_tile = seg.tile_row;
+    }
+  }
+  return m;
+}
+
+/// Stored element count of the chunk's U bases.
+index_t u_elements(const Chunk& c) {
+  index_t e = 0;
+  for (const auto& seg : c.segments) e += seg.count * seg.mb;
+  return e;
+}
+
+}  // namespace
+
+index_t chunk_sram_bytes_strategy1(const Chunk& c) {
+  const index_t v_elems = c.h * c.nb;
+  const index_t u_elems = u_elements(c);
+  const index_t y_rows = u_output_rows(c);
+  index_t bytes = 0;
+  // Split real bases: Vr, Vi, Ur, Ui as separate aligned arrays.
+  bytes += 2 * padded_array_bytes(v_elems * 4);
+  bytes += 2 * padded_array_bytes(u_elems * 4);
+  // Vectors: xr/xi, yvr/yvi (V outputs), yr/yi (partial y).
+  bytes += 2 * padded_array_bytes(c.nb * 4);
+  bytes += 2 * padded_array_bytes(c.h * 4);
+  bytes += 2 * padded_array_bytes(y_rows * 4);
+  return bytes;
+}
+
+index_t chunk_sram_bytes_strategy2(const Chunk& c) {
+  const index_t v_elems = c.h * c.nb;
+  const index_t u_elems = u_elements(c);
+  const index_t y_rows = u_output_rows(c);
+  // Worst PE holds the larger real base plus its in/out vectors.
+  const index_t v_pe = padded_array_bytes(v_elems * 4) +
+                       padded_array_bytes(c.nb * 4) +
+                       padded_array_bytes(c.h * 4);
+  const index_t u_pe = padded_array_bytes(u_elems * 4) +
+                       padded_array_bytes(c.h * 4) +
+                       padded_array_bytes(y_rows * 4);
+  return std::max(v_pe, u_pe);
+}
+
+}  // namespace tlrwse::wse

@@ -1,0 +1,17 @@
+#include "tlrwse/wse/cost_model.hpp"
+
+namespace tlrwse::wse {
+
+double mvm_cycles(const CostModelParams& p, double mn, double n) {
+  return p.cycles_per_element * mn + p.cycles_per_column * n +
+         p.cycles_per_mvm;
+}
+
+index_t padded_array_bytes(index_t raw_bytes) {
+  // Round up to 16 bytes and add one 16-byte guard so consecutive arrays
+  // start on distinct bank-aligned boundaries.
+  const index_t rounded = (raw_bytes + 15) / 16 * 16;
+  return rounded + 16;
+}
+
+}  // namespace tlrwse::wse

@@ -1,0 +1,153 @@
+#include "tlrwse/wse/fabric.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::wse {
+
+namespace {
+
+/// Wafer coordinates of a global PE id: system, x, y.
+struct PeCoord {
+  index_t system;
+  index_t x;
+  index_t y;
+};
+
+PeCoord pe_coord(index_t pe, const WseSpec& spec) {
+  const index_t usable = spec.usable_pes();
+  const index_t local = pe % usable;
+  return {pe / usable, local % spec.usable_cols, local / spec.usable_cols};
+}
+
+index_t manhattan(const PeCoord& a, const PeCoord& b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+/// Per-tile assignment of rank rows to PEs: list of (pe, count) runs in
+/// rank order.
+struct TileRuns {
+  std::vector<std::pair<index_t, index_t>> runs;  // (pe, count)
+};
+
+}  // namespace
+
+FabricReport estimate_3phase_shuffle(const RankSource& source,
+                                     const WseSpec& spec,
+                                     index_t stack_width) {
+  TLRWSE_REQUIRE(stack_width >= 1, "stack width must be >= 1");
+  const tlr::TileGrid& g = source.grid();
+  FabricReport rep;
+  double hop_weighted = 0.0;
+
+  // The U-side chunking starts after all V chunks (V PEs first, then U PEs
+  // in enumeration order): count the V chunks first so U PE ids follow on.
+  index_t total_v_chunks = 0;
+  for (index_t q = 0; q < source.num_freqs(); ++q) {
+    const auto ranks = source.tile_ranks(q);
+    for (index_t j = 0; j < g.nt(); ++j) {
+      index_t kj = 0;
+      for (index_t i = 0; i < g.mt(); ++i) {
+        kj += ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+      }
+      total_v_chunks += (kj + stack_width - 1) / stack_width;
+    }
+  }
+
+  index_t v_pe_cursor = 0;
+  index_t u_pe_cursor = total_v_chunks;
+  std::vector<TileRuns> v_runs(static_cast<std::size_t>(g.num_tiles()));
+  std::vector<TileRuns> u_runs(static_cast<std::size_t>(g.num_tiles()));
+
+  for (index_t q = 0; q < source.num_freqs(); ++q) {
+    const auto ranks = source.tile_ranks(q);
+    for (auto& t : v_runs) t.runs.clear();
+    for (auto& t : u_runs) t.runs.clear();
+
+    // V chunking: per tile column, stacks of <= stack_width rank rows.
+    for (index_t j = 0; j < g.nt(); ++j) {
+      index_t fill = 0;
+      for (index_t i = 0; i < g.mt(); ++i) {
+        index_t remaining = ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+        while (remaining > 0) {
+          if (fill == stack_width) {
+            fill = 0;
+            ++v_pe_cursor;
+          }
+          const index_t take = std::min(remaining, stack_width - fill);
+          v_runs[static_cast<std::size_t>(g.tile_index(i, j))].runs.push_back(
+              {v_pe_cursor, take});
+          fill += take;
+          remaining -= take;
+        }
+      }
+      if (fill > 0) {
+        fill = 0;
+        ++v_pe_cursor;
+      }
+    }
+
+    // U chunking: per tile ROW (the Fig. 4 horizontal stacks).
+    for (index_t i = 0; i < g.mt(); ++i) {
+      index_t fill = 0;
+      for (index_t j = 0; j < g.nt(); ++j) {
+        index_t remaining = ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+        while (remaining > 0) {
+          if (fill == stack_width) {
+            fill = 0;
+            ++u_pe_cursor;
+          }
+          const index_t take = std::min(remaining, stack_width - fill);
+          u_runs[static_cast<std::size_t>(g.tile_index(i, j))].runs.push_back(
+              {u_pe_cursor, take});
+          fill += take;
+          remaining -= take;
+        }
+      }
+      if (fill > 0) {
+        fill = 0;
+        ++u_pe_cursor;
+      }
+    }
+
+    // Shuffle traffic: align the V and U run partitions of each tile.
+    for (index_t t = 0; t < g.num_tiles(); ++t) {
+      const auto& vr = v_runs[static_cast<std::size_t>(t)].runs;
+      const auto& ur = u_runs[static_cast<std::size_t>(t)].runs;
+      std::size_t vi = 0, ui = 0;
+      index_t v_left = vr.empty() ? 0 : vr[0].second;
+      index_t u_left = ur.empty() ? 0 : ur[0].second;
+      while (vi < vr.size() && ui < ur.size()) {
+        const index_t n = std::min(v_left, u_left);
+        const PeCoord a = pe_coord(vr[vi].first, spec);
+        const PeCoord b = pe_coord(ur[ui].first, spec);
+        rep.shuffle_elements += static_cast<double>(n);
+        if (a.system == b.system) {
+          const double hops = static_cast<double>(manhattan(a, b));
+          // Two 32-bit flits per cf32 element.
+          rep.local_flit_hops += 2.0 * static_cast<double>(n) * hops;
+          hop_weighted += static_cast<double>(n) * hops;
+        } else {
+          rep.cross_system_bytes += 8.0 * static_cast<double>(n);
+        }
+        v_left -= n;
+        u_left -= n;
+        if (v_left == 0 && ++vi < vr.size()) v_left = vr[vi].second;
+        if (u_left == 0 && ++ui < ur.size()) u_left = ur[ui].second;
+      }
+    }
+  }
+
+  rep.shuffle_bytes = 8.0 * rep.shuffle_elements;
+  rep.mean_hops =
+      rep.shuffle_elements > 0.0 ? hop_weighted / rep.shuffle_elements : 0.0;
+  const index_t total_pes = u_pe_cursor;
+  rep.systems = std::max<index_t>(
+      1, (total_pes + spec.usable_pes() - 1) / spec.usable_pes());
+  return rep;
+}
+
+}  // namespace tlrwse::wse

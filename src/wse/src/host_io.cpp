@@ -1,0 +1,26 @@
+#include "tlrwse/wse/host_io.hpp"
+
+#include <algorithm>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::wse {
+
+OverlapReport double_buffer_overlap(const HostIoModel& model, HostLink link,
+                                    double shard_bytes, index_t num_batches,
+                                    double compute_sec_per_batch) {
+  TLRWSE_REQUIRE(num_batches >= 1, "need at least one batch");
+  TLRWSE_REQUIRE(shard_bytes >= 0.0 && compute_sec_per_batch >= 0.0,
+                 "negative workload");
+  OverlapReport rep;
+  rep.load_sec = model.transfer_sec(shard_bytes, link);
+  const double batch_bytes = shard_bytes / static_cast<double>(num_batches);
+  rep.batch_io_sec = model.transfer_sec(batch_bytes, link);
+  rep.batch_compute_sec = compute_sec_per_batch;
+  const double step = std::max(rep.batch_io_sec, rep.batch_compute_sec);
+  rep.steady_efficiency = step > 0.0 ? rep.batch_compute_sec / step : 1.0;
+  rep.io_bound = rep.batch_io_sec > rep.batch_compute_sec;
+  return rep;
+}
+
+}  // namespace tlrwse::wse

@@ -1,0 +1,230 @@
+#include "tlrwse/wse/kernel_vm.hpp"
+
+#include <algorithm>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::wse {
+
+index_t PeMemory::alloc(index_t count) {
+  // 16-byte alignment = 4 float words.
+  const index_t aligned = (top_ + 3) / 4 * 4;
+  TLRWSE_REQUIRE(aligned + count <= capacity_words(),
+                 "PE SRAM exhausted: need ", count, " words at ", aligned,
+                 " of ", capacity_words());
+  top_ = aligned + count;
+  return aligned;
+}
+
+PeStats PeSimulator::run(const std::vector<Instruction>& program) {
+  PeStats stats;
+  for (const Instruction& ins : program) {
+    switch (ins.op) {
+      case Instruction::Op::kZero: {
+        // One 64-bit write per cycle -> ceil(len/2) cycles + setup.
+        for (index_t e = 0; e < ins.len; ++e) {
+          mem_->store(ins.y_addr + e, 0.0f);
+        }
+        const double pairs = static_cast<double>((ins.len + 1) / 2);
+        stats.cycles += params_.setup_cycles + pairs;
+        stats.writes64 += pairs;
+        stats.bytes_accessed += 8.0 * pairs;
+        break;
+      }
+      case Instruction::Op::kLoadX: {
+        if (static_cast<index_t>(xregs_.size()) < ins.reg + ins.len) {
+          xregs_.resize(static_cast<std::size_t>(ins.reg + ins.len));
+        }
+        for (index_t e = 0; e < ins.len; ++e) {
+          xregs_[static_cast<std::size_t>(ins.reg + e)] =
+              mem_->load(ins.a_addr + e);
+        }
+        const double pairs = static_cast<double>((ins.len + 1) / 2);
+        stats.cycles += params_.setup_cycles + pairs;
+        stats.reads64 += pairs;
+        stats.bytes_accessed += 8.0 * pairs;
+        break;
+      }
+      case Instruction::Op::kFmacCol:
+      case Instruction::Op::kAxpyNeg: {
+        const float sign =
+            (ins.op == Instruction::Op::kAxpyNeg) ? -1.0f : 1.0f;
+        const float x = sign * xregs_.at(static_cast<std::size_t>(ins.reg));
+        for (index_t e = 0; e < ins.len; ++e) {
+          const float a = mem_->load(ins.a_addr + e);
+          const float y = mem_->load(ins.y_addr + e);
+          mem_->store(ins.y_addr + e, y + a * x);
+        }
+        // Throughput: each cycle moves an (a-pair, y-pair) through the
+        // dual read ports and writes the y-pair back — IF the two reads
+        // target distinct banks. Pairs whose banks collide serialise.
+        stats.cycles += params_.setup_cycles;
+        for (index_t e = 0; e < ins.len; e += 2) {
+          const bool conflict =
+              mem_->bank(ins.a_addr + e) == mem_->bank(ins.y_addr + e);
+          stats.cycles += conflict ? 2.0 : 1.0;
+          if (conflict) stats.bank_conflicts += 1.0;
+          stats.reads64 += 2.0;
+          stats.writes64 += 1.0;
+          stats.bytes_accessed += 24.0;
+        }
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Copies the real or imaginary parts of a complex column range into the
+/// PE memory at `dst`.
+void upload_parts(PeMemory& mem, index_t dst, const cf32* src, index_t n,
+                  bool imag) {
+  for (index_t e = 0; e < n; ++e) {
+    mem.store(dst + e, imag ? src[e].imag() : src[e].real());
+  }
+}
+
+}  // namespace
+
+AssembledChunk assemble_chunk(const WseSpec& spec,
+                              const tlr::StackedTlr<cf32>& A, const Chunk& c,
+                              std::span<const cf32> x) {
+  TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == c.nb,
+                 "x slice must match the tile column width");
+  AssembledChunk out(spec);
+  PeMemory& mem = out.memory;
+  const auto& vs = A.v_stack(c.tile_col);
+
+  // --- data layout -------------------------------------------------------
+  // V slices stored column-major (h x nb), real and imaginary planes.
+  const index_t v_elems = c.h * c.nb;
+  const index_t vr = mem.alloc(v_elems);
+  const index_t vi = mem.alloc(v_elems);
+  {
+    index_t row = 0;
+    for (const auto& seg : c.segments) {
+      const index_t base = A.v_offset(seg.tile_row, c.tile_col) + seg.rank_begin;
+      for (index_t r = 0; r < seg.count; ++r, ++row) {
+        for (index_t col = 0; col < c.nb; ++col) {
+          const cf32 v = vs(base + r, col);
+          mem.store(vr + col * c.h + row, v.real());
+          mem.store(vi + col * c.h + row, v.imag());
+        }
+      }
+    }
+  }
+
+  // U columns: one column of length mb per stack row, real/imag planes,
+  // stored contiguously per row with per-segment offsets recorded.
+  index_t u_elems = 0;
+  for (const auto& seg : c.segments) u_elems += seg.count * seg.mb;
+  const index_t ur = mem.alloc(u_elems);
+  const index_t ui = mem.alloc(u_elems);
+  {
+    index_t off = 0;
+    for (const auto& seg : c.segments) {
+      const auto& us = A.u_stack(seg.tile_row);
+      const index_t ubase = A.u_offset(seg.tile_row, c.tile_col) + seg.rank_begin;
+      for (index_t r = 0; r < seg.count; ++r) {
+        upload_parts(mem, ur + off, us.col(ubase + r), seg.mb, false);
+        upload_parts(mem, ui + off, us.col(ubase + r), seg.mb, true);
+        off += seg.mb;
+      }
+    }
+  }
+
+  // Vectors.
+  out.xr_addr = mem.alloc(c.nb);
+  out.xi_addr = mem.alloc(c.nb);
+  upload_parts(mem, out.xr_addr, x.data(), c.nb, false);
+  upload_parts(mem, out.xi_addr, x.data(), c.nb, true);
+  out.yvr_addr = mem.alloc(c.h);
+  out.yvi_addr = mem.alloc(c.h);
+  index_t y_rows = 0;
+  index_t prev_tile = -1;
+  for (const auto& seg : c.segments) {
+    if (seg.tile_row != prev_tile) {
+      y_rows += seg.mb;
+      prev_tile = seg.tile_row;
+    }
+  }
+  out.y_rows = y_rows;
+  out.yr_addr = mem.alloc(y_rows);
+  out.yi_addr = mem.alloc(y_rows);
+
+  // --- program -----------------------------------------------------------
+  auto& prog = out.program;
+  auto zero = [&](index_t addr, index_t len) {
+    prog.push_back({Instruction::Op::kZero, addr, 0, 0, len});
+  };
+  auto loadx = [&](index_t addr, index_t reg, index_t len) {
+    prog.push_back({Instruction::Op::kLoadX, 0, addr, reg, len});
+  };
+  auto fmac = [&](index_t y, index_t a, index_t reg, index_t len, bool neg) {
+    prog.push_back({neg ? Instruction::Op::kAxpyNeg : Instruction::Op::kFmacCol,
+                    y, a, reg, len});
+  };
+
+  // x register file: xr in regs [0, nb), xi in regs [nb, 2 nb).
+  loadx(out.xr_addr, 0, c.nb);
+  loadx(out.xi_addr, c.nb, c.nb);
+
+  // V batch (4 real MVMs over the column-major V planes):
+  //   yvr = Vr xr - Vi xi ; yvi = Vr xi + Vi xr.
+  zero(out.yvr_addr, c.h);
+  zero(out.yvi_addr, c.h);
+  for (index_t col = 0; col < c.nb; ++col) {
+    fmac(out.yvr_addr, vr + col * c.h, col, c.h, false);        // +Vr xr
+    fmac(out.yvi_addr, vi + col * c.h, col, c.h, false);        // +Vi xr
+  }
+  for (index_t col = 0; col < c.nb; ++col) {
+    fmac(out.yvr_addr, vi + col * c.h, c.nb + col, c.h, true);  // -Vi xi
+    fmac(out.yvi_addr, vr + col * c.h, c.nb + col, c.h, false); // +Vr xi
+  }
+
+  // U batch: scalars are the freshly computed yv values -> reload them
+  // into the register file (regs [2 nb, 2 nb + 2 h)).
+  const index_t regs_yvr = 2 * c.nb;
+  const index_t regs_yvi = 2 * c.nb + c.h;
+  loadx(out.yvr_addr, regs_yvr, c.h);
+  loadx(out.yvi_addr, regs_yvi, c.h);
+  zero(out.yr_addr, y_rows);
+  zero(out.yi_addr, y_rows);
+  // Walk segments tracking the partial-y offset per distinct tile.
+  {
+    index_t off = 0;
+    index_t row = 0;
+    index_t y_off = -1;
+    index_t last_tile = -1;
+    index_t cur_mb = 0;
+    for (const auto& seg : c.segments) {
+      if (seg.tile_row != last_tile) {
+        y_off = (y_off < 0) ? 0 : y_off + cur_mb;
+        cur_mb = seg.mb;
+        last_tile = seg.tile_row;
+      }
+      for (index_t r = 0; r < seg.count; ++r, ++row) {
+        // yr += Ur * yvr ; yr -= Ui * yvi ; yi += Ur * yvi ; yi += Ui * yvr.
+        fmac(out.yr_addr + y_off, ur + off, regs_yvr + row, seg.mb, false);
+        fmac(out.yr_addr + y_off, ui + off, regs_yvi + row, seg.mb, true);
+        fmac(out.yi_addr + y_off, ur + off, regs_yvi + row, seg.mb, false);
+        fmac(out.yi_addr + y_off, ui + off, regs_yvr + row, seg.mb, false);
+        off += seg.mb;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<cf32> read_partial_y(const AssembledChunk& chunk) {
+  std::vector<cf32> y(static_cast<std::size_t>(chunk.y_rows));
+  for (index_t e = 0; e < chunk.y_rows; ++e) {
+    y[static_cast<std::size_t>(e)] = {chunk.memory.load(chunk.yr_addr + e),
+                                      chunk.memory.load(chunk.yi_addr + e)};
+  }
+  return y;
+}
+
+}  // namespace tlrwse::wse

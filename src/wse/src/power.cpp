@@ -1,0 +1,6 @@
+// PowerModel is header-only; this TU anchors the library target.
+#include "tlrwse/wse/power.hpp"
+
+namespace tlrwse::wse {
+static_assert(sizeof(PowerModel) > 0);
+}  // namespace tlrwse::wse

@@ -1,0 +1,94 @@
+// Tests for adaptive cross approximation.
+#include <gtest/gtest.h>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/aca.hpp"
+#include "tlrwse/la/blas.hpp"
+
+namespace tlrwse::la {
+namespace {
+
+template <typename T>
+Matrix<T> random_matrix(Rng& rng, index_t m, index_t n) {
+  Matrix<T> a(m, n);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  return a;
+}
+
+TEST(Aca, ExactOnRankOne) {
+  Rng rng(3);
+  const auto u = random_matrix<cf64>(rng, 12, 1);
+  const auto v = random_matrix<cf64>(rng, 1, 9);
+  const auto a = matmul(u, v);
+  const auto f = compress_aca(a, 1e-10);
+  EXPECT_LE(f.rank(), 2);
+  EXPECT_LT(frobenius_distance(reconstruct(f), a),
+            1e-9 * frobenius_norm(a));
+}
+
+TEST(Aca, RecoversLowRank) {
+  Rng rng(5);
+  const auto u = random_matrix<cf64>(rng, 20, 4);
+  const auto v = random_matrix<cf64>(rng, 4, 16);
+  const auto a = matmul(u, v);
+  const auto f = compress_aca(a, 1e-10);
+  EXPECT_GE(f.rank(), 4);
+  EXPECT_LT(frobenius_distance(reconstruct(f), a),
+            1e-8 * frobenius_norm(a));
+}
+
+TEST(Aca, SmoothKernelCompresses) {
+  // Analytic kernel exp(i*w*x*y): its singular values decay super-
+  // exponentially (numerically low rank) — ACA's home turf.
+  MatrixCD a(32, 28);
+  for (index_t j = 0; j < 28; ++j) {
+    for (index_t i = 0; i < 32; ++i) {
+      const double x = static_cast<double>(i) / 31.0;
+      const double y = static_cast<double>(j) / 27.0;
+      a(i, j) = std::polar(1.0 + 0.3 * x * y, 4.0 * x * y);
+    }
+  }
+  const auto f = compress_aca(a, 1e-3);
+  EXPECT_LT(f.rank(), 28);
+  EXPECT_LT(frobenius_distance(reconstruct(f), a),
+            1e-1 * frobenius_norm(a));
+}
+
+TEST(Aca, MaxRankCaps) {
+  Rng rng(7);
+  const auto a = random_matrix<cf64>(rng, 10, 10);
+  const auto f = compress_aca(a, 1e-14, 3);
+  EXPECT_LE(f.rank(), 3);
+}
+
+TEST(Aca, ZeroMatrix) {
+  const MatrixCD a(6, 5, cf64{});
+  const auto f = compress_aca(a, 1e-4);
+  EXPECT_EQ(f.rank(), 0);
+}
+
+TEST(Aca, LooseToleranceGivesSmallerRank) {
+  MatrixCD a(24, 24);
+  for (index_t j = 0; j < 24; ++j) {
+    for (index_t i = 0; i < 24; ++i) {
+      const double d = 1.0 + std::abs(static_cast<double>(i - j)) / 4.0;
+      a(i, j) = std::polar(std::exp(-d / 4.0), d);
+    }
+  }
+  const auto loose = compress_aca(a, 1e-2);
+  const auto tight = compress_aca(a, 1e-8);
+  EXPECT_LE(loose.rank(), tight.rank());
+}
+
+TEST(Aca, FullRankIdentityTerminates) {
+  // Identity is the worst case for cross approximation: every pivot kills
+  // exactly one entry. It must still terminate with rank n and an exact
+  // reconstruction.
+  const auto a = MatrixCD::identity(8);
+  const auto f = compress_aca(a, 1e-12);
+  EXPECT_EQ(f.rank(), 8);
+  EXPECT_LT(frobenius_distance(reconstruct(f), a), 1e-10);
+}
+
+}  // namespace
+}  // namespace tlrwse::la

@@ -1,0 +1,128 @@
+// Tests for kernel archives: build, round trip, and operator equivalence
+// (an operator from a reloaded archive gives the same MDD solution).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdd/metrics.hpp"
+
+namespace tlrwse::io {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+const seismic::SeismicDataset& dataset() {
+  static const seismic::SeismicDataset data = [] {
+    seismic::DatasetConfig cfg;
+    cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+    cfg.nt = 128;
+    cfg.f_min = 4.0;
+    cfg.f_max = 40.0;
+    return seismic::build_dataset(cfg);
+  }();
+  return data;
+}
+
+tlr::CompressionConfig cc() {
+  tlr::CompressionConfig c;
+  c.nb = 12;
+  c.acc = 1e-4;
+  return c;
+}
+
+TEST(Archive, BuildHasAllKernelsAndMetadata) {
+  const auto& data = dataset();
+  const auto archive = build_archive(data, cc());
+  EXPECT_EQ(archive.num_freqs(), data.num_freqs());
+  EXPECT_EQ(archive.nt, data.config.nt);
+  EXPECT_EQ(archive.freq_bins, data.freq_bins);
+  EXPECT_GT(archive.compressed_bytes(), 0.0);
+  for (const auto& k : archive.kernels) {
+    EXPECT_EQ(k.rows(), data.num_sources());
+    EXPECT_EQ(k.cols(), data.num_receivers());
+  }
+}
+
+TEST(Archive, RoundTripPreservesEverything) {
+  TempFile f("tlrwse_archive.bin");
+  const auto& data = dataset();
+  const auto archive = build_archive(data, cc());
+  save_archive(f.path, archive);
+  const auto back = load_archive(f.path);
+
+  EXPECT_EQ(back.nt, archive.nt);
+  EXPECT_DOUBLE_EQ(back.dt, archive.dt);
+  EXPECT_EQ(back.freq_bins, archive.freq_bins);
+  ASSERT_EQ(back.num_freqs(), archive.num_freqs());
+  for (index_t q = 0; q < archive.num_freqs(); ++q) {
+    const auto& a = archive.kernels[static_cast<std::size_t>(q)];
+    const auto& b = back.kernels[static_cast<std::size_t>(q)];
+    ASSERT_EQ(a.grid().nb(), b.grid().nb());
+    for (index_t j = 0; j < a.grid().nt(); ++j) {
+      for (index_t i = 0; i < a.grid().mt(); ++i) {
+        EXPECT_TRUE(a.tile(i, j).U == b.tile(i, j).U);
+        EXPECT_TRUE(a.tile(i, j).Vh == b.tile(i, j).Vh);
+      }
+    }
+  }
+}
+
+TEST(Archive, ReloadedOperatorSolvesIdentically) {
+  TempFile f("tlrwse_archive2.bin");
+  const auto& data = dataset();
+  const auto archive = build_archive(data, cc());
+  save_archive(f.path, archive);
+  const auto back = load_archive(f.path);
+
+  const auto op_fresh = make_operator(archive);
+  const auto op_back = make_operator(back);
+
+  const index_t v = data.num_receivers() / 2;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 20;
+  const auto x1 = mdd::solve_mdd(*op_fresh, rhs, lsqr);
+  const auto x2 = mdd::solve_mdd(*op_back, rhs, lsqr);
+  ASSERT_EQ(x1.x.size(), x2.x.size());
+  for (std::size_t i = 0; i < x1.x.size(); ++i) {
+    EXPECT_EQ(x1.x[i], x2.x[i]);  // bit-identical: same kernels, same solver
+  }
+}
+
+TEST(Archive, MatchesDirectTlrOperator) {
+  // The archive path (dA folded at build) equals make_mdc_operator's TLR
+  // backend with the same compression settings.
+  const auto& data = dataset();
+  const auto archive = build_archive(data, cc());
+  const auto op_arch = make_operator(archive);
+  const auto op_direct =
+      mdd::make_mdc_operator(data, mdd::KernelBackend::kTlrFused, cc());
+  const index_t v = 2;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 10;
+  const auto a = mdd::solve_mdd(*op_arch, rhs, lsqr);
+  const auto b = mdd::solve_mdd(*op_direct, rhs, lsqr);
+  EXPECT_LT(mdd::nmse(a.x, b.x), 1e-8);
+}
+
+TEST(Archive, RejectsCorruptFiles) {
+  TempFile f("tlrwse_bad_archive.bin");
+  {
+    std::ofstream os(f.path, std::ios::binary);
+    os << "garbage";
+  }
+  EXPECT_THROW((void)load_archive(f.path), std::runtime_error);
+  EXPECT_THROW((void)load_archive("/nonexistent/a.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tlrwse::io

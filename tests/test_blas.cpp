@@ -1,0 +1,187 @@
+// Tests of the BLAS-like kernels against naive references, including
+// parameterized sweeps over matrix shapes and all four precisions' core
+// properties.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/blas.hpp"
+
+namespace tlrwse::la {
+namespace {
+
+template <typename T>
+Matrix<T> random_matrix(Rng& rng, index_t m, index_t n) {
+  Matrix<T> a(m, n);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  return a;
+}
+
+template <typename T>
+std::vector<T> random_vector(Rng& rng, index_t n) {
+  std::vector<T> v(static_cast<std::size_t>(n));
+  fill_normal(rng, v.data(), v.size());
+  return v;
+}
+
+/// Naive O(mn) reference MVM.
+template <typename T>
+std::vector<T> naive_mvm(const Matrix<T>& a, const std::vector<T>& x) {
+  std::vector<T> y(static_cast<std::size_t>(a.rows()), T{});
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      y[static_cast<std::size_t>(i)] += a(i, j) * x[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+class GemvShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GemvShapes, MatchesNaiveComplex) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 100 + n);
+  const auto a = random_matrix<cf64>(rng, m, n);
+  const auto x = random_vector<cf64>(rng, n);
+  std::vector<cf64> y(static_cast<std::size_t>(m));
+  gemv(a, std::span<const cf64>(x), std::span<cf64>(y));
+  const auto ref = naive_mvm(a, x);
+  for (index_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(i)] -
+                         ref[static_cast<std::size_t>(i)]),
+                0.0, 1e-10 * n);
+  }
+}
+
+TEST_P(GemvShapes, AdjointMatchesNaive) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 37 + n);
+  const auto a = random_matrix<cf64>(rng, m, n);
+  const auto x = random_vector<cf64>(rng, m);
+  std::vector<cf64> y(static_cast<std::size_t>(n));
+  gemv_adjoint(a, std::span<const cf64>(x), std::span<cf64>(y));
+  // Reference: (A^H x)_j = sum_i conj(a_ij) x_i.
+  for (index_t j = 0; j < n; ++j) {
+    cf64 ref{};
+    for (index_t i = 0; i < m; ++i) {
+      ref += std::conj(a(i, j)) * x[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(j)] - ref), 0.0,
+                1e-10 * m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemvShapes,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(1, 7),
+                                           std::make_tuple(7, 1),
+                                           std::make_tuple(8, 8),
+                                           std::make_tuple(13, 5),
+                                           std::make_tuple(5, 13),
+                                           std::make_tuple(64, 33),
+                                           std::make_tuple(70, 70)));
+
+TEST(Gemv, AlphaBetaSemantics) {
+  Rng rng(5);
+  const auto a = random_matrix<double>(rng, 4, 3);
+  const auto x = random_vector<double>(rng, 3);
+  std::vector<double> y0(4, 1.0);
+  auto y = y0;
+  gemv(a, std::span<const double>(x), std::span<double>(y), 2.0, 3.0);
+  const auto ax = naive_mvm(a, x);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                2.0 * ax[static_cast<std::size_t>(i)] + 3.0, 1e-12);
+  }
+}
+
+TEST(Gemv, SizeMismatchThrows) {
+  MatrixD a(3, 2, 0.0);
+  std::vector<double> x(3), y(3);
+  EXPECT_THROW(
+      gemv(a, std::span<const double>(x), std::span<double>(y)),
+      std::invalid_argument);
+}
+
+TEST(Gemm, MatchesComposedGemv) {
+  Rng rng(11);
+  const auto a = random_matrix<cf32>(rng, 9, 6);
+  const auto b = random_matrix<cf32>(rng, 6, 4);
+  const auto c = matmul(a, b);
+  for (index_t j = 0; j < 4; ++j) {
+    std::vector<cf32> bj(b.col(j), b.col(j) + 6);
+    const auto ref = naive_mvm(a, bj);
+    for (index_t i = 0; i < 9; ++i) {
+      EXPECT_NEAR(std::abs(c(i, j) - ref[static_cast<std::size_t>(i)]), 0.0,
+                  1e-4);
+    }
+  }
+}
+
+TEST(Gemm, AccumulatesWithBeta) {
+  Rng rng(13);
+  const auto a = random_matrix<double>(rng, 3, 3);
+  const auto b = random_matrix<double>(rng, 3, 3);
+  auto c = MatrixD(3, 3, 1.0);
+  gemm(a, b, c, 1.0, 1.0);
+  const auto ab = matmul(a, b);
+  for (index_t j = 0; j < 3; ++j) {
+    for (index_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(c(i, j), ab(i, j) + 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Gemm, InnerDimMismatchThrows) {
+  MatrixD a(2, 3, 0.0), b(2, 2, 0.0), c(2, 2, 0.0);
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+}
+
+TEST(Dot, HermitianProperty) {
+  Rng rng(17);
+  const auto x = random_vector<cf64>(rng, 20);
+  const auto y = random_vector<cf64>(rng, 20);
+  const auto xy = dot(std::span<const cf64>(x), std::span<const cf64>(y));
+  const auto yx = dot(std::span<const cf64>(y), std::span<const cf64>(x));
+  EXPECT_NEAR(std::abs(xy - std::conj(yx)), 0.0, 1e-12);
+}
+
+TEST(Norm2, KnownValues) {
+  std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(std::span<const double>(v)), 5.0);
+  std::vector<cf64> z{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(norm2(std::span<const cf64>(z)), 5.0);
+}
+
+TEST(Norm2, RobustToExtremeScales) {
+  std::vector<float> tiny(10, 1e-30f);
+  EXPECT_GT(norm2(std::span<const float>(tiny)), 0.0f);
+  std::vector<float> huge(4, 1e20f);
+  EXPECT_FALSE(std::isinf(norm2(std::span<const float>(huge))));
+}
+
+TEST(Frobenius, MatchesNorm2OfData) {
+  Rng rng(19);
+  const auto a = random_matrix<cf64>(rng, 6, 5);
+  const auto n1 = frobenius_norm(a);
+  double sum = 0.0;
+  for (index_t j = 0; j < 5; ++j) {
+    for (index_t i = 0; i < 6; ++i) sum += std::norm(a(i, j));
+  }
+  EXPECT_NEAR(n1, std::sqrt(sum), 1e-12);
+  EXPECT_NEAR(frobenius_distance(a, a), 0.0, 1e-15);
+}
+
+TEST(AxpyScal, Basic) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, std::span<const double>(x), std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  scal(0.5, std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+}  // namespace
+}  // namespace tlrwse::la

@@ -1,0 +1,129 @@
+// Tests for the fabric shuffle model and the host-transfer model — the
+// quantitative backing of the paper's communication-avoiding design choice
+// (Sec. 5.3) and its host-IO discussion (Sec. 6.6).
+#include <gtest/gtest.h>
+
+#include "tlrwse/wse/fabric.hpp"
+#include "tlrwse/wse/host_io.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+class UniformSource final : public RankSource {
+ public:
+  UniformSource(index_t rows, index_t cols, index_t nb, index_t nf,
+                index_t rank)
+      : grid_(rows, cols, nb), nf_(nf), rank_(rank) {}
+  [[nodiscard]] index_t num_freqs() const override { return nf_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const override { return grid_; }
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t) const override {
+    std::vector<index_t> ranks(static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        ranks[static_cast<std::size_t>(grid_.tile_index(i, j))] = std::min(
+            rank_, std::min(grid_.tile_rows(i), grid_.tile_cols(j)));
+      }
+    }
+    return ranks;
+  }
+
+ private:
+  tlr::TileGrid grid_;
+  index_t nf_;
+  index_t rank_;
+};
+
+TEST(Fabric, ShuffleMovesEveryRankRowOnce) {
+  UniformSource src(200, 160, 20, 2, 5);
+  const WseSpec spec;
+  const auto rep = estimate_3phase_shuffle(src, spec, 16);
+  // Total rank rows: mt*nt tiles x rank x freqs.
+  const double expected = 10.0 * 8.0 * 5.0 * 2.0;
+  EXPECT_DOUBLE_EQ(rep.shuffle_elements, expected);
+  EXPECT_DOUBLE_EQ(rep.shuffle_bytes, 8.0 * expected);
+}
+
+TEST(Fabric, SomeTrafficTravelsNonZeroDistance) {
+  UniformSource src(400, 300, 20, 4, 8);
+  const WseSpec spec;
+  const auto rep = estimate_3phase_shuffle(src, spec, 16);
+  EXPECT_GT(rep.local_flit_hops + rep.cross_system_bytes, 0.0);
+  EXPECT_GE(rep.mean_hops, 0.0);
+  EXPECT_GE(rep.systems, 1);
+}
+
+TEST(Fabric, FusedLayoutAvoidsAllOfIt) {
+  // The point of Fig. 9: the fused layout has zero shuffle traffic by
+  // construction. The model only ever charges the 3-phase layout, so a
+  // dataset with zero ranks — the degenerate fused-equivalent — moves
+  // nothing.
+  UniformSource src(40, 40, 20, 1, 0);
+  const WseSpec spec;
+  const auto rep = estimate_3phase_shuffle(src, spec, 8);
+  EXPECT_DOUBLE_EQ(rep.shuffle_elements, 0.0);
+  EXPECT_DOUBLE_EQ(rep.local_flit_hops, 0.0);
+}
+
+TEST(Fabric, RouterLoadScalesWithTraffic) {
+  const WseSpec spec;
+  UniformSource small(200, 160, 20, 1, 3);
+  UniformSource big(200, 160, 20, 4, 10);
+  const auto rs = estimate_3phase_shuffle(small, spec, 16);
+  const auto rb = estimate_3phase_shuffle(big, spec, 16);
+  EXPECT_GE(rb.local_flit_hops + rb.cross_system_bytes,
+            rs.local_flit_hops + rs.cross_system_bytes);
+  EXPECT_DOUBLE_EQ(rs.worst_router_cycles(spec),
+                   3.0 * rs.avg_router_cycles(spec));
+}
+
+TEST(Fabric, InvalidStackWidthThrows) {
+  UniformSource src(40, 40, 20, 1, 2);
+  EXPECT_THROW((void)estimate_3phase_shuffle(src, WseSpec{}, 0),
+               std::invalid_argument);
+}
+
+TEST(HostIo, CxlFasterThanEthernet) {
+  const HostIoModel model;
+  const double bytes = 20e9;  // one shard
+  EXPECT_LT(model.transfer_sec(bytes, HostLink::kCxl),
+            model.transfer_sec(bytes, HostLink::kEthernet));
+}
+
+TEST(HostIo, DoubleBufferingHidesIoWhenComputeDominates) {
+  const HostIoModel model;
+  const auto rep = double_buffer_overlap(model, HostLink::kEthernet, 20e9, 230,
+                                         /*compute_sec_per_batch=*/1.0);
+  EXPECT_FALSE(rep.io_bound);
+  EXPECT_NEAR(rep.steady_efficiency, 1.0, 1e-9);
+}
+
+TEST(HostIo, FastKernelsAreIoBound) {
+  // The paper's kernel takes microseconds: streaming the dataset over
+  // ethernet can never keep up — exactly why transfers are excluded from
+  // the timed region.
+  const HostIoModel model;
+  const auto rep = double_buffer_overlap(model, HostLink::kEthernet, 20e9, 230,
+                                         /*compute_sec_per_batch=*/15e-6);
+  EXPECT_TRUE(rep.io_bound);
+  EXPECT_LT(rep.steady_efficiency, 0.05);
+}
+
+TEST(HostIo, MoreBatchesSmallerChunks) {
+  const HostIoModel model;
+  const auto few = double_buffer_overlap(model, HostLink::kCxl, 20e9, 10, 0.01);
+  const auto many =
+      double_buffer_overlap(model, HostLink::kCxl, 20e9, 1000, 0.01);
+  EXPECT_GT(few.batch_io_sec, many.batch_io_sec);
+  EXPECT_GE(many.steady_efficiency, few.steady_efficiency);
+}
+
+TEST(HostIo, Validation) {
+  const HostIoModel model;
+  EXPECT_THROW((void)double_buffer_overlap(model, HostLink::kCxl, 1e9, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)double_buffer_overlap(model, HostLink::kCxl, -1.0, 2, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::wse

@@ -1,0 +1,110 @@
+// Fuzz-style sweep of the FFT across every length in [1, 96]: forward
+// matches a naive DFT, inverse round-trips, and the real transforms agree
+// with the complex path — exercising every radix-2/Bluestein boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/fft/fft.hpp"
+
+namespace tlrwse::fft {
+namespace {
+
+std::vector<cf64> naive_dft(const std::vector<cf64>& x) {
+  const auto n = static_cast<index_t>(x.size());
+  std::vector<cf64> out(x.size());
+  for (index_t k = 0; k < n; ++k) {
+    cf64 acc{};
+    for (index_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi_v<double> *
+                         static_cast<double>(k * t) / static_cast<double>(n);
+      acc += x[static_cast<std::size_t>(t)] * cf64{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+TEST(FftFuzz, EveryLengthUpTo96) {
+  Rng rng(2024);
+  for (index_t n = 1; n <= 96; ++n) {
+    std::vector<cf64> x(static_cast<std::size_t>(n));
+    fill_normal(rng, x.data(), x.size());
+    FftPlan plan(n);
+
+    auto fwd = x;
+    plan.forward(std::span<cf64>(fwd));
+    const auto ref = naive_dft(x);
+    double err = 0.0, norm = 0.0;
+    for (index_t k = 0; k < n; ++k) {
+      err += std::norm(fwd[static_cast<std::size_t>(k)] -
+                       ref[static_cast<std::size_t>(k)]);
+      norm += std::norm(ref[static_cast<std::size_t>(k)]);
+    }
+    EXPECT_LT(std::sqrt(err / (norm + 1e-30)), 1e-10) << "n=" << n;
+
+    plan.inverse(std::span<cf64>(fwd));
+    double rt = 0.0;
+    for (index_t k = 0; k < n; ++k) {
+      rt += std::norm(fwd[static_cast<std::size_t>(k)] -
+                      x[static_cast<std::size_t>(k)]);
+    }
+    EXPECT_LT(std::sqrt(rt), 1e-9 * n) << "roundtrip n=" << n;
+  }
+}
+
+TEST(FftFuzz, RealTransformAgreesWithComplexPath) {
+  Rng rng(7);
+  for (index_t nt : {index_t{6}, index_t{17}, index_t{64}, index_t{90}}) {
+    std::vector<double> x(static_cast<std::size_t>(nt));
+    for (auto& v : x) v = rng.normal();
+    const auto spec = rfft(std::span<const double>(x));
+
+    std::vector<cf64> cx(x.begin(), x.end());
+    FftPlan plan(nt);
+    plan.forward(std::span<cf64>(cx));
+    for (index_t k = 0; k <= nt / 2; ++k) {
+      EXPECT_LT(std::abs(spec[static_cast<std::size_t>(k)] -
+                         cx[static_cast<std::size_t>(k)]),
+                1e-9 * nt)
+          << "nt=" << nt << " k=" << k;
+    }
+    const auto back = irfft(std::span<const cf64>(spec), nt);
+    for (index_t t = 0; t < nt; ++t) {
+      EXPECT_NEAR(back[static_cast<std::size_t>(t)],
+                  x[static_cast<std::size_t>(t)], 1e-9)
+          << "nt=" << nt;
+    }
+  }
+}
+
+TEST(FftFuzz, LinearityAcrossOddSizes) {
+  Rng rng(11);
+  for (index_t n : {index_t{13}, index_t{45}, index_t{77}}) {
+    std::vector<cf64> a(static_cast<std::size_t>(n));
+    std::vector<cf64> b(static_cast<std::size_t>(n));
+    fill_normal(rng, a.data(), a.size());
+    fill_normal(rng, b.data(), b.size());
+    std::vector<cf64> sum(static_cast<std::size_t>(n));
+    for (index_t k = 0; k < n; ++k) {
+      sum[static_cast<std::size_t>(k)] = a[static_cast<std::size_t>(k)] +
+                                         cf64{2.0, 0.0} *
+                                             b[static_cast<std::size_t>(k)];
+    }
+    FftPlan plan(n);
+    auto fa = a, fb = b, fs = sum;
+    plan.forward(std::span<cf64>(fa));
+    plan.forward(std::span<cf64>(fb));
+    plan.forward(std::span<cf64>(fs));
+    for (index_t k = 0; k < n; ++k) {
+      const cf64 expect = fa[static_cast<std::size_t>(k)] +
+                          cf64{2.0, 0.0} * fb[static_cast<std::size_t>(k)];
+      EXPECT_LT(std::abs(fs[static_cast<std::size_t>(k)] - expect), 1e-9 * n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::fft

@@ -1,0 +1,117 @@
+// Tests for the Golub-Kahan SVD: factor validity, agreement with the
+// one-sided Jacobi SVD, and edge shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_helpers.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/gk_svd.hpp"
+
+namespace tlrwse::la {
+namespace {
+
+template <typename T>
+double orthogonality_defect(const Matrix<T>& Q) {
+  return frobenius_distance(matmul(Q.adjoint(), Q),
+                            Matrix<T>::identity(Q.cols()));
+}
+
+template <typename T>
+Matrix<T> recompose(const SvdResult<T>& f) {
+  Matrix<T> us = f.U;
+  for (index_t j = 0; j < us.cols(); ++j) {
+    for (index_t i = 0; i < us.rows(); ++i) {
+      us(i, j) *= static_cast<T>(f.S[static_cast<std::size_t>(j)]);
+    }
+  }
+  return matmul(us, f.V.adjoint());
+}
+
+class GkShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GkShapes, FactorsAreValid) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 31 + n);
+  const auto a = tlrwse::testing::random_matrix<double>(rng, m, n);
+  const auto f = svd_golub_kahan(a);
+  EXPECT_LT(orthogonality_defect(f.U), 1e-10) << "U not orthonormal";
+  EXPECT_LT(orthogonality_defect(f.V), 1e-10) << "V not orthonormal";
+  EXPECT_LT(frobenius_distance(recompose(f), a),
+            1e-10 * frobenius_norm(a) + 1e-13);
+  for (std::size_t i = 1; i < f.S.size(); ++i) {
+    EXPECT_LE(f.S[i], f.S[i - 1]);
+    EXPECT_GE(f.S[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GkShapes,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(5, 5),
+                                           std::make_tuple(12, 7),
+                                           std::make_tuple(7, 12),
+                                           std::make_tuple(40, 40),
+                                           std::make_tuple(64, 30)));
+
+TEST(GkSvd, AgreesWithJacobi) {
+  Rng rng(7);
+  const auto a = tlrwse::testing::random_matrix<double>(rng, 25, 18);
+  const auto gk = svd_golub_kahan(a);
+  const auto ja = svd_jacobi(a);
+  ASSERT_EQ(gk.S.size(), ja.S.size());
+  for (std::size_t i = 0; i < gk.S.size(); ++i) {
+    EXPECT_NEAR(gk.S[i], ja.S[i], 1e-9 * (ja.S[0] + 1.0));
+  }
+}
+
+TEST(GkSvd, DiagonalMatrix) {
+  MatrixD a(3, 3, 0.0);
+  a(0, 0) = -5.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 0.5;
+  const auto f = svd_golub_kahan(a);
+  EXPECT_NEAR(f.S[0], 5.0, 1e-12);
+  EXPECT_NEAR(f.S[1], 2.0, 1e-12);
+  EXPECT_NEAR(f.S[2], 0.5, 1e-12);
+  EXPECT_LT(frobenius_distance(recompose(f), a), 1e-12);
+}
+
+TEST(GkSvd, RankDeficientMatrix) {
+  Rng rng(9);
+  const auto u = tlrwse::testing::random_matrix<double>(rng, 20, 3);
+  const auto v = tlrwse::testing::random_matrix<double>(rng, 3, 15);
+  const auto a = matmul(u, v);
+  const auto f = svd_golub_kahan(a);
+  // Singular values beyond the rank vanish.
+  for (std::size_t i = 3; i < f.S.size(); ++i) {
+    EXPECT_LT(f.S[i], 1e-10 * f.S[0]);
+  }
+  EXPECT_LT(frobenius_distance(recompose(f), a),
+            1e-10 * frobenius_norm(a));
+}
+
+TEST(GkSvd, SinglePrecision) {
+  Rng rng(11);
+  const auto a = tlrwse::testing::random_matrix<float>(rng, 16, 10);
+  const auto f = svd_golub_kahan(a);
+  EXPECT_LT(frobenius_distance(recompose(f), a),
+            1e-5f * frobenius_norm(a));
+}
+
+TEST(GkSvd, FrobeniusIdentity) {
+  Rng rng(13);
+  const auto a = tlrwse::testing::random_matrix<double>(rng, 14, 11);
+  const auto f = svd_golub_kahan(a);
+  double sum2 = 0.0;
+  for (double s : f.S) sum2 += s * s;
+  EXPECT_NEAR(std::sqrt(sum2), frobenius_norm(a), 1e-10);
+}
+
+TEST(GkSvd, ZeroMatrix) {
+  const MatrixD a(6, 4, 0.0);
+  const auto f = svd_golub_kahan(a);
+  for (double s : f.S) EXPECT_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace tlrwse::la

@@ -1,0 +1,60 @@
+// Shared helpers for the test suite: synthetic matrices with seismic-like
+// structure (oscillatory kernels with distance decay — numerically low-rank
+// tiles) and random data generators.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/matrix.hpp"
+
+namespace tlrwse::testing {
+
+/// Oscillatory kernel matrix K(i, j) = exp(i * w * d_ij) / (1 + d_ij) with
+/// d_ij a normalised "distance" between row and column stations. Tiles of
+/// such matrices are numerically low rank — the same structure as the
+/// paper's Hilbert-ordered frequency matrices.
+template <typename T = cf32>
+la::Matrix<T> oscillatory_matrix(index_t m, index_t n, double omega = 12.0) {
+  using R = real_of_t<T>;
+  la::Matrix<T> k(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      const double u = static_cast<double>(i) / static_cast<double>(m);
+      const double v = static_cast<double>(j) / static_cast<double>(n);
+      const double d = std::abs(u - v) + 0.05;
+      const double amp = 1.0 / (1.0 + 8.0 * d);
+      k(i, j) = T{static_cast<R>(amp * std::cos(omega * d)),
+                  static_cast<R>(amp * std::sin(omega * d))};
+    }
+  }
+  return k;
+}
+
+template <typename T>
+la::Matrix<T> random_matrix(Rng& rng, index_t m, index_t n) {
+  la::Matrix<T> a(m, n);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  return a;
+}
+
+template <typename T>
+std::vector<T> random_vector(Rng& rng, index_t n) {
+  std::vector<T> v(static_cast<std::size_t>(n));
+  fill_normal(rng, v.data(), v.size());
+  return v;
+}
+
+/// Relative l2 error between two vectors.
+template <typename T>
+double rel_error(const std::vector<T>& est, const std::vector<T>& ref) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    num += std::norm(std::complex<double>(est[i]) - std::complex<double>(ref[i]));
+    den += std::norm(std::complex<double>(ref[i]));
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace tlrwse::testing

@@ -1,0 +1,117 @@
+// Tests for binary serialization and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "test_helpers.hpp"
+#include "tlrwse/io/csv.hpp"
+#include "tlrwse/io/serialize.hpp"
+#include "tlrwse/la/blas.hpp"
+
+namespace tlrwse::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path(temp_path(name)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(SerializeMatrix, RoundTrip) {
+  TempFile f("tlrwse_mat.bin");
+  Rng rng(3);
+  const auto m = tlrwse::testing::random_matrix<cf32>(rng, 17, 9);
+  save_matrix(f.path, m);
+  const auto back = load_matrix(f.path);
+  EXPECT_TRUE(back == m);
+}
+
+TEST(SerializeMatrix, EmptyMatrix) {
+  TempFile f("tlrwse_empty.bin");
+  la::MatrixCF m;
+  save_matrix(f.path, m);
+  const auto back = load_matrix(f.path);
+  EXPECT_EQ(back.rows(), 0);
+  EXPECT_EQ(back.cols(), 0);
+}
+
+TEST(SerializeMatrix, RejectsBadMagic) {
+  TempFile f("tlrwse_bad.bin");
+  std::ofstream os(f.path, std::ios::binary);
+  os << "not a tlrwse file at all";
+  os.close();
+  EXPECT_THROW((void)load_matrix(f.path), std::runtime_error);
+}
+
+TEST(SerializeMatrix, MissingFileThrows) {
+  EXPECT_THROW((void)load_matrix("/nonexistent/nope.bin"), std::runtime_error);
+}
+
+TEST(SerializeTlr, RoundTripPreservesTiles) {
+  TempFile f("tlrwse_tlr.bin");
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(50, 34, 9.0);
+  tlr::CompressionConfig cfg;
+  cfg.nb = 12;
+  cfg.acc = 1e-4;
+  const auto t = tlr::compress_tlr(a, cfg);
+  save_tlr(f.path, t);
+  const auto back = load_tlr(f.path);
+
+  EXPECT_EQ(back.rows(), t.rows());
+  EXPECT_EQ(back.cols(), t.cols());
+  EXPECT_EQ(back.grid().nb(), t.grid().nb());
+  for (index_t j = 0; j < t.grid().nt(); ++j) {
+    for (index_t i = 0; i < t.grid().mt(); ++i) {
+      EXPECT_EQ(back.rank(i, j), t.rank(i, j));
+      EXPECT_TRUE(back.tile(i, j).U == t.tile(i, j).U);
+      EXPECT_TRUE(back.tile(i, j).Vh == t.tile(i, j).Vh);
+    }
+  }
+  EXPECT_LT(la::frobenius_distance(back.reconstruct(), t.reconstruct()),
+            1e-12);
+}
+
+TEST(SerializeTlr, WrongContainerMagicRejected) {
+  TempFile f("tlrwse_cross.bin");
+  Rng rng(5);
+  const auto m = tlrwse::testing::random_matrix<cf32>(rng, 4, 4);
+  save_matrix(f.path, m);
+  EXPECT_THROW((void)load_tlr(f.path), std::runtime_error);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  TempFile f("tlrwse.csv");
+  {
+    CsvWriter csv(f.path, {"nb", "acc", "bw"});
+    csv.add_row({"70", "1e-4", "92.58"});
+    csv.add_row({"25", "1e-4", "87.73"});
+    EXPECT_EQ(csv.rows(), 2u);
+  }
+  std::ifstream is(f.path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "nb,acc,bw");
+  std::getline(is, line);
+  EXPECT_EQ(line, "70,1e-4,92.58");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RejectsWrongArity) {
+  TempFile f("tlrwse_arity.csv");
+  CsvWriter csv(f.path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::io

@@ -1,0 +1,126 @@
+// Tests for the LSQR solver on small dense operators with known solutions.
+#include <gtest/gtest.h>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/matrix.hpp"
+#include "tlrwse/mdd/lsqr.hpp"
+
+namespace tlrwse::mdd {
+namespace {
+
+/// Dense real matrix as a LinearOperator.
+class DenseOp final : public mdc::LinearOperator {
+ public:
+  explicit DenseOp(la::MatrixF a) : a_(std::move(a)) {}
+  [[nodiscard]] index_t rows() const override { return a_.rows(); }
+  [[nodiscard]] index_t cols() const override { return a_.cols(); }
+  void apply(std::span<const float> x, std::span<float> y) const override {
+    la::gemv(a_, x, y);
+  }
+  void apply_adjoint(std::span<const float> y,
+                     std::span<float> x) const override {
+    la::gemv_adjoint(a_, y, x);
+  }
+
+ private:
+  la::MatrixF a_;
+};
+
+la::MatrixF well_conditioned(Rng& rng, index_t m, index_t n) {
+  la::MatrixF a(m, n);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  // Boost the diagonal for conditioning.
+  for (index_t i = 0; i < std::min(m, n); ++i) a(i, i) += 5.0f;
+  return a;
+}
+
+TEST(Lsqr, SolvesSquareSystem) {
+  Rng rng(3);
+  DenseOp op(well_conditioned(rng, 12, 12));
+  std::vector<float> x_true(12);
+  for (auto& v : x_true) v = static_cast<float>(rng.normal());
+  std::vector<float> b(12);
+  op.apply(x_true, std::span<float>(b));
+
+  LsqrConfig cfg;
+  cfg.max_iters = 100;
+  cfg.atol = 1e-10;
+  cfg.btol = 1e-10;
+  const auto res = lsqr_solve(op, b, cfg);
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR(res.x[i], x_true[i], 5e-3);
+  }
+  EXPECT_LT(res.residual_norm, 1e-3);
+}
+
+TEST(Lsqr, OverdeterminedLeastSquares) {
+  Rng rng(5);
+  DenseOp op(well_conditioned(rng, 20, 8));
+  std::vector<float> x_true(8);
+  for (auto& v : x_true) v = static_cast<float>(rng.normal());
+  std::vector<float> b(20);
+  op.apply(x_true, std::span<float>(b));
+  // Perturb b: the solution should still be close to x_true (LS sense).
+  for (auto& v : b) v += 0.001f * static_cast<float>(rng.normal());
+
+  LsqrConfig cfg;
+  cfg.max_iters = 200;
+  const auto res = lsqr_solve(op, b, cfg);
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR(res.x[i], x_true[i], 1e-2);
+  }
+}
+
+TEST(Lsqr, ResidualHistoryMonotoneNonIncreasing) {
+  Rng rng(7);
+  DenseOp op(well_conditioned(rng, 15, 10));
+  std::vector<float> b(15);
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  const auto res = lsqr_solve(op, b, {.max_iters = 30});
+  for (std::size_t i = 1; i < res.residual_history.size(); ++i) {
+    EXPECT_LE(res.residual_history[i], res.residual_history[i - 1] + 1e-6);
+  }
+}
+
+TEST(Lsqr, ZeroRhsGivesZeroSolution) {
+  Rng rng(9);
+  DenseOp op(well_conditioned(rng, 6, 6));
+  std::vector<float> b(6, 0.0f);
+  const auto res = lsqr_solve(op, b);
+  for (float v : res.x) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Lsqr, RespectsIterationBudget) {
+  Rng rng(11);
+  DenseOp op(well_conditioned(rng, 30, 30));
+  std::vector<float> b(30);
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  const auto res = lsqr_solve(op, b, {.max_iters = 5, .atol = 0, .btol = 0});
+  EXPECT_EQ(res.iterations, 5);
+  EXPECT_EQ(res.stop, LsqrResult::Stop::kMaxIters);
+}
+
+TEST(Lsqr, DampingShrinksSolutionNorm) {
+  Rng rng(13);
+  DenseOp op(well_conditioned(rng, 16, 16));
+  std::vector<float> b(16);
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  const auto plain = lsqr_solve(op, b, {.max_iters = 60});
+  const auto damped = lsqr_solve(op, b, {.max_iters = 60, .damp = 2.0});
+  double n_plain = 0.0, n_damped = 0.0;
+  for (float v : plain.x) n_plain += static_cast<double>(v) * v;
+  for (float v : damped.x) n_damped += static_cast<double>(v) * v;
+  EXPECT_LT(n_damped, n_plain);
+}
+
+TEST(Lsqr, WrongRhsSizeThrows) {
+  Rng rng(15);
+  DenseOp op(well_conditioned(rng, 4, 4));
+  std::vector<float> b(3);
+  EXPECT_THROW(lsqr_solve(op, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::mdd

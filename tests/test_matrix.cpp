@@ -1,0 +1,98 @@
+// Unit tests for the dense Matrix container.
+#include <gtest/gtest.h>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/matrix.hpp"
+
+namespace tlrwse::la {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatrixF m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  MatrixD m(3, 4, 2.5);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 2.5);
+  }
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  MatrixF m(4, 3);
+  for (index_t j = 0; j < 3; ++j) {
+    for (index_t i = 0; i < 4; ++i) m(i, j) = static_cast<float>(10 * j + i);
+  }
+  // Column j is contiguous.
+  const float* c1 = m.col(1);
+  EXPECT_EQ(c1[0], 10.0f);
+  EXPECT_EQ(c1[3], 13.0f);
+  EXPECT_EQ(m.data()[4], 10.0f);  // first element of column 1
+}
+
+TEST(Matrix, BlockExtractAndSet) {
+  MatrixD m(5, 6);
+  for (index_t j = 0; j < 6; ++j) {
+    for (index_t i = 0; i < 5; ++i) m(i, j) = static_cast<double>(i + 10 * j);
+  }
+  const auto b = m.block(1, 2, 3, 2);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_EQ(b(0, 0), m(1, 2));
+  EXPECT_EQ(b(2, 1), m(3, 3));
+
+  MatrixD z(5, 6, 0.0);
+  z.set_block(1, 2, b);
+  EXPECT_EQ(z(1, 2), m(1, 2));
+  EXPECT_EQ(z(0, 0), 0.0);
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  MatrixD m(3, 3, 0.0);
+  EXPECT_THROW(m.block(2, 0, 2, 1), std::invalid_argument);
+  MatrixD b(2, 2, 0.0);
+  EXPECT_THROW(m.set_block(2, 2, b), std::invalid_argument);
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  MatrixCD m(2, 3);
+  m(0, 0) = {1, 2};
+  m(1, 2) = {3, -4};
+  const auto a = m.adjoint();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 2);
+  EXPECT_EQ(a(0, 0), cf64(1, -2));
+  EXPECT_EQ(a(2, 1), cf64(3, 4));
+}
+
+TEST(Matrix, TransposeDoesNotConjugate) {
+  MatrixCD m(2, 2);
+  m(0, 1) = {5, 6};
+  const auto t = m.transpose();
+  EXPECT_EQ(t(1, 0), cf64(5, 6));
+}
+
+TEST(Matrix, IdentityAndEquality) {
+  const auto eye = MatrixD::identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(1, 0), 0.0);
+  EXPECT_TRUE(eye == MatrixD::identity(3));
+  EXPECT_FALSE(eye == MatrixD(3, 3, 0.0));
+}
+
+TEST(Matrix, AdjointIsInvolution) {
+  Rng rng(3);
+  MatrixCF m(7, 5);
+  fill_normal(rng, m.data(), static_cast<std::size_t>(m.size()));
+  EXPECT_TRUE(m.adjoint().adjoint() == m);
+}
+
+TEST(Matrix, NegativeDimsThrow) {
+  EXPECT_THROW(MatrixF(-1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::la

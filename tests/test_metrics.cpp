@@ -1,0 +1,66 @@
+// Unit tests for the MDD quality metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tlrwse/mdd/metrics.hpp"
+
+namespace tlrwse::mdd {
+namespace {
+
+TEST(Nmse, ZeroForIdenticalSignals) {
+  const std::vector<float> a{1.0f, -2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(nmse(a, a), 0.0);
+}
+
+TEST(Nmse, KnownValue) {
+  const std::vector<float> ref{3.0f, 4.0f};   // ||ref||^2 = 25
+  const std::vector<float> est{3.0f, 9.0f};   // diff^2 = 25
+  EXPECT_DOUBLE_EQ(nmse(est, ref), 1.0);
+}
+
+TEST(Nmse, ScaleSensitivity) {
+  const std::vector<float> ref{1.0f, 1.0f};
+  const std::vector<float> half{0.5f, 0.5f};
+  EXPECT_DOUBLE_EQ(nmse(half, ref), 0.25);
+}
+
+TEST(Nmse, MismatchedSizesThrow) {
+  EXPECT_THROW((void)nmse(std::vector<float>{1.0f}, std::vector<float>{1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(NmseChange, PercentFormula) {
+  EXPECT_DOUBLE_EQ(nmse_change_percent(0.11, 0.10), 10.0);
+  EXPECT_DOUBLE_EQ(nmse_change_percent(0.10, 0.10), 0.0);
+  EXPECT_DOUBLE_EQ(nmse_change_percent(0.05, 0.0), 0.0);  // guarded
+}
+
+TEST(Energy, SumsSquares) {
+  const std::vector<float> v{1.0f, 2.0f, -2.0f};
+  EXPECT_DOUBLE_EQ(energy(v), 9.0);
+  EXPECT_DOUBLE_EQ(energy(std::vector<float>{}), 0.0);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> b{2.0f, 4.0f, 6.0f, 8.0f};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+  for (auto& v : b) v = -v;
+  EXPECT_NEAR(correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Correlation, MeanInvariance) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{101.0f, 102.0f, 103.0f};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-9);
+}
+
+TEST(Correlation, ZeroVarianceIsZero) {
+  const std::vector<float> a{1.0f, 1.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(correlation(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace tlrwse::mdd

@@ -1,0 +1,153 @@
+// Tests for mixed-precision TLR storage: the FP16/BF16 rounding emulation
+// and the norm-driven per-tile precision policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/mixed.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/tlr/tlr_mvm.hpp"
+
+namespace tlrwse::tlr {
+namespace {
+
+TEST(Fp16Rounding, ExactValuesPassThrough) {
+  // Values exactly representable in binary16 are unchanged.
+  for (float v : {0.0f, 1.0f, -2.0f, 0.5f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(round_to_fp16(v), v);
+  }
+}
+
+TEST(Fp16Rounding, RelativeErrorBounded) {
+  // Half precision: 10-bit mantissa -> relative error <= 2^-11.
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<float>(rng.normal() * 100.0);
+    const float r = round_to_fp16(v);
+    EXPECT_LE(std::abs(r - v), std::abs(v) * (1.0f / 2048.0f) + 1e-4f);
+  }
+}
+
+TEST(Fp16Rounding, SaturatesAndFlushes) {
+  EXPECT_EQ(round_to_fp16(1e6f), 65504.0f);
+  EXPECT_EQ(round_to_fp16(-1e6f), -65504.0f);
+  EXPECT_EQ(round_to_fp16(1e-6f), 0.0f);
+}
+
+TEST(Bf16Rounding, RelativeErrorBounded) {
+  // bfloat16: 7-bit mantissa -> relative error <= 2^-8.
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<float>(rng.normal() * 1e6);
+    const float r = round_to_bf16(v);
+    EXPECT_LE(std::abs(r - v), std::abs(v) * (1.0f / 256.0f) + 1e-30f);
+  }
+}
+
+TEST(Bf16Rounding, KeepsFloatRange) {
+  // bfloat16 shares float's exponent: huge values survive.
+  EXPECT_GT(round_to_bf16(1e30f), 9e29f);
+  EXPECT_LT(round_to_bf16(1e-30f), 2e-30f);
+  EXPECT_GT(round_to_bf16(1e-30f), 0.0f);
+}
+
+TEST(Bf16Rounding, RoundToNearestEven) {
+  // 1 + 2^-8 rounds to 1 (tie, even) and 1 + 3*2^-9 rounds up.
+  const float ulp = 1.0f / 128.0f;  // bf16 ulp at 1.0
+  EXPECT_EQ(round_to_bf16(1.0f + ulp / 2.0f), 1.0f);
+  EXPECT_EQ(round_to_bf16(1.0f + 0.75f * ulp), 1.0f + ulp);
+}
+
+struct MixedSetup {
+  TlrMatrix<cf32> mat;
+  explicit MixedSetup(double acc = 1e-5) {
+    CompressionConfig cfg;
+    cfg.nb = 16;
+    cfg.acc = acc;
+    mat = compress_tlr(tlrwse::testing::oscillatory_matrix<cf32>(64, 48, 12.0),
+                       cfg);
+  }
+};
+
+TEST(MixedTlr, PolicyAssignsAllThreePrecisions) {
+  MixedSetup s;
+  MixedPrecisionPolicy policy;
+  policy.fp16_below = 0.5;
+  policy.bf16_below = 0.1;
+  const auto q = quantize_tlr(s.mat, policy);
+  EXPECT_GT(q.tiles_fp32, 0);
+  EXPECT_GT(q.tiles_fp16 + q.tiles_bf16, 0);
+  EXPECT_EQ(q.tiles_fp32 + q.tiles_fp16 + q.tiles_bf16,
+            s.mat.grid().num_tiles());
+}
+
+TEST(MixedTlr, SavesMemoryWhenDowncasting) {
+  MixedSetup s;
+  MixedPrecisionPolicy policy;
+  policy.fp16_below = 0.9;  // aggressive: almost everything narrow
+  policy.bf16_below = 0.3;
+  const auto q = quantize_tlr(s.mat, policy);
+  EXPECT_GT(q.saving(), 1.3);
+  EXPECT_LT(q.saving(), 2.01);  // at most 2x (4 -> 2 bytes)
+  EXPECT_DOUBLE_EQ(q.fp32_bytes, s.mat.compressed_bytes());
+}
+
+TEST(MixedTlr, AllFp32PolicyIsLossless) {
+  MixedSetup s;
+  MixedPrecisionPolicy policy;
+  policy.fp16_below = 0.0;
+  policy.bf16_below = 0.0;
+  const auto q = quantize_tlr(s.mat, policy);
+  EXPECT_EQ(q.tiles_fp32, s.mat.grid().num_tiles());
+  EXPECT_DOUBLE_EQ(q.saving(), 1.0);
+  EXPECT_LT(la::frobenius_distance(q.matrix.reconstruct(), s.mat.reconstruct()),
+            1e-12);
+}
+
+TEST(MixedTlr, MvmErrorSmallAndOrderedByAggressiveness) {
+  MixedSetup s;
+  StackedTlr<cf32> ref_stacks(s.mat);
+  Rng rng(9);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, 48);
+  const auto y_ref = tlr_mvm_fused(ref_stacks, std::span<const cf32>(x));
+
+  MixedPrecisionPolicy mild;   // only the weakest tiles narrowed
+  mild.fp16_below = 0.1;
+  mild.bf16_below = 0.01;
+  MixedPrecisionPolicy harsh;  // everything at bf16
+  harsh.fp16_below = 2.0;
+  harsh.bf16_below = 2.0;
+
+  const auto qm = quantize_tlr(s.mat, mild);
+  const auto qh = quantize_tlr(s.mat, harsh);
+  StackedTlr<cf32> sm(qm.matrix), sh(qh.matrix);
+  const auto ym = tlr_mvm_fused(sm, std::span<const cf32>(x));
+  const auto yh = tlr_mvm_fused(sh, std::span<const cf32>(x));
+  const double em = tlrwse::testing::rel_error(ym, y_ref);
+  const double eh = tlrwse::testing::rel_error(yh, y_ref);
+  EXPECT_LT(em, 1e-3);
+  EXPECT_LT(eh, 2e-2);  // bf16 mantissa: ~0.4% per element
+  EXPECT_LE(em, eh);
+}
+
+TEST(MixedTlr, PrecisionVectorMatchesCounts) {
+  MixedSetup s;
+  MixedPrecisionPolicy policy;
+  policy.fp16_below = 0.4;
+  policy.bf16_below = 0.08;
+  const auto q = quantize_tlr(s.mat, policy);
+  index_t n32 = 0, n16 = 0, nb16 = 0;
+  for (auto p : q.precision) {
+    if (p == StoragePrecision::kFp32) ++n32;
+    if (p == StoragePrecision::kFp16) ++n16;
+    if (p == StoragePrecision::kBf16) ++nb16;
+  }
+  EXPECT_EQ(n32, q.tiles_fp32);
+  EXPECT_EQ(n16, q.tiles_fp16);
+  EXPECT_EQ(nb16, q.tiles_bf16);
+}
+
+}  // namespace
+}  // namespace tlrwse::tlr

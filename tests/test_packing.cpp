@@ -1,0 +1,87 @@
+// Tests for the undersized-machine chunk packing (time-shared execution).
+#include <gtest/gtest.h>
+
+#include "tlrwse/wse/machine.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+class FlatSource final : public RankSource {
+ public:
+  FlatSource(index_t rows, index_t cols, index_t nb, index_t nf, index_t rank)
+      : grid_(rows, cols, nb), nf_(nf), rank_(rank) {}
+  [[nodiscard]] index_t num_freqs() const override { return nf_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const override { return grid_; }
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t) const override {
+    std::vector<index_t> r(static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        r[static_cast<std::size_t>(grid_.tile_index(i, j))] = std::min(
+            rank_, std::min(grid_.tile_rows(i), grid_.tile_cols(j)));
+      }
+    }
+    return r;
+  }
+
+ private:
+  tlr::TileGrid grid_;
+  index_t nf_;
+  index_t rank_;
+};
+
+/// A tiny "machine" so a handful of chunks oversubscribes it.
+WseSpec tiny_machine(index_t pes) {
+  WseSpec spec;
+  spec.usable_rows = pes;
+  spec.usable_cols = 1;
+  return spec;
+}
+
+TEST(Packing, OnePePerChunkMatchesUnpackedWorstCase) {
+  FlatSource src(200, 140, 20, 2, 6);
+  ClusterConfig cfg;
+  cfg.stack_width = 12;
+  const auto unpacked = simulate_cluster(src, cfg);
+  // Enough PEs: packing degenerates to one chunk per PE.
+  const auto packed = simulate_packed_cluster(src, cfg, 1);
+  // Default spec has 745500 PEs >> chunks.
+  EXPECT_EQ(packed.pes, packed.chunks);
+  EXPECT_DOUBLE_EQ(packed.worst_pe_cycles, unpacked.worst_cycles);
+  EXPECT_NEAR(packed.relative_bw, unpacked.relative_bw, 1.0);
+}
+
+TEST(Packing, HalvingPesRoughlyDoublesMakespan) {
+  FlatSource src(200, 140, 20, 4, 6);
+  ClusterConfig cfg;
+  cfg.stack_width = 12;
+  cfg.spec = tiny_machine(16);
+  const auto full = simulate_packed_cluster(src, cfg, 2);   // 32 PEs
+  const auto half = simulate_packed_cluster(src, cfg, 1);   // 16 PEs
+  EXPECT_GT(half.worst_pe_cycles, 1.7 * full.worst_pe_cycles);
+  EXPECT_LT(half.worst_pe_cycles, 2.3 * full.worst_pe_cycles);
+  EXPECT_LT(half.relative_bw, full.relative_bw);
+}
+
+TEST(Packing, LptKeepsImbalanceLow) {
+  FlatSource src(200, 140, 20, 4, 6);
+  ClusterConfig cfg;
+  cfg.stack_width = 12;
+  cfg.spec = tiny_machine(7);  // odd PE count vs many chunks
+  const auto rep = simulate_packed_cluster(src, cfg, 1);
+  EXPECT_GT(rep.chunks, rep.pes);
+  EXPECT_GE(rep.imbalance, 1.0);
+  EXPECT_LT(rep.imbalance, 1.2);  // LPT is near-optimal for many chunks
+}
+
+TEST(Packing, Validation) {
+  FlatSource src(40, 40, 20, 1, 2);
+  ClusterConfig cfg;
+  EXPECT_THROW((void)simulate_packed_cluster(src, cfg, 0),
+               std::invalid_argument);
+  cfg.strategy = Strategy::kScatterRealMvms;
+  EXPECT_THROW((void)simulate_packed_cluster(src, cfg, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::wse

@@ -1,0 +1,76 @@
+// Cross-module round trip: compress -> serialize -> reload -> map onto the
+// WSE (functional chunks) -> compare against the dense ground truth. The
+// full deployment path a production survey would take, end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_helpers.hpp"
+#include "tlrwse/io/serialize.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/mixed.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/wse/functional.hpp"
+
+namespace tlrwse {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(PipelineRoundTrip, CompressSaveReloadMapExecute) {
+  TempFile f("tlrwse_pipeline.tlr");
+  // 1. A seismic-like kernel, compressed.
+  const auto dense = testing::oscillatory_matrix<cf32>(72, 54, 12.0);
+  tlr::CompressionConfig cc;
+  cc.nb = 18;
+  cc.acc = 1e-4;
+  const auto compressed = tlr::compress_tlr(dense, cc);
+
+  // 2. Persist and reload (the host-side archive step).
+  io::save_tlr(f.path, compressed);
+  const auto reloaded = io::load_tlr(f.path);
+
+  // 3. Map onto the WSE and execute functionally at several widths.
+  tlr::StackedTlr<cf32> stacks(reloaded);
+  Rng rng(21);
+  const auto x = testing::random_vector<cf32>(rng, 54);
+  std::vector<cf32> y_dense(72);
+  la::gemv(dense, std::span<const cf32>(x), std::span<cf32>(y_dense));
+
+  for (index_t sw : {index_t{4}, index_t{16}}) {
+    const auto y =
+        wse::functional_wse_mvm(stacks, sw, std::span<const cf32>(x));
+    // 4. The executed result matches the DENSE kernel to the compression
+    // tolerance — compression error dominates, mapping adds round-off only.
+    EXPECT_LT(testing::rel_error(y, y_dense), 5.0 * cc.acc) << "sw=" << sw;
+  }
+}
+
+TEST(PipelineRoundTrip, MixedPrecisionSurvivesSerialization) {
+  TempFile f("tlrwse_pipeline_mixed.tlr");
+  const auto dense = testing::oscillatory_matrix<cf32>(48, 36, 10.0);
+  tlr::CompressionConfig cc;
+  cc.nb = 12;
+  cc.acc = 1e-4;
+  const auto compressed = tlr::compress_tlr(dense, cc);
+  tlr::MixedPrecisionPolicy policy;
+  policy.fp16_below = 2.0;  // everything fp16
+  const auto quant = tlr::quantize_tlr(compressed, policy);
+  io::save_tlr(f.path, quant.matrix);
+  const auto reloaded = io::load_tlr(f.path);
+  // FP16-rounded values are exactly representable in FP32: bit-identical.
+  for (index_t j = 0; j < reloaded.grid().nt(); ++j) {
+    for (index_t i = 0; i < reloaded.grid().mt(); ++i) {
+      EXPECT_TRUE(reloaded.tile(i, j).U == quant.matrix.tile(i, j).U);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse

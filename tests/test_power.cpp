@@ -1,0 +1,58 @@
+// Tests for the power model calibration (paper Sec. 7.6).
+#include <gtest/gtest.h>
+
+#include "tlrwse/wse/power.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+TEST(Power, TlrMvmWorkloadNear16kW) {
+  const PowerModel p;
+  const WseSpec spec;
+  // Full wafer busy, no fabric traffic (communication-avoiding layout).
+  const double kw = p.system_power_kw(spec.usable_pes(), false);
+  EXPECT_NEAR(kw, 16.0, 1.0);
+}
+
+TEST(Power, StencilWorkloadNear23kW) {
+  const PowerModel p;
+  const WseSpec spec;
+  // Stencil updates keep the fabric hot (Jacquelin et al. [25]).
+  const double kw = p.system_power_kw(spec.usable_pes(), true);
+  EXPECT_NEAR(kw, 23.0, 1.5);
+}
+
+TEST(Power, IdleSystemIsBaseOnly) {
+  const PowerModel p;
+  EXPECT_DOUBLE_EQ(p.system_power_kw(0, false), p.base_kw);
+}
+
+TEST(Power, EfficiencyNearPaperFigure) {
+  const PowerModel p;
+  const WseSpec spec;
+  // Table 3, nb = 25: 3.77 PFlop/s over six systems -> per the paper's
+  // measurement, ~36.5 GFlop/s/W.
+  const double eff =
+      p.efficiency_gflops_per_watt(3.77e15, 6, spec.usable_pes(), false);
+  EXPECT_NEAR(eff, 36.5, 6.0);
+}
+
+TEST(Power, FabricTrafficReducesEfficiency) {
+  const PowerModel p;
+  const WseSpec spec;
+  const double quiet =
+      p.efficiency_gflops_per_watt(1e15, 1, spec.usable_pes(), false);
+  const double hot =
+      p.efficiency_gflops_per_watt(1e15, 1, spec.usable_pes(), true);
+  EXPECT_GT(quiet, hot);
+}
+
+TEST(Power, ZeroPowerGuard) {
+  PowerModel p;
+  p.base_kw = 0.0;
+  p.pe_active_mw = 0.0;
+  EXPECT_EQ(p.efficiency_gflops_per_watt(1e12, 1, 0, false), 0.0);
+}
+
+}  // namespace
+}  // namespace tlrwse::wse

@@ -1,0 +1,134 @@
+// Tests for Householder QR and rank-revealing truncated QR.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/qr.hpp"
+
+namespace tlrwse::la {
+namespace {
+
+template <typename T>
+Matrix<T> random_matrix(Rng& rng, index_t m, index_t n) {
+  Matrix<T> a(m, n);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  return a;
+}
+
+/// ||Q^H Q - I||_F.
+template <typename T>
+double orthogonality_defect(const Matrix<T>& Q) {
+  const auto g = matmul(Q.adjoint(), Q);
+  const auto eye = Matrix<T>::identity(Q.cols());
+  return frobenius_distance(g, eye);
+}
+
+class QrShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrShapes, ReconstructsAndIsOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 71 + n);
+  const auto a = random_matrix<cf64>(rng, m, n);
+  const auto f = qr(a);
+  EXPECT_LT(orthogonality_defect(f.Q), 1e-10);
+  const auto qr_prod = matmul(f.Q, f.R);
+  EXPECT_LT(frobenius_distance(qr_prod, a), 1e-10 * frobenius_norm(a) + 1e-12);
+  // R upper triangular.
+  for (index_t j = 0; j < f.R.cols(); ++j) {
+    for (index_t i = j + 1; i < f.R.rows(); ++i) {
+      EXPECT_EQ(f.R(i, j), cf64{});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(5, 5),
+                                           std::make_tuple(12, 4),
+                                           std::make_tuple(4, 12),
+                                           std::make_tuple(30, 30),
+                                           std::make_tuple(50, 20)));
+
+TEST(Qr, RealMatrixWorks) {
+  Rng rng(31);
+  const auto a = random_matrix<double>(rng, 10, 6);
+  const auto f = qr(a);
+  EXPECT_LT(orthogonality_defect(f.Q), 1e-12);
+  EXPECT_LT(frobenius_distance(matmul(f.Q, f.R), a), 1e-12 * frobenius_norm(a));
+}
+
+TEST(Qr, ZeroMatrix) {
+  const MatrixD a(4, 3, 0.0);
+  const auto f = qr(a);
+  EXPECT_LT(frobenius_norm(f.R), 1e-300);
+}
+
+/// Builds a rank-k matrix U * V^H with well separated singular values.
+template <typename T>
+Matrix<T> rank_k_matrix(Rng& rng, index_t m, index_t n, index_t k) {
+  auto u = random_matrix<T>(rng, m, k);
+  auto v = random_matrix<T>(rng, k, n);
+  return matmul(u, v);
+}
+
+class RrqrRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(RrqrRanks, RecoversExactRank) {
+  const int k = GetParam();
+  Rng rng(401 + k);
+  const auto a = rank_k_matrix<cf64>(rng, 24, 18, k);
+  const auto f = rrqr_truncated(a, 1e-10);
+  EXPECT_EQ(f.rank, k);
+  const auto rec = matmul(f.U, f.Vh);
+  EXPECT_LT(frobenius_distance(rec, a), 1e-8 * frobenius_norm(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RrqrRanks, ::testing::Values(1, 2, 3, 5, 9));
+
+TEST(Rrqr, ToleranceControlsError) {
+  Rng rng(55);
+  // A matrix with geometrically decaying singular values: D * random.
+  MatrixCD a(20, 20);
+  for (index_t j = 0; j < 20; ++j) {
+    for (index_t i = 0; i < 20; ++i) {
+      a(i, j) = rng.cnormal<double>() * std::pow(0.5, static_cast<double>(j));
+    }
+  }
+  for (double tol : {1e-1, 1e-3, 1e-6}) {
+    const auto f = rrqr_truncated(a, tol);
+    const auto rec = matmul(f.U, f.Vh);
+    // The Frobenius tail bound: error <= tol * ||A||_F (with slack for the
+    // greedy pivot heuristic).
+    EXPECT_LT(frobenius_distance(rec, a), 3.0 * tol * frobenius_norm(a))
+        << "tol=" << tol << " rank=" << f.rank;
+  }
+  // Tighter tolerance must not decrease rank.
+  EXPECT_LE(rrqr_truncated(a, 1e-1).rank, rrqr_truncated(a, 1e-6).rank);
+}
+
+TEST(Rrqr, MaxRankCaps) {
+  Rng rng(66);
+  const auto a = random_matrix<cf64>(rng, 16, 16);
+  const auto f = rrqr_truncated(a, 1e-14, 5);
+  EXPECT_EQ(f.rank, 5);
+  EXPECT_EQ(f.U.cols(), 5);
+  EXPECT_EQ(f.Vh.rows(), 5);
+}
+
+TEST(Rrqr, UHasOrthonormalColumns) {
+  Rng rng(77);
+  const auto a = rank_k_matrix<cf64>(rng, 15, 10, 4);
+  const auto f = rrqr_truncated(a, 1e-10);
+  EXPECT_LT(orthogonality_defect(f.U), 1e-10);
+}
+
+TEST(Rrqr, ZeroMatrixHasRankZero) {
+  const MatrixCD a(8, 6, cf64{});
+  const auto f = rrqr_truncated(a, 1e-4);
+  EXPECT_EQ(f.rank, 0);
+}
+
+}  // namespace
+}  // namespace tlrwse::la

@@ -1,0 +1,147 @@
+// Tests for the paper-scale analytic rank model (Fig. 12 calibration).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tlrwse/common/units.hpp"
+#include "tlrwse/seismic/rank_model.hpp"
+
+namespace tlrwse::seismic {
+namespace {
+
+TEST(Calibration, Fig12TableLookup) {
+  EXPECT_DOUBLE_EQ(calibrated_total_gb(70, 1e-4), 112.0);
+  EXPECT_DOUBLE_EQ(calibrated_total_gb(25, 1e-4), 110.0);
+  EXPECT_DOUBLE_EQ(calibrated_total_gb(50, 7e-4), 39.0);
+  EXPECT_THROW((void)calibrated_total_gb(33, 1e-4), std::invalid_argument);
+}
+
+/// Smaller grid so the full total_bytes() sweep stays fast in tests; the
+/// byte calibration is scale-free (it depends on the target GB only).
+RankModelConfig test_config(index_t nb, double acc) {
+  RankModelConfig cfg;
+  cfg.nb = nb;
+  cfg.acc = acc;
+  cfg.num_freqs = 23;  // 1/10 of the paper's 230
+  return cfg;
+}
+
+class NbAcc : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(NbAcc, SizeRampIsLinearIncreasing) {
+  const auto [nb, acc] = GetParam();
+  const RankModel model(test_config(nb, acc));
+  double prev = 0.0;
+  for (index_t q = 0; q < model.config().num_freqs; ++q) {
+    const double s = model.size_per_matrix_bytes(q);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  // Ratio between highest and lowest frequency ~= configured ratio.
+  const double ratio = model.size_per_matrix_bytes(model.config().num_freqs - 1) /
+                       model.size_per_matrix_bytes(0);
+  EXPECT_NEAR(ratio, model.config().low_to_high_ratio, 1e-9);
+}
+
+TEST_P(NbAcc, MeanSizeMatchesCalibration) {
+  const auto [nb, acc] = GetParam();
+  const RankModel model(test_config(nb, acc));
+  double sum = 0.0;
+  for (index_t q = 0; q < model.config().num_freqs; ++q) {
+    sum += model.size_per_matrix_bytes(q);
+  }
+  const double mean = sum / static_cast<double>(model.config().num_freqs);
+  const double target_mean = calibrated_total_gb(nb, acc) * kGB / 230.0;
+  EXPECT_NEAR(mean / target_mean, 1.0, 1e-9);
+}
+
+TEST_P(NbAcc, ActualTileRanksReproduceTargetSize) {
+  const auto [nb, acc] = GetParam();
+  const RankModel model(test_config(nb, acc));
+  // Middle frequency: rank clamping distortion should stay under 15%.
+  const index_t q = model.config().num_freqs / 2;
+  const auto ranks = model.tile_ranks(q);
+  const double actual = model.actual_bytes(ranks);
+  const double target = model.size_per_matrix_bytes(q);
+  EXPECT_NEAR(actual / target, 1.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, NbAcc,
+                         ::testing::Values(std::make_tuple(25, 1e-4),
+                                           std::make_tuple(50, 1e-4),
+                                           std::make_tuple(70, 1e-4),
+                                           std::make_tuple(50, 3e-4),
+                                           std::make_tuple(70, 3e-4),
+                                           std::make_tuple(70, 7e-4)));
+
+TEST(RankModel, CompressionFactorAboutSevenAtTightAcc) {
+  RankModelConfig cfg = test_config(70, 1e-4);
+  const RankModel model(cfg);
+  // Dense = 763 GB over 230 freqs; compare per-frequency means.
+  const double dense_per_freq =
+      model.dense_total_bytes() / static_cast<double>(cfg.num_freqs);
+  double sum = 0.0;
+  for (index_t q = 0; q < cfg.num_freqs; ++q) {
+    sum += model.size_per_matrix_bytes(q);
+  }
+  const double comp_per_freq = sum / static_cast<double>(cfg.num_freqs);
+  EXPECT_NEAR(dense_per_freq / comp_per_freq, 763.0 / 112.0, 0.5);
+}
+
+TEST(RankModel, RanksRespectTileCaps) {
+  const RankModel model(test_config(70, 1e-4));
+  const auto& g = model.grid();
+  const auto ranks = model.tile_ranks(model.config().num_freqs - 1);
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const auto k = ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+      EXPECT_GE(k, 0);
+      EXPECT_LE(k, std::min(g.tile_rows(i), g.tile_cols(j)));
+    }
+  }
+}
+
+TEST(RankModel, DiagonalTilesHaveHigherRanks) {
+  const RankModel model(test_config(70, 1e-4));
+  const auto& g = model.grid();
+  const auto ranks = model.tile_ranks(10);
+  // Average rank of near-diagonal band vs far-off-diagonal corner.
+  double diag_sum = 0.0, corner_sum = 0.0;
+  index_t diag_n = 0, corner_n = 0;
+  for (index_t j = 0; j < g.nt(); ++j) {
+    const index_t i_diag = j * g.mt() / g.nt();
+    diag_sum += static_cast<double>(
+        ranks[static_cast<std::size_t>(g.tile_index(i_diag, j))]);
+    ++diag_n;
+  }
+  for (index_t j = 0; j < g.nt() / 4; ++j) {
+    corner_sum += static_cast<double>(
+        ranks[static_cast<std::size_t>(g.tile_index(g.mt() - 1 - j % 4, j))]);
+    ++corner_n;
+  }
+  EXPECT_GT(diag_sum / diag_n, corner_sum / corner_n);
+}
+
+TEST(RankModel, Deterministic) {
+  const RankModel a(test_config(50, 3e-4));
+  const RankModel b(test_config(50, 3e-4));
+  EXPECT_EQ(a.tile_ranks(7), b.tile_ranks(7));
+}
+
+TEST(RankModel, DenseTotalMatchesPaper) {
+  RankModelConfig cfg;  // full 230 frequencies
+  const RankModel model(cfg);
+  // 26040 x 15930 x 8 B x 230 = 763 GB (paper Sec. 6.1).
+  EXPECT_NEAR(model.dense_total_bytes() / kGB, 763.0, 1.0);
+}
+
+TEST(RankModel, FrequencyAxis) {
+  RankModelConfig cfg;
+  const RankModel model(cfg);
+  EXPECT_NEAR(model.frequency_hz(229), 50.0, 1e-9);
+  EXPECT_GT(model.frequency_hz(0), 0.0);
+  EXPECT_THROW((void)model.frequency_hz(230), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::seismic

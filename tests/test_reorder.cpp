@@ -1,0 +1,158 @@
+// Tests for Hilbert/Morton curves and permutation utilities, including the
+// locality property that motivates Hilbert ordering in the paper.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "tlrwse/reorder/hilbert.hpp"
+#include "tlrwse/reorder/permutation.hpp"
+
+namespace tlrwse::reorder {
+namespace {
+
+class HilbertOrders : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HilbertOrders, BijectionOverFullGrid) {
+  const std::uint32_t order = GetParam();
+  const std::uint64_t n = 1ULL << order;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t y = 0; y < n; ++y) {
+    for (std::uint64_t x = 0; x < n; ++x) {
+      const auto d = hilbert_xy_to_d(order, x, y);
+      EXPECT_LT(d, n * n);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+      const auto [rx, ry] = hilbert_d_to_xy(order, d);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), n * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrders, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbours) {
+  // The defining property of the Hilbert curve (and why it beats Morton for
+  // tile compression): d and d+1 always map to 4-neighbour cells.
+  const std::uint32_t order = 5;
+  const std::uint64_t total = 1ULL << (2 * order);
+  for (std::uint64_t d = 0; d + 1 < total; ++d) {
+    const auto [x0, y0] = hilbert_d_to_xy(order, d);
+    const auto [x1, y1] = hilbert_d_to_xy(order, d + 1);
+    const auto dist = std::llabs(static_cast<long long>(x1) - static_cast<long long>(x0)) +
+                      std::llabs(static_cast<long long>(y1) - static_cast<long long>(y0));
+    EXPECT_EQ(dist, 1) << "jump at d=" << d;
+  }
+}
+
+TEST(Morton, InterleavesBits) {
+  EXPECT_EQ(morton_xy_to_d(0, 0), 0u);
+  EXPECT_EQ(morton_xy_to_d(1, 0), 1u);
+  EXPECT_EQ(morton_xy_to_d(0, 1), 2u);
+  EXPECT_EQ(morton_xy_to_d(1, 1), 3u);
+  EXPECT_EQ(morton_xy_to_d(2, 0), 4u);
+  EXPECT_EQ(morton_xy_to_d(3, 3), 15u);
+}
+
+TEST(Morton, HasQuadrantJumps) {
+  // Morton's weakness: index 3 -> 4 jumps from (1,1) to (2,0), distance 2.
+  // (Documents the contrast with the Hilbert neighbour property above.)
+  std::uint64_t max_jump = 0;
+  std::pair<std::uint64_t, std::uint64_t> prev{0, 0};
+  for (std::uint64_t d = 1; d < 64; ++d) {
+    // Invert Morton by brute force over an 8x8 grid.
+    for (std::uint64_t y = 0; y < 8; ++y) {
+      for (std::uint64_t x = 0; x < 8; ++x) {
+        if (morton_xy_to_d(x, y) == d) {
+          const auto jump =
+              static_cast<std::uint64_t>(std::llabs(static_cast<long long>(x) - static_cast<long long>(prev.first)) +
+                                         std::llabs(static_cast<long long>(y) - static_cast<long long>(prev.second)));
+          max_jump = std::max(max_jump, jump);
+          prev = {x, y};
+        }
+      }
+    }
+  }
+  EXPECT_GT(max_jump, 1u);
+}
+
+TEST(RequiredOrder, CoversExtents) {
+  EXPECT_EQ(required_order(1, 1), 0u);
+  EXPECT_EQ(required_order(2, 2), 1u);
+  EXPECT_EQ(required_order(3, 2), 2u);
+  EXPECT_EQ(required_order(217, 120), 8u);  // paper source grid
+}
+
+TEST(OrderingPermutation, NaturalIsIdentity) {
+  std::vector<GridPoint> pts{{0, 0}, {1, 0}, {0, 1}};
+  const auto perm = ordering_permutation(pts, Ordering::kNatural);
+  EXPECT_EQ(perm, (std::vector<index_t>{0, 1, 2}));
+}
+
+TEST(OrderingPermutation, HilbertIsAPermutation) {
+  std::vector<GridPoint> pts;
+  for (index_t y = 0; y < 7; ++y) {
+    for (index_t x = 0; x < 5; ++x) pts.push_back({x, y});
+  }
+  const auto perm = ordering_permutation(pts, Ordering::kHilbert);
+  std::set<index_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), pts.size());
+  // Consecutive stations in curve order are spatial neighbours whenever the
+  // curve stays inside the (non-square) station grid.
+  int adjacent = 0;
+  for (std::size_t k = 1; k < perm.size(); ++k) {
+    const auto& a = pts[static_cast<std::size_t>(perm[k - 1])];
+    const auto& b = pts[static_cast<std::size_t>(perm[k])];
+    if (std::llabs(a.ix - b.ix) + std::llabs(a.iy - b.iy) == 1) ++adjacent;
+  }
+  EXPECT_GT(adjacent, static_cast<int>(perm.size()) / 2);
+}
+
+TEST(OrderingPermutation, MortonIsAPermutation) {
+  std::vector<GridPoint> pts;
+  for (index_t y = 0; y < 6; ++y) {
+    for (index_t x = 0; x < 6; ++x) pts.push_back({x, y});
+  }
+  const auto perm = ordering_permutation(pts, Ordering::kMorton);
+  std::set<index_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(InvertPermutation, RoundTrip) {
+  const std::vector<index_t> perm{3, 1, 0, 2};
+  const auto inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<index_t>{2, 1, 3, 0}));
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[k])], static_cast<index_t>(k));
+  }
+}
+
+TEST(InvertPermutation, RejectsOutOfRange) {
+  EXPECT_THROW(invert_permutation({0, 5}), std::invalid_argument);
+}
+
+TEST(PermuteRowsCols, AppliesBothSides) {
+  la::MatrixD a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const auto b = permute_rows_cols(a, {1, 0}, {2, 0, 1});
+  EXPECT_EQ(b(0, 0), 6);
+  EXPECT_EQ(b(0, 1), 4);
+  EXPECT_EQ(b(1, 2), 2);
+}
+
+TEST(PermuteVector, Gathers) {
+  const std::vector<double> in{10, 20, 30};
+  std::vector<double> out(3);
+  permute_vector<double>({2, 0, 1}, std::span<const double>(in),
+                         std::span<double>(out));
+  EXPECT_EQ(out, (std::vector<double>{30, 10, 20}));
+}
+
+}  // namespace
+}  // namespace tlrwse::reorder

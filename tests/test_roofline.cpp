@@ -1,0 +1,74 @@
+// Tests for the roofline model and its machine tables.
+#include <gtest/gtest.h>
+
+#include "tlrwse/roofline/roofline.hpp"
+
+namespace tlrwse::roofline {
+namespace {
+
+TEST(Machines, Fig15Table) {
+  const auto machines = fig15_machines();
+  ASSERT_EQ(machines.size(), 7u);
+  // Six CS-2s lead the table with the 120 PB/s and 10.2 PFlop/s roofs.
+  EXPECT_EQ(machines[0].units, 6);
+  EXPECT_NEAR(machines[0].peak_bw() / 1e15, 120.0, 1.0);
+  EXPECT_NEAR(machines[0].peak_flops() / 1e15, 10.2, 0.3);
+  // CS-2 bandwidth roof dominates every other config by orders of magnitude.
+  for (std::size_t i = 1; i < machines.size(); ++i) {
+    EXPECT_GT(machines[0].peak_bw(), 1000.0 * machines[i].peak_bw())
+        << machines[i].name;
+  }
+}
+
+TEST(Machines, Fig16Table) {
+  const auto machines = fig16_machines();
+  ASSERT_EQ(machines.size(), 6u);
+  EXPECT_NEAR(machines[0].peak_bw() / 1e15, 960.0, 5.0);  // Condor Galaxy
+  // Leonardo aggregate ~27.6 PB/s, Summit ~24.9 PB/s: the paper's claim
+  // that 92.58 PB/s sustained is "more than 3X" their theoretical peaks.
+  const auto& leonardo = machines[4];
+  const auto& summit = machines[5];
+  EXPECT_GT(92.58e15 / leonardo.peak_bw(), 3.0);
+  EXPECT_GT(92.58e15 / summit.peak_bw(), 3.0);
+}
+
+TEST(Roofline, AttainableFlopsKinksAtRidge) {
+  MachineSpec m{"test", 1, 100.0, 1000.0};  // ridge at AI = 10
+  EXPECT_DOUBLE_EQ(m.attainable_flops(1.0), 100.0);   // memory bound
+  EXPECT_DOUBLE_EQ(m.attainable_flops(10.0), 1000.0); // ridge point
+  EXPECT_DOUBLE_EQ(m.attainable_flops(100.0), 1000.0);  // compute bound
+}
+
+TEST(Roofline, TlrMvmIntensities) {
+  // Large-MN asymptotes: relative -> 0.5 flop/byte, absolute -> 1/6.
+  EXPECT_NEAR(tlr_mvm_intensity_relative(1e9, 1e4, 1e4), 0.5, 1e-3);
+  EXPECT_NEAR(tlr_mvm_intensity_absolute(1e9, 1e4), 1.0 / 6.0, 1e-3);
+  // The absolute intensity is always lower: the flat memory model performs
+  // more accesses for the same flops (paper Sec. 7.5).
+  for (double mn : {1e3, 1e6, 1e9}) {
+    EXPECT_LT(tlr_mvm_intensity_absolute(mn, 100.0),
+              tlr_mvm_intensity_relative(mn, 100.0, 100.0));
+  }
+}
+
+TEST(Roofline, PointFlopsRate) {
+  RooflinePoint pt{"TLR-MVM", 0.5, 12.26e15};
+  EXPECT_DOUBLE_EQ(pt.flops_rate(), 6.13e15);
+}
+
+TEST(Roofline, CrossoverBehaviour) {
+  // On the CS-2, batched MVM at AI ~ 0.5 is COMPUTE bound (the paper's
+  // Fig. 14 commentary: increasing the matrix size "transitions the batch
+  // MVM execution from a memory-bound to a compute-bound operation"),
+  // while on a GPU the same kernel is memory bound.
+  const auto machines = fig15_machines();
+  const auto& cs2 = machines[0];
+  const auto& a100 = machines[2];
+  const double ai = 0.5;
+  EXPECT_DOUBLE_EQ(cs2.attainable_flops(ai), cs2.peak_flops());
+  EXPECT_LT(a100.attainable_flops(ai), a100.peak_flops());
+  EXPECT_DOUBLE_EQ(a100.attainable_flops(ai), ai * a100.peak_bw());
+}
+
+}  // namespace
+}  // namespace tlrwse::roofline

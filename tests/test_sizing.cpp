@@ -1,0 +1,124 @@
+// Tests for the SRAM-driven sizing APIs (max stack width, minimum system
+// count) and the CO2 time-lapse model variant.
+#include <gtest/gtest.h>
+
+#include "tlrwse/seismic/model.hpp"
+#include "tlrwse/wse/machine.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+class FixedSource final : public RankSource {
+ public:
+  FixedSource(index_t rows, index_t cols, index_t nb, index_t nf, index_t rank)
+      : grid_(rows, cols, nb), nf_(nf), rank_(rank) {}
+  [[nodiscard]] index_t num_freqs() const override { return nf_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const override { return grid_; }
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t) const override {
+    std::vector<index_t> r(static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        r[static_cast<std::size_t>(grid_.tile_index(i, j))] = std::min(
+            rank_, std::min(grid_.tile_rows(i), grid_.tile_cols(j)));
+      }
+    }
+    return r;
+  }
+
+ private:
+  tlr::TileGrid grid_;
+  index_t nf_;
+  index_t rank_;
+};
+
+TEST(Sizing, MaxWidthFitsAndNextWidthOverflows) {
+  FixedSource src(700, 490, 70, 2, 12);
+  const WseSpec spec;
+  const index_t sw = max_stack_width_for_sram(
+      src, spec, Strategy::kSplitStackWidth, 256);
+  ASSERT_GT(sw, 0);
+  // The reported width fits; one more overflows at least one chunk.
+  double worst_at = 0.0, worst_next = 0.0;
+  for_each_chunk(src, sw, [&](const Chunk& c) {
+    worst_at = std::max(worst_at,
+                        static_cast<double>(chunk_sram_bytes_strategy1(c)));
+  });
+  for_each_chunk(src, sw + 1, [&](const Chunk& c) {
+    worst_next = std::max(worst_next,
+                          static_cast<double>(chunk_sram_bytes_strategy1(c)));
+  });
+  EXPECT_LE(worst_at, static_cast<double>(spec.data_sram_bytes()));
+  EXPECT_GT(worst_next, static_cast<double>(spec.data_sram_bytes()));
+}
+
+TEST(Sizing, Strategy2AllowsWiderStacks) {
+  // Per-PE footprint under strategy 2 is roughly half (one real base
+  // instead of four split planes) -> wider SRAM-max stacks.
+  FixedSource src(700, 490, 70, 1, 12);
+  const WseSpec spec;
+  const index_t s1 =
+      max_stack_width_for_sram(src, spec, Strategy::kSplitStackWidth, 512);
+  const index_t s2 =
+      max_stack_width_for_sram(src, spec, Strategy::kScatterRealMvms, 512);
+  EXPECT_GT(s2, s1);
+}
+
+TEST(Sizing, MinimumSystemsScalesWithData) {
+  const WseSpec spec;
+  FixedSource small(700, 490, 70, 1, 12);
+  FixedSource big(700, 490, 70, 8, 12);
+  const auto m1 = minimum_systems(small, spec, Strategy::kSplitStackWidth);
+  const auto m8 = minimum_systems(big, spec, Strategy::kSplitStackWidth);
+  EXPECT_GE(m8, m1);
+  EXPECT_GE(m1, 1);
+}
+
+TEST(Sizing, ZeroWhenTilesCannotFit) {
+  // A single gigantic tile column that cannot fit even at width 1.
+  FixedSource src(60000, 12000, 12000, 1, 1);
+  WseSpec spec;
+  EXPECT_EQ(max_stack_width_for_sram(src, spec, Strategy::kSplitStackWidth, 8),
+            0);
+  EXPECT_THROW((void)minimum_systems(src, spec, Strategy::kSplitStackWidth),
+               std::invalid_argument);
+}
+
+TEST(Sizing, DataSramExcludesReserve) {
+  const WseSpec spec;
+  EXPECT_EQ(spec.data_sram_bytes(),
+            spec.sram_bytes_per_pe - spec.reserved_sram_bytes);
+  EXPECT_GT(spec.data_sram_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace tlrwse::wse
+
+namespace tlrwse::seismic {
+namespace {
+
+TEST(Co2Monitor, WeakensOnlyTheTarget) {
+  const auto base = SubsurfaceModel::overthrust_like();
+  const auto mon = SubsurfaceModel::co2_monitor(1.0);
+  ASSERT_EQ(base.interfaces.size(), mon.interfaces.size());
+  for (std::size_t i = 0; i + 1 < base.interfaces.size(); ++i) {
+    EXPECT_EQ(mon.interfaces[i].reflectivity, base.interfaces[i].reflectivity);
+  }
+  EXPECT_LT(mon.interfaces.back().reflectivity,
+            base.interfaces.back().reflectivity);
+  // Zero saturation = baseline.
+  const auto zero = SubsurfaceModel::co2_monitor(0.0);
+  EXPECT_EQ(zero.interfaces.back().reflectivity,
+            base.interfaces.back().reflectivity);
+}
+
+TEST(Co2Monitor, SaturationMonotone) {
+  double prev = SubsurfaceModel::co2_monitor(0.0).interfaces.back().reflectivity;
+  for (double s : {0.25, 0.5, 0.75, 1.0}) {
+    const double r = SubsurfaceModel::co2_monitor(s).interfaces.back().reflectivity;
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::seismic

@@ -1,0 +1,176 @@
+// Tests for the one-sided Jacobi SVD, tolerance truncation, and RSVD.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/svd.hpp"
+
+namespace tlrwse::la {
+namespace {
+
+template <typename T>
+Matrix<T> random_matrix(Rng& rng, index_t m, index_t n) {
+  Matrix<T> a(m, n);
+  fill_normal(rng, a.data(), static_cast<std::size_t>(a.size()));
+  return a;
+}
+
+template <typename T>
+double orthogonality_defect(const Matrix<T>& Q) {
+  return frobenius_distance(matmul(Q.adjoint(), Q),
+                            Matrix<T>::identity(Q.cols()));
+}
+
+template <typename T>
+Matrix<T> recompose(const SvdResult<T>& f) {
+  Matrix<T> us = f.U;
+  for (index_t j = 0; j < us.cols(); ++j) {
+    for (index_t i = 0; i < us.rows(); ++i) {
+      us(i, j) *= static_cast<T>(f.S[static_cast<std::size_t>(j)]);
+    }
+  }
+  return matmul(us, f.V.adjoint());
+}
+
+class SvdShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SvdShapes, FactorsAreValid) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 13 + n);
+  const auto a = random_matrix<cf64>(rng, m, n);
+  const auto f = svd_jacobi(a);
+  EXPECT_LT(orthogonality_defect(f.U), 1e-9);
+  EXPECT_LT(orthogonality_defect(f.V), 1e-9);
+  EXPECT_LT(frobenius_distance(recompose(f), a),
+            1e-9 * frobenius_norm(a) + 1e-12);
+  // Descending, non-negative singular values.
+  for (std::size_t i = 1; i < f.S.size(); ++i) {
+    EXPECT_LE(f.S[i], f.S[i - 1]);
+    EXPECT_GE(f.S[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(6, 6),
+                                           std::make_tuple(10, 4),
+                                           std::make_tuple(4, 10),
+                                           std::make_tuple(25, 25),
+                                           std::make_tuple(40, 17)));
+
+TEST(Svd, DiagonalMatrixSingularValues) {
+  MatrixD a(4, 4, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = -7.0;  // singular value is |.|
+  a(2, 2) = 0.5;
+  a(3, 3) = 1.0;
+  const auto f = svd_jacobi(a);
+  ASSERT_EQ(f.S.size(), 4u);
+  EXPECT_NEAR(f.S[0], 7.0, 1e-12);
+  EXPECT_NEAR(f.S[1], 3.0, 1e-12);
+  EXPECT_NEAR(f.S[2], 1.0, 1e-12);
+  EXPECT_NEAR(f.S[3], 0.5, 1e-12);
+}
+
+TEST(Svd, FrobeniusNormIdentity) {
+  Rng rng(23);
+  const auto a = random_matrix<cf64>(rng, 12, 9);
+  const auto f = svd_jacobi(a);
+  double sum2 = 0.0;
+  for (double s : f.S) sum2 += s * s;
+  EXPECT_NEAR(std::sqrt(sum2), frobenius_norm(a), 1e-9);
+}
+
+TEST(Svd, SingularPhaseInvariance) {
+  // Multiplying a column by a unit phase must not change singular values.
+  Rng rng(29);
+  auto a = random_matrix<cf64>(rng, 8, 8);
+  const auto s1 = svd_jacobi(a).S;
+  const cf64 phase = std::polar(1.0, 0.7);
+  for (index_t i = 0; i < 8; ++i) a(i, 3) *= phase;
+  const auto s2 = svd_jacobi(a).S;
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-9);
+}
+
+TEST(TruncationRank, FrobeniusTailRule) {
+  const std::vector<double> s{10.0, 1.0, 0.1, 0.01};
+  // Full accuracy keeps everything.
+  EXPECT_EQ(truncation_rank(s, 1e-8), 4);
+  // tol = 0.05: tail must satisfy sqrt(sum tail^2) <= tol * ||s||.
+  // ||s|| ~= 10.0504; dropping {0.1, 0.01} gives tail ~0.1005 <= 0.5025. OK.
+  // Dropping {1, 0.1, 0.01} gives ~1.005 > 0.5025. So k = 2.
+  EXPECT_EQ(truncation_rank(s, 0.05), 2);
+  // Huge tolerance drops everything.
+  EXPECT_EQ(truncation_rank(s, 2.0), 0);
+  // Zero spectrum.
+  EXPECT_EQ(truncation_rank(std::vector<double>{0.0, 0.0}, 1e-4), 0);
+}
+
+class CompressTols : public ::testing::TestWithParam<double> {};
+
+TEST_P(CompressTols, SvdCompressionMeetsTolerance) {
+  const double tol = GetParam();
+  Rng rng(37);
+  // Smooth kernel matrix (numerically low rank).
+  MatrixCD a(30, 24);
+  for (index_t j = 0; j < 24; ++j) {
+    for (index_t i = 0; i < 30; ++i) {
+      const double d = 1.0 + std::abs(static_cast<double>(i) / 30.0 -
+                                      static_cast<double>(j) / 24.0);
+      a(i, j) = std::polar(1.0 / d, 2.0 * d);
+    }
+  }
+  const auto f = compress_svd(a, tol);
+  const auto rec = reconstruct(f);
+  EXPECT_LE(frobenius_distance(rec, a), 1.01 * tol * frobenius_norm(a) + 1e-14);
+  EXPECT_LE(f.rank(), std::min<index_t>(30, 24));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tols, CompressTols,
+                         ::testing::Values(1e-1, 1e-2, 1e-4, 1e-8));
+
+TEST(CompressSvd, MaxRankCaps) {
+  Rng rng(41);
+  const auto a = random_matrix<cf64>(rng, 12, 12);
+  const auto f = compress_svd(a, 1e-14, 3);
+  EXPECT_EQ(f.rank(), 3);
+}
+
+TEST(Rsvd, MatchesSvdOnLowRank) {
+  Rng rng(43);
+  const auto u = random_matrix<cf64>(rng, 40, 5);
+  const auto v = random_matrix<cf64>(rng, 5, 30);
+  const auto a = matmul(u, v);
+  Rng rsvd_rng(7);
+  const auto f = compress_rsvd(a, 1e-8, rsvd_rng, 4, 1);
+  EXPECT_LE(f.rank(), 10);
+  EXPECT_GE(f.rank(), 5);
+  EXPECT_LT(frobenius_distance(reconstruct(f), a),
+            1e-6 * frobenius_norm(a));
+}
+
+TEST(Rsvd, ZeroMatrixGivesRankZero) {
+  const MatrixCD a(10, 8, cf64{});
+  Rng rng(1);
+  const auto f = compress_rsvd(a, 1e-4, rng);
+  EXPECT_EQ(f.rank(), 0);
+}
+
+TEST(Rsvd, ToleranceSweepMonotone) {
+  Rng rng(47);
+  MatrixCD a(24, 24);
+  for (index_t j = 0; j < 24; ++j) {
+    for (index_t i = 0; i < 24; ++i) {
+      a(i, j) = rng.cnormal<double>() * std::pow(0.6, static_cast<double>(j));
+    }
+  }
+  Rng r1(3), r2(3);
+  const auto loose = compress_rsvd(a, 1e-2, r1);
+  const auto tight = compress_rsvd(a, 1e-6, r2);
+  EXPECT_LE(loose.rank(), tight.rank());
+}
+
+}  // namespace
+}  // namespace tlrwse::la

@@ -1,0 +1,87 @@
+// Property tests for the uniform tile partition.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tlrwse/tlr/tile_grid.hpp"
+
+namespace tlrwse::tlr {
+namespace {
+
+class GridShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GridShapes, PartitionCoversMatrixExactly) {
+  const auto [rows, cols, nb] = GetParam();
+  const TileGrid g(rows, cols, nb);
+
+  // Tile counts.
+  EXPECT_EQ(g.mt(), (rows + nb - 1) / nb);
+  EXPECT_EQ(g.nt(), (cols + nb - 1) / nb);
+  EXPECT_EQ(g.num_tiles(), g.mt() * g.nt());
+
+  // Row/column extents tile the matrix with no gaps or overlap.
+  index_t covered_rows = 0;
+  for (index_t i = 0; i < g.mt(); ++i) {
+    EXPECT_EQ(g.row_offset(i), covered_rows);
+    EXPECT_GE(g.tile_rows(i), 1);
+    EXPECT_LE(g.tile_rows(i), nb);
+    covered_rows += g.tile_rows(i);
+  }
+  EXPECT_EQ(covered_rows, rows);
+
+  index_t covered_cols = 0;
+  for (index_t j = 0; j < g.nt(); ++j) {
+    EXPECT_EQ(g.col_offset(j), covered_cols);
+    EXPECT_GE(g.tile_cols(j), 1);
+    EXPECT_LE(g.tile_cols(j), nb);
+    covered_cols += g.tile_cols(j);
+  }
+  EXPECT_EQ(covered_cols, cols);
+
+  // All tiles except the last row/column are full.
+  for (index_t i = 0; i + 1 < g.mt(); ++i) EXPECT_EQ(g.tile_rows(i), nb);
+  for (index_t j = 0; j + 1 < g.nt(); ++j) EXPECT_EQ(g.tile_cols(j), nb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridShapes,
+    ::testing::Values(std::make_tuple(100, 60, 10),    // exact division
+                      std::make_tuple(103, 61, 10),    // ragged both
+                      std::make_tuple(70, 70, 70),     // single tile
+                      std::make_tuple(71, 69, 70),     // barely ragged
+                      std::make_tuple(1, 1, 70),       // tiny
+                      std::make_tuple(26040, 15930, 70),   // paper nb=70
+                      std::make_tuple(26040, 15930, 25),   // paper nb=25
+                      std::make_tuple(26040, 15930, 50))); // paper nb=50
+
+TEST(TileGrid, PaperScaleTileCounts) {
+  const TileGrid g70(26040, 15930, 70);
+  EXPECT_EQ(g70.mt(), 372);
+  EXPECT_EQ(g70.nt(), 228);
+  const TileGrid g25(26040, 15930, 25);
+  EXPECT_EQ(g25.mt(), 1042);
+  EXPECT_EQ(g25.nt(), 638);
+}
+
+TEST(TileGrid, TileIndexIsColumnMajorBijection) {
+  const TileGrid g(50, 30, 7);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_tiles()), false);
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t idx = g.tile_index(i, j);
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, g.num_tiles());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+}
+
+TEST(TileGrid, InvalidArgsThrow) {
+  EXPECT_THROW(TileGrid(10, 10, 0), std::invalid_argument);
+  EXPECT_THROW(TileGrid(-1, 10, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlrwse::tlr

@@ -1,0 +1,141 @@
+// Tests for TLR compression: accuracy per backend, compression accounting,
+// rank statistics, reconstruction.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_helpers.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace tlrwse::tlr {
+namespace {
+
+using testing_helpers = int;
+
+class Backends : public ::testing::TestWithParam<CompressionBackend> {};
+
+TEST_P(Backends, CompressionMeetsTileTolerance) {
+  const auto backend = GetParam();
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(96, 72, 15.0);
+  CompressionConfig cfg;
+  cfg.nb = 24;
+  cfg.acc = 1e-3;
+  cfg.backend = backend;
+  const auto t = compress_tlr(a, cfg);
+  const auto rec = t.reconstruct();
+  // Per-tile Frobenius tolerance implies a global bound:
+  // ||A - A_tlr||_F <= acc * sqrt(sum_tiles ||T||_F^2) = acc * ||A||_F.
+  // ACA's heuristic stopping rule gets extra slack.
+  const double slack = (backend == CompressionBackend::kAca) ? 10.0 : 1.5;
+  EXPECT_LT(la::frobenius_distance(rec, a),
+            slack * cfg.acc * la::frobenius_norm(a));
+  EXPECT_GT(t.compression_ratio(), 1.2) << "no compression achieved";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, Backends,
+                         ::testing::Values(CompressionBackend::kSvd,
+                                           CompressionBackend::kRrqr,
+                                           CompressionBackend::kRsvd,
+                                           CompressionBackend::kAca));
+
+class TileSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileSizes, RaggedTilingReconstructs) {
+  const index_t nb = GetParam();
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(67, 45, 9.0);
+  CompressionConfig cfg;
+  cfg.nb = nb;
+  cfg.acc = 1e-4;
+  const auto t = compress_tlr(a, cfg);
+  EXPECT_EQ(t.rows(), 67);
+  EXPECT_EQ(t.cols(), 45);
+  const auto rec = t.reconstruct();
+  EXPECT_LT(la::frobenius_distance(rec, a),
+            1.5e-4 * la::frobenius_norm(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TileSizes, ::testing::Values(7, 16, 24, 45, 70));
+
+TEST(TlrMatrix, TighterAccuracyIncreasesRanksAndBytes) {
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(80, 80, 20.0);
+  CompressionConfig loose, tight;
+  loose.nb = tight.nb = 20;
+  loose.acc = 1e-2;
+  tight.acc = 1e-6;
+  const auto tl = compress_tlr(a, loose);
+  const auto tt = compress_tlr(a, tight);
+  EXPECT_LE(tl.compressed_bytes(), tt.compressed_bytes());
+  EXPECT_LE(tl.rank_stats().mean, tt.rank_stats().mean);
+  EXPECT_GE(tl.compression_ratio(), tt.compression_ratio());
+}
+
+TEST(TlrMatrix, RankStatsConsistent) {
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(60, 40, 10.0);
+  CompressionConfig cfg;
+  cfg.nb = 20;
+  cfg.acc = 1e-3;
+  const auto t = compress_tlr(a, cfg);
+  const auto s = t.rank_stats();
+  EXPECT_LE(s.min, s.max);
+  EXPECT_GE(s.mean, static_cast<double>(s.min));
+  EXPECT_LE(s.mean, static_cast<double>(s.max));
+  for (index_t j = 0; j < t.grid().nt(); ++j) {
+    for (index_t i = 0; i < t.grid().mt(); ++i) {
+      EXPECT_GE(t.rank(i, j), s.min);
+      EXPECT_LE(t.rank(i, j), s.max);
+      EXPECT_LE(t.rank(i, j),
+                std::min(t.grid().tile_rows(i), t.grid().tile_cols(j)));
+    }
+  }
+}
+
+TEST(TlrMatrix, DenseBytesMatchesDimensions) {
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(32, 16);
+  CompressionConfig cfg;
+  cfg.nb = 8;
+  const auto t = compress_tlr(a, cfg);
+  EXPECT_DOUBLE_EQ(t.dense_bytes(), 32.0 * 16.0 * sizeof(cf32));
+}
+
+TEST(TlrMatrix, MaxRankCapRespected) {
+  Rng rng(5);
+  const auto a = tlrwse::testing::random_matrix<cf32>(rng, 40, 40);
+  CompressionConfig cfg;
+  cfg.nb = 10;
+  cfg.acc = 1e-12;  // would be full rank without the cap
+  cfg.max_rank = 3;
+  const auto t = compress_tlr(a, cfg);
+  EXPECT_LE(t.rank_stats().max, 3);
+}
+
+TEST(TlrMatrix, RandomMatrixDoesNotCompress) {
+  // Sanity: incompressible data stays near full rank at tight accuracy
+  // (documents that the compression comes from structure, not magic).
+  Rng rng(6);
+  const auto a = tlrwse::testing::random_matrix<cf32>(rng, 48, 48);
+  CompressionConfig cfg;
+  cfg.nb = 12;
+  cfg.acc = 1e-6;
+  const auto t = compress_tlr(a, cfg);
+  EXPECT_GE(t.rank_stats().mean, 10.0);
+}
+
+TEST(TlrMatrix, RsvdDeterministicAcrossRuns) {
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(48, 36, 8.0);
+  CompressionConfig cfg;
+  cfg.nb = 12;
+  cfg.acc = 1e-4;
+  cfg.backend = CompressionBackend::kRsvd;
+  cfg.seed = 77;
+  const auto t1 = compress_tlr(a, cfg);
+  const auto t2 = compress_tlr(a, cfg);
+  for (index_t j = 0; j < t1.grid().nt(); ++j) {
+    for (index_t i = 0; i < t1.grid().mt(); ++i) {
+      EXPECT_EQ(t1.rank(i, j), t2.rank(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::tlr

@@ -1,0 +1,127 @@
+// Tests for the TLR-MMM (multi-shot) extension: equivalence with stacked
+// MVMs, adjointness, and the traffic model motivating the paper's Sec. 8.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/tlr_mmm.hpp"
+#include "tlrwse/tlr/tlr_mvm.hpp"
+
+namespace tlrwse::tlr {
+namespace {
+
+struct MmmSetup {
+  TlrMatrix<cf32> tlr_mat;
+  StackedTlr<cf32> stacks;
+  la::MatrixCF X;
+
+  MmmSetup(index_t m, index_t n, index_t nb, index_t s)
+      : tlr_mat(compress(tlrwse::testing::oscillatory_matrix<cf32>(m, n, 10.0),
+                         nb)),
+        stacks(tlr_mat),
+        X(n, s) {
+    Rng rng(m + s);
+    fill_normal(rng, X.data(), static_cast<std::size_t>(X.size()));
+  }
+  static TlrMatrix<cf32> compress(const la::MatrixCF& a, index_t nb) {
+    CompressionConfig cfg;
+    cfg.nb = nb;
+    cfg.acc = 1e-5;
+    return compress_tlr(a, cfg);
+  }
+};
+
+class MmmWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MmmWidths, MatchesColumnwiseMvm) {
+  const index_t s = GetParam();
+  MmmSetup f(60, 44, 11, s);
+  la::MatrixCF Y(60, s);
+  tlr_mmm_fused(f.stacks, f.X, Y);
+  for (index_t c = 0; c < s; ++c) {
+    std::vector<cf32> xc(f.X.col(c), f.X.col(c) + 44);
+    const auto yc = tlr_mvm_fused(f.stacks, std::span<const cf32>(xc));
+    for (index_t r = 0; r < 60; ++r) {
+      EXPECT_NEAR(std::abs(Y(r, c) - yc[static_cast<std::size_t>(r)]), 0.0,
+                  1e-4)
+          << "col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MmmWidths, ::testing::Values(1, 2, 5, 16));
+
+TEST(TlrMmm, AdjointMatchesColumnwise) {
+  MmmSetup f(48, 36, 9, 4);
+  la::MatrixCF X(48, 4);
+  Rng rng(3);
+  fill_normal(rng, X.data(), static_cast<std::size_t>(X.size()));
+  la::MatrixCF Y(36, 4);
+  tlr_mmm_adjoint(f.stacks, X, Y);
+  for (index_t c = 0; c < 4; ++c) {
+    std::vector<cf32> xc(X.col(c), X.col(c) + 48);
+    const auto yc = tlr_mvm_adjoint(f.stacks, std::span<const cf32>(xc));
+    for (index_t r = 0; r < 36; ++r) {
+      EXPECT_NEAR(std::abs(Y(r, c) - yc[static_cast<std::size_t>(r)]), 0.0,
+                  1e-4);
+    }
+  }
+}
+
+TEST(TlrMmm, PanelDotTest) {
+  // <A X, Y>_F == <X, A^H Y>_F.
+  MmmSetup f(40, 30, 8, 3);
+  Rng rng(7);
+  la::MatrixCF Ymat(40, 3);
+  fill_normal(rng, Ymat.data(), static_cast<std::size_t>(Ymat.size()));
+  la::MatrixCF AX(40, 3), AtY(30, 3);
+  tlr_mmm_fused(f.stacks, f.X, AX);
+  tlr_mmm_adjoint(f.stacks, Ymat, AtY);
+  cf64 lhs{}, rhs{};
+  for (index_t c = 0; c < 3; ++c) {
+    for (index_t r = 0; r < 40; ++r) {
+      lhs += std::conj(static_cast<cf64>(AX(r, c))) *
+             static_cast<cf64>(Ymat(r, c));
+    }
+    for (index_t r = 0; r < 30; ++r) {
+      rhs += std::conj(static_cast<cf64>(f.X(r, c))) *
+             static_cast<cf64>(AtY(r, c));
+    }
+  }
+  EXPECT_LT(std::abs(lhs - rhs), 1e-3 * (std::abs(lhs) + 1.0));
+}
+
+TEST(TlrMmm, ShapeValidation) {
+  MmmSetup f(20, 16, 8, 2);
+  la::MatrixCF bad(19, 2);
+  EXPECT_THROW(tlr_mmm_fused(f.stacks, f.X, bad), std::invalid_argument);
+  la::MatrixCF badX(15, 2);
+  la::MatrixCF Y(20, 2);
+  EXPECT_THROW(tlr_mmm_fused(f.stacks, badX, Y), std::invalid_argument);
+}
+
+TEST(TlrMmm, TrafficModelFavoursPanels) {
+  MmmSetup f(60, 44, 11, 1);
+  // MMM reads the bases once for all s right-hand sides: saving grows with
+  // s and approaches the base/(y-traffic) limit.
+  const auto t1 = tlr_mmm_traffic(f.stacks, 1);
+  const auto t8 = tlr_mmm_traffic(f.stacks, 8);
+  const auto t64 = tlr_mmm_traffic(f.stacks, 64);
+  EXPECT_NEAR(t1.saving(), 1.0, 1e-9);  // single vector: identical
+  EXPECT_GT(t8.saving(), 1.0);
+  EXPECT_GT(t64.saving(), t8.saving());
+  EXPECT_LT(t64.saving(), 1.5);  // bounded: y-panel traffic still scales
+}
+
+TEST(TlrMmm, ZeroColumnsOfXGiveZeroColumnsOfY) {
+  MmmSetup f(30, 24, 6, 3);
+  f.X.fill(cf32{});
+  la::MatrixCF Y(30, 3, cf32{1.0f, 1.0f});
+  tlr_mmm_fused(f.stacks, f.X, Y);
+  for (index_t c = 0; c < 3; ++c) {
+    for (index_t r = 0; r < 30; ++r) EXPECT_EQ(Y(r, c), cf32{});
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::tlr

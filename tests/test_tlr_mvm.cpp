@@ -1,0 +1,179 @@
+// Tests for the TLR-MVM kernels: 3-phase, fused (communication-avoiding),
+// adjoint, and the complex-as-4-real split — all against the dense
+// reference, across tile sizes and ragged shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_helpers.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/real_split.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/tlr/tlr_mvm.hpp"
+
+namespace tlrwse::tlr {
+namespace {
+
+struct MvmSetup {
+  la::MatrixCF dense;
+  TlrMatrix<cf32> tlr;
+  StackedTlr<cf32> stacks;
+  std::vector<cf32> x;
+  std::vector<cf32> y_ref;  // dense reconstruct * x (the kernels' target)
+
+  MvmSetup(index_t m, index_t n, index_t nb, double acc = 1e-5)
+      : dense(tlrwse::testing::oscillatory_matrix<cf32>(m, n, 11.0)),
+        tlr(make_tlr(dense, nb, acc)),
+        stacks(tlr) {
+    Rng rng(m + n + nb);
+    x = tlrwse::testing::random_vector<cf32>(rng, n);
+    // Reference: exact MVM with the *reconstructed* TLR matrix, so kernel
+    // comparisons are exact up to FP32 reassociation (no compression error).
+    const auto rec = tlr.reconstruct();
+    y_ref.resize(static_cast<std::size_t>(m));
+    la::gemv(rec, std::span<const cf32>(x), std::span<cf32>(y_ref));
+  }
+
+  static TlrMatrix<cf32> make_tlr(const la::MatrixCF& a, index_t nb,
+                                  double acc) {
+    CompressionConfig cfg;
+    cfg.nb = nb;
+    cfg.acc = acc;
+    return compress_tlr(a, cfg);
+  }
+};
+
+class MvmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MvmShapes, ThreePhaseMatchesDense) {
+  const auto [m, n, nb] = GetParam();
+  MvmSetup s(m, n, nb);
+  const auto y = tlr_mvm_3phase(s.stacks, std::span<const cf32>(s.x));
+  EXPECT_LT(tlrwse::testing::rel_error(y, s.y_ref), 1e-4);
+}
+
+TEST_P(MvmShapes, FusedMatchesDense) {
+  const auto [m, n, nb] = GetParam();
+  MvmSetup s(m, n, nb);
+  const auto y = tlr_mvm_fused(s.stacks, std::span<const cf32>(s.x));
+  EXPECT_LT(tlrwse::testing::rel_error(y, s.y_ref), 1e-4);
+}
+
+TEST_P(MvmShapes, FusedEqualsThreePhase) {
+  const auto [m, n, nb] = GetParam();
+  MvmSetup s(m, n, nb);
+  const auto y3 = tlr_mvm_3phase(s.stacks, std::span<const cf32>(s.x));
+  const auto yf = tlr_mvm_fused(s.stacks, std::span<const cf32>(s.x));
+  // Same arithmetic, different order: FP32 reassociation tolerance only.
+  EXPECT_LT(tlrwse::testing::rel_error(yf, y3), 1e-5);
+}
+
+TEST_P(MvmShapes, RealSplitMatchesComplex) {
+  const auto [m, n, nb] = GetParam();
+  MvmSetup s(m, n, nb);
+  RealSplitStacks<float> split(s.stacks);
+  std::vector<cf32> y(static_cast<std::size_t>(m));
+  tlr_mvm_real_split(split, std::span<const cf32>(s.x), std::span<cf32>(y));
+  const auto yf = tlr_mvm_fused(s.stacks, std::span<const cf32>(s.x));
+  EXPECT_LT(tlrwse::testing::rel_error(y, yf), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MvmShapes,
+    ::testing::Values(std::make_tuple(60, 40, 10),   // exact tiling
+                      std::make_tuple(67, 45, 10),   // ragged both sides
+                      std::make_tuple(30, 70, 16),   // wide
+                      std::make_tuple(70, 30, 16),   // tall
+                      std::make_tuple(25, 25, 70),   // single tile, nb > dims
+                      std::make_tuple(96, 96, 24),
+                      std::make_tuple(11, 7, 3)));
+
+TEST(TlrMvmAdjoint, MatchesDenseAdjoint) {
+  MvmSetup s(50, 34, 8);
+  Rng rng(9);
+  const auto xa = tlrwse::testing::random_vector<cf32>(rng, 50);
+  const auto y = tlr_mvm_adjoint(s.stacks, std::span<const cf32>(xa));
+  const auto rec = s.tlr.reconstruct();
+  std::vector<cf32> ref(34);
+  la::gemv_adjoint(rec, std::span<const cf32>(xa), std::span<cf32>(ref));
+  EXPECT_LT(tlrwse::testing::rel_error(y, ref), 1e-4);
+}
+
+TEST(TlrMvmAdjoint, DotTest) {
+  // <A x, y> == <x, A^H y> — the property LSQR depends on.
+  MvmSetup s(40, 28, 9);
+  Rng rng(13);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, 28);
+  const auto y = tlrwse::testing::random_vector<cf32>(rng, 40);
+  const auto ax = tlr_mvm_fused(s.stacks, std::span<const cf32>(x));
+  const auto aty = tlr_mvm_adjoint(s.stacks, std::span<const cf32>(y));
+  const auto lhs = la::dot(std::span<const cf32>(ax), std::span<const cf32>(y));
+  const auto rhs = la::dot(std::span<const cf32>(x), std::span<const cf32>(aty));
+  EXPECT_LT(std::abs(lhs - rhs), 1e-3 * (std::abs(lhs) + 1.0f));
+}
+
+TEST(TlrMvm, WorkspaceReuseAcrossCalls) {
+  MvmSetup s(48, 32, 8);
+  MvmWorkspace<cf32> ws;
+  std::vector<cf32> y1(48), y2(48);
+  tlr_mvm_3phase(s.stacks, std::span<const cf32>(s.x), std::span<cf32>(y1), ws);
+  tlr_mvm_3phase(s.stacks, std::span<const cf32>(s.x), std::span<cf32>(y2), ws);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+  // And the fused kernel can reuse the same workspace object.
+  tlr_mvm_fused(s.stacks, std::span<const cf32>(s.x), std::span<cf32>(y2), ws);
+  EXPECT_LT(tlrwse::testing::rel_error(y2, y1), 1e-5);
+}
+
+TEST(TlrMvm, SizeValidation) {
+  MvmSetup s(20, 12, 5);
+  MvmWorkspace<cf32> ws;
+  std::vector<cf32> bad_x(5), y(20);
+  EXPECT_THROW(tlr_mvm_fused(s.stacks, std::span<const cf32>(bad_x),
+                             std::span<cf32>(y), ws),
+               std::invalid_argument);
+}
+
+TEST(TlrMvm, LinearityProperty) {
+  MvmSetup s(36, 24, 6);
+  Rng rng(21);
+  const auto x1 = tlrwse::testing::random_vector<cf32>(rng, 24);
+  const auto x2 = tlrwse::testing::random_vector<cf32>(rng, 24);
+  std::vector<cf32> x_sum(24);
+  for (std::size_t i = 0; i < 24; ++i) x_sum[i] = x1[i] + x2[i];
+  const auto y1 = tlr_mvm_fused(s.stacks, std::span<const cf32>(x1));
+  const auto y2 = tlr_mvm_fused(s.stacks, std::span<const cf32>(x2));
+  const auto ys = tlr_mvm_fused(s.stacks, std::span<const cf32>(x_sum));
+  std::vector<cf32> y12(36);
+  for (std::size_t i = 0; i < 36; ++i) y12[i] = y1[i] + y2[i];
+  EXPECT_LT(tlrwse::testing::rel_error(ys, y12), 1e-5);
+}
+
+TEST(StackedTlr, OffsetsAreConsistent) {
+  MvmSetup s(50, 40, 10);
+  const auto& g = s.stacks.grid();
+  for (index_t j = 0; j < g.nt(); ++j) {
+    index_t expected = 0;
+    for (index_t i = 0; i < g.mt(); ++i) {
+      EXPECT_EQ(s.stacks.v_offset(i, j), expected);
+      EXPECT_EQ(s.stacks.rank(i, j), s.tlr.rank(i, j));
+      expected += s.tlr.rank(i, j);
+    }
+    EXPECT_EQ(s.stacks.col_rank_sum(j), expected);
+    EXPECT_EQ(s.stacks.v_stack(j).rows(), expected);
+    EXPECT_EQ(s.stacks.v_stack(j).cols(), g.tile_cols(j));
+  }
+  for (index_t i = 0; i < g.mt(); ++i) {
+    index_t expected = 0;
+    for (index_t j = 0; j < g.nt(); ++j) {
+      EXPECT_EQ(s.stacks.u_offset(i, j), expected);
+      expected += s.tlr.rank(i, j);
+    }
+    EXPECT_EQ(s.stacks.row_rank_sum(i), expected);
+    EXPECT_EQ(s.stacks.u_stack(i).cols(), expected);
+    EXPECT_EQ(s.stacks.u_stack(i).rows(), g.tile_rows(i));
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::tlr

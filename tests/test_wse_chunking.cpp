@@ -1,0 +1,207 @@
+// Tests for the WSE chunk decomposition: exact coverage of all rank rows,
+// stack-width bounds, MVM shape accounting, and SRAM footprints.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_helpers.hpp"
+#include "tlrwse/seismic/rank_model.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+#include "tlrwse/wse/chunking.hpp"
+#include "tlrwse/wse/functional.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+/// Simple deterministic rank source for unit tests.
+class FakeSource final : public RankSource {
+ public:
+  FakeSource(index_t rows, index_t cols, index_t nb, index_t nf)
+      : grid_(rows, cols, nb), nf_(nf) {}
+  [[nodiscard]] index_t num_freqs() const override { return nf_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const override { return grid_; }
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t q) const override {
+    std::vector<index_t> ranks(static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        // Deterministic varied ranks in [1, min(mb, nb)].
+        const index_t cap = std::min(grid_.tile_rows(i), grid_.tile_cols(j));
+        ranks[static_cast<std::size_t>(grid_.tile_index(i, j))] =
+            1 + (i * 7 + j * 3 + q) % cap;
+      }
+    }
+    return ranks;
+  }
+
+ private:
+  tlr::TileGrid grid_;
+  index_t nf_;
+};
+
+class StackWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(StackWidths, ChunksCoverAllRankRowsExactly) {
+  const index_t sw = GetParam();
+  FakeSource src(100, 70, 16, 3);
+  // Accumulate covered rank rows per (freq, tile): every rank of every tile
+  // must be covered exactly once.
+  std::map<std::tuple<index_t, index_t, index_t>, std::vector<bool>> covered;
+  for (index_t q = 0; q < src.num_freqs(); ++q) {
+    const auto ranks = src.tile_ranks(q);
+    for (index_t j = 0; j < src.grid().nt(); ++j) {
+      for (index_t i = 0; i < src.grid().mt(); ++i) {
+        covered[{q, i, j}].assign(
+            static_cast<std::size_t>(
+                ranks[static_cast<std::size_t>(src.grid().tile_index(i, j))]),
+            false);
+      }
+    }
+  }
+  for_each_chunk(src, sw, [&](const Chunk& c) {
+    EXPECT_GE(c.h, 1);
+    EXPECT_LE(c.h, sw);
+    EXPECT_EQ(c.nb, src.grid().tile_cols(c.tile_col));
+    index_t total = 0;
+    for (const auto& seg : c.segments) {
+      EXPECT_EQ(seg.mb, src.grid().tile_rows(seg.tile_row));
+      auto& flags = covered[{c.freq, seg.tile_row, c.tile_col}];
+      for (index_t r = 0; r < seg.count; ++r) {
+        const auto idx = static_cast<std::size_t>(seg.rank_begin + r);
+        ASSERT_LT(idx, flags.size());
+        EXPECT_FALSE(flags[idx]) << "rank row covered twice";
+        flags[idx] = true;
+      }
+      total += seg.count;
+    }
+    EXPECT_EQ(total, c.h);
+  });
+  for (const auto& [key, flags] : covered) {
+    for (bool f : flags) EXPECT_TRUE(f) << "rank row not covered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StackWidths, ::testing::Values(1, 3, 16, 64, 1000));
+
+TEST(Chunking, CountMatchesCeilFormula) {
+  FakeSource src(64, 48, 16, 2);
+  const index_t sw = 10;
+  // Expected: sum over freq, tile col of ceil(K_j / sw).
+  index_t expected = 0;
+  for (index_t q = 0; q < src.num_freqs(); ++q) {
+    const auto ranks = src.tile_ranks(q);
+    for (index_t j = 0; j < src.grid().nt(); ++j) {
+      index_t kj = 0;
+      for (index_t i = 0; i < src.grid().mt(); ++i) {
+        kj += ranks[static_cast<std::size_t>(src.grid().tile_index(i, j))];
+      }
+      expected += (kj + sw - 1) / sw;
+    }
+  }
+  EXPECT_EQ(count_chunks(src, sw), expected);
+}
+
+TEST(Chunking, LargerStackWidthFewerChunks) {
+  FakeSource src(120, 90, 20, 2);
+  index_t prev = count_chunks(src, 1);
+  for (index_t sw : {2, 4, 8, 32, 128}) {
+    const index_t n = count_chunks(src, sw);
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Chunking, InvalidStackWidthThrows) {
+  FakeSource src(10, 10, 5, 1);
+  EXPECT_THROW((void)count_chunks(src, 0), std::invalid_argument);
+}
+
+TEST(ChunkShapes, EightMvmsWithExpectedSizes) {
+  Chunk c;
+  c.nb = 25;
+  c.h = 10;
+  c.segments = {{0, 0, 6, 25}, {1, 0, 4, 25}};
+  const auto shapes = chunk_mvm_shapes(c);
+  ASSERT_EQ(shapes.size(), 8u);
+  // Four V MVMs: 10 x 25.
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(shapes[k].m, 10.0);
+    EXPECT_EQ(shapes[k].n, 25.0);
+    EXPECT_EQ(shapes[k].mn, 250.0);
+  }
+  // Four U MVMs: output 50 (two tiles of 25), 10 columns, 250 elements.
+  for (int k = 4; k < 8; ++k) {
+    EXPECT_EQ(shapes[k].m, 50.0);
+    EXPECT_EQ(shapes[k].n, 10.0);
+    EXPECT_EQ(shapes[k].mn, 250.0);
+  }
+}
+
+TEST(ChunkShapes, RaggedLastTileRow) {
+  Chunk c;
+  c.nb = 16;
+  c.h = 5;
+  c.segments = {{3, 2, 2, 16}, {4, 0, 3, 9}};  // last tile row is 9 tall
+  const auto shapes = chunk_mvm_shapes(c);
+  EXPECT_EQ(shapes[4].m, 25.0);                 // 16 + 9
+  EXPECT_EQ(shapes[4].mn, 2.0 * 16 + 3.0 * 9);  // 59 stored elements
+}
+
+TEST(AccessFormulas, MatchPaperDefinitions) {
+  RealMvmShape s{100.0, 30.0, 3000.0};
+  EXPECT_DOUBLE_EQ(s.relative_bytes(), 4.0 * (3000 + 100 + 30));
+  EXPECT_DOUBLE_EQ(s.absolute_bytes(), 4.0 * (3 * 3000 + 30));
+  EXPECT_DOUBLE_EQ(s.flops(), 6000.0);
+}
+
+TEST(SramFootprint, Strategy1LargerThanStrategy2PerPe) {
+  Chunk c;
+  c.nb = 70;
+  c.h = 23;
+  c.segments = {{0, 0, 23, 70}};
+  EXPECT_GT(chunk_sram_bytes_strategy1(c), chunk_sram_bytes_strategy2(c));
+}
+
+TEST(SramFootprint, PaperConfigsFitIn48kB) {
+  // The five validated Table 1 configurations must fit per-PE SRAM.
+  struct Cfg {
+    index_t nb, sw;
+  };
+  for (const Cfg cfg : {Cfg{25, 64}, Cfg{50, 32}, Cfg{70, 23}, Cfg{50, 18},
+                        Cfg{70, 14}}) {
+    Chunk c;
+    c.nb = cfg.nb;
+    c.h = cfg.sw;
+    // Worst case: the chunk's stack rows span several tiles.
+    index_t left = cfg.sw;
+    index_t tile = 0;
+    while (left > 0) {
+      const index_t take = std::min<index_t>(left, 5);
+      c.segments.push_back({tile++, 0, take, cfg.nb});
+      left -= take;
+    }
+    EXPECT_LE(chunk_sram_bytes_strategy1(c), 48 * 1024)
+        << "nb=" << cfg.nb << " sw=" << cfg.sw;
+    c.segments.clear();
+  }
+}
+
+TEST(TlrRankSource, ReportsCompressedRanks) {
+  const auto a = tlrwse::testing::oscillatory_matrix<cf32>(48, 36, 9.0);
+  tlr::CompressionConfig cc;
+  cc.nb = 12;
+  cc.acc = 1e-4;
+  std::vector<tlr::TlrMatrix<cf32>> mats;
+  mats.push_back(tlr::compress_tlr(a, cc));
+  TlrRankSource src(mats);
+  EXPECT_EQ(src.num_freqs(), 1);
+  const auto ranks = src.tile_ranks(0);
+  for (index_t j = 0; j < src.grid().nt(); ++j) {
+    for (index_t i = 0; i < src.grid().mt(); ++i) {
+      EXPECT_EQ(ranks[static_cast<std::size_t>(src.grid().tile_index(i, j))],
+                mats[0].rank(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::wse

@@ -1,0 +1,176 @@
+// Tests for the cluster simulator: spec constants, occupancy accounting,
+// strategy semantics, stack-width tuning, and the Fig. 14 saturation
+// behaviour of the calibrated cost model.
+#include <gtest/gtest.h>
+
+#include "tlrwse/wse/machine.hpp"
+#include "tlrwse/wse/power.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+class GridSource final : public RankSource {
+ public:
+  GridSource(index_t rows, index_t cols, index_t nb, index_t nf, index_t rank)
+      : grid_(rows, cols, nb), nf_(nf), rank_(rank) {}
+  [[nodiscard]] index_t num_freqs() const override { return nf_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const override { return grid_; }
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t) const override {
+    std::vector<index_t> ranks(static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        ranks[static_cast<std::size_t>(grid_.tile_index(i, j))] = std::min(
+            rank_, std::min(grid_.tile_rows(i), grid_.tile_cols(j)));
+      }
+    }
+    return ranks;
+  }
+
+ private:
+  tlr::TileGrid grid_;
+  index_t nf_;
+  index_t rank_;
+};
+
+TEST(WseSpec, PaperConstants) {
+  const WseSpec spec;
+  EXPECT_EQ(spec.usable_pes(), 745500);
+  EXPECT_EQ(spec.usable_pes() * 48, 35784000);  // Sec. 2 "System scale"
+  EXPECT_EQ(spec.sram_bytes_per_pe, 48 * 1024);
+  EXPECT_EQ(spec.sram_banks * spec.bank_bytes, spec.sram_bytes_per_pe);
+  EXPECT_DOUBLE_EQ(spec.clock_hz, 850e6);
+}
+
+TEST(Simulate, BasicInvariants) {
+  GridSource src(700, 500, 50, 4, 8);
+  ClusterConfig cfg;
+  cfg.stack_width = 32;
+  const auto rep = simulate_cluster(src, cfg);
+  EXPECT_GT(rep.chunks, 0);
+  EXPECT_EQ(rep.pes_used, rep.chunks);  // strategy 1
+  EXPECT_GT(rep.worst_cycles, 0.0);
+  EXPECT_GT(rep.relative_bytes, 0.0);
+  EXPECT_GT(rep.absolute_bytes, rep.relative_bytes);
+  EXPECT_GT(rep.occupancy, 0.0);
+  EXPECT_LE(rep.occupancy, 1.0 + 1e-12);
+  EXPECT_TRUE(rep.fits_sram);
+  EXPECT_NEAR(rep.relative_bw,
+              rep.relative_bytes * cfg.spec.clock_hz / rep.worst_cycles, 1.0);
+}
+
+TEST(Simulate, Strategy2UsesEightfoldPesAndRunsFaster) {
+  GridSource src(700, 500, 50, 4, 8);
+  ClusterConfig s1;
+  s1.stack_width = 32;
+  s1.strategy = Strategy::kSplitStackWidth;
+  ClusterConfig s2 = s1;
+  s2.strategy = Strategy::kScatterRealMvms;
+  const auto r1 = simulate_cluster(src, s1);
+  const auto r2 = simulate_cluster(src, s2);
+  EXPECT_EQ(r2.pes_used, 8 * r1.pes_used);
+  EXPECT_LT(r2.worst_cycles, r1.worst_cycles);
+  // Ideal split would be 8x faster; overheads keep efficiency below 1 but
+  // it should stay high (the paper reports 97%).
+  const double eff = r1.worst_cycles / (8.0 * r2.worst_cycles);
+  EXPECT_GT(eff, 0.6);
+  EXPECT_LE(eff, 1.0);
+  // Same total traffic is counted in both strategies.
+  EXPECT_NEAR(r2.relative_bytes / r1.relative_bytes, 1.0, 1e-12);
+}
+
+TEST(Simulate, SmallerStackWidthMorePesLessWorstCycles) {
+  GridSource src(700, 500, 50, 2, 10);
+  ClusterConfig wide;
+  wide.stack_width = 64;
+  ClusterConfig narrow = wide;
+  narrow.stack_width = 16;
+  const auto rw = simulate_cluster(src, wide);
+  const auto rn = simulate_cluster(src, narrow);
+  EXPECT_GT(rn.pes_used, rw.pes_used);
+  EXPECT_LT(rn.worst_cycles, rw.worst_cycles);
+  EXPECT_GT(rn.relative_bw, rw.relative_bw);  // strong scaling
+}
+
+TEST(Simulate, SystemsOverrideControlsOccupancy) {
+  GridSource src(300, 200, 50, 2, 6);
+  ClusterConfig cfg;
+  cfg.stack_width = 8;
+  cfg.systems = 2;
+  const auto rep = simulate_cluster(src, cfg);
+  EXPECT_EQ(rep.systems, 2);
+  const auto rep_auto = simulate_cluster(
+      src, {cfg.spec, cfg.cost, cfg.stack_width, cfg.strategy, 0});
+  EXPECT_EQ(rep_auto.systems, 1);
+  EXPECT_GT(rep_auto.occupancy, rep.occupancy);
+}
+
+TEST(Simulate, ParallelEfficiencyDefinition) {
+  GridSource src(700, 500, 50, 4, 8);
+  ClusterConfig wide;
+  wide.stack_width = 64;
+  ClusterConfig narrow = wide;
+  narrow.stack_width = 32;
+  const auto rw = simulate_cluster(src, wide);
+  const auto rn = simulate_cluster(src, narrow);
+  const double eff = rn.parallel_efficiency_vs(rw);
+  EXPECT_GT(eff, 0.5);
+  EXPECT_LT(eff, 1.2);
+}
+
+TEST(ChooseStackWidth, SmallestThatFits) {
+  GridSource src(700, 500, 50, 4, 8);
+  const WseSpec spec;
+  const index_t sw =
+      choose_stack_width(src, spec, 1, Strategy::kSplitStackWidth, 128);
+  ASSERT_GT(sw, 0);
+  // sw fits; sw - 1 (if valid) must overflow the machine.
+  EXPECT_LE(count_chunks(src, sw), spec.usable_pes());
+  if (sw > 1) {
+    EXPECT_GT(count_chunks(src, sw - 1), spec.usable_pes());
+  }
+}
+
+TEST(ChooseStackWidth, ZeroWhenNothingFits) {
+  GridSource src(70000, 50000, 50, 20, 30);  // enormous demand
+  WseSpec tiny = WseSpec{};
+  tiny.usable_rows = 10;
+  tiny.usable_cols = 10;
+  EXPECT_EQ(choose_stack_width(src, tiny, 1, Strategy::kSplitStackWidth, 8),
+            0);
+}
+
+TEST(ConstantBatch, Fig14SaturationBehaviour) {
+  const WseSpec spec;
+  const CostModelParams cost;
+  // Small N: overhead-dominated, low bandwidth. Large N: saturates near
+  // 2 PB/s relative, with absolute ~3x relative (Fig. 14).
+  const auto small = simulate_constant_batch(spec, cost, 8);
+  const auto large = simulate_constant_batch(spec, cost, 256);
+  EXPECT_LT(small.relative_bw, large.relative_bw);
+  EXPECT_GT(large.relative_bw, 1.5e15);
+  EXPECT_LT(large.relative_bw, 3.0e15);
+  EXPECT_NEAR(large.absolute_bw / large.relative_bw, 3.0, 0.25);
+  // Monotone saturation.
+  double prev = 0.0;
+  for (index_t n : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    const auto pt = simulate_constant_batch(spec, cost, n);
+    EXPECT_GE(pt.relative_bw, prev * 0.999);
+    prev = pt.relative_bw;
+  }
+}
+
+TEST(CostModel, MvmCyclesFormula) {
+  const CostModelParams p;
+  EXPECT_DOUBLE_EQ(mvm_cycles(p, 100.0, 10.0),
+                   1.25 * 100 + 6.0 * 10 + 150.0);
+}
+
+TEST(CostModel, PaddedArrayBytes) {
+  EXPECT_EQ(padded_array_bytes(1), 32);
+  EXPECT_EQ(padded_array_bytes(16), 32);
+  EXPECT_EQ(padded_array_bytes(17), 48);
+  EXPECT_EQ(padded_array_bytes(0), 16);
+}
+
+}  // namespace
+}  // namespace tlrwse::wse

@@ -1,0 +1,133 @@
+// Property tests over the WSE mapping layer: conservation laws that must
+// hold for ANY rank field and stack width — total work is invariant under
+// the decomposition, traffic equals the per-chunk shape sums, and the two
+// strategies account identical totals.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/wse/machine.hpp"
+
+namespace tlrwse::wse {
+namespace {
+
+/// Random rank field with a deterministic seed.
+class RandomSource final : public RankSource {
+ public:
+  RandomSource(index_t rows, index_t cols, index_t nb, index_t nf,
+               std::uint64_t seed)
+      : grid_(rows, cols, nb), nf_(nf), seed_(seed) {}
+  [[nodiscard]] index_t num_freqs() const override { return nf_; }
+  [[nodiscard]] const tlr::TileGrid& grid() const override { return grid_; }
+  [[nodiscard]] std::vector<index_t> tile_ranks(index_t q) const override {
+    Rng rng(seed_ + static_cast<std::uint64_t>(q) * 7919);
+    std::vector<index_t> r(static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        const index_t cap =
+            std::min(grid_.tile_rows(i), grid_.tile_cols(j));
+        // Includes rank-0 tiles (dropped) with probability ~1/(cap+1).
+        r[static_cast<std::size_t>(grid_.tile_index(i, j))] =
+            rng.integer(0, cap);
+      }
+    }
+    return r;
+  }
+
+ private:
+  tlr::TileGrid grid_;
+  index_t nf_;
+  std::uint64_t seed_;
+};
+
+/// Sum of per-tile rank volume: V elements = sum k*nb_j, U = sum k*mb_i.
+std::pair<double, double> base_elements(const RankSource& src) {
+  const auto& g = src.grid();
+  double v = 0.0, u = 0.0;
+  for (index_t q = 0; q < src.num_freqs(); ++q) {
+    const auto ranks = src.tile_ranks(q);
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        const auto k = static_cast<double>(
+            ranks[static_cast<std::size_t>(g.tile_index(i, j))]);
+        v += k * static_cast<double>(g.tile_cols(j));
+        u += k * static_cast<double>(g.tile_rows(i));
+      }
+    }
+  }
+  return {v, u};
+}
+
+class Sweeps
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (sw, seed)
+
+TEST_P(Sweeps, FlopVolumeIsInvariantUnderChunking) {
+  const auto [sw, seed] = GetParam();
+  RandomSource src(130, 90, 16, 3, static_cast<std::uint64_t>(seed));
+  const auto [v_elems, u_elems] = base_elements(src);
+  // Eight real MVMs: each of the four V (U) MVMs touches v (u) elements.
+  const double expect_flops = 2.0 * 4.0 * (v_elems + u_elems);
+
+  double got = 0.0;
+  for_each_chunk(src, sw, [&](const Chunk& c) {
+    for (const auto& s : chunk_mvm_shapes(c)) got += s.flops();
+  });
+  EXPECT_NEAR(got, expect_flops, 1e-6 * (expect_flops + 1.0))
+      << "sw=" << sw << " seed=" << seed;
+}
+
+TEST_P(Sweeps, StrategiesAccountIdenticalTotals) {
+  const auto [sw, seed] = GetParam();
+  RandomSource src(110, 70, 14, 2, static_cast<std::uint64_t>(seed) + 99);
+  ClusterConfig c1;
+  c1.stack_width = sw;
+  c1.strategy = Strategy::kSplitStackWidth;
+  ClusterConfig c2 = c1;
+  c2.strategy = Strategy::kScatterRealMvms;
+  const auto r1 = simulate_cluster(src, c1);
+  const auto r2 = simulate_cluster(src, c2);
+  EXPECT_DOUBLE_EQ(r1.relative_bytes, r2.relative_bytes);
+  EXPECT_DOUBLE_EQ(r1.absolute_bytes, r2.absolute_bytes);
+  EXPECT_DOUBLE_EQ(r1.flops, r2.flops);
+  EXPECT_EQ(r1.chunks, r2.chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Sweeps,
+                         ::testing::Combine(::testing::Values(1, 5, 16, 64),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Conservation, RelativeBytesMatchClosedForm) {
+  // relative = 4 * sum(MN + M + N) over the 8 real MVMs of every chunk.
+  RandomSource src(96, 64, 12, 2, 5);
+  double manual = 0.0;
+  for_each_chunk(src, 8, [&](const Chunk& c) {
+    for (const auto& s : chunk_mvm_shapes(c)) {
+      manual += 4.0 * (s.mn + s.m + s.n);
+    }
+  });
+  ClusterConfig cfg;
+  cfg.stack_width = 8;
+  const auto rep = simulate_cluster(src, cfg);
+  EXPECT_DOUBLE_EQ(rep.relative_bytes, manual);
+}
+
+TEST(Conservation, WorstCyclesIsMaxOfChunkCycles) {
+  RandomSource src(96, 64, 12, 2, 7);
+  ClusterConfig cfg;
+  cfg.stack_width = 8;
+  const CostModelParams cost;
+  double manual_worst = 0.0;
+  for_each_chunk(src, 8, [&](const Chunk& c) {
+    double cycles = cost.cycles_per_call;
+    for (const auto& s : chunk_mvm_shapes(c)) {
+      cycles += mvm_cycles(cost, s.mn, s.n);
+    }
+    manual_worst = std::max(manual_worst, cycles);
+  });
+  const auto rep = simulate_cluster(src, cfg);
+  EXPECT_DOUBLE_EQ(rep.worst_cycles, manual_worst);
+}
+
+}  // namespace
+}  // namespace tlrwse::wse

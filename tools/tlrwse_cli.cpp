@@ -1,0 +1,362 @@
+// tlrwse command-line tool.
+//
+//   tlrwse_cli synth    --out K.bin [--nsx 16 --nsy 12 --nrx 12 --nry 9]
+//                       [--freq-index q] [--ordering hilbert|morton|natural]
+//   tlrwse_cli compress --in K.bin --out K.tlr [--nb 24] [--acc 1e-4]
+//                       [--backend svd|rrqr|rsvd|aca]
+//   tlrwse_cli info     --in K.tlr
+//   tlrwse_cli mvm      --in K.tlr [--kernel fused|3phase|realsplit]
+//   tlrwse_cli simulate [--nb 70] [--acc 1e-4] [--sw 23] [--strategy 1|2]
+//                       [--systems 6]
+//   tlrwse_cli mdd      [--nb 24] [--acc 1e-4] [--iters 30]
+//   tlrwse_cli archive  --out survey.tlra [--nb 24] [--acc 1e-4] [geometry
+//                       flags as for synth]   (compress a whole survey)
+//   tlrwse_cli solve    --archive survey.tlra [--vsrc v] [--iters 30]
+//                       (MDD from precompressed kernels; geometry flags
+//                        must match the archive's survey)
+//
+// Exit code 0 on success, 1 on usage error, 2 on runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/common/timer.hpp"
+#include "tlrwse/common/units.hpp"
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/io/serialize.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/mdd/metrics.hpp"
+#include "tlrwse/seismic/modeling.hpp"
+#include "tlrwse/seismic/rank_model.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/tlr/tlr_mvm.hpp"
+#include "tlrwse/wse/machine.hpp"
+
+namespace {
+
+using namespace tlrwse;
+
+/// Tiny --flag value parser: every option takes exactly one value.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::invalid_argument(std::string("expected --flag, got ") +
+                                    argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw std::invalid_argument("dangling flag without a value");
+    }
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] index_t integer(const std::string& key, index_t fallback) const {
+    return static_cast<index_t>(num(key, static_cast<double>(fallback)));
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+seismic::DatasetConfig dataset_config(const Args& args) {
+  seismic::DatasetConfig cfg;
+  cfg.geometry = seismic::AcquisitionGeometry::small_scale(
+      args.integer("nsx", 16), args.integer("nsy", 12),
+      args.integer("nrx", 12), args.integer("nry", 9));
+  cfg.nt = args.integer("nt", 256);
+  cfg.f_min = args.num("fmin", 3.0);
+  cfg.f_max = args.num("fmax", 30.0);
+  const std::string ord = args.get("ordering", "hilbert");
+  cfg.ordering = ord == "natural"  ? reorder::Ordering::kNatural
+                 : ord == "morton" ? reorder::Ordering::kMorton
+                                   : reorder::Ordering::kHilbert;
+  return cfg;
+}
+
+tlr::CompressionConfig compression_config(const Args& args) {
+  tlr::CompressionConfig cc;
+  cc.nb = args.integer("nb", 24);
+  cc.acc = args.num("acc", 1e-4);
+  const std::string backend = args.get("backend", "svd");
+  cc.backend = backend == "rrqr"   ? tlr::CompressionBackend::kRrqr
+               : backend == "rsvd" ? tlr::CompressionBackend::kRsvd
+               : backend == "aca"  ? tlr::CompressionBackend::kAca
+                                   : tlr::CompressionBackend::kSvd;
+  return cc;
+}
+
+int cmd_synth(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "synth: --out is required\n");
+    return 1;
+  }
+  const auto data = seismic::build_dataset(dataset_config(args));
+  const index_t q = args.integer("freq-index", data.num_freqs() / 2);
+  if (q < 0 || q >= data.num_freqs()) {
+    std::fprintf(stderr, "synth: freq-index out of range [0, %lld)\n",
+                 static_cast<long long>(data.num_freqs()));
+    return 1;
+  }
+  io::save_matrix(out, data.p_down[static_cast<std::size_t>(q)]);
+  std::printf("wrote %s: %lld x %lld frequency matrix at %.2f Hz\n",
+              out.c_str(),
+              static_cast<long long>(data.num_sources()),
+              static_cast<long long>(data.num_receivers()),
+              data.freqs_hz[static_cast<std::size_t>(q)]);
+  return 0;
+}
+
+int cmd_compress(const Args& args) {
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "compress: --in and --out are required\n");
+    return 1;
+  }
+  const auto dense = io::load_matrix(in);
+  const auto cc = compression_config(args);
+  WallTimer t;
+  const auto tlr_mat = tlr::compress_tlr(dense, cc);
+  io::save_tlr(out, tlr_mat);
+  std::printf("compressed %lld x %lld (nb=%lld, acc=%.1e): %s -> %s "
+              "(%.2fx) in %.2fs\n",
+              static_cast<long long>(dense.rows()),
+              static_cast<long long>(dense.cols()),
+              static_cast<long long>(cc.nb), cc.acc,
+              format_bytes(tlr_mat.dense_bytes()).c_str(),
+              format_bytes(tlr_mat.compressed_bytes()).c_str(),
+              tlr_mat.compression_ratio(), t.seconds());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "info: --in is required\n");
+    return 1;
+  }
+  const auto m = io::load_tlr(in);
+  const auto s = m.rank_stats();
+  std::printf("TLR matrix %s\n", in.c_str());
+  std::printf("  shape: %lld x %lld, nb = %lld (%lld x %lld tiles)\n",
+              static_cast<long long>(m.rows()), static_cast<long long>(m.cols()),
+              static_cast<long long>(m.grid().nb()),
+              static_cast<long long>(m.grid().mt()),
+              static_cast<long long>(m.grid().nt()));
+  std::printf("  ranks: min %lld, max %lld, mean %.2f\n",
+              static_cast<long long>(s.min), static_cast<long long>(s.max),
+              s.mean);
+  std::printf("  size: %s compressed vs %s dense (%.2fx)\n",
+              format_bytes(m.compressed_bytes()).c_str(),
+              format_bytes(m.dense_bytes()).c_str(), m.compression_ratio());
+  return 0;
+}
+
+int cmd_mvm(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "mvm: --in is required\n");
+    return 1;
+  }
+  const auto m = io::load_tlr(in);
+  tlr::StackedTlr<cf32> stacks(m);
+  Rng rng(args.integer("seed", 1));
+  std::vector<cf32> x(static_cast<std::size_t>(m.cols()));
+  fill_normal(rng, x.data(), x.size());
+
+  const std::string kernel = args.get("kernel", "fused");
+  const int reps = static_cast<int>(args.integer("reps", 50));
+  std::vector<cf32> y(static_cast<std::size_t>(m.rows()));
+  tlr::MvmWorkspace<cf32> ws;
+  std::unique_ptr<tlr::RealSplitStacks<float>> split;
+  if (kernel == "realsplit") {
+    split = std::make_unique<tlr::RealSplitStacks<float>>(stacks);
+  }
+  WallTimer t;
+  for (int r = 0; r < reps; ++r) {
+    if (kernel == "3phase") {
+      tlr::tlr_mvm_3phase(stacks, std::span<const cf32>(x), std::span<cf32>(y),
+                          ws);
+    } else if (kernel == "realsplit") {
+      tlr::tlr_mvm_real_split(*split, std::span<const cf32>(x),
+                              std::span<cf32>(y));
+    } else {
+      tlr::tlr_mvm_fused(stacks, std::span<const cf32>(x), std::span<cf32>(y),
+                         ws);
+    }
+  }
+  const double ms = t.millis() / reps;
+  std::printf("%s TLR-MVM: %.3f ms/apply, effective bandwidth %s\n",
+              kernel.c_str(), ms,
+              format_bandwidth(m.compressed_bytes() / (ms * 1e-3)).c_str());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  seismic::RankModelConfig rcfg;
+  rcfg.nb = args.integer("nb", 70);
+  rcfg.acc = args.num("acc", 1e-4);
+
+  struct ModelSource final : wse::RankSource {
+    explicit ModelSource(const seismic::RankModelConfig& c) : model(c) {}
+    seismic::RankModel model;
+    [[nodiscard]] index_t num_freqs() const override {
+      return model.config().num_freqs;
+    }
+    [[nodiscard]] const tlr::TileGrid& grid() const override {
+      return model.grid();
+    }
+    [[nodiscard]] std::vector<index_t> tile_ranks(index_t q) const override {
+      return model.tile_ranks(q);
+    }
+  } source(rcfg);
+
+  wse::ClusterConfig cfg;
+  cfg.stack_width = args.integer("sw", 23);
+  cfg.systems = args.integer("systems", 0);
+  cfg.strategy = args.integer("strategy", 1) == 2
+                     ? wse::Strategy::kScatterRealMvms
+                     : wse::Strategy::kSplitStackWidth;
+  WallTimer t;
+  const auto rep = wse::simulate_cluster(source, cfg);
+  std::printf("paper-scale mapping (nb=%lld, acc=%.1e, sw=%lld, strategy "
+              "%d)\n",
+              static_cast<long long>(rcfg.nb), rcfg.acc,
+              static_cast<long long>(cfg.stack_width),
+              cfg.strategy == wse::Strategy::kScatterRealMvms ? 2 : 1);
+  std::printf("  PEs: %lld on %lld CS-2 systems (%.1f%% occupancy)\n",
+              static_cast<long long>(rep.pes_used),
+              static_cast<long long>(rep.systems), 100.0 * rep.occupancy);
+  std::printf("  worst cycles: %.0f (%.3f us)\n", rep.worst_cycles,
+              rep.time_us);
+  std::printf("  relative bandwidth: %s\n",
+              format_bandwidth(rep.relative_bw).c_str());
+  std::printf("  absolute bandwidth: %s\n",
+              format_bandwidth(rep.absolute_bw).c_str());
+  std::printf("  sustained: %s\n", format_flops(rep.flops_rate).c_str());
+  std::printf("  max SRAM/PE: %s (%s)\n",
+              format_bytes(rep.max_sram_bytes).c_str(),
+              rep.fits_sram ? "fits" : "OVERFLOW");
+  std::printf("  (simulated in %.1fs)\n", t.seconds());
+  return 0;
+}
+
+int cmd_mdd(const Args& args) {
+  const auto data = seismic::build_dataset(dataset_config(args));
+  const auto cc = compression_config(args);
+  const auto op =
+      mdd::make_mdc_operator(data, mdd::KernelBackend::kTlrFused, cc);
+  const index_t v = args.integer("vsrc", data.num_receivers() / 2);
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  const auto truth = mdd::true_reflectivity_traces(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = static_cast<int>(args.integer("iters", 30));
+  WallTimer t;
+  const auto sol = mdd::solve_mdd(*op, rhs, lsqr);
+  std::printf("MDD (virtual source %lld, %d LSQR iterations, %.1fs):\n",
+              static_cast<long long>(v), sol.iterations, t.seconds());
+  std::printf("  NMSE vs truth: %.4f, correlation: %.3f, |r| = %.3e\n",
+              mdd::nmse(sol.x, truth), mdd::correlation(sol.x, truth),
+              sol.residual_norm);
+  return 0;
+}
+
+int cmd_archive(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "archive: --out is required\n");
+    return 1;
+  }
+  const auto data = seismic::build_dataset(dataset_config(args));
+  WallTimer t;
+  const auto archive = io::build_archive(data, compression_config(args));
+  io::save_archive(out, archive);
+  std::printf("archived %lld kernels (%s compressed) to %s in %.1fs\n",
+              static_cast<long long>(archive.num_freqs()),
+              format_bytes(archive.compressed_bytes()).c_str(), out.c_str(),
+              t.seconds());
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const std::string path = args.get("archive", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "solve: --archive is required\n");
+    return 1;
+  }
+  const auto archive = io::load_archive(path);
+  const auto op = io::make_operator(archive);
+  // The observed data still comes from the (re-modelled) survey; in a real
+  // deployment it would be loaded from disk alongside the archive.
+  const auto data = seismic::build_dataset(dataset_config(args));
+  TLRWSE_REQUIRE(op->num_receivers() == data.num_receivers() &&
+                     op->num_sources() == data.num_sources() &&
+                     op->nt() == data.config.nt,
+                 "archive does not match the survey geometry flags");
+  const index_t v = args.integer("vsrc", data.num_receivers() / 2);
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  const auto truth = mdd::true_reflectivity_traces(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = static_cast<int>(args.integer("iters", 30));
+  WallTimer t;
+  const auto sol = mdd::solve_mdd(*op, rhs, lsqr);
+  std::printf("solved virtual source %lld from %s in %.1fs: NMSE %.4f, "
+              "correlation %.3f\n",
+              static_cast<long long>(v), path.c_str(), t.seconds(),
+              mdd::nmse(sol.x, truth), mdd::correlation(sol.x, truth));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tlrwse_cli "
+               "<synth|compress|info|mvm|simulate|mdd|archive|solve> "
+               "[--flag value ...]\n"
+               "see the header of tools/tlrwse_cli.cpp for the flag list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "mvm") return cmd_mvm(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "mdd") return cmd_mdd(args);
+    if (cmd == "archive") return cmd_archive(args);
+    if (cmd == "solve") return cmd_solve(args);
+    usage();
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failure: %s\n", e.what());
+    return 2;
+  }
+}
