@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mmm.dir/bench_ablation_mmm.cpp.o"
+  "CMakeFiles/bench_ablation_mmm.dir/bench_ablation_mmm.cpp.o.d"
+  "bench_ablation_mmm"
+  "bench_ablation_mmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

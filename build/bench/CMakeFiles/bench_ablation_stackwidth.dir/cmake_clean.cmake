@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stackwidth.dir/bench_ablation_stackwidth.cpp.o"
+  "CMakeFiles/bench_ablation_stackwidth.dir/bench_ablation_stackwidth.cpp.o.d"
+  "bench_ablation_stackwidth"
+  "bench_ablation_stackwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stackwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bsp_vs_wse.dir/bench_bsp_vs_wse.cpp.o"
+  "CMakeFiles/bench_bsp_vs_wse.dir/bench_bsp_vs_wse.cpp.o.d"
+  "bench_bsp_vs_wse"
+  "bench_bsp_vs_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bsp_vs_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bsp_vs_wse.
+# This may be replaced when dependencies are built.

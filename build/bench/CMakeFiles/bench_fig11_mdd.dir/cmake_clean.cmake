@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mdd.dir/bench_fig11_mdd.cpp.o"
+  "CMakeFiles/bench_fig11_mdd.dir/bench_fig11_mdd.cpp.o.d"
+  "bench_fig11_mdd"
+  "bench_fig11_mdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

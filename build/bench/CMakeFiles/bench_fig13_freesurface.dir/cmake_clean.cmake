@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_freesurface.dir/bench_fig13_freesurface.cpp.o"
+  "CMakeFiles/bench_fig13_freesurface.dir/bench_fig13_freesurface.cpp.o.d"
+  "bench_fig13_freesurface"
+  "bench_fig13_freesurface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_freesurface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

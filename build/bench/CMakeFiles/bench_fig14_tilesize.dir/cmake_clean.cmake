@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tilesize.dir/bench_fig14_tilesize.cpp.o"
+  "CMakeFiles/bench_fig14_tilesize.dir/bench_fig14_tilesize.cpp.o.d"
+  "bench_fig14_tilesize"
+  "bench_fig14_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

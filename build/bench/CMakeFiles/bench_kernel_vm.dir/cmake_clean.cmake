@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_vm.dir/bench_kernel_vm.cpp.o"
+  "CMakeFiles/bench_kernel_vm.dir/bench_kernel_vm.cpp.o.d"
+  "bench_kernel_vm"
+  "bench_kernel_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

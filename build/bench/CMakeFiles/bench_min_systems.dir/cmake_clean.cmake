@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_min_systems.dir/bench_min_systems.cpp.o"
+  "CMakeFiles/bench_min_systems.dir/bench_min_systems.cpp.o.d"
+  "bench_min_systems"
+  "bench_min_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

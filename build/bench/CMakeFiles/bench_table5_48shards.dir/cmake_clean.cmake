@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_48shards.dir/bench_table5_48shards.cpp.o"
+  "CMakeFiles/bench_table5_48shards.dir/bench_table5_48shards.cpp.o.d"
+  "bench_table5_48shards"
+  "bench_table5_48shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_48shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

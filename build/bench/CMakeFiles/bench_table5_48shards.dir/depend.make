@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_48shards.
+# This may be replaced when dependencies are built.

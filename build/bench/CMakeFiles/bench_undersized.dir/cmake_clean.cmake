@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_undersized.dir/bench_undersized.cpp.o"
+  "CMakeFiles/bench_undersized.dir/bench_undersized.cpp.o.d"
+  "bench_undersized"
+  "bench_undersized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_undersized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdd_overthrust.dir/mdd_overthrust.cpp.o"
+  "CMakeFiles/mdd_overthrust.dir/mdd_overthrust.cpp.o.d"
+  "mdd_overthrust"
+  "mdd_overthrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdd_overthrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

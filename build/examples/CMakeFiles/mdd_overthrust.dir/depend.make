@@ -1,0 +1,2 @@
+# Empty dependencies file for mdd_overthrust.
+# This may be replaced when dependencies are built.

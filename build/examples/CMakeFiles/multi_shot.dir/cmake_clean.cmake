@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_shot.dir/multi_shot.cpp.o"
+  "CMakeFiles/multi_shot.dir/multi_shot.cpp.o.d"
+  "multi_shot"
+  "multi_shot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_shot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_study.dir/ordering_study.cpp.o"
+  "CMakeFiles/ordering_study.dir/ordering_study.cpp.o.d"
+  "ordering_study"
+  "ordering_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timelapse_monitoring.dir/timelapse_monitoring.cpp.o"
+  "CMakeFiles/timelapse_monitoring.dir/timelapse_monitoring.cpp.o.d"
+  "timelapse_monitoring"
+  "timelapse_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timelapse_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

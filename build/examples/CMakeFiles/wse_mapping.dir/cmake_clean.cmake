@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wse_mapping.dir/wse_mapping.cpp.o"
+  "CMakeFiles/wse_mapping.dir/wse_mapping.cpp.o.d"
+  "wse_mapping"
+  "wse_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wse_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wse_mapping.
+# This may be replaced when dependencies are built.
