@@ -1,0 +1,37 @@
+// ThreadSanitizer happens-before annotations for OpenMP fork/join edges.
+//
+// GCC's libgomp synchronises its thread team with futexes, which TSan does
+// not intercept, so every barrier at the end of an `omp for` — and the dock
+// that hands pool threads new work — is invisible to the race detector.
+// Writes made by workers before the (real) barrier then look concurrent
+// with the main thread's reads after it, and vice versa for the fork
+// direction. The macros below re-create those edges for TSan only: the
+// master releases a token before the region, each worker acquires it on
+// entry and releases it after its share of the loop, and the master
+// acquires it after the join. They compile to nothing outside
+// -fsanitize=thread builds.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define TLRWSE_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TLRWSE_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef TLRWSE_TSAN_ENABLED
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line,
+                           const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line,
+                          const volatile void* addr);
+}
+#define TLRWSE_TSAN_RELEASE(addr) \
+  AnnotateHappensBefore(__FILE__, __LINE__, (const volatile void*)(addr))
+#define TLRWSE_TSAN_ACQUIRE(addr) \
+  AnnotateHappensAfter(__FILE__, __LINE__, (const volatile void*)(addr))
+#else
+#define TLRWSE_TSAN_RELEASE(addr) ((void)0)
+#define TLRWSE_TSAN_ACQUIRE(addr) ((void)0)
+#endif

@@ -1,0 +1,80 @@
+// Per-thread workspace pool for allocation-free hot loops.
+//
+// The TLR-MVM and MDC apply paths run inside the LSQR iteration loop, where
+// any per-call heap allocation shows up as steady-state overhead. A
+// WorkspacePool hands every thread its own lazily-created workspace object
+// so repeated calls reuse the same buffers, and concurrent calls (e.g. the
+// OpenMP-parallel frequency loop of MdcOperator) never share one.
+//
+// Slots are keyed by a dense process-wide thread index (assigned on first
+// use, stable for the thread's lifetime), which makes the pool safe for any
+// mix of OpenMP teams and plain OS threads: a slot is only ever touched by
+// the single thread that owns its index. Threads beyond the fixed slot
+// count fall back to a thread_local workspace, which is still race-free —
+// it merely loses reuse across pool instances of different element types.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace tlrwse {
+
+/// Dense id of the calling OS thread: 0, 1, 2, ... in first-use order.
+[[nodiscard]] inline std::size_t thread_slot_id() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+template <typename Ws>
+class WorkspacePool {
+ public:
+  /// `max_threads` bounds the number of distinct pooled slots; threads with
+  /// a higher id share a thread_local fallback (never a data race).
+  explicit WorkspacePool(std::size_t max_threads = kDefaultSlots)
+      : slots_(max_threads) {}
+
+  // Slots hold per-thread state; copying an operator should start the copy
+  // with a cold pool rather than aliasing (or deep-copying) scratch.
+  WorkspacePool(const WorkspacePool& other) : slots_(other.slots_.size()) {}
+  WorkspacePool& operator=(const WorkspacePool& other) {
+    if (this != &other) slots_.assign(other.slots_.size(), nullptr);
+    return *this;
+  }
+  WorkspacePool(WorkspacePool&&) noexcept = default;
+  WorkspacePool& operator=(WorkspacePool&&) noexcept = default;
+
+  /// The calling thread's workspace, created on first use. Each slot is
+  /// only ever read or written by the thread whose id it carries, so no
+  /// locking is required.
+  [[nodiscard]] Ws& local() const {
+    const std::size_t i = thread_slot_id();
+    if (i < slots_.size()) {
+      auto& slot = slots_[i];
+      if (!slot) slot = std::make_unique<Ws>();
+      return *slot;
+    }
+    thread_local Ws overflow;
+    return overflow;
+  }
+
+  /// Number of slots that have been materialised so far (test hook).
+  [[nodiscard]] std::size_t active_slots() const {
+    std::size_t n = 0;
+    for (const auto& s : slots_) n += (s != nullptr);
+    return n;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.reset();
+  }
+
+ private:
+  static constexpr std::size_t kDefaultSlots = 256;
+  mutable std::vector<std::unique_ptr<Ws>> slots_;
+};
+
+}  // namespace tlrwse

@@ -11,6 +11,7 @@
 #include <span>
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/common/tsan.hpp"
 #include "tlrwse/la/matrix.hpp"
 
 namespace tlrwse::la {
@@ -75,17 +76,24 @@ void gemm(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& C,
       for (index_t i = 0; i < m; ++i) cj[i] *= beta;
     }
   }
-#pragma omp parallel for schedule(static) if (m * n * k > 1 << 16)
-  for (index_t j = 0; j < n; ++j) {
-    T* cj = C.col(j);
-    const T* bj = B.col(j);
-    for (index_t l = 0; l < k; ++l) {
-      const T ab = alpha * bj[l];
-      if (ab == T{}) continue;
-      const T* al = A.col(l);
-      for (index_t i = 0; i < m; ++i) cj[i] += al[i] * ab;
+  TLRWSE_TSAN_RELEASE(&C);
+#pragma omp parallel if (m * n * k > 1 << 16)
+  {
+    TLRWSE_TSAN_ACQUIRE(&C);
+#pragma omp for schedule(static)
+    for (index_t j = 0; j < n; ++j) {
+      T* cj = C.col(j);
+      const T* bj = B.col(j);
+      for (index_t l = 0; l < k; ++l) {
+        const T ab = alpha * bj[l];
+        if (ab == T{}) continue;
+        const T* al = A.col(l);
+        for (index_t i = 0; i < m; ++i) cj[i] += al[i] * ab;
+      }
     }
+    TLRWSE_TSAN_RELEASE(&C);
   }
+  TLRWSE_TSAN_ACQUIRE(&C);
 }
 
 /// Convenience GEMM returning a fresh matrix.

@@ -4,16 +4,31 @@
 // K_f to the transformed wavefield. The paper's contribution is swapping
 // the dense backend for TLR-MVM; both are provided here behind one
 // interface, plus the 3-phase/fused kernel choice and the real-split path.
+//
+// Two apply signatures exist: the workspace-carrying overloads are the hot
+// path (the MDC frequency loop hands each OpenMP thread its own
+// FrequencyWorkspace, so steady-state applies never allocate), and the
+// legacy two-argument forms remain valid for casual callers — TlrMvm
+// routes them through an internal per-thread pool rather than allocating.
 #pragma once
 
 #include <memory>
 #include <span>
 
+#include "tlrwse/common/workspace_pool.hpp"
 #include "tlrwse/la/blas.hpp"
 #include "tlrwse/tlr/real_split.hpp"
 #include "tlrwse/tlr/tlr_mvm.hpp"
 
 namespace tlrwse::mdc {
+
+/// Reusable scratch for one FrequencyMvm apply. Backends use the members
+/// they need (DenseMvm none, TlrMvm the TLR and/or split buffers); one
+/// instance must not be shared by concurrent calls.
+struct FrequencyWorkspace {
+  tlr::MvmWorkspace<cf32> tlr;
+  tlr::RealSplitWorkspace<float> split;
+};
 
 /// One frequency slice of the kernel: y = K x and y = K^H x.
 class FrequencyMvm {
@@ -24,12 +39,24 @@ class FrequencyMvm {
   virtual void apply(std::span<const cf32> x, std::span<cf32> y) const = 0;
   virtual void apply_adjoint(std::span<const cf32> x,
                              std::span<cf32> y) const = 0;
+  /// Workspace-carrying overloads; the default forwards to the legacy
+  /// signature for backends with no scratch of their own.
+  virtual void apply(std::span<const cf32> x, std::span<cf32> y,
+                     FrequencyWorkspace& /*ws*/) const {
+    apply(x, y);
+  }
+  virtual void apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
+                             FrequencyWorkspace& /*ws*/) const {
+    apply_adjoint(x, y);
+  }
 };
 
 /// Dense reference backend.
 class DenseMvm final : public FrequencyMvm {
  public:
   explicit DenseMvm(la::MatrixCF K) : K_(std::move(K)) {}
+  using FrequencyMvm::apply;
+  using FrequencyMvm::apply_adjoint;
   [[nodiscard]] index_t rows() const override { return K_.rows(); }
   [[nodiscard]] index_t cols() const override { return K_.cols(); }
   void apply(std::span<const cf32> x, std::span<cf32> y) const override {
@@ -57,28 +84,40 @@ class TlrMvm final : public FrequencyMvm {
   [[nodiscard]] index_t rows() const override { return stacks_.grid().rows(); }
   [[nodiscard]] index_t cols() const override { return stacks_.grid().cols(); }
   void apply(std::span<const cf32> x, std::span<cf32> y) const override {
-    tlr::MvmWorkspace<cf32> ws;
+    apply(x, y, pool_.local());
+  }
+  void apply_adjoint(std::span<const cf32> x, std::span<cf32> y) const override {
+    apply_adjoint(x, y, pool_.local());
+  }
+  void apply(std::span<const cf32> x, std::span<cf32> y,
+             FrequencyWorkspace& ws) const override {
     switch (kernel_) {
       case TlrKernel::kThreePhase:
-        tlr::tlr_mvm_3phase(stacks_, x, y, ws);
+        tlr::tlr_mvm_3phase(stacks_, x, y, ws.tlr);
         break;
       case TlrKernel::kFused:
-        tlr::tlr_mvm_fused(stacks_, x, y, ws);
+        tlr::tlr_mvm_fused(stacks_, x, y, ws.tlr);
         break;
       case TlrKernel::kRealSplit:
-        tlr::tlr_mvm_real_split(*split_, x, y);
+        tlr::tlr_mvm_real_split(*split_, x, y, ws.split);
         break;
     }
   }
-  void apply_adjoint(std::span<const cf32> x, std::span<cf32> y) const override {
-    tlr::MvmWorkspace<cf32> ws;
-    tlr::tlr_mvm_adjoint(stacks_, x, y, ws);
+  void apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
+                     FrequencyWorkspace& ws) const override {
+    tlr::tlr_mvm_adjoint(stacks_, x, y, ws.tlr);
+  }
+  /// Test hook: number of pooled per-thread workspaces materialised by
+  /// legacy-signature calls.
+  [[nodiscard]] std::size_t pooled_workspaces() const {
+    return pool_.active_slots();
   }
 
  private:
   tlr::StackedTlr<cf32> stacks_;
   TlrKernel kernel_;
   std::unique_ptr<tlr::RealSplitStacks<float>> split_;
+  WorkspacePool<FrequencyWorkspace> pool_;
 };
 
 }  // namespace tlrwse::mdc

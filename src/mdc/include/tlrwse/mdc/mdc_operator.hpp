@@ -8,11 +8,19 @@
 // Nyquist, Hermitian doubling in irfft) the composition irfft . K^H . rfft
 // is the EXACT real adjoint of irfft . K . rfft — the (2/nt) factors of the
 // two directions cancel identically, so the dot test holds to round-off.
+//
+// The per-frequency kernel MVMs are independent (each frequency owns its
+// own rFFT bin), so the kernel loop runs OpenMP-parallel with one
+// FrequencyWorkspace + gather/scatter scratch per thread, and all page and
+// FFT buffers are pooled: after a warm-up apply, repeated applies — the
+// steady state of an LSQR/CGLS solve — perform no heap allocation.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "tlrwse/common/workspace_pool.hpp"
+#include "tlrwse/fft/fft.hpp"
 #include "tlrwse/mdc/frequency_mvm.hpp"
 #include "tlrwse/mdc/linear_operator.hpp"
 
@@ -20,8 +28,10 @@ namespace tlrwse::mdc {
 
 class MdcOperator final : public LinearOperator {
  public:
-  /// `freq_bins[q]` is the rFFT bin index of kernel q; bins must lie
-  /// strictly between DC and Nyquist. All kernels must share dimensions.
+  /// `freq_bins[q]` is the rFFT bin index of kernel q; bins must be
+  /// distinct (each kernel owns its bin — also what makes the frequency
+  /// loop race-free) and lie strictly between DC and Nyquist. All kernels
+  /// must share dimensions.
   MdcOperator(index_t nt, std::vector<index_t> freq_bins,
               std::vector<std::unique_ptr<FrequencyMvm>> kernels);
 
@@ -39,11 +49,30 @@ class MdcOperator final : public LinearOperator {
                      std::span<float> x) const override;
 
  private:
+  /// Per-thread scratch of the frequency loop: the gathered per-frequency
+  /// input/output slices plus the kernel backend's workspace.
+  struct FreqScratch {
+    std::vector<cf32> xk;  // receiver-side slice at one frequency
+    std::vector<cf32> yk;  // source-side slice at one frequency
+    FrequencyWorkspace kernel;
+  };
+  /// Per-call scratch of one apply/apply_adjoint: the full spectral pages
+  /// and the batched-FFT buffers. Pooled per calling thread so concurrent
+  /// top-level applies of one operator stay independent.
+  struct PageScratch {
+    std::vector<cf32> xhat;  // receiver-side spectrum, nf_full x nr
+    std::vector<cf32> yhat;  // source-side spectrum, nf_full x ns
+    fft::BatchWorkspace fft;
+  };
+
   index_t nt_ = 0;
   index_t ns_ = 0;  // kernel rows (sources)
   index_t nr_ = 0;  // kernel cols (receivers)
   std::vector<index_t> freq_bins_;
   std::vector<std::unique_ptr<FrequencyMvm>> kernels_;
+  fft::FftPlan plan_;  // time-axis plan, shared by every apply
+  WorkspacePool<FreqScratch> freq_scratch_;
+  WorkspacePool<PageScratch> page_scratch_;
 };
 
 }  // namespace tlrwse::mdc

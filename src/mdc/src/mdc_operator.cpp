@@ -1,13 +1,18 @@
 #include "tlrwse/mdc/mdc_operator.hpp"
 
+#include <algorithm>
+
 #include "tlrwse/common/error.hpp"
-#include "tlrwse/fft/fft.hpp"
+#include "tlrwse/common/tsan.hpp"
 
 namespace tlrwse::mdc {
 
 MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
                          std::vector<std::unique_ptr<FrequencyMvm>> kernels)
-    : nt_(nt), freq_bins_(std::move(freq_bins)), kernels_(std::move(kernels)) {
+    : nt_(nt),
+      freq_bins_(std::move(freq_bins)),
+      kernels_(std::move(kernels)),
+      plan_(nt >= 1 ? nt : 1) {
   TLRWSE_REQUIRE(nt_ >= 4, "nt too small");
   TLRWSE_REQUIRE(!kernels_.empty(), "need at least one frequency kernel");
   TLRWSE_REQUIRE(freq_bins_.size() == kernels_.size(),
@@ -21,36 +26,56 @@ MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
     TLRWSE_REQUIRE(bin > 0 && bin < nt_ / 2,
                    "frequency bin must exclude DC and Nyquist, got ", bin);
   }
+  std::vector<index_t> sorted(freq_bins_);
+  std::sort(sorted.begin(), sorted.end());
+  TLRWSE_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 "frequency bins must be distinct");
 }
 
 void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
   const index_t nf_full = nt_ / 2 + 1;
+  const auto nq = static_cast<index_t>(kernels_.size());
+  PageScratch& ps = page_scratch_.local();
 
   // F: batched rFFT over receiver traces.
-  std::vector<cf32> xhat(static_cast<std::size_t>(nf_full * nr_));
-  fft::rfft_batch(x, nt_, nr_, std::span<cf32>(xhat));
+  ps.xhat.resize(static_cast<std::size_t>(nf_full * nr_));
+  fft::rfft_batch(plan_, x, nr_, std::span<cf32>(ps.xhat), ps.fft);
 
-  // K: per-frequency kernel MVMs into the source-side spectrum.
-  std::vector<cf32> yhat(static_cast<std::size_t>(nf_full * ns_), cf32{});
-  std::vector<cf32> xk(static_cast<std::size_t>(nr_));
-  std::vector<cf32> yk(static_cast<std::size_t>(ns_));
-  for (std::size_t q = 0; q < kernels_.size(); ++q) {
-    const index_t bin = freq_bins_[q];
-    for (index_t r = 0; r < nr_; ++r) {
-      xk[static_cast<std::size_t>(r)] =
-          xhat[static_cast<std::size_t>(r * nf_full + bin)];
+  // K: per-frequency kernel MVMs into the source-side spectrum. Each
+  // frequency reads and writes only its own bin's strided slice, so the
+  // loop parallelises with no shared state beyond per-thread scratch.
+  ps.yhat.assign(static_cast<std::size_t>(nf_full * ns_), cf32{});
+  const std::span<const cf32> xhat(ps.xhat);
+  const std::span<cf32> yhat(ps.yhat);
+  TLRWSE_TSAN_RELEASE(&ps);
+#pragma omp parallel
+  {
+    TLRWSE_TSAN_ACQUIRE(&ps);
+#pragma omp for schedule(static)
+    for (index_t q = 0; q < nq; ++q) {
+      FreqScratch& fs = freq_scratch_.local();
+      fs.xk.resize(static_cast<std::size_t>(nr_));
+      fs.yk.resize(static_cast<std::size_t>(ns_));
+      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+      for (index_t r = 0; r < nr_; ++r) {
+        fs.xk[static_cast<std::size_t>(r)] =
+            xhat[static_cast<std::size_t>(r * nf_full + bin)];
+      }
+      kernels_[static_cast<std::size_t>(q)]->apply(fs.xk, fs.yk, fs.kernel);
+      for (index_t s = 0; s < ns_; ++s) {
+        yhat[static_cast<std::size_t>(s * nf_full + bin)] =
+            fs.yk[static_cast<std::size_t>(s)];
+      }
     }
-    kernels_[q]->apply(xk, yk);
-    for (index_t s = 0; s < ns_; ++s) {
-      yhat[static_cast<std::size_t>(s * nf_full + bin)] =
-          yk[static_cast<std::size_t>(s)];
-    }
+    TLRWSE_TSAN_RELEASE(&ps);
   }
+  TLRWSE_TSAN_ACQUIRE(&ps);
 
   // F^H: Hermitian inverse rFFT back to time.
-  fft::irfft_batch(std::span<const cf32>(yhat), nt_, ns_, y);
+  fft::irfft_batch(plan_, std::span<const cf32>(ps.yhat), ns_, y, ps.fft);
 }
 
 void MdcOperator::apply_adjoint(std::span<const float> y,
@@ -58,27 +83,41 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
   const index_t nf_full = nt_ / 2 + 1;
+  const auto nq = static_cast<index_t>(kernels_.size());
+  PageScratch& ps = page_scratch_.local();
 
-  std::vector<cf32> yhat(static_cast<std::size_t>(nf_full * ns_));
-  fft::rfft_batch(y, nt_, ns_, std::span<cf32>(yhat));
+  ps.yhat.resize(static_cast<std::size_t>(nf_full * ns_));
+  fft::rfft_batch(plan_, y, ns_, std::span<cf32>(ps.yhat), ps.fft);
 
-  std::vector<cf32> xhat(static_cast<std::size_t>(nf_full * nr_), cf32{});
-  std::vector<cf32> yk(static_cast<std::size_t>(ns_));
-  std::vector<cf32> xk(static_cast<std::size_t>(nr_));
-  for (std::size_t q = 0; q < kernels_.size(); ++q) {
-    const index_t bin = freq_bins_[q];
-    for (index_t s = 0; s < ns_; ++s) {
-      yk[static_cast<std::size_t>(s)] =
-          yhat[static_cast<std::size_t>(s * nf_full + bin)];
+  ps.xhat.assign(static_cast<std::size_t>(nf_full * nr_), cf32{});
+  const std::span<const cf32> yhat(ps.yhat);
+  const std::span<cf32> xhat(ps.xhat);
+  TLRWSE_TSAN_RELEASE(&ps);
+#pragma omp parallel
+  {
+    TLRWSE_TSAN_ACQUIRE(&ps);
+#pragma omp for schedule(static)
+    for (index_t q = 0; q < nq; ++q) {
+      FreqScratch& fs = freq_scratch_.local();
+      fs.xk.resize(static_cast<std::size_t>(nr_));
+      fs.yk.resize(static_cast<std::size_t>(ns_));
+      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+      for (index_t s = 0; s < ns_; ++s) {
+        fs.yk[static_cast<std::size_t>(s)] =
+            yhat[static_cast<std::size_t>(s * nf_full + bin)];
+      }
+      kernels_[static_cast<std::size_t>(q)]->apply_adjoint(fs.yk, fs.xk,
+                                                           fs.kernel);
+      for (index_t r = 0; r < nr_; ++r) {
+        xhat[static_cast<std::size_t>(r * nf_full + bin)] =
+            fs.xk[static_cast<std::size_t>(r)];
+      }
     }
-    kernels_[q]->apply_adjoint(yk, xk);
-    for (index_t r = 0; r < nr_; ++r) {
-      xhat[static_cast<std::size_t>(r * nf_full + bin)] =
-          xk[static_cast<std::size_t>(r)];
-    }
+    TLRWSE_TSAN_RELEASE(&ps);
   }
+  TLRWSE_TSAN_ACQUIRE(&ps);
 
-  fft::irfft_batch(std::span<const cf32>(xhat), nt_, nr_, x);
+  fft::irfft_batch(plan_, std::span<const cf32>(ps.xhat), nr_, x, ps.fft);
 }
 
 }  // namespace tlrwse::mdc

@@ -1,5 +1,6 @@
 #include "tlrwse/mdd/cgls.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tlrwse/common/error.hpp"
@@ -22,6 +23,10 @@ CglsResult cgls_solve(const mdc::LinearOperator& A, std::span<const float> b,
 
   CglsResult out;
   out.x.assign(n, 0.0f);
+  // Allocate all solver state up front; with the operator pooling its MVM
+  // workspaces, the iteration loop then never touches the heap.
+  out.residual_history.reserve(static_cast<std::size_t>(
+      std::max(cfg.max_iters, 0) + 1));
   std::vector<float> r(b.begin(), b.end());  // r = b - A x (x = 0)
   std::vector<float> s(n), p(n), q(m);
   A.apply_adjoint(r, std::span<float>(s));

@@ -1,5 +1,6 @@
 #include "tlrwse/mdd/lsqr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -29,6 +30,10 @@ LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
 
   LsqrResult out;
   out.x.assign(n, 0.0f);
+  // All solver state is allocated here, before the iteration loop; the
+  // operator pools its own MVM workspaces, so iterations are allocation-free.
+  out.residual_history.reserve(static_cast<std::size_t>(
+      std::max(cfg.max_iters, 0) + 1));
 
   // Golub-Kahan initialisation: beta u = b; alpha v = A^T u.
   std::vector<float> u(b.begin(), b.end());

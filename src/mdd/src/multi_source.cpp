@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/common/tsan.hpp"
 #include "tlrwse/mdd/metrics.hpp"
 
 namespace tlrwse::mdd {
@@ -17,14 +18,21 @@ MultiSourceResult solve_mdd_multi(const seismic::SeismicDataset& data,
   out.solutions.resize(sources.size());
   out.nmse_vs_truth.resize(sources.size());
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t k = 0; k < sources.size(); ++k) {
-    const index_t v = sources[k];
-    const auto rhs = virtual_source_rhs(data, v);
-    const auto truth = true_reflectivity_traces(data, v);
-    out.solutions[k] = lsqr_solve(op, rhs, lsqr);
-    out.nmse_vs_truth[k] = nmse(out.solutions[k].x, truth);
+  TLRWSE_TSAN_RELEASE(&out);
+#pragma omp parallel
+  {
+    TLRWSE_TSAN_ACQUIRE(&out);
+#pragma omp for schedule(dynamic)
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      const index_t v = sources[k];
+      const auto rhs = virtual_source_rhs(data, v);
+      const auto truth = true_reflectivity_traces(data, v);
+      out.solutions[k] = lsqr_solve(op, rhs, lsqr);
+      out.nmse_vs_truth[k] = nmse(out.solutions[k].x, truth);
+    }
+    TLRWSE_TSAN_RELEASE(&out);
   }
+  TLRWSE_TSAN_ACQUIRE(&out);
 
   double sum = 0.0;
   out.worst_nmse = 0.0;

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/common/tsan.hpp"
 #include "tlrwse/fft/fft.hpp"
 #include "tlrwse/la/blas.hpp"
 
@@ -59,23 +60,30 @@ la::MatrixCF downgoing_matrix(const std::vector<Position>& sources,
     coeff *= -model.seafloor_reflectivity;
   }
 
-#pragma omp parallel for schedule(static)
-  for (index_t r = 0; r < nr; ++r) {
-    const Position& xr = receivers[static_cast<std::size_t>(r)];
-    for (index_t s = 0; s < ns; ++s) {
-      const Position& xs = sources[static_cast<std::size_t>(s)];
-      const double h = horizontal_distance(xs, xr);
-      cf64 acc{};
-      for (const Image& im : images) {
-        const double zs = im.mirrored ? -(xs.z + im.depth_offset)
-                                      : (xs.z + im.depth_offset);
-        const double dz = xr.z - zs;
-        const double dist = std::sqrt(h * h + dz * dz);
-        acc += im.coeff * greens(dist, f_hz, model.water_velocity);
+  TLRWSE_TSAN_RELEASE(&K);
+#pragma omp parallel
+  {
+    TLRWSE_TSAN_ACQUIRE(&K);
+#pragma omp for schedule(static)
+    for (index_t r = 0; r < nr; ++r) {
+      const Position& xr = receivers[static_cast<std::size_t>(r)];
+      for (index_t s = 0; s < ns; ++s) {
+        const Position& xs = sources[static_cast<std::size_t>(s)];
+        const double h = horizontal_distance(xs, xr);
+        cf64 acc{};
+        for (const Image& im : images) {
+          const double zs = im.mirrored ? -(xs.z + im.depth_offset)
+                                        : (xs.z + im.depth_offset);
+          const double dz = xr.z - zs;
+          const double dist = std::sqrt(h * h + dz * dz);
+          acc += im.coeff * greens(dist, f_hz, model.water_velocity);
+        }
+        K(s, r) = static_cast<cf32>(acc);
       }
-      K(s, r) = static_cast<cf32>(acc);
     }
+    TLRWSE_TSAN_RELEASE(&K);
   }
+  TLRWSE_TSAN_ACQUIRE(&K);
   return K;
 }
 
@@ -86,28 +94,35 @@ la::MatrixCF reflectivity_matrix(const std::vector<Position>& virtual_sources,
   const auto nr = static_cast<index_t>(receivers.size());
   la::MatrixCF R(nv, nr);
 
-#pragma omp parallel for schedule(static)
-  for (index_t r = 0; r < nr; ++r) {
-    const Position& xr = receivers[static_cast<std::size_t>(r)];
-    for (index_t v = 0; v < nv; ++v) {
-      const Position& xv = virtual_sources[static_cast<std::size_t>(v)];
-      const double h = horizontal_distance(xv, xr);
-      const double mx = 0.5 * (xv.x + xr.x);
-      const double my = 0.5 * (xv.y + xr.y);
-      cf64 acc{};
-      for (const Interface& layer : model.interfaces) {
-        // Depth below the receiver datum at the midpoint; straight-ray
-        // two-way path through the effective sediment velocity.
-        const double z_below = layer.depth_at(mx, my) - model.water_depth;
-        if (z_below <= 0.0) continue;
-        const double half = std::sqrt(0.25 * h * h + z_below * z_below);
-        const double path = 2.0 * half;
-        acc += layer.reflectivity *
-               greens(path, f_hz, model.sediment_velocity);
+  TLRWSE_TSAN_RELEASE(&R);
+#pragma omp parallel
+  {
+    TLRWSE_TSAN_ACQUIRE(&R);
+#pragma omp for schedule(static)
+    for (index_t r = 0; r < nr; ++r) {
+      const Position& xr = receivers[static_cast<std::size_t>(r)];
+      for (index_t v = 0; v < nv; ++v) {
+        const Position& xv = virtual_sources[static_cast<std::size_t>(v)];
+        const double h = horizontal_distance(xv, xr);
+        const double mx = 0.5 * (xv.x + xr.x);
+        const double my = 0.5 * (xv.y + xr.y);
+        cf64 acc{};
+        for (const Interface& layer : model.interfaces) {
+          // Depth below the receiver datum at the midpoint; straight-ray
+          // two-way path through the effective sediment velocity.
+          const double z_below = layer.depth_at(mx, my) - model.water_depth;
+          if (z_below <= 0.0) continue;
+          const double half = std::sqrt(0.25 * h * h + z_below * z_below);
+          const double path = 2.0 * half;
+          acc += layer.reflectivity *
+                 greens(path, f_hz, model.sediment_velocity);
+        }
+        R(v, r) = static_cast<cf32>(acc);
       }
-      R(v, r) = static_cast<cf32>(acc);
     }
+    TLRWSE_TSAN_RELEASE(&R);
   }
+  TLRWSE_TSAN_ACQUIRE(&R);
   return R;
 }
 

@@ -110,19 +110,32 @@ class RealSplitStacks {
   std::vector<index_t> v_offset_, u_offset_, ranks_;
 };
 
+/// Reusable scratch of the split-real MVM (same per-thread reuse contract
+/// as MvmWorkspace: sized with resize/assign, so calls after the first on
+/// a given matrix are allocation-free).
+template <typename R>
+struct RealSplitWorkspace {
+  std::vector<R> xr, xi;    // real/imag parts of the tile-column input
+  std::vector<R> yvr, yvi;  // real/imag V-batch outputs
+};
+
 /// Fused (communication-avoiding) complex TLR-MVM executed as eight real
 /// batched MVMs. Bit-compatible with tlr_mvm_fused on the complex stacks
 /// up to floating-point reassociation.
 template <typename R>
 void tlr_mvm_real_split(const RealSplitStacks<R>& A,
                         std::span<const std::complex<R>> x,
-                        std::span<std::complex<R>> y) {
+                        std::span<std::complex<R>> y,
+                        RealSplitWorkspace<R>& ws) {
   const TileGrid& g = A.grid();
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
   std::fill(y.begin(), y.end(), std::complex<R>{});
 
-  std::vector<R> xr, xi, yvr, yvi;
+  std::vector<R>& xr = ws.xr;
+  std::vector<R>& xi = ws.xi;
+  std::vector<R>& yvr = ws.yvr;
+  std::vector<R>& yvi = ws.yvi;
   for (index_t j = 0; j < g.nt(); ++j) {
     const index_t w = g.tile_cols(j);
     xr.resize(static_cast<std::size_t>(w));
@@ -165,6 +178,15 @@ void tlr_mvm_real_split(const RealSplitStacks<R>& A,
       }
     }
   }
+}
+
+/// Convenience overload allocating its own workspace.
+template <typename R>
+void tlr_mvm_real_split(const RealSplitStacks<R>& A,
+                        std::span<const std::complex<R>> x,
+                        std::span<std::complex<R>> y) {
+  RealSplitWorkspace<R> ws;
+  tlr_mvm_real_split(A, x, y, ws);
 }
 
 }  // namespace tlrwse::tlr

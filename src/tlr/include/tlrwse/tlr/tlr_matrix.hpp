@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tlrwse/common/rng.hpp"
+#include "tlrwse/common/tsan.hpp"
 #include "tlrwse/la/aca.hpp"
 #include "tlrwse/la/matrix.hpp"
 #include "tlrwse/la/qr.hpp"
@@ -157,11 +158,15 @@ template <typename T>
   const TileGrid grid(A.rows(), A.cols(), cfg.nb);
   std::vector<la::LowRankFactors<T>> tiles(
       static_cast<std::size_t>(grid.num_tiles()));
+  TLRWSE_TSAN_RELEASE(&tiles);
 #pragma omp parallel
   {
+    TLRWSE_TSAN_ACQUIRE(&tiles);
     // Per-thread RNG derived from the seed and the tile index keeps the
-    // randomized backend deterministic regardless of the thread count.
-#pragma omp for collapse(2) schedule(dynamic)
+    // randomized backend deterministic regardless of the thread count or
+    // schedule. Static scheduling avoids libgomp's dynamic work-share
+    // protocol, whose futex-guarded init is invisible to ThreadSanitizer.
+#pragma omp for collapse(2) schedule(static)
     for (index_t j = 0; j < grid.nt(); ++j) {
       for (index_t i = 0; i < grid.mt(); ++i) {
         Rng rng(cfg.seed ^ (static_cast<std::uint64_t>(grid.tile_index(i, j)) *
@@ -178,7 +183,9 @@ template <typename T>
             compress_tile(block, cfg, rng, acc);
       }
     }
+    TLRWSE_TSAN_RELEASE(&tiles);
   }
+  TLRWSE_TSAN_ACQUIRE(&tiles);
   return TlrMatrix<T>(grid, std::move(tiles));
 }
 

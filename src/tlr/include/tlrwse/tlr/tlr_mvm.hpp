@@ -12,11 +12,17 @@
 namespace tlrwse::tlr {
 
 /// Workspace reused across MVM calls (avoids per-call allocation inside
-/// the LSQR iteration loop).
+/// the LSQR iteration loop). All kernels size the buffers with assign(),
+/// so after the first call on a given matrix every later call runs without
+/// touching the heap; one workspace serves any mix of kernels, but must
+/// not be shared by concurrent calls (use one per thread — see
+/// WorkspacePool).
 template <typename T>
 struct MvmWorkspace {
-  std::vector<T> yv;  // V-batch outputs, one segment per tile column
-  std::vector<T> yu;  // shuffled inputs of the U-batch, per tile row
+  std::vector<T> yv;              // V-batch outputs, one segment per tile column
+  std::vector<T> yu;              // shuffled inputs of the U-batch, per tile row
+  std::vector<index_t> yv_bases;  // segment start of each tile column in yv
+  std::vector<index_t> yu_bases;  // segment start of each tile row in yu
 };
 
 /// Phase structure of the classic TLR-MVM:
@@ -38,9 +44,9 @@ void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
 
   // Phase 1: V-batch over tile columns.
   index_t yv_base = 0;
-  std::vector<index_t> yv_bases(static_cast<std::size_t>(g.nt()));
+  ws.yv_bases.assign(static_cast<std::size_t>(g.nt()), 0);
   for (index_t j = 0; j < g.nt(); ++j) {
-    yv_bases[static_cast<std::size_t>(j)] = yv_base;
+    ws.yv_bases[static_cast<std::size_t>(j)] = yv_base;
     const auto& vs = A.v_stack(j);
     la::gemv(vs,
              x.subspan(static_cast<std::size_t>(g.col_offset(j)),
@@ -52,17 +58,17 @@ void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
 
   // Phase 2: shuffle yv (grouped by tile column) into yu (grouped by row).
   index_t yu_base = 0;
-  std::vector<index_t> yu_bases(static_cast<std::size_t>(g.mt()));
+  ws.yu_bases.assign(static_cast<std::size_t>(g.mt()), 0);
   for (index_t i = 0; i < g.mt(); ++i) {
-    yu_bases[static_cast<std::size_t>(i)] = yu_base;
+    ws.yu_bases[static_cast<std::size_t>(i)] = yu_base;
     yu_base += A.row_rank_sum(i);
   }
   for (index_t j = 0; j < g.nt(); ++j) {
     for (index_t i = 0; i < g.mt(); ++i) {
       const index_t k = A.rank(i, j);
-      const T* src = ws.yv.data() + yv_bases[static_cast<std::size_t>(j)] +
+      const T* src = ws.yv.data() + ws.yv_bases[static_cast<std::size_t>(j)] +
                      A.v_offset(i, j);
-      T* dst = ws.yu.data() + yu_bases[static_cast<std::size_t>(i)] +
+      T* dst = ws.yu.data() + ws.yu_bases[static_cast<std::size_t>(i)] +
                A.u_offset(i, j);
       std::copy_n(src, k, dst);
     }
@@ -72,7 +78,7 @@ void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
   for (index_t i = 0; i < g.mt(); ++i) {
     const auto& us = A.u_stack(i);
     la::gemv(us,
-             std::span<const T>(ws.yu.data() + yu_bases[static_cast<std::size_t>(i)],
+             std::span<const T>(ws.yu.data() + ws.yu_bases[static_cast<std::size_t>(i)],
                                 static_cast<std::size_t>(us.cols())),
              y.subspan(static_cast<std::size_t>(g.row_offset(i)),
                        static_cast<std::size_t>(g.tile_rows(i))));
