@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/src/rng.cpp" "src/common/CMakeFiles/tlrwse_common.dir/src/rng.cpp.o" "gcc" "src/common/CMakeFiles/tlrwse_common.dir/src/rng.cpp.o.d"
+  "/root/repo/src/common/src/table.cpp" "src/common/CMakeFiles/tlrwse_common.dir/src/table.cpp.o" "gcc" "src/common/CMakeFiles/tlrwse_common.dir/src/table.cpp.o.d"
+  "/root/repo/src/common/src/units.cpp" "src/common/CMakeFiles/tlrwse_common.dir/src/units.cpp.o" "gcc" "src/common/CMakeFiles/tlrwse_common.dir/src/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_common.dir/src/rng.cpp.o"
+  "CMakeFiles/tlrwse_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/tlrwse_common.dir/src/table.cpp.o"
+  "CMakeFiles/tlrwse_common.dir/src/table.cpp.o.d"
+  "CMakeFiles/tlrwse_common.dir/src/units.cpp.o"
+  "CMakeFiles/tlrwse_common.dir/src/units.cpp.o.d"
+  "libtlrwse_common.a"
+  "libtlrwse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

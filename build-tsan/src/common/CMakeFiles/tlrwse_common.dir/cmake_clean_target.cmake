@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlrwse_common.a"
+)

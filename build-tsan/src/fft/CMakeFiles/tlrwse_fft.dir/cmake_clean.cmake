@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_fft.dir/src/fft.cpp.o"
+  "CMakeFiles/tlrwse_fft.dir/src/fft.cpp.o.d"
+  "libtlrwse_fft.a"
+  "libtlrwse_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

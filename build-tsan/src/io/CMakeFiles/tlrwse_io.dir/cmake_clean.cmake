@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_io.dir/src/archive.cpp.o"
+  "CMakeFiles/tlrwse_io.dir/src/archive.cpp.o.d"
+  "CMakeFiles/tlrwse_io.dir/src/csv.cpp.o"
+  "CMakeFiles/tlrwse_io.dir/src/csv.cpp.o.d"
+  "CMakeFiles/tlrwse_io.dir/src/serialize.cpp.o"
+  "CMakeFiles/tlrwse_io.dir/src/serialize.cpp.o.d"
+  "libtlrwse_io.a"
+  "libtlrwse_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_la.dir/src/gk_svd.cpp.o"
+  "CMakeFiles/tlrwse_la.dir/src/gk_svd.cpp.o.d"
+  "CMakeFiles/tlrwse_la.dir/src/instantiations.cpp.o"
+  "CMakeFiles/tlrwse_la.dir/src/instantiations.cpp.o.d"
+  "libtlrwse_la.a"
+  "libtlrwse_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_mdc.dir/src/mdc_operator.cpp.o"
+  "CMakeFiles/tlrwse_mdc.dir/src/mdc_operator.cpp.o.d"
+  "libtlrwse_mdc.a"
+  "libtlrwse_mdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_mdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

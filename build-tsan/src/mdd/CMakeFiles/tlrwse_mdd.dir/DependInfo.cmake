@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdd/src/cgls.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/cgls.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/cgls.cpp.o.d"
+  "/root/repo/src/mdd/src/lsqr.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/lsqr.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/lsqr.cpp.o.d"
+  "/root/repo/src/mdd/src/mdd_solver.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/mdd_solver.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/mdd_solver.cpp.o.d"
+  "/root/repo/src/mdd/src/metrics.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/metrics.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/mdd/src/multi_source.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/multi_source.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/multi_source.cpp.o.d"
+  "/root/repo/src/mdd/src/nmo.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/nmo.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/nmo.cpp.o.d"
+  "/root/repo/src/mdd/src/preconditioner.cpp" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/preconditioner.cpp.o" "gcc" "src/mdd/CMakeFiles/tlrwse_mdd.dir/src/preconditioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mdc/CMakeFiles/tlrwse_mdc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seismic/CMakeFiles/tlrwse_seismic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/tlrwse_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tlr/CMakeFiles/tlrwse_tlr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/reorder/CMakeFiles/tlrwse_reorder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_mdd.dir/src/cgls.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/cgls.cpp.o.d"
+  "CMakeFiles/tlrwse_mdd.dir/src/lsqr.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/lsqr.cpp.o.d"
+  "CMakeFiles/tlrwse_mdd.dir/src/mdd_solver.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/mdd_solver.cpp.o.d"
+  "CMakeFiles/tlrwse_mdd.dir/src/metrics.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/tlrwse_mdd.dir/src/multi_source.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/multi_source.cpp.o.d"
+  "CMakeFiles/tlrwse_mdd.dir/src/nmo.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/nmo.cpp.o.d"
+  "CMakeFiles/tlrwse_mdd.dir/src/preconditioner.cpp.o"
+  "CMakeFiles/tlrwse_mdd.dir/src/preconditioner.cpp.o.d"
+  "libtlrwse_mdd.a"
+  "libtlrwse_mdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_mdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/src/hilbert.cpp" "src/reorder/CMakeFiles/tlrwse_reorder.dir/src/hilbert.cpp.o" "gcc" "src/reorder/CMakeFiles/tlrwse_reorder.dir/src/hilbert.cpp.o.d"
+  "/root/repo/src/reorder/src/permutation.cpp" "src/reorder/CMakeFiles/tlrwse_reorder.dir/src/permutation.cpp.o" "gcc" "src/reorder/CMakeFiles/tlrwse_reorder.dir/src/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

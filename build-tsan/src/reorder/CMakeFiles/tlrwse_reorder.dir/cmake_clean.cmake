@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_reorder.dir/src/hilbert.cpp.o"
+  "CMakeFiles/tlrwse_reorder.dir/src/hilbert.cpp.o.d"
+  "CMakeFiles/tlrwse_reorder.dir/src/permutation.cpp.o"
+  "CMakeFiles/tlrwse_reorder.dir/src/permutation.cpp.o.d"
+  "libtlrwse_reorder.a"
+  "libtlrwse_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

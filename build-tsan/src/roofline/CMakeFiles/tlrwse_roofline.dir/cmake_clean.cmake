@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_roofline.dir/src/roofline.cpp.o"
+  "CMakeFiles/tlrwse_roofline.dir/src/roofline.cpp.o.d"
+  "libtlrwse_roofline.a"
+  "libtlrwse_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seismic/src/geometry.cpp" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/geometry.cpp.o" "gcc" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/geometry.cpp.o.d"
+  "/root/repo/src/seismic/src/model.cpp" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/model.cpp.o" "gcc" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/model.cpp.o.d"
+  "/root/repo/src/seismic/src/modeling.cpp" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/modeling.cpp.o" "gcc" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/modeling.cpp.o.d"
+  "/root/repo/src/seismic/src/rank_model.cpp" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/rank_model.cpp.o" "gcc" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/rank_model.cpp.o.d"
+  "/root/repo/src/seismic/src/wavelet.cpp" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/wavelet.cpp.o" "gcc" "src/seismic/CMakeFiles/tlrwse_seismic.dir/src/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/tlrwse_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/reorder/CMakeFiles/tlrwse_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tlr/CMakeFiles/tlrwse_tlr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

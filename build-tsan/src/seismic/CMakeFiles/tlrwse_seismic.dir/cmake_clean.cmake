@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_seismic.dir/src/geometry.cpp.o"
+  "CMakeFiles/tlrwse_seismic.dir/src/geometry.cpp.o.d"
+  "CMakeFiles/tlrwse_seismic.dir/src/model.cpp.o"
+  "CMakeFiles/tlrwse_seismic.dir/src/model.cpp.o.d"
+  "CMakeFiles/tlrwse_seismic.dir/src/modeling.cpp.o"
+  "CMakeFiles/tlrwse_seismic.dir/src/modeling.cpp.o.d"
+  "CMakeFiles/tlrwse_seismic.dir/src/rank_model.cpp.o"
+  "CMakeFiles/tlrwse_seismic.dir/src/rank_model.cpp.o.d"
+  "CMakeFiles/tlrwse_seismic.dir/src/wavelet.cpp.o"
+  "CMakeFiles/tlrwse_seismic.dir/src/wavelet.cpp.o.d"
+  "libtlrwse_seismic.a"
+  "libtlrwse_seismic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_seismic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlr/src/instantiations.cpp" "src/tlr/CMakeFiles/tlrwse_tlr.dir/src/instantiations.cpp.o" "gcc" "src/tlr/CMakeFiles/tlrwse_tlr.dir/src/instantiations.cpp.o.d"
+  "/root/repo/src/tlr/src/mixed.cpp" "src/tlr/CMakeFiles/tlrwse_tlr.dir/src/mixed.cpp.o" "gcc" "src/tlr/CMakeFiles/tlrwse_tlr.dir/src/mixed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

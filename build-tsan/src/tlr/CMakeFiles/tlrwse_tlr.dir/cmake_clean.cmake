@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_tlr.dir/src/instantiations.cpp.o"
+  "CMakeFiles/tlrwse_tlr.dir/src/instantiations.cpp.o.d"
+  "CMakeFiles/tlrwse_tlr.dir/src/mixed.cpp.o"
+  "CMakeFiles/tlrwse_tlr.dir/src/mixed.cpp.o.d"
+  "libtlrwse_tlr.a"
+  "libtlrwse_tlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_tlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wse/src/bsp.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/bsp.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/bsp.cpp.o.d"
+  "/root/repo/src/wse/src/chunking.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/chunking.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/chunking.cpp.o.d"
+  "/root/repo/src/wse/src/cost_model.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/cost_model.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/cost_model.cpp.o.d"
+  "/root/repo/src/wse/src/fabric.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/fabric.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/fabric.cpp.o.d"
+  "/root/repo/src/wse/src/functional.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/functional.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/functional.cpp.o.d"
+  "/root/repo/src/wse/src/host_io.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/host_io.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/host_io.cpp.o.d"
+  "/root/repo/src/wse/src/kernel_vm.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/kernel_vm.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/kernel_vm.cpp.o.d"
+  "/root/repo/src/wse/src/machine.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/machine.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/machine.cpp.o.d"
+  "/root/repo/src/wse/src/power.cpp" "src/wse/CMakeFiles/tlrwse_wse.dir/src/power.cpp.o" "gcc" "src/wse/CMakeFiles/tlrwse_wse.dir/src/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tlr/CMakeFiles/tlrwse_tlr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seismic/CMakeFiles/tlrwse_seismic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/tlrwse_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/reorder/CMakeFiles/tlrwse_reorder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

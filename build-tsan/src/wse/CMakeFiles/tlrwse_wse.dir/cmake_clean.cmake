@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_wse.dir/src/bsp.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/bsp.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/chunking.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/chunking.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/cost_model.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/cost_model.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/fabric.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/fabric.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/functional.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/functional.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/host_io.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/host_io.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/kernel_vm.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/kernel_vm.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/machine.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/machine.cpp.o.d"
+  "CMakeFiles/tlrwse_wse.dir/src/power.cpp.o"
+  "CMakeFiles/tlrwse_wse.dir/src/power.cpp.o.d"
+  "libtlrwse_wse.a"
+  "libtlrwse_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

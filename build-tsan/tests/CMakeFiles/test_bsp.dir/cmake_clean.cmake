@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsp.dir/test_bsp.cpp.o"
+  "CMakeFiles/test_bsp.dir/test_bsp.cpp.o.d"
+  "test_bsp"
+  "test_bsp.pdb"
+  "test_bsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

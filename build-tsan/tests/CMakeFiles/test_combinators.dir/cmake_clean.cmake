@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combinators.dir/test_combinators.cpp.o"
+  "CMakeFiles/test_combinators.dir/test_combinators.cpp.o.d"
+  "test_combinators"
+  "test_combinators.pdb"
+  "test_combinators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combinators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

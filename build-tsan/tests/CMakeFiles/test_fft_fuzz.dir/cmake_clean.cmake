@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_fuzz.dir/test_fft_fuzz.cpp.o"
+  "CMakeFiles/test_fft_fuzz.dir/test_fft_fuzz.cpp.o.d"
+  "test_fft_fuzz"
+  "test_fft_fuzz.pdb"
+  "test_fft_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_vm.dir/test_kernel_vm.cpp.o"
+  "CMakeFiles/test_kernel_vm.dir/test_kernel_vm.cpp.o.d"
+  "test_kernel_vm"
+  "test_kernel_vm.pdb"
+  "test_kernel_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

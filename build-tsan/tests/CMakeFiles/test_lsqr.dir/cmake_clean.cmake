@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsqr.dir/test_lsqr.cpp.o"
+  "CMakeFiles/test_lsqr.dir/test_lsqr.cpp.o.d"
+  "test_lsqr"
+  "test_lsqr.pdb"
+  "test_lsqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdc.dir/test_mdc.cpp.o"
+  "CMakeFiles/test_mdc.dir/test_mdc.cpp.o.d"
+  "test_mdc"
+  "test_mdc.pdb"
+  "test_mdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdc_more.dir/test_mdc_more.cpp.o"
+  "CMakeFiles/test_mdc_more.dir/test_mdc_more.cpp.o.d"
+  "test_mdc_more"
+  "test_mdc_more.pdb"
+  "test_mdc_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdc_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mdc_more.
+# This may be replaced when dependencies are built.

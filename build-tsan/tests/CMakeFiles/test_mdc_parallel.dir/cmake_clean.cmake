@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdc_parallel.dir/test_mdc_parallel.cpp.o"
+  "CMakeFiles/test_mdc_parallel.dir/test_mdc_parallel.cpp.o.d"
+  "test_mdc_parallel"
+  "test_mdc_parallel.pdb"
+  "test_mdc_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

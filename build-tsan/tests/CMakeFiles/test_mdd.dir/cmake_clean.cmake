@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdd.dir/test_mdd.cpp.o"
+  "CMakeFiles/test_mdd.dir/test_mdd.cpp.o.d"
+  "test_mdd"
+  "test_mdd.pdb"
+  "test_mdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed.dir/test_mixed.cpp.o"
+  "CMakeFiles/test_mixed.dir/test_mixed.cpp.o.d"
+  "test_mixed"
+  "test_mixed.pdb"
+  "test_mixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

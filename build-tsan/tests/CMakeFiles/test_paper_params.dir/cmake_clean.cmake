@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_params.dir/test_paper_params.cpp.o"
+  "CMakeFiles/test_paper_params.dir/test_paper_params.cpp.o.d"
+  "test_paper_params"
+  "test_paper_params.pdb"
+  "test_paper_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

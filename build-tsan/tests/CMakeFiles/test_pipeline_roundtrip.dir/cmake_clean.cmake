@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_roundtrip.dir/test_pipeline_roundtrip.cpp.o"
+  "CMakeFiles/test_pipeline_roundtrip.dir/test_pipeline_roundtrip.cpp.o.d"
+  "test_pipeline_roundtrip"
+  "test_pipeline_roundtrip.pdb"
+  "test_pipeline_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_model.dir/test_rank_model.cpp.o"
+  "CMakeFiles/test_rank_model.dir/test_rank_model.cpp.o.d"
+  "test_rank_model"
+  "test_rank_model.pdb"
+  "test_rank_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

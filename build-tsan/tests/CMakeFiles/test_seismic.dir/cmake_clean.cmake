@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seismic.dir/test_seismic.cpp.o"
+  "CMakeFiles/test_seismic.dir/test_seismic.cpp.o.d"
+  "test_seismic"
+  "test_seismic.pdb"
+  "test_seismic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seismic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

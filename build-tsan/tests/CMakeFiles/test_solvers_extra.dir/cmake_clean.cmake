@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solvers_extra.dir/test_solvers_extra.cpp.o"
+  "CMakeFiles/test_solvers_extra.dir/test_solvers_extra.cpp.o.d"
+  "test_solvers_extra"
+  "test_solvers_extra.pdb"
+  "test_solvers_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solvers_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_svd.cpp" "tests/CMakeFiles/test_svd.dir/test_svd.cpp.o" "gcc" "tests/CMakeFiles/test_svd.dir/test_svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/tlrwse_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/reorder/CMakeFiles/tlrwse_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tlr/CMakeFiles/tlrwse_tlr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seismic/CMakeFiles/tlrwse_seismic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mdc/CMakeFiles/tlrwse_mdc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mdd/CMakeFiles/tlrwse_mdd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wse/CMakeFiles/tlrwse_wse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/roofline/CMakeFiles/tlrwse_roofline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/tlrwse_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_grid.dir/test_tile_grid.cpp.o"
+  "CMakeFiles/test_tile_grid.dir/test_tile_grid.cpp.o.d"
+  "test_tile_grid"
+  "test_tile_grid.pdb"
+  "test_tile_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlr_matrix.dir/test_tlr_matrix.cpp.o"
+  "CMakeFiles/test_tlr_matrix.dir/test_tlr_matrix.cpp.o.d"
+  "test_tlr_matrix"
+  "test_tlr_matrix.pdb"
+  "test_tlr_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlr_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlr_mmm.dir/test_tlr_mmm.cpp.o"
+  "CMakeFiles/test_tlr_mmm.dir/test_tlr_mmm.cpp.o.d"
+  "test_tlr_mmm"
+  "test_tlr_mmm.pdb"
+  "test_tlr_mmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlr_mmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tlr_mmm.
+# This may be replaced when dependencies are built.

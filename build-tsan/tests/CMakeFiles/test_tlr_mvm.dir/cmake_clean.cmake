@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlr_mvm.dir/test_tlr_mvm.cpp.o"
+  "CMakeFiles/test_tlr_mvm.dir/test_tlr_mvm.cpp.o.d"
+  "test_tlr_mvm"
+  "test_tlr_mvm.pdb"
+  "test_tlr_mvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlr_mvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

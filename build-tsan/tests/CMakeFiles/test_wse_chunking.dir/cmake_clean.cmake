@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_chunking.dir/test_wse_chunking.cpp.o"
+  "CMakeFiles/test_wse_chunking.dir/test_wse_chunking.cpp.o.d"
+  "test_wse_chunking"
+  "test_wse_chunking.pdb"
+  "test_wse_chunking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

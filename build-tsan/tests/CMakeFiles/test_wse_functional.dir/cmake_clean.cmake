@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_functional.dir/test_wse_functional.cpp.o"
+  "CMakeFiles/test_wse_functional.dir/test_wse_functional.cpp.o.d"
+  "test_wse_functional"
+  "test_wse_functional.pdb"
+  "test_wse_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_properties.dir/test_wse_properties.cpp.o"
+  "CMakeFiles/test_wse_properties.dir/test_wse_properties.cpp.o.d"
+  "test_wse_properties"
+  "test_wse_properties.pdb"
+  "test_wse_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrwse_cli.dir/tlrwse_cli.cpp.o"
+  "CMakeFiles/tlrwse_cli.dir/tlrwse_cli.cpp.o.d"
+  "tlrwse_cli"
+  "tlrwse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrwse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

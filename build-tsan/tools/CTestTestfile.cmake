@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_synth "/root/repo/build-tsan/tools/tlrwse_cli" "synth" "--out" "/root/repo/build-tsan/tools/cli_K.bin" "--nsx" "8" "--nsy" "6" "--nrx" "6" "--nry" "5" "--nt" "128")
+set_tests_properties(cli_synth PROPERTIES  FIXTURES_SETUP "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compress "/root/repo/build-tsan/tools/tlrwse_cli" "compress" "--in" "/root/repo/build-tsan/tools/cli_K.bin" "--out" "/root/repo/build-tsan/tools/cli_K.tlr" "--nb" "12" "--acc" "1e-3")
+set_tests_properties(cli_compress PROPERTIES  FIXTURES_REQUIRED "cli_data" FIXTURES_SETUP "cli_tlr" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build-tsan/tools/tlrwse_cli" "info" "--in" "/root/repo/build-tsan/tools/cli_K.tlr")
+set_tests_properties(cli_info PROPERTIES  FIXTURES_REQUIRED "cli_tlr" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mvm "/root/repo/build-tsan/tools/tlrwse_cli" "mvm" "--in" "/root/repo/build-tsan/tools/cli_K.tlr" "--reps" "5")
+set_tests_properties(cli_mvm PROPERTIES  FIXTURES_REQUIRED "cli_tlr" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build-tsan/tools/tlrwse_cli" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_archive "/root/repo/build-tsan/tools/tlrwse_cli" "archive" "--out" "/root/repo/build-tsan/tools/cli.tlra" "--nsx" "8" "--nsy" "6" "--nrx" "6" "--nry" "5" "--nt" "128" "--nb" "12")
+set_tests_properties(cli_archive PROPERTIES  FIXTURES_SETUP "cli_archive_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_solve "/root/repo/build-tsan/tools/tlrwse_cli" "solve" "--archive" "/root/repo/build-tsan/tools/cli.tlra" "--nsx" "8" "--nsy" "6" "--nrx" "6" "--nry" "5" "--nt" "128" "--iters" "10")
+set_tests_properties(cli_solve PROPERTIES  FIXTURES_REQUIRED "cli_archive_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -268,6 +268,7 @@ bench/CMakeFiles/bench_ablation_mmm.dir/bench_ablation_mmm.cpp.o: \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mmm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \
  /root/repo/src/la/include/tlrwse/la/aca.hpp \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \

@@ -237,7 +237,9 @@ bench/CMakeFiles/bench_compression.dir/bench_compression.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/la/include/tlrwse/la/qr.hpp \
+ /usr/include/c++/12/array \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
+ /root/repo/src/la/include/tlrwse/la/qr.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -257,8 +257,11 @@ bench/CMakeFiles/bench_fig11_mdd.dir/bench_fig11_mdd.cpp.o: \
  /root/repo/src/wse/include/tlrwse/wse/wse_spec.hpp \
  /root/repo/src/mdd/include/tlrwse/mdd/mdd_solver.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/fft/include/tlrwse/fft/fft.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \

@@ -263,6 +263,7 @@ bench/CMakeFiles/bench_kernel_vm.dir/bench_kernel_vm.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \
  /root/repo/src/la/include/tlrwse/la/aca.hpp \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \

@@ -234,6 +234,7 @@ bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o: \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_mdc_throughput.cpp" "bench/CMakeFiles/bench_mdc_throughput.dir/bench_mdc_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_mdc_throughput.dir/bench_mdc_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlrwse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/tlrwse_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/tlrwse_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/tlrwse_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlr/CMakeFiles/tlrwse_tlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/seismic/CMakeFiles/tlrwse_seismic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdc/CMakeFiles/tlrwse_mdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdd/CMakeFiles/tlrwse_mdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/tlrwse_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/tlrwse_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tlrwse_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

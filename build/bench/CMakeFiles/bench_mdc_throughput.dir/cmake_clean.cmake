@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdc_throughput.dir/bench_mdc_throughput.cpp.o"
+  "CMakeFiles/bench_mdc_throughput.dir/bench_mdc_throughput.cpp.o.d"
+  "bench_mdc_throughput"
+  "bench_mdc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

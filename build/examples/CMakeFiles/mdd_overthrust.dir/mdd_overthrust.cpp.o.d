@@ -209,11 +209,11 @@ examples/CMakeFiles/mdd_overthrust.dir/mdd_overthrust.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
- /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/la/include/tlrwse/la/blas.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/fft/include/tlrwse/fft/fft.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -233,8 +233,13 @@ examples/CMakeFiles/mdd_overthrust.dir/mdd_overthrust.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /usr/include/c++/12/array \
+ /root/repo/src/common/include/tlrwse/common/types.hpp \
+ /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
+ /root/repo/src/la/include/tlrwse/la/blas.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -245,8 +250,6 @@ examples/CMakeFiles/mdd_overthrust.dir/mdd_overthrust.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
- /root/repo/src/common/include/tlrwse/common/types.hpp \
- /usr/include/c++/12/complex \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \

@@ -240,9 +240,12 @@ examples/CMakeFiles/multi_shot.dir/multi_shot.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/fft/include/tlrwse/fft/fft.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -222,6 +222,7 @@ examples/CMakeFiles/ordering_study.dir/ordering_study.cpp.o: \
  /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/aca.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \

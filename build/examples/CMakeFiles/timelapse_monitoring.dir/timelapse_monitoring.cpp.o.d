@@ -223,13 +223,18 @@ examples/CMakeFiles/timelapse_monitoring.dir/timelapse_monitoring.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/fft/include/tlrwse/fft/fft.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/span \
+ /usr/include/c++/12/array \
+ /root/repo/src/common/include/tlrwse/common/types.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/la/include/tlrwse/la/blas.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -240,8 +245,6 @@ examples/CMakeFiles/timelapse_monitoring.dir/timelapse_monitoring.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
- /root/repo/src/common/include/tlrwse/common/types.hpp \
- /usr/include/c++/12/complex \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \

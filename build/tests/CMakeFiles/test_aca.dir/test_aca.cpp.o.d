@@ -328,6 +328,7 @@ tests/CMakeFiles/test_aca.dir/test_aca.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \

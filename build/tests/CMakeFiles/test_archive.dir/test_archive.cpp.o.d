@@ -303,10 +303,10 @@ tests/CMakeFiles/test_archive.dir/test_archive.cpp.o: \
  /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/io/include/tlrwse/io/archive.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
- /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
- /usr/include/c++/12/span /root/repo/src/la/include/tlrwse/la/blas.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /root/repo/src/fft/include/tlrwse/fft/fft.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -326,15 +326,17 @@ tests/CMakeFiles/test_archive.dir/test_archive.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /root/repo/src/common/include/tlrwse/common/types.hpp \
+ /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
+ /root/repo/src/la/include/tlrwse/la/blas.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
- /root/repo/src/common/include/tlrwse/common/types.hpp \
- /usr/include/c++/12/complex \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \

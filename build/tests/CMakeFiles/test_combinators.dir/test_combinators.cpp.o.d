@@ -329,12 +329,15 @@ tests/CMakeFiles/test_combinators.dir/test_combinators.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/combinators.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/linear_operator.hpp \
  /root/repo/src/mdd/include/tlrwse/mdd/metrics.hpp \
  /root/repo/src/mdd/include/tlrwse/mdd/preconditioner.hpp \
  /root/repo/src/mdd/include/tlrwse/mdd/mdd_solver.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /root/repo/src/fft/include/tlrwse/fft/fft.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \

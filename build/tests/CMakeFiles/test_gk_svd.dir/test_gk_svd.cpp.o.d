@@ -329,6 +329,7 @@ tests/CMakeFiles/test_gk_svd.dir/test_gk_svd.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/gk_svd.hpp \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \
  /root/repo/src/la/include/tlrwse/la/qr.hpp

@@ -339,6 +339,7 @@ tests/CMakeFiles/test_io.dir/test_io.cpp.o: /root/repo/tests/test_io.cpp \
  /root/repo/src/io/include/tlrwse/io/csv.hpp \
  /root/repo/src/io/include/tlrwse/io/serialize.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/aca.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \

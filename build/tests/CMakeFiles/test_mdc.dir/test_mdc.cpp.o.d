@@ -330,8 +330,10 @@ tests/CMakeFiles/test_mdc.dir/test_mdc.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/fft/include/tlrwse/fft/fft.hpp /usr/include/c++/12/span \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \

@@ -329,8 +329,11 @@ tests/CMakeFiles/test_mdc_more.dir/test_mdc_more.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/mdc/include/tlrwse/mdc/mdc_operator.hpp \
+ /root/repo/src/common/include/tlrwse/common/workspace_pool.hpp \
+ /root/repo/src/fft/include/tlrwse/fft/fft.hpp /usr/include/c++/12/span \
  /root/repo/src/mdc/include/tlrwse/mdc/frequency_mvm.hpp \
- /usr/include/c++/12/span /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/la/include/tlrwse/la/blas.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/real_split.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mvm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \

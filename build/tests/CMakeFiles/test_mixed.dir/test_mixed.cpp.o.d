@@ -330,6 +330,7 @@ tests/CMakeFiles/test_mixed.dir/test_mixed.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/mixed.hpp \
  /usr/include/c++/12/cstring \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \

@@ -334,6 +334,7 @@ tests/CMakeFiles/test_pipeline_roundtrip.dir/test_pipeline_roundtrip.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/io/include/tlrwse/io/serialize.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/aca.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \

@@ -324,6 +324,7 @@ tests/CMakeFiles/test_svd.dir/test_svd.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/types.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/matrix.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -329,6 +329,7 @@ tests/CMakeFiles/test_tlr_mmm.dir/test_tlr_mmm.cpp.o: \
  /root/repo/src/common/include/tlrwse/common/aligned.hpp \
  /root/repo/src/common/include/tlrwse/common/error.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_mmm.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/stacked.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \

@@ -331,6 +331,7 @@ tests/CMakeFiles/test_wse_chunking.dir/test_wse_chunking.cpp.o: \
  /root/repo/src/seismic/include/tlrwse/seismic/rank_model.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tile_grid.hpp \
  /root/repo/src/tlr/include/tlrwse/tlr/tlr_matrix.hpp \
+ /root/repo/src/common/include/tlrwse/common/tsan.hpp \
  /root/repo/src/la/include/tlrwse/la/aca.hpp \
  /root/repo/src/la/include/tlrwse/la/blas.hpp /usr/include/c++/12/span \
  /root/repo/src/la/include/tlrwse/la/svd.hpp \
