@@ -1,0 +1,144 @@
+// Solve-service throughput/latency sweep over closed-loop client counts.
+//
+// Builds a small synthetic survey, archives it, then for each client count
+// runs a fresh SolveService and hammers it with closed-loop clients (each
+// waits for its response before sending the next request). The operator is
+// made resident by a warm-up request, so the sweep measures the serving
+// path — admission, batching, solve — not the one-time archive load. One
+// JSON line per client count carries requests/s plus the p50/p95/p99
+// latency digest straight from the service metrics. Usage:
+//
+//   ./bench_serve_throughput [max_clients] [requests_per_client]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "tlrwse/common/timer.hpp"
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/serve/solve_service.hpp"
+
+namespace {
+
+using namespace tlrwse;
+
+seismic::SeismicDataset build_data() {
+  seismic::DatasetConfig cfg;
+  cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+  cfg.nt = 128;
+  cfg.f_min = 4.0;
+  cfg.f_max = 40.0;
+  return seismic::build_dataset(cfg);
+}
+
+struct SweepPoint {
+  int clients = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double wall_s = 0.0;
+  serve::ServiceMetrics metrics;
+};
+
+SweepPoint run_point(const serve::OperatorKey& key,
+                     const seismic::SeismicDataset& data, int clients,
+                     int per_client) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = static_cast<std::size_t>(clients) * 2;
+  serve::SolveService service(cfg);
+
+  const index_t nvsrc = std::min<index_t>(4, data.num_receivers());
+  std::vector<std::vector<float>> rhs;
+  for (index_t v = 0; v < nvsrc; ++v) {
+    rhs.push_back(mdd::virtual_source_rhs(data, v));
+  }
+  const auto request = [&](int j) {
+    serve::SolveRequest req;
+    req.op = key;
+    req.kind = serve::RequestKind::kLsqr;
+    req.vsrc = j % nvsrc;
+    req.rhs = rhs[static_cast<std::size_t>(req.vsrc)];
+    req.lsqr.max_iters = 10;
+    return req;
+  };
+
+  // Warm-up: one request makes the operator resident so the timed region
+  // measures serving, not the archive load.
+  (void)service.submit(request(0)).get();
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < per_client; ++r) {
+        (void)service.submit(request(c * per_client + r)).get();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  SweepPoint p;
+  p.clients = clients;
+  p.wall_s = timer.seconds();
+  p.metrics = service.metrics();
+  p.completed = p.metrics.counters.completed - 1;  // minus the warm-up
+  p.rejected = p.metrics.counters.rejected_queue_full +
+               p.metrics.counters.rejected_deadline;
+  return p;
+}
+
+void print_point(const SweepPoint& p) {
+  const auto& m = p.metrics;
+  const double rps =
+      p.wall_s > 0.0 ? static_cast<double>(p.completed) / p.wall_s : 0.0;
+  std::cout << "{\"clients\":" << p.clients << ",\"completed\":" << p.completed
+            << ",\"rejected\":" << p.rejected << ",\"wall_s\":" << p.wall_s
+            << ",\"requests_per_sec\":" << rps
+            << ",\"batches\":" << m.counters.batches
+            << ",\"coalesced_requests\":" << m.counters.coalesced
+            << ",\"cache_hit_rate\":" << m.cache.hit_rate()
+            << ",\"latency_p50_s\":" << m.latency.p50
+            << ",\"latency_p95_s\":" << m.latency.p95
+            << ",\"latency_p99_s\":" << m.latency.p99
+            << ",\"latency_mean_s\":" << m.latency.mean
+            << ",\"queue_wait_p95_s\":" << m.queue_wait.p95 << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_clients = argc > 1 ? std::atoi(argv[1]) : 16;
+  int per_client = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (max_clients < 1) max_clients = 1;
+  if (per_client < 1) per_client = 1;
+
+  const auto data = build_data();
+  tlr::CompressionConfig cc;
+  cc.nb = 12;
+  cc.acc = 1e-4;
+  const std::string archive =
+      (std::filesystem::temp_directory_path() / "tlrwse_bench_serve.tlra")
+          .string();
+  io::save_archive(archive, io::build_archive(data, cc));
+  const serve::OperatorKey key{archive, cc.nb, cc.acc};
+
+  std::cout << "{\"bench\":\"serve_throughput\",\"nt\":" << data.config.nt
+            << ",\"num_freq\":" << data.num_freqs()
+            << ",\"ns\":" << data.num_sources() << ",\"nr\":" << data.num_receivers()
+            << ",\"workers\":4,\"lsqr_iters\":10,\"requests_per_client\":"
+            << per_client << "}\n";
+
+  std::vector<int> sweep{1};
+  for (int c = 2; c <= max_clients; c *= 2) sweep.push_back(c);
+  if (sweep.back() != max_clients) sweep.push_back(max_clients);
+
+  for (int clients : sweep) {
+    print_point(run_point(key, data, clients, per_client));
+  }
+
+  std::remove(archive.c_str());
+  return 0;
+}

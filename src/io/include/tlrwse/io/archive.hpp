@@ -47,6 +47,24 @@ struct KernelArchive {
 void save_archive(const std::string& path, const KernelArchive& archive);
 [[nodiscard]] KernelArchive load_archive(const std::string& path);
 
+/// Band metadata of an archive, readable without touching the kernel
+/// payload. The serving layer validates requests against this at admission
+/// (a few hundred bytes of header) instead of paying a full kernel load
+/// just to discover a missing or mismatched archive.
+struct ArchiveInfo {
+  index_t nt = 0;
+  double dt = 0.0;
+  std::vector<index_t> freq_bins;
+  std::vector<double> freqs_hz;
+  [[nodiscard]] index_t num_freqs() const {
+    return static_cast<index_t>(freq_bins.size());
+  }
+};
+
+/// Reads only the header of `path`. Throws like load_archive on a missing
+/// file, bad magic, or unsupported version.
+[[nodiscard]] ArchiveInfo peek_archive(const std::string& path);
+
 /// Builds the MDC operator directly from an archive (no recompression).
 [[nodiscard]] std::unique_ptr<mdc::MdcOperator> make_operator(
     const KernelArchive& archive, mdc::TlrKernel kernel = mdc::TlrKernel::kFused);

@@ -108,6 +108,30 @@ void save_archive(const std::string& path, const KernelArchive& archive) {
   if (!app) throw std::runtime_error("tlrwse::io: write failed: " + path);
 }
 
+ArchiveInfo peek_archive(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
+  if (read_u32(is) != kArchiveMagic) {
+    throw std::runtime_error("tlrwse::io: bad archive magic in " + path);
+  }
+  if (read_u32(is) != kFormatVersion) {
+    throw std::runtime_error("tlrwse::io: unsupported archive version");
+  }
+  ArchiveInfo info;
+  info.nt = read_i64(is);
+  info.dt = read_f64(is);
+  const index_t nf = read_i64(is);
+  TLRWSE_REQUIRE(nf >= 0, "corrupt archive");
+  info.freq_bins.resize(static_cast<std::size_t>(nf));
+  info.freqs_hz.resize(static_cast<std::size_t>(nf));
+  for (index_t q = 0; q < nf; ++q) {
+    info.freq_bins[static_cast<std::size_t>(q)] = read_i64(is);
+    info.freqs_hz[static_cast<std::size_t>(q)] = read_f64(is);
+  }
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive header");
+  return info;
+}
+
 KernelArchive load_archive(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);

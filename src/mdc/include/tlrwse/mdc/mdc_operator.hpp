@@ -48,6 +48,15 @@ class MdcOperator final : public LinearOperator {
   void apply_adjoint(std::span<const float> y,
                      std::span<float> x) const override;
 
+  /// Caps the OpenMP team size of the frequency loop (0 = runtime default).
+  /// Concurrent top-level applies from distinct OS threads each spawn their
+  /// own team; a multi-tenant caller (the solve service) divides the
+  /// machine between request workers with this instead of oversubscribing
+  /// workers x omp_get_max_threads() ways. Thread count never changes the
+  /// results (each frequency owns its bin), only the schedule.
+  void set_inner_threads(int n) noexcept { inner_threads_ = n < 0 ? 0 : n; }
+  [[nodiscard]] int inner_threads() const noexcept { return inner_threads_; }
+
  private:
   /// Per-thread scratch of the frequency loop: the gathered per-frequency
   /// input/output slices plus the kernel backend's workspace.
@@ -68,6 +77,7 @@ class MdcOperator final : public LinearOperator {
   index_t nt_ = 0;
   index_t ns_ = 0;  // kernel rows (sources)
   index_t nr_ = 0;  // kernel cols (receivers)
+  int inner_threads_ = 0;  // 0 = OpenMP runtime default team size
   std::vector<index_t> freq_bins_;
   std::vector<std::unique_ptr<FrequencyMvm>> kernels_;
   fft::FftPlan plan_;  // time-axis plan, shared by every apply

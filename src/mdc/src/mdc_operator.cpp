@@ -2,10 +2,27 @@
 
 #include <algorithm>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/common/tsan.hpp"
 
 namespace tlrwse::mdc {
+
+namespace {
+/// Team size for the frequency loop: the caller's cap, or the runtime
+/// default when uncapped.
+inline int freq_team_size(int cap) {
+#ifdef _OPENMP
+  return cap > 0 ? cap : omp_get_max_threads();
+#else
+  (void)cap;
+  return 1;
+#endif
+}
+}  // namespace
 
 MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
                          std::vector<std::unique_ptr<FrequencyMvm>> kernels)
@@ -50,8 +67,9 @@ void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
   ps.yhat.assign(static_cast<std::size_t>(nf_full * ns_), cf32{});
   const std::span<const cf32> xhat(ps.xhat);
   const std::span<cf32> yhat(ps.yhat);
+  [[maybe_unused]] const int team = freq_team_size(inner_threads_);
   TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel
+#pragma omp parallel num_threads(team)
   {
     TLRWSE_TSAN_ACQUIRE(&ps);
 #pragma omp for schedule(static)
@@ -92,8 +110,9 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
   ps.xhat.assign(static_cast<std::size_t>(nf_full * nr_), cf32{});
   const std::span<const cf32> yhat(ps.yhat);
   const std::span<cf32> xhat(ps.xhat);
+  [[maybe_unused]] const int team = freq_team_size(inner_threads_);
   TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel
+#pragma omp parallel num_threads(team)
   {
     TLRWSE_TSAN_ACQUIRE(&ps);
 #pragma omp for schedule(static)

@@ -6,6 +6,7 @@
 // standard stopping rules on the residual estimates.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,11 @@ struct LsqrConfig {
   double btol = 1e-8;     // relative residual tolerance
   double damp = 0.0;      // Tikhonov damping (lambda)
   bool verbose = false;
+  /// Optional cooperative-abort hook, polled once per iteration (after the
+  /// x update, so the returned iterate is always consistent). The serving
+  /// layer uses it to enforce per-request deadlines mid-solve; it never
+  /// perturbs the arithmetic of iterations that do run.
+  std::function<bool()> should_stop;
 };
 
 struct LsqrResult {
@@ -27,7 +33,7 @@ struct LsqrResult {
   double residual_norm = 0.0;      // ||b - A x||
   double normal_residual = 0.0;    // ||A^T (b - A x)||
   std::vector<double> residual_history;
-  enum class Stop { kMaxIters, kResidualTol, kNormalTol } stop =
+  enum class Stop { kMaxIters, kResidualTol, kNormalTol, kAborted } stop =
       Stop::kMaxIters;
 };
 

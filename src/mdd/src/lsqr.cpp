@@ -130,6 +130,11 @@ LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
       ++it;
       break;
     }
+    if (cfg.should_stop && cfg.should_stop()) {
+      out.stop = LsqrResult::Stop::kAborted;
+      ++it;
+      break;
+    }
   }
 
   out.iterations = it;

@@ -1,0 +1,42 @@
+// Built-in observability of the solve service.
+//
+// Counters cover the whole request lifecycle (admit -> cache -> batch ->
+// solve), latency digests come from the exact per-request samples, and the
+// whole snapshot dumps as a single JSON object so a load driver or CI job
+// can assert on it without scraping logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tlrwse/common/stats.hpp"
+#include "tlrwse/serve/operator_cache.hpp"
+
+namespace tlrwse::serve {
+
+struct ServiceCounters {
+  std::uint64_t submitted = 0;          // every submit() call
+  std::uint64_t admitted = 0;           // entered the bounded queue
+  std::uint64_t completed = 0;          // solved and answered kOk
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_archive_missing = 0;
+  std::uint64_t failed = 0;             // loader/solve errors (kError)
+  std::uint64_t batches = 0;            // worker dispatches
+  std::uint64_t coalesced = 0;          // requests that shared a batch (>1)
+  std::size_t queue_depth = 0;          // at snapshot time
+  std::size_t queue_peak_depth = 0;
+};
+
+struct ServiceMetrics {
+  ServiceCounters counters;
+  CacheStats cache;
+  LatencySummary latency;     // submit -> response, seconds
+  LatencySummary queue_wait;  // submit -> dequeue, seconds
+  LatencySummary solve;       // dequeue -> response, seconds
+
+  /// One JSON object, keys stable for downstream tooling.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace tlrwse::serve

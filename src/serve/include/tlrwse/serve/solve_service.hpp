@@ -1,0 +1,163 @@
+// Multi-tenant MDD solve service: admit -> cache -> batch -> solve.
+//
+// Turns the batch-mode archive->solve path into a concurrent service with
+// the compute shape of a batched inference server holding model weights:
+// compressed per-frequency TLR kernels are the resident "weights"
+// (OperatorCache), MDD requests against one operator coalesce into shared
+// batches that a worker drives back-to-back over the single resident copy,
+// and overload surfaces as typed rejections from a bounded admission queue
+// (backpressure) instead of latency collapse. Results are bitwise identical
+// to a sequential solve of the same archive: batching only shares operator
+// residency and dispatch, never the per-request arithmetic, and the
+// frequency loop is thread-count invariant.
+//
+// Request lifecycle:
+//   submit()  -- validate the archive header (cheap peek; typed
+//                kArchiveMissing), then try to enter the bounded queue
+//                (typed kQueueFull when the service is saturated);
+//   workers   -- pop a per-operator batch (round-robin across operators),
+//                resolve the operator through the cache (loaded from the
+//                archive exactly once), drop requests whose deadline
+//                already passed (typed kDeadlineExceeded), solve the rest;
+//   response  -- futures resolve with the solution + per-request timings;
+//                every counter lands in ServiceMetrics / metrics JSON.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tlrwse/mdd/lsqr.hpp"
+#include "tlrwse/serve/metrics.hpp"
+#include "tlrwse/serve/operator_cache.hpp"
+#include "tlrwse/serve/task_executor.hpp"
+
+namespace tlrwse::serve {
+
+enum class RequestKind {
+  kAdjoint,  // cross-correlation estimate x = A^T b (one adjoint pass)
+  kLsqr,     // least-squares inversion (the paper's 30-iteration budget)
+};
+
+enum class SolveStatus {
+  kOk,
+  kQueueFull,         // bounded admission queue was full (backpressure)
+  kDeadlineExceeded,  // per-request deadline passed before/during the solve
+  kArchiveMissing,    // named archive absent or unreadable at admission/load
+  kError,             // unexpected solve/loader failure (details in .error)
+};
+[[nodiscard]] const char* to_string(SolveStatus s);
+
+struct SolveRequest {
+  OperatorKey op;                      // which resident operator to solve on
+  RequestKind kind = RequestKind::kLsqr;
+  index_t vsrc = -1;                   // virtual-source tag (echoed back)
+  std::vector<float> rhs;              // observed data b, nt x nS traces
+  mdd::LsqrConfig lsqr;                // iteration budget, tolerances, hooks
+  double deadline_s = 0.0;             // 0 = none; budget from admission on
+};
+
+struct SolveResponse {
+  SolveStatus status = SolveStatus::kOk;
+  index_t vsrc = -1;
+  std::vector<float> x;                // solution traces (partial on abort)
+  int iterations = 0;
+  double residual_norm = 0.0;
+  double queue_wait_s = 0.0;           // admission -> dequeue
+  double solve_s = 0.0;                // dequeue -> solved
+  double total_s = 0.0;                // admission -> response
+  std::size_t batch_size = 0;          // requests coalesced into its batch
+  std::string error;                   // populated for kError / kArchiveMissing
+};
+
+struct ServiceConfig {
+  int workers = 4;                     // concurrent solve batches
+  std::size_t queue_capacity = 64;     // admission bound (backpressure)
+  std::size_t max_batch = 8;           // per-operator coalescing limit
+  double cache_budget_bytes = 512.0 * 1024.0 * 1024.0;
+  std::size_t cache_shards = 8;
+  /// OpenMP team size of each solve's frequency loop; 0 divides the
+  /// machine evenly between workers (never oversubscribing workers x
+  /// omp_get_max_threads() ways).
+  int inner_threads = 0;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig cfg = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Never blocks on the solve: rejected requests (queue-full,
+  /// archive-missing) resolve their future immediately with the typed
+  /// status; admitted requests resolve when a worker finishes them.
+  [[nodiscard]] std::future<SolveResponse> submit(SolveRequest req);
+
+  /// Stops admission, drains every admitted request, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+  [[nodiscard]] std::string metrics_json() const { return metrics().to_json(); }
+  [[nodiscard]] const OperatorCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Ticket {
+    SolveRequest req;
+    std::promise<SolveResponse> done;
+    std::chrono::steady_clock::time_point admitted;
+  };
+  /// Per-operator FIFO of waiting tickets; groups themselves form a FIFO
+  /// that workers round-robin over, so one hot operator cannot starve the
+  /// others and every batch shares a single cache resolution.
+  struct Group {
+    OperatorKey key;
+    std::deque<Ticket> waiting;
+  };
+
+  void worker_loop();
+  /// Blocks for work; empty result means the service is shutting down.
+  [[nodiscard]] std::vector<Ticket> pop_batch(OperatorKey& key);
+  void process_batch(const OperatorKey& key, std::vector<Ticket> batch);
+  void solve_ticket(Ticket& ticket, const ResidentOperator& resident,
+                    std::size_t batch_size);
+  [[nodiscard]] OperatorCache::Value load_resident(const OperatorKey& key);
+  void record_latency(double total_s, double wait_s, double solve_s);
+  static void respond(Ticket& ticket, SolveResponse response);
+
+  ServiceConfig cfg_;
+  OperatorCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::list<Group> ready_;  // FIFO of operator groups with waiting tickets
+  std::unordered_map<OperatorKey, std::list<Group>::iterator, OperatorKeyHash>
+      groups_;
+  std::size_t depth_ = 0;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0}, admitted_{0}, completed_{0},
+      rejected_full_{0}, rejected_deadline_{0}, rejected_missing_{0},
+      failed_{0}, batches_{0}, coalesced_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_s_, queue_wait_s_, solve_s_;
+
+  TaskExecutor exec_;  // declared last: workers must see live members above
+  std::vector<std::future<void>> worker_futures_;
+};
+
+}  // namespace tlrwse::serve

@@ -1,0 +1,82 @@
+// Thread-pool executor with futures — the compute substrate of the solve
+// service.
+//
+// The service owns one TaskExecutor and runs its request workers on it;
+// each worker drives whole solve batches, and the per-thread WorkspacePools
+// inside MdcOperator/TlrMvm hand every executor thread its own scratch, so
+// concurrent solves over one resident operator never contend on buffers.
+// Submission returns a std::future so callers compose executor work with
+// the rest of the request lifecycle (and worker exceptions surface at
+// shutdown instead of dying silently).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "tlrwse/common/bounded_queue.hpp"
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::serve {
+
+class TaskExecutor {
+ public:
+  /// `threads` OS threads service one shared task queue of `queue_capacity`
+  /// slots (submit blocks when full — admission control belongs upstream).
+  explicit TaskExecutor(int threads, std::size_t queue_capacity = 4096)
+      : tasks_(queue_capacity) {
+    TLRWSE_REQUIRE(threads > 0, "executor needs at least one thread");
+    threads_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  TaskExecutor(const TaskExecutor&) = delete;
+  TaskExecutor& operator=(const TaskExecutor&) = delete;
+
+  ~TaskExecutor() { shutdown(); }
+
+  /// Schedules `fn` and returns the future of its result. Throws if the
+  /// executor is already shut down.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    const bool queued = tasks_.push([task] { (*task)(); });
+    TLRWSE_REQUIRE(queued, "executor is shut down");
+    return future;
+  }
+
+  /// Drains the queue and joins all workers. Idempotent.
+  void shutdown() {
+    tasks_.close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] std::size_t queued() const { return tasks_.size(); }
+
+ private:
+  void worker_loop() {
+    std::function<void()> task;
+    while (tasks_.pop(task)) {
+      task();
+      task = nullptr;  // release captured state before blocking again
+    }
+  }
+
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tlrwse::serve

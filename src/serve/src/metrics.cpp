@@ -1,0 +1,48 @@
+#include "tlrwse/serve/metrics.hpp"
+
+#include <sstream>
+
+namespace tlrwse::serve {
+
+namespace {
+void append_latency(std::ostream& os, const char* name,
+                    const LatencySummary& s) {
+  os << '"' << name << "\":{\"count\":" << s.count << ",\"mean_s\":" << s.mean
+     << ",\"p50_s\":" << s.p50 << ",\"p95_s\":" << s.p95
+     << ",\"p99_s\":" << s.p99 << ",\"max_s\":" << s.max << '}';
+}
+}  // namespace
+
+std::string ServiceMetrics::to_json() const {
+  std::ostringstream os;
+  const auto& c = counters;
+  os << "{\"requests\":{\"submitted\":" << c.submitted
+     << ",\"admitted\":" << c.admitted << ",\"completed\":" << c.completed
+     << ",\"rejected_queue_full\":" << c.rejected_queue_full
+     << ",\"rejected_deadline\":" << c.rejected_deadline
+     << ",\"rejected_archive_missing\":" << c.rejected_archive_missing
+     << ",\"failed\":" << c.failed << "}";
+  os << ",\"batching\":{\"batches\":" << c.batches
+     << ",\"coalesced_requests\":" << c.coalesced << "}";
+  os << ",\"queue\":{\"depth\":" << c.queue_depth
+     << ",\"peak_depth\":" << c.queue_peak_depth << "}";
+  os << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+     << ",\"loads\":" << cache.loads
+     << ",\"load_failures\":" << cache.load_failures
+     << ",\"evictions\":" << cache.evictions
+     << ",\"bytes_evicted\":" << cache.bytes_evicted
+     << ",\"bytes_resident\":" << cache.bytes_resident
+     << ",\"entries\":" << cache.entries
+     << ",\"budget_bytes\":" << cache.budget_bytes
+     << ",\"hit_rate\":" << cache.hit_rate() << "}";
+  os << ',';
+  append_latency(os, "latency", latency);
+  os << ',';
+  append_latency(os, "queue_wait", queue_wait);
+  os << ',';
+  append_latency(os, "solve", solve);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace tlrwse::serve

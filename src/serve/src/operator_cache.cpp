@@ -1,0 +1,125 @@
+#include "tlrwse/serve/operator_cache.hpp"
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::serve {
+
+OperatorCache::OperatorCache(double budget_bytes, std::size_t shards) {
+  TLRWSE_REQUIRE(budget_bytes > 0.0, "cache budget must be positive");
+  TLRWSE_REQUIRE(shards > 0, "cache needs at least one shard");
+  shard_budget_ = budget_bytes / static_cast<double>(shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+OperatorCache::Shard& OperatorCache::shard_for(const OperatorKey& key) const {
+  return *shards_[OperatorKeyHash{}(key) % shards_.size()];
+}
+
+void OperatorCache::evict_to_budget(Shard& shard,
+                                    std::uint64_t keep_generation) {
+  auto it = shard.lru.end();
+  while (shard.bytes > shard_budget_ && it != shard.lru.begin()) {
+    --it;
+    // Loading entries have unknown size and waiters holding their future;
+    // the entry that just finished loading is exempt from its own pass so
+    // an over-budget operator is still served from memory until something
+    // newer displaces it.
+    if (!it->ready || it->generation == keep_generation) continue;
+    shard.bytes -= it->bytes;
+    shard.bytes_evicted += it->bytes;
+    ++shard.evictions;
+    shard.index.erase(it->key);
+    it = shard.lru.erase(it);
+  }
+}
+
+OperatorCache::Value OperatorCache::get_or_load(const OperatorKey& key,
+                                                const Loader& loader) {
+  Shard& shard = shard_for(key);
+  std::shared_future<Value> future;
+  std::promise<Value> promise;
+  std::uint64_t my_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.index.find(key); it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      future = it->second->value;
+    } else {
+      ++shard.misses;
+      my_generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
+      future = promise.get_future().share();
+      shard.lru.push_front(Entry{key, future, my_generation, 0.0, false});
+      shard.index[key] = shard.lru.begin();
+    }
+  }
+
+  if (my_generation != 0) {
+    Value value;
+    try {
+      value = loader();
+      TLRWSE_ENSURE(value != nullptr, "cache loader returned null");
+      promise.set_value(value);
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // clear() may have raced the load; only account our own generation.
+    auto it = shard.index.find(key);
+    const bool mine =
+        it != shard.index.end() && it->second->generation == my_generation;
+    if (value) {
+      ++shard.loads;
+      if (mine) {
+        it->second->bytes = value->bytes;
+        it->second->ready = true;
+        shard.bytes += value->bytes;
+        evict_to_budget(shard, my_generation);
+      }
+    } else {
+      ++shard.load_failures;
+      if (mine) {
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+    }
+  }
+  return future.get();  // waits for an in-flight load; rethrows its failure
+}
+
+bool OperatorCache::contains(const OperatorKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.count(key) > 0;
+}
+
+CacheStats OperatorCache::stats() const {
+  CacheStats s;
+  s.budget_bytes = shard_budget_ * static_cast<double>(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.loads += shard->loads;
+    s.load_failures += shard->load_failures;
+    s.evictions += shard->evictions;
+    s.bytes_evicted += shard->bytes_evicted;
+    s.bytes_resident += shard->bytes;
+    s.entries += shard->index.size();
+  }
+  return s;
+}
+
+void OperatorCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0.0;
+  }
+}
+
+}  // namespace tlrwse::serve

@@ -1,0 +1,313 @@
+#include "tlrwse/serve/solve_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+
+namespace tlrwse::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Even split of the machine between request workers when the caller does
+/// not pin an inner team size.
+int default_inner_threads(int workers) {
+#ifdef _OPENMP
+  return std::max(1, omp_get_max_threads() / std::max(1, workers));
+#else
+  (void)workers;
+  return 1;
+#endif
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kQueueFull: return "queue_full";
+    case SolveStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case SolveStatus::kArchiveMissing: return "archive_missing";
+    case SolveStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+SolveService::SolveService(ServiceConfig cfg)
+    : cfg_(cfg),
+      cache_(cfg.cache_budget_bytes, cfg.cache_shards),
+      exec_(std::max(1, cfg.workers)) {
+  TLRWSE_REQUIRE(cfg_.workers > 0, "service needs at least one worker");
+  TLRWSE_REQUIRE(cfg_.queue_capacity > 0, "queue capacity must be positive");
+  TLRWSE_REQUIRE(cfg_.max_batch > 0, "max batch must be positive");
+  if (cfg_.inner_threads <= 0) {
+    cfg_.inner_threads = default_inner_threads(cfg_.workers);
+  }
+  worker_futures_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    worker_futures_.push_back(exec_.submit([this] { worker_loop(); }));
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+void SolveService::respond(Ticket& ticket, SolveResponse response) {
+  response.vsrc = ticket.req.vsrc;
+  ticket.done.set_value(std::move(response));
+}
+
+std::future<SolveResponse> SolveService::submit(SolveRequest req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Ticket ticket;
+  ticket.req = std::move(req);
+  std::future<SolveResponse> future = ticket.done.get_future();
+
+  // Admission validation: a header peek (a few hundred bytes) catches a
+  // missing/corrupt archive without paying a kernel load; resident or
+  // in-flight operators skip even that.
+  if (!cache_.contains(ticket.req.op)) {
+    try {
+      (void)io::peek_archive(ticket.req.op.archive_id);
+    } catch (const std::exception& e) {
+      rejected_missing_.fetch_add(1, std::memory_order_relaxed);
+      SolveResponse r;
+      r.status = SolveStatus::kArchiveMissing;
+      r.error = e.what();
+      respond(ticket, std::move(r));
+      return future;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!closed_ && depth_ < cfg_.queue_capacity) {
+      ticket.admitted = Clock::now();
+      auto it = groups_.find(ticket.req.op);
+      if (it == groups_.end()) {
+        ready_.push_back(Group{ticket.req.op, {}});
+        it = groups_.emplace(ticket.req.op, std::prev(ready_.end())).first;
+      }
+      it->second->waiting.push_back(std::move(ticket));
+      ++depth_;
+      peak_depth_ = std::max(peak_depth_, depth_);
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      work_cv_.notify_one();
+      return future;
+    }
+  }
+
+  // Backpressure: reject instead of blocking the caller or growing the
+  // queue without bound. A closed service rejects the same way.
+  rejected_full_.fetch_add(1, std::memory_order_relaxed);
+  SolveResponse r;
+  r.status = SolveStatus::kQueueFull;
+  r.error = "admission queue full";
+  respond(ticket, std::move(r));
+  return future;
+}
+
+std::vector<SolveService::Ticket> SolveService::pop_batch(OperatorKey& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [&] { return closed_ || !ready_.empty(); });
+  if (ready_.empty()) return {};  // closed and drained
+  Group& group = ready_.front();
+  key = group.key;
+  std::vector<Ticket> batch;
+  const std::size_t take = std::min(cfg_.max_batch, group.waiting.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(group.waiting.front()));
+    group.waiting.pop_front();
+  }
+  depth_ -= take;
+  if (group.waiting.empty()) {
+    groups_.erase(group.key);
+    ready_.pop_front();
+  } else {
+    // Round-robin across operators: the remainder goes to the back so one
+    // hot operator cannot starve the others.
+    ready_.splice(ready_.end(), ready_, ready_.begin());
+    work_cv_.notify_one();  // more work remains for another worker
+  }
+  return batch;
+}
+
+void SolveService::worker_loop() {
+  for (;;) {
+    OperatorKey key;
+    std::vector<Ticket> batch = pop_batch(key);
+    if (batch.empty()) return;
+    process_batch(key, std::move(batch));
+  }
+}
+
+OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
+  io::KernelArchive archive = io::load_archive(key.archive_id);
+  auto resident = std::make_shared<ResidentOperator>();
+  resident->bytes = archive.compressed_bytes();
+  resident->nt = archive.nt;
+  resident->freqs_hz = archive.freqs_hz;
+  resident->op = io::make_operator(archive);
+  // One worker drives each solve; cap the frequency loop's team so the
+  // workers together use the machine instead of oversubscribing it.
+  resident->op->set_inner_threads(cfg_.inner_threads);
+  return resident;
+}
+
+void SolveService::process_batch(const OperatorKey& key,
+                                 std::vector<Ticket> batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (batch.size() > 1) {
+    coalesced_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+
+  OperatorCache::Value resident;
+  try {
+    resident = cache_.get_or_load(key, [&] { return load_resident(key); });
+  } catch (const std::exception& e) {
+    // The archive can vanish between the admission peek and the load.
+    const bool missing = !std::filesystem::exists(key.archive_id);
+    for (auto& ticket : batch) {
+      (missing ? rejected_missing_ : failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+      SolveResponse r;
+      r.status =
+          missing ? SolveStatus::kArchiveMissing : SolveStatus::kError;
+      r.error = e.what();
+      respond(ticket, std::move(r));
+    }
+    return;
+  }
+
+  for (auto& ticket : batch) {
+    solve_ticket(ticket, *resident, batch.size());
+  }
+}
+
+void SolveService::solve_ticket(Ticket& ticket,
+                                const ResidentOperator& resident,
+                                std::size_t batch_size) {
+  const Clock::time_point dequeued = Clock::now();
+  SolveResponse r;
+  r.batch_size = batch_size;
+  r.queue_wait_s = seconds_between(ticket.admitted, dequeued);
+
+  const double deadline_s = ticket.req.deadline_s;
+  if (deadline_s > 0.0 && r.queue_wait_s >= deadline_s) {
+    rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+    r.status = SolveStatus::kDeadlineExceeded;
+    r.total_s = seconds_between(ticket.admitted, Clock::now());
+    respond(ticket, std::move(r));
+    return;
+  }
+
+  try {
+    if (ticket.req.kind == RequestKind::kAdjoint) {
+      r.x = mdd::adjoint_reflectivity(*resident.op, ticket.req.rhs);
+    } else {
+      mdd::LsqrConfig lsqr = ticket.req.lsqr;
+      const Clock::time_point deadline_at =
+          ticket.admitted +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(deadline_s));
+      if (deadline_s > 0.0) {
+        // Enforce the deadline *during* the solve too: LSQR polls the hook
+        // once per iteration and returns the consistent partial iterate.
+        auto user_stop = lsqr.should_stop;
+        lsqr.should_stop = [user_stop, deadline_at] {
+          if (user_stop && user_stop()) return true;
+          return Clock::now() >= deadline_at;
+        };
+      }
+      mdd::LsqrResult sol = mdd::solve_mdd(*resident.op, ticket.req.rhs, lsqr);
+      r.x = std::move(sol.x);
+      r.iterations = sol.iterations;
+      r.residual_norm = sol.residual_norm;
+      if (sol.stop == mdd::LsqrResult::Stop::kAborted && deadline_s > 0.0 &&
+          Clock::now() >= deadline_at) {
+        r.status = SolveStatus::kDeadlineExceeded;
+      }
+    }
+  } catch (const std::exception& e) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    r.status = SolveStatus::kError;
+    r.error = e.what();
+    r.total_s = seconds_between(ticket.admitted, Clock::now());
+    respond(ticket, std::move(r));
+    return;
+  }
+
+  const Clock::time_point done = Clock::now();
+  r.solve_s = seconds_between(dequeued, done);
+  r.total_s = seconds_between(ticket.admitted, done);
+  if (r.status == SolveStatus::kOk) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    record_latency(r.total_s, r.queue_wait_s, r.solve_s);
+  } else {
+    rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+  }
+  respond(ticket, std::move(r));
+}
+
+void SolveService::record_latency(double total_s, double wait_s,
+                                  double solve_s) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_s_.push_back(total_s);
+  queue_wait_s_.push_back(wait_s);
+  solve_s_.push_back(solve_s);
+}
+
+void SolveService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& f : worker_futures_) f.get();
+  worker_futures_.clear();
+  exec_.shutdown();
+}
+
+ServiceMetrics SolveService::metrics() const {
+  ServiceMetrics m;
+  m.counters.submitted = submitted_.load(std::memory_order_relaxed);
+  m.counters.admitted = admitted_.load(std::memory_order_relaxed);
+  m.counters.completed = completed_.load(std::memory_order_relaxed);
+  m.counters.rejected_queue_full = rejected_full_.load(std::memory_order_relaxed);
+  m.counters.rejected_deadline =
+      rejected_deadline_.load(std::memory_order_relaxed);
+  m.counters.rejected_archive_missing =
+      rejected_missing_.load(std::memory_order_relaxed);
+  m.counters.failed = failed_.load(std::memory_order_relaxed);
+  m.counters.batches = batches_.load(std::memory_order_relaxed);
+  m.counters.coalesced = coalesced_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    m.counters.queue_depth = depth_;
+    m.counters.queue_peak_depth = peak_depth_;
+  }
+  m.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    m.latency = summarize_latencies(latency_s_);
+    m.queue_wait = summarize_latencies(queue_wait_s_);
+    m.solve = summarize_latencies(solve_s_);
+  }
+  return m;
+}
+
+}  // namespace tlrwse::serve

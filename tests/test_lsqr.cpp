@@ -77,7 +77,9 @@ TEST(Lsqr, ResidualHistoryMonotoneNonIncreasing) {
   DenseOp op(well_conditioned(rng, 15, 10));
   std::vector<float> b(15);
   for (auto& v : b) v = static_cast<float>(rng.normal());
-  const auto res = lsqr_solve(op, b, {.max_iters = 30});
+  LsqrConfig cfg;
+  cfg.max_iters = 30;
+  const auto res = lsqr_solve(op, b, cfg);
   for (std::size_t i = 1; i < res.residual_history.size(); ++i) {
     EXPECT_LE(res.residual_history[i], res.residual_history[i - 1] + 1e-6);
   }
@@ -97,9 +99,40 @@ TEST(Lsqr, RespectsIterationBudget) {
   DenseOp op(well_conditioned(rng, 30, 30));
   std::vector<float> b(30);
   for (auto& v : b) v = static_cast<float>(rng.normal());
-  const auto res = lsqr_solve(op, b, {.max_iters = 5, .atol = 0, .btol = 0});
+  LsqrConfig cfg;
+  cfg.max_iters = 5;
+  cfg.atol = 0;
+  cfg.btol = 0;
+  const auto res = lsqr_solve(op, b, cfg);
   EXPECT_EQ(res.iterations, 5);
   EXPECT_EQ(res.stop, LsqrResult::Stop::kMaxIters);
+}
+
+TEST(Lsqr, ShouldStopHookAbortsWithConsistentIterate) {
+  Rng rng(21);
+  DenseOp op(well_conditioned(rng, 30, 30));
+  std::vector<float> b(30);
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  // Abort after 3 iterations: the result must be exactly the 3-iteration
+  // iterate (the hook is polled after the x update, never perturbing it).
+  LsqrConfig budget;
+  budget.max_iters = 3;
+  budget.atol = 0;
+  budget.btol = 0;
+  const auto ref = lsqr_solve(op, b, budget);
+
+  LsqrConfig hooked = budget;
+  hooked.max_iters = 50;
+  int polls = 0;
+  hooked.should_stop = [&polls] { return ++polls >= 3; };
+  const auto res = lsqr_solve(op, b, hooked);
+  EXPECT_EQ(res.stop, LsqrResult::Stop::kAborted);
+  EXPECT_EQ(res.iterations, 3);
+  ASSERT_EQ(res.x.size(), ref.x.size());
+  for (std::size_t i = 0; i < res.x.size(); ++i) {
+    EXPECT_EQ(res.x[i], ref.x[i]);
+  }
 }
 
 TEST(Lsqr, DampingShrinksSolutionNorm) {
@@ -107,8 +140,12 @@ TEST(Lsqr, DampingShrinksSolutionNorm) {
   DenseOp op(well_conditioned(rng, 16, 16));
   std::vector<float> b(16);
   for (auto& v : b) v = static_cast<float>(rng.normal());
-  const auto plain = lsqr_solve(op, b, {.max_iters = 60});
-  const auto damped = lsqr_solve(op, b, {.max_iters = 60, .damp = 2.0});
+  LsqrConfig plain_cfg;
+  plain_cfg.max_iters = 60;
+  LsqrConfig damped_cfg = plain_cfg;
+  damped_cfg.damp = 2.0;
+  const auto plain = lsqr_solve(op, b, plain_cfg);
+  const auto damped = lsqr_solve(op, b, damped_cfg);
   double n_plain = 0.0, n_damped = 0.0;
   for (float v : plain.x) n_plain += static_cast<double>(v) * v;
   for (float v : damped.x) n_damped += static_cast<double>(v) * v;

@@ -1,0 +1,476 @@
+// Tests for the serving layer: operator cache (byte-budget LRU, load
+// dedup, concurrency), task executor, and the solve service end to end —
+// including the bitwise-vs-sequential guarantee and typed backpressure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/serve/operator_cache.hpp"
+#include "tlrwse/serve/solve_service.hpp"
+#include "tlrwse/serve/task_executor.hpp"
+
+namespace tlrwse::serve {
+namespace {
+
+// ---------------------------------------------------------------- cache --
+
+OperatorKey key_of(const char* id) { return OperatorKey{id, 12, 1e-4}; }
+
+OperatorCache::Value resident_of(double bytes) {
+  auto r = std::make_shared<ResidentOperator>();
+  r->bytes = bytes;
+  return r;
+}
+
+TEST(OperatorCache, HitMissAccounting) {
+  OperatorCache cache(1e9, 1);
+  int loads = 0;
+  const auto loader = [&] {
+    ++loads;
+    return resident_of(100.0);
+  };
+  const auto a1 = cache.get_or_load(key_of("a"), loader);
+  const auto a2 = cache.get_or_load(key_of("a"), loader);
+  EXPECT_EQ(a1.get(), a2.get());  // one resident copy, shared
+  EXPECT_EQ(loads, 1);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_DOUBLE_EQ(s.bytes_resident, 100.0);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(OperatorCache, DistinctCompressionConfigsAreDistinctEntries) {
+  OperatorCache cache(1e9, 1);
+  const OperatorKey coarse{"a", 12, 1e-2};
+  const OperatorKey fine{"a", 12, 1e-6};
+  (void)cache.get_or_load(coarse, [&] { return resident_of(10.0); });
+  (void)cache.get_or_load(fine, [&] { return resident_of(20.0); });
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_DOUBLE_EQ(cache.stats().bytes_resident, 30.0);
+}
+
+TEST(OperatorCache, EvictsInLruOrder) {
+  // One shard = strictly global LRU. Budget fits two 100-byte entries;
+  // touching A promotes it, so inserting C evicts B (the LRU tail).
+  OperatorCache cache(250.0, 1);
+  (void)cache.get_or_load(key_of("a"), [&] { return resident_of(100.0); });
+  (void)cache.get_or_load(key_of("b"), [&] { return resident_of(100.0); });
+  (void)cache.get_or_load(key_of("a"), [&] { return resident_of(100.0); });
+  (void)cache.get_or_load(key_of("c"), [&] { return resident_of(100.0); });
+
+  EXPECT_TRUE(cache.contains(key_of("a")));
+  EXPECT_FALSE(cache.contains(key_of("b")));
+  EXPECT_TRUE(cache.contains(key_of("c")));
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_DOUBLE_EQ(s.bytes_evicted, 100.0);
+  EXPECT_DOUBLE_EQ(s.bytes_resident, 200.0);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(OperatorCache, OversizedEntryStaysUntilDisplaced) {
+  // An entry larger than the whole budget is never evicted by its own
+  // insertion (requests holding its future must still get a value); the
+  // next insertion displaces it.
+  OperatorCache cache(50.0, 1);
+  (void)cache.get_or_load(key_of("big"), [&] { return resident_of(100.0); });
+  EXPECT_TRUE(cache.contains(key_of("big")));
+  EXPECT_DOUBLE_EQ(cache.stats().bytes_resident, 100.0);
+
+  (void)cache.get_or_load(key_of("next"), [&] { return resident_of(10.0); });
+  EXPECT_FALSE(cache.contains(key_of("big")));
+  EXPECT_TRUE(cache.contains(key_of("next")));
+}
+
+TEST(OperatorCache, LoaderFailurePropagatesAndRetries) {
+  OperatorCache cache(1e9, 1);
+  EXPECT_THROW((void)cache.get_or_load(
+                   key_of("a"),
+                   []() -> OperatorCache::Value {
+                     throw std::runtime_error("archive unreadable");
+                   }),
+               std::runtime_error);
+  EXPECT_FALSE(cache.contains(key_of("a")));
+  EXPECT_EQ(cache.stats().load_failures, 1u);
+
+  // The failed entry was removed, so the next call retries the load.
+  const auto v = cache.get_or_load(key_of("a"), [&] { return resident_of(7.0); });
+  EXPECT_DOUBLE_EQ(v->bytes, 7.0);
+  EXPECT_EQ(cache.stats().loads, 1u);
+}
+
+TEST(OperatorCache, ClearEmptiesEverything) {
+  OperatorCache cache(1e9, 4);
+  (void)cache.get_or_load(key_of("a"), [&] { return resident_of(1.0); });
+  (void)cache.get_or_load(key_of("b"), [&] { return resident_of(2.0); });
+  cache.clear();
+  EXPECT_FALSE(cache.contains(key_of("a")));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().bytes_resident, 0.0);
+}
+
+TEST(OperatorCache, ConcurrentLoadsDeduplicate) {
+  // Many threads racing one cold key ride a single loader invocation; the
+  // loader sleeps so every thread arrives while the load is in flight.
+  OperatorCache cache(1e9, 8);
+  std::atomic<int> loads{0};
+  const auto loader = [&] {
+    loads.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return resident_of(100.0);
+  };
+  std::vector<std::thread> threads;
+  std::vector<OperatorCache::Value> values(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&, t] { values[static_cast<std::size_t>(t)] = cache.get_or_load(key_of("hot"), loader); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(loads.load(), 1);
+  for (const auto& v : values) EXPECT_EQ(v.get(), values[0].get());
+  EXPECT_EQ(cache.stats().loads, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 7u);
+}
+
+TEST(OperatorCache, ConcurrentHammerStaysCoherent) {
+  // 8 threads hammer 6 keys through a budget that can hold only ~2 entries
+  // per shard's worth: loads, evictions, and hits interleave freely. The
+  // invariants: values are always usable, per-key bytes are what the loader
+  // produced, and the final accounting is self-consistent.
+  OperatorCache cache(250.0, 2);
+  std::atomic<int> loads{0};
+  std::vector<OperatorKey> keys;
+  for (int k = 0; k < 6; ++k) {
+    keys.push_back(OperatorKey{std::string(1, static_cast<char>('a' + k)), 12, 1e-4});
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const OperatorKey& key = keys[static_cast<std::size_t>((i * 7 + t) % 6)];
+        const auto v = cache.get_or_load(key, [&] {
+          loads.fetch_add(1);
+          return resident_of(100.0);
+        });
+        ASSERT_NE(v, nullptr);
+        ASSERT_DOUBLE_EQ(v->bytes, 100.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.loads, static_cast<std::uint64_t>(loads.load()));
+  EXPECT_EQ(s.hits + s.misses, 8u * 200u);
+  EXPECT_EQ(s.misses, s.loads);
+  EXPECT_EQ(s.loads, s.evictions + s.entries);
+  EXPECT_DOUBLE_EQ(s.bytes_resident, 100.0 * static_cast<double>(s.entries));
+}
+
+// ------------------------------------------------------------- executor --
+
+TEST(TaskExecutor, RunsTasksAndReturnsResults) {
+  TaskExecutor exec(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(exec.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(exec.thread_count(), 4);
+}
+
+TEST(TaskExecutor, PropagatesExceptionsThroughFutures) {
+  TaskExecutor exec(2);
+  auto f = exec.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(TaskExecutor, SubmitAfterShutdownThrows) {
+  TaskExecutor exec(1);
+  exec.shutdown();
+  EXPECT_THROW((void)exec.submit([] { return 1; }), std::invalid_argument);
+  exec.shutdown();  // idempotent
+}
+
+// -------------------------------------------------------------- service --
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+const seismic::SeismicDataset& dataset() {
+  static const seismic::SeismicDataset data = [] {
+    seismic::DatasetConfig cfg;
+    cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+    cfg.nt = 128;
+    cfg.f_min = 4.0;
+    cfg.f_max = 40.0;
+    return seismic::build_dataset(cfg);
+  }();
+  return data;
+}
+
+/// One archive on disk, shared by every service test (built once).
+const std::string& archive_path() {
+  static const TempFile file("tlrwse_serve_test.tlra");
+  static const bool built = [] {
+    tlr::CompressionConfig cc;
+    cc.nb = 12;
+    cc.acc = 1e-4;
+    io::save_archive(file.path, io::build_archive(dataset(), cc));
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
+OperatorKey archive_key() { return OperatorKey{archive_path(), 12, 1e-4}; }
+
+SolveRequest make_request(RequestKind kind, index_t vsrc, int iters) {
+  SolveRequest req;
+  req.op = archive_key();
+  req.kind = kind;
+  req.vsrc = vsrc;
+  req.rhs = mdd::virtual_source_rhs(dataset(), vsrc);
+  req.lsqr.max_iters = iters;
+  return req;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+TEST(SolveService, ConcurrentClientsMatchSequentialBitwise) {
+  // 8 closed-loop clients x 2 requests against one archive, mixed adjoint
+  // and LSQR. Acceptance: every response is bitwise identical to the
+  // sequential solve of a freshly loaded operator, and the archive was
+  // loaded exactly once.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 2;
+  constexpr int kIters = 6;
+  const index_t nvsrc = 4;
+
+  // Sequential references, full default OpenMP team (the service caps its
+  // inner teams; PR 1's thread-count invariance makes that bitwise-safe).
+  const auto archive = io::load_archive(archive_path());
+  const auto reference_op = io::make_operator(archive);
+  std::vector<std::vector<float>> ref_adjoint, ref_lsqr;
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = kIters;
+  for (index_t v = 0; v < nvsrc; ++v) {
+    const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+    ref_adjoint.push_back(mdd::adjoint_reflectivity(*reference_op, rhs));
+    ref_lsqr.push_back(mdd::solve_mdd(*reference_op, rhs, lsqr).x);
+  }
+
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  SolveService service(cfg);
+
+  std::vector<std::thread> clients;
+  std::vector<SolveResponse> responses(kClients * kPerClient);
+  std::vector<RequestKind> kinds(kClients * kPerClient);
+  std::vector<index_t> vsrcs(kClients * kPerClient);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        const int j = c * kPerClient + r;
+        const auto kind = j % 2 == 0 ? RequestKind::kAdjoint : RequestKind::kLsqr;
+        const index_t v = j % nvsrc;
+        kinds[static_cast<std::size_t>(j)] = kind;
+        vsrcs[static_cast<std::size_t>(j)] = v;
+        responses[static_cast<std::size_t>(j)] =
+            service.submit(make_request(kind, v, kIters)).get();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int j = 0; j < kClients * kPerClient; ++j) {
+    const auto& r = responses[static_cast<std::size_t>(j)];
+    ASSERT_EQ(r.status, SolveStatus::kOk) << "request " << j << ": " << r.error;
+    EXPECT_EQ(r.vsrc, vsrcs[static_cast<std::size_t>(j)]);
+    const auto& ref = kinds[static_cast<std::size_t>(j)] == RequestKind::kAdjoint
+                          ? ref_adjoint[static_cast<std::size_t>(r.vsrc)]
+                          : ref_lsqr[static_cast<std::size_t>(r.vsrc)];
+    EXPECT_TRUE(bitwise_equal(r.x, ref)) << "request " << j;
+  }
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.counters.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(m.counters.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(m.cache.loads, 1u) << "archive must be loaded exactly once";
+  EXPECT_EQ(m.cache.misses, 1u);
+  EXPECT_EQ(m.cache.hits, m.counters.batches - 1);
+  EXPECT_EQ(m.latency.count, static_cast<std::size_t>(kClients * kPerClient));
+  EXPECT_GT(m.latency.p99, 0.0);
+}
+
+/// Holds the single worker inside an LSQR iteration until released, giving
+/// the backpressure tests a deterministic "service is busy" state.
+struct Blocker {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::future<SolveResponse> response;
+
+  void start(SolveService& service) {
+    SolveRequest req = make_request(RequestKind::kLsqr, 0, 30);
+    auto gate = released;
+    req.lsqr.should_stop = [gate] {
+      gate.wait();
+      return true;
+    };
+    response = service.submit(std::move(req));
+  }
+  /// Waits until the worker has dequeued the blocker (queue drained).
+  void wait_until_running(SolveService& service) {
+    while (service.metrics().counters.queue_depth > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST(SolveService, QueueFullIsTypedAndNonBlocking) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  SolveService service(cfg);
+
+  Blocker blocker;
+  blocker.start(service);
+  blocker.wait_until_running(service);
+
+  // The single queue slot takes one more request; the burst after it must
+  // be rejected immediately with the typed status, not block.
+  auto admitted = service.submit(make_request(RequestKind::kAdjoint, 1, 6));
+  std::vector<std::future<SolveResponse>> burst;
+  for (int i = 0; i < 4; ++i) {
+    burst.push_back(service.submit(make_request(RequestKind::kAdjoint, 2, 6)));
+  }
+  for (auto& f : burst) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+        << "rejection must resolve immediately";
+    const auto r = f.get();
+    EXPECT_EQ(r.status, SolveStatus::kQueueFull);
+    EXPECT_FALSE(r.error.empty());
+  }
+
+  blocker.release.set_value();
+  // The blocker aborted via its own hook with no deadline set: that is a
+  // normal (if early) completion, solved in exactly one iteration.
+  const auto b = blocker.response.get();
+  EXPECT_EQ(b.status, SolveStatus::kOk);
+  EXPECT_EQ(b.iterations, 1);
+  EXPECT_EQ(admitted.get().status, SolveStatus::kOk);
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.counters.rejected_queue_full, 4u);
+  EXPECT_EQ(m.counters.completed, 2u);
+  EXPECT_EQ(m.counters.queue_peak_depth, 1u);
+}
+
+TEST(SolveService, DeadlineExceededWhileQueued) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  SolveService service(cfg);
+
+  Blocker blocker;
+  blocker.start(service);
+  blocker.wait_until_running(service);
+
+  SolveRequest doomed = make_request(RequestKind::kLsqr, 1, 6);
+  doomed.deadline_s = 1e-3;
+  auto f = service.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  blocker.release.set_value();
+
+  const auto r = f.get();
+  EXPECT_EQ(r.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_TRUE(r.x.empty());  // dropped at dequeue, no solve work spent
+  EXPECT_GE(r.queue_wait_s, 1e-3);
+  EXPECT_EQ(blocker.response.get().status, SolveStatus::kOk);
+  EXPECT_EQ(service.metrics().counters.rejected_deadline, 1u);
+}
+
+TEST(SolveService, MissingArchiveRejectedAtAdmission) {
+  SolveService service{ServiceConfig{}};
+  SolveRequest req;
+  req.op = OperatorKey{"/nonexistent/survey.tlra", 12, 1e-4};
+  req.vsrc = 0;
+  req.rhs.assign(128, 0.0f);
+  auto f = service.submit(std::move(req));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  const auto r = f.get();
+  EXPECT_EQ(r.status, SolveStatus::kArchiveMissing);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service.metrics().counters.rejected_archive_missing, 1u);
+  EXPECT_EQ(service.metrics().counters.admitted, 0u);
+}
+
+TEST(SolveService, ShutdownDrainsAdmittedRequests) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SolveService service(cfg);
+  std::vector<std::future<SolveResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.submit(make_request(RequestKind::kAdjoint, i % 3, 6)));
+  }
+  service.shutdown();  // must finish everything already admitted
+  for (auto& f : futures) EXPECT_EQ(f.get().status, SolveStatus::kOk);
+
+  // A closed service rejects new work as backpressure, without blocking.
+  auto late = service.submit(make_request(RequestKind::kAdjoint, 0, 6));
+  EXPECT_EQ(late.get().status, SolveStatus::kQueueFull);
+  service.shutdown();  // idempotent
+}
+
+TEST(SolveService, MetricsJsonHasStableKeys) {
+  SolveService service{ServiceConfig{}};
+  (void)service.submit(make_request(RequestKind::kAdjoint, 0, 6)).get();
+  const std::string json = service.metrics_json();
+  for (const char* k :
+       {"\"requests\"", "\"submitted\"", "\"completed\"", "\"batching\"",
+        "\"queue\"", "\"peak_depth\"", "\"cache\"", "\"hit_rate\"",
+        "\"latency\"", "\"queue_wait\"", "\"solve\"", "\"p50_s\"",
+        "\"p95_s\"", "\"p99_s\""}) {
+    EXPECT_NE(json.find(k), std::string::npos) << "missing key " << k;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ToString, CoversEveryStatus) {
+  EXPECT_STREQ(to_string(SolveStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(SolveStatus::kQueueFull), "queue_full");
+  EXPECT_STREQ(to_string(SolveStatus::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(SolveStatus::kArchiveMissing), "archive_missing");
+  EXPECT_STREQ(to_string(SolveStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace tlrwse::serve

@@ -14,12 +14,21 @@
 //   tlrwse_cli solve    --archive survey.tlra [--vsrc v] [--iters 30]
 //                       (MDD from precompressed kernels; geometry flags
 //                        must match the archive's survey)
+//   tlrwse_cli serve    --archive survey.tlra [--clients 8] [--requests 4]
+//                       [--workers 4] [--queue 64] [--batch 8] [--iters 10]
+//                       [--mode lsqr|adjoint|mixed] [--deadline-ms 0]
+//                       [--cache-mb 512] [--verify 1] [geometry flags as
+//                       for solve]   (closed-loop multi-client solve
+//                       service driver; verifies bitwise vs sequential)
 //
 // Exit code 0 on success, 1 on usage error, 2 on runtime failure.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tlrwse/common/rng.hpp"
@@ -31,6 +40,7 @@
 #include "tlrwse/mdd/metrics.hpp"
 #include "tlrwse/seismic/modeling.hpp"
 #include "tlrwse/seismic/rank_model.hpp"
+#include "tlrwse/serve/solve_service.hpp"
 #include "tlrwse/tlr/stacked.hpp"
 #include "tlrwse/tlr/tlr_mvm.hpp"
 #include "tlrwse/wse/machine.hpp"
@@ -39,27 +49,34 @@ namespace {
 
 using namespace tlrwse;
 
-/// Tiny --flag value parser: every option takes exactly one value.
+/// Tiny --flag value parser: every option takes exactly one value. A
+/// trailing flag without a value is a usage error (not a silent drop), and
+/// lookups are recorded so main() can reject flags the chosen subcommand
+/// never consumed (catching typos like `--iter 5`).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0 || argv[i][2] == '\0') {
         throw std::invalid_argument(std::string("expected --flag, got ") +
                                     argv[i]);
       }
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string("flag ") + argv[i] +
+                                    " is missing its value");
+      }
       values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      throw std::invalid_argument("dangling flag without a value");
+      ++i;
     }
   }
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
+    consumed_.insert(key);
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
   [[nodiscard]] double num(const std::string& key, double fallback) const {
+    consumed_.insert(key);
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stod(it->second);
   }
@@ -67,11 +84,21 @@ class Args {
     return static_cast<index_t>(num(key, static_cast<double>(fallback)));
   }
   [[nodiscard]] bool has(const std::string& key) const {
+    consumed_.insert(key);
     return values_.count(key) > 0;
+  }
+  /// Flags provided on the command line that no code path looked up.
+  [[nodiscard]] std::vector<std::string> unconsumed() const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : values_) {
+      if (consumed_.count(key) == 0) out.push_back(key);
+    }
+    return out;
   }
 
  private:
   std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
 };
 
 seismic::DatasetConfig dataset_config(const Args& args) {
@@ -324,10 +351,167 @@ int cmd_solve(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const std::string path = args.get("archive", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "serve: --archive is required\n");
+    return 1;
+  }
+  const int clients = static_cast<int>(args.integer("clients", 8));
+  const int requests = static_cast<int>(args.integer("requests", 4));
+  const int iters = static_cast<int>(args.integer("iters", 10));
+  const std::string mode = args.get("mode", "lsqr");
+  const double deadline_s = args.num("deadline-ms", 0.0) / 1e3;
+  const bool verify = args.integer("verify", 1) != 0;
+  if (clients < 1 || requests < 1) {
+    std::fprintf(stderr, "serve: --clients/--requests must be >= 1\n");
+    return 1;
+  }
+  if (mode != "lsqr" && mode != "adjoint" && mode != "mixed") {
+    std::fprintf(stderr, "serve: --mode must be lsqr|adjoint|mixed\n");
+    return 1;
+  }
+
+  serve::ServiceConfig cfg;
+  cfg.workers = static_cast<int>(args.integer("workers", 4));
+  cfg.queue_capacity = static_cast<std::size_t>(args.integer("queue", 64));
+  cfg.max_batch = static_cast<std::size_t>(args.integer("batch", 8));
+  cfg.cache_budget_bytes = args.num("cache-mb", 512.0) * 1024.0 * 1024.0;
+
+  // The observed data comes from the (re-modelled) survey, exactly as in
+  // `solve`; the archive must match the geometry flags.
+  const auto info = io::peek_archive(path);
+  const auto data = seismic::build_dataset(dataset_config(args));
+  TLRWSE_REQUIRE(info.nt == data.config.nt,
+                 "archive nt does not match the survey geometry flags");
+  const index_t nr = data.num_receivers();
+  const serve::OperatorKey key{path, args.integer("nb", 0),
+                               args.num("acc", 0.0)};
+
+  const int total = clients * requests;
+  auto kind_of = [&](int j) {
+    if (mode == "adjoint") return serve::RequestKind::kAdjoint;
+    if (mode == "mixed" && j % 2 == 1) return serve::RequestKind::kAdjoint;
+    return serve::RequestKind::kLsqr;
+  };
+  // Pre-model the right-hand sides so client threads only exercise the
+  // service (vsrc j cycles the receiver line).
+  std::vector<std::vector<float>> rhs(static_cast<std::size_t>(
+      std::min<index_t>(total, nr)));
+  for (std::size_t v = 0; v < rhs.size(); ++v) {
+    rhs[v] = mdd::virtual_source_rhs(data, static_cast<index_t>(v));
+  }
+
+  std::printf("serving %s: %d clients x %d requests (mode %s, %d workers, "
+              "queue %zu)\n",
+              path.c_str(), clients, requests, mode.c_str(), cfg.workers,
+              cfg.queue_capacity);
+  std::vector<serve::SolveResponse> responses(
+      static_cast<std::size_t>(total));
+  WallTimer wall;
+  {
+    serve::SolveService service(cfg);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (int r = 0; r < requests; ++r) {
+          const int j = c * requests + r;
+          const auto v = static_cast<std::size_t>(j) % rhs.size();
+          serve::SolveRequest req;
+          req.op = key;
+          req.kind = kind_of(j);
+          req.vsrc = static_cast<index_t>(v);
+          req.rhs = rhs[v];
+          req.lsqr.max_iters = iters;
+          req.deadline_s = deadline_s;
+          // Closed loop: each client waits for its response before the
+          // next submission.
+          responses[static_cast<std::size_t>(j)] =
+              service.submit(std::move(req)).get();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    const double elapsed = wall.seconds();
+
+    const auto m = service.metrics();
+    std::printf("%s\n", m.to_json().c_str());
+    std::printf("served %llu ok / %d total in %.2fs (%.1f req/s); "
+                "rejected: %llu queue-full, %llu deadline, %llu missing; "
+                "cache: %llu loads, %.0f%% hit rate\n",
+                static_cast<unsigned long long>(m.counters.completed), total,
+                elapsed,
+                static_cast<double>(m.counters.completed) / elapsed,
+                static_cast<unsigned long long>(m.counters.rejected_queue_full),
+                static_cast<unsigned long long>(m.counters.rejected_deadline),
+                static_cast<unsigned long long>(
+                    m.counters.rejected_archive_missing),
+                static_cast<unsigned long long>(m.cache.loads),
+                100.0 * m.cache.hit_rate());
+
+    if (verify) {
+      // Sequential reference on a fresh operator instance: the service
+      // must be bitwise identical per virtual source.
+      const auto archive = io::load_archive(path);
+      const auto op = io::make_operator(archive);
+      TLRWSE_REQUIRE(op->num_receivers() == nr &&
+                         op->num_sources() == data.num_sources(),
+                     "archive does not match the survey geometry flags");
+      std::map<std::pair<std::size_t, int>, std::vector<float>> reference;
+      int mismatched = 0, errored = 0;
+      for (int j = 0; j < total; ++j) {
+        const auto& resp = responses[static_cast<std::size_t>(j)];
+        if (resp.status == serve::SolveStatus::kError) {
+          std::fprintf(stderr, "request %d failed: %s\n", j,
+                       resp.error.c_str());
+          ++errored;
+          continue;
+        }
+        if (resp.status != serve::SolveStatus::kOk) continue;
+        const auto v = static_cast<std::size_t>(j) % rhs.size();
+        const int kind = kind_of(j) == serve::RequestKind::kAdjoint ? 1 : 0;
+        auto it = reference.find({v, kind});
+        if (it == reference.end()) {
+          std::vector<float> ref;
+          if (kind == 1) {
+            ref = mdd::adjoint_reflectivity(*op, rhs[v]);
+          } else {
+            mdd::LsqrConfig lsqr;
+            lsqr.max_iters = iters;
+            ref = mdd::solve_mdd(*op, rhs[v], lsqr).x;
+          }
+          it = reference.emplace(std::make_pair(v, kind), std::move(ref))
+                   .first;
+        }
+        const auto& ref = it->second;
+        if (resp.x.size() != ref.size() ||
+            std::memcmp(resp.x.data(), ref.data(),
+                        ref.size() * sizeof(float)) != 0) {
+          std::fprintf(stderr,
+                       "request %d (vsrc %zu): result differs from the "
+                       "sequential solve\n",
+                       j, v);
+          ++mismatched;
+        }
+      }
+      const auto completed = m.counters.completed;
+      const bool load_once_ok = completed == 0 || m.cache.loads == 1;
+      std::printf("verify: %d mismatches, %d errors, archive loads = %llu "
+                  "(%s)\n",
+                  mismatched, errored,
+                  static_cast<unsigned long long>(m.cache.loads),
+                  load_once_ok ? "loaded exactly once" : "EXPECTED 1");
+      if (mismatched > 0 || errored > 0 || !load_once_ok) return 2;
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: tlrwse_cli "
-               "<synth|compress|info|mvm|simulate|mdd|archive|solve> "
+               "<synth|compress|info|mvm|simulate|mdd|archive|solve|serve> "
                "[--flag value ...]\n"
                "see the header of tools/tlrwse_cli.cpp for the flag list\n");
 }
@@ -342,16 +526,34 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (cmd == "synth") return cmd_synth(args);
-    if (cmd == "compress") return cmd_compress(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "mvm") return cmd_mvm(args);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "mdd") return cmd_mdd(args);
-    if (cmd == "archive") return cmd_archive(args);
-    if (cmd == "solve") return cmd_solve(args);
-    usage();
-    return 1;
+    int rc = -1;
+    if (cmd == "synth") rc = cmd_synth(args);
+    else if (cmd == "compress") rc = cmd_compress(args);
+    else if (cmd == "info") rc = cmd_info(args);
+    else if (cmd == "mvm") rc = cmd_mvm(args);
+    else if (cmd == "simulate") rc = cmd_simulate(args);
+    else if (cmd == "mdd") rc = cmd_mdd(args);
+    else if (cmd == "archive") rc = cmd_archive(args);
+    else if (cmd == "solve") rc = cmd_solve(args);
+    else if (cmd == "serve") rc = cmd_serve(args);
+    if (rc == -1) {
+      usage();
+      return 1;
+    }
+    if (rc == 0) {
+      // A flag nothing consumed is a typo, not a no-op.
+      const auto leftover = args.unconsumed();
+      if (!leftover.empty()) {
+        std::fprintf(stderr, "error: flag(s) not recognised by %s:",
+                     cmd.c_str());
+        for (const auto& key : leftover) {
+          std::fprintf(stderr, " --%s", key.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 1;
+      }
+    }
+    return rc;
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
