@@ -1,0 +1,156 @@
+// Observability overhead proof: the instrumented MDC apply path must cost
+// < 2% more with tracing enabled than with tracing runtime-disabled.
+//
+// Uses bench_mdc_throughput's exact operator configuration (nt=256, 64
+// frequencies, 96x96 kernels, nb=16 fused TLR) and times forward+adjoint
+// apply pairs in three modes:
+//   baseline -- tracing disabled (the production default: every span site
+//               is one relaxed atomic load; registry counters still run);
+//   traced   -- Tracer enabled, so every span/counter site records into the
+//               per-thread ring, including the per-frequency MVM events.
+//   detail   -- Tracer enabled with the detail tier too (per-frequency MVM
+//               spans, ~64x more events); reported for information, not
+//               held to the 2% bar -- detail is an opt-in deep-dive mode.
+// The median over `trials` trials decides; JSON (one object per line) so CI
+// can schema-check and archive the result. Usage:
+//
+//   ./bench_obs_overhead [reps] [trials]
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/common/timer.hpp"
+#include "tlrwse/mdc/mdc_operator.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace {
+
+using namespace tlrwse;
+
+constexpr index_t kNt = 256;
+constexpr index_t kNumFreq = 64;
+constexpr index_t kNs = 96;
+constexpr index_t kNr = 96;
+
+la::MatrixCF oscillatory_kernel(index_t m, index_t n, double omega) {
+  la::MatrixCF k(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      const double u = static_cast<double>(i) / static_cast<double>(m);
+      const double v = static_cast<double>(j) / static_cast<double>(n);
+      const double d = std::abs(u - v) + 0.05;
+      const double amp = 1.0 / (1.0 + 8.0 * d);
+      k(i, j) = cf32{static_cast<float>(amp * std::cos(omega * d)),
+                     static_cast<float>(amp * std::sin(omega * d))};
+    }
+  }
+  return k;
+}
+
+std::unique_ptr<mdc::MdcOperator> build_operator() {
+  tlr::CompressionConfig cc;
+  cc.nb = 16;
+  cc.acc = 1e-4;
+  std::vector<index_t> bins;
+  std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
+  bins.reserve(kNumFreq);
+  for (index_t q = 0; q < kNumFreq; ++q) {
+    bins.push_back(1 + q);
+    const auto k =
+        oscillatory_kernel(kNs, kNr, 3.0 + 0.4 * static_cast<double>(q));
+    kernels.push_back(std::make_unique<mdc::TlrMvm>(
+        tlr::StackedTlr<cf32>(tlr::compress_tlr(k, cc)),
+        mdc::TlrKernel::kFused));
+  }
+  return std::make_unique<mdc::MdcOperator>(kNt, std::move(bins),
+                                            std::move(kernels));
+}
+
+/// Seconds per forward+adjoint pair for one timed trial.
+double time_trial(const mdc::MdcOperator& op, std::span<const float> x,
+                  std::span<float> y, std::span<const float> yb,
+                  std::span<float> xt, int reps) {
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    op.apply(x, y);
+    op.apply_adjoint(yb, xt);
+  }
+  return timer.seconds() / reps;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 10;
+  int trials = 7;
+  if (argc > 1) reps = std::max(1, std::atoi(argv[1]));
+  if (argc > 2) trials = std::max(1, std::atoi(argv[2]));
+
+  const auto op = build_operator();
+  Rng rng(7);
+  std::vector<float> x(static_cast<std::size_t>(op->cols()));
+  std::vector<float> yb(static_cast<std::size_t>(op->rows()));
+  fill_normal(rng, x.data(), x.size());
+  fill_normal(rng, yb.data(), yb.size());
+  std::vector<float> y(static_cast<std::size_t>(op->rows()));
+  std::vector<float> xt(static_cast<std::size_t>(op->cols()));
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+
+  // Warm-up: fill workspace pools and fault in the code paths.
+  time_trial(*op, x, y, yb, xt, 2);
+
+  // Interleave the modes so frequency scaling and scheduler drift hit all
+  // of them equally instead of biasing whichever runs last.
+  std::vector<double> base_trials, traced_trials, detail_trials;
+  base_trials.reserve(static_cast<std::size_t>(trials));
+  traced_trials.reserve(static_cast<std::size_t>(trials));
+  detail_trials.reserve(static_cast<std::size_t>(trials));
+  std::size_t traced_events = 0;
+  for (int t = 0; t < trials; ++t) {
+    tracer.disable();
+    base_trials.push_back(time_trial(*op, x, y, yb, xt, reps));
+    tracer.enable();
+    traced_trials.push_back(time_trial(*op, x, y, yb, xt, reps));
+    traced_events = tracer.event_count();
+    tracer.enable(obs::Tracer::kDefaultCapacity, /*detail=*/true);
+    detail_trials.push_back(time_trial(*op, x, y, yb, xt, reps));
+    tracer.disable();
+  }
+
+  const double base_s = median(base_trials);
+  const double traced_s = median(traced_trials);
+  const double detail_s = median(detail_trials);
+  const double overhead_pct =
+      base_s > 0.0 ? 100.0 * (traced_s - base_s) / base_s : 0.0;
+  const double detail_pct =
+      base_s > 0.0 ? 100.0 * (detail_s - base_s) / base_s : 0.0;
+  const bool pass = overhead_pct < 2.0;
+
+  std::cout << "{\"bench\":\"obs_overhead\",\"nt\":" << kNt
+            << ",\"num_freq\":" << kNumFreq << ",\"ns\":" << kNs
+            << ",\"nr\":" << kNr << ",\"reps\":" << reps
+            << ",\"trials\":" << trials << "}\n";
+  std::cout << "{\"median_baseline_s\":" << base_s
+            << ",\"median_traced_s\":" << traced_s
+            << ",\"overhead_pct\":" << overhead_pct
+            << ",\"detail_overhead_pct\":" << detail_pct
+            << ",\"events_recorded\":" << traced_events
+            << ",\"pass_lt_2pct\":" << (pass ? "true" : "false") << "}\n";
+  return pass ? 0 : 1;
+}

@@ -7,7 +7,10 @@
 #endif
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/common/timer.hpp"
 #include "tlrwse/common/tsan.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
 
 namespace tlrwse::mdc {
 
@@ -22,6 +25,31 @@ inline int freq_team_size(int cap) {
   return 1;
 #endif
 }
+
+/// Registry handles for the always-on apply metrics; the per-frequency
+/// histogram is recorded only while a trace is being captured, so the
+/// steady-state cost per apply is three timer pairs and a few sharded adds.
+struct ApplyMetrics {
+  obs::Counter& applies;
+  obs::Counter& adjoints;
+  obs::Histogram& apply_s;
+  obs::Histogram& fft_s;
+  obs::Histogram& kernel_loop_s;
+  obs::Histogram& freq_mvm_s;
+
+  static ApplyMetrics& instance() {
+    static ApplyMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+      return ApplyMetrics{reg.counter("mdc.applies"),
+                          reg.counter("mdc.adjoints"),
+                          reg.histogram("mdc.apply_s"),
+                          reg.histogram("mdc.fft_s"),
+                          reg.histogram("mdc.kernel_loop_s"),
+                          reg.histogram("mdc.freq_mvm_s")};
+    }();
+    return m;
+  }
+};
 }  // namespace
 
 MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
@@ -51,6 +79,10 @@ MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
 }
 
 void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
+  TLRWSE_TRACE_SPAN("mdc.apply", "mdc");
+  ApplyMetrics& met = ApplyMetrics::instance();
+  met.applies.add();
+  WallTimer apply_timer;
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
   const index_t nf_full = nt_ / 2 + 1;
@@ -59,45 +91,72 @@ void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
 
   // F: batched rFFT over receiver traces.
   ps.xhat.resize(static_cast<std::size_t>(nf_full * nr_));
-  fft::rfft_batch(plan_, x, nr_, std::span<cf32>(ps.xhat), ps.fft);
+  {
+    TLRWSE_TRACE_SPAN("mdc.fft_forward", "mdc");
+    WallTimer fft_timer;
+    fft::rfft_batch(plan_, x, nr_, std::span<cf32>(ps.xhat), ps.fft);
+    met.fft_s.record(fft_timer.seconds());
+  }
 
   // K: per-frequency kernel MVMs into the source-side spectrum. Each
   // frequency reads and writes only its own bin's strided slice, so the
   // loop parallelises with no shared state beyond per-thread scratch.
   ps.yhat.assign(static_cast<std::size_t>(nf_full * ns_), cf32{});
-  const std::span<const cf32> xhat(ps.xhat);
-  const std::span<cf32> yhat(ps.yhat);
-  [[maybe_unused]] const int team = freq_team_size(inner_threads_);
-  TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel num_threads(team)
   {
-    TLRWSE_TSAN_ACQUIRE(&ps);
-#pragma omp for schedule(static)
-    for (index_t q = 0; q < nq; ++q) {
-      FreqScratch& fs = freq_scratch_.local();
-      fs.xk.resize(static_cast<std::size_t>(nr_));
-      fs.yk.resize(static_cast<std::size_t>(ns_));
-      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
-      for (index_t r = 0; r < nr_; ++r) {
-        fs.xk[static_cast<std::size_t>(r)] =
-            xhat[static_cast<std::size_t>(r * nf_full + bin)];
-      }
-      kernels_[static_cast<std::size_t>(q)]->apply(fs.xk, fs.yk, fs.kernel);
-      for (index_t s = 0; s < ns_; ++s) {
-        yhat[static_cast<std::size_t>(s * nf_full + bin)] =
-            fs.yk[static_cast<std::size_t>(s)];
-      }
-    }
+    const std::span<const cf32> xhat(ps.xhat);
+    const std::span<cf32> yhat(ps.yhat);
+    [[maybe_unused]] const int team = freq_team_size(inner_threads_);
+    TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
+    WallTimer kernel_timer;
+    const bool trace_freqs = obs::Tracer::detail_enabled();
     TLRWSE_TSAN_RELEASE(&ps);
+#pragma omp parallel num_threads(team)
+    {
+      TLRWSE_TSAN_ACQUIRE(&ps);
+#pragma omp for schedule(static)
+      for (index_t q = 0; q < nq; ++q) {
+        const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
+        FreqScratch& fs = freq_scratch_.local();
+        fs.xk.resize(static_cast<std::size_t>(nr_));
+        fs.yk.resize(static_cast<std::size_t>(ns_));
+        const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+        for (index_t r = 0; r < nr_; ++r) {
+          fs.xk[static_cast<std::size_t>(r)] =
+              xhat[static_cast<std::size_t>(r * nf_full + bin)];
+        }
+        kernels_[static_cast<std::size_t>(q)]->apply(fs.xk, fs.yk, fs.kernel);
+        for (index_t s = 0; s < ns_; ++s) {
+          yhat[static_cast<std::size_t>(s * nf_full + bin)] =
+              fs.yk[static_cast<std::size_t>(s)];
+        }
+        if (trace_freqs) {
+          const std::uint64_t dur = obs::Tracer::now_ns() - t0;
+          obs::Tracer::instance().complete("mdc.freq_mvm", "mdc", t0, dur);
+          met.freq_mvm_s.record(static_cast<double>(dur) * 1e-9);
+        }
+      }
+      TLRWSE_TSAN_RELEASE(&ps);
+    }
+    TLRWSE_TSAN_ACQUIRE(&ps);
+    met.kernel_loop_s.record(kernel_timer.seconds());
   }
-  TLRWSE_TSAN_ACQUIRE(&ps);
 
   // F^H: Hermitian inverse rFFT back to time.
-  fft::irfft_batch(plan_, std::span<const cf32>(ps.yhat), ns_, y, ps.fft);
+  {
+    TLRWSE_TRACE_SPAN("mdc.fft_inverse", "mdc");
+    WallTimer fft_timer;
+    fft::irfft_batch(plan_, std::span<const cf32>(ps.yhat), ns_, y, ps.fft);
+    met.fft_s.record(fft_timer.seconds());
+  }
+  met.apply_s.record(apply_timer.seconds());
 }
 
 void MdcOperator::apply_adjoint(std::span<const float> y,
                                 std::span<float> x) const {
+  TLRWSE_TRACE_SPAN("mdc.apply_adjoint", "mdc");
+  ApplyMetrics& met = ApplyMetrics::instance();
+  met.adjoints.add();
+  WallTimer apply_timer;
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
   const index_t nf_full = nt_ / 2 + 1;
@@ -105,38 +164,61 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
   PageScratch& ps = page_scratch_.local();
 
   ps.yhat.resize(static_cast<std::size_t>(nf_full * ns_));
-  fft::rfft_batch(plan_, y, ns_, std::span<cf32>(ps.yhat), ps.fft);
+  {
+    TLRWSE_TRACE_SPAN("mdc.fft_forward", "mdc");
+    WallTimer fft_timer;
+    fft::rfft_batch(plan_, y, ns_, std::span<cf32>(ps.yhat), ps.fft);
+    met.fft_s.record(fft_timer.seconds());
+  }
 
   ps.xhat.assign(static_cast<std::size_t>(nf_full * nr_), cf32{});
-  const std::span<const cf32> yhat(ps.yhat);
-  const std::span<cf32> xhat(ps.xhat);
-  [[maybe_unused]] const int team = freq_team_size(inner_threads_);
-  TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel num_threads(team)
   {
-    TLRWSE_TSAN_ACQUIRE(&ps);
-#pragma omp for schedule(static)
-    for (index_t q = 0; q < nq; ++q) {
-      FreqScratch& fs = freq_scratch_.local();
-      fs.xk.resize(static_cast<std::size_t>(nr_));
-      fs.yk.resize(static_cast<std::size_t>(ns_));
-      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
-      for (index_t s = 0; s < ns_; ++s) {
-        fs.yk[static_cast<std::size_t>(s)] =
-            yhat[static_cast<std::size_t>(s * nf_full + bin)];
-      }
-      kernels_[static_cast<std::size_t>(q)]->apply_adjoint(fs.yk, fs.xk,
-                                                           fs.kernel);
-      for (index_t r = 0; r < nr_; ++r) {
-        xhat[static_cast<std::size_t>(r * nf_full + bin)] =
-            fs.xk[static_cast<std::size_t>(r)];
-      }
-    }
+    const std::span<const cf32> yhat(ps.yhat);
+    const std::span<cf32> xhat(ps.xhat);
+    [[maybe_unused]] const int team = freq_team_size(inner_threads_);
+    TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
+    WallTimer kernel_timer;
+    const bool trace_freqs = obs::Tracer::detail_enabled();
     TLRWSE_TSAN_RELEASE(&ps);
+#pragma omp parallel num_threads(team)
+    {
+      TLRWSE_TSAN_ACQUIRE(&ps);
+#pragma omp for schedule(static)
+      for (index_t q = 0; q < nq; ++q) {
+        const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
+        FreqScratch& fs = freq_scratch_.local();
+        fs.xk.resize(static_cast<std::size_t>(nr_));
+        fs.yk.resize(static_cast<std::size_t>(ns_));
+        const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+        for (index_t s = 0; s < ns_; ++s) {
+          fs.yk[static_cast<std::size_t>(s)] =
+              yhat[static_cast<std::size_t>(s * nf_full + bin)];
+        }
+        kernels_[static_cast<std::size_t>(q)]->apply_adjoint(fs.yk, fs.xk,
+                                                             fs.kernel);
+        for (index_t r = 0; r < nr_; ++r) {
+          xhat[static_cast<std::size_t>(r * nf_full + bin)] =
+              fs.xk[static_cast<std::size_t>(r)];
+        }
+        if (trace_freqs) {
+          const std::uint64_t dur = obs::Tracer::now_ns() - t0;
+          obs::Tracer::instance().complete("mdc.freq_mvm", "mdc", t0, dur);
+          met.freq_mvm_s.record(static_cast<double>(dur) * 1e-9);
+        }
+      }
+      TLRWSE_TSAN_RELEASE(&ps);
+    }
+    TLRWSE_TSAN_ACQUIRE(&ps);
+    met.kernel_loop_s.record(kernel_timer.seconds());
   }
-  TLRWSE_TSAN_ACQUIRE(&ps);
 
-  fft::irfft_batch(plan_, std::span<const cf32>(ps.xhat), nr_, x, ps.fft);
+  {
+    TLRWSE_TRACE_SPAN("mdc.fft_inverse", "mdc");
+    WallTimer fft_timer;
+    fft::irfft_batch(plan_, std::span<const cf32>(ps.xhat), nr_, x, ps.fft);
+    met.fft_s.record(fft_timer.seconds());
+  }
+  met.apply_s.record(apply_timer.seconds());
 }
 
 }  // namespace tlrwse::mdc

@@ -5,6 +5,9 @@
 #include <cstdio>
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/common/timer.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
 
 namespace tlrwse::mdd {
 
@@ -24,6 +27,12 @@ void scale(std::span<float> v, double a) {
 
 LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
                       const LsqrConfig& cfg) {
+  TLRWSE_TRACE_SPAN("mdd.lsqr", "mdd");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& solves = reg.counter("mdd.lsqr.solves");
+  static obs::Counter& iterations = reg.counter("mdd.lsqr.iterations");
+  static obs::Histogram& iter_s = reg.histogram("mdd.lsqr.iter_s");
+  solves.add();
   TLRWSE_REQUIRE(static_cast<index_t>(b.size()) == A.rows(), "b size");
   const auto m = static_cast<std::size_t>(A.rows());
   const auto n = static_cast<std::size_t>(A.cols());
@@ -66,6 +75,9 @@ LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
 
   int it = 0;
   for (; it < cfg.max_iters; ++it) {
+    TLRWSE_TRACE_SPAN("mdd.lsqr.iter", "mdd");
+    WallTimer iter_timer;
+    iterations.add();
     // Bidiagonalisation step: beta u = A v - alpha u.
     A.apply(v, tmp_m);
     for (std::size_t i = 0; i < m; ++i) {
@@ -114,6 +126,8 @@ LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
     rnorm = phibar;
     arnorm = alpha * std::abs(s * phi);
     out.residual_history.push_back(rnorm);
+    iter_s.record(iter_timer.seconds());
+    TLRWSE_TRACE_COUNTER("mdd.lsqr.residual", rnorm);
     if (cfg.verbose) {
       std::printf("lsqr it %3d  |r| = %.4e  |A'r| = %.4e\n", it + 1, rnorm,
                   arnorm);

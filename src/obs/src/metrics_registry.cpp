@@ -1,0 +1,99 @@
+#include "tlrwse/obs/metrics_registry.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace tlrwse::obs {
+
+double ScopedHistTimer::now() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.push_back({name, h->snapshot()});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << h.name << "\":{\"count\":" << h.snap.count
+       << ",\"sum\":" << h.snap.sum << ",\"mean\":" << h.snap.mean()
+       << ",\"min\":" << h.snap.min << ",\"max\":" << h.snap.max
+       << ",\"p50\":" << h.snap.percentile(50.0)
+       << ",\"p95\":" << h.snap.percentile(95.0)
+       << ",\"p99\":" << h.snap.percentile(99.0) << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace tlrwse::obs

@@ -1,0 +1,153 @@
+#include "tlrwse/obs/tracer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace tlrwse::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::chrono::steady_clock::time_point Tracer::epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+Tracer::ThreadBuffer& Tracer::local() {
+  // The shared_ptr keeps a thread's events alive (and dumpable) after the
+  // thread exits; the generation tag discards handles that predate the
+  // last enable()/clear().
+  struct Handle {
+    std::shared_ptr<ThreadBuffer> buffer;
+    std::uint64_t generation = ~std::uint64_t{0};
+  };
+  thread_local Handle handle;
+  // Fast path: one relaxed load to confirm the cached buffer is current.
+  if (handle.buffer &&
+      handle.generation == generation_.load(std::memory_order_acquire)) {
+    return *handle.buffer;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  handle.buffer = std::make_shared<ThreadBuffer>();
+  handle.generation = generation_.load(std::memory_order_relaxed);
+  handle.buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+  handle.buffer->ring.resize(capacity_);
+  buffers_.push_back(handle.buffer);
+  return *handle.buffer;
+}
+
+void Tracer::push(TraceEvent e) noexcept {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local();
+  buf.ring[static_cast<std::size_t>(buf.pushed % buf.ring.size())] = e;
+  ++buf.pushed;
+}
+
+void Tracer::enable(std::size_t capacity, bool detail) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.clear();
+    capacity_ = capacity > 0 ? capacity : kDefaultCapacity;
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  g_trace_detail.store(detail, std::memory_order_relaxed);
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+void Tracer::set_thread_name(const char* name) {
+  if (!enabled()) return;
+  local().name = name;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf->pushed, buf->ring.size()));
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& buf : buffers_) {
+    if (buf->pushed > buf->ring.size()) n += buf->pushed - buf->ring.size();
+  }
+  return n;
+}
+
+namespace {
+void append_event(std::ostringstream& os, const TraceEvent& e,
+                  std::uint32_t tid, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+     << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1e3;
+  if (e.ph == 'X') {
+    os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
+  } else if (e.ph == 'C') {
+    os << ",\"args\":{\"value\":" << e.value << '}';
+  }
+  os << '}';
+}
+}  // namespace
+
+std::string Tracer::to_json() const {
+  struct Tagged {
+    TraceEvent e;
+    std::uint32_t tid;
+  };
+  std::vector<Tagged> events;
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      // Thread-name metadata makes chrome://tracing label each row.
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << buf->tid << ",\"args\":{\"name\":\""
+         << (buf->name.empty() ? "thread-" + std::to_string(buf->tid)
+                               : buf->name)
+         << "\"}}";
+      const auto held = static_cast<std::size_t>(
+          std::min<std::uint64_t>(buf->pushed, buf->ring.size()));
+      const std::uint64_t start = buf->pushed - held;
+      for (std::uint64_t i = start; i < buf->pushed; ++i) {
+        events.push_back(
+            {buf->ring[static_cast<std::size_t>(i % buf->ring.size())],
+             buf->tid});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.e.ts_ns < b.e.ts_ns;
+                   });
+  for (const auto& t : events) append_event(os, t.e, t.tid, first);
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace tlrwse::obs

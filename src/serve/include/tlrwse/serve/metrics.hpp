@@ -4,6 +4,11 @@
 // solve), latency digests come from the exact per-request samples, and the
 // whole snapshot dumps as a single JSON object so a load driver or CI job
 // can assert on it without scraping logs.
+//
+// Since the obs layer landed, ServiceCounters is a *view*: SolveService
+// keeps every lifecycle count in a per-service obs::MetricsRegistry
+// ("serve.*" names, see SolveService::registry()) and metrics() reads the
+// same handles, so the two snapshots agree bitwise at any quiescent point.
 #pragma once
 
 #include <cstdint>

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "tlrwse/mdd/lsqr.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/serve/metrics.hpp"
 #include "tlrwse/serve/operator_cache.hpp"
 #include "tlrwse/serve/task_executor.hpp"
@@ -113,6 +114,14 @@ class SolveService {
   [[nodiscard]] const OperatorCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
+  /// The registry backing every lifecycle counter/histogram below (names
+  /// "serve.*"). ServiceMetrics::counters is derived from it, so a snapshot
+  /// here and metrics() agree bitwise. Each service owns its registry so
+  /// concurrent instances never mix numbers.
+  [[nodiscard]] const obs::MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+
  private:
   struct Ticket {
     SolveRequest req;
@@ -140,6 +149,25 @@ class SolveService {
   ServiceConfig cfg_;
   OperatorCache cache_;
 
+  // Lifecycle counters live in the per-service registry; the references
+  // below are the resolved handles (stable for the registry's lifetime)
+  // used on the hot path. Initialisation order matters: registry_ first.
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter& submitted_;
+  obs::Counter& admitted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_full_;
+  obs::Counter& rejected_deadline_;
+  obs::Counter& rejected_missing_;
+  obs::Counter& failed_;
+  obs::Counter& batches_;
+  obs::Counter& coalesced_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Gauge& queue_peak_gauge_;
+  obs::Histogram& latency_hist_;
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& solve_hist_;
+
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::list<Group> ready_;  // FIFO of operator groups with waiting tickets
@@ -149,10 +177,8 @@ class SolveService {
   std::size_t peak_depth_ = 0;
   bool closed_ = false;
 
-  std::atomic<std::uint64_t> submitted_{0}, admitted_{0}, completed_{0},
-      rejected_full_{0}, rejected_deadline_{0}, rejected_missing_{0},
-      failed_{0}, batches_{0}, coalesced_{0};
-
+  // Exact per-request samples (the histograms above are octave-bucketed;
+  // LatencySummary wants exact quantiles).
   mutable std::mutex latency_mu_;
   std::vector<double> latency_s_, queue_wait_s_, solve_s_;
 

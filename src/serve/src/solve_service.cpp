@@ -11,6 +11,7 @@
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/io/archive.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/obs/tracer.hpp"
 
 namespace tlrwse::serve {
 
@@ -49,6 +50,20 @@ const char* to_string(SolveStatus s) {
 SolveService::SolveService(ServiceConfig cfg)
     : cfg_(cfg),
       cache_(cfg.cache_budget_bytes, cfg.cache_shards),
+      submitted_(registry_.counter("serve.submitted")),
+      admitted_(registry_.counter("serve.admitted")),
+      completed_(registry_.counter("serve.completed")),
+      rejected_full_(registry_.counter("serve.rejected_queue_full")),
+      rejected_deadline_(registry_.counter("serve.rejected_deadline")),
+      rejected_missing_(registry_.counter("serve.rejected_archive_missing")),
+      failed_(registry_.counter("serve.failed")),
+      batches_(registry_.counter("serve.batches")),
+      coalesced_(registry_.counter("serve.coalesced")),
+      queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
+      queue_peak_gauge_(registry_.gauge("serve.queue_peak_depth")),
+      latency_hist_(registry_.histogram("serve.latency_s")),
+      queue_wait_hist_(registry_.histogram("serve.queue_wait_s")),
+      solve_hist_(registry_.histogram("serve.solve_s")),
       exec_(std::max(1, cfg.workers)) {
   TLRWSE_REQUIRE(cfg_.workers > 0, "service needs at least one worker");
   TLRWSE_REQUIRE(cfg_.queue_capacity > 0, "queue capacity must be positive");
@@ -70,7 +85,8 @@ void SolveService::respond(Ticket& ticket, SolveResponse response) {
 }
 
 std::future<SolveResponse> SolveService::submit(SolveRequest req) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  TLRWSE_TRACE_SPAN("serve.submit", "serve");
+  submitted_.add();
   Ticket ticket;
   ticket.req = std::move(req);
   std::future<SolveResponse> future = ticket.done.get_future();
@@ -82,7 +98,7 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
     try {
       (void)io::peek_archive(ticket.req.op.archive_id);
     } catch (const std::exception& e) {
-      rejected_missing_.fetch_add(1, std::memory_order_relaxed);
+      rejected_missing_.add();
       SolveResponse r;
       r.status = SolveStatus::kArchiveMissing;
       r.error = e.what();
@@ -103,7 +119,9 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
       it->second->waiting.push_back(std::move(ticket));
       ++depth_;
       peak_depth_ = std::max(peak_depth_, depth_);
-      admitted_.fetch_add(1, std::memory_order_relaxed);
+      queue_depth_gauge_.set(static_cast<std::int64_t>(depth_));
+      queue_peak_gauge_.set(static_cast<std::int64_t>(peak_depth_));
+      admitted_.add();
       work_cv_.notify_one();
       return future;
     }
@@ -111,7 +129,7 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
 
   // Backpressure: reject instead of blocking the caller or growing the
   // queue without bound. A closed service rejects the same way.
-  rejected_full_.fetch_add(1, std::memory_order_relaxed);
+  rejected_full_.add();
   SolveResponse r;
   r.status = SolveStatus::kQueueFull;
   r.error = "admission queue full";
@@ -133,6 +151,7 @@ std::vector<SolveService::Ticket> SolveService::pop_batch(OperatorKey& key) {
     group.waiting.pop_front();
   }
   depth_ -= take;
+  queue_depth_gauge_.set(static_cast<std::int64_t>(depth_));
   if (group.waiting.empty()) {
     groups_.erase(group.key);
     ready_.pop_front();
@@ -155,6 +174,7 @@ void SolveService::worker_loop() {
 }
 
 OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
+  TLRWSE_TRACE_SPAN("serve.load_operator", "serve");
   io::KernelArchive archive = io::load_archive(key.archive_id);
   auto resident = std::make_shared<ResidentOperator>();
   resident->bytes = archive.compressed_bytes();
@@ -169,9 +189,10 @@ OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
 
 void SolveService::process_batch(const OperatorKey& key,
                                  std::vector<Ticket> batch) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  TLRWSE_TRACE_SPAN("serve.batch", "serve");
+  batches_.add();
   if (batch.size() > 1) {
-    coalesced_.fetch_add(batch.size(), std::memory_order_relaxed);
+    coalesced_.add(batch.size());
   }
 
   OperatorCache::Value resident;
@@ -181,8 +202,7 @@ void SolveService::process_batch(const OperatorKey& key,
     // The archive can vanish between the admission peek and the load.
     const bool missing = !std::filesystem::exists(key.archive_id);
     for (auto& ticket : batch) {
-      (missing ? rejected_missing_ : failed_)
-          .fetch_add(1, std::memory_order_relaxed);
+      (missing ? rejected_missing_ : failed_).add();
       SolveResponse r;
       r.status =
           missing ? SolveStatus::kArchiveMissing : SolveStatus::kError;
@@ -200,6 +220,7 @@ void SolveService::process_batch(const OperatorKey& key,
 void SolveService::solve_ticket(Ticket& ticket,
                                 const ResidentOperator& resident,
                                 std::size_t batch_size) {
+  TLRWSE_TRACE_SPAN("serve.request", "serve");
   const Clock::time_point dequeued = Clock::now();
   SolveResponse r;
   r.batch_size = batch_size;
@@ -207,7 +228,7 @@ void SolveService::solve_ticket(Ticket& ticket,
 
   const double deadline_s = ticket.req.deadline_s;
   if (deadline_s > 0.0 && r.queue_wait_s >= deadline_s) {
-    rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+    rejected_deadline_.add();
     r.status = SolveStatus::kDeadlineExceeded;
     r.total_s = seconds_between(ticket.admitted, Clock::now());
     respond(ticket, std::move(r));
@@ -242,7 +263,7 @@ void SolveService::solve_ticket(Ticket& ticket,
       }
     }
   } catch (const std::exception& e) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.add();
     r.status = SolveStatus::kError;
     r.error = e.what();
     r.total_s = seconds_between(ticket.admitted, Clock::now());
@@ -254,16 +275,19 @@ void SolveService::solve_ticket(Ticket& ticket,
   r.solve_s = seconds_between(dequeued, done);
   r.total_s = seconds_between(ticket.admitted, done);
   if (r.status == SolveStatus::kOk) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.add();
     record_latency(r.total_s, r.queue_wait_s, r.solve_s);
   } else {
-    rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+    rejected_deadline_.add();
   }
   respond(ticket, std::move(r));
 }
 
 void SolveService::record_latency(double total_s, double wait_s,
                                   double solve_s) {
+  latency_hist_.record(total_s);
+  queue_wait_hist_.record(wait_s);
+  solve_hist_.record(solve_s);
   std::lock_guard<std::mutex> lock(latency_mu_);
   latency_s_.push_back(total_s);
   queue_wait_s_.push_back(wait_s);
@@ -283,18 +307,18 @@ void SolveService::shutdown() {
 }
 
 ServiceMetrics SolveService::metrics() const {
+  // Every counter reads through the registry handle, so a
+  // registry().snapshot() taken at the same quiescent point agrees bitwise.
   ServiceMetrics m;
-  m.counters.submitted = submitted_.load(std::memory_order_relaxed);
-  m.counters.admitted = admitted_.load(std::memory_order_relaxed);
-  m.counters.completed = completed_.load(std::memory_order_relaxed);
-  m.counters.rejected_queue_full = rejected_full_.load(std::memory_order_relaxed);
-  m.counters.rejected_deadline =
-      rejected_deadline_.load(std::memory_order_relaxed);
-  m.counters.rejected_archive_missing =
-      rejected_missing_.load(std::memory_order_relaxed);
-  m.counters.failed = failed_.load(std::memory_order_relaxed);
-  m.counters.batches = batches_.load(std::memory_order_relaxed);
-  m.counters.coalesced = coalesced_.load(std::memory_order_relaxed);
+  m.counters.submitted = submitted_.value();
+  m.counters.admitted = admitted_.value();
+  m.counters.completed = completed_.value();
+  m.counters.rejected_queue_full = rejected_full_.value();
+  m.counters.rejected_deadline = rejected_deadline_.value();
+  m.counters.rejected_archive_missing = rejected_missing_.value();
+  m.counters.failed = failed_.value();
+  m.counters.batches = batches_.value();
+  m.counters.coalesced = coalesced_.value();
   {
     std::lock_guard<std::mutex> lock(mu_);
     m.counters.queue_depth = depth_;

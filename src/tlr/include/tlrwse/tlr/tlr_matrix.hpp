@@ -12,8 +12,11 @@
 #include <vector>
 
 #include "tlrwse/common/rng.hpp"
+#include "tlrwse/common/timer.hpp"
 #include "tlrwse/common/tsan.hpp"
 #include "tlrwse/la/aca.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/la/matrix.hpp"
 #include "tlrwse/la/qr.hpp"
 #include "tlrwse/la/svd.hpp"
@@ -22,6 +25,17 @@
 namespace tlrwse::tlr {
 
 enum class CompressionBackend { kSvd, kRrqr, kRsvd, kAca };
+
+[[nodiscard]] constexpr const char* backend_name(
+    CompressionBackend b) noexcept {
+  switch (b) {
+    case CompressionBackend::kSvd: return "svd";
+    case CompressionBackend::kRrqr: return "rrqr";
+    case CompressionBackend::kRsvd: return "rsvd";
+    case CompressionBackend::kAca: return "aca";
+  }
+  return "unknown";
+}
 
 struct CompressionConfig {
   index_t nb = 70;                 // uniform tile size (paper: 25/50/70)
@@ -155,6 +169,16 @@ template <typename T>
 template <typename T>
 [[nodiscard]] TlrMatrix<T> compress_tlr(const la::Matrix<T>& A,
                                         const CompressionConfig& cfg) {
+  TLRWSE_TRACE_SPAN("tlr.compress", "tlr");
+  // Per-backend tile timing + the rank distribution; resolved here (one
+  // registry lookup per matrix) and recorded per tile on the sharded fast
+  // path inside the parallel loop.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  obs::Counter& tiles_compressed = reg.counter("tlr.tiles_compressed");
+  obs::Histogram& rank_hist = reg.histogram("tlr.tile_rank");
+  obs::Histogram& tile_time_hist = reg.histogram(
+      std::string("tlr.tile_compress_s.") + backend_name(cfg.backend));
+
   const TileGrid grid(A.rows(), A.cols(), cfg.nb);
   std::vector<la::LowRankFactors<T>> tiles(
       static_cast<std::size_t>(grid.num_tiles()));
@@ -179,8 +203,13 @@ template <typename T>
           const double mapped = cfg.acc_map(i, j, grid);
           if (mapped >= 0.0) acc = mapped;
         }
-        tiles[static_cast<std::size_t>(grid.tile_index(i, j))] =
-            compress_tile(block, cfg, rng, acc);
+        TLRWSE_TRACE_SPAN_DETAIL("tlr.compress_tile", "tlr");
+        WallTimer tile_timer;
+        auto& slot = tiles[static_cast<std::size_t>(grid.tile_index(i, j))];
+        slot = compress_tile(block, cfg, rng, acc);
+        tile_time_hist.record(tile_timer.seconds());
+        rank_hist.record(static_cast<double>(slot.rank()));
+        tiles_compressed.add();
       }
     }
     TLRWSE_TSAN_RELEASE(&tiles);

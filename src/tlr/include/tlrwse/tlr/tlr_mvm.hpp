@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/tlr/stacked.hpp"
 
 namespace tlrwse::tlr {
@@ -32,6 +34,10 @@ struct MvmWorkspace {
 template <typename T>
 void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
                     std::span<T> y, MvmWorkspace<T>& ws) {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.mvm_3phase", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.mvm_3phase");
+  calls.add();
   const TileGrid& g = A.grid();
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
@@ -94,6 +100,10 @@ void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
 template <typename T>
 void tlr_mvm_fused(const StackedTlr<T>& A, std::span<const T> x,
                    std::span<T> y, MvmWorkspace<T>& ws) {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.mvm_fused", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.mvm_fused");
+  calls.add();
   const TileGrid& g = A.grid();
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
@@ -129,6 +139,10 @@ void tlr_mvm_fused(const StackedTlr<T>& A, std::span<const T> x,
 template <typename T>
 void tlr_mvm_adjoint(const StackedTlr<T>& A, std::span<const T> x,
                      std::span<T> y, MvmWorkspace<T>& ws) {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.mvm_adjoint", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.mvm_adjoint");
+  calls.add();
   const TileGrid& g = A.grid();
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.rows(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.cols(), "y size");

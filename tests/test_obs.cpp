@@ -1,0 +1,544 @@
+// Tests for the observability layer: sharded counter/gauge/histogram merge
+// under concurrent writers, the scoped-span tracer (nesting, thread
+// attribution, detail tier, ring overflow), the always-compiled no-op
+// shapes, cross-module instrumentation (tlr compression, LSQR), and the
+// bitwise parity between the legacy ServiceMetrics snapshot and the
+// registry that now backs it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdd/lsqr.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
+#include "tlrwse/serve/solve_service.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace tlrwse {
+namespace {
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Counter, ConcurrentWritersMergeExactly) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, AddWithArgumentAccumulates) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Gauge, SetAddValue) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("g");
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+  g.add(8);
+  EXPECT_EQ(g.value(), 3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, ConcurrentWritersMergeExactly) {
+  // Integer-valued samples: double addition of integers below 2^53 is
+  // exact in any order, so count/sum/min/max must all merge exactly
+  // across shards regardless of which slot each thread hashed to.
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const auto s = h.snapshot();
+  const auto n = static_cast<std::uint64_t>(kThreads * kPerThread);
+  EXPECT_EQ(s.count, n);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 * static_cast<double>(n) *
+                              static_cast<double>(n + 1));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(n));
+  std::uint64_t bucket_total = 0;
+  for (const auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, n);
+
+  // Percentiles are octave estimates clamped to the observed max and
+  // must be monotone in q.
+  const double p50 = s.percentile(50.0);
+  const double p99 = s.percentile(99.0);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, s.max);
+
+  h.reset();
+  const auto z = h.snapshot();
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_DOUBLE_EQ(z.min, 0.0);
+  EXPECT_DOUBLE_EQ(z.max, 0.0);
+}
+
+TEST(Histogram, BucketEdges) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(-3.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(1e300), obs::Histogram::kBuckets - 1);
+  // Buckets are monotone in the value and the upper bounds double.
+  int prev = 0;
+  for (double v = 1e-9; v < 1e3; v *= 4.0) {
+    const int b = obs::Histogram::bucket_of(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+    EXPECT_GT(obs::Histogram::bucket_upper(b), v * 0.5);
+  }
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper(31 - obs::Histogram::kMinExp),
+                   std::ldexp(1.0, 31));
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameHandle) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("a"), &reg.counter("a"));
+  EXPECT_NE(&reg.counter("a"), &reg.counter("b"));
+  EXPECT_EQ(&reg.gauge("a"), &reg.gauge("a"));
+  EXPECT_EQ(&reg.histogram("a"), &reg.histogram("a"));
+}
+
+TEST(MetricsRegistry, SnapshotJsonHasStableShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("alpha").add(3);
+  reg.gauge("depth").set(-5);
+  reg.histogram("lat").record(2.0);
+  const std::string js = reg.snapshot().to_json();
+  EXPECT_NE(js.find("\"counters\":{\"alpha\":3}"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"gauges\":{\"depth\":-5}"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"lat\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"count\":1"), std::string::npos) << js;
+
+  reg.reset();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("alpha"), 0u);
+  EXPECT_EQ(snap.gauges.at("depth"), 0);
+  EXPECT_EQ(snap.histograms.front().snap.count, 0u);
+}
+
+// -------------------------------------------------------------- tracer --
+
+/// Minimal parser for the tracer's one-event-per-line JSON output; enough
+/// to assert on names, phases, thread attribution, and span containment.
+struct ParsedEvent {
+  std::string name;
+  char ph = '?';
+  long tid = -1;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds ('X' only)
+};
+
+double num_field(const std::string& line, const char* key) {
+  const std::string tag = std::string("\"") + key + "\":";
+  const auto pos = line.find(tag);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + pos + tag.size(), nullptr);
+}
+
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  std::size_t start = 0;
+  while (start < json.size()) {
+    std::size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(start, end - start);
+    start = end + 1;
+    const auto npos = line.find("{\"name\":\"");
+    if (npos == std::string::npos) continue;
+    ParsedEvent ev;
+    const auto nb = npos + 9;
+    ev.name = line.substr(nb, line.find('"', nb) - nb);
+    const auto ph = line.find("\"ph\":\"");
+    if (ph != std::string::npos) ev.ph = line[ph + 6];
+    ev.tid = static_cast<long>(num_field(line, "tid"));
+    ev.ts = num_field(line, "ts");
+    ev.dur = num_field(line, "dur");
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+const ParsedEvent* find_event(const std::vector<ParsedEvent>& evs,
+                              const char* name) {
+  for (const auto& e : evs) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Tracer, SpanNestingAndThreadAttribution) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable();
+  tracer.set_thread_name("obs-test-main");
+  {
+    obs::ScopedSpan outer("obs_test.outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      obs::ScopedSpan inner("obs_test.inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread worker([&] {
+    tracer.set_thread_name("obs-test-worker");
+    obs::ScopedSpan w("obs_test.worker", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  worker.join();
+  tracer.disable();
+
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("obs-test-worker"), std::string::npos);
+
+  const auto evs = parse_events(json);
+  const auto* outer = find_event(evs, "obs_test.outer");
+  const auto* inner = find_event(evs, "obs_test.inner");
+  const auto* work = find_event(evs, "obs_test.worker");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(outer->ph, 'X');
+
+  // The inner span is contained in the outer one (microsecond rounding
+  // can only shrink the slack, never break containment by more than 1e-3).
+  EXPECT_GE(inner->ts, outer->ts - 1e-3);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + 1e-3);
+  EXPECT_LT(inner->dur, outer->dur);
+
+  // The worker's events carry a different tid than the main thread's.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_NE(work->tid, outer->tid);
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable();  // clears previous buffers
+  tracer.disable();
+  {
+    obs::ScopedSpan s("obs_test.ignored", "test");
+  }
+  tracer.counter("obs_test.ignored_counter", 1.0);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+}
+
+TEST(Tracer, CounterEventsCarryValue) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable();
+  tracer.counter("obs_test.series", 2.5);
+  tracer.disable();
+  const auto evs = parse_events(tracer.to_json());
+  const auto* c = find_event(evs, "obs_test.series");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->ph, 'C');
+  EXPECT_NE(tracer.to_json().find("\"value\":2.5"), std::string::npos);
+}
+
+TEST(Tracer, RingOverflowKeepsTailAndCountsDropped) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(/*capacity=*/8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tracer.complete("obs_test.ring", "test", i, 1);
+  }
+  tracer.disable();
+  EXPECT_EQ(tracer.event_count(), 8u);
+  EXPECT_EQ(tracer.dropped_count(), 92u);
+  // The ring holds the newest events, not the oldest.
+  const auto evs = parse_events(tracer.to_json());
+  for (const auto& e : evs) {
+    if (e.name == "obs_test.ring") {
+      EXPECT_GE(e.ts * 1e3, 92.0 - 1e-6);
+    }
+  }
+}
+
+TEST(Tracer, DetailTierIsGated) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(1024, /*detail=*/false);
+  EXPECT_TRUE(obs::Tracer::enabled());
+  EXPECT_FALSE(obs::Tracer::detail_enabled());
+  tracer.enable(1024, /*detail=*/true);
+  EXPECT_TRUE(obs::Tracer::detail_enabled());
+  tracer.disable();
+  EXPECT_FALSE(obs::Tracer::enabled());
+  EXPECT_FALSE(obs::Tracer::detail_enabled());
+}
+
+#ifdef TLRWSE_TRACING_ENABLED
+TEST(Tracer, DetailMacroRecordsOnlyWithDetailEnabled) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+
+  tracer.enable(1024, /*detail=*/false);
+  {
+    TLRWSE_TRACE_SPAN("obs_test.coarse", "test");
+    TLRWSE_TRACE_SPAN_DETAIL("obs_test.fine", "test");
+  }
+  tracer.disable();
+  auto evs = parse_events(tracer.to_json());
+  EXPECT_NE(find_event(evs, "obs_test.coarse"), nullptr);
+  EXPECT_EQ(find_event(evs, "obs_test.fine"), nullptr);
+
+  tracer.enable(1024, /*detail=*/true);
+  {
+    TLRWSE_TRACE_SPAN("obs_test.coarse", "test");
+    TLRWSE_TRACE_SPAN_DETAIL("obs_test.fine", "test");
+  }
+  tracer.disable();
+  evs = parse_events(tracer.to_json());
+  EXPECT_NE(find_event(evs, "obs_test.coarse"), nullptr);
+  EXPECT_NE(find_event(evs, "obs_test.fine"), nullptr);
+}
+#endif  // TLRWSE_TRACING_ENABLED
+
+TEST(TracerNoop, NoopShapesCompileAndLinkInEveryBuild) {
+  // These exist in TLRWSE_TRACING=OFF builds as the macro expansion
+  // targets; the test pins down that they stay compilable everywhere.
+  obs::noop::Span span("obs_test.noop", "test");
+  obs::noop::Span defaulted("obs_test.noop");
+  obs::noop::counter("obs_test.noop_counter", 1.0);
+  (void)span;
+  (void)defaulted;
+}
+
+// ------------------------------------------- cross-module integration --
+
+TEST(ObsIntegration, CompressTlrRecordsGlobalMetrics) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  const std::uint64_t tiles_before = reg.counter("tlr.tiles_compressed").value();
+  const std::uint64_t ranks_before = reg.histogram("tlr.tile_rank").snapshot().count;
+  const std::uint64_t times_before =
+      reg.histogram("tlr.tile_compress_s.svd").snapshot().count;
+
+  la::MatrixCF A(32, 24);
+  for (index_t j = 0; j < A.cols(); ++j) {
+    for (index_t i = 0; i < A.rows(); ++i) {
+      const auto u = static_cast<float>(i) / 32.0f;
+      const auto v = static_cast<float>(j) / 24.0f;
+      A(i, j) = cf32{std::cos(6.0f * u * v), std::sin(6.0f * u * v)};
+    }
+  }
+  tlr::CompressionConfig cc;
+  cc.nb = 8;  // 4 x 3 tile grid
+  cc.acc = 1e-3;
+  const auto M = tlr::compress_tlr(A, cc);
+  const auto expected =
+      static_cast<std::uint64_t>(M.grid().num_tiles());
+  EXPECT_EQ(expected, 12u);
+
+  EXPECT_EQ(reg.counter("tlr.tiles_compressed").value() - tiles_before,
+            expected);
+  EXPECT_EQ(reg.histogram("tlr.tile_rank").snapshot().count - ranks_before,
+            expected);
+  EXPECT_EQ(reg.histogram("tlr.tile_compress_s.svd").snapshot().count -
+                times_before,
+            expected);
+}
+
+/// Diagonal operator A = diag(1..n): exact adjoint, trivially verifiable,
+/// and enough to drive the instrumented LSQR loop.
+class DiagOperator final : public mdc::LinearOperator {
+ public:
+  explicit DiagOperator(index_t n) : n_(n) {}
+  [[nodiscard]] index_t rows() const override { return n_; }
+  [[nodiscard]] index_t cols() const override { return n_; }
+  void apply(std::span<const float> x, std::span<float> y) const override {
+    for (index_t i = 0; i < n_; ++i) {
+      y[static_cast<std::size_t>(i)] =
+          static_cast<float>(i + 1) * x[static_cast<std::size_t>(i)];
+    }
+  }
+  void apply_adjoint(std::span<const float> y,
+                     std::span<float> x) const override {
+    apply(y, x);  // real diagonal: self-adjoint
+  }
+
+ private:
+  index_t n_;
+};
+
+TEST(ObsIntegration, LsqrRecordsIterationsAndTraceSpans) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  const std::uint64_t solves_before = reg.counter("mdd.lsqr.solves").value();
+  const std::uint64_t iters_before = reg.counter("mdd.lsqr.iterations").value();
+
+  const DiagOperator A(16);
+  std::vector<float> b(16);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0f;
+  mdd::LsqrConfig cfg;
+  cfg.max_iters = 5;
+  cfg.atol = 0.0;
+  cfg.btol = 0.0;
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable();
+  const auto res = mdd::lsqr_solve(A, b, cfg);
+  tracer.disable();
+
+  ASSERT_GE(res.iterations, 1);
+  EXPECT_EQ(reg.counter("mdd.lsqr.solves").value() - solves_before, 1u);
+  EXPECT_EQ(reg.counter("mdd.lsqr.iterations").value() - iters_before,
+            static_cast<std::uint64_t>(res.iterations));
+
+#ifdef TLRWSE_TRACING_ENABLED
+  const auto evs = parse_events(tracer.to_json());
+  ASSERT_NE(find_event(evs, "mdd.lsqr"), nullptr);
+  ASSERT_NE(find_event(evs, "mdd.lsqr.iter"), nullptr);
+  const auto* resid = find_event(evs, "mdd.lsqr.residual");
+  ASSERT_NE(resid, nullptr);
+  EXPECT_EQ(resid->ph, 'C');
+  // One iteration span and one residual sample per LSQR iteration.
+  int iter_spans = 0;
+  int resid_samples = 0;
+  for (const auto& e : evs) {
+    if (e.name == "mdd.lsqr.iter") ++iter_spans;
+    if (e.name == "mdd.lsqr.residual") ++resid_samples;
+  }
+  EXPECT_EQ(iter_spans, res.iterations);
+  EXPECT_EQ(resid_samples, res.iterations);
+#endif  // TLRWSE_TRACING_ENABLED
+}
+
+// ------------------------------------------------------- serve parity --
+
+namespace fx {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+const seismic::SeismicDataset& dataset() {
+  static const seismic::SeismicDataset data = [] {
+    seismic::DatasetConfig cfg;
+    cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+    cfg.nt = 128;
+    cfg.f_min = 4.0;
+    cfg.f_max = 40.0;
+    return seismic::build_dataset(cfg);
+  }();
+  return data;
+}
+
+const std::string& archive_path() {
+  static const TempFile file("tlrwse_obs_test.tlra");
+  static const bool built = [] {
+    tlr::CompressionConfig cc;
+    cc.nb = 12;
+    cc.acc = 1e-4;
+    io::save_archive(file.path, io::build_archive(dataset(), cc));
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
+serve::SolveRequest make_request(serve::RequestKind kind, index_t vsrc,
+                                 int iters) {
+  serve::SolveRequest req;
+  req.op = serve::OperatorKey{archive_path(), 12, 1e-4};
+  req.kind = kind;
+  req.vsrc = vsrc;
+  req.rhs = mdd::virtual_source_rhs(dataset(), vsrc);
+  req.lsqr.max_iters = iters;
+  return req;
+}
+
+}  // namespace fx
+
+TEST(ObsServeParity, ServiceMetricsAgreesBitwiseWithRegistrySnapshot) {
+  // The legacy ServiceMetrics snapshot must read the exact same counters
+  // the per-service registry holds: at any quiescent point the two views
+  // are bitwise identical, so dashboards can migrate name-for-name.
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 32;
+  cfg.max_batch = 4;
+  serve::SolveService service(cfg);
+
+  constexpr int kRequests = 6;
+  std::vector<std::future<serve::SolveResponse>> futures;
+  futures.reserve(kRequests);
+  for (int j = 0; j < kRequests; ++j) {
+    const auto kind =
+        j % 2 == 0 ? serve::RequestKind::kAdjoint : serve::RequestKind::kLsqr;
+    futures.push_back(service.submit(fx::make_request(kind, j % 3, 4)));
+  }
+  for (auto& f : futures) {
+    const auto r = f.get();
+    ASSERT_EQ(r.status, serve::SolveStatus::kOk) << r.error;
+  }
+  service.shutdown();  // quiescent: no in-flight writers on either view
+
+  const auto m = service.metrics();
+  const auto snap = service.registry().snapshot();
+
+  EXPECT_EQ(m.counters.submitted, snap.counters.at("serve.submitted"));
+  EXPECT_EQ(m.counters.admitted, snap.counters.at("serve.admitted"));
+  EXPECT_EQ(m.counters.completed, snap.counters.at("serve.completed"));
+  EXPECT_EQ(m.counters.rejected_queue_full,
+            snap.counters.at("serve.rejected_queue_full"));
+  EXPECT_EQ(m.counters.rejected_deadline,
+            snap.counters.at("serve.rejected_deadline"));
+  EXPECT_EQ(m.counters.rejected_archive_missing,
+            snap.counters.at("serve.rejected_archive_missing"));
+  EXPECT_EQ(m.counters.failed, snap.counters.at("serve.failed"));
+  EXPECT_EQ(m.counters.batches, snap.counters.at("serve.batches"));
+  EXPECT_EQ(m.counters.coalesced, snap.counters.at("serve.coalesced"));
+  EXPECT_EQ(static_cast<std::int64_t>(m.counters.queue_depth),
+            snap.gauges.at("serve.queue_depth"));
+  EXPECT_EQ(static_cast<std::int64_t>(m.counters.queue_peak_depth),
+            snap.gauges.at("serve.queue_peak_depth"));
+
+  EXPECT_EQ(m.counters.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(m.counters.completed, static_cast<std::uint64_t>(kRequests));
+
+  // One latency/queue-wait/solve histogram sample per completed request.
+  for (const auto& h : snap.histograms) {
+    if (h.name == "serve.latency_s" || h.name == "serve.queue_wait_s" ||
+        h.name == "serve.solve_s") {
+      EXPECT_EQ(h.snap.count, m.counters.completed) << h.name;
+      EXPECT_GE(h.snap.max, 0.0) << h.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse

@@ -24,13 +24,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
-cmake -B "$BUILD_DIR" -S . \
+# Honour the caller's generator choice; otherwise prefer Ninja when it is
+# installed (CI exports CMAKE_GENERATOR=Ninja, dev laptops usually have it).
+# A build dir configured with a different generator must not be reused with
+# -G, so only pass one on first configure.
+GENERATOR_ARGS=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  if [ -n "${CMAKE_GENERATOR:-}" ]; then
+    GENERATOR_ARGS=(-G "$CMAKE_GENERATOR")
+  elif command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+fi
+
+TESTS=(test_mdc_parallel test_tlr_mvm test_serve test_obs test_common)
+
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTLRWSE_SANITIZE=thread \
   -DTLRWSE_BUILD_BENCH=OFF \
   -DTLRWSE_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_mdc_parallel test_tlr_mvm test_serve test_common
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 # Force a real thread team regardless of the host's core count.
 export OMP_NUM_THREADS="${OMP_NUM_THREADS:-4}"
@@ -39,7 +53,7 @@ export OMP_NUM_THREADS="${OMP_NUM_THREADS:-4}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 exitcode=0}"
 
 status=0
-for t in test_mdc_parallel test_tlr_mvm test_serve test_common; do
+for t in "${TESTS[@]}"; do
   echo "=== TSan: $t (OMP_NUM_THREADS=$OMP_NUM_THREADS) ==="
   log="$BUILD_DIR/$t.tsan.log"
   if ! "$BUILD_DIR/tests/$t" >"$log" 2>&1; then
@@ -59,10 +73,19 @@ for t in test_mdc_parallel test_tlr_mvm test_serve test_common; do
   real=${counts#* }
   echo "race reports: $total total, $real real," \
        "$((total - real)) known-benign libgomp fork handoff"
+  # Explicit per-test verdict: a clean run prints PASS, not just silence,
+  # so CI logs show the classifier actually ran on every binary.
   if [ "$real" -gt 0 ]; then
-    echo "FAIL: $t real data races (see $log)"
+    echo "VERDICT: FAIL  $t -- $real real data races (see $log)"
     grep -B 2 -A 30 "WARNING: ThreadSanitizer" "$log" | head -120 || true
     status=1
+  else
+    echo "VERDICT: PASS  $t -- 0 real races ($total reports classified)"
   fi
 done
+if [ "$status" -eq 0 ]; then
+  echo "TSan suite: all ${#TESTS[@]} binaries clean"
+else
+  echo "TSan suite: failures detected"
+fi
 exit "$status"

@@ -20,11 +20,24 @@
 //                       [--cache-mb 512] [--verify 1] [geometry flags as
 //                       for solve]   (closed-loop multi-client solve
 //                       service driver; verifies bitwise vs sequential)
+//   tlrwse_cli trace    --out trace.json [--iters 5] [--nb 24] [--acc 1e-4]
+//                       [geometry flags as for synth]   (end-to-end demo:
+//                       archive -> serve -> solve, captured as a
+//                       chrome://tracing file plus a metrics JSON dump)
+//
+// Every command also accepts --trace-out FILE: the whole run is recorded
+// with the scoped-span tracer and dumped as chrome://tracing JSON (load it
+// at chrome://tracing or https://ui.perfetto.dev). Requires a build with
+// TLRWSE_TRACING=ON (the default).
 //
 // Exit code 0 on success, 1 on usage error, 2 on runtime failure.
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <future>
 #include <map>
 #include <set>
 #include <string>
@@ -38,6 +51,8 @@
 #include "tlrwse/io/serialize.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/mdd/metrics.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/seismic/modeling.hpp"
 #include "tlrwse/seismic/rank_model.hpp"
 #include "tlrwse/serve/solve_service.hpp"
@@ -151,6 +166,7 @@ int cmd_synth(const Args& args) {
 }
 
 int cmd_compress(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.compress", "cli");
   const std::string in = args.get("in", "");
   const std::string out = args.get("out", "");
   if (in.empty() || out.empty()) {
@@ -197,6 +213,7 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_mvm(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.mvm", "cli");
   const std::string in = args.get("in", "");
   if (in.empty()) {
     std::fprintf(stderr, "mvm: --in is required\n");
@@ -286,6 +303,7 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_mdd(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.mdd", "cli");
   const auto data = seismic::build_dataset(dataset_config(args));
   const auto cc = compression_config(args);
   const auto op =
@@ -306,6 +324,7 @@ int cmd_mdd(const Args& args) {
 }
 
 int cmd_archive(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.archive", "cli");
   const std::string out = args.get("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "archive: --out is required\n");
@@ -323,6 +342,7 @@ int cmd_archive(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.solve", "cli");
   const std::string path = args.get("archive", "");
   if (path.empty()) {
     std::fprintf(stderr, "solve: --archive is required\n");
@@ -352,6 +372,7 @@ int cmd_solve(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.serve", "cli");
   const std::string path = args.get("archive", "");
   if (path.empty()) {
     std::fprintf(stderr, "serve: --archive is required\n");
@@ -508,11 +529,86 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+/// End-to-end observability demo: model a small survey, archive it, drive
+/// two requests through the solve service (which exercises the cache, the
+/// LSQR solver, the MDC operator, and the TLR kernels), and dump both the
+/// chrome://tracing file and the process-wide metrics snapshot.
+int cmd_trace(const Args& args) {
+#ifndef TLRWSE_TRACING_ENABLED
+  (void)args;
+  std::fprintf(stderr,
+               "trace: this build was configured with TLRWSE_TRACING=OFF; "
+               "reconfigure with -DTLRWSE_TRACING=ON\n");
+  return 1;
+#else
+  if (!obs::Tracer::enabled()) {
+    obs::Tracer::instance().enable(obs::Tracer::kDefaultCapacity,
+                                   /*detail=*/true);
+  }
+  obs::Tracer::instance().set_thread_name("main");
+  TLRWSE_TRACE_SPAN("cli.trace", "cli");
+  const std::string out = args.get("out", "trace.json");
+  const int iters = static_cast<int>(args.integer("iters", 5));
+  const auto data = seismic::build_dataset(dataset_config(args));
+
+  namespace fs = std::filesystem;
+  const fs::path tmp =
+      fs::temp_directory_path() /
+      ("tlrwse_trace_" + std::to_string(::getpid()) + ".tlra");
+  {
+    TLRWSE_TRACE_SPAN("cli.trace.archive", "cli");
+    const auto archive = io::build_archive(data, compression_config(args));
+    io::save_archive(tmp.string(), archive);
+  }
+
+  int rc = 0;
+  {
+    serve::ServiceConfig cfg;
+    cfg.workers = 2;
+    serve::SolveService service(cfg);
+    const serve::OperatorKey key{tmp.string(), 0, 0.0};
+    std::vector<std::future<serve::SolveResponse>> futures;
+    const index_t nreq = std::min<index_t>(2, data.num_receivers());
+    for (index_t v = 0; v < nreq; ++v) {
+      serve::SolveRequest req;
+      req.op = key;
+      req.vsrc = v;
+      req.rhs = mdd::virtual_source_rhs(data, v);
+      req.lsqr.max_iters = iters;
+      futures.push_back(service.submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      const auto resp = f.get();
+      if (resp.status != serve::SolveStatus::kOk) {
+        std::fprintf(stderr, "trace: request failed (%s): %s\n",
+                     serve::to_string(resp.status), resp.error.c_str());
+        rc = 2;
+      }
+    }
+  }
+  fs::remove(tmp);
+  if (rc != 0) return rc;
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  if (!tracer.write_json(out)) {
+    std::fprintf(stderr, "trace: cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("trace: wrote %zu events to %s (%llu dropped)\n",
+              tracer.event_count(), out.c_str(),
+              static_cast<unsigned long long>(tracer.dropped_count()));
+  std::printf("%s\n",
+              obs::MetricsRegistry::instance().snapshot().to_json().c_str());
+  return 0;
+#endif
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: tlrwse_cli "
-               "<synth|compress|info|mvm|simulate|mdd|archive|solve|serve> "
-               "[--flag value ...]\n"
+               "<synth|compress|info|mvm|simulate|mdd|archive|solve|serve|"
+               "trace> [--flag value ...] [--trace-out trace.json]\n"
                "see the header of tools/tlrwse_cli.cpp for the flag list\n");
 }
 
@@ -526,6 +622,21 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
+    // --trace-out records the whole command with the scoped-span tracer and
+    // dumps chrome://tracing JSON on success (any command, not just trace).
+    const std::string trace_out = args.get("trace-out", "");
+    if (!trace_out.empty()) {
+#ifdef TLRWSE_TRACING_ENABLED
+      tlrwse::obs::Tracer::instance().enable(
+          tlrwse::obs::Tracer::kDefaultCapacity, /*detail=*/true);
+      tlrwse::obs::Tracer::instance().set_thread_name("main");
+#else
+      std::fprintf(stderr,
+                   "error: --trace-out requires a build with "
+                   "TLRWSE_TRACING=ON (this one has it OFF)\n");
+      return 1;
+#endif
+    }
     int rc = -1;
     if (cmd == "synth") rc = cmd_synth(args);
     else if (cmd == "compress") rc = cmd_compress(args);
@@ -536,9 +647,22 @@ int main(int argc, char** argv) {
     else if (cmd == "archive") rc = cmd_archive(args);
     else if (cmd == "solve") rc = cmd_solve(args);
     else if (cmd == "serve") rc = cmd_serve(args);
+    else if (cmd == "trace") rc = cmd_trace(args);
     if (rc == -1) {
       usage();
       return 1;
+    }
+    if (!trace_out.empty() && rc == 0) {
+      auto& tracer = tlrwse::obs::Tracer::instance();
+      tracer.disable();
+      if (!tracer.write_json(trace_out)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_out.c_str());
+        return 2;
+      }
+      std::printf("trace: wrote %zu events to %s (%llu dropped)\n",
+                  tracer.event_count(), trace_out.c_str(),
+                  static_cast<unsigned long long>(tracer.dropped_count()));
     }
     if (rc == 0) {
       // A flag nothing consumed is a typo, not a no-op.
