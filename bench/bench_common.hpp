@@ -3,12 +3,15 @@
 // small functional dataset used by the MDD benches.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tlrwse/common/table.hpp"
 #include "tlrwse/common/units.hpp"
+#include "tlrwse/obs/flight_recorder.hpp"
 #include "tlrwse/seismic/modeling.hpp"
 #include "tlrwse/seismic/rank_model.hpp"
 #include "tlrwse/wse/machine.hpp"
@@ -66,6 +69,59 @@ inline std::string acc_cell(double acc) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.4f", acc);
   return buf;
+}
+
+/// A cluster simulation with a flight recorder attached: the paper-table
+/// benches derive every number from the recorder's aggregation rather than
+/// re-deriving accounting from the ClusterReport.
+struct RecordedRun {
+  wse::ClusterReport report;
+  obs::FlightReport flight;
+};
+
+inline RecordedRun recorded_cluster_run(const wse::RankSource& source,
+                                        wse::ClusterConfig cfg) {
+  obs::FlightRecorder recorder(wse::flight_config_for(cfg.spec));
+  cfg.recorder = &recorder;
+  RecordedRun out;
+  out.report = wse::simulate_cluster(source, cfg);
+  out.flight = recorder.report();
+  if (out.flight.launches == 0 && out.report.pes_used > 0) {
+    // -DTLRWSE_TRACING=OFF compiles the recording hooks away. Backfill the
+    // aggregate view from the cluster report so the tables still print in
+    // that build shape (per-PE detail and heatmaps stay empty).
+    auto& fused =
+        out.flight.phases[static_cast<std::size_t>(obs::Phase::kFusedColumn)];
+    fused.samples = static_cast<std::uint64_t>(out.report.pes_used);
+    fused.max_cycles = out.report.worst_cycles;
+    fused.relative_bytes = out.report.relative_bytes;
+    fused.absolute_bytes = out.report.absolute_bytes;
+    fused.flops = out.report.flops;
+    out.flight.pes = out.report.pes_used;
+  }
+  return out;
+}
+
+///// v2 bench-JSON header fields shared by every JSON-emitting bench:
+/// schema version plus run metadata (git sha from TLRWSE_GIT_SHA — CI
+/// exports it; "unknown" otherwise — compiler, and thread count). Returned
+/// WITHOUT surrounding braces so benches splice it into their header line.
+inline std::string json_meta_fields() {
+  const char* sha = std::getenv("TLRWSE_GIT_SHA");
+  std::string out = "\"schema_version\":2,\"meta\":{\"git_sha\":\"";
+  out += (sha != nullptr && sha[0] != '\0') ? sha : "unknown";
+  out += "\",\"compiler\":\"";
+#if defined(__clang__)
+  out += "clang " __clang_version__;
+#elif defined(__GNUC__)
+  out += "gcc " __VERSION__;
+#else
+  out += "unknown";
+#endif
+  out += "\",\"threads\":";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += "}";
+  return out;
 }
 
 /// The small functional dataset shared by the Fig. 11-13 benches:

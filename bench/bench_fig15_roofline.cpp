@@ -25,14 +25,16 @@ int main() {
   wse::ClusterConfig cfg;
   cfg.stack_width = 18;
   cfg.systems = 6;
-  const auto rep = wse::simulate_cluster(source, cfg);
-  const double ai_rel = rep.flops / rep.relative_bytes;
+  const auto run = bench::recorded_cluster_run(source, cfg);
+  const double ai_rel =
+      run.flight.total_flops() / run.flight.total_relative_bytes();
   std::cout << "\nTLR-MVM on six Cerebras CS-2 (nb=50, acc=3e-4):\n"
-            << "  relative bandwidth: " << format_bandwidth(rep.relative_bw)
+            << "  relative bandwidth: "
+            << format_bandwidth(run.flight.relative_bw())
             << " (paper: 12.26 PB/s)\n"
             << "  arithmetic intensity (relative): " << cell(ai_rel, 3)
             << " flop/byte\n"
-            << "  sustained: " << format_flops(rep.flops_rate) << "\n";
+            << "  sustained: " << format_flops(run.flight.flops_rate()) << "\n";
   std::cout << "(paper: CS-2 point sits >3 orders of magnitude above the "
                "MI250X bandwidth roof)\n";
   return 0;

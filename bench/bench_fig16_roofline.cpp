@@ -23,11 +23,13 @@ int main() {
   wse::ClusterConfig cfg;
   cfg.stack_width = 23;
   cfg.strategy = wse::Strategy::kScatterRealMvms;
-  const auto rep = wse::simulate_cluster(source, cfg);
+  const auto run = bench::recorded_cluster_run(source, cfg);
   std::cout << "\nTLR-MVM on 48 Cerebras CS-2 (nb=70, acc=1e-4):\n"
-            << "  relative sustained bw: " << format_bandwidth(rep.relative_bw)
+            << "  relative sustained bw: "
+            << format_bandwidth(run.flight.relative_bw())
             << " (paper: 92.58 PB/s)\n"
-            << "  absolute sustained bw: " << format_bandwidth(rep.absolute_bw)
+            << "  absolute sustained bw: "
+            << format_bandwidth(run.flight.absolute_bw())
             << " (paper: 245.59 PB/s)\n";
 
   // Constant-rank upper bounds on cache-based systems: single-device
@@ -46,9 +48,11 @@ int main() {
   // The headline comparisons of Sec. 7.5.
   std::cout << "\nRelative sustained vs theoretical peaks:\n"
             << "  vs Leonardo: "
-            << cell(rep.relative_bw / machines[4].peak_bw(), 2) << "x\n"
+            << cell(run.flight.relative_bw() / machines[4].peak_bw(), 2)
+            << "x\n"
             << "  vs Summit:   "
-            << cell(rep.relative_bw / machines[5].peak_bw(), 2) << "x\n";
+            << cell(run.flight.relative_bw() / machines[5].peak_bw(), 2)
+            << "x\n";
   std::cout << "(paper: >3x faster than the aggregated theoretical bandwidth "
                "of Leonardo or Summit)\n";
   return 0;

@@ -130,7 +130,8 @@ int main(int argc, char** argv) {
 
   std::cout << "{\"bench\":\"mdc_throughput\",\"nt\":" << kNt
             << ",\"num_freq\":" << kNumFreq << ",\"ns\":" << kNs
-            << ",\"nr\":" << kNr << ",\"kernel\":\"tlr_fused\"}\n";
+            << ",\"nr\":" << kNr << ",\"kernel\":\"tlr_fused\","
+            << bench::json_meta_fields() << "}\n";
   for (int t : sweep) {
     const double sec = (t == 1) ? t1 : time_pair(*op, x, y, yb, xt, t, reps);
     std::cout << "{\"threads\":" << t << ",\"sec_per_apply_pair\":" << sec

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "tlrwse/common/timer.hpp"
 #include "tlrwse/io/archive.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
@@ -129,7 +130,7 @@ int main(int argc, char** argv) {
             << ",\"num_freq\":" << data.num_freqs()
             << ",\"ns\":" << data.num_sources() << ",\"nr\":" << data.num_receivers()
             << ",\"workers\":4,\"lsqr_iters\":10,\"requests_per_client\":"
-            << per_client << "}\n";
+            << per_client << "," << bench::json_meta_fields() << "}\n";
 
   std::vector<int> sweep{1};
   for (int c = 2; c <= max_clients; c *= 2) sweep.push_back(c);

@@ -1,5 +1,7 @@
 // Table 2: worst cycle count and total relative/absolute memory accesses
-// (bytes) of the five green configurations on six CS-2 systems.
+// (bytes) of the five green configurations on six CS-2 systems, derived
+// from the flight recorder's per-phase profile of the simulated run (the
+// fused column phase is the only one on the CS-2 layout).
 //
 // Paper reference values: cycles {21350, 19214, 19131, 12275, 12999},
 // relative accesses {2.94e11, 2.60e11, 2.60e11, 1.64e11, 1.64e11},
@@ -12,16 +14,20 @@ int main() {
   using namespace tlrwse;
   std::cout << "=== Table 2: worst cycle count / memory accesses (bytes) ===\n";
   TablePrinter table({"nb", "acc", "Worst cycle cnt", "Relative accesses",
-                      "Absolute accesses"});
+                      "Absolute accesses", "Imbalance"});
   for (const auto& pc : bench::green_configs()) {
     bench::RankModelSource source(pc.nb, pc.acc);
     wse::ClusterConfig cfg;
     cfg.stack_width = pc.stack_width;
     cfg.systems = 6;
-    const auto rep = wse::simulate_cluster(source, cfg);
+    const auto run = bench::recorded_cluster_run(source, cfg);
+    const auto& fused = run.flight.phases[static_cast<std::size_t>(
+        obs::Phase::kFusedColumn)];
     table.add_row({cell(pc.nb), bench::acc_cell(pc.acc),
-                   cell(static_cast<long long>(rep.worst_cycles)),
-                   cell_sci(rep.relative_bytes), cell_sci(rep.absolute_bytes)});
+                   cell(static_cast<long long>(fused.max_cycles)),
+                   cell_sci(fused.relative_bytes),
+                   cell_sci(fused.absolute_bytes),
+                   cell(fused.imbalance(), 2)});
   }
   table.print(std::cout);
   std::cout << "(paper: 21350/2.94e11/6.85e11, 19214/2.60e11/6.71e11, "

@@ -1,16 +1,60 @@
 // Table 3: aggregate relative/absolute bandwidth (PB/s) and PFlop/s of the
-// five green configurations on six shards / six CS-2 systems.
+// five green configurations on six shards, plus the paper's 48-system
+// strategy-2 headline run (nb = 70, acc = 1e-4) — all derived from the
+// flight recorder's aggregation, not bespoke accounting. The headline
+// section checks the recorder-derived sustained bandwidths against the
+// paper's 92.58 PB/s relative / 245.59 PB/s absolute and fails (exit 1)
+// when either deviates by more than 1%.
 //
-// Paper reference values: relative {11.24, 11.70, 11.92, 12.26, 11.60},
-// absolute {26.19, 30.15, 31.62, 29.05, 28.79},
+// Paper reference values (six shards): relative {11.24, 11.70, 11.92,
+// 12.26, 11.60}, absolute {26.19, 30.15, 31.62, 29.05, 28.79},
 // PFlop/s {3.77, 4.60, 4.89, 4.16, 4.23}.
+//
+// Usage: bench_table3_bandwidth [--json] [--heatmap FILE]
+//   --json     emit v2 JSON-lines (deterministic: the CI perf gate diffs
+//              this output against the committed baseline)
+//   --heatmap  write the headline run's per-phase PE-grid heatmaps
+#include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 
-int main() {
+namespace {
+
+constexpr double kPaperRelativePbs = 92.58;
+constexpr double kPaperAbsolutePbs = 245.59;
+
+double pct_err(double got, double want) {
+  return 100.0 * (got - want) / want;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace tlrwse;
-  std::cout << "=== Table 3: aggregate bandwidth metrics on six shards ===\n";
+  bool json = false;
+  std::string heatmap_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--heatmap") == 0 && i + 1 < argc) {
+      heatmap_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_table3_bandwidth [--json] [--heatmap FILE]\n";
+      return 2;
+    }
+  }
+
+  if (json) {
+    std::cout << "{\"bench\":\"table3_bandwidth\"," << bench::json_meta_fields()
+              << "}\n";
+  } else {
+    std::cout << "=== Table 3: aggregate bandwidth metrics on six shards ===\n";
+  }
+
   TablePrinter table(
       {"nb", "acc", "Agg. relative bw (PB/s)", "Agg. absolute bw (PB/s)",
        "PFlop/s"});
@@ -19,14 +63,84 @@ int main() {
     wse::ClusterConfig cfg;
     cfg.stack_width = pc.stack_width;
     cfg.systems = 6;
-    const auto rep = wse::simulate_cluster(source, cfg);
-    table.add_row({cell(pc.nb), bench::acc_cell(pc.acc),
-                   cell(bytes_to_pb(rep.relative_bw)),
-                   cell(bytes_to_pb(rep.absolute_bw)),
-                   cell(rep.flops_rate / 1e15)});
+    const auto run = bench::recorded_cluster_run(source, cfg);
+    const double rel_pbs = bytes_to_pb(run.flight.relative_bw());
+    const double abs_pbs = bytes_to_pb(run.flight.absolute_bw());
+    const double pflops = run.flight.flops_rate() / 1e15;
+    if (json) {
+      std::cout << "{\"row\":\"six_shard\",\"nb\":" << pc.nb
+                << ",\"acc\":" << pc.acc
+                << ",\"stack_width\":" << pc.stack_width
+                << ",\"systems\":" << run.report.systems
+                << ",\"relative_pbs\":" << rel_pbs
+                << ",\"absolute_pbs\":" << abs_pbs
+                << ",\"pflops\":" << pflops << "}\n";
+    } else {
+      table.add_row({cell(pc.nb), bench::acc_cell(pc.acc), cell(rel_pbs),
+                     cell(abs_pbs), cell(pflops)});
+    }
   }
-  table.print(std::cout);
-  std::cout << "(paper: 11.24/26.19/3.77, 11.70/30.15/4.60, 11.92/31.62/4.89, "
-               "12.26/29.05/4.16, 11.60/28.79/4.23)\n";
-  return 0;
+  if (!json) {
+    table.print(std::cout);
+    std::cout << "(paper: 11.24/26.19/3.77, 11.70/30.15/4.60, "
+                 "11.92/31.62/4.89, 12.26/29.05/4.16, 11.60/28.79/4.23)\n";
+  }
+
+  // The title run: nb = 70, acc = 1e-4 scattered over eight PEs per chunk
+  // (strategy 2) across the full Condor Galaxy machine.
+  bench::RankModelSource source(70, 1e-4);
+  wse::ClusterConfig cfg;
+  cfg.stack_width = 23;
+  cfg.strategy = wse::Strategy::kScatterRealMvms;
+  cfg.systems = 0;  // derive the shard count from the PE demand
+  const auto run = bench::recorded_cluster_run(source, cfg);
+  const double rel_pbs = bytes_to_pb(run.flight.relative_bw());
+  const double abs_pbs = bytes_to_pb(run.flight.absolute_bw());
+  const double rel_err = pct_err(rel_pbs, kPaperRelativePbs);
+  const double abs_err = pct_err(abs_pbs, kPaperAbsolutePbs);
+  const bool within =
+      std::abs(rel_err) <= 1.0 && std::abs(abs_err) <= 1.0;
+
+  // Per-system sustained bandwidth spread from the recorder's system
+  // profiles (every system holds structurally identical worst chunks, so
+  // the spread is narrow; the paper reports only the aggregate).
+  double sys_rel_min = 0.0, sys_rel_max = 0.0;
+  for (const auto& s : run.flight.systems) {
+    const double bw = bytes_to_pb(s.relative_bw(run.flight.clock_hz));
+    if (sys_rel_min == 0.0 || bw < sys_rel_min) sys_rel_min = bw;
+    if (bw > sys_rel_max) sys_rel_max = bw;
+  }
+
+  if (json) {
+    std::cout << "{\"row\":\"headline48\",\"nb\":70,\"acc\":1e-4"
+              << ",\"stack_width\":23,\"systems\":" << run.report.systems
+              << ",\"relative_pbs\":" << rel_pbs
+              << ",\"absolute_pbs\":" << abs_pbs
+              << ",\"pflops\":" << run.flight.flops_rate() / 1e15
+              << ",\"rel_err_pct\":" << rel_err
+              << ",\"abs_err_pct\":" << abs_err << ",\"within_1pct\":"
+              << (within ? "true" : "false") << "}\n";
+  } else {
+    std::cout << "\nHeadline: nb=70 acc=1e-4, strategy 2 over "
+              << run.report.systems << " shards ("
+              << run.flight.pes << " PEs recorded)\n"
+              << "  relative sustained bw: " << cell(rel_pbs) << " PB/s "
+              << "(paper 92.58, " << cell(rel_err, 2) << "%)\n"
+              << "  absolute sustained bw: " << cell(abs_pbs) << " PB/s "
+              << "(paper 245.59, " << cell(abs_err, 2) << "%)\n"
+              << "  per-system relative bw: " << cell(sys_rel_min) << " - "
+              << cell(sys_rel_max) << " PB/s over "
+              << run.flight.systems.size() << " systems\n"
+              << "  headline within 1%: " << (within ? "yes" : "NO") << "\n";
+  }
+
+  if (!heatmap_path.empty()) {
+    std::ofstream out(heatmap_path, std::ios::binary);
+    out << run.flight.heatmaps_json() << "\n";
+    if (!out) {
+      std::cerr << "cannot write " << heatmap_path << "\n";
+      return 2;
+    }
+  }
+  return within ? 0 : 1;
 }

@@ -29,19 +29,22 @@ int main() {
 
   TablePrinter table({"Shards", "Stack width", "Agg. relative bw (PB/s)",
                       "Agg. absolute bw (PB/s)", "PFlop/s", "Par. eff."});
-  wse::ClusterReport baseline;
+  double baseline_bw_per_shard = 0.0;
   for (const auto& row : rows) {
     wse::ClusterConfig cfg;
     cfg.stack_width = row.stack_width;
     cfg.strategy = row.strategy;
     cfg.systems = row.shards;
-    const auto rep = wse::simulate_cluster(source, cfg);
-    if (row.shards == 6) baseline = rep;
+    const auto run = bench::recorded_cluster_run(source, cfg);
+    const double rel_bw = run.flight.relative_bw();
+    if (row.shards == 6) baseline_bw_per_shard = rel_bw / 6.0;
+    const double eff =
+        rel_bw / (static_cast<double>(row.shards) * baseline_bw_per_shard);
     table.add_row({cell(row.shards), cell(row.stack_width),
-                   cell(bytes_to_pb(rep.relative_bw)),
-                   cell(bytes_to_pb(rep.absolute_bw)),
-                   cell(rep.flops_rate / 1e15),
-                   cell(100.0 * rep.parallel_efficiency_vs(baseline), 0) + "%"});
+                   cell(bytes_to_pb(rel_bw)),
+                   cell(bytes_to_pb(run.flight.absolute_bw())),
+                   cell(run.flight.flops_rate() / 1e15),
+                   cell(100.0 * eff, 0) + "%"});
   }
   table.print(std::cout);
   std::cout << "(paper relative bw: 11.24, 22.13, 29.28, 35.77, 87.73 PB/s; "

@@ -21,11 +21,12 @@ int main() {
     cfg.stack_width = pc.stack_width;
     cfg.strategy = wse::Strategy::kScatterRealMvms;
     cfg.systems = 0;  // derive the shard count from the PE demand
-    const auto rep = wse::simulate_cluster(source, cfg);
+    const auto run = bench::recorded_cluster_run(source, cfg);
     table.add_row({cell(pc.nb), bench::acc_cell(pc.acc), cell(pc.stack_width),
-                   cell(rep.systems), cell(bytes_to_pb(rep.relative_bw)),
-                   cell(bytes_to_pb(rep.absolute_bw)),
-                   cell(rep.flops_rate / 1e15)});
+                   cell(run.report.systems),
+                   cell(bytes_to_pb(run.flight.relative_bw())),
+                   cell(bytes_to_pb(run.flight.absolute_bw())),
+                   cell(run.flight.flops_rate() / 1e15)});
   }
   table.print(std::cout);
   std::cout << "(paper: 48 shards 87.73/204.51/29.40, 47 shards "

@@ -1,0 +1,25 @@
+// Prometheus text exposition (version 0.0.4) of a MetricsRegistry
+// snapshot, so `tlrwse_cli serve --metrics-out FILE` (and anything else
+// holding a registry) can drop a scrape-ready file next to the JSON dump.
+//
+// Mapping: every metric name is prefixed with "tlrwse_" and sanitised to
+// the Prometheus charset (runs of invalid characters become '_').
+// Counters and gauges map 1:1; histograms become native Prometheus
+// histograms whose cumulative `le` buckets are the registry's log2 bucket
+// upper bounds (empty leading/trailing octaves are skipped).
+#pragma once
+
+#include <string>
+
+#include "tlrwse/obs/metrics_registry.hpp"
+
+namespace tlrwse::obs {
+
+/// `name` sanitised for Prometheus and prefixed with "tlrwse_".
+[[nodiscard]] std::string prometheus_metric_name(std::string_view name);
+
+/// The whole snapshot in Prometheus text exposition format.
+[[nodiscard]] std::string metrics_to_prometheus_text(
+    const MetricsRegistry::Snapshot& snap);
+
+}  // namespace tlrwse::obs

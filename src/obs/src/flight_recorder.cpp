@@ -1,0 +1,322 @@
+#include "tlrwse/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "tlrwse/obs/tracer.hpp"
+
+namespace tlrwse::obs {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kVMvm:
+      return "v_mvm";
+    case Phase::kShuffle:
+      return "shuffle";
+    case Phase::kUMvm:
+      return "u_mvm";
+    case Phase::kFusedColumn:
+      return "fused_column";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(cfg) {
+  for (auto& p : phases_) {
+    p.min_cycles = std::numeric_limits<double>::infinity();
+  }
+  if (cfg_.pes_per_system > 0 && cfg_.fabric_cols > 0 &&
+      cfg_.heat_rows > 0 && cfg_.heat_cols > 0) {
+    fabric_rows_ =
+        (cfg_.pes_per_system + cfg_.fabric_cols - 1) / cfg_.fabric_cols;
+  }
+}
+
+void FlightRecorder::record_span(Phase phase, index_t pe, index_t count,
+                                 const PeSample& s) noexcept {
+  if (count <= 0) return;
+  const auto pi = static_cast<std::size_t>(phase);
+  const double n = static_cast<double>(count);
+  launches_ += static_cast<std::uint64_t>(count);
+  max_pe_ = std::max(max_pe_, pe + count - 1);
+
+  PhaseStats& ps = phases_[pi];
+  ps.samples += static_cast<std::uint64_t>(count);
+  ps.total_cycles += n * s.cycles;
+  if (s.cycles > ps.max_cycles) {
+    ps.max_cycles = s.cycles;
+    ps.worst_pe = pe;
+  }
+  ps.min_cycles = std::min(ps.min_cycles, s.cycles);
+  ps.relative_bytes += n * s.relative_bytes;
+  ps.absolute_bytes += n * s.absolute_bytes;
+  ps.flops += n * s.flops;
+  ps.max_sram_bytes = std::max(ps.max_sram_bytes, s.sram_bytes);
+
+  // Walk the span once per system it touches (spans are launch-sized —
+  // at most a handful of PEs — so this loop runs once almost always).
+  index_t first = pe;
+  index_t remaining = count;
+  while (remaining > 0) {
+    const index_t pps = cfg_.pes_per_system;
+    const index_t sys = pps > 0 ? first / pps : 0;
+    const index_t sys_end = pps > 0 ? (sys + 1) * pps : first + remaining;
+    const index_t take = std::min(remaining, sys_end - first);
+    const double dtake = static_cast<double>(take);
+    if (sys >= static_cast<index_t>(systems_.size())) {
+      systems_.resize(static_cast<std::size_t>(sys) + 1);
+    }
+    SystemStats& ss = systems_[static_cast<std::size_t>(sys)];
+    ss.samples += static_cast<std::uint64_t>(take);
+    if (s.cycles > ss.worst_cycles) {
+      ss.worst_cycles = s.cycles;
+      ss.worst_pe = first;
+    }
+    ss.relative_bytes += dtake * s.relative_bytes;
+    ss.absolute_bytes += dtake * s.absolute_bytes;
+    ss.flops += dtake * s.flops;
+
+    if (fabric_rows_ > 0) {
+      // Fabric placement of the linear PE ids within this system,
+      // downsampled to the heat grid; systems overlay onto the same grid.
+      // Contiguous PEs fill fabric rows left to right, so the span is
+      // consumed one heat cell at a time (a cell covers ~fabric_cols /
+      // heat_cols consecutive PEs within a row).
+      auto& grid = heat_[pi];
+      if (grid.empty()) {
+        grid.resize(static_cast<std::size_t>(cfg_.heat_rows * cfg_.heat_cols));
+      }
+      index_t local = first - sys * pps;
+      index_t left = take;
+      while (left > 0) {
+        const index_t frow = local / cfg_.fabric_cols;
+        const index_t fcol = local % cfg_.fabric_cols;
+        const index_t br = std::min(cfg_.heat_rows - 1,
+                                    frow * cfg_.heat_rows / fabric_rows_);
+        const index_t bc = std::min(cfg_.heat_cols - 1,
+                                    fcol * cfg_.heat_cols / cfg_.fabric_cols);
+        // First fabric column of the next heat bin (ceil), clamped to the
+        // row end so row wrap re-derives the placement.
+        const index_t next_fcol = std::min(
+            cfg_.fabric_cols,
+            ((bc + 1) * cfg_.fabric_cols + cfg_.heat_cols - 1) / cfg_.heat_cols);
+        const index_t cell_take = std::min(left, next_fcol - fcol);
+        const double dcell = static_cast<double>(cell_take);
+        HeatCell& cell =
+            grid[static_cast<std::size_t>(br * cfg_.heat_cols + bc)];
+        cell.samples += static_cast<std::uint64_t>(cell_take);
+        cell.cycles_sum += dcell * s.cycles;
+        cell.cycles_max = std::max(cell.cycles_max, s.cycles);
+        cell.relative_bytes += dcell * s.relative_bytes;
+        local += cell_take;
+        left -= cell_take;
+      }
+    }
+    first += take;
+    remaining -= take;
+  }
+}
+
+void FlightRecorder::clear() {
+  launches_ = 0;
+  max_pe_ = -1;
+  phases_ = {};
+  for (auto& p : phases_) {
+    p.min_cycles = std::numeric_limits<double>::infinity();
+  }
+  systems_.clear();
+  for (auto& g : heat_) g.clear();
+}
+
+FlightReport FlightRecorder::report() const {
+  FlightReport out;
+  out.clock_hz = cfg_.clock_hz;
+  out.launches = launches_;
+  out.pes = max_pe_ + 1;
+  out.phases = phases_;
+  for (auto& p : out.phases) {
+    if (p.samples == 0) p.min_cycles = 0.0;  // +inf sentinel -> empty
+  }
+  out.systems = systems_;
+  out.heat_rows = cfg_.heat_rows;
+  out.heat_cols = cfg_.heat_cols;
+  out.fabric_rows = fabric_rows_;
+  out.fabric_cols = cfg_.fabric_cols;
+  out.heatmaps = heat_;
+  return out;
+}
+
+double FlightReport::critical_path_cycles() const noexcept {
+  double sum = 0.0;
+  for (const auto& p : phases) sum += p.max_cycles;
+  return sum;
+}
+
+double FlightReport::worst_cycles() const noexcept {
+  double worst = 0.0;
+  for (const auto& p : phases) worst = std::max(worst, p.max_cycles);
+  return worst;
+}
+
+double FlightReport::total_relative_bytes() const noexcept {
+  double sum = 0.0;
+  for (const auto& p : phases) sum += p.relative_bytes;
+  return sum;
+}
+
+double FlightReport::total_absolute_bytes() const noexcept {
+  double sum = 0.0;
+  for (const auto& p : phases) sum += p.absolute_bytes;
+  return sum;
+}
+
+double FlightReport::total_flops() const noexcept {
+  double sum = 0.0;
+  for (const auto& p : phases) sum += p.flops;
+  return sum;
+}
+
+double FlightReport::relative_bw() const noexcept {
+  const double cp = critical_path_cycles();
+  return cp > 0.0 ? total_relative_bytes() * clock_hz / cp : 0.0;
+}
+
+double FlightReport::absolute_bw() const noexcept {
+  const double cp = critical_path_cycles();
+  return cp > 0.0 ? total_absolute_bytes() * clock_hz / cp : 0.0;
+}
+
+double FlightReport::flops_rate() const noexcept {
+  const double cp = critical_path_cycles();
+  return cp > 0.0 ? total_flops() * clock_hz / cp : 0.0;
+}
+
+double FlightReport::time_us() const noexcept {
+  return clock_hz > 0.0 ? critical_path_cycles() / clock_hz * 1e6 : 0.0;
+}
+
+namespace {
+
+void append_phase(std::ostringstream& os, const PhaseStats& p) {
+  os << "{\"samples\":" << p.samples << ",\"max_cycles\":" << p.max_cycles
+     << ",\"min_cycles\":" << p.min_cycles
+     << ",\"mean_cycles\":" << p.mean_cycles()
+     << ",\"imbalance\":" << p.imbalance() << ",\"worst_pe\":" << p.worst_pe
+     << ",\"relative_bytes\":" << p.relative_bytes
+     << ",\"absolute_bytes\":" << p.absolute_bytes << ",\"flops\":" << p.flops
+     << ",\"max_sram_bytes\":" << p.max_sram_bytes << '}';
+}
+
+}  // namespace
+
+std::string FlightReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"clock_hz\":" << clock_hz << ",\"launches\":" << launches
+     << ",\"pes\":" << pes
+     << ",\"critical_path_cycles\":" << critical_path_cycles()
+     << ",\"worst_cycles\":" << worst_cycles()
+     << ",\"time_us\":" << time_us()
+     << ",\"relative_bytes\":" << total_relative_bytes()
+     << ",\"absolute_bytes\":" << total_absolute_bytes()
+     << ",\"flops\":" << total_flops()
+     << ",\"relative_bw\":" << relative_bw()
+     << ",\"absolute_bw\":" << absolute_bw()
+     << ",\"flops_rate\":" << flops_rate() << ",\"phases\":{";
+  bool first = true;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const auto& p = phases[static_cast<std::size_t>(i)];
+    if (p.samples == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << phase_name(static_cast<Phase>(i)) << "\":";
+    append_phase(os, p);
+  }
+  os << "},\"systems\":[";
+  first = true;
+  for (const auto& s : systems) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"pes\":" << s.samples << ",\"worst_cycles\":" << s.worst_cycles
+       << ",\"worst_pe\":" << s.worst_pe
+       << ",\"relative_bytes\":" << s.relative_bytes
+       << ",\"absolute_bytes\":" << s.absolute_bytes
+       << ",\"relative_bw\":" << s.relative_bw(clock_hz)
+       << ",\"absolute_bw\":" << s.absolute_bw(clock_hz) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string FlightReport::heatmap_json(Phase p) const {
+  const auto& grid = heatmaps[static_cast<std::size_t>(p)];
+  std::ostringstream os;
+  os << "{\"phase\":\"" << phase_name(p) << "\",\"rows\":" << heat_rows
+     << ",\"cols\":" << heat_cols << ",\"fabric_rows\":" << fabric_rows
+     << ",\"fabric_cols\":" << fabric_cols;
+  const auto emit = [&](const char* key, auto value_of) {
+    os << ",\"" << key << "\":[";
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (i > 0) os << ',';
+      os << value_of(grid[i]);
+    }
+    os << ']';
+  };
+  emit("samples", [](const HeatCell& c) { return c.samples; });
+  emit("cycles_max", [](const HeatCell& c) { return c.cycles_max; });
+  emit("cycles_mean", [](const HeatCell& c) {
+    return c.samples > 0 ? c.cycles_sum / static_cast<double>(c.samples) : 0.0;
+  });
+  emit("relative_bytes", [](const HeatCell& c) { return c.relative_bytes; });
+  os << '}';
+  return os.str();
+}
+
+std::string FlightReport::heatmaps_json() const {
+  std::ostringstream os;
+  os << "{\"heatmaps\":[";
+  bool first = true;
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (phases[static_cast<std::size_t>(i)].samples == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << heatmap_json(static_cast<Phase>(i));
+  }
+  os << "]}";
+  return os.str();
+}
+
+void export_flight_counters(const FlightReport& report) {
+  if (!Tracer::enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  // Counter names must be string literals (the tracer stores pointers),
+  // hence the static per-phase name tables.
+  struct PhaseNames {
+    const char* max_cycles;
+    const char* mean_cycles;
+    const char* imbalance;
+  };
+  static constexpr PhaseNames kPhaseNames[kNumPhases] = {
+      {"flight.v_mvm.max_cycles", "flight.v_mvm.mean_cycles",
+       "flight.v_mvm.imbalance"},
+      {"flight.shuffle.max_cycles", "flight.shuffle.mean_cycles",
+       "flight.shuffle.imbalance"},
+      {"flight.u_mvm.max_cycles", "flight.u_mvm.mean_cycles",
+       "flight.u_mvm.imbalance"},
+      {"flight.fused_column.max_cycles", "flight.fused_column.mean_cycles",
+       "flight.fused_column.imbalance"},
+  };
+  for (int i = 0; i < kNumPhases; ++i) {
+    const auto& p = report.phases[static_cast<std::size_t>(i)];
+    if (p.samples == 0) continue;
+    const auto& n = kPhaseNames[i];
+    tracer.counter(n.max_cycles, p.max_cycles);
+    tracer.counter(n.mean_cycles, p.mean_cycles());
+    tracer.counter(n.imbalance, p.imbalance());
+  }
+  tracer.counter("flight.critical_path_cycles", report.critical_path_cycles());
+  tracer.counter("flight.relative_bw_pbs", report.relative_bw() / 1e15);
+  tracer.counter("flight.absolute_bw_pbs", report.absolute_bw() / 1e15);
+}
+
+}  // namespace tlrwse::obs

@@ -1,0 +1,61 @@
+#include "tlrwse/obs/prometheus.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tlrwse::obs {
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "tlrwse_";
+  bool last_was_sep = true;  // collapse runs of invalid chars to one '_'
+  for (const char c : name) {
+    const bool valid = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    if (valid) {
+      out.push_back(c);
+      last_was_sep = false;
+    } else if (!last_was_sep) {
+      out.push_back('_');
+      last_was_sep = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+std::string metrics_to_prometheus_text(const MetricsRegistry::Snapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_metric_name(name);
+    os << "# TYPE " << p << " counter\n" << p << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_metric_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << ' ' << value << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string p = prometheus_metric_name(h.name);
+    os << "# TYPE " << p << " histogram\n";
+    // Skip empty leading/trailing octaves but keep the occupied span
+    // contiguous so the cumulative counts stay monotone.
+    int first = Histogram::kBuckets, last = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.snap.buckets[static_cast<std::size_t>(b)] > 0) {
+        if (first > b) first = b;
+        last = b;
+      }
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = first; b <= last; ++b) {
+      cumulative += h.snap.buckets[static_cast<std::size_t>(b)];
+      os << p << "_bucket{le=\"" << Histogram::bucket_upper(b) << "\"} "
+         << cumulative << '\n';
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h.snap.count << '\n'
+       << p << "_sum " << h.snap.sum << '\n'
+       << p << "_count " << h.snap.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tlrwse::obs

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "tlrwse/obs/metrics_registry.hpp"
+
 namespace tlrwse::obs {
 
 Tracer& Tracer::instance() {
@@ -42,6 +44,13 @@ Tracer::ThreadBuffer& Tracer::local() {
 void Tracer::push(TraceEvent e) noexcept {
   if (!enabled()) return;
   ThreadBuffer& buf = local();
+  if (buf.pushed >= buf.ring.size()) {
+    // Ring wrap: the oldest span is silently overwritten, so surface the
+    // truncation in the process registry where dashboards can see it.
+    static Counter& dropped =
+        MetricsRegistry::instance().counter("trace.dropped_spans");
+    dropped.add();
+  }
   buf.ring[static_cast<std::size_t>(buf.pushed % buf.ring.size())] = e;
   ++buf.pushed;
 }

@@ -14,6 +14,7 @@
 // comparing the two quantifies the communication-avoiding win.
 #pragma once
 
+#include "tlrwse/obs/flight_recorder.hpp"
 #include "tlrwse/wse/chunking.hpp"
 
 namespace tlrwse::wse {
@@ -46,8 +47,13 @@ struct BspReport {
   }
 };
 
-/// Executes one TLR-MVM pass of the dataset under the BSP model.
-[[nodiscard]] BspReport simulate_bsp_3phase(const RankSource& source,
-                                            const IpuSpec& spec);
+/// Executes one TLR-MVM pass of the dataset under the BSP model. When a
+/// recorder is attached, each device contributes one sample per superstep
+/// (phases kVMvm / kShuffle / kUMvm, barrier cost folded into each), so
+/// the recorder's per-phase critical path reproduces total_sec and the
+/// shuffle phase exposes the BSP overhead the fused CS-2 layout removes.
+[[nodiscard]] BspReport simulate_bsp_3phase(
+    const RankSource& source, const IpuSpec& spec,
+    obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace tlrwse::wse

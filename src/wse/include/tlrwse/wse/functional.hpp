@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "tlrwse/obs/flight_recorder.hpp"
 #include "tlrwse/tlr/stacked.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
 #include "tlrwse/wse/chunking.hpp"
@@ -35,9 +36,12 @@ class TlrRankSource final : public RankSource {
 
 /// Executes y = A x through the chunked PE mapping at the given stack
 /// width, with each chunk's arithmetic performed as the eight split-real
-/// MVMs of Sec. 6.6 and partial results host-reduced.
+/// MVMs of Sec. 6.6 and partial results host-reduced. When a flight
+/// recorder is attached, every chunk launch records its cost-model sample
+/// (one PE per chunk, the fused column phase); the hook compiles away
+/// under -DTLRWSE_TRACING=OFF.
 [[nodiscard]] std::vector<cf32> functional_wse_mvm(
     const tlr::StackedTlr<cf32>& A, index_t stack_width,
-    std::span<const cf32> x);
+    std::span<const cf32> x, obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace tlrwse::wse

@@ -7,6 +7,7 @@
 //   total bytes accessed * clock / worst cycle count over all PEs.
 #pragma once
 
+#include "tlrwse/obs/flight_recorder.hpp"
 #include "tlrwse/wse/chunking.hpp"
 #include "tlrwse/wse/wse_spec.hpp"
 
@@ -25,7 +26,15 @@ struct ClusterConfig {
   Strategy strategy = Strategy::kSplitStackWidth;
   /// 0 = derive the system count from the PE demand; otherwise fixed.
   index_t systems = 0;
+  /// When set, every simulated PE launch is recorded (phase kFusedColumn,
+  /// one sample per PE). Null costs nothing; the hook sites also compile
+  /// away entirely under -DTLRWSE_TRACING=OFF.
+  obs::FlightRecorder* recorder = nullptr;
 };
+
+/// Recorder configuration matching a WseSpec: per-system PE count, fabric
+/// placement for the PE-grid heatmaps, and the clock for bandwidths.
+[[nodiscard]] obs::FlightRecorderConfig flight_config_for(const WseSpec& spec);
 
 struct ClusterReport {
   index_t chunks = 0;

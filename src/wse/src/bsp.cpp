@@ -7,7 +7,8 @@
 
 namespace tlrwse::wse {
 
-BspReport simulate_bsp_3phase(const RankSource& source, const IpuSpec& spec) {
+BspReport simulate_bsp_3phase(const RankSource& source, const IpuSpec& spec,
+                              obs::FlightRecorder* recorder) {
   TLRWSE_REQUIRE(spec.tiles >= 1 && spec.clock_hz > 0.0, "bad IPU spec");
   const tlr::TileGrid& g = source.grid();
 
@@ -40,9 +41,13 @@ BspReport simulate_bsp_3phase(const RankSource& source, const IpuSpec& spec) {
   // all devices; 4 real MVMs per basis, 1 fmac per element per MVM.
   const double total_tiles =
       static_cast<double>(rep.devices) * static_cast<double>(spec.tiles);
-  const double fmacs = 4.0 * (v_elems + u_elems);
-  rep.compute_sec =
-      fmacs / (total_tiles * spec.flops_per_cycle_per_tile * spec.clock_hz);
+  const double v_sec = 4.0 * v_elems /
+                       (total_tiles * spec.flops_per_cycle_per_tile *
+                        spec.clock_hz);
+  const double u_sec = 4.0 * u_elems /
+                       (total_tiles * spec.flops_per_cycle_per_tile *
+                        spec.clock_hz);
+  rep.compute_sec = v_sec + u_sec;
 
   // Superstep 2: the shuffle. Within a device the exchange moves at the
   // all-to-all bandwidth; traffic between devices rides the (much slower)
@@ -59,6 +64,40 @@ BspReport simulate_bsp_3phase(const RankSource& source, const IpuSpec& spec) {
   rep.barrier_sec = 3.0 * spec.barrier_sec;
 
   rep.total_sec = rep.compute_sec + rep.exchange_sec + rep.barrier_sec;
+
+#ifdef TLRWSE_TRACING_ENABLED
+  if (recorder != nullptr) {
+    // One sample per device per superstep (the model assumes perfect
+    // balance within a superstep), cycles on the IPU clock with the
+    // superstep's barrier folded in so the per-phase critical path sums to
+    // total_sec. Traffic uses the paper's relative (cache-style)
+    // accounting; the flat-SRAM absolute accounting is a CS-2 concept, so
+    // the absolute stream mirrors the relative one on the IPU.
+    const double dev = static_cast<double>(rep.devices);
+    const double barrier_cy = spec.barrier_sec * spec.clock_hz;
+    const auto per_device = [&](double phase_sec, double bytes,
+                                double flops) {
+      obs::PeSample s;
+      s.cycles = phase_sec * spec.clock_hz + barrier_cy;
+      s.relative_bytes = bytes / dev;
+      s.absolute_bytes = bytes / dev;
+      s.flops = flops / dev;
+      s.sram_bytes = base_bytes / dev;
+      return s;
+    };
+    const obs::PeSample v = per_device(v_sec, 8.0 * v_elems, 8.0 * v_elems);
+    const obs::PeSample sh =
+        per_device(rep.exchange_sec, 4.0 * shuffle_bytes, 0.0);
+    const obs::PeSample u = per_device(u_sec, 8.0 * u_elems, 8.0 * u_elems);
+    for (index_t d = 0; d < rep.devices; ++d) {
+      recorder->record(obs::Phase::kVMvm, d, v);
+      recorder->record(obs::Phase::kShuffle, d, sh);
+      recorder->record(obs::Phase::kUMvm, d, u);
+    }
+  }
+#else
+  (void)recorder;
+#endif
   return rep;
 }
 

@@ -1,6 +1,7 @@
 #include "tlrwse/wse/functional.hpp"
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/wse/cost_model.hpp"
 
 namespace tlrwse::wse {
 
@@ -34,7 +35,8 @@ std::vector<index_t> TlrRankSource::tile_ranks(index_t q) const {
 
 std::vector<cf32> functional_wse_mvm(const tlr::StackedTlr<cf32>& A,
                                      index_t stack_width,
-                                     std::span<const cf32> x) {
+                                     std::span<const cf32> x,
+                                     obs::FlightRecorder* recorder) {
   const tlr::TileGrid& g = A.grid();
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
   std::vector<cf32> y(static_cast<std::size_t>(g.rows()), cf32{});
@@ -60,7 +62,44 @@ std::vector<cf32> functional_wse_mvm(const tlr::StackedTlr<cf32>& A,
   } source;
   source.stacks = &A;
 
+#ifdef TLRWSE_TRACING_ENABLED
+  index_t pe_index = 0;  // one PE per chunk, strategy-1 style
+  const CostModelParams cost{};
+#else
+  (void)recorder;
+#endif
+
   for_each_chunk(source, stack_width, [&](const Chunk& c) {
+#ifdef TLRWSE_TRACING_ENABLED
+    if (recorder != nullptr) {
+      // The chunk's eight MVM shapes (4x V, 4x U), computed in place: the
+      // heap-allocating chunk_mvm_shapes() would dominate the hook cost.
+      RealMvmShape v;
+      v.m = static_cast<double>(c.h);
+      v.n = static_cast<double>(c.nb);
+      v.mn = v.m * v.n;
+      RealMvmShape u;
+      u.n = static_cast<double>(c.h);
+      index_t prev_tile = -1;
+      for (const auto& seg : c.segments) {
+        u.mn += static_cast<double>(seg.count) * static_cast<double>(seg.mb);
+        if (seg.tile_row != prev_tile) {
+          u.m += static_cast<double>(seg.mb);
+          prev_tile = seg.tile_row;
+        }
+      }
+      PeWork pe;
+      for (int k = 0; k < 4; ++k) pe.add_mvm(cost, v);
+      for (int k = 0; k < 4; ++k) pe.add_mvm(cost, u);
+      pe.cycles += cost.cycles_per_call;
+      recorder->record(
+          obs::Phase::kFusedColumn, pe_index,
+          obs::PeSample{pe.cycles, pe.relative_bytes, pe.absolute_bytes,
+                        pe.flops,
+                        static_cast<double>(chunk_sram_bytes_strategy1(c))});
+    }
+    ++pe_index;
+#endif
     const index_t j = c.tile_col;
     const auto& vs = A.v_stack(j);
     const cf32* xj = x.data() + g.col_offset(j);

@@ -20,6 +20,7 @@
 #include "tlrwse/mdd/lsqr.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/prometheus.hpp"
 #include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/serve/solve_service.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
@@ -149,6 +150,49 @@ TEST(MetricsRegistry, SnapshotJsonHasStableShape) {
   EXPECT_EQ(snap.counters.at("alpha"), 0u);
   EXPECT_EQ(snap.gauges.at("depth"), 0);
   EXPECT_EQ(snap.histograms.front().snap.count, 0u);
+}
+
+// ---------------------------------------------------------- prometheus --
+
+TEST(Prometheus, MetricNameSanitisation) {
+  EXPECT_EQ(obs::prometheus_metric_name("serve.queue_wait"),
+            "tlrwse_serve_queue_wait");
+  EXPECT_EQ(obs::prometheus_metric_name("a..b--c"), "tlrwse_a_b_c");
+  EXPECT_EQ(obs::prometheus_metric_name("trailing..."), "tlrwse_trailing");
+}
+
+TEST(Prometheus, TextExpositionCoversAllMetricKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("prom.hits").add(7);
+  reg.gauge("prom.depth").set(-3);
+  reg.histogram("prom.lat").record(2.0);
+  reg.histogram("prom.lat").record(150.0);
+  const std::string text = obs::metrics_to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE tlrwse_prom_hits counter\n"
+                      "tlrwse_prom_hits 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE tlrwse_prom_depth gauge\n"
+                      "tlrwse_prom_depth -3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE tlrwse_prom_lat histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("tlrwse_prom_lat_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tlrwse_prom_lat_count 2"), std::string::npos);
+  EXPECT_NE(text.find("tlrwse_prom_lat_sum 152"), std::string::npos);
+  // Cumulative bucket counts must be monotone non-decreasing.
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("tlrwse_prom_lat_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    const auto val_pos = text.find("} ", pos) + 2;
+    const auto value = std::strtoull(text.c_str() + val_pos, nullptr, 10);
+    EXPECT_GE(value, prev);
+    prev = value;
+    ++pos;
+  }
 }
 
 // -------------------------------------------------------------- tracer --
@@ -286,6 +330,28 @@ TEST(Tracer, RingOverflowKeepsTailAndCountsDropped) {
       EXPECT_GE(e.ts * 1e3, 92.0 - 1e-6);
     }
   }
+}
+
+TEST(Tracer, RingOverflowSurfacesDroppedSpansCounter) {
+  // Ring-buffer truncation must be visible in the process registry, not
+  // just the tracer's own dropped_count(): dashboards scrape the registry.
+  const std::uint64_t before =
+      obs::MetricsRegistry::instance().snapshot().counters.count(
+          "trace.dropped_spans")
+          ? obs::MetricsRegistry::instance()
+                .snapshot()
+                .counters.at("trace.dropped_spans")
+          : 0;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tracer.complete("obs_test.drop", "test", i, 1);
+  }
+  tracer.disable();
+  EXPECT_EQ(tracer.dropped_count(), 16u);
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.counters.count("trace.dropped_spans"));
+  EXPECT_EQ(snap.counters.at("trace.dropped_spans") - before, 16u);
 }
 
 TEST(Tracer, DetailTierIsGated) {

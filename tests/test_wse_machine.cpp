@@ -69,11 +69,14 @@ TEST(Simulate, Strategy2UsesEightfoldPesAndRunsFaster) {
   const auto r2 = simulate_cluster(src, s2);
   EXPECT_EQ(r2.pes_used, 8 * r1.pes_used);
   EXPECT_LT(r2.worst_cycles, r1.worst_cycles);
-  // Ideal split would be 8x faster; overheads keep efficiency below 1 but
-  // it should stay high (the paper reports 97%).
+  // The scatter interleaves the eight column streams, so each PE carries
+  // the balanced 1/8 share of the batch and the per-MVM prologue folds
+  // into the single launch. Efficiency vs the ideal 8x split stays near 1
+  // and may marginally exceed it (the paper's Tables 2+5 imply 8.015x on
+  // the nb = 70 headline run); the launch overhead keeps it bounded.
   const double eff = r1.worst_cycles / (8.0 * r2.worst_cycles);
-  EXPECT_GT(eff, 0.6);
-  EXPECT_LE(eff, 1.0);
+  EXPECT_GT(eff, 0.9);
+  EXPECT_LE(eff, 1.1);
   // Same total traffic is counted in both strategies.
   EXPECT_NEAR(r2.relative_bytes / r1.relative_bytes, 1.0, 1e-12);
 }

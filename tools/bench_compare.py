@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Regression gate for the tlrwse benchmarks.
+
+Compares a baseline bench run against a candidate run of the same bench
+and fails when any tracked metric moved in the bad direction by more
+than the threshold. Both inputs are the JSON-lines files the benches
+emit (header line + data rows); rows are matched across the two runs by
+a per-bench key so a reordered sweep still compares like with like.
+
+Direction matters: bandwidth and throughput metrics regress when they
+DROP, latencies and times regress when they RISE. Improvements of any
+size never fail the gate.
+
+Usage:
+  bench_compare.py BASELINE CANDIDATE [--threshold PCT]
+  bench_compare.py --self-test
+
+Exit status: 0 when no metric regressed past the threshold (default
+2%), 1 on a regression or malformed input. Stdlib only. CI runs this
+against the committed baseline in bench/baselines/ — see ci.yml.
+"""
+
+import argparse
+import json
+import sys
+
+# bench name -> row key fields, metrics that regress when they drop,
+# metrics that regress when they rise. Metrics absent from a row are
+# skipped so older runs stay comparable.
+METRICS = {
+    "table3_bandwidth": {
+        "key": ("row", "nb", "stack_width"),
+        "higher_better": ("relative_pbs", "absolute_pbs", "pflops"),
+        "lower_better": (),
+    },
+    "mdc_throughput": {
+        "key": ("threads",),
+        "higher_better": ("applies_per_sec",),
+        "lower_better": ("sec_per_apply_pair",),
+    },
+    "serve_throughput": {
+        "key": ("clients",),
+        "higher_better": ("requests_per_sec",),
+        "lower_better": ("latency_p95_s",),
+    },
+    "obs_overhead": {
+        "key": (),
+        "higher_better": (),
+        "lower_better": ("min_baseline_s", "min_sim_baseline_s"),
+    },
+}
+
+
+def read_run(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        objs = [json.loads(ln) for ln in fh if ln.strip()]
+    if not objs or "bench" not in objs[0]:
+        raise ValueError(f"{path}: first line must be a bench header")
+    return objs[0], objs[1:]
+
+
+def row_key(spec, row):
+    return tuple(row.get(field) for field in spec["key"])
+
+
+def compare(bench, base_rows, cand_rows, threshold):
+    """Returns (report_lines, regressions) for the two row sets."""
+    spec = METRICS.get(bench)
+    if spec is None:
+        raise ValueError(
+            f"no metric set for bench {bench!r} (known: {sorted(METRICS)})"
+        )
+    base_by_key = {row_key(spec, r): r for r in base_rows}
+    lines, regressions = [], []
+    for cand in cand_rows:
+        key = row_key(spec, cand)
+        base = base_by_key.get(key)
+        if base is None:
+            lines.append(f"  {key}: no baseline row, skipped")
+            continue
+        for metric, sign in [(m, +1) for m in spec["higher_better"]] + [
+            (m, -1) for m in spec["lower_better"]
+        ]:
+            if metric not in base or metric not in cand:
+                continue
+            b, c = float(base[metric]), float(cand[metric])
+            if b == 0.0:
+                continue
+            # Positive delta_pct always means "moved in the bad direction".
+            delta_pct = sign * 100.0 * (b - c) / abs(b)
+            verdict = "REGRESSED" if delta_pct > threshold else "ok"
+            lines.append(
+                f"  {key} {metric}: {b:g} -> {c:g} "
+                f"({-delta_pct:+.2f}% good-direction) {verdict}"
+            )
+            if delta_pct > threshold:
+                regressions.append((key, metric, b, c, delta_pct))
+    return lines, regressions
+
+
+def self_test():
+    """Synthetic identical and 20%-slowdown pairs must pass and fail."""
+    base = [
+        {"row": "headline48", "nb": 70, "stack_width": 23, "relative_pbs": 92.6,
+         "absolute_pbs": 245.6, "pflops": 40.5},
+        {"row": "six_shard", "nb": 25, "stack_width": 64, "relative_pbs": 12.6,
+         "absolute_pbs": 29.2, "pflops": 4.8},
+    ]
+    _, same = compare("table3_bandwidth", base, [dict(r) for r in base], 2.0)
+    if same:
+        print(f"self-test FAILED: identical runs flagged {same}", file=sys.stderr)
+        return 1
+    slow = [dict(r, relative_pbs=r["relative_pbs"] * 0.8) for r in base]
+    _, regressed = compare("table3_bandwidth", base, slow, 2.0)
+    if len(regressed) != len(base):
+        print(
+            f"self-test FAILED: 20% slowdown flagged {len(regressed)}/"
+            f"{len(base)} rows",
+            file=sys.stderr,
+        )
+        return 1
+    faster = [dict(r, relative_pbs=r["relative_pbs"] * 1.5) for r in base]
+    _, improved = compare("table3_bandwidth", base, faster, 2.0)
+    if improved:
+        print("self-test FAILED: improvement flagged", file=sys.stderr)
+        return 1
+    lat_base = [{"clients": 4, "requests_per_sec": 100.0, "latency_p95_s": 0.01}]
+    lat_slow = [{"clients": 4, "requests_per_sec": 100.0, "latency_p95_s": 0.013}]
+    _, lat = compare("serve_throughput", lat_base, lat_slow, 2.0)
+    if len(lat) != 1:
+        print("self-test FAILED: latency rise not flagged", file=sys.stderr)
+        return 1
+    print("self-test: ok (identical pass, 20% slowdown and latency rise flagged)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="regression threshold in percent (default 2)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic pass/fail pairs and exit")
+    args = parser.parse_args(argv[1:])
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("BASELINE and CANDIDATE are required (or --self-test)")
+    try:
+        base_header, base_rows = read_run(args.baseline)
+        cand_header, cand_rows = read_run(args.candidate)
+        if base_header["bench"] != cand_header["bench"]:
+            raise ValueError(
+                f"bench mismatch: {base_header['bench']!r} vs "
+                f"{cand_header['bench']!r}"
+            )
+        lines, regressions = compare(
+            base_header["bench"], base_rows, cand_rows, args.threshold
+        )
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"bench: {base_header['bench']}  threshold: {args.threshold}%")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"{len(regressions)} regression(s) past {args.threshold}%:",
+              file=sys.stderr)
+        for key, metric, b, c, delta in regressions:
+            print(f"  {key} {metric}: {b:g} -> {c:g} ({delta:.2f}% worse)",
+                  file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -43,15 +43,67 @@ SCHEMAS = {
     "obs_overhead": (
         {"bench", "nt", "num_freq", "ns", "nr", "reps", "trials"},
         {
-            "median_baseline_s",
-            "median_traced_s",
+            "min_baseline_s",
+            "min_traced_s",
             "overhead_pct",
             "detail_overhead_pct",
             "events_recorded",
             "pass_lt_2pct",
+            "min_sim_baseline_s",
+            "min_sim_recorded_s",
+            "sim_overhead_pct",
+            "sim_chunks",
+            "sim_pass_lt_2pct",
+            "costmodel_overhead_pct",
+        },
+    ),
+    "table3_bandwidth": (
+        {"bench"},
+        {
+            "row",
+            "nb",
+            "acc",
+            "stack_width",
+            "systems",
+            "relative_pbs",
+            "absolute_pbs",
+            "pflops",
         },
     ),
 }
+
+# Extra keys required on specific rows (matched by their "row" value).
+ROW_EXTRA_KEYS = {
+    ("table3_bandwidth", "headline48"): {
+        "rel_err_pct",
+        "abs_err_pct",
+        "within_1pct",
+    },
+}
+
+
+def check_meta(path, lineno, header):
+    """Validates the v2 header metadata when schema_version is present."""
+    ok = True
+    version = header.get("schema_version")
+    if version is None:
+        return ok  # v1 headers carry no metadata
+    if not isinstance(version, int) or isinstance(version, bool):
+        return fail(path, lineno, f"schema_version must be an int, got {version!r}")
+    if version < 2:
+        return fail(path, lineno, f"schema_version must be >= 2, got {version}")
+    meta = header.get("meta")
+    if not isinstance(meta, dict):
+        return fail(path, lineno, "schema_version 2 header requires a 'meta' object")
+    for key, want in (("git_sha", str), ("compiler", str), ("threads", int)):
+        value = meta.get(key)
+        if not isinstance(value, want) or isinstance(value, bool):
+            ok = fail(
+                path,
+                lineno,
+                f"meta.{key} must be {want.__name__}, got {value!r}",
+            )
+    return ok
 
 
 def fail(path, lineno, msg):
@@ -109,12 +161,16 @@ def check_file(path):
     if missing:
         ok = fail(path, head_line, f"header missing keys: {sorted(missing)}")
     ok = check_numbers_finite(path, head_line, header) and ok
+    ok = check_meta(path, head_line, header) and ok
 
     data = objs[1:]
     if not data:
         ok = fail(path, head_line, "no data lines after the header")
     for lineno, obj in data:
         missing = data_keys - obj.keys()
+        extra = ROW_EXTRA_KEYS.get((bench, obj.get("row")))
+        if extra:
+            missing |= extra - obj.keys()
         if missing:
             ok = fail(path, lineno, f"data line missing keys: {sorted(missing)}")
         ok = check_numbers_finite(path, lineno, obj) and ok

@@ -17,9 +17,11 @@
 //   tlrwse_cli serve    --archive survey.tlra [--clients 8] [--requests 4]
 //                       [--workers 4] [--queue 64] [--batch 8] [--iters 10]
 //                       [--mode lsqr|adjoint|mixed] [--deadline-ms 0]
-//                       [--cache-mb 512] [--verify 1] [geometry flags as
-//                       for solve]   (closed-loop multi-client solve
-//                       service driver; verifies bitwise vs sequential)
+//                       [--cache-mb 512] [--verify 1] [--metrics-out FILE]
+//                       [geometry flags as for solve]   (closed-loop
+//                       multi-client solve service driver; verifies
+//                       bitwise vs sequential; --metrics-out dumps the
+//                       service registry in Prometheus text format)
 //   tlrwse_cli trace    --out trace.json [--iters 5] [--nb 24] [--acc 1e-4]
 //                       [geometry flags as for synth]   (end-to-end demo:
 //                       archive -> serve -> solve, captured as a
@@ -52,6 +54,7 @@
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/mdd/metrics.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/prometheus.hpp"
 #include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/seismic/modeling.hpp"
 #include "tlrwse/seismic/rank_model.hpp"
@@ -384,6 +387,7 @@ int cmd_serve(const Args& args) {
   const std::string mode = args.get("mode", "lsqr");
   const double deadline_s = args.num("deadline-ms", 0.0) / 1e3;
   const bool verify = args.integer("verify", 1) != 0;
+  const std::string metrics_out = args.get("metrics-out", "");
   if (clients < 1 || requests < 1) {
     std::fprintf(stderr, "serve: --clients/--requests must be >= 1\n");
     return 1;
@@ -470,6 +474,22 @@ int cmd_serve(const Args& args) {
                     m.counters.rejected_archive_missing),
                 static_cast<unsigned long long>(m.cache.loads),
                 100.0 * m.cache.hit_rate());
+
+    if (!metrics_out.empty()) {
+      // Quiescent snapshot (all clients joined): the dump is a complete,
+      // scrape-ready view of the run for Prometheus-side tooling.
+      const std::string text =
+          obs::metrics_to_prometheus_text(service.registry().snapshot());
+      std::FILE* fh = std::fopen(metrics_out.c_str(), "wb");
+      if (fh == nullptr) {
+        std::fprintf(stderr, "serve: cannot write %s\n", metrics_out.c_str());
+        return 2;
+      }
+      std::fwrite(text.data(), 1, text.size(), fh);
+      std::fclose(fh);
+      std::printf("metrics: wrote %zu bytes to %s\n", text.size(),
+                  metrics_out.c_str());
+    }
 
     if (verify) {
       // Sequential reference on a fresh operator instance: the service
