@@ -29,9 +29,10 @@ void gemv(const Matrix<T>& A, std::span<const T> x, std::span<T> y,
   } else if (beta != T{1}) {
     for (index_t i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] *= beta;
   }
+  // No zero-skip on axj: skipping would block vectorization AND silently
+  // drop NaN/Inf propagation from A when x[j] == 0.
   for (index_t j = 0; j < n; ++j) {
     const T axj = alpha * x[static_cast<std::size_t>(j)];
-    if (axj == T{}) continue;
     const T* aj = A.col(j);
     for (index_t i = 0; i < m; ++i) {
       y[static_cast<std::size_t>(i)] += aj[i] * axj;
@@ -86,7 +87,6 @@ void gemm(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& C,
       const T* bj = B.col(j);
       for (index_t l = 0; l < k; ++l) {
         const T ab = alpha * bj[l];
-        if (ab == T{}) continue;
         const T* al = A.col(l);
         for (index_t i = 0; i < m; ++i) cj[i] += al[i] * ab;
       }
@@ -104,30 +104,50 @@ template <typename T>
   return C;
 }
 
-/// Hermitian inner product <x, y> = x^H y.
+namespace detail {
+
+/// Reduction block size of the pairwise summations below. 64 keeps the
+/// recursion shallow while bounding each sequential run's error growth.
+inline constexpr std::size_t kPairwiseBlock = 64;
+
+/// Pairwise (cascade) summation: O(log n) error growth instead of the
+/// O(n) of a running sum. LSQR's convergence checks ride on dot/norm2, so
+/// their float32 accuracy on long ill-conditioned vectors matters.
+template <typename Acc, typename F>
+[[nodiscard]] Acc pairwise_sum(std::size_t i0, std::size_t n, F&& term) {
+  if (n <= kPairwiseBlock) {
+    Acc acc{};
+    for (std::size_t i = i0; i < i0 + n; ++i) acc += term(i);
+    return acc;
+  }
+  const std::size_t half = n / 2;
+  return pairwise_sum<Acc>(i0, half, term) +
+         pairwise_sum<Acc>(i0 + half, n - half, term);
+}
+
+}  // namespace detail
+
+/// Hermitian inner product <x, y> = x^H y (blocked pairwise accumulation).
 template <typename T>
 [[nodiscard]] T dot(std::span<const T> x, std::span<const T> y) {
   TLRWSE_REQUIRE(x.size() == y.size(), "dot: size mismatch");
-  T acc{};
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += conj_if_complex(x[i]) * y[i];
-  }
-  return acc;
+  return detail::pairwise_sum<T>(
+      0, x.size(), [&](std::size_t i) { return conj_if_complex(x[i]) * y[i]; });
 }
 
 /// Euclidean norm of a vector.
 template <typename T>
 [[nodiscard]] real_of_t<T> norm2(std::span<const T> x) {
   using R = real_of_t<T>;
-  // Two-pass scaled norm to avoid overflow/underflow in float.
+  // Two-pass scaled norm to avoid overflow/underflow in float; the sum of
+  // scaled squares uses the same pairwise accumulation as dot().
   R maxabs{};
   for (const T& v : x) maxabs = std::max(maxabs, static_cast<R>(std::abs(v)));
   if (maxabs == R{}) return R{};
-  R sum{};
-  for (const T& v : x) {
-    const R s = static_cast<R>(std::abs(v)) / maxabs;
-    sum += s * s;
-  }
+  const R sum = detail::pairwise_sum<R>(0, x.size(), [&](std::size_t i) {
+    const R s = static_cast<R>(std::abs(x[i])) / maxabs;
+    return s * s;
+  });
   return maxabs * std::sqrt(sum);
 }
 

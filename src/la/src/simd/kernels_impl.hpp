@@ -1,0 +1,378 @@
+// Shared kernel bodies of the SIMD engine, templated over a vector type.
+//
+// Each ISA tier provides a small Vec wrapper (see table_*.cpp):
+//
+//   struct Vec {
+//     static constexpr index_t kWidth;     // floats per register
+//     using reg;
+//     static reg zero();
+//     static reg load(const float* p);     // unaligned
+//     static void store(float* p, reg v);  // unaligned
+//     static reg broadcast(float v);
+//     static reg fmadd(reg a, reg b, reg c);   //  a*b + c, single rounding
+//     static reg fnmadd(reg a, reg b, reg c);  // -a*b + c, single rounding
+//   };
+//
+// and instantiates make_table<Vec>() in a translation unit compiled with
+// that ISA's flags. The bodies are written so that EVERY tier produces
+// bitwise-identical results:
+//   * axpy-form kernels update each element with one fused multiply-add
+//     per (column, element) pair in a fixed column order — elementwise,
+//     so vector width cannot change the result;
+//   * dot-form kernels accumulate into a fixed block of kAccLanes = 16
+//     partial sums (lane l takes elements with i % 16 == l) and reduce
+//     them with the same pairwise tree, whatever the register width;
+//   * the scalar tier uses std::fma, which rounds exactly like the
+//     hardware fused multiply-add the vector tiers use.
+// The parity fuzz test (test_simd) pins all tiers to <= 4 ULP; by this
+// construction they agree exactly.
+#pragma once
+
+#include <cmath>
+
+#include "tlrwse/la/simd.hpp"
+
+namespace tlrwse::la::simd::detail {
+
+/// Fixed number of partial sums of every dot-form reduction (one cache
+/// line of floats; a multiple of every supported register width).
+inline constexpr index_t kAccLanes = 16;
+
+/// The width-independent reduction tree over the 16 lane sums.
+inline float reduce_lanes(const float* lanes) {
+  float s8[8];
+  for (int k = 0; k < 8; ++k) s8[k] = lanes[k] + lanes[k + 8];
+  float s4[4];
+  for (int k = 0; k < 4; ++k) s4[k] = s8[k] + s8[k + 4];
+  const float s20 = s4[0] + s4[2];
+  const float s21 = s4[1] + s4[3];
+  return s20 + s21;
+}
+
+template <class V>
+struct Kernels {
+  static constexpr index_t W = V::kWidth;
+  static_assert(kAccLanes % V::kWidth == 0,
+                "register width must divide the fixed lane count");
+
+  static void zero_fill(float* y, index_t m) {
+    for (index_t i = 0; i < m; ++i) y[i] = 0.0f;
+  }
+
+  // y (+)= A x, column-sweep axpy form.
+  static void sgemv(index_t m, index_t n, const float* A, index_t lda,
+                    const float* x, float* y, bool accumulate) {
+    if (!accumulate) zero_fill(y, m);
+    const index_t mv = m - m % W;
+    for (index_t j = 0; j < n; ++j) {
+      const float xj = x[j];
+      const float* aj = A + j * lda;
+      const typename V::reg xv = V::broadcast(xj);
+      index_t i = 0;
+      for (; i < mv; i += W) {
+        V::store(y + i, V::fmadd(V::load(aj + i), xv, V::load(y + i)));
+      }
+      for (; i < m; ++i) y[i] = std::fma(aj[i], xj, y[i]);
+    }
+  }
+
+  // y (+)= A^T x, dot form with the fixed 16-lane accumulation.
+  static void sgemv_t(index_t m, index_t n, const float* A, index_t lda,
+                      const float* x, float* y, bool accumulate) {
+    constexpr index_t NR = kAccLanes / W;
+    const index_t mb = m - m % kAccLanes;
+    for (index_t j = 0; j < n; ++j) {
+      const float* aj = A + j * lda;
+      typename V::reg acc[NR];
+      for (index_t r = 0; r < NR; ++r) acc[r] = V::zero();
+      for (index_t i = 0; i < mb; i += kAccLanes) {
+        for (index_t r = 0; r < NR; ++r) {
+          acc[r] = V::fmadd(V::load(aj + i + r * W), V::load(x + i + r * W),
+                            acc[r]);
+        }
+      }
+      alignas(64) float lanes[kAccLanes];
+      for (index_t r = 0; r < NR; ++r) V::store(lanes + r * W, acc[r]);
+      for (index_t i = mb; i < m; ++i) {
+        lanes[i - mb] = std::fma(aj[i], x[i], lanes[i - mb]);
+      }
+      const float s = reduce_lanes(lanes);
+      y[j] = accumulate ? y[j] + s : s;
+    }
+  }
+
+  // (yr + i yi) (+)= (Ar + i Ai)(xr + i xi), one pass over Ar/Ai.
+  // Fixed per-element order: yr += ar*xr; yr -= ai*xi; yi += ar*xi;
+  // yi += ai*xr — all four as fused multiply-adds.
+  static void sgemv_split(index_t m, index_t n, const float* Ar,
+                          const float* Ai, index_t lda, const float* xr,
+                          const float* xi, float* yr, float* yi,
+                          bool accumulate) {
+    if (!accumulate) {
+      zero_fill(yr, m);
+      zero_fill(yi, m);
+    }
+    const index_t mv = m - m % W;
+    for (index_t j = 0; j < n; ++j) {
+      const float xrj = xr[j];
+      const float xij = xi[j];
+      const float* arj = Ar + j * lda;
+      const float* aij = Ai + j * lda;
+      const typename V::reg xrv = V::broadcast(xrj);
+      const typename V::reg xiv = V::broadcast(xij);
+      index_t i = 0;
+      for (; i < mv; i += W) {
+        const typename V::reg ar = V::load(arj + i);
+        const typename V::reg ai = V::load(aij + i);
+        typename V::reg r = V::load(yr + i);
+        r = V::fmadd(ar, xrv, r);
+        r = V::fnmadd(ai, xiv, r);
+        V::store(yr + i, r);
+        typename V::reg im = V::load(yi + i);
+        im = V::fmadd(ar, xiv, im);
+        im = V::fmadd(ai, xrv, im);
+        V::store(yi + i, im);
+      }
+      for (; i < m; ++i) {
+        float r = yr[i];
+        r = std::fma(arj[i], xrj, r);
+        r = std::fma(-aij[i], xij, r);
+        yr[i] = r;
+        float im = yi[i];
+        im = std::fma(arj[i], xij, im);
+        im = std::fma(aij[i], xrj, im);
+        yi[i] = im;
+      }
+    }
+  }
+
+  // (yr + i yi) (+)= (Ar + i Ai)^H (xr + i xi): conjugated dot form.
+  // Per column j: yr[j] = sum ar*xr + ai*xi ; yi[j] = sum ar*xi - ai*xr.
+  static void sgemv_split_adjoint(index_t m, index_t n, const float* Ar,
+                                  const float* Ai, index_t lda,
+                                  const float* xr, const float* xi, float* yr,
+                                  float* yi, bool accumulate) {
+    constexpr index_t NR = kAccLanes / W;
+    const index_t mb = m - m % kAccLanes;
+    for (index_t j = 0; j < n; ++j) {
+      const float* arj = Ar + j * lda;
+      const float* aij = Ai + j * lda;
+      typename V::reg accr[NR];
+      typename V::reg acci[NR];
+      for (index_t r = 0; r < NR; ++r) {
+        accr[r] = V::zero();
+        acci[r] = V::zero();
+      }
+      for (index_t i = 0; i < mb; i += kAccLanes) {
+        for (index_t r = 0; r < NR; ++r) {
+          const typename V::reg ar = V::load(arj + i + r * W);
+          const typename V::reg ai = V::load(aij + i + r * W);
+          const typename V::reg vr = V::load(xr + i + r * W);
+          const typename V::reg vi = V::load(xi + i + r * W);
+          accr[r] = V::fmadd(ar, vr, accr[r]);
+          accr[r] = V::fmadd(ai, vi, accr[r]);
+          acci[r] = V::fmadd(ar, vi, acci[r]);
+          acci[r] = V::fnmadd(ai, vr, acci[r]);
+        }
+      }
+      alignas(64) float lanesr[kAccLanes];
+      alignas(64) float lanesi[kAccLanes];
+      for (index_t r = 0; r < NR; ++r) {
+        V::store(lanesr + r * W, accr[r]);
+        V::store(lanesi + r * W, acci[r]);
+      }
+      for (index_t i = mb; i < m; ++i) {
+        const index_t l = i - mb;
+        lanesr[l] = std::fma(arj[i], xr[i], lanesr[l]);
+        lanesr[l] = std::fma(aij[i], xi[i], lanesr[l]);
+        lanesi[l] = std::fma(arj[i], xi[i], lanesi[l]);
+        lanesi[l] = std::fma(-aij[i], xr[i], lanesi[l]);
+      }
+      const float sr = reduce_lanes(lanesr);
+      const float si = reduce_lanes(lanesi);
+      yr[j] = accumulate ? yr[j] + sr : sr;
+      yi[j] = accumulate ? yi[j] + si : si;
+    }
+  }
+
+  // One register-blocked panel of RB right-hand sides: the y tile stays in
+  // registers across the whole reduction over columns of A, so A is
+  // streamed once for RB results (RB x the arithmetic intensity).
+  template <index_t RB>
+  static void multi_panel(index_t m, index_t n, const float* A, index_t lda,
+                          const float* X, index_t ldx, float* Y, index_t ldy,
+                          bool accumulate) {
+    const index_t mv = m - m % W;
+    index_t i = 0;
+    for (; i < mv; i += W) {
+      typename V::reg acc[RB];
+      for (index_t r = 0; r < RB; ++r) {
+        acc[r] = accumulate ? V::load(Y + r * ldy + i) : V::zero();
+      }
+      for (index_t j = 0; j < n; ++j) {
+        const typename V::reg av = V::load(A + j * lda + i);
+        for (index_t r = 0; r < RB; ++r) {
+          acc[r] = V::fmadd(av, V::broadcast(X[r * ldx + j]), acc[r]);
+        }
+      }
+      for (index_t r = 0; r < RB; ++r) V::store(Y + r * ldy + i, acc[r]);
+    }
+    for (; i < m; ++i) {
+      for (index_t r = 0; r < RB; ++r) {
+        float acc = accumulate ? Y[r * ldy + i] : 0.0f;
+        for (index_t j = 0; j < n; ++j) {
+          acc = std::fma(A[j * lda + i], X[r * ldx + j], acc);
+        }
+        Y[r * ldy + i] = acc;
+      }
+    }
+  }
+
+  // Y (+)= A X over nrhs RHS columns; every column bitwise matches a
+  // single-RHS sgemv call (same fused multiply-add sequence per element).
+  static void sgemv_multi(index_t m, index_t n, const float* A, index_t lda,
+                          const float* X, index_t ldx, float* Y, index_t ldy,
+                          index_t nrhs, bool accumulate) {
+    index_t r0 = 0;
+    while (nrhs - r0 >= 8) {
+      multi_panel<8>(m, n, A, lda, X + r0 * ldx, ldx, Y + r0 * ldy, ldy,
+                     accumulate);
+      r0 += 8;
+    }
+    if (nrhs - r0 >= 4) {
+      multi_panel<4>(m, n, A, lda, X + r0 * ldx, ldx, Y + r0 * ldy, ldy,
+                     accumulate);
+      r0 += 4;
+    }
+    if (nrhs - r0 >= 2) {
+      multi_panel<2>(m, n, A, lda, X + r0 * ldx, ldx, Y + r0 * ldy, ldy,
+                     accumulate);
+      r0 += 2;
+    }
+    if (nrhs - r0 >= 1) {
+      multi_panel<1>(m, n, A, lda, X + r0 * ldx, ldx, Y + r0 * ldy, ldy,
+                     accumulate);
+    }
+  }
+
+  template <index_t RB>
+  static void split_multi_panel(index_t m, index_t n, const float* Ar,
+                                const float* Ai, index_t lda, const float* Xr,
+                                const float* Xi, index_t ldx, float* Yr,
+                                float* Yi, index_t ldy, bool accumulate) {
+    const index_t mv = m - m % W;
+    index_t i = 0;
+    for (; i < mv; i += W) {
+      typename V::reg accr[RB];
+      typename V::reg acci[RB];
+      for (index_t r = 0; r < RB; ++r) {
+        accr[r] = accumulate ? V::load(Yr + r * ldy + i) : V::zero();
+        acci[r] = accumulate ? V::load(Yi + r * ldy + i) : V::zero();
+      }
+      for (index_t j = 0; j < n; ++j) {
+        const typename V::reg ar = V::load(Ar + j * lda + i);
+        const typename V::reg ai = V::load(Ai + j * lda + i);
+        for (index_t r = 0; r < RB; ++r) {
+          const typename V::reg xrv = V::broadcast(Xr[r * ldx + j]);
+          const typename V::reg xiv = V::broadcast(Xi[r * ldx + j]);
+          accr[r] = V::fmadd(ar, xrv, accr[r]);
+          accr[r] = V::fnmadd(ai, xiv, accr[r]);
+          acci[r] = V::fmadd(ar, xiv, acci[r]);
+          acci[r] = V::fmadd(ai, xrv, acci[r]);
+        }
+      }
+      for (index_t r = 0; r < RB; ++r) {
+        V::store(Yr + r * ldy + i, accr[r]);
+        V::store(Yi + r * ldy + i, acci[r]);
+      }
+    }
+    for (; i < m; ++i) {
+      for (index_t r = 0; r < RB; ++r) {
+        float ar_acc = accumulate ? Yr[r * ldy + i] : 0.0f;
+        float ai_acc = accumulate ? Yi[r * ldy + i] : 0.0f;
+        for (index_t j = 0; j < n; ++j) {
+          const float ar = Ar[j * lda + i];
+          const float ai = Ai[j * lda + i];
+          ar_acc = std::fma(ar, Xr[r * ldx + j], ar_acc);
+          ar_acc = std::fma(-ai, Xi[r * ldx + j], ar_acc);
+          ai_acc = std::fma(ar, Xi[r * ldx + j], ai_acc);
+          ai_acc = std::fma(ai, Xr[r * ldx + j], ai_acc);
+        }
+        Yr[r * ldy + i] = ar_acc;
+        Yi[r * ldy + i] = ai_acc;
+      }
+    }
+  }
+
+  static void sgemv_split_multi(index_t m, index_t n, const float* Ar,
+                                const float* Ai, index_t lda, const float* Xr,
+                                const float* Xi, index_t ldx, float* Yr,
+                                float* Yi, index_t ldy, index_t nrhs,
+                                bool accumulate) {
+    index_t r0 = 0;
+    while (nrhs - r0 >= 4) {
+      split_multi_panel<4>(m, n, Ar, Ai, lda, Xr + r0 * ldx, Xi + r0 * ldx,
+                           ldx, Yr + r0 * ldy, Yi + r0 * ldy, ldy, accumulate);
+      r0 += 4;
+    }
+    if (nrhs - r0 >= 2) {
+      split_multi_panel<2>(m, n, Ar, Ai, lda, Xr + r0 * ldx, Xi + r0 * ldx,
+                           ldx, Yr + r0 * ldy, Yi + r0 * ldy, ldy, accumulate);
+      r0 += 2;
+    }
+    if (nrhs - r0 >= 1) {
+      split_multi_panel<1>(m, n, Ar, Ai, lda, Xr + r0 * ldx, Xi + r0 * ldx,
+                           ldx, Yr + r0 * ldy, Yi + r0 * ldy, ldy, accumulate);
+    }
+  }
+
+  static void sgemv_split_adjoint_multi(index_t m, index_t n, const float* Ar,
+                                        const float* Ai, index_t lda,
+                                        const float* Xr, const float* Xi,
+                                        index_t ldx, float* Yr, float* Yi,
+                                        index_t ldy, index_t nrhs,
+                                        bool accumulate) {
+    // Dot form shares no y registers across RHS, so the simple loop over
+    // RHS (A streamed per RHS) is already bitwise right; the win of
+    // blocking here is small next to the forward kernels and the adjoint
+    // multi path is off the LSQR critical loop.
+    for (index_t r = 0; r < nrhs; ++r) {
+      sgemv_split_adjoint(m, n, Ar, Ai, lda, Xr + r * ldx, Xi + r * ldx,
+                          Yr + r * ldy, Yi + r * ldy, accumulate);
+    }
+  }
+
+  static void split_complex(index_t n, const cf32* x, float* re, float* im) {
+    const float* p = reinterpret_cast<const float*>(x);
+    for (index_t i = 0; i < n; ++i) {
+      re[i] = p[2 * i];
+      im[i] = p[2 * i + 1];
+    }
+  }
+
+  static void merge_complex(index_t n, const float* re, const float* im,
+                            cf32* y) {
+    float* p = reinterpret_cast<float*>(y);
+    for (index_t i = 0; i < n; ++i) {
+      p[2 * i] = re[i];
+      p[2 * i + 1] = im[i];
+    }
+  }
+};
+
+template <class V>
+[[nodiscard]] constexpr KernelTable make_table(const char* name) {
+  using K = Kernels<V>;
+  return KernelTable{name,
+                     &K::sgemv,
+                     &K::sgemv_t,
+                     &K::sgemv_split,
+                     &K::sgemv_split_adjoint,
+                     &K::sgemv_multi,
+                     &K::sgemv_split_multi,
+                     &K::sgemv_split_adjoint_multi,
+                     &K::split_complex,
+                     &K::merge_complex};
+}
+
+}  // namespace tlrwse::la::simd::detail

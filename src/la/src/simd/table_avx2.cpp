@@ -1,0 +1,41 @@
+// AVX2+FMA tier (8-wide). This TU is always listed in the build; the body
+// only materialises when the build enabled TLRWSE_SIMD and compiled this
+// file with -mavx2 -mfma (see src/la/CMakeLists.txt), so configurations
+// without the flags still link.
+#include "kernels_impl.hpp"
+
+#if defined(TLRWSE_SIMD_ENABLED) && defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace tlrwse::la::simd::detail {
+
+#if defined(TLRWSE_SIMD_ENABLED) && defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+struct VecAvx2 {
+  static constexpr index_t kWidth = 8;
+  using reg = __m256;
+  static reg zero() { return _mm256_setzero_ps(); }
+  static reg load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, reg v) { _mm256_storeu_ps(p, v); }
+  static reg broadcast(float v) { return _mm256_set1_ps(v); }
+  static reg fmadd(reg a, reg b, reg c) { return _mm256_fmadd_ps(a, b, c); }
+  static reg fnmadd(reg a, reg b, reg c) { return _mm256_fnmadd_ps(a, b, c); }
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() {
+  static constexpr KernelTable t = make_table<VecAvx2>("avx2");
+  return &t;
+}
+
+#else
+
+const KernelTable* avx2_table() { return nullptr; }
+
+#endif
+
+}  // namespace tlrwse::la::simd::detail

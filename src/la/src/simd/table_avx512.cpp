@@ -1,0 +1,40 @@
+// AVX-512 tier (16-wide): one register holds a full dot-form lane block,
+// so the fixed 16-lane reduction costs a single store. Compiled with
+// -mavx512f only when TLRWSE_SIMD is on (see src/la/CMakeLists.txt).
+#include "kernels_impl.hpp"
+
+#if defined(TLRWSE_SIMD_ENABLED) && defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace tlrwse::la::simd::detail {
+
+#if defined(TLRWSE_SIMD_ENABLED) && defined(__AVX512F__)
+
+namespace {
+
+struct VecAvx512 {
+  static constexpr index_t kWidth = 16;
+  using reg = __m512;
+  static reg zero() { return _mm512_setzero_ps(); }
+  static reg load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, reg v) { _mm512_storeu_ps(p, v); }
+  static reg broadcast(float v) { return _mm512_set1_ps(v); }
+  static reg fmadd(reg a, reg b, reg c) { return _mm512_fmadd_ps(a, b, c); }
+  static reg fnmadd(reg a, reg b, reg c) { return _mm512_fnmadd_ps(a, b, c); }
+};
+
+}  // namespace
+
+const KernelTable* avx512_table() {
+  static constexpr KernelTable t = make_table<VecAvx512>("avx512");
+  return &t;
+}
+
+#else
+
+const KernelTable* avx512_table() { return nullptr; }
+
+#endif
+
+}  // namespace tlrwse::la::simd::detail

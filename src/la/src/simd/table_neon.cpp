@@ -1,0 +1,40 @@
+// NEON tier (4-wide) for aarch64, where Advanced SIMD is baseline and
+// needs no extra compile flags. vfmaq_f32 is a true fused multiply-add,
+// so the bitwise-parity contract holds here too.
+#include "kernels_impl.hpp"
+
+#if defined(TLRWSE_SIMD_ENABLED) && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace tlrwse::la::simd::detail {
+
+#if defined(TLRWSE_SIMD_ENABLED) && defined(__aarch64__)
+
+namespace {
+
+struct VecNeon {
+  static constexpr index_t kWidth = 4;
+  using reg = float32x4_t;
+  static reg zero() { return vdupq_n_f32(0.0f); }
+  static reg load(const float* p) { return vld1q_f32(p); }
+  static void store(float* p, reg v) { vst1q_f32(p, v); }
+  static reg broadcast(float v) { return vdupq_n_f32(v); }
+  static reg fmadd(reg a, reg b, reg c) { return vfmaq_f32(c, a, b); }
+  static reg fnmadd(reg a, reg b, reg c) { return vfmsq_f32(c, a, b); }
+};
+
+}  // namespace
+
+const KernelTable* neon_table() {
+  static const KernelTable t = make_table<VecNeon>("neon");
+  return &t;
+}
+
+#else
+
+const KernelTable* neon_table() { return nullptr; }
+
+#endif
+
+}  // namespace tlrwse::la::simd::detail

@@ -1,0 +1,30 @@
+// Scalar tier: the always-available reference the vector tiers must match
+// bitwise. Width-1 "vectors" over std::fma keep the rounding behaviour
+// identical to the hardware FMA the wide tiers use.
+#include <cmath>
+
+#include "kernels_impl.hpp"
+
+namespace tlrwse::la::simd::detail {
+
+namespace {
+
+struct VecScalar {
+  static constexpr index_t kWidth = 1;
+  using reg = float;
+  static reg zero() { return 0.0f; }
+  static reg load(const float* p) { return *p; }
+  static void store(float* p, reg v) { *p = v; }
+  static reg broadcast(float v) { return v; }
+  static reg fmadd(reg a, reg b, reg c) { return std::fma(a, b, c); }
+  static reg fnmadd(reg a, reg b, reg c) { return std::fma(-a, b, c); }
+};
+
+}  // namespace
+
+const KernelTable* scalar_table() {
+  static constexpr KernelTable t = make_table<VecScalar>("scalar");
+  return &t;
+}
+
+}  // namespace tlrwse::la::simd::detail

@@ -17,17 +17,20 @@
 
 #include "tlrwse/common/workspace_pool.hpp"
 #include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/simd.hpp"
+#include "tlrwse/tlr/mvm_plan.hpp"
 #include "tlrwse/tlr/real_split.hpp"
 #include "tlrwse/tlr/tlr_mvm.hpp"
 
 namespace tlrwse::mdc {
 
 /// Reusable scratch for one FrequencyMvm apply. Backends use the members
-/// they need (DenseMvm none, TlrMvm the TLR and/or split buffers); one
-/// instance must not be shared by concurrent calls.
+/// they need (DenseMvm none, TlrMvm the plan, TLR, and/or split buffers);
+/// one instance must not be shared by concurrent calls.
 struct FrequencyWorkspace {
   tlr::MvmWorkspace<cf32> tlr;
   tlr::RealSplitWorkspace<float> split;
+  tlr::PlanWorkspace plan;
 };
 
 /// One frequency slice of the kernel: y = K x and y = K^H x.
@@ -48,6 +51,30 @@ class FrequencyMvm {
   virtual void apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
                              FrequencyWorkspace& /*ws*/) const {
     apply_adjoint(x, y);
+  }
+  /// Multi-RHS forms: X holds nrhs input vectors back to back (cols() apart
+  /// for apply, rows() apart for the adjoint), Y the matching outputs. The
+  /// default loops over single-RHS applies; backends with a real multi-RHS
+  /// kernel (TlrMvm's plan) override to amortise one sweep over the
+  /// operator across all RHS. Every RHS column must equal the
+  /// corresponding single-RHS call bitwise.
+  virtual void apply_batch(std::span<const cf32> X, std::span<cf32> Y,
+                           index_t nrhs, FrequencyWorkspace& ws) const {
+    const std::size_t nin = static_cast<std::size_t>(cols());
+    const std::size_t nout = static_cast<std::size_t>(rows());
+    for (index_t r = 0; r < nrhs; ++r) {
+      apply(X.subspan(static_cast<std::size_t>(r) * nin, nin),
+            Y.subspan(static_cast<std::size_t>(r) * nout, nout), ws);
+    }
+  }
+  virtual void apply_adjoint_batch(std::span<const cf32> X, std::span<cf32> Y,
+                                   index_t nrhs, FrequencyWorkspace& ws) const {
+    const std::size_t nin = static_cast<std::size_t>(rows());
+    const std::size_t nout = static_cast<std::size_t>(cols());
+    for (index_t r = 0; r < nrhs; ++r) {
+      apply_adjoint(X.subspan(static_cast<std::size_t>(r) * nin, nin),
+                    Y.subspan(static_cast<std::size_t>(r) * nout, nout), ws);
+    }
   }
 };
 
@@ -73,11 +100,20 @@ class DenseMvm final : public FrequencyMvm {
 enum class TlrKernel { kThreePhase, kFused, kRealSplit };
 
 /// TLR backend over precomputed stacks; kernel variant selectable.
+///
+/// When the build carries the SIMD engine (TLRWSE_SIMD=ON), construction
+/// also compiles an MvmPlan — the arena + shuffle-program execution form —
+/// and every apply routes through it, whatever `kernel` names; the scalar
+/// kernel variants stay reachable through the free tlr:: functions. With
+/// TLRWSE_SIMD=OFF no plan exists and the selected scalar variant runs,
+/// bit-identical to the pre-SIMD tree.
 class TlrMvm final : public FrequencyMvm {
  public:
   TlrMvm(tlr::StackedTlr<cf32> stacks, TlrKernel kernel)
       : stacks_(std::move(stacks)), kernel_(kernel) {
-    if (kernel_ == TlrKernel::kRealSplit) {
+    if (la::simd::compiled_in()) {
+      plan_ = std::make_unique<tlr::MvmPlan>(stacks_);
+    } else if (kernel_ == TlrKernel::kRealSplit) {
       split_ = std::make_unique<tlr::RealSplitStacks<float>>(stacks_);
     }
   }
@@ -91,6 +127,10 @@ class TlrMvm final : public FrequencyMvm {
   }
   void apply(std::span<const cf32> x, std::span<cf32> y,
              FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply(x, y, ws.plan);
+      return;
+    }
     switch (kernel_) {
       case TlrKernel::kThreePhase:
         tlr::tlr_mvm_3phase(stacks_, x, y, ws.tlr);
@@ -105,18 +145,44 @@ class TlrMvm final : public FrequencyMvm {
   }
   void apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
                      FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply_adjoint(x, y, ws.plan);
+      return;
+    }
     tlr::tlr_mvm_adjoint(stacks_, x, y, ws.tlr);
+  }
+  void apply_batch(std::span<const cf32> X, std::span<cf32> Y, index_t nrhs,
+                   FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply_multi(X, Y, nrhs, ws.plan);
+      return;
+    }
+    FrequencyMvm::apply_batch(X, Y, nrhs, ws);
+  }
+  void apply_adjoint_batch(std::span<const cf32> X, std::span<cf32> Y,
+                           index_t nrhs,
+                           FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply_adjoint_multi(X, Y, nrhs, ws.plan);
+      return;
+    }
+    FrequencyMvm::apply_adjoint_batch(X, Y, nrhs, ws);
   }
   /// Test hook: number of pooled per-thread workspaces materialised by
   /// legacy-signature calls.
   [[nodiscard]] std::size_t pooled_workspaces() const {
     return pool_.active_slots();
   }
+  /// The compiled plan, or nullptr when the build has no SIMD engine.
+  [[nodiscard]] const tlr::MvmPlan* plan() const noexcept {
+    return plan_.get();
+  }
 
  private:
   tlr::StackedTlr<cf32> stacks_;
   TlrKernel kernel_;
   std::unique_ptr<tlr::RealSplitStacks<float>> split_;
+  std::unique_ptr<tlr::MvmPlan> plan_;
   WorkspacePool<FrequencyWorkspace> pool_;
 };
 

@@ -48,6 +48,17 @@ class MdcOperator final : public LinearOperator {
   void apply_adjoint(std::span<const float> y,
                      std::span<float> x) const override;
 
+  /// Batched forms: X holds nrhs wavefields back to back (cols() floats
+  /// each for apply, rows() for the adjoint), Y the matching outputs.
+  /// FFTs run per RHS, but each frequency kernel sees all RHS as one
+  /// multi-RHS panel — one sweep over the operator data instead of nrhs —
+  /// which is where coalesced serve requests gain their throughput. Every
+  /// RHS column is bitwise identical to the corresponding single apply.
+  void apply_batch(std::span<const float> X, std::span<float> Y,
+                   index_t nrhs) const;
+  void apply_adjoint_batch(std::span<const float> Y, std::span<float> X,
+                           index_t nrhs) const;
+
   /// Caps the OpenMP team size of the frequency loop (0 = runtime default).
   /// Concurrent top-level applies from distinct OS threads each spawn their
   /// own team; a multi-tenant caller (the solve service) divides the

@@ -58,6 +58,15 @@ struct KernelStats {
 [[nodiscard]] std::vector<float> adjoint_reflectivity(
     const mdc::MdcOperator& op, std::span<const float> rhs);
 
+/// Batched cross-correlation: `rhs_batch` holds nrhs right-hand sides back
+/// to back (op.rows() floats each); the result holds the nrhs estimates
+/// (op.cols() each), every one bitwise identical to the single-RHS call.
+/// Runs one multi-RHS sweep over the operator per frequency, so coalesced
+/// serve requests pay the kernel-data traffic once.
+[[nodiscard]] std::vector<float> adjoint_reflectivity_batch(
+    const mdc::MdcOperator& op, std::span<const float> rhs_batch,
+    index_t nrhs);
+
 /// LSQR inversion — Fig. 11b/c.
 [[nodiscard]] LsqrResult solve_mdd(const mdc::MdcOperator& op,
                                    std::span<const float> rhs,

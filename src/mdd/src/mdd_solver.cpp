@@ -99,6 +99,14 @@ std::vector<float> adjoint_reflectivity(const mdc::MdcOperator& op,
   return x;
 }
 
+std::vector<float> adjoint_reflectivity_batch(const mdc::MdcOperator& op,
+                                              std::span<const float> rhs_batch,
+                                              index_t nrhs) {
+  std::vector<float> x(static_cast<std::size_t>(op.cols() * nrhs));
+  op.apply_adjoint_batch(rhs_batch, std::span<float>(x), nrhs);
+  return x;
+}
+
 LsqrResult solve_mdd(const mdc::MdcOperator& op, std::span<const float> rhs,
                      const LsqrConfig& cfg) {
   return lsqr_solve(op, rhs, cfg);

@@ -142,6 +142,13 @@ class SolveService {
   void process_batch(const OperatorKey& key, std::vector<Ticket> batch);
   void solve_ticket(Ticket& ticket, const ResidentOperator& resident,
                     std::size_t batch_size);
+  /// Serves >= 2 coalesced adjoint tickets with ONE multi-RHS adjoint
+  /// sweep over the resident operator (each result bitwise identical to
+  /// its single-request solve). `adj` indexes into `batch`.
+  void solve_adjoint_group(std::vector<Ticket>& batch,
+                           const std::vector<std::size_t>& adj,
+                           const ResidentOperator& resident,
+                           std::size_t batch_size);
   [[nodiscard]] OperatorCache::Value load_resident(const OperatorKey& key);
   void record_latency(double total_s, double wait_s, double solve_s);
   static void respond(Ticket& ticket, SolveResponse response);
@@ -162,6 +169,7 @@ class SolveService {
   obs::Counter& failed_;
   obs::Counter& batches_;
   obs::Counter& coalesced_;
+  obs::Counter& multi_rhs_;  // adjoint tickets served by a shared multi-RHS sweep
   obs::Gauge& queue_depth_gauge_;
   obs::Gauge& queue_peak_gauge_;
   obs::Histogram& latency_hist_;

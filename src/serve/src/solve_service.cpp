@@ -59,6 +59,7 @@ SolveService::SolveService(ServiceConfig cfg)
       failed_(registry_.counter("serve.failed")),
       batches_(registry_.counter("serve.batches")),
       coalesced_(registry_.counter("serve.coalesced")),
+      multi_rhs_(registry_.counter("serve.multi_rhs")),
       queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
       queue_peak_gauge_(registry_.gauge("serve.queue_peak_depth")),
       latency_hist_(registry_.histogram("serve.latency_s")),
@@ -212,8 +213,108 @@ void SolveService::process_batch(const OperatorKey& key,
     return;
   }
 
+  // Coalesced adjoint requests share one multi-RHS sweep over the resident
+  // operator instead of N independent passes; LSQR tickets (whose iterates
+  // depend on their own residuals) and malformed-rhs tickets solve singly.
+  std::vector<std::size_t> adj;
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const SolveRequest& req = batch[t].req;
+    if (req.kind == RequestKind::kAdjoint &&
+        static_cast<index_t>(req.rhs.size()) == resident->op->rows()) {
+      adj.push_back(t);
+    }
+  }
+  if (adj.size() >= 2) {
+    solve_adjoint_group(batch, adj, *resident, batch.size());
+    std::size_t next_adj = 0;
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      if (next_adj < adj.size() && adj[next_adj] == t) {
+        ++next_adj;
+        continue;
+      }
+      solve_ticket(batch[t], *resident, batch.size());
+    }
+    return;
+  }
+
   for (auto& ticket : batch) {
     solve_ticket(ticket, *resident, batch.size());
+  }
+}
+
+void SolveService::solve_adjoint_group(std::vector<Ticket>& batch,
+                                       const std::vector<std::size_t>& adj,
+                                       const ResidentOperator& resident,
+                                       std::size_t batch_size) {
+  TLRWSE_TRACE_SPAN("serve.adjoint_group", "serve");
+  const Clock::time_point dequeued = Clock::now();
+
+  // Deadline check at dequeue, exactly as solve_ticket does; expired
+  // tickets answer kDeadlineExceeded and drop out of the sweep.
+  std::vector<std::size_t> live;
+  std::vector<double> waits;
+  for (const std::size_t t : adj) {
+    Ticket& ticket = batch[t];
+    const double wait_s = seconds_between(ticket.admitted, dequeued);
+    if (ticket.req.deadline_s > 0.0 && wait_s >= ticket.req.deadline_s) {
+      rejected_deadline_.add();
+      SolveResponse r;
+      r.status = SolveStatus::kDeadlineExceeded;
+      r.batch_size = batch_size;
+      r.queue_wait_s = wait_s;
+      r.total_s = seconds_between(ticket.admitted, Clock::now());
+      respond(ticket, std::move(r));
+      continue;
+    }
+    live.push_back(t);
+    waits.push_back(wait_s);
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {  // nothing left to share; take the normal path
+    solve_ticket(batch[live.front()], resident, batch_size);
+    return;
+  }
+
+  const auto nrhs = static_cast<index_t>(live.size());
+  const std::size_t rhs_len = static_cast<std::size_t>(resident.op->rows());
+  const std::size_t out_len = static_cast<std::size_t>(resident.op->cols());
+  std::vector<float> rhs_panel(rhs_len * live.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const std::vector<float>& rhs = batch[live[k]].req.rhs;
+    std::copy(rhs.begin(), rhs.end(), rhs_panel.begin() + k * rhs_len);
+  }
+
+  std::vector<float> x;
+  try {
+    x = mdd::adjoint_reflectivity_batch(*resident.op, rhs_panel, nrhs);
+  } catch (const std::exception& e) {
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      failed_.add();
+      SolveResponse r;
+      r.status = SolveStatus::kError;
+      r.error = e.what();
+      r.batch_size = batch_size;
+      r.queue_wait_s = waits[k];
+      r.total_s = seconds_between(batch[live[k]].admitted, Clock::now());
+      respond(batch[live[k]], std::move(r));
+    }
+    return;
+  }
+
+  const Clock::time_point done = Clock::now();
+  multi_rhs_.add(static_cast<std::uint64_t>(live.size()));
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    Ticket& ticket = batch[live[k]];
+    SolveResponse r;
+    r.batch_size = batch_size;
+    r.queue_wait_s = waits[k];
+    r.x.assign(x.begin() + static_cast<std::ptrdiff_t>(k * out_len),
+               x.begin() + static_cast<std::ptrdiff_t>((k + 1) * out_len));
+    r.solve_s = seconds_between(dequeued, done);
+    r.total_s = seconds_between(ticket.admitted, done);
+    completed_.add();
+    record_latency(r.total_s, r.queue_wait_s, r.solve_s);
+    respond(ticket, std::move(r));
   }
 }
 

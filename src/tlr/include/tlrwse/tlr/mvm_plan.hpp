@@ -1,0 +1,113 @@
+// Precompiled MVM plan for a StackedTlr<cf32>: the SIMD-engine execution
+// form of the 3-phase TLR-MVM.
+//
+// Building a plan copies every V/U stack into ONE 64-byte-aligned float
+// arena, split into planar real/imag planes (the paper's complex-to-real
+// splitting, Sec. 6.6) with leading dimensions padded to 16 floats so each
+// column starts on a cache-line boundary. The phase-2 shuffle is flattened
+// at build time into a program of (src, dst, len) segment copies with
+// adjacent tiles merged, replacing the mt x nt nested copy loop of
+// tlr_mvm_3phase with a short run of memcpys.
+//
+// apply()/apply_adjoint() run the planned 3-phase dataflow through the
+// fused split-complex microkernels of la::simd; the _multi variants carry
+// nrhs right-hand sides through one sweep over the arena, which is where
+// the register-blocked multi-RHS kernels earn their ~4x arithmetic
+// intensity. Results are bitwise independent of nrhs (each RHS column
+// reduces in the same order as a single-RHS call).
+//
+// A plan is immutable after construction and safe to share across threads;
+// per-call scratch lives in the caller's PlanWorkspace.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/common/aligned.hpp"
+#include "tlrwse/la/simd.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+
+namespace tlrwse::tlr {
+
+/// One phase-2 copy: len floats from yv-space offset src to yu-space
+/// offset dst (per RHS, applied to both planes).
+struct ShuffleSegment {
+  index_t src;
+  index_t dst;
+  index_t len;
+};
+
+/// Per-thread scratch for plan execution; grown on first use, reused
+/// allocation-free afterwards. Not safe for concurrent calls.
+struct PlanWorkspace {
+  using Buf = std::vector<float, AlignedAllocator<float>>;
+  Buf xr, xi;    // split input planes, n_in x nrhs
+  Buf yvr, yvi;  // phase-1 outputs, total_rank x nrhs
+  Buf yur, yui;  // shuffled phase-3 inputs, total_rank x nrhs
+  Buf tr, ti;    // output planes before re-interleaving, n_out x nrhs
+};
+
+class MvmPlan {
+ public:
+  /// Builds the arena + shuffle program from the stacks. `kt` pins the
+  /// kernel tier (for parity tests); nullptr uses the process-wide
+  /// la::simd::dispatch() table.
+  explicit MvmPlan(const StackedTlr<cf32>& A,
+                   const la::simd::KernelTable* kt = nullptr);
+
+  /// y = A x  (x: cols(), y: rows()).
+  void apply(std::span<const cf32> x, std::span<cf32> y,
+             PlanWorkspace& ws) const;
+  /// y = A^H x  (x: rows(), y: cols()).
+  void apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
+                     PlanWorkspace& ws) const;
+  /// Multi-RHS forms: X/Y hold nrhs contiguous vectors back to back
+  /// (leading dimension = vector length). Each RHS column is bitwise
+  /// identical to the corresponding single-RHS call.
+  void apply_multi(std::span<const cf32> X, std::span<cf32> Y, index_t nrhs,
+                   PlanWorkspace& ws) const;
+  void apply_adjoint_multi(std::span<const cf32> X, std::span<cf32> Y,
+                           index_t nrhs, PlanWorkspace& ws) const;
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t total_rank() const noexcept { return total_rank_; }
+  /// Arena footprint in bytes (all V/U planes, one slab).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_.size() * sizeof(float);
+  }
+  [[nodiscard]] const std::vector<ShuffleSegment>& shuffle_program()
+      const noexcept {
+    return shuffle_;
+  }
+  [[nodiscard]] const la::simd::KernelTable& kernels() const noexcept {
+    return *kt_;
+  }
+
+ private:
+  struct ColPlane {  // one tile column's V planes inside the arena
+    index_t re, im;  // plane offsets (floats)
+    index_t ld;      // padded leading dimension
+    index_t m, n;    // logical stack shape (rank_sum x tile_cols)
+    index_t x_off;   // offset of this column's slice of x
+    index_t y_base;  // offset of this column's segment in yv-space
+  };
+  struct RowPlane {  // one tile row's U planes inside the arena
+    index_t re, im;
+    index_t ld;
+    index_t m, n;    // tile_rows x rank_sum
+    index_t x_off;   // offset of this row's slice of the output
+    index_t y_base;  // offset of this row's segment in yu-space
+  };
+
+  const la::simd::KernelTable* kt_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t total_rank_ = 0;
+  std::vector<float, AlignedAllocator<float>> arena_;
+  std::vector<ColPlane> v_;
+  std::vector<RowPlane> u_;
+  std::vector<ShuffleSegment> shuffle_;
+};
+
+}  // namespace tlrwse::tlr

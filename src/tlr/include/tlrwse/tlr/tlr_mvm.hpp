@@ -42,11 +42,14 @@ void tlr_mvm_3phase(const StackedTlr<T>& A, std::span<const T> x,
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == g.cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == g.rows(), "y size");
 
-  // Total rank volume and per-column/row segment offsets.
+  // Total rank volume and per-column/row segment offsets. resize, not
+  // assign: phase 1 overwrites every yv element (gemv with beta = 0) and
+  // phase 2 copies over every yu element, so zero-filling here would be
+  // pure memory traffic.
   index_t total_rank = 0;
   for (index_t j = 0; j < g.nt(); ++j) total_rank += A.col_rank_sum(j);
-  ws.yv.assign(static_cast<std::size_t>(total_rank), T{});
-  ws.yu.assign(static_cast<std::size_t>(total_rank), T{});
+  ws.yv.resize(static_cast<std::size_t>(total_rank));
+  ws.yu.resize(static_cast<std::size_t>(total_rank));
 
   // Phase 1: V-batch over tile columns.
   index_t yv_base = 0;
@@ -126,7 +129,6 @@ void tlr_mvm_fused(const StackedTlr<T>& A, std::span<const T> x,
       // y_i += U_ij * yv_ij, reading U_ij columns out of the row stack.
       for (index_t c = 0; c < k; ++c) {
         const T s = seg[c];
-        if (s == T{}) continue;
         const T* ucol = us.col(uoff + c);
         for (index_t r = 0; r < g.tile_rows(i); ++r) yi[r] += ucol[r] * s;
       }

@@ -1,0 +1,262 @@
+#include "tlrwse/tlr/mvm_plan.hpp"
+
+#include <cstring>
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
+
+namespace tlrwse::tlr {
+
+namespace {
+
+// Leading dimensions round up to 16 floats: one cache line, and a multiple
+// of every kernel tier's register width, so every arena column (and every
+// plane, since plane sizes are ld * n) starts 64-byte aligned.
+constexpr index_t kPadFloats = 16;
+
+index_t round_up(index_t v) {
+  return (v + kPadFloats - 1) / kPadFloats * kPadFloats;
+}
+
+void ensure(PlanWorkspace::Buf& b, std::size_t n) {
+  if (b.size() < n) b.resize(n);
+}
+
+}  // namespace
+
+MvmPlan::MvmPlan(const StackedTlr<cf32>& A, const la::simd::KernelTable* kt)
+    : kt_(kt != nullptr ? kt : &la::simd::dispatch()) {
+  const TileGrid& g = A.grid();
+  rows_ = g.rows();
+  cols_ = g.cols();
+
+  // Lay out all planes in one slab: per-column V re/im, then per-row U
+  // re/im. Every plane size is a multiple of 16 floats (ld is), so every
+  // plane offset stays 64-byte aligned.
+  index_t off = 0;
+  v_.resize(static_cast<std::size_t>(g.nt()));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    ColPlane& c = v_[static_cast<std::size_t>(j)];
+    c.m = A.col_rank_sum(j);
+    c.n = g.tile_cols(j);
+    c.ld = round_up(c.m);
+    c.x_off = g.col_offset(j);
+    c.y_base = total_rank_;
+    c.re = off;
+    off += c.ld * c.n;
+    c.im = off;
+    off += c.ld * c.n;
+    total_rank_ += c.m;
+  }
+  u_.resize(static_cast<std::size_t>(g.mt()));
+  index_t yu_base = 0;
+  for (index_t i = 0; i < g.mt(); ++i) {
+    RowPlane& r = u_[static_cast<std::size_t>(i)];
+    r.m = g.tile_rows(i);
+    r.n = A.row_rank_sum(i);
+    r.ld = round_up(r.m);
+    r.x_off = g.row_offset(i);
+    r.y_base = yu_base;
+    yu_base += r.n;
+    r.re = off;
+    off += r.ld * r.n;
+    r.im = off;
+    off += r.ld * r.n;
+  }
+
+  arena_.assign(static_cast<std::size_t>(off), 0.0f);  // padding stays zero
+  for (index_t j = 0; j < g.nt(); ++j) {
+    const ColPlane& c = v_[static_cast<std::size_t>(j)];
+    const la::Matrix<cf32>& vs = A.v_stack(j);
+    for (index_t col = 0; col < c.n; ++col) {
+      const cf32* src = vs.col(col);
+      float* re = arena_.data() + c.re + col * c.ld;
+      float* im = arena_.data() + c.im + col * c.ld;
+      for (index_t row = 0; row < c.m; ++row) {
+        re[row] = src[row].real();
+        im[row] = src[row].imag();
+      }
+    }
+  }
+  for (index_t i = 0; i < g.mt(); ++i) {
+    const RowPlane& r = u_[static_cast<std::size_t>(i)];
+    const la::Matrix<cf32>& us = A.u_stack(i);
+    for (index_t col = 0; col < r.n; ++col) {
+      const cf32* src = us.col(col);
+      float* re = arena_.data() + r.re + col * r.ld;
+      float* im = arena_.data() + r.im + col * r.ld;
+      for (index_t row = 0; row < r.m; ++row) {
+        re[row] = src[row].real();
+        im[row] = src[row].imag();
+      }
+    }
+  }
+
+  // Flatten the phase-2 shuffle. Walking j outer / i inner matches the
+  // loop order of tlr_mvm_3phase; runs that are contiguous in BOTH spaces
+  // merge into one segment (zero-rank tiles vanish entirely).
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t len = A.rank(i, j);
+      if (len == 0) continue;
+      const index_t src = v_[static_cast<std::size_t>(j)].y_base +
+                          A.v_offset(i, j);
+      const index_t dst = u_[static_cast<std::size_t>(i)].y_base +
+                          A.u_offset(i, j);
+      if (!shuffle_.empty()) {
+        ShuffleSegment& last = shuffle_.back();
+        if (last.src + last.len == src && last.dst + last.len == dst) {
+          last.len += len;
+          continue;
+        }
+      }
+      shuffle_.push_back({src, dst, len});
+    }
+  }
+}
+
+void MvmPlan::apply(std::span<const cf32> x, std::span<cf32> y,
+                    PlanWorkspace& ws) const {
+  apply_multi(x, y, 1, ws);
+}
+
+void MvmPlan::apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
+                            PlanWorkspace& ws) const {
+  apply_adjoint_multi(x, y, 1, ws);
+}
+
+void MvmPlan::apply_multi(std::span<const cf32> X, std::span<cf32> Y,
+                          index_t nrhs, PlanWorkspace& ws) const {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.plan_apply", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.plan_apply");
+  calls.add();
+  TLRWSE_REQUIRE(static_cast<index_t>(X.size()) == cols_ * nrhs, "X size");
+  TLRWSE_REQUIRE(static_cast<index_t>(Y.size()) == rows_ * nrhs, "Y size");
+  const la::simd::KernelTable& k = *kt_;
+
+  ensure(ws.xr, static_cast<std::size_t>(cols_ * nrhs));
+  ensure(ws.xi, static_cast<std::size_t>(cols_ * nrhs));
+  ensure(ws.yvr, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.yvi, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.yur, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.yui, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.tr, static_cast<std::size_t>(rows_ * nrhs));
+  ensure(ws.ti, static_cast<std::size_t>(rows_ * nrhs));
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.split_complex(cols_, X.data() + r * cols_, ws.xr.data() + r * cols_,
+                    ws.xi.data() + r * cols_);
+  }
+
+  // Phase 1: V-batch per tile column, all RHS in one sweep over the planes.
+  for (const ColPlane& c : v_) {
+    if (c.m == 0) continue;
+    k.sgemv_split_multi(c.m, c.n, arena_.data() + c.re, arena_.data() + c.im,
+                        c.ld, ws.xr.data() + c.x_off, ws.xi.data() + c.x_off,
+                        cols_, ws.yvr.data() + c.y_base,
+                        ws.yvi.data() + c.y_base, total_rank_, nrhs,
+                        /*accumulate=*/false);
+  }
+
+  // Phase 2: the precompiled shuffle program (per RHS, both planes).
+  for (index_t r = 0; r < nrhs; ++r) {
+    const float* sr = ws.yvr.data() + r * total_rank_;
+    const float* si = ws.yvi.data() + r * total_rank_;
+    float* dr = ws.yur.data() + r * total_rank_;
+    float* di = ws.yui.data() + r * total_rank_;
+    for (const ShuffleSegment& s : shuffle_) {
+      std::memcpy(dr + s.dst, sr + s.src,
+                  static_cast<std::size_t>(s.len) * sizeof(float));
+      std::memcpy(di + s.dst, si + s.src,
+                  static_cast<std::size_t>(s.len) * sizeof(float));
+    }
+  }
+
+  // Phase 3: U-batch per tile row; rows partition the output, so each
+  // sweep writes its own slice (no accumulation).
+  for (const RowPlane& u : u_) {
+    if (u.m == 0) continue;
+    k.sgemv_split_multi(u.m, u.n, arena_.data() + u.re, arena_.data() + u.im,
+                        u.ld, ws.yur.data() + u.y_base,
+                        ws.yui.data() + u.y_base, total_rank_,
+                        ws.tr.data() + u.x_off, ws.ti.data() + u.x_off, rows_,
+                        nrhs, /*accumulate=*/false);
+  }
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.merge_complex(rows_, ws.tr.data() + r * rows_, ws.ti.data() + r * rows_,
+                    Y.data() + r * rows_);
+  }
+}
+
+void MvmPlan::apply_adjoint_multi(std::span<const cf32> X, std::span<cf32> Y,
+                                  index_t nrhs, PlanWorkspace& ws) const {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.plan_apply_adjoint", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.plan_apply_adjoint");
+  calls.add();
+  TLRWSE_REQUIRE(static_cast<index_t>(X.size()) == rows_ * nrhs, "X size");
+  TLRWSE_REQUIRE(static_cast<index_t>(Y.size()) == cols_ * nrhs, "Y size");
+  const la::simd::KernelTable& k = *kt_;
+
+  ensure(ws.xr, static_cast<std::size_t>(rows_ * nrhs));
+  ensure(ws.xi, static_cast<std::size_t>(rows_ * nrhs));
+  ensure(ws.yvr, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.yvi, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.yur, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.yui, static_cast<std::size_t>(total_rank_ * nrhs));
+  ensure(ws.tr, static_cast<std::size_t>(cols_ * nrhs));
+  ensure(ws.ti, static_cast<std::size_t>(cols_ * nrhs));
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.split_complex(rows_, X.data() + r * rows_, ws.xr.data() + r * rows_,
+                    ws.xi.data() + r * rows_);
+  }
+
+  // Adjoint runs the dataflow backwards: U^H per tile row ...
+  for (const RowPlane& u : u_) {
+    if (u.n == 0) continue;
+    k.sgemv_split_adjoint_multi(u.m, u.n, arena_.data() + u.re,
+                                arena_.data() + u.im, u.ld,
+                                ws.xr.data() + u.x_off,
+                                ws.xi.data() + u.x_off, rows_,
+                                ws.yur.data() + u.y_base,
+                                ws.yui.data() + u.y_base, total_rank_, nrhs,
+                                /*accumulate=*/false);
+  }
+
+  // ... the shuffle program applied in reverse (dst -> src) ...
+  for (index_t r = 0; r < nrhs; ++r) {
+    const float* sr = ws.yur.data() + r * total_rank_;
+    const float* si = ws.yui.data() + r * total_rank_;
+    float* dr = ws.yvr.data() + r * total_rank_;
+    float* di = ws.yvi.data() + r * total_rank_;
+    for (const ShuffleSegment& s : shuffle_) {
+      std::memcpy(dr + s.src, sr + s.dst,
+                  static_cast<std::size_t>(s.len) * sizeof(float));
+      std::memcpy(di + s.src, si + s.dst,
+                  static_cast<std::size_t>(s.len) * sizeof(float));
+    }
+  }
+
+  // ... then V^H per tile column (columns partition the output).
+  for (const ColPlane& c : v_) {
+    if (c.n == 0) continue;
+    k.sgemv_split_adjoint_multi(c.m, c.n, arena_.data() + c.re,
+                                arena_.data() + c.im, c.ld,
+                                ws.yvr.data() + c.y_base,
+                                ws.yvi.data() + c.y_base, total_rank_,
+                                ws.tr.data() + c.x_off,
+                                ws.ti.data() + c.x_off, cols_, nrhs,
+                                /*accumulate=*/false);
+  }
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.merge_complex(cols_, ws.tr.data() + r * cols_, ws.ti.data() + r * cols_,
+                    Y.data() + r * cols_);
+  }
+}
+
+}  // namespace tlrwse::tlr

@@ -3,6 +3,8 @@
 // properties.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "tlrwse/common/rng.hpp"
@@ -171,6 +173,69 @@ TEST(Frobenius, MatchesNorm2OfData) {
   }
   EXPECT_NEAR(n1, std::sqrt(sum), 1e-12);
   EXPECT_NEAR(frobenius_distance(a, a), 0.0, 1e-15);
+}
+
+TEST(GemvNan, NanInAPropagatesEvenWhenXIsZero) {
+  // Regression for the old `if (axj == 0) continue;` zero-skip: with
+  // x[j] == 0 the column of A holding the NaN was never touched, so a
+  // NaN/Inf in the operator silently vanished from the product. IEEE says
+  // NaN * 0 = NaN, and the kernels must agree.
+  Matrix<float> a(3, 2);
+  a(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  a(1, 0) = 1.0f;
+  a(2, 0) = std::numeric_limits<float>::infinity();
+  a(0, 1) = 1.0f;
+  a(1, 1) = 2.0f;
+  a(2, 1) = 3.0f;
+  const std::vector<float> x{0.0f, 1.0f};
+  std::vector<float> y(3, 0.0f);
+  gemv(a, std::span<const float>(x), std::span<float>(y));
+  EXPECT_TRUE(std::isnan(y[0]));
+  EXPECT_EQ(y[1], 2.0f);
+  EXPECT_TRUE(std::isnan(y[2]));  // inf * 0 = NaN
+
+  // Same contract for gemm: a zero entry in B must not hide a NaN in A.
+  Matrix<float> b(2, 1);
+  b(0, 0) = 0.0f;
+  b(1, 0) = 1.0f;
+  Matrix<float> c(3, 1);
+  gemm(a, b, c);
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_EQ(c(1, 0), 2.0f);
+  EXPECT_TRUE(std::isnan(c(2, 0)));
+}
+
+TEST(PairwiseAccumulation, DotBeatsNaiveOnIllConditionedInput) {
+  // Ill-conditioned sum: many small values riding on alternating large
+  // ones. A naive left-to-right float accumulation loses the small terms;
+  // blocked pairwise accumulation keeps error O(log n) instead of O(n).
+  const std::size_t n = 1 << 16;
+  std::vector<float> x(n), y(n, 1.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = (i % 2 == 0) ? 1.0e4f : 1.0f / static_cast<float>(i + 1);
+  }
+  long double exact = 0.0L;
+  for (std::size_t i = 0; i < n; ++i) exact += static_cast<long double>(x[i]);
+  float naive = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) naive += x[i];
+
+  const float pairwise =
+      dot(std::span<const float>(x), std::span<const float>(y));
+  const auto err = [&](float v) {
+    return std::abs(static_cast<double>(v) - static_cast<double>(exact)) /
+           std::abs(static_cast<double>(exact));
+  };
+  EXPECT_LE(err(pairwise), err(naive));
+  EXPECT_LT(err(pairwise), 1e-6);
+
+  // norm2 under the same regime, against a double-precision reference.
+  long double ss = 0.0L;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss += static_cast<long double>(x[i]) * static_cast<long double>(x[i]);
+  }
+  const double ref_norm = std::sqrt(static_cast<double>(ss));
+  const float n2 = norm2(std::span<const float>(x));
+  EXPECT_LT(std::abs(static_cast<double>(n2) - ref_norm) / ref_norm, 1e-6);
 }
 
 TEST(AxpyScal, Basic) {

@@ -354,6 +354,54 @@ struct Blocker {
   }
 };
 
+TEST(SolveService, CoalescedAdjointsShareOneMultiRhsSweep) {
+  // Hold the single worker busy so four adjoint requests pile up into one
+  // per-operator batch; on release the worker must serve them with a
+  // single multi-RHS adjoint sweep (serve.multi_rhs counts the tickets),
+  // and every response must stay bitwise identical to the sequential
+  // single-RHS solve.
+  constexpr index_t kAdjoints = 4;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 16;
+  cfg.max_batch = 8;
+  SolveService service(cfg);
+
+  const auto archive = io::load_archive(archive_path());
+  const auto reference_op = io::make_operator(archive);
+  std::vector<std::vector<float>> refs;
+  for (index_t v = 0; v < kAdjoints; ++v) {
+    refs.push_back(mdd::adjoint_reflectivity(
+        *reference_op, mdd::virtual_source_rhs(dataset(), v)));
+  }
+
+  Blocker blocker;
+  blocker.start(service);
+  blocker.wait_until_running(service);
+
+  std::vector<std::future<SolveResponse>> futures;
+  for (index_t v = 0; v < kAdjoints; ++v) {
+    futures.push_back(service.submit(make_request(RequestKind::kAdjoint, v, 6)));
+  }
+  blocker.release.set_value();
+  EXPECT_EQ(blocker.response.get().status, SolveStatus::kOk);
+
+  for (index_t v = 0; v < kAdjoints; ++v) {
+    const auto r = futures[static_cast<std::size_t>(v)].get();
+    ASSERT_EQ(r.status, SolveStatus::kOk) << r.error;
+    EXPECT_EQ(r.vsrc, v);
+    EXPECT_EQ(r.batch_size, static_cast<std::size_t>(kAdjoints));
+    EXPECT_TRUE(bitwise_equal(r.x, refs[static_cast<std::size_t>(v)]))
+        << "vsrc " << v;
+  }
+
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.multi_rhs"),
+            static_cast<std::uint64_t>(kAdjoints));
+  EXPECT_EQ(service.metrics().counters.coalesced,
+            static_cast<std::uint64_t>(kAdjoints));
+}
+
 TEST(SolveService, QueueFullIsTypedAndNonBlocking) {
   ServiceConfig cfg;
   cfg.workers = 1;

@@ -48,6 +48,13 @@ METRICS = {
         "higher_better": (),
         "lower_better": ("min_baseline_s", "min_sim_baseline_s"),
     },
+    # Gated on the speedup RATIOS, not raw GFLOP/s: ratios cancel the
+    # machine's absolute clock so a shared CI runner stays comparable.
+    "kernels": {
+        "key": ("row", "m", "n"),
+        "higher_better": ("speedup", "speedup_8rhs"),
+        "lower_better": (),
+    },
 }
 
 

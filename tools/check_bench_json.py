@@ -57,6 +57,19 @@ SCHEMAS = {
             "costmodel_overhead_pct",
         },
     ),
+    "kernels": (
+        {"bench", "simd_compiled", "simd_level", "peak_gflops"},
+        {
+            "row",
+            "m",
+            "n",
+            "nrhs",
+            "gflops",
+            "pct_of_peak",
+            "speedup",
+            "speedup_8rhs",
+        },
+    ),
     "table3_bandwidth": (
         {"bench"},
         {
