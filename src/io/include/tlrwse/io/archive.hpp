@@ -15,6 +15,7 @@
 #include "tlrwse/mdc/mdc_operator.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/seismic/modeling.hpp"
+#include "tlrwse/tlr/shared_basis.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
 
 namespace tlrwse::io {
@@ -47,6 +48,51 @@ struct KernelArchive {
 void save_archive(const std::string& path, const KernelArchive& archive);
 [[nodiscard]] KernelArchive load_archive(const std::string& path);
 
+/// Shared-basis archive: the survey's frequencies split into consecutive
+/// bands, each stored as one tlr::SharedBasisStackedTlr (bases fit once per
+/// band, per-frequency cores only). This is the operator-cache-friendly
+/// format — resident bytes shrink by the band's storage ratio.
+struct SharedKernelArchive {
+  index_t nt = 0;
+  double dt = 0.0;
+  std::vector<index_t> freq_bins;
+  std::vector<double> freqs_hz;
+  /// Consecutive bands; their num_freqs() sum to freq_bins.size().
+  std::vector<std::shared_ptr<const tlr::SharedBasisStackedTlr<cf32>>> bands;
+
+  [[nodiscard]] index_t num_freqs() const {
+    return static_cast<index_t>(freq_bins.size());
+  }
+  [[nodiscard]] index_t num_bands() const {
+    return static_cast<index_t>(bands.size());
+  }
+  /// Bytes of the shared representation — the OperatorCache currency.
+  [[nodiscard]] double shared_bytes() const {
+    double total = 0.0;
+    for (const auto& b : bands) total += b->shared_bytes();
+    return total;
+  }
+};
+
+/// Compresses the dataset's kernels into shared-basis bands of (at most)
+/// `band_width` consecutive frequencies (0 = one band for the whole set).
+[[nodiscard]] SharedKernelArchive build_shared_archive(
+    const seismic::SeismicDataset& data, const tlr::SharedBasisConfig& cfg,
+    index_t band_width = 0);
+
+/// Conversion path: refits an existing per-frequency archive into
+/// shared-basis bands (tile-by-tile re-densification, never the full
+/// matrices). All kernels must share one tile grid.
+[[nodiscard]] SharedKernelArchive shared_from_archive(
+    const KernelArchive& archive, const tlr::SharedBasisConfig& cfg,
+    index_t band_width = 0);
+
+/// Binary round trip of a shared archive ("TLRS" container). Factors and
+/// cores survive bitwise.
+void save_shared_archive(const std::string& path,
+                         const SharedKernelArchive& archive);
+[[nodiscard]] SharedKernelArchive load_shared_archive(const std::string& path);
+
 /// Band metadata of an archive, readable without touching the kernel
 /// payload. The serving layer validates requests against this at admission
 /// (a few hundred bytes of header) instead of paying a full kernel load
@@ -56,17 +102,29 @@ struct ArchiveInfo {
   double dt = 0.0;
   std::vector<index_t> freq_bins;
   std::vector<double> freqs_hz;
+  /// Shared-basis ("TLRS") archives only: format flag, number of bands,
+  /// and the payload size in bytes — the byte count OperatorCache charges
+  /// for residency, known before any kernel data is read. Per-frequency
+  /// ("TLRA") archives keep the defaults.
+  bool shared_basis = false;
+  index_t num_bands = 0;
+  double payload_bytes = 0.0;
   [[nodiscard]] index_t num_freqs() const {
     return static_cast<index_t>(freq_bins.size());
   }
 };
 
-/// Reads only the header of `path`. Throws like load_archive on a missing
-/// file, bad magic, or unsupported version.
+/// Reads only the header of `path` (either container format). Throws like
+/// load_archive on a missing file, bad magic, or unsupported version.
 [[nodiscard]] ArchiveInfo peek_archive(const std::string& path);
 
 /// Builds the MDC operator directly from an archive (no recompression).
 [[nodiscard]] std::unique_ptr<mdc::MdcOperator> make_operator(
     const KernelArchive& archive, mdc::TlrKernel kernel = mdc::TlrKernel::kFused);
+
+/// Shared-basis counterpart: one SharedBasisMvm per frequency, each band's
+/// basis arena compiled once and shared by its frequencies.
+[[nodiscard]] std::unique_ptr<mdc::MdcOperator> make_operator(
+    const SharedKernelArchive& archive);
 
 }  // namespace tlrwse::io

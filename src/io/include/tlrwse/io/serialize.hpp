@@ -15,9 +15,11 @@
 
 namespace tlrwse::io {
 
-/// Magic tags of the two container formats.
-inline constexpr std::uint32_t kDenseMagic = 0x544C5244;  // "TLRD"
-inline constexpr std::uint32_t kTlrMagic = 0x544C5254;    // "TLRT"
+/// Magic tags of the container formats.
+inline constexpr std::uint32_t kDenseMagic = 0x544C5244;   // "TLRD"
+inline constexpr std::uint32_t kTlrMagic = 0x544C5254;     // "TLRT"
+inline constexpr std::uint32_t kSharedMagic = 0x544C5253;  // "TLRS"
+inline constexpr std::uint32_t kBandMagic = 0x544C5242;    // "TLRB"
 inline constexpr std::uint32_t kFormatVersion = 1;
 
 /// Writes a dense complex matrix. Throws std::runtime_error on IO failure.

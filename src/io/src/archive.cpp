@@ -111,7 +111,8 @@ void save_archive(const std::string& path, const KernelArchive& archive) {
 ArchiveInfo peek_archive(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
-  if (read_u32(is) != kArchiveMagic) {
+  const std::uint32_t magic = read_u32(is);
+  if (magic != kArchiveMagic && magic != kSharedMagic) {
     throw std::runtime_error("tlrwse::io: bad archive magic in " + path);
   }
   if (read_u32(is) != kFormatVersion) {
@@ -127,6 +128,14 @@ ArchiveInfo peek_archive(const std::string& path) {
   for (index_t q = 0; q < nf; ++q) {
     info.freq_bins[static_cast<std::size_t>(q)] = read_i64(is);
     info.freqs_hz[static_cast<std::size_t>(q)] = read_f64(is);
+  }
+  if (magic == kSharedMagic) {
+    // The shared header carries the payload size up front so cache
+    // admission can budget residency without reading any kernel data.
+    info.shared_basis = true;
+    info.payload_bytes = read_f64(is);
+    info.num_bands = read_i64(is);
+    TLRWSE_REQUIRE(info.num_bands >= 0, "corrupt shared archive");
   }
   if (!is) throw std::runtime_error("tlrwse::io: truncated archive header");
   return info;
@@ -203,6 +212,233 @@ std::unique_ptr<mdc::MdcOperator> make_operator(const KernelArchive& archive,
   for (const auto& k : archive.kernels) {
     kernels.push_back(
         std::make_unique<mdc::TlrMvm>(tlr::StackedTlr<cf32>(k), kernel));
+  }
+  return std::make_unique<mdc::MdcOperator>(archive.nt, archive.freq_bins,
+                                            std::move(kernels));
+}
+
+namespace {
+
+/// Splits nf frequencies into consecutive bands of at most band_width
+/// (0 = one band). Returns (start, length) pairs.
+std::vector<std::pair<index_t, index_t>> split_bands(index_t nf,
+                                                     index_t band_width) {
+  TLRWSE_REQUIRE(band_width >= 0, "negative band width");
+  if (band_width == 0 || band_width >= nf) return {{0, nf}};
+  std::vector<std::pair<index_t, index_t>> out;
+  for (index_t start = 0; start < nf; start += band_width) {
+    out.emplace_back(start, std::min(band_width, nf - start));
+  }
+  return out;
+}
+
+void write_mat(std::ostream& os, const la::MatrixCF& m) {
+  write_i64(os, m.rows());
+  write_i64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                        sizeof(cf32)));
+}
+
+la::MatrixCF read_mat(std::istream& is) {
+  const index_t r = read_i64(is);
+  const index_t c = read_i64(is);
+  TLRWSE_REQUIRE(r >= 0 && c >= 0, "corrupt matrix header");
+  la::MatrixCF m(r, c);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                       sizeof(cf32)));
+  return m;
+}
+
+}  // namespace
+
+SharedKernelArchive build_shared_archive(const seismic::SeismicDataset& data,
+                                         const tlr::SharedBasisConfig& cfg,
+                                         index_t band_width) {
+  SharedKernelArchive archive;
+  archive.nt = data.config.nt;
+  archive.dt = data.config.dt;
+  archive.freq_bins = data.freq_bins;
+  archive.freqs_hz = data.freqs_hz;
+  const auto dA = static_cast<float>(data.surface_element());
+  std::vector<la::MatrixCF> scaled;
+  scaled.reserve(static_cast<std::size_t>(data.num_freqs()));
+  for (index_t q = 0; q < data.num_freqs(); ++q) {
+    la::MatrixCF K = data.p_down[static_cast<std::size_t>(q)];
+    for (index_t j = 0; j < K.cols(); ++j) {
+      cf32* col = K.col(j);
+      for (index_t i = 0; i < K.rows(); ++i) col[i] *= dA;
+    }
+    scaled.push_back(std::move(K));
+  }
+  for (const auto& [start, len] : split_bands(data.num_freqs(), band_width)) {
+    archive.bands.push_back(
+        std::make_shared<const tlr::SharedBasisStackedTlr<cf32>>(
+            tlr::SharedBasisStackedTlr<cf32>::fit(
+                std::span<const la::MatrixCF>(scaled).subspan(
+                    static_cast<std::size_t>(start),
+                    static_cast<std::size_t>(len)),
+                cfg)));
+  }
+  return archive;
+}
+
+SharedKernelArchive shared_from_archive(const KernelArchive& archive,
+                                        const tlr::SharedBasisConfig& cfg,
+                                        index_t band_width) {
+  SharedKernelArchive out;
+  out.nt = archive.nt;
+  out.dt = archive.dt;
+  out.freq_bins = archive.freq_bins;
+  out.freqs_hz = archive.freqs_hz;
+  for (const auto& [start, len] :
+       split_bands(archive.num_freqs(), band_width)) {
+    out.bands.push_back(
+        std::make_shared<const tlr::SharedBasisStackedTlr<cf32>>(
+            tlr::SharedBasisStackedTlr<cf32>::from_tlr(
+                std::span<const tlr::TlrMatrix<cf32>>(archive.kernels)
+                    .subspan(static_cast<std::size_t>(start),
+                             static_cast<std::size_t>(len)),
+                cfg)));
+  }
+  return out;
+}
+
+void save_shared_archive(const std::string& path,
+                         const SharedKernelArchive& archive) {
+  index_t band_freqs = 0;
+  for (const auto& b : archive.bands) {
+    TLRWSE_REQUIRE(b != nullptr, "shared archive: null band");
+    band_freqs += b->num_freqs();
+  }
+  TLRWSE_REQUIRE(band_freqs == archive.num_freqs() &&
+                     archive.freqs_hz.size() == archive.freq_bins.size(),
+                 "inconsistent shared archive metadata");
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("tlrwse::io: cannot write " + path);
+  write_u32(os, kSharedMagic);
+  write_u32(os, kFormatVersion);
+  write_i64(os, archive.nt);
+  write_f64(os, archive.dt);
+  write_i64(os, archive.num_freqs());
+  for (index_t q = 0; q < archive.num_freqs(); ++q) {
+    write_i64(os, archive.freq_bins[static_cast<std::size_t>(q)]);
+    write_f64(os, archive.freqs_hz[static_cast<std::size_t>(q)]);
+  }
+  write_f64(os, archive.shared_bytes());
+  write_i64(os, archive.num_bands());
+  for (const auto& bp : archive.bands) {
+    const auto& b = *bp;
+    const auto& g = b.grid();
+    write_u32(os, kBandMagic);
+    write_i64(os, g.rows());
+    write_i64(os, g.cols());
+    write_i64(os, g.nb());
+    write_f64(os, b.acc());
+    write_i64(os, b.num_freqs());
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        write_mat(os, b.basis_u(i, j));
+        write_mat(os, b.basis_vh(i, j));
+      }
+    }
+    for (index_t f = 0; f < b.num_freqs(); ++f) {
+      for (index_t j = 0; j < g.nt(); ++j) {
+        for (index_t i = 0; i < g.mt(); ++i) {
+          const auto& c = b.core(f, i, j);
+          write_u32(os, c.factored ? 1u : 0u);
+          write_i64(os, c.rank);
+          if (c.factored) {
+            write_mat(os, c.lr.U);
+            write_mat(os, c.lr.Vh);
+          } else {
+            write_mat(os, c.dense);
+          }
+        }
+      }
+    }
+  }
+  if (!os) throw std::runtime_error("tlrwse::io: write failed: " + path);
+}
+
+SharedKernelArchive load_shared_archive(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
+  if (read_u32(is) != kSharedMagic) {
+    throw std::runtime_error("tlrwse::io: bad shared archive magic in " +
+                             path);
+  }
+  if (read_u32(is) != kFormatVersion) {
+    throw std::runtime_error("tlrwse::io: unsupported archive version");
+  }
+  SharedKernelArchive archive;
+  archive.nt = read_i64(is);
+  archive.dt = read_f64(is);
+  const index_t nf = read_i64(is);
+  TLRWSE_REQUIRE(nf >= 0, "corrupt shared archive");
+  archive.freq_bins.resize(static_cast<std::size_t>(nf));
+  archive.freqs_hz.resize(static_cast<std::size_t>(nf));
+  for (index_t q = 0; q < nf; ++q) {
+    archive.freq_bins[static_cast<std::size_t>(q)] = read_i64(is);
+    archive.freqs_hz[static_cast<std::size_t>(q)] = read_f64(is);
+  }
+  (void)read_f64(is);  // payload_bytes: recomputed from the loaded bands
+  const index_t num_bands = read_i64(is);
+  TLRWSE_REQUIRE(num_bands >= 0, "corrupt shared archive");
+  for (index_t bi = 0; bi < num_bands; ++bi) {
+    if (read_u32(is) != kBandMagic) {
+      throw std::runtime_error("tlrwse::io: bad band magic in " + path);
+    }
+    const index_t rows = read_i64(is);
+    const index_t cols = read_i64(is);
+    const index_t nb = read_i64(is);
+    const double acc = read_f64(is);
+    const index_t band_nf = read_i64(is);
+    TLRWSE_REQUIRE(band_nf >= 0, "corrupt shared archive band");
+    const tlr::TileGrid g(rows, cols, nb);
+    const auto ntiles = static_cast<std::size_t>(g.num_tiles());
+    std::vector<la::MatrixCF> u(ntiles), vh(ntiles);
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        const auto t = static_cast<std::size_t>(g.tile_index(i, j));
+        u[t] = read_mat(is);
+        vh[t] = read_mat(is);
+      }
+    }
+    using Band = tlr::SharedBasisStackedTlr<cf32>;
+    std::vector<std::vector<Band::Core>> cores(
+        static_cast<std::size_t>(band_nf), std::vector<Band::Core>(ntiles));
+    for (index_t f = 0; f < band_nf; ++f) {
+      for (index_t j = 0; j < g.nt(); ++j) {
+        for (index_t i = 0; i < g.mt(); ++i) {
+          const auto t = static_cast<std::size_t>(g.tile_index(i, j));
+          Band::Core& c = cores[static_cast<std::size_t>(f)][t];
+          c.factored = read_u32(is) != 0;
+          c.rank = read_i64(is);
+          if (c.factored) {
+            c.lr.U = read_mat(is);
+            c.lr.Vh = read_mat(is);
+          } else {
+            c.dense = read_mat(is);
+          }
+        }
+      }
+    }
+    if (!is) throw std::runtime_error("tlrwse::io: truncated shared archive");
+    archive.bands.push_back(std::make_shared<const Band>(Band::from_parts(
+        g, acc, std::move(u), std::move(vh), std::move(cores))));
+  }
+  return archive;
+}
+
+std::unique_ptr<mdc::MdcOperator> make_operator(
+    const SharedKernelArchive& archive) {
+  std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
+  kernels.reserve(static_cast<std::size_t>(archive.num_freqs()));
+  for (const auto& band : archive.bands) {
+    auto band_kernels = mdc::make_shared_basis_kernels(band);
+    for (auto& k : band_kernels) kernels.push_back(std::move(k));
   }
   return std::make_unique<mdc::MdcOperator>(archive.nt, archive.freq_bins,
                                             std::move(kernels));

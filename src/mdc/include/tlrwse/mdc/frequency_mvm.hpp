@@ -20,6 +20,7 @@
 #include "tlrwse/la/simd.hpp"
 #include "tlrwse/tlr/mvm_plan.hpp"
 #include "tlrwse/tlr/real_split.hpp"
+#include "tlrwse/tlr/shared_basis.hpp"
 #include "tlrwse/tlr/tlr_mvm.hpp"
 
 namespace tlrwse::mdc {
@@ -31,6 +32,7 @@ struct FrequencyWorkspace {
   tlr::MvmWorkspace<cf32> tlr;
   tlr::RealSplitWorkspace<float> split;
   tlr::PlanWorkspace plan;
+  tlr::SharedBasisWorkspace<cf32> shared;
 };
 
 /// One frequency slice of the kernel: y = K x and y = K^H x.
@@ -185,5 +187,96 @@ class TlrMvm final : public FrequencyMvm {
   std::unique_ptr<tlr::MvmPlan> plan_;
   WorkspacePool<FrequencyWorkspace> pool_;
 };
+
+/// Shared-basis backend: one frequency slice of a band whose tile bases
+/// are shared (tlr::SharedBasisStackedTlr). All slices of one band hold
+/// the SAME band object and — when the build carries the SIMD engine —
+/// the SAME compiled SharedBasisMvmPlan, so the basis arena is laid out
+/// once and stays hot as the MDC frequency loop walks the band; only the
+/// small per-frequency core program changes between slices. Construct the
+/// band's kernels with make_shared_basis_kernels().
+class SharedBasisMvm final : public FrequencyMvm {
+ public:
+  SharedBasisMvm(std::shared_ptr<const tlr::SharedBasisStackedTlr<cf32>> band,
+                 std::shared_ptr<const tlr::SharedBasisMvmPlan> plan,
+                 index_t freq)
+      : band_(std::move(band)), plan_(std::move(plan)), freq_(freq) {
+    TLRWSE_REQUIRE(band_ != nullptr, "SharedBasisMvm: null band");
+    TLRWSE_REQUIRE(freq_ >= 0 && freq_ < band_->num_freqs(),
+                   "SharedBasisMvm: frequency index out of range");
+  }
+  [[nodiscard]] index_t rows() const override { return band_->rows(); }
+  [[nodiscard]] index_t cols() const override { return band_->cols(); }
+  void apply(std::span<const cf32> x, std::span<cf32> y) const override {
+    apply(x, y, pool_.local());
+  }
+  void apply_adjoint(std::span<const cf32> x, std::span<cf32> y) const override {
+    apply_adjoint(x, y, pool_.local());
+  }
+  void apply(std::span<const cf32> x, std::span<cf32> y,
+             FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply(freq_, x, y, ws.plan);
+      return;
+    }
+    band_->apply(freq_, x, y, ws.shared);
+  }
+  void apply_adjoint(std::span<const cf32> x, std::span<cf32> y,
+                     FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply_adjoint(freq_, x, y, ws.plan);
+      return;
+    }
+    band_->apply_adjoint(freq_, x, y, ws.shared);
+  }
+  void apply_batch(std::span<const cf32> X, std::span<cf32> Y, index_t nrhs,
+                   FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply_multi(freq_, X, Y, nrhs, ws.plan);
+      return;
+    }
+    FrequencyMvm::apply_batch(X, Y, nrhs, ws);
+  }
+  void apply_adjoint_batch(std::span<const cf32> X, std::span<cf32> Y,
+                           index_t nrhs,
+                           FrequencyWorkspace& ws) const override {
+    if (plan_) {
+      plan_->apply_adjoint_multi(freq_, X, Y, nrhs, ws.plan);
+      return;
+    }
+    FrequencyMvm::apply_adjoint_batch(X, Y, nrhs, ws);
+  }
+  [[nodiscard]] index_t freq() const noexcept { return freq_; }
+  [[nodiscard]] const tlr::SharedBasisStackedTlr<cf32>& band() const {
+    return *band_;
+  }
+  /// The band-shared plan, or nullptr when the build has no SIMD engine.
+  [[nodiscard]] const tlr::SharedBasisMvmPlan* plan() const noexcept {
+    return plan_.get();
+  }
+
+ private:
+  std::shared_ptr<const tlr::SharedBasisStackedTlr<cf32>> band_;
+  std::shared_ptr<const tlr::SharedBasisMvmPlan> plan_;
+  index_t freq_;
+  WorkspacePool<FrequencyWorkspace> pool_;
+};
+
+/// Builds one FrequencyMvm per frequency of the band, all sharing the band
+/// object and (with SIMD compiled in) one SharedBasisMvmPlan.
+inline std::vector<std::unique_ptr<FrequencyMvm>> make_shared_basis_kernels(
+    std::shared_ptr<const tlr::SharedBasisStackedTlr<cf32>> band) {
+  TLRWSE_REQUIRE(band != nullptr, "make_shared_basis_kernels: null band");
+  std::shared_ptr<const tlr::SharedBasisMvmPlan> plan;
+  if (la::simd::compiled_in()) {
+    plan = std::make_shared<const tlr::SharedBasisMvmPlan>(*band);
+  }
+  std::vector<std::unique_ptr<FrequencyMvm>> kernels;
+  kernels.reserve(static_cast<std::size_t>(band->num_freqs()));
+  for (index_t f = 0; f < band->num_freqs(); ++f) {
+    kernels.push_back(std::make_unique<SharedBasisMvm>(band, plan, f));
+  }
+  return kernels;
+}
 
 }  // namespace tlrwse::mdc

@@ -17,7 +17,15 @@
 
 namespace tlrwse::mdd {
 
-enum class KernelBackend { kDense, kTlr3Phase, kTlrFused, kTlrRealSplit };
+enum class KernelBackend {
+  kDense,
+  kTlr3Phase,
+  kTlrFused,
+  kTlrRealSplit,
+  // Shared-basis TLR: tile bases fit once across the whole frequency band,
+  // per-frequency cores only (tlr::SharedBasisStackedTlr).
+  kTlrSharedBasis,
+};
 
 struct MddConfig {
   KernelBackend backend = KernelBackend::kTlrFused;

@@ -25,6 +25,25 @@ std::unique_ptr<mdc::MdcOperator> make_mdc_operator(
     const seismic::SeismicDataset& data, KernelBackend backend,
     const tlr::CompressionConfig& compression) {
   const double dA = data.surface_element();
+  if (backend == KernelBackend::kTlrSharedBasis) {
+    // One basis fit across the whole band, per-frequency cores only.
+    std::vector<la::MatrixCF> band;
+    band.reserve(static_cast<std::size_t>(data.num_freqs()));
+    for (index_t q = 0; q < data.num_freqs(); ++q) {
+      band.push_back(
+          scaled_kernel(data.p_down[static_cast<std::size_t>(q)], dA));
+    }
+    tlr::SharedBasisConfig sb;
+    sb.nb = compression.nb;
+    sb.acc = compression.acc;
+    sb.max_rank = compression.max_rank;
+    auto shared = std::make_shared<const tlr::SharedBasisStackedTlr<cf32>>(
+        tlr::SharedBasisStackedTlr<cf32>::fit(
+            std::span<const la::MatrixCF>(band), sb));
+    return std::make_unique<mdc::MdcOperator>(
+        data.config.nt, data.freq_bins,
+        mdc::make_shared_basis_kernels(std::move(shared)));
+  }
   std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
   kernels.reserve(static_cast<std::size_t>(data.num_freqs()));
   for (index_t q = 0; q < data.num_freqs(); ++q) {

@@ -73,6 +73,14 @@ struct CacheStats {
     const auto total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+  /// Capacity figure of merit: resident datasets per GB of operator bytes.
+  /// Shared-basis archives charge their (smaller) shared_bytes, so this is
+  /// where the format's memory win shows up operationally.
+  [[nodiscard]] double datasets_per_gb() const {
+    return bytes_resident > 0.0
+               ? static_cast<double>(entries) / (bytes_resident / 1.0e9)
+               : 0.0;
+  }
 };
 
 class OperatorCache {

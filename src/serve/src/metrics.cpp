@@ -34,7 +34,8 @@ std::string ServiceMetrics::to_json() const {
      << ",\"bytes_resident\":" << cache.bytes_resident
      << ",\"entries\":" << cache.entries
      << ",\"budget_bytes\":" << cache.budget_bytes
-     << ",\"hit_rate\":" << cache.hit_rate() << "}";
+     << ",\"hit_rate\":" << cache.hit_rate()
+     << ",\"datasets_per_gb\":" << cache.datasets_per_gb() << "}";
   os << ',';
   append_latency(os, "latency", latency);
   os << ',';

@@ -176,8 +176,22 @@ void SolveService::worker_loop() {
 
 OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
   TLRWSE_TRACE_SPAN("serve.load_operator", "serve");
-  io::KernelArchive archive = io::load_archive(key.archive_id);
   auto resident = std::make_shared<ResidentOperator>();
+  // The header names the container format; shared-basis archives charge
+  // the cache their (band-shared) payload bytes, so more of them fit in
+  // one budget than per-frequency archives of the same survey.
+  const io::ArchiveInfo info = io::peek_archive(key.archive_id);
+  if (info.shared_basis) {
+    io::SharedKernelArchive archive =
+        io::load_shared_archive(key.archive_id);
+    resident->bytes = archive.shared_bytes();
+    resident->nt = archive.nt;
+    resident->freqs_hz = archive.freqs_hz;
+    resident->op = io::make_operator(archive);
+    resident->op->set_inner_threads(cfg_.inner_threads);
+    return resident;
+  }
+  io::KernelArchive archive = io::load_archive(key.archive_id);
   resident->bytes = archive.compressed_bytes();
   resident->nt = archive.nt;
   resident->freqs_hz = archive.freqs_hz;

@@ -45,6 +45,7 @@ struct PlanWorkspace {
   Buf yvr, yvi;  // phase-1 outputs, total_rank x nrhs
   Buf yur, yui;  // shuffled phase-3 inputs, total_rank x nrhs
   Buf tr, ti;    // output planes before re-interleaving, n_out x nrhs
+  Buf cr, ci;    // factored-core scratch (SharedBasisMvmPlan only)
 };
 
 class MvmPlan {

@@ -1,0 +1,576 @@
+// Shared-basis stacked TLR across a frequency band.
+//
+// The per-frequency TlrMatrix stores its own U/V factors for every one of
+// the N frequency matrices, so operator-cache capacity and cold-start
+// compression cost both scale linearly in N. Sushnikova, Ravasi & Keyes
+// (arXiv 2404.01870) observe that neighbouring frequency matrices of this
+// integral kernel share column/row spaces tile by tile: one basis fit per
+// tile covers the whole band, and each frequency keeps only a small core.
+//
+// Representation, per tile (i, j) of a band of F frequencies:
+//
+//   A_f(i, j)  ~=  U_ij * C_f_ij * Vh_ij              f = 0 .. F-1
+//
+//   U_ij   : tile_rows x ku   shared column basis (orthonormal columns)
+//   Vh_ij  : kv x tile_cols   shared row basis (orthonormal rows)
+//   C_f_ij : ku x kv          per-frequency core
+//
+// The bases are fit by rank-revealing QR on the concatenated band tiles
+// ([A_0 .. A_F-1] horizontally for U, vertically for V) at the band
+// tolerance `acc` (relative Frobenius on the concatenation), so
+// sum_f ||A_f - U C_f Vh||_F^2 <= acc^2 * sum_f ||A_f||_F^2 per direction.
+//
+// Graceful fallback for incoherent bands: every core is additionally
+// factored per frequency (C_f ~= Cu * CvH at the same tolerance, rank r_f =
+// the frequency's own numerical rank inside the shared bases) and stored in
+// whichever form is smaller — r_f*(ku+kv) floats factored vs ku*kv dense.
+// An incoherent band therefore degrades to per-frequency ranks with no
+// accuracy loss; only the (bounded) basis storage is shared overhead.
+//
+// The MVM execution form lives in SharedBasisMvmPlan (shared_basis.cpp):
+// the shared V/U stacks are laid out ONCE in a SIMD arena — identical in
+// shape to MvmPlan's planes — and stay hot across the frequency loop, while
+// the per-frequency cores replace the phase-2 shuffle with small
+// block-diagonal GEMVs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/common/aligned.hpp"
+#include "tlrwse/common/tsan.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/qr.hpp"
+#include "tlrwse/la/simd.hpp"
+#include "tlrwse/la/svd.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
+#include "tlrwse/tlr/tlr_matrix.hpp"
+
+namespace tlrwse::tlr {
+
+struct SharedBasisConfig {
+  index_t nb = 70;      // tile size (dense fit path; from_tlr reuses the grid)
+  double acc = 1e-4;    // band tolerance, relative Frobenius per concatenation
+  index_t max_rank = 0; // cap on the shared basis ranks (0 = uncapped)
+};
+
+/// Scratch for the scalar apply path; grown on first use, reused
+/// allocation-free afterwards. Not safe for concurrent calls.
+template <typename T>
+struct SharedBasisWorkspace {
+  std::vector<T> tv;  // Vh_ij * x_j        (kv)
+  std::vector<T> tc;  // factored-core mid  (r)
+  std::vector<T> tu;  // C_f_ij * tv        (ku)
+};
+
+template <typename T>
+class SharedBasisStackedTlr {
+ public:
+  /// One per-frequency core: dense ku x kv, or factored Cu (ku x r) times
+  /// CvH (r x kv) when that is smaller. `rank` is the frequency's numerical
+  /// rank at the band tolerance either way.
+  struct Core {
+    la::Matrix<T> dense;
+    la::LowRankFactors<T> lr;
+    bool factored = false;
+    index_t rank = 0;
+    [[nodiscard]] double bytes() const {
+      const auto n = factored ? lr.U.size() + lr.Vh.size() : dense.size();
+      return static_cast<double>(n) * sizeof(T);
+    }
+  };
+
+  SharedBasisStackedTlr() = default;
+
+  /// Fits shared bases over a band of dense frequency matrices (all must
+  /// share dimensions). Tiles are processed in parallel; the fit is
+  /// deterministic (RRQR + Jacobi SVD, no randomization).
+  [[nodiscard]] static SharedBasisStackedTlr fit(
+      std::span<const la::Matrix<T>> band, const SharedBasisConfig& cfg) {
+    TLRWSE_REQUIRE(!band.empty(), "shared basis: empty band");
+    const TileGrid grid(band[0].rows(), band[0].cols(), cfg.nb);
+    for (const auto& a : band) {
+      TLRWSE_REQUIRE(a.rows() == grid.rows() && a.cols() == grid.cols(),
+                     "shared basis: band dimensions mismatch");
+    }
+    return fit_common(grid, cfg,
+                      [&](index_t f, index_t i, index_t j) {
+                        const auto& g = grid;
+                        return band[static_cast<std::size_t>(f)].block(
+                            g.row_offset(i), g.col_offset(j), g.tile_rows(i),
+                            g.tile_cols(j));
+                      },
+                      static_cast<index_t>(band.size()));
+  }
+
+  /// Conversion path from per-frequency TLR: the band's tiles are
+  /// re-densified tile by tile (nb x nb blocks, never the full matrix) and
+  /// refit. All matrices must share one grid.
+  [[nodiscard]] static SharedBasisStackedTlr from_tlr(
+      std::span<const TlrMatrix<T>> band, const SharedBasisConfig& cfg) {
+    TLRWSE_REQUIRE(!band.empty(), "shared basis: empty band");
+    const TileGrid grid = band[0].grid();
+    for (const auto& a : band) {
+      TLRWSE_REQUIRE(a.grid().rows() == grid.rows() &&
+                         a.grid().cols() == grid.cols() &&
+                         a.grid().nb() == grid.nb(),
+                     "shared basis: band grids mismatch");
+    }
+    return fit_common(grid, cfg,
+                      [&](index_t f, index_t i, index_t j) {
+                        return la::reconstruct(
+                            band[static_cast<std::size_t>(f)].tile(i, j));
+                      },
+                      static_cast<index_t>(band.size()));
+  }
+
+  /// Reassembles a band from already-built parts (deserialization). `u`,
+  /// `vh` are per-tile (column-of-tiles-major), `cores` is [frequency][tile];
+  /// the factors are adopted bitwise, only the offset tables are rebuilt.
+  [[nodiscard]] static SharedBasisStackedTlr from_parts(
+      TileGrid grid, double acc, std::vector<la::Matrix<T>> u,
+      std::vector<la::Matrix<T>> vh, std::vector<std::vector<Core>> cores) {
+    const auto ntiles = static_cast<std::size_t>(grid.num_tiles());
+    TLRWSE_REQUIRE(u.size() == ntiles && vh.size() == ntiles,
+                   "shared basis from_parts: factor count mismatch");
+    for (const auto& fc : cores) {
+      TLRWSE_REQUIRE(fc.size() == ntiles,
+                     "shared basis from_parts: core count mismatch");
+    }
+    SharedBasisStackedTlr out;
+    out.grid_ = grid;
+    out.num_freqs_ = static_cast<index_t>(cores.size());
+    out.acc_ = acc;
+    out.u_ = std::move(u);
+    out.vh_ = std::move(vh);
+    out.cores_ = std::move(cores);
+    out.finalize_offsets();
+    return out;
+  }
+
+  [[nodiscard]] const TileGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] index_t num_freqs() const noexcept { return num_freqs_; }
+  [[nodiscard]] double acc() const noexcept { return acc_; }
+  [[nodiscard]] index_t rows() const noexcept { return grid_.rows(); }
+  [[nodiscard]] index_t cols() const noexcept { return grid_.cols(); }
+
+  [[nodiscard]] const la::Matrix<T>& basis_u(index_t i, index_t j) const {
+    return u_[tix(i, j)];
+  }
+  [[nodiscard]] const la::Matrix<T>& basis_vh(index_t i, index_t j) const {
+    return vh_[tix(i, j)];
+  }
+  /// Shared column-basis rank ku of tile (i, j).
+  [[nodiscard]] index_t u_rank(index_t i, index_t j) const {
+    return u_[tix(i, j)].cols();
+  }
+  /// Shared row-basis rank kv of tile (i, j).
+  [[nodiscard]] index_t v_rank(index_t i, index_t j) const {
+    return vh_[tix(i, j)].rows();
+  }
+  [[nodiscard]] const Core& core(index_t f, index_t i, index_t j) const {
+    return cores_[static_cast<std::size_t>(f)][tix(i, j)];
+  }
+  /// Numerical rank of frequency f inside tile (i, j)'s shared bases — the
+  /// rank a per-frequency TLR compression of this tile would carry.
+  [[nodiscard]] index_t core_rank(index_t f, index_t i, index_t j) const {
+    return core(f, i, j).rank;
+  }
+
+  /// Rank-sum layout (mirrors StackedTlr): per tile column j, the Vh bases
+  /// stack vertically; per tile row i, the U bases stack horizontally.
+  [[nodiscard]] index_t v_col_rank_sum(index_t j) const {
+    return col_vranks_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] index_t u_row_rank_sum(index_t i) const {
+    return row_uranks_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] index_t v_offset(index_t i, index_t j) const {
+    return v_offset_[tix(i, j)];
+  }
+  [[nodiscard]] index_t u_offset(index_t i, index_t j) const {
+    return u_offset_[tix(i, j)];
+  }
+  /// Largest factored-core rank in the band (workspace sizing).
+  [[nodiscard]] index_t max_core_rank() const noexcept { return max_core_r_; }
+
+  /// y = A_f x (scalar reference path; the SIMD form is SharedBasisMvmPlan).
+  void apply(index_t f, std::span<const T> x, std::span<T> y,
+             SharedBasisWorkspace<T>& ws) const {
+    check_freq(f);
+    TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == grid_.cols(),
+                   "shared basis apply: x size");
+    TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == grid_.rows(),
+                   "shared basis apply: y size");
+    std::fill(y.begin(), y.end(), T{});
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      const auto xj = x.subspan(static_cast<std::size_t>(grid_.col_offset(j)),
+                                static_cast<std::size_t>(grid_.tile_cols(j)));
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        const la::Matrix<T>& u = u_[tix(i, j)];
+        const la::Matrix<T>& vh = vh_[tix(i, j)];
+        if (u.cols() == 0 || vh.rows() == 0) continue;
+        grow(ws.tv, vh.rows());
+        std::span<T> tv(ws.tv.data(), static_cast<std::size_t>(vh.rows()));
+        la::gemv(vh, xj, tv);
+        std::span<const T> tu = core_times(f, i, j, tv, ws);
+        auto yi = y.subspan(static_cast<std::size_t>(grid_.row_offset(i)),
+                            static_cast<std::size_t>(grid_.tile_rows(i)));
+        la::gemv(u, tu, yi, T{1}, T{1});
+      }
+    }
+  }
+
+  /// y = A_f^H x.
+  void apply_adjoint(index_t f, std::span<const T> x, std::span<T> y,
+                     SharedBasisWorkspace<T>& ws) const {
+    check_freq(f);
+    TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == grid_.rows(),
+                   "shared basis adjoint: x size");
+    TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == grid_.cols(),
+                   "shared basis adjoint: y size");
+    std::fill(y.begin(), y.end(), T{});
+    for (index_t i = 0; i < grid_.mt(); ++i) {
+      const auto xi = x.subspan(static_cast<std::size_t>(grid_.row_offset(i)),
+                                static_cast<std::size_t>(grid_.tile_rows(i)));
+      for (index_t j = 0; j < grid_.nt(); ++j) {
+        const la::Matrix<T>& u = u_[tix(i, j)];
+        const la::Matrix<T>& vh = vh_[tix(i, j)];
+        if (u.cols() == 0 || vh.rows() == 0) continue;
+        grow(ws.tu, u.cols());
+        std::span<T> tu(ws.tu.data(), static_cast<std::size_t>(u.cols()));
+        la::gemv_adjoint(u, xi, tu);
+        std::span<const T> tv = core_adjoint_times(f, i, j, tu, ws);
+        auto yj = y.subspan(static_cast<std::size_t>(grid_.col_offset(j)),
+                            static_cast<std::size_t>(grid_.tile_cols(j)));
+        la::gemv_adjoint(vh, tv, yj, T{1}, T{1});
+      }
+    }
+  }
+
+  /// Allocating conveniences (tests and small examples).
+  [[nodiscard]] std::vector<T> apply(index_t f, std::span<const T> x) const {
+    SharedBasisWorkspace<T> ws;
+    std::vector<T> y(static_cast<std::size_t>(grid_.rows()));
+    apply(f, x, std::span<T>(y), ws);
+    return y;
+  }
+  [[nodiscard]] std::vector<T> apply_adjoint(index_t f,
+                                             std::span<const T> x) const {
+    SharedBasisWorkspace<T> ws;
+    std::vector<T> y(static_cast<std::size_t>(grid_.cols()));
+    apply_adjoint(f, x, std::span<T>(y), ws);
+    return y;
+  }
+
+  /// Dense reconstruction of frequency f (accuracy checks only).
+  [[nodiscard]] la::Matrix<T> reconstruct(index_t f) const {
+    check_freq(f);
+    la::Matrix<T> out(grid_.rows(), grid_.cols(), T{});
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        if (u_rank(i, j) == 0 || v_rank(i, j) == 0) continue;
+        const la::Matrix<T> c = core_dense(f, i, j);
+        out.set_block(grid_.row_offset(i), grid_.col_offset(j),
+                      la::matmul(la::matmul(u_[tix(i, j)], c), vh_[tix(i, j)]));
+      }
+    }
+    return out;
+  }
+
+  /// Extracts frequency f as a standalone per-frequency TlrMatrix (the
+  /// factors are the shared bases contracted with the core — rank is
+  /// min(ku, kv) for dense cores, r_f for factored ones).
+  [[nodiscard]] TlrMatrix<T> frequency_tlr(index_t f) const {
+    check_freq(f);
+    std::vector<la::LowRankFactors<T>> tiles(
+        static_cast<std::size_t>(grid_.num_tiles()));
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        la::LowRankFactors<T>& t = tiles[tix(i, j)];
+        const la::Matrix<T>& u = u_[tix(i, j)];
+        const la::Matrix<T>& vh = vh_[tix(i, j)];
+        if (u.cols() == 0 || vh.rows() == 0) {
+          t.U = la::Matrix<T>(grid_.tile_rows(i), 0);
+          t.Vh = la::Matrix<T>(0, grid_.tile_cols(j));
+          continue;
+        }
+        const Core& c = core(f, i, j);
+        if (c.factored) {
+          t.U = la::matmul(u, c.lr.U);
+          t.Vh = la::matmul(c.lr.Vh, vh);
+        } else if (u.cols() <= vh.rows()) {
+          t.U = u;
+          t.Vh = la::matmul(c.dense, vh);
+        } else {
+          t.U = la::matmul(u, c.dense);
+          t.Vh = vh;
+        }
+      }
+    }
+    return TlrMatrix<T>(grid_, std::move(tiles));
+  }
+
+  /// Bytes of the shared representation: bases once + cores per frequency.
+  [[nodiscard]] double shared_bytes() const {
+    double total = 0.0;
+    for (const auto& m : u_) total += static_cast<double>(m.size()) * sizeof(T);
+    for (const auto& m : vh_) {
+      total += static_cast<double>(m.size()) * sizeof(T);
+    }
+    for (const auto& fc : cores_) {
+      for (const auto& c : fc) total += c.bytes();
+    }
+    return total;
+  }
+  /// Equivalent per-frequency TLR footprint at the same tolerance, derived
+  /// from the per-frequency core ranks — the storage the band would need
+  /// without basis sharing.
+  [[nodiscard]] double per_frequency_bytes() const {
+    double total = 0.0;
+    for (index_t f = 0; f < num_freqs_; ++f) {
+      for (index_t j = 0; j < grid_.nt(); ++j) {
+        for (index_t i = 0; i < grid_.mt(); ++i) {
+          total += static_cast<double>(core_rank(f, i, j)) *
+                   static_cast<double>(grid_.tile_rows(i) +
+                                       grid_.tile_cols(j)) *
+                   sizeof(T);
+        }
+      }
+    }
+    return total;
+  }
+  [[nodiscard]] double dense_bytes() const {
+    return static_cast<double>(num_freqs_) *
+           static_cast<double>(grid_.rows()) *
+           static_cast<double>(grid_.cols()) * sizeof(T);
+  }
+  /// per_frequency_bytes / shared_bytes: > 1 when sharing wins.
+  [[nodiscard]] double storage_ratio() const {
+    const double s = shared_bytes();
+    return s > 0.0 ? per_frequency_bytes() / s : 0.0;
+  }
+
+  /// Dense form of the core (factored cores re-expanded; checks only).
+  [[nodiscard]] la::Matrix<T> core_dense(index_t f, index_t i,
+                                         index_t j) const {
+    const Core& c = core(f, i, j);
+    if (!c.factored) return c.dense;
+    return la::matmul(c.lr.U, c.lr.Vh);
+  }
+
+ private:
+  template <typename TileFn>
+  static SharedBasisStackedTlr fit_common(const TileGrid& grid,
+                                          const SharedBasisConfig& cfg,
+                                          TileFn&& tile_of, index_t nf) {
+    TLRWSE_TRACE_SPAN("tlr.shared_basis_fit", "tlr");
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    obs::Counter& tiles_fit = reg.counter("tlr.shared_basis_tiles");
+    obs::Histogram& shared_rank_hist = reg.histogram("tlr.shared_basis_rank");
+
+    SharedBasisStackedTlr out;
+    out.grid_ = grid;
+    out.num_freqs_ = nf;
+    out.acc_ = cfg.acc;
+    const std::size_t ntiles = static_cast<std::size_t>(grid.num_tiles());
+    out.u_.resize(ntiles);
+    out.vh_.resize(ntiles);
+    out.cores_.assign(static_cast<std::size_t>(nf),
+                      std::vector<Core>(ntiles));
+    TLRWSE_TSAN_RELEASE(&out);
+#pragma omp parallel
+    {
+      TLRWSE_TSAN_ACQUIRE(&out);
+#pragma omp for collapse(2) schedule(static)
+      for (index_t j = 0; j < grid.nt(); ++j) {
+        for (index_t i = 0; i < grid.mt(); ++i) {
+          TLRWSE_TRACE_SPAN_DETAIL("tlr.shared_basis_fit_tile", "tlr");
+          std::vector<la::Matrix<T>> blocks;
+          blocks.reserve(static_cast<std::size_t>(nf));
+          for (index_t f = 0; f < nf; ++f) blocks.push_back(tile_of(f, i, j));
+          out.fit_tile(i, j, blocks, cfg);
+          shared_rank_hist.record(static_cast<double>(out.u_rank(i, j)));
+          tiles_fit.add();
+        }
+      }
+      TLRWSE_TSAN_RELEASE(&out);
+    }
+    TLRWSE_TSAN_ACQUIRE(&out);
+    out.finalize_offsets();
+    return out;
+  }
+
+  /// Fits one tile: RRQR on the horizontal/vertical band concatenations
+  /// for the bases, then per-frequency cores with the factored fallback.
+  void fit_tile(index_t i, index_t j, const std::vector<la::Matrix<T>>& blocks,
+                const SharedBasisConfig& cfg) {
+    using R = real_of_t<T>;
+    const index_t nf = static_cast<index_t>(blocks.size());
+    const index_t mt = grid_.tile_rows(i);
+    const index_t nt = grid_.tile_cols(j);
+    const R acc = static_cast<R>(cfg.acc);
+
+    // Shared column basis from [A_0 | A_1 | ... | A_{F-1}].
+    la::Matrix<T> ch(mt, nf * nt);
+    for (index_t f = 0; f < nf; ++f) {
+      ch.set_block(0, f * nt, blocks[static_cast<std::size_t>(f)]);
+    }
+    auto ur = la::rrqr_truncated(ch, acc, cfg.max_rank);
+
+    // Shared row basis from the adjoint of the vertical concatenation
+    // [A_0; ...; A_{F-1}] — i.e. the column space of [A_0^H | ... ].
+    la::Matrix<T> cv(nt, nf * mt);
+    for (index_t f = 0; f < nf; ++f) {
+      cv.set_block(0, f * mt, blocks[static_cast<std::size_t>(f)].adjoint());
+    }
+    auto vr = la::rrqr_truncated(cv, acc, cfg.max_rank);
+
+    const std::size_t t = tix(i, j);
+    if (ur.rank == 0 || vr.rank == 0) {
+      // A band below tolerance in either direction contributes nothing.
+      u_[t] = la::Matrix<T>(mt, 0);
+      vh_[t] = la::Matrix<T>(0, nt);
+      for (index_t f = 0; f < nf; ++f) {
+        Core& c = cores_[static_cast<std::size_t>(f)][t];
+        c.dense = la::Matrix<T>(0, 0);
+        c.rank = 0;
+      }
+      return;
+    }
+
+    u_[t] = std::move(ur.U);                  // mt x ku, orthonormal columns
+    vh_[t] = vr.U.adjoint();                  // kv x nt, orthonormal rows
+    const la::Matrix<T>& q = vr.U;            // nt x kv
+
+    for (index_t f = 0; f < nf; ++f) {
+      Core& c = cores_[static_cast<std::size_t>(f)][t];
+      // C_f = U^H A_f Q (ku x kv): the frequency's coordinates in the
+      // shared bases.
+      c.dense = la::matmul(la::matmul(u_[t].adjoint(),
+                                      blocks[static_cast<std::size_t>(f)]),
+                           q);
+      // Per-frequency factoring of the core: exposes the frequency's own
+      // numerical rank and is the storage fallback for incoherent bands.
+      la::LowRankFactors<T> lr = la::compress_svd(c.dense, acc);
+      c.rank = lr.rank();
+      const index_t ku = c.dense.rows();
+      const index_t kv = c.dense.cols();
+      if (c.rank * (ku + kv) < ku * kv) {
+        c.lr = std::move(lr);
+        c.dense = la::Matrix<T>();
+        c.factored = true;
+      }
+    }
+  }
+
+  void finalize_offsets() {
+    const index_t mt = grid_.mt();
+    const index_t nt = grid_.nt();
+    v_offset_.assign(static_cast<std::size_t>(mt * nt), 0);
+    u_offset_.assign(static_cast<std::size_t>(mt * nt), 0);
+    col_vranks_.assign(static_cast<std::size_t>(nt), 0);
+    row_uranks_.assign(static_cast<std::size_t>(mt), 0);
+    for (index_t j = 0; j < nt; ++j) {
+      index_t total = 0;
+      for (index_t i = 0; i < mt; ++i) {
+        v_offset_[tix(i, j)] = total;
+        total += v_rank(i, j);
+      }
+      col_vranks_[static_cast<std::size_t>(j)] = total;
+    }
+    for (index_t i = 0; i < mt; ++i) {
+      index_t total = 0;
+      for (index_t j = 0; j < nt; ++j) {
+        u_offset_[tix(i, j)] = total;
+        total += u_rank(i, j);
+      }
+      row_uranks_[static_cast<std::size_t>(i)] = total;
+    }
+    max_core_r_ = 0;
+    for (const auto& fc : cores_) {
+      for (const auto& c : fc) {
+        if (c.factored) max_core_r_ = std::max(max_core_r_, c.lr.rank());
+      }
+    }
+  }
+
+  /// tu = C_f_ij * tv (through the factored form when stored that way).
+  [[nodiscard]] std::span<const T> core_times(index_t f, index_t i, index_t j,
+                                              std::span<const T> tv,
+                                              SharedBasisWorkspace<T>& ws) const {
+    const Core& c = core(f, i, j);
+    if (!c.factored) {
+      grow(ws.tu, c.dense.rows());
+      std::span<T> tu(ws.tu.data(), static_cast<std::size_t>(c.dense.rows()));
+      la::gemv(c.dense, tv, tu);
+      return tu;
+    }
+    grow(ws.tc, c.lr.Vh.rows());
+    std::span<T> tc(ws.tc.data(), static_cast<std::size_t>(c.lr.Vh.rows()));
+    la::gemv(c.lr.Vh, tv, tc);
+    grow(ws.tu, c.lr.U.rows());
+    std::span<T> tu(ws.tu.data(), static_cast<std::size_t>(c.lr.U.rows()));
+    la::gemv(c.lr.U, std::span<const T>(tc.data(), tc.size()), tu);
+    return tu;
+  }
+
+  /// tv = C_f_ij^H * tu.
+  [[nodiscard]] std::span<const T> core_adjoint_times(
+      index_t f, index_t i, index_t j, std::span<const T> tu,
+      SharedBasisWorkspace<T>& ws) const {
+    const Core& c = core(f, i, j);
+    if (!c.factored) {
+      grow(ws.tv, c.dense.cols());
+      std::span<T> tv(ws.tv.data(), static_cast<std::size_t>(c.dense.cols()));
+      la::gemv_adjoint(c.dense, tu, tv);
+      return tv;
+    }
+    grow(ws.tc, c.lr.U.cols());
+    std::span<T> tc(ws.tc.data(), static_cast<std::size_t>(c.lr.U.cols()));
+    la::gemv_adjoint(c.lr.U, tu, tc);
+    grow(ws.tv, c.lr.Vh.cols());
+    std::span<T> tv(ws.tv.data(), static_cast<std::size_t>(c.lr.Vh.cols()));
+    la::gemv_adjoint(c.lr.Vh, std::span<const T>(tc.data(), tc.size()), tv);
+    return tv;
+  }
+
+  static void grow(std::vector<T>& buf, index_t n) {
+    if (static_cast<index_t>(buf.size()) < n) {
+      buf.resize(static_cast<std::size_t>(n));
+    }
+  }
+  [[nodiscard]] std::size_t tix(index_t i, index_t j) const {
+    return static_cast<std::size_t>(grid_.tile_index(i, j));
+  }
+  void check_freq(index_t f) const {
+    TLRWSE_REQUIRE(f >= 0 && f < num_freqs_,
+                   "shared basis: frequency index out of range");
+  }
+
+  TileGrid grid_;
+  index_t num_freqs_ = 0;
+  double acc_ = 0.0;
+  index_t max_core_r_ = 0;
+  std::vector<la::Matrix<T>> u_;            // per tile, mt x ku
+  std::vector<la::Matrix<T>> vh_;           // per tile, kv x nt
+  std::vector<std::vector<Core>> cores_;    // [frequency][tile]
+  std::vector<index_t> v_offset_;           // row offset in the Vh col-stack
+  std::vector<index_t> u_offset_;           // col offset in the U row-stack
+  std::vector<index_t> col_vranks_;         // sum_i kv per tile column
+  std::vector<index_t> row_uranks_;         // sum_j ku per tile row
+};
+
+class SharedBasisMvmPlan;
+struct PlanWorkspace;
+
+/// Precompiled SIMD execution form of a shared-basis band (cf32): the
+/// shared V/U stacks live in ONE split-complex arena laid out exactly like
+/// MvmPlan's planes — built once, reused by every frequency of the band —
+/// and each frequency owns a small program of per-tile core GEMVs that
+/// replaces MvmPlan's phase-2 shuffle. Declared in shared_basis_plan.hpp
+/// (included below) to keep this header's template code standalone.
+}  // namespace tlrwse::tlr
+
+#include "tlrwse/tlr/shared_basis_plan.hpp"

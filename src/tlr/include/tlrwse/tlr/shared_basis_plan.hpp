@@ -1,0 +1,111 @@
+// Precompiled SIMD plan for a shared-basis frequency band (cf32).
+//
+// The shared V and U stacks are laid out ONCE in a 64-byte-aligned
+// split-complex arena with the same plane geometry as MvmPlan (lda padded
+// to 16 floats), so the basis planes stay hot in cache across the whole
+// frequency loop — the band's frequencies differ only in a second, much
+// smaller core arena. Where MvmPlan's phase 2 is a pure shuffle (memcpy
+// program), the shared-basis phase 2 is a block-diagonal GEMV program: one
+// small core multiply per tile, mapping yv-space (per-column shared row
+// ranks) into yu-space (per-row shared column ranks). Factored cores run
+// as two rank-r GEMVs through per-call scratch.
+//
+// apply/apply_adjoint take the frequency index; multi-RHS variants are
+// bitwise identical per column to the single-RHS call (the same kernel
+// contract MvmPlan relies on).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tlrwse/common/aligned.hpp"
+#include "tlrwse/la/simd.hpp"
+#include "tlrwse/tlr/mvm_plan.hpp"
+
+namespace tlrwse::tlr {
+
+template <typename T>
+class SharedBasisStackedTlr;
+
+class SharedBasisMvmPlan {
+ public:
+  /// Builds the shared arena + per-frequency core programs. `kt` pins the
+  /// kernel tier (for parity tests); nullptr uses the process-wide
+  /// la::simd::dispatch() table.
+  explicit SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
+                              const la::simd::KernelTable* kt = nullptr);
+
+  /// y = A_f x  (x: cols(), y: rows()).
+  void apply(index_t f, std::span<const cf32> x, std::span<cf32> y,
+             PlanWorkspace& ws) const;
+  /// y = A_f^H x  (x: rows(), y: cols()).
+  void apply_adjoint(index_t f, std::span<const cf32> x, std::span<cf32> y,
+                     PlanWorkspace& ws) const;
+  /// Multi-RHS forms; X/Y hold nrhs contiguous vectors back to back.
+  void apply_multi(index_t f, std::span<const cf32> X, std::span<cf32> Y,
+                   index_t nrhs, PlanWorkspace& ws) const;
+  void apply_adjoint_multi(index_t f, std::span<const cf32> X,
+                           std::span<cf32> Y, index_t nrhs,
+                           PlanWorkspace& ws) const;
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t num_freqs() const noexcept {
+    return static_cast<index_t>(cores_.size());
+  }
+  /// Total shared row-basis rank (yv-space height) / column-basis rank
+  /// (yu-space height). Unlike MvmPlan these differ in general.
+  [[nodiscard]] index_t total_v_rank() const noexcept { return total_v_; }
+  [[nodiscard]] index_t total_u_rank() const noexcept { return total_u_; }
+  /// Shared basis planes, laid out once for the whole band.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_.size() * sizeof(float);
+  }
+  /// All frequencies' core planes together.
+  [[nodiscard]] std::size_t core_arena_bytes() const noexcept {
+    return core_arena_.size() * sizeof(float);
+  }
+
+ private:
+  struct ColPlane {  // one tile column's shared Vh planes
+    index_t re, im;
+    index_t ld;
+    index_t m, n;    // v_col_rank_sum x tile_cols
+    index_t x_off;
+    index_t y_base;  // offset in yv-space
+  };
+  struct RowPlane {  // one tile row's shared U planes
+    index_t re, im;
+    index_t ld;
+    index_t m, n;    // tile_rows x u_row_rank_sum
+    index_t x_off;
+    index_t y_base;  // offset in yu-space
+  };
+  /// One per-tile core multiply of frequency f: yu[dst..dst+m) +=
+  /// C (m x n) * yv[src..src+n). Dense cores use the re/im planes directly;
+  /// factored cores (r > 0) run Cu (m x r) * (CvH (r x n) * yv).
+  struct CoreOp {
+    index_t src, dst;
+    index_t m, n, r;               // ku, kv, factored rank (0 = dense)
+    index_t re, im, ld;            // dense planes
+    index_t ure, uim, uld;         // Cu planes
+    index_t vre, vim, vld;         // CvH planes
+  };
+
+  void check_io(index_t f, std::size_t x, std::size_t y, index_t nrhs,
+                bool adjoint) const;
+
+  const la::simd::KernelTable* kt_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t total_v_ = 0;
+  index_t total_u_ = 0;
+  index_t max_core_r_ = 0;
+  std::vector<float, AlignedAllocator<float>> arena_;       // shared planes
+  std::vector<float, AlignedAllocator<float>> core_arena_;  // per-freq cores
+  std::vector<ColPlane> v_;
+  std::vector<RowPlane> u_;
+  std::vector<std::vector<CoreOp>> cores_;  // [frequency]
+};
+
+}  // namespace tlrwse::tlr

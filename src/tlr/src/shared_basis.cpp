@@ -1,0 +1,357 @@
+#include "tlrwse/tlr/shared_basis.hpp"
+
+#include "tlrwse/common/error.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/tracer.hpp"
+
+namespace tlrwse::tlr {
+
+namespace {
+
+// Same padding contract as MvmPlan: leading dimensions round up to 16
+// floats so every plane and every column start 64-byte aligned.
+constexpr index_t kPadFloats = 16;
+
+index_t round_up(index_t v) {
+  return (v + kPadFloats - 1) / kPadFloats * kPadFloats;
+}
+
+void ensure(PlanWorkspace::Buf& b, std::size_t n) {
+  if (b.size() < n) b.resize(n);
+}
+
+// Copies a complex matrix into split planes at (re, im) with leading
+// dimension ld (padding rows were zero-filled at arena allocation).
+void deposit(std::vector<float, AlignedAllocator<float>>& arena,
+             const la::Matrix<cf32>& a, index_t re, index_t im, index_t ld) {
+  for (index_t col = 0; col < a.cols(); ++col) {
+    const cf32* src = a.col(col);
+    float* pr = arena.data() + re + col * ld;
+    float* pi = arena.data() + im + col * ld;
+    for (index_t row = 0; row < a.rows(); ++row) {
+      pr[row] = src[row].real();
+      pi[row] = src[row].imag();
+    }
+  }
+}
+
+}  // namespace
+
+SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
+                                       const la::simd::KernelTable* kt)
+    : kt_(kt != nullptr ? kt : &la::simd::dispatch()) {
+  const TileGrid& g = A.grid();
+  rows_ = g.rows();
+  cols_ = g.cols();
+  max_core_r_ = A.max_core_rank();
+
+  // Shared arena: per-column Vh planes, then per-row U planes — identical
+  // geometry to MvmPlan, but holding the band-shared bases only.
+  index_t off = 0;
+  v_.resize(static_cast<std::size_t>(g.nt()));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    ColPlane& c = v_[static_cast<std::size_t>(j)];
+    c.m = A.v_col_rank_sum(j);
+    c.n = g.tile_cols(j);
+    c.ld = round_up(c.m);
+    c.x_off = g.col_offset(j);
+    c.y_base = total_v_;
+    c.re = off;
+    off += c.ld * c.n;
+    c.im = off;
+    off += c.ld * c.n;
+    total_v_ += c.m;
+  }
+  u_.resize(static_cast<std::size_t>(g.mt()));
+  for (index_t i = 0; i < g.mt(); ++i) {
+    RowPlane& r = u_[static_cast<std::size_t>(i)];
+    r.m = g.tile_rows(i);
+    r.n = A.u_row_rank_sum(i);
+    r.ld = round_up(r.m);
+    r.x_off = g.row_offset(i);
+    r.y_base = total_u_;
+    total_u_ += r.n;
+    r.re = off;
+    off += r.ld * r.n;
+    r.im = off;
+    off += r.ld * r.n;
+  }
+  arena_.assign(static_cast<std::size_t>(off), 0.0f);  // padding stays zero
+
+  // The shared Vh factors of one tile column stack vertically (like
+  // StackedTlr's v_stack); the shared U factors of one tile row stack
+  // horizontally. Both are deposited column-slice by column-slice.
+  for (index_t j = 0; j < g.nt(); ++j) {
+    const ColPlane& c = v_[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const la::Matrix<cf32>& vh = A.basis_vh(i, j);
+      if (vh.rows() == 0) continue;
+      const index_t row0 = A.v_offset(i, j);
+      for (index_t col = 0; col < c.n; ++col) {
+        const cf32* src = vh.col(col);
+        float* pr = arena_.data() + c.re + col * c.ld + row0;
+        float* pi = arena_.data() + c.im + col * c.ld + row0;
+        for (index_t row = 0; row < vh.rows(); ++row) {
+          pr[row] = src[row].real();
+          pi[row] = src[row].imag();
+        }
+      }
+    }
+  }
+  for (index_t i = 0; i < g.mt(); ++i) {
+    const RowPlane& r = u_[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < g.nt(); ++j) {
+      const la::Matrix<cf32>& u = A.basis_u(i, j);
+      if (u.cols() == 0) continue;
+      const index_t col0 = A.u_offset(i, j);
+      deposit(arena_, u, r.re + col0 * r.ld, r.im + col0 * r.ld, r.ld);
+    }
+  }
+
+  // Core arena: per frequency, per tile (column-of-tiles-major), the core
+  // planes. Walking j outer / i inner matches the shuffle order of
+  // MvmPlan, keeping each frequency's program a forward sweep.
+  index_t core_off = 0;
+  const index_t nf = A.num_freqs();
+  cores_.resize(static_cast<std::size_t>(nf));
+  for (index_t f = 0; f < nf; ++f) {
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        const index_t ku = A.u_rank(i, j);
+        const index_t kv = A.v_rank(i, j);
+        if (ku == 0 || kv == 0) continue;
+        const auto& core = A.core(f, i, j);
+        CoreOp op{};
+        op.src = v_[static_cast<std::size_t>(j)].y_base + A.v_offset(i, j);
+        op.dst = u_[static_cast<std::size_t>(i)].y_base + A.u_offset(i, j);
+        op.m = ku;
+        op.n = kv;
+        if (core.factored) {
+          op.r = core.lr.rank();
+          op.uld = round_up(op.m);
+          op.ure = core_off;
+          core_off += op.uld * op.r;
+          op.uim = core_off;
+          core_off += op.uld * op.r;
+          op.vld = round_up(op.r);
+          op.vre = core_off;
+          core_off += op.vld * op.n;
+          op.vim = core_off;
+          core_off += op.vld * op.n;
+        } else {
+          op.ld = round_up(op.m);
+          op.re = core_off;
+          core_off += op.ld * op.n;
+          op.im = core_off;
+          core_off += op.ld * op.n;
+        }
+        cores_[static_cast<std::size_t>(f)].push_back(op);
+      }
+    }
+  }
+  core_arena_.assign(static_cast<std::size_t>(core_off), 0.0f);
+  for (index_t f = 0; f < nf; ++f) {
+    std::size_t slot = 0;
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        if (A.u_rank(i, j) == 0 || A.v_rank(i, j) == 0) continue;
+        const CoreOp& op = cores_[static_cast<std::size_t>(f)][slot++];
+        const auto& core = A.core(f, i, j);
+        if (core.factored) {
+          deposit(core_arena_, core.lr.U, op.ure, op.uim, op.uld);
+          deposit(core_arena_, core.lr.Vh, op.vre, op.vim, op.vld);
+        } else {
+          deposit(core_arena_, core.dense, op.re, op.im, op.ld);
+        }
+      }
+    }
+  }
+}
+
+void SharedBasisMvmPlan::check_io(index_t f, std::size_t x, std::size_t y,
+                                  index_t nrhs, bool adjoint) const {
+  TLRWSE_REQUIRE(f >= 0 && f < num_freqs(),
+                 "shared plan: frequency index out of range");
+  const index_t nin = adjoint ? rows_ : cols_;
+  const index_t nout = adjoint ? cols_ : rows_;
+  TLRWSE_REQUIRE(static_cast<index_t>(x) == nin * nrhs, "X size");
+  TLRWSE_REQUIRE(static_cast<index_t>(y) == nout * nrhs, "Y size");
+}
+
+void SharedBasisMvmPlan::apply(index_t f, std::span<const cf32> x,
+                               std::span<cf32> y, PlanWorkspace& ws) const {
+  apply_multi(f, x, y, 1, ws);
+}
+
+void SharedBasisMvmPlan::apply_adjoint(index_t f, std::span<const cf32> x,
+                                       std::span<cf32> y,
+                                       PlanWorkspace& ws) const {
+  apply_adjoint_multi(f, x, y, 1, ws);
+}
+
+void SharedBasisMvmPlan::apply_multi(index_t f, std::span<const cf32> X,
+                                     std::span<cf32> Y, index_t nrhs,
+                                     PlanWorkspace& ws) const {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.shared_plan_apply", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.shared_plan_apply");
+  calls.add();
+  check_io(f, X.size(), Y.size(), nrhs, /*adjoint=*/false);
+  const la::simd::KernelTable& k = *kt_;
+
+  ensure(ws.xr, static_cast<std::size_t>(cols_ * nrhs));
+  ensure(ws.xi, static_cast<std::size_t>(cols_ * nrhs));
+  ensure(ws.yvr, static_cast<std::size_t>(total_v_ * nrhs));
+  ensure(ws.yvi, static_cast<std::size_t>(total_v_ * nrhs));
+  ensure(ws.yur, static_cast<std::size_t>(total_u_ * nrhs));
+  ensure(ws.yui, static_cast<std::size_t>(total_u_ * nrhs));
+  ensure(ws.tr, static_cast<std::size_t>(rows_ * nrhs));
+  ensure(ws.ti, static_cast<std::size_t>(rows_ * nrhs));
+  if (max_core_r_ > 0) {
+    ensure(ws.cr, static_cast<std::size_t>(max_core_r_ * nrhs));
+    ensure(ws.ci, static_cast<std::size_t>(max_core_r_ * nrhs));
+  }
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.split_complex(cols_, X.data() + r * cols_, ws.xr.data() + r * cols_,
+                    ws.xi.data() + r * cols_);
+  }
+
+  // Phase 1: shared-Vh batch per tile column (band-invariant planes).
+  for (const ColPlane& c : v_) {
+    if (c.m == 0) continue;
+    k.sgemv_split_multi(c.m, c.n, arena_.data() + c.re, arena_.data() + c.im,
+                        c.ld, ws.xr.data() + c.x_off, ws.xi.data() + c.x_off,
+                        cols_, ws.yvr.data() + c.y_base,
+                        ws.yvi.data() + c.y_base, total_v_, nrhs,
+                        /*accumulate=*/false);
+  }
+
+  // Phase 2: frequency f's block-diagonal core program, yv -> yu. Every
+  // yu slice belongs to exactly one tile with ku > 0, and that tile has a
+  // core op (ranks are zeroed in pairs at fit time), so the sweep fully
+  // overwrites yu-space — no zero-fill needed.
+  for (const CoreOp& op : cores_[static_cast<std::size_t>(f)]) {
+    if (op.r == 0) {
+      k.sgemv_split_multi(op.m, op.n, core_arena_.data() + op.re,
+                          core_arena_.data() + op.im, op.ld,
+                          ws.yvr.data() + op.src, ws.yvi.data() + op.src,
+                          total_v_, ws.yur.data() + op.dst,
+                          ws.yui.data() + op.dst, total_u_, nrhs,
+                          /*accumulate=*/false);
+    } else {
+      k.sgemv_split_multi(op.r, op.n, core_arena_.data() + op.vre,
+                          core_arena_.data() + op.vim, op.vld,
+                          ws.yvr.data() + op.src, ws.yvi.data() + op.src,
+                          total_v_, ws.cr.data(), ws.ci.data(), max_core_r_,
+                          nrhs, /*accumulate=*/false);
+      k.sgemv_split_multi(op.m, op.r, core_arena_.data() + op.ure,
+                          core_arena_.data() + op.uim, op.uld, ws.cr.data(),
+                          ws.ci.data(), max_core_r_, ws.yur.data() + op.dst,
+                          ws.yui.data() + op.dst, total_u_, nrhs,
+                          /*accumulate=*/false);
+    }
+  }
+
+  // Phase 3: shared-U batch per tile row; rows partition the output.
+  for (const RowPlane& u : u_) {
+    if (u.m == 0) continue;
+    k.sgemv_split_multi(u.m, u.n, arena_.data() + u.re, arena_.data() + u.im,
+                        u.ld, ws.yur.data() + u.y_base,
+                        ws.yui.data() + u.y_base, total_u_,
+                        ws.tr.data() + u.x_off, ws.ti.data() + u.x_off, rows_,
+                        nrhs, /*accumulate=*/false);
+  }
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.merge_complex(rows_, ws.tr.data() + r * rows_, ws.ti.data() + r * rows_,
+                    Y.data() + r * rows_);
+  }
+}
+
+void SharedBasisMvmPlan::apply_adjoint_multi(index_t f,
+                                             std::span<const cf32> X,
+                                             std::span<cf32> Y, index_t nrhs,
+                                             PlanWorkspace& ws) const {
+  TLRWSE_TRACE_SPAN_DETAIL("tlr.shared_plan_apply_adjoint", "tlr");
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("tlr.shared_plan_apply_adjoint");
+  calls.add();
+  check_io(f, X.size(), Y.size(), nrhs, /*adjoint=*/true);
+  const la::simd::KernelTable& k = *kt_;
+
+  ensure(ws.xr, static_cast<std::size_t>(rows_ * nrhs));
+  ensure(ws.xi, static_cast<std::size_t>(rows_ * nrhs));
+  ensure(ws.yvr, static_cast<std::size_t>(total_v_ * nrhs));
+  ensure(ws.yvi, static_cast<std::size_t>(total_v_ * nrhs));
+  ensure(ws.yur, static_cast<std::size_t>(total_u_ * nrhs));
+  ensure(ws.yui, static_cast<std::size_t>(total_u_ * nrhs));
+  ensure(ws.tr, static_cast<std::size_t>(cols_ * nrhs));
+  ensure(ws.ti, static_cast<std::size_t>(cols_ * nrhs));
+  if (max_core_r_ > 0) {
+    ensure(ws.cr, static_cast<std::size_t>(max_core_r_ * nrhs));
+    ensure(ws.ci, static_cast<std::size_t>(max_core_r_ * nrhs));
+  }
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.split_complex(rows_, X.data() + r * rows_, ws.xr.data() + r * rows_,
+                    ws.xi.data() + r * rows_);
+  }
+
+  // Adjoint dataflow in reverse: shared U^H per tile row ...
+  for (const RowPlane& u : u_) {
+    if (u.n == 0) continue;
+    k.sgemv_split_adjoint_multi(u.m, u.n, arena_.data() + u.re,
+                                arena_.data() + u.im, u.ld,
+                                ws.xr.data() + u.x_off,
+                                ws.xi.data() + u.x_off, rows_,
+                                ws.yur.data() + u.y_base,
+                                ws.yui.data() + u.y_base, total_u_, nrhs,
+                                /*accumulate=*/false);
+  }
+
+  // ... core adjoints, yu -> yv (each yv slice written exactly once) ...
+  for (const CoreOp& op : cores_[static_cast<std::size_t>(f)]) {
+    if (op.r == 0) {
+      k.sgemv_split_adjoint_multi(op.m, op.n, core_arena_.data() + op.re,
+                                  core_arena_.data() + op.im, op.ld,
+                                  ws.yur.data() + op.dst,
+                                  ws.yui.data() + op.dst, total_u_,
+                                  ws.yvr.data() + op.src,
+                                  ws.yvi.data() + op.src, total_v_, nrhs,
+                                  /*accumulate=*/false);
+    } else {
+      k.sgemv_split_adjoint_multi(op.m, op.r, core_arena_.data() + op.ure,
+                                  core_arena_.data() + op.uim, op.uld,
+                                  ws.yur.data() + op.dst,
+                                  ws.yui.data() + op.dst, total_u_,
+                                  ws.cr.data(), ws.ci.data(), max_core_r_,
+                                  nrhs, /*accumulate=*/false);
+      k.sgemv_split_adjoint_multi(op.r, op.n, core_arena_.data() + op.vre,
+                                  core_arena_.data() + op.vim, op.vld,
+                                  ws.cr.data(), ws.ci.data(), max_core_r_,
+                                  ws.yvr.data() + op.src,
+                                  ws.yvi.data() + op.src, total_v_, nrhs,
+                                  /*accumulate=*/false);
+    }
+  }
+
+  // ... then shared Vh^H per tile column (columns partition the output).
+  for (const ColPlane& c : v_) {
+    if (c.n == 0) continue;
+    k.sgemv_split_adjoint_multi(c.m, c.n, arena_.data() + c.re,
+                                arena_.data() + c.im, c.ld,
+                                ws.yvr.data() + c.y_base,
+                                ws.yvi.data() + c.y_base, total_v_,
+                                ws.tr.data() + c.x_off,
+                                ws.ti.data() + c.x_off, cols_, nrhs,
+                                /*accumulate=*/false);
+  }
+
+  for (index_t r = 0; r < nrhs; ++r) {
+    k.merge_complex(cols_, ws.tr.data() + r * cols_, ws.ti.data() + r * cols_,
+                    Y.data() + r * cols_);
+  }
+}
+
+}  // namespace tlrwse::tlr

@@ -114,6 +114,156 @@ TEST(Archive, MatchesDirectTlrOperator) {
   EXPECT_LT(mdd::nmse(a.x, b.x), 1e-8);
 }
 
+tlr::SharedBasisConfig sc() {
+  tlr::SharedBasisConfig c;
+  c.nb = 12;
+  c.acc = 1e-4;
+  return c;
+}
+
+TEST(SharedArchive, BuildSplitsBandsAndSaves) {
+  const auto& data = dataset();
+  const auto archive = build_shared_archive(data, sc(), 4);
+  EXPECT_EQ(archive.num_freqs(), data.num_freqs());
+  EXPECT_EQ(archive.nt, data.config.nt);
+  EXPECT_EQ(archive.freq_bins, data.freq_bins);
+  EXPECT_GT(archive.shared_bytes(), 0.0);
+  index_t covered = 0;
+  for (const auto& b : archive.bands) {
+    EXPECT_LE(b->num_freqs(), 4);
+    covered += b->num_freqs();
+  }
+  EXPECT_EQ(covered, archive.num_freqs());
+  // band_width 0 = one band across the whole survey.
+  const auto one = build_shared_archive(data, sc(), 0);
+  EXPECT_EQ(one.num_bands(), 1);
+  EXPECT_EQ(one.bands.front()->num_freqs(), data.num_freqs());
+}
+
+TEST(SharedArchive, RoundTripIsBitwise) {
+  TempFile f("tlrwse_shared_archive.bin");
+  const auto& data = dataset();
+  const auto archive = build_shared_archive(data, sc(), 3);
+  save_shared_archive(f.path, archive);
+  const auto back = load_shared_archive(f.path);
+
+  EXPECT_EQ(back.nt, archive.nt);
+  EXPECT_DOUBLE_EQ(back.dt, archive.dt);
+  EXPECT_EQ(back.freq_bins, archive.freq_bins);
+  EXPECT_EQ(back.freqs_hz, archive.freqs_hz);
+  ASSERT_EQ(back.num_bands(), archive.num_bands());
+  EXPECT_DOUBLE_EQ(back.shared_bytes(), archive.shared_bytes());
+  for (index_t b = 0; b < archive.num_bands(); ++b) {
+    const auto& x = *archive.bands[static_cast<std::size_t>(b)];
+    const auto& y = *back.bands[static_cast<std::size_t>(b)];
+    ASSERT_EQ(x.num_freqs(), y.num_freqs());
+    ASSERT_EQ(x.grid().nb(), y.grid().nb());
+    EXPECT_DOUBLE_EQ(x.acc(), y.acc());
+    for (index_t j = 0; j < x.grid().nt(); ++j) {
+      for (index_t i = 0; i < x.grid().mt(); ++i) {
+        EXPECT_TRUE(x.basis_u(i, j) == y.basis_u(i, j));
+        EXPECT_TRUE(x.basis_vh(i, j) == y.basis_vh(i, j));
+        for (index_t q = 0; q < x.num_freqs(); ++q) {
+          const auto& cx = x.core(q, i, j);
+          const auto& cy = y.core(q, i, j);
+          ASSERT_EQ(cx.factored, cy.factored);
+          EXPECT_EQ(cx.rank, cy.rank);
+          if (cx.factored) {
+            EXPECT_TRUE(cx.lr.U == cy.lr.U);
+            EXPECT_TRUE(cx.lr.Vh == cy.lr.Vh);
+          } else {
+            EXPECT_TRUE(cx.dense == cy.dense);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SharedArchive, PeekReportsPayloadWithoutLoadingKernels) {
+  TempFile f("tlrwse_shared_peek.bin");
+  const auto& data = dataset();
+  const auto archive = build_shared_archive(data, sc(), 5);
+  save_shared_archive(f.path, archive);
+
+  const auto info = peek_archive(f.path);
+  EXPECT_TRUE(info.shared_basis);
+  EXPECT_EQ(info.num_bands, archive.num_bands());
+  // The admission-control byte count equals what the loaded operator will
+  // actually charge the cache.
+  EXPECT_DOUBLE_EQ(info.payload_bytes, archive.shared_bytes());
+  EXPECT_EQ(info.nt, archive.nt);
+  EXPECT_EQ(info.freq_bins, archive.freq_bins);
+  EXPECT_EQ(info.freqs_hz, archive.freqs_hz);
+
+  // A per-frequency archive keeps the defaults.
+  TempFile g("tlrwse_per_freq_peek.bin");
+  save_archive(g.path, build_archive(data, cc()));
+  const auto plain = peek_archive(g.path);
+  EXPECT_FALSE(plain.shared_basis);
+  EXPECT_EQ(plain.num_bands, 0);
+}
+
+TEST(SharedArchive, ReloadedOperatorSolvesIdentically) {
+  TempFile f("tlrwse_shared_archive2.bin");
+  const auto& data = dataset();
+  const auto archive = build_shared_archive(data, sc(), 4);
+  save_shared_archive(f.path, archive);
+  const auto back = load_shared_archive(f.path);
+
+  const auto op_fresh = make_operator(archive);
+  const auto op_back = make_operator(back);
+  EXPECT_EQ(op_fresh->num_freqs(), data.num_freqs());
+
+  const index_t v = data.num_receivers() / 2;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 20;
+  const auto x1 = mdd::solve_mdd(*op_fresh, rhs, lsqr);
+  const auto x2 = mdd::solve_mdd(*op_back, rhs, lsqr);
+  ASSERT_EQ(x1.x.size(), x2.x.size());
+  for (std::size_t i = 0; i < x1.x.size(); ++i) {
+    EXPECT_EQ(x1.x[i], x2.x[i]);  // bitwise round trip -> bitwise solve
+  }
+}
+
+TEST(SharedArchive, MatchesPerFrequencyOperator) {
+  // Both formats approximate the same kernels at the same tolerance, so
+  // their MDD solutions agree to solver precision.
+  const auto& data = dataset();
+  const auto shared = build_shared_archive(data, sc(), 4);
+  const auto op_shared = make_operator(shared);
+  const auto op_plain = make_operator(build_archive(data, cc()));
+  const index_t v = 2;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 10;
+  const auto a = mdd::solve_mdd(*op_shared, rhs, lsqr);
+  const auto b = mdd::solve_mdd(*op_plain, rhs, lsqr);
+  EXPECT_LT(mdd::nmse(a.x, b.x), 1e-4);
+}
+
+TEST(SharedArchive, ConversionFromPerFrequencyArchive) {
+  const auto& data = dataset();
+  // Tight per-frequency compression so the refit input is near-exact.
+  auto tight = cc();
+  tight.acc = 1e-6;
+  const auto plain = build_archive(data, tight);
+  const auto shared = shared_from_archive(plain, sc(), 4);
+  EXPECT_EQ(shared.num_freqs(), plain.num_freqs());
+  EXPECT_EQ(shared.nt, plain.nt);
+
+  const auto op_shared = make_operator(shared);
+  const auto op_plain = make_operator(plain);
+  const index_t v = 1;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 10;
+  const auto a = mdd::solve_mdd(*op_shared, rhs, lsqr);
+  const auto b = mdd::solve_mdd(*op_plain, rhs, lsqr);
+  EXPECT_LT(mdd::nmse(a.x, b.x), 1e-4);
+}
+
 TEST(Archive, RejectsCorruptFiles) {
   TempFile f("tlrwse_bad_archive.bin");
   {

@@ -78,6 +78,28 @@ TEST(Mdd, TlrBackendCloseToDense) {
   EXPECT_LT(nmse(xt.x, xd.x), 1e-3);
 }
 
+TEST(Mdd, SharedBasisBackendCloseToDense) {
+  // The runtime format switch: kTlrSharedBasis fits one basis set across
+  // the whole frequency band and must invert as well as the dense path.
+  const auto& data = tiny_dataset();
+  const index_t v = 3;
+  const auto rhs = virtual_source_rhs(data, v);
+
+  tlr::CompressionConfig cc;
+  cc.nb = 16;
+  cc.acc = 1e-5;
+  const auto dense_op = make_mdc_operator(data, KernelBackend::kDense, cc);
+  const auto shared_op =
+      make_mdc_operator(data, KernelBackend::kTlrSharedBasis, cc);
+  EXPECT_EQ(shared_op->num_freqs(), dense_op->num_freqs());
+
+  LsqrConfig lsqr;
+  lsqr.max_iters = 30;
+  const auto xd = solve_mdd(*dense_op, rhs, lsqr);
+  const auto xs = solve_mdd(*shared_op, rhs, lsqr);
+  EXPECT_LT(nmse(xs.x, xd.x), 1e-3);
+}
+
 TEST(Mdd, LooserAccuracyDegradesSolution) {
   // Fig. 12 (top): loosening acc trades solution quality for compression.
   const auto& data = tiny_dataset();

@@ -330,6 +330,49 @@ TEST(SolveService, ConcurrentClientsMatchSequentialBitwise) {
   EXPECT_GT(m.latency.p99, 0.0);
 }
 
+TEST(SolveService, SharedBasisArchiveServedAndChargedSharedBytes) {
+  // A shared-basis ("TLRS") archive goes through the same admission and
+  // cache path: the service dispatches on the peeked header, the resident
+  // entry charges the band-shared payload bytes (not the per-frequency
+  // expansion), and responses are bitwise equal to a direct solve on an
+  // operator rebuilt from the same file.
+  TempFile file("tlrwse_serve_shared.tlrs");
+  tlr::SharedBasisConfig sc;
+  sc.nb = 12;
+  sc.acc = 1e-4;
+  const auto shared = io::build_shared_archive(dataset(), sc, 4);
+  io::save_shared_archive(file.path, shared);
+
+  const auto reference_op = io::make_operator(io::load_shared_archive(file.path));
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 6;
+  const index_t v = 2;
+  const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+  const auto ref = mdd::solve_mdd(*reference_op, rhs, lsqr).x;
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SolveService service(cfg);
+  SolveRequest req;
+  req.op = OperatorKey{file.path, sc.nb, sc.acc};
+  req.kind = RequestKind::kLsqr;
+  req.vsrc = v;
+  req.rhs = rhs;
+  req.lsqr.max_iters = 6;
+  const auto resp = service.submit(std::move(req)).get();
+  ASSERT_EQ(resp.status, SolveStatus::kOk) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.x, ref));
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.cache.loads, 1u);
+  // Residency is charged at the shared payload — exactly the number the
+  // header advertises to admission control.
+  EXPECT_DOUBLE_EQ(m.cache.bytes_resident, shared.shared_bytes());
+  EXPECT_DOUBLE_EQ(io::peek_archive(file.path).payload_bytes,
+                   shared.shared_bytes());
+  EXPECT_GT(m.cache.datasets_per_gb(), 0.0);
+}
+
 /// Holds the single worker inside an LSQR iteration until released, giving
 /// the backpressure tests a deterministic "service is busy" state.
 struct Blocker {

@@ -1,0 +1,596 @@
+// Tests for the shared-basis stacked TLR band: accuracy parity against the
+// dense kernels and the per-frequency StackedTlr path, structural
+// invariants (offsets, zero-rank tiles, ragged grids), the adjoint dot
+// test, the SIMD plan (bitwise multi-RHS, NaN-sentinel workspace
+// robustness), and the cross-frequency coherence properties — a coherent
+// band must reproduce the predicted storage ratio, an incoherent band must
+// fall back gracefully to per-frequency ranks with no accuracy loss.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <tuple>
+
+#include "test_helpers.hpp"
+#include "tlrwse/la/blas.hpp"
+#include "tlrwse/tlr/shared_basis.hpp"
+#include "tlrwse/tlr/stacked.hpp"
+#include "tlrwse/tlr/tlr_mvm.hpp"
+
+namespace tlrwse::tlr {
+namespace {
+
+constexpr double kAcc = 1e-4;
+// Parity bars: the representation error per direction is <= acc on the
+// band concatenation, the core refactoring adds <= acc again, so a small
+// multiple of acc bounds the apply error against the exact dense kernel.
+constexpr double kParityBar = 20.0 * kAcc;
+
+/// A coherent synthetic band: the oscillatory kernel with a small
+/// per-frequency phase drift, the regime where neighbouring frequency
+/// matrices share tile bases.
+std::vector<la::MatrixCF> coherent_band(index_t m, index_t n, index_t nf,
+                                        double omega0 = 9.0) {
+  std::vector<la::MatrixCF> band;
+  band.reserve(static_cast<std::size_t>(nf));
+  for (index_t f = 0; f < nf; ++f) {
+    band.push_back(tlrwse::testing::oscillatory_matrix<cf32>(
+        m, n, omega0 + 0.15 * static_cast<double>(f)));
+  }
+  return band;
+}
+
+SharedBasisConfig config(index_t nb, double acc = kAcc) {
+  SharedBasisConfig cfg;
+  cfg.nb = nb;
+  cfg.acc = acc;
+  return cfg;
+}
+
+double dense_rel_apply_error(const SharedBasisStackedTlr<cf32>& sb,
+                             const la::MatrixCF& dense, index_t f,
+                             std::span<const cf32> x) {
+  const auto y = sb.apply(f, x);
+  std::vector<cf32> ref(static_cast<std::size_t>(dense.rows()));
+  la::gemv(dense, x, std::span<cf32>(ref));
+  return tlrwse::testing::rel_error(y, ref);
+}
+
+// ------------------------------------------------- parity vs dense ------
+
+class SharedBasisShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SharedBasisShapes, ApplyMatchesDense) {
+  const auto [m, n, nb, nf] = GetParam();
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  ASSERT_EQ(sb.num_freqs(), nf);
+  Rng rng(m + n + nb + nf);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_LT(dense_rel_apply_error(sb, band[static_cast<std::size_t>(f)], f,
+                                    std::span<const cf32>(x)),
+              kParityBar)
+        << "frequency " << f;
+  }
+}
+
+TEST_P(SharedBasisShapes, AdjointMatchesDense) {
+  const auto [m, n, nb, nf] = GetParam();
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  Rng rng(3 * m + n + nb);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, m);
+  for (index_t f = 0; f < nf; ++f) {
+    const auto y = sb.apply_adjoint(f, std::span<const cf32>(x));
+    std::vector<cf32> ref(static_cast<std::size_t>(n));
+    la::gemv_adjoint(band[static_cast<std::size_t>(f)],
+                     std::span<const cf32>(x), std::span<cf32>(ref));
+    EXPECT_LT(tlrwse::testing::rel_error(y, ref), kParityBar)
+        << "frequency " << f;
+  }
+}
+
+TEST_P(SharedBasisShapes, ReconstructMatchesDense) {
+  const auto [m, n, nb, nf] = GetParam();
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  for (index_t f = 0; f < nf; ++f) {
+    const auto rec = sb.reconstruct(f);
+    const auto& ref = band[static_cast<std::size_t>(f)];
+    double num = 0.0, den = 0.0;
+    for (index_t j = 0; j < ref.cols(); ++j) {
+      for (index_t i = 0; i < ref.rows(); ++i) {
+        num += std::norm(rec(i, j) - ref(i, j));
+        den += std::norm(ref(i, j));
+      }
+    }
+    EXPECT_LT(std::sqrt(num / den), kParityBar) << "frequency " << f;
+  }
+}
+
+// Band widths 1, 2, and 8 across exact and ragged tilings (ISSUE
+// satellite: ragged grids, single-frequency bands, band width sweep).
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SharedBasisShapes,
+    ::testing::Values(std::make_tuple(60, 40, 10, 1),   // single-freq band
+                      std::make_tuple(60, 40, 10, 2),
+                      std::make_tuple(60, 40, 10, 8),
+                      std::make_tuple(67, 45, 10, 8),   // ragged both sides
+                      std::make_tuple(30, 70, 16, 2),   // wide
+                      std::make_tuple(70, 30, 16, 8),   // tall
+                      std::make_tuple(25, 25, 70, 2),   // single tile
+                      std::make_tuple(11, 7, 3, 8)));   // tiny ragged
+
+// --------------------------------- parity vs per-frequency StackedTlr --
+
+TEST(SharedBasis, MatchesPerFrequencyStackedTlr) {
+  const index_t m = 66, n = 44, nb = 12, nf = 4;
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  CompressionConfig cc;
+  cc.nb = nb;
+  cc.acc = kAcc;
+  Rng rng(77);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    StackedTlr<cf32> stacks(
+        compress_tlr(band[static_cast<std::size_t>(f)], cc));
+    const auto y_per_freq =
+        tlr_mvm_fused(stacks, std::span<const cf32>(x));
+    const auto y_shared = sb.apply(f, std::span<const cf32>(x));
+    // Both approximate the same dense kernel to acc; their difference is
+    // bounded by the sum of the two approximation errors.
+    EXPECT_LT(tlrwse::testing::rel_error(y_shared, y_per_freq), 2 * kParityBar)
+        << "frequency " << f;
+  }
+}
+
+TEST(SharedBasis, FromTlrConversionMatchesDense) {
+  const index_t m = 50, n = 38, nb = 9, nf = 3;
+  const auto band = coherent_band(m, n, nf);
+  CompressionConfig cc;
+  cc.nb = nb;
+  cc.acc = 1e-6;  // tight, so the conversion input is near-exact
+  std::vector<TlrMatrix<cf32>> tlr_band;
+  for (const auto& k : band) tlr_band.push_back(compress_tlr(k, cc));
+  const auto sb = SharedBasisStackedTlr<cf32>::from_tlr(
+      std::span<const TlrMatrix<cf32>>(tlr_band), config(nb));
+  Rng rng(5);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_LT(dense_rel_apply_error(sb, band[static_cast<std::size_t>(f)], f,
+                                    std::span<const cf32>(x)),
+              kParityBar);
+  }
+}
+
+TEST(SharedBasis, FrequencyTlrExtractionMatchesDense) {
+  const index_t m = 48, n = 36, nb = 8, nf = 3;
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  Rng rng(31);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    const TlrMatrix<cf32> t = sb.frequency_tlr(f);
+    StackedTlr<cf32> stacks(t);
+    const auto y = tlr_mvm_fused(stacks, std::span<const cf32>(x));
+    std::vector<cf32> ref(static_cast<std::size_t>(m));
+    la::gemv(band[static_cast<std::size_t>(f)], std::span<const cf32>(x),
+             std::span<cf32>(ref));
+    EXPECT_LT(tlrwse::testing::rel_error(y, ref), kParityBar);
+  }
+}
+
+// ----------------------------------------------- structural invariants --
+
+TEST(SharedBasis, OffsetsAreConsistent) {
+  const auto band = coherent_band(50, 40, 4);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(10));
+  const auto& g = sb.grid();
+  for (index_t j = 0; j < g.nt(); ++j) {
+    index_t expected = 0;
+    for (index_t i = 0; i < g.mt(); ++i) {
+      EXPECT_EQ(sb.v_offset(i, j), expected);
+      EXPECT_EQ(sb.basis_vh(i, j).rows(), sb.v_rank(i, j));
+      EXPECT_EQ(sb.basis_vh(i, j).cols(), g.tile_cols(j));
+      expected += sb.v_rank(i, j);
+    }
+    EXPECT_EQ(sb.v_col_rank_sum(j), expected);
+  }
+  for (index_t i = 0; i < g.mt(); ++i) {
+    index_t expected = 0;
+    for (index_t j = 0; j < g.nt(); ++j) {
+      EXPECT_EQ(sb.u_offset(i, j), expected);
+      EXPECT_EQ(sb.basis_u(i, j).cols(), sb.u_rank(i, j));
+      EXPECT_EQ(sb.basis_u(i, j).rows(), g.tile_rows(i));
+      expected += sb.u_rank(i, j);
+    }
+    EXPECT_EQ(sb.u_row_rank_sum(i), expected);
+  }
+}
+
+TEST(SharedBasis, ZeroTilesGetZeroRank) {
+  // Band whose lower-right region is exactly zero at every frequency:
+  // those tiles must carry rank 0 in both bases and every core.
+  const index_t m = 40, n = 40, nb = 10, nf = 3;
+  std::vector<la::MatrixCF> band;
+  for (index_t f = 0; f < nf; ++f) {
+    la::MatrixCF k(m, n, cf32{});
+    const auto top = tlrwse::testing::oscillatory_matrix<cf32>(
+        20, 20, 8.0 + 0.2 * static_cast<double>(f));
+    k.set_block(0, 0, top);
+    band.push_back(std::move(k));
+  }
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  const auto& g = sb.grid();
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const bool zero_tile = g.row_offset(i) >= 20 || g.col_offset(j) >= 20;
+      if (zero_tile) {
+        EXPECT_EQ(sb.u_rank(i, j), 0);
+        EXPECT_EQ(sb.v_rank(i, j), 0);
+        for (index_t f = 0; f < nf; ++f) EXPECT_EQ(sb.core_rank(f, i, j), 0);
+      } else {
+        EXPECT_GT(sb.u_rank(i, j), 0);
+      }
+    }
+  }
+  Rng rng(17);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_LT(dense_rel_apply_error(sb, band[static_cast<std::size_t>(f)], f,
+                                    std::span<const cf32>(x)),
+              kParityBar);
+  }
+}
+
+TEST(SharedBasis, AllZeroBandHasZeroBytes) {
+  std::vector<la::MatrixCF> band(3, la::MatrixCF(30, 20, cf32{}));
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(8));
+  EXPECT_EQ(sb.shared_bytes(), 0.0);
+  EXPECT_EQ(sb.per_frequency_bytes(), 0.0);
+  std::vector<cf32> x(20, cf32{1.0f, -0.5f});
+  const auto y = sb.apply(1, std::span<const cf32>(x));
+  for (const auto& v : y) EXPECT_EQ(v, cf32{});
+}
+
+TEST(SharedBasis, AdjointDotTest) {
+  // <A_f x, y> == <x, A_f^H y> — the property LSQR depends on.
+  const auto band = coherent_band(40, 28, 3);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(9));
+  Rng rng(13);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, 28);
+  const auto y = tlrwse::testing::random_vector<cf32>(rng, 40);
+  for (index_t f = 0; f < 3; ++f) {
+    const auto ax = sb.apply(f, std::span<const cf32>(x));
+    const auto aty = sb.apply_adjoint(f, std::span<const cf32>(y));
+    const auto lhs =
+        la::dot(std::span<const cf32>(ax), std::span<const cf32>(y));
+    const auto rhs =
+        la::dot(std::span<const cf32>(x), std::span<const cf32>(aty));
+    EXPECT_LT(std::abs(lhs - rhs), 1e-3 * (std::abs(lhs) + 1.0f));
+  }
+}
+
+TEST(SharedBasis, SizeValidation) {
+  const auto band = coherent_band(20, 12, 2);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(5));
+  SharedBasisWorkspace<cf32> ws;
+  std::vector<cf32> bad_x(5), y(20);
+  EXPECT_THROW(
+      sb.apply(0, std::span<const cf32>(bad_x), std::span<cf32>(y), ws),
+      std::invalid_argument);
+  std::vector<cf32> x(12);
+  EXPECT_THROW(
+      sb.apply(7, std::span<const cf32>(x), std::span<cf32>(y), ws),
+      std::invalid_argument);
+  std::vector<la::MatrixCF> mixed = {la::MatrixCF(10, 10, cf32{}),
+                                     la::MatrixCF(11, 10, cf32{})};
+  EXPECT_THROW(SharedBasisStackedTlr<cf32>::fit(
+                   std::span<const la::MatrixCF>(mixed), config(5)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- SIMD plan ---
+
+TEST(SharedBasisPlan, MatchesScalarApply) {
+  const auto band = coherent_band(67, 45, 5);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(10));
+  const SharedBasisMvmPlan plan(sb);
+  EXPECT_EQ(plan.rows(), 67);
+  EXPECT_EQ(plan.cols(), 45);
+  EXPECT_EQ(plan.num_freqs(), 5);
+  Rng rng(23);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, 45);
+  PlanWorkspace ws;
+  for (index_t f = 0; f < 5; ++f) {
+    std::vector<cf32> y(67);
+    plan.apply(f, std::span<const cf32>(x), std::span<cf32>(y), ws);
+    const auto y_ref = sb.apply(f, std::span<const cf32>(x));
+    // Same arithmetic, different order: FP32 reassociation tolerance only.
+    EXPECT_LT(tlrwse::testing::rel_error(y, y_ref), 1e-5) << "frequency " << f;
+  }
+}
+
+TEST(SharedBasisPlan, AdjointMatchesScalarApply) {
+  const auto band = coherent_band(58, 41, 4);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(12));
+  const SharedBasisMvmPlan plan(sb);
+  Rng rng(29);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, 58);
+  PlanWorkspace ws;
+  for (index_t f = 0; f < 4; ++f) {
+    std::vector<cf32> y(41);
+    plan.apply_adjoint(f, std::span<const cf32>(x), std::span<cf32>(y), ws);
+    const auto y_ref = sb.apply_adjoint(f, std::span<const cf32>(x));
+    EXPECT_LT(tlrwse::testing::rel_error(y, y_ref), 1e-5) << "frequency " << f;
+  }
+}
+
+TEST(SharedBasisPlan, MultiRhsBitwiseEqualsSingleRhs) {
+  const index_t m = 67, n = 45, nf = 3, nrhs = 5;
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(10));
+  const SharedBasisMvmPlan plan(sb);
+  Rng rng(41);
+  const auto X = tlrwse::testing::random_vector<cf32>(rng, n * nrhs);
+  PlanWorkspace ws;
+  for (index_t f = 0; f < nf; ++f) {
+    std::vector<cf32> Y(static_cast<std::size_t>(m * nrhs));
+    plan.apply_multi(f, std::span<const cf32>(X), std::span<cf32>(Y), nrhs,
+                     ws);
+    for (index_t r = 0; r < nrhs; ++r) {
+      std::vector<cf32> y1(static_cast<std::size_t>(m));
+      PlanWorkspace ws1;
+      plan.apply(f,
+                 std::span<const cf32>(X).subspan(
+                     static_cast<std::size_t>(r * n),
+                     static_cast<std::size_t>(n)),
+                 std::span<cf32>(y1), ws1);
+      EXPECT_EQ(0, std::memcmp(y1.data(),
+                               Y.data() + static_cast<std::size_t>(r * m),
+                               static_cast<std::size_t>(m) * sizeof(cf32)))
+          << "frequency " << f << " rhs " << r;
+    }
+  }
+}
+
+TEST(SharedBasisPlan, AdjointMultiRhsBitwiseEqualsSingleRhs) {
+  const index_t m = 58, n = 41, nf = 2, nrhs = 4;
+  const auto band = coherent_band(m, n, nf);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(12));
+  const SharedBasisMvmPlan plan(sb);
+  Rng rng(43);
+  const auto X = tlrwse::testing::random_vector<cf32>(rng, m * nrhs);
+  PlanWorkspace ws;
+  for (index_t f = 0; f < nf; ++f) {
+    std::vector<cf32> Y(static_cast<std::size_t>(n * nrhs));
+    plan.apply_adjoint_multi(f, std::span<const cf32>(X), std::span<cf32>(Y),
+                             nrhs, ws);
+    for (index_t r = 0; r < nrhs; ++r) {
+      std::vector<cf32> y1(static_cast<std::size_t>(n));
+      PlanWorkspace ws1;
+      plan.apply_adjoint(f,
+                         std::span<const cf32>(X).subspan(
+                             static_cast<std::size_t>(r * m),
+                             static_cast<std::size_t>(m)),
+                         std::span<cf32>(y1), ws1);
+      EXPECT_EQ(0, std::memcmp(y1.data(),
+                               Y.data() + static_cast<std::size_t>(r * n),
+                               static_cast<std::size_t>(n) * sizeof(cf32)))
+          << "frequency " << f << " rhs " << r;
+    }
+  }
+}
+
+TEST(SharedBasisPlan, NanPoisonedWorkspaceIsHarmless) {
+  // Mirrors test_simd's padding sentinels: every workspace region the plan
+  // reads must have been written first, so pre-poisoning all scratch with
+  // NaN cannot leak into the output.
+  const auto band = coherent_band(67, 45, 3);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(10));
+  const SharedBasisMvmPlan plan(sb);
+  Rng rng(53);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, 45);
+
+  std::vector<cf32> y_clean(67);
+  PlanWorkspace clean;
+  plan.apply(1, std::span<const cf32>(x), std::span<cf32>(y_clean), clean);
+
+  PlanWorkspace poisoned;
+  constexpr float kSentinel = std::numeric_limits<float>::quiet_NaN();
+  // Run once to size the buffers, then poison every float and re-run.
+  std::vector<cf32> y(67);
+  plan.apply(1, std::span<const cf32>(x), std::span<cf32>(y), poisoned);
+  for (auto* buf : {&poisoned.xr, &poisoned.xi, &poisoned.yvr, &poisoned.yvi,
+                    &poisoned.yur, &poisoned.yui, &poisoned.tr, &poisoned.ti,
+                    &poisoned.cr, &poisoned.ci}) {
+    std::fill(buf->begin(), buf->end(), kSentinel);
+  }
+  plan.apply(1, std::span<const cf32>(x), std::span<cf32>(y), poisoned);
+  EXPECT_EQ(0, std::memcmp(y.data(), y_clean.data(), y.size() * sizeof(cf32)));
+
+  // Same for the adjoint.
+  std::vector<cf32> xa = tlrwse::testing::random_vector<cf32>(rng, 67);
+  std::vector<cf32> ya_clean(45), ya(45);
+  plan.apply_adjoint(2, std::span<const cf32>(xa), std::span<cf32>(ya_clean),
+                     clean);
+  for (auto* buf : {&poisoned.xr, &poisoned.xi, &poisoned.yvr, &poisoned.yvi,
+                    &poisoned.yur, &poisoned.yui, &poisoned.tr, &poisoned.ti,
+                    &poisoned.cr, &poisoned.ci}) {
+    std::fill(buf->begin(), buf->end(), kSentinel);
+  }
+  plan.apply_adjoint(2, std::span<const cf32>(xa), std::span<cf32>(ya),
+                     poisoned);
+  EXPECT_EQ(0,
+            std::memcmp(ya.data(), ya_clean.data(), ya.size() * sizeof(cf32)));
+}
+
+TEST(SharedBasisPlan, SharedArenaIsBandInvariant) {
+  // The point of the format: the basis arena is sized by the band's shared
+  // ranks only — applying different frequencies reuses the same planes and
+  // only the (much smaller) core arena distinguishes them.
+  const auto band = coherent_band(96, 72, 8);
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(16));
+  const SharedBasisMvmPlan plan(sb);
+  EXPECT_GT(plan.arena_bytes(), 0u);
+  // The basis arena is paid once for the whole band; each additional
+  // frequency only adds its core slice, which must cost well under another
+  // copy of the shared planes (core planes pad leading dimensions to the
+  // SIMD stride, so compare per frequency, not per band).
+  EXPECT_LT(plan.core_arena_bytes() / 8, plan.arena_bytes());
+}
+
+// ------------------------------------------- coherence property tests --
+
+TEST(SharedBasisProperty, CoherentBandReproducesPredictedStorageRatio) {
+  // Exact construction: B_f = U0 * D_f * V0h with one shared rank-r pair
+  // and per-frequency diagonal cores. Predicted storage (single tile):
+  //   per-frequency: F * r * (m + n)      shared: r * (m + n) + F * r^2
+  // so the ratio is known in closed form and must be reproduced.
+  const index_t m = 48, n = 48, r = 6, nf = 8;
+  Rng rng(101);
+  const auto u0 = tlrwse::testing::random_matrix<cf32>(rng, m, r);
+  const auto v0h = tlrwse::testing::random_matrix<cf32>(rng, r, n);
+  std::vector<la::MatrixCF> band;
+  for (index_t f = 0; f < nf; ++f) {
+    la::MatrixCF d(r, r, cf32{});
+    for (index_t k = 0; k < r; ++k) {
+      d(k, k) = cf32(1.0f + 0.1f * static_cast<float>(f + k),
+                     0.05f * static_cast<float>(k));
+    }
+    band.push_back(la::matmul(la::matmul(u0, d), v0h));
+  }
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(64, 1e-6));
+  ASSERT_EQ(sb.grid().num_tiles(), 1);
+  EXPECT_EQ(sb.u_rank(0, 0), r);
+  EXPECT_EQ(sb.v_rank(0, 0), r);
+  for (index_t f = 0; f < nf; ++f) EXPECT_EQ(sb.core_rank(f, 0, 0), r);
+
+  const double predicted =
+      static_cast<double>(nf * r * (m + n)) /
+      static_cast<double>(r * (m + n) + nf * r * r);
+  EXPECT_NEAR(sb.storage_ratio(), predicted, 1e-9);
+  // The acceptance-criteria bar: >= 3x on a coherent band of width 8.
+  EXPECT_GE(sb.storage_ratio(), 3.0);
+
+  Rng xrng(7);
+  const auto x = tlrwse::testing::random_vector<cf32>(xrng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_LT(dense_rel_apply_error(sb, band[static_cast<std::size_t>(f)], f,
+                                    std::span<const cf32>(x)),
+              1e-4);
+  }
+}
+
+TEST(SharedBasisProperty, IncoherentBandFallsBackGracefully) {
+  // Deliberately incoherent: every frequency is a rank-1 matrix in a
+  // DIFFERENT random direction. The shared bases must widen to the union
+  // (~F directions), but each core must fall back to the frequency's own
+  // rank (1, stored factored) with no accuracy loss.
+  const index_t m = 40, n = 32, nf = 8;
+  Rng rng(211);
+  std::vector<la::MatrixCF> band;
+  for (index_t f = 0; f < nf; ++f) {
+    const auto u = tlrwse::testing::random_matrix<cf32>(rng, m, 1);
+    const auto vh = tlrwse::testing::random_matrix<cf32>(rng, 1, n);
+    band.push_back(la::matmul(u, vh));
+  }
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(64, 1e-6));
+  ASSERT_EQ(sb.grid().num_tiles(), 1);
+  // Shared ranks grow to the union of the directions...
+  EXPECT_GE(sb.u_rank(0, 0), nf - 1);
+  // ... but the per-frequency numerical ranks are preserved (the graceful
+  // fallback: no frequency pays for the others' directions).
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_EQ(sb.core_rank(f, 0, 0), 1);
+    EXPECT_TRUE(sb.core(f, 0, 0).factored);
+  }
+  // No accuracy loss on an incoherent band.
+  Rng xrng(9);
+  const auto x = tlrwse::testing::random_vector<cf32>(xrng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_LT(dense_rel_apply_error(sb, band[static_cast<std::size_t>(f)], f,
+                                    std::span<const cf32>(x)),
+              1e-4);
+  }
+  // Sharing cannot win here; the overhead is bounded by the basis copies
+  // (factored cores keep the core cost at the per-frequency level).
+  EXPECT_LE(sb.shared_bytes(), 3.0 * sb.per_frequency_bytes());
+}
+
+TEST(SharedBasisProperty, FuzzRandomBandsStayWithinTolerance) {
+  // Seeded fuzz over shapes, tile sizes, band widths, and coherence mix:
+  // B_f = base + eps_f * perturbation. Every draw must satisfy dense
+  // parity, the adjoint dot test, and scalar/plan agreement.
+  struct Draw {
+    index_t m, n, nb, nf;
+    double eps;
+  };
+  const Draw draws[] = {
+      {33, 21, 7, 2, 0.05}, {64, 64, 16, 5, 0.20}, {81, 27, 13, 3, 0.50},
+      {26, 58, 32, 4, 0.01}, {45, 45, 11, 1, 0.00}, {72, 40, 24, 8, 0.10},
+  };
+  for (const Draw& d : draws) {
+    Rng rng(static_cast<unsigned>(1000 + d.m * 7 + d.n * 3 + d.nf));
+    const auto base = tlrwse::testing::random_matrix<cf32>(rng, d.m, d.n);
+    std::vector<la::MatrixCF> band;
+    for (index_t f = 0; f < d.nf; ++f) {
+      la::MatrixCF k = base;
+      const auto pert = tlrwse::testing::random_matrix<cf32>(rng, d.m, d.n);
+      const auto eps = static_cast<float>(d.eps * (f + 1) / d.nf);
+      for (index_t j = 0; j < k.cols(); ++j) {
+        for (index_t i = 0; i < k.rows(); ++i) k(i, j) += eps * pert(i, j);
+      }
+      band.push_back(std::move(k));
+    }
+    const auto sb = SharedBasisStackedTlr<cf32>::fit(
+        std::span<const la::MatrixCF>(band), config(d.nb, 1e-5));
+    const SharedBasisMvmPlan plan(sb);
+    const auto x = tlrwse::testing::random_vector<cf32>(rng, d.n);
+    const auto xa = tlrwse::testing::random_vector<cf32>(rng, d.m);
+    PlanWorkspace ws;
+    for (index_t f = 0; f < d.nf; ++f) {
+      const auto y = sb.apply(f, std::span<const cf32>(x));
+      std::vector<cf32> ref(static_cast<std::size_t>(d.m));
+      la::gemv(band[static_cast<std::size_t>(f)], std::span<const cf32>(x),
+               std::span<cf32>(ref));
+      EXPECT_LT(tlrwse::testing::rel_error(y, ref), 1e-3)
+          << "m=" << d.m << " nf=" << d.nf << " f=" << f;
+
+      const auto aty = sb.apply_adjoint(f, std::span<const cf32>(xa));
+      const auto lhs =
+          la::dot(std::span<const cf32>(y), std::span<const cf32>(xa));
+      const auto rhs =
+          la::dot(std::span<const cf32>(x), std::span<const cf32>(aty));
+      EXPECT_LT(std::abs(lhs - rhs), 1e-3 * (std::abs(lhs) + 1.0f));
+
+      std::vector<cf32> yp(static_cast<std::size_t>(d.m));
+      plan.apply(f, std::span<const cf32>(x), std::span<cf32>(yp), ws);
+      EXPECT_LT(tlrwse::testing::rel_error(yp, y), 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlrwse::tlr

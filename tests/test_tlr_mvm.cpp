@@ -87,7 +87,17 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(70, 30, 16),   // tall
                       std::make_tuple(25, 25, 70),   // single tile, nb > dims
                       std::make_tuple(96, 96, 24),
-                      std::make_tuple(11, 7, 3)));
+                      std::make_tuple(11, 7, 3),
+                      // Production tile sizes: nb is a multiple of the
+                      // 16-float SIMD pad (lda rounding degenerates to the
+                      // identity) and one ragged shape per size where the
+                      // edge tiles round up.
+                      std::make_tuple(96, 80, 32),    // exact, nb = 2*pad
+                      std::make_tuple(90, 75, 32),    // ragged edge tiles
+                      std::make_tuple(128, 64, 64),   // exact, nb = 4*pad
+                      std::make_tuple(130, 70, 64),   // ragged edge tiles
+                      std::make_tuple(128, 128, 128), // single exact tile
+                      std::make_tuple(140, 130, 128)));  // ragged both sides
 
 TEST(TlrMvmAdjoint, MatchesDenseAdjoint) {
   MvmSetup s(50, 34, 8);

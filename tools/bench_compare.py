@@ -55,6 +55,15 @@ METRICS = {
         "higher_better": ("speedup", "speedup_8rhs"),
         "lower_better": (),
     },
+    # storage_ratio is deterministic (same fit, same band) so any drift is
+    # a real compression change; throughput_ratio cancels the machine's
+    # clock like the kernel speedups; the shared path's accuracy must not
+    # quietly degrade either.
+    "shared_basis": {
+        "key": ("row", "band_width"),
+        "higher_better": ("storage_ratio", "throughput_ratio"),
+        "lower_better": ("max_rel_err",),
+    },
 }
 
 

@@ -83,6 +83,21 @@ SCHEMAS = {
             "pflops",
         },
     ),
+    "shared_basis": (
+        {"bench", "simd_compiled", "simd_level", "m", "n", "nb", "num_freq", "acc"},
+        {
+            "row",
+            "band_width",
+            "shared_mb",
+            "per_freq_mb",
+            "storage_ratio",
+            "max_rel_err",
+            "per_freq_rel_err",
+            "shared_apply_s",
+            "per_freq_apply_s",
+            "throughput_ratio",
+        },
+    ),
 }
 
 # Extra keys required on specific rows (matched by their "row" value).
