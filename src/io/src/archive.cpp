@@ -1,5 +1,6 @@
 #include "tlrwse/io/archive.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "tlrwse/common/error.hpp"
@@ -34,6 +35,35 @@ double read_f64(std::istream& is) {
   double v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
+}
+
+// Upper bound on any single matrix dimension read from disk; a corrupt
+// header past this is rejected before it can demand a huge allocation.
+constexpr index_t kMaxArchiveDim = index_t{1} << 30;
+
+void write_mat(std::ostream& os, const la::MatrixCF& m) {
+  write_i64(os, m.rows());
+  write_i64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                        sizeof(cf32)));
+}
+
+/// Reads one matrix, rejecting dimensions outside [0, max_rows/cols] (the
+/// caller's structural bound) and any short read — a truncated or corrupt
+/// stream must throw, never hand back silently-garbage factors.
+la::MatrixCF read_mat(std::istream& is, index_t max_rows, index_t max_cols) {
+  const index_t r = read_i64(is);
+  const index_t c = read_i64(is);
+  if (!is) throw std::runtime_error("tlrwse::io: truncated matrix header");
+  TLRWSE_REQUIRE(r >= 0 && c >= 0 && r <= max_rows && c <= max_cols,
+                 "corrupt matrix header: dims out of range");
+  la::MatrixCF m(r, c);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                       sizeof(cf32)));
+  if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+  return m;
 }
 }  // namespace
 
@@ -161,6 +191,7 @@ KernelArchive load_archive(const std::string& path) {
     archive.freq_bins[static_cast<std::size_t>(q)] = read_i64(is);
     archive.freqs_hz[static_cast<std::size_t>(q)] = read_f64(is);
   }
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive header");
   archive.kernels.reserve(static_cast<std::size_t>(nf));
   for (index_t q = 0; q < nf; ++q) {
     if (read_u32(is) != kTlrMagic) {
@@ -172,6 +203,9 @@ KernelArchive load_archive(const std::string& path) {
     const index_t rows = read_i64(is);
     const index_t cols = read_i64(is);
     const index_t nb = read_i64(is);
+    if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+    TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
+                   "corrupt kernel header: dims out of range");
     const tlr::TileGrid g(rows, cols, nb);
     std::vector<index_t> ranks(static_cast<std::size_t>(g.num_tiles()));
     for (index_t j = 0; j < g.nt(); ++j) {
@@ -183,19 +217,18 @@ KernelArchive load_archive(const std::string& path) {
         static_cast<std::size_t>(g.num_tiles()));
     for (index_t j = 0; j < g.nt(); ++j) {
       for (index_t i = 0; i < g.mt(); ++i) {
-        auto read_mat = [&]() {
-          const index_t r = read_i64(is);
-          const index_t c = read_i64(is);
-          TLRWSE_REQUIRE(r >= 0 && c >= 0, "corrupt tile header");
-          la::MatrixCF m(r, c);
-          is.read(reinterpret_cast<char*>(m.data()),
-                  static_cast<std::streamsize>(
-                      static_cast<std::size_t>(m.size()) * sizeof(cf32)));
-          return m;
-        };
+        const index_t rank =
+            ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+        TLRWSE_REQUIRE(
+            rank >= 0 && rank <= std::min(g.tile_rows(i), g.tile_cols(j)),
+            "corrupt archive: tile rank out of range");
         la::LowRankFactors<cf32> t;
-        t.U = read_mat();
-        t.Vh = read_mat();
+        t.U = read_mat(is, g.tile_rows(i), rank);
+        t.Vh = read_mat(is, rank, g.tile_cols(j));
+        TLRWSE_REQUIRE(t.U.rows() == g.tile_rows(i) && t.U.cols() == rank &&
+                           t.Vh.rows() == rank &&
+                           t.Vh.cols() == g.tile_cols(j),
+                       "corrupt archive: tile factors mismatch rank table");
         tiles[static_cast<std::size_t>(g.tile_index(i, j))] = std::move(t);
       }
     }
@@ -230,25 +263,6 @@ std::vector<std::pair<index_t, index_t>> split_bands(index_t nf,
     out.emplace_back(start, std::min(band_width, nf - start));
   }
   return out;
-}
-
-void write_mat(std::ostream& os, const la::MatrixCF& m) {
-  write_i64(os, m.rows());
-  write_i64(os, m.cols());
-  os.write(reinterpret_cast<const char*>(m.data()),
-           static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
-                                        sizeof(cf32)));
-}
-
-la::MatrixCF read_mat(std::istream& is) {
-  const index_t r = read_i64(is);
-  const index_t c = read_i64(is);
-  TLRWSE_REQUIRE(r >= 0 && c >= 0, "corrupt matrix header");
-  la::MatrixCF m(r, c);
-  is.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
-                                       sizeof(cf32)));
-  return m;
 }
 
 }  // namespace
@@ -385,6 +399,9 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
   }
   (void)read_f64(is);  // payload_bytes: recomputed from the loaded bands
   const index_t num_bands = read_i64(is);
+  if (!is) {
+    throw std::runtime_error("tlrwse::io: truncated shared archive header");
+  }
   TLRWSE_REQUIRE(num_bands >= 0, "corrupt shared archive");
   for (index_t bi = 0; bi < num_bands; ++bi) {
     if (read_u32(is) != kBandMagic) {
@@ -395,15 +412,21 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
     const index_t nb = read_i64(is);
     const double acc = read_f64(is);
     const index_t band_nf = read_i64(is);
-    TLRWSE_REQUIRE(band_nf >= 0, "corrupt shared archive band");
+    if (!is) throw std::runtime_error("tlrwse::io: truncated shared archive");
+    TLRWSE_REQUIRE(band_nf >= 0 && band_nf <= nf,
+                   "corrupt shared archive band");
+    TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
+                   "corrupt shared archive band: dims out of range");
     const tlr::TileGrid g(rows, cols, nb);
     const auto ntiles = static_cast<std::size_t>(g.num_tiles());
     std::vector<la::MatrixCF> u(ntiles), vh(ntiles);
     for (index_t j = 0; j < g.nt(); ++j) {
       for (index_t i = 0; i < g.mt(); ++i) {
+        // A shared basis cannot out-rank its tile (orthonormal columns /
+        // rows); from_parts re-checks the exact dimensions below.
         const auto t = static_cast<std::size_t>(g.tile_index(i, j));
-        u[t] = read_mat(is);
-        vh[t] = read_mat(is);
+        u[t] = read_mat(is, g.tile_rows(i), g.tile_rows(i));
+        vh[t] = read_mat(is, g.tile_cols(j), g.tile_cols(j));
       }
     }
     using Band = tlr::SharedBasisStackedTlr<cf32>;
@@ -416,11 +439,17 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
           Band::Core& c = cores[static_cast<std::size_t>(f)][t];
           c.factored = read_u32(is) != 0;
           c.rank = read_i64(is);
+          // Cores live inside the tile's shared bases, so their dims are
+          // bounded by the basis ranks just read (exactness is enforced
+          // by from_parts; the bound stops arena-overrun-sized reads).
+          const index_t ku = u[t].cols();
+          const index_t kv = vh[t].rows();
           if (c.factored) {
-            c.lr.U = read_mat(is);
-            c.lr.Vh = read_mat(is);
+            const index_t rmax = std::min(ku, kv);
+            c.lr.U = read_mat(is, ku, rmax);
+            c.lr.Vh = read_mat(is, rmax, kv);
           } else {
-            c.dense = read_mat(is);
+            c.dense = read_mat(is, ku, kv);
           }
         }
       }
@@ -429,6 +458,11 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
     archive.bands.push_back(std::make_shared<const Band>(Band::from_parts(
         g, acc, std::move(u), std::move(vh), std::move(cores))));
   }
+  index_t band_freqs = 0;
+  for (const auto& b : archive.bands) band_freqs += b->num_freqs();
+  TLRWSE_REQUIRE(band_freqs == nf,
+                 "corrupt shared archive: band frequency counts do not "
+                 "cover the header frequency list");
   return archive;
 }
 

@@ -145,6 +145,7 @@ class SharedBasisStackedTlr {
     out.u_ = std::move(u);
     out.vh_ = std::move(vh);
     out.cores_ = std::move(cores);
+    out.validate_parts();
     out.finalize_offsets();
     return out;
   }
@@ -457,10 +458,51 @@ class SharedBasisStackedTlr {
       c.rank = lr.rank();
       const index_t ku = c.dense.rows();
       const index_t kv = c.dense.cols();
-      if (c.rank * (ku + kv) < ku * kv) {
+      // A rank-0 core (this frequency's tile is below tolerance inside an
+      // otherwise nonzero band — e.g. a muted slice) stays DENSE: ku x kv
+      // explicit zeros keep every execution path a plain GEMV. Without the
+      // rank > 0 guard, 0*(ku+kv) < ku*kv would pick the empty factored
+      // form.
+      if (c.rank > 0 && c.rank * (ku + kv) < ku * kv) {
         c.lr = std::move(lr);
         c.dense = la::Matrix<T>();
         c.factored = true;
+      }
+    }
+  }
+
+  /// Enforces on adopted parts (deserialization, hand-built bands) the
+  /// structural invariants fit_tile guarantees: basis dimensions match the
+  /// grid, zero ranks come in pairs per tile (ku > 0 iff kv > 0 — the
+  /// plan's no-zero-fill phase-2 sweep relies on it), and every core's
+  /// shape is consistent with its tile's basis ranks (ku x kv dense,
+  /// (ku x r)/(r x kv) factored) so plan deposits cannot overrun the core
+  /// arena on a corrupt archive.
+  void validate_parts() const {
+    for (index_t j = 0; j < grid_.nt(); ++j) {
+      for (index_t i = 0; i < grid_.mt(); ++i) {
+        const std::size_t t = tix(i, j);
+        const index_t ku = u_[t].cols();
+        const index_t kv = vh_[t].rows();
+        TLRWSE_REQUIRE(u_[t].rows() == grid_.tile_rows(i) &&
+                           vh_[t].cols() == grid_.tile_cols(j),
+                       "shared basis from_parts: basis dims mismatch grid");
+        TLRWSE_REQUIRE((ku == 0) == (kv == 0),
+                       "shared basis from_parts: unpaired zero basis rank");
+        for (const auto& fc : cores_) {
+          const Core& c = fc[t];
+          TLRWSE_REQUIRE(c.rank >= 0 && c.rank <= std::min(ku, kv),
+                         "shared basis from_parts: core rank out of range");
+          if (c.factored) {
+            TLRWSE_REQUIRE(c.lr.U.rows() == ku && c.lr.Vh.cols() == kv &&
+                               c.lr.U.cols() == c.lr.Vh.rows() &&
+                               c.lr.U.cols() == c.rank,
+                           "shared basis from_parts: factored core dims");
+          } else {
+            TLRWSE_REQUIRE(c.dense.rows() == ku && c.dense.cols() == kv,
+                           "shared basis from_parts: dense core dims");
+          }
+        }
       }
     }
   }

@@ -82,11 +82,15 @@ class SharedBasisMvmPlan {
     index_t y_base;  // offset in yu-space
   };
   /// One per-tile core multiply of frequency f: yu[dst..dst+m) +=
-  /// C (m x n) * yv[src..src+n). Dense cores use the re/im planes directly;
-  /// factored cores (r > 0) run Cu (m x r) * (CvH (r x n) * yv).
+  /// C (m x n) * yv[src..src+n). Dense cores use the re/im planes
+  /// directly; factored cores run Cu (m x r) * (CvH (r x n) * yv). The
+  /// storage form is an explicit flag, NOT r == 0: a factored core with
+  /// rank 0 (muted frequency slice in an archive saved before rank-0
+  /// cores were kept dense) owns no planes and zero-fills its yu slice.
   struct CoreOp {
     index_t src, dst;
-    index_t m, n, r;               // ku, kv, factored rank (0 = dense)
+    index_t m, n, r;               // ku, kv, factored rank
+    bool factored;                 // which planes below are live
     index_t re, im, ld;            // dense planes
     index_t ure, uim, uld;         // Cu planes
     index_t vre, vim, vld;         // CvH planes

@@ -1,5 +1,7 @@
 #include "tlrwse/tlr/shared_basis.hpp"
 
+#include <algorithm>
+
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/obs/tracer.hpp"
@@ -126,6 +128,7 @@ SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
         op.dst = u_[static_cast<std::size_t>(i)].y_base + A.u_offset(i, j);
         op.m = ku;
         op.n = kv;
+        op.factored = core.factored;
         if (core.factored) {
           op.r = core.lr.rank();
           op.uld = round_up(op.m);
@@ -232,13 +235,21 @@ void SharedBasisMvmPlan::apply_multi(index_t f, std::span<const cf32> X,
   // core op (ranks are zeroed in pairs at fit time), so the sweep fully
   // overwrites yu-space — no zero-fill needed.
   for (const CoreOp& op : cores_[static_cast<std::size_t>(f)]) {
-    if (op.r == 0) {
+    if (!op.factored) {
       k.sgemv_split_multi(op.m, op.n, core_arena_.data() + op.re,
                           core_arena_.data() + op.im, op.ld,
                           ws.yvr.data() + op.src, ws.yvi.data() + op.src,
                           total_v_, ws.yur.data() + op.dst,
                           ws.yui.data() + op.dst, total_u_, nrhs,
                           /*accumulate=*/false);
+    } else if (op.r == 0) {
+      // Rank-0 factored core (legacy archive): no planes exist; its whole
+      // contribution is zero, but the slice must still be overwritten so
+      // phase 3 reads defined data.
+      for (index_t r = 0; r < nrhs; ++r) {
+        std::fill_n(ws.yur.data() + r * total_u_ + op.dst, op.m, 0.0f);
+        std::fill_n(ws.yui.data() + r * total_u_ + op.dst, op.m, 0.0f);
+      }
     } else {
       k.sgemv_split_multi(op.r, op.n, core_arena_.data() + op.vre,
                           core_arena_.data() + op.vim, op.vld,
@@ -312,7 +323,7 @@ void SharedBasisMvmPlan::apply_adjoint_multi(index_t f,
 
   // ... core adjoints, yu -> yv (each yv slice written exactly once) ...
   for (const CoreOp& op : cores_[static_cast<std::size_t>(f)]) {
-    if (op.r == 0) {
+    if (!op.factored) {
       k.sgemv_split_adjoint_multi(op.m, op.n, core_arena_.data() + op.re,
                                   core_arena_.data() + op.im, op.ld,
                                   ws.yur.data() + op.dst,
@@ -320,6 +331,12 @@ void SharedBasisMvmPlan::apply_adjoint_multi(index_t f,
                                   ws.yvr.data() + op.src,
                                   ws.yvi.data() + op.src, total_v_, nrhs,
                                   /*accumulate=*/false);
+    } else if (op.r == 0) {
+      // Rank-0 factored core: C^H is zero too; overwrite the yv slice.
+      for (index_t r = 0; r < nrhs; ++r) {
+        std::fill_n(ws.yvr.data() + r * total_v_ + op.src, op.n, 0.0f);
+        std::fill_n(ws.yvi.data() + r * total_v_ + op.src, op.n, 0.0f);
+      }
     } else {
       k.sgemv_split_adjoint_multi(op.m, op.r, core_arena_.data() + op.ure,
                                   core_arena_.data() + op.uim, op.uld,

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "tlrwse/io/archive.hpp"
 #include "tlrwse/mdd/metrics.hpp"
@@ -262,6 +264,60 @@ TEST(SharedArchive, ConversionFromPerFrequencyArchive) {
   const auto a = mdd::solve_mdd(*op_shared, rhs, lsqr);
   const auto b = mdd::solve_mdd(*op_plain, rhs, lsqr);
   EXPECT_LT(mdd::nmse(a.x, b.x), 1e-4);
+}
+
+TEST(SharedArchive, TruncatedFileThrows) {
+  // A stream failure anywhere — mid-header, mid-matrix, one byte short —
+  // must throw, never hand back silently-garbage factors.
+  TempFile f("tlrwse_shared_truncated.bin");
+  const auto& data = dataset();
+  const auto archive = build_shared_archive(data, sc(), 4);
+  save_shared_archive(f.path, archive);
+  std::string bytes;
+  {
+    std::ifstream is(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  for (const std::size_t cut : {std::size_t{16}, bytes.size() / 3,
+                                (2 * bytes.size()) / 3, bytes.size() - 1}) {
+    std::ofstream os(f.path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(cut));
+    os.close();
+    EXPECT_THROW((void)load_shared_archive(f.path), std::exception)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SharedArchive, CorruptDimensionsRejectedBeforeAllocation) {
+  // On-disk dimensions are untrusted: absurd values must be rejected by
+  // the bound checks before any allocation is attempted.
+  TempFile f("tlrwse_shared_corrupt_dims.bin");
+  const auto& data = dataset();
+  const auto archive = build_shared_archive(data, sc(), 4);
+  save_shared_archive(f.path, archive);
+  std::string bytes;
+  {
+    std::ifstream is(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  // Header: magic(4) version(4) nt(8) dt(8) nf(8) + nf*(bin 8 + hz 8)
+  //         + payload(8) + num_bands(8); then band magic(4) rows(8) ...
+  const auto nf = static_cast<std::size_t>(archive.num_freqs());
+  const std::size_t band_start = 48 + 16 * nf;
+  auto write_patched = [&](std::size_t off, std::int64_t v) {
+    ASSERT_LE(off + sizeof(v), bytes.size());
+    std::string patched = bytes;
+    std::memcpy(patched.data() + off, &v, sizeof(v));
+    std::ofstream os(f.path, std::ios::binary | std::ios::trunc);
+    os.write(patched.data(), static_cast<std::streamsize>(patched.size()));
+  };
+  // Band grid rows blown up past any sane matrix dimension.
+  write_patched(band_start + 4, std::int64_t{1} << 40);
+  EXPECT_THROW((void)load_shared_archive(f.path), std::invalid_argument);
+  // First shared-basis matrix claims more rows than its tile has.
+  write_patched(band_start + 44, std::int64_t{1} << 40);
+  EXPECT_THROW((void)load_shared_archive(f.path), std::invalid_argument);
 }
 
 TEST(Archive, RejectsCorruptFiles) {

@@ -253,6 +253,62 @@ TEST(SharedBasis, ZeroTilesGetZeroRank) {
   }
 }
 
+TEST(SharedBasis, MutedFrequencyKeepsDenseZeroCores) {
+  // Regression: one frequency exactly zero inside an otherwise nonzero
+  // band (a muted slice). Its rank-0 cores must stay DENSE — ku x kv
+  // explicit zeros. The factored form (0*(ku+kv) < ku*kv) used to win the
+  // size comparison, and the SIMD plan then misdispatched the empty
+  // factored core to the dense branch over unallocated planes.
+  const index_t m = 40, n = 30, nb = 10, nf = 3;
+  auto band = coherent_band(m, n, nf);
+  band[1] = la::MatrixCF(m, n, cf32{});
+  const auto sb = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  const auto& g = sb.grid();
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      ASSERT_GT(sb.u_rank(i, j), 0);  // the band itself is nonzero
+      const auto& c = sb.core(1, i, j);
+      EXPECT_FALSE(c.factored);
+      EXPECT_EQ(c.rank, 0);
+      EXPECT_EQ(c.dense.rows(), sb.u_rank(i, j));
+      EXPECT_EQ(c.dense.cols(), sb.v_rank(i, j));
+    }
+  }
+
+  Rng rng(61);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  for (index_t f = 0; f < nf; ++f) {
+    EXPECT_LT(dense_rel_apply_error(sb, band[static_cast<std::size_t>(f)], f,
+                                    std::span<const cf32>(x)),
+              kParityBar)
+        << "frequency " << f;
+  }
+
+  // The SIMD plan must agree with the scalar path on every frequency —
+  // and produce exact zeros for the muted one even from a NaN-poisoned
+  // workspace (the misdispatch read uninitialized/unrelated arena data).
+  const SharedBasisMvmPlan plan(sb);
+  PlanWorkspace ws;
+  std::vector<cf32> y(static_cast<std::size_t>(m));
+  for (index_t f = 0; f < nf; ++f) {
+    plan.apply(f, std::span<const cf32>(x), std::span<cf32>(y), ws);
+    const auto y_ref = sb.apply(f, std::span<const cf32>(x));
+    EXPECT_LT(tlrwse::testing::rel_error(y, y_ref), 1e-5) << "frequency " << f;
+  }
+  constexpr float kSentinel = std::numeric_limits<float>::quiet_NaN();
+  for (auto* buf : {&ws.xr, &ws.xi, &ws.yvr, &ws.yvi, &ws.yur, &ws.yui,
+                    &ws.tr, &ws.ti, &ws.cr, &ws.ci}) {
+    std::fill(buf->begin(), buf->end(), kSentinel);
+  }
+  plan.apply(1, std::span<const cf32>(x), std::span<cf32>(y), ws);
+  for (const auto& v : y) EXPECT_EQ(v, cf32{});
+  std::vector<cf32> ya(static_cast<std::size_t>(n));
+  const auto xa = tlrwse::testing::random_vector<cf32>(rng, m);
+  plan.apply_adjoint(1, std::span<const cf32>(xa), std::span<cf32>(ya), ws);
+  for (const auto& v : ya) EXPECT_EQ(v, cf32{});
+}
+
 TEST(SharedBasis, AllZeroBandHasZeroBytes) {
   std::vector<la::MatrixCF> band(3, la::MatrixCF(30, 20, cf32{}));
   const auto sb = SharedBasisStackedTlr<cf32>::fit(
@@ -441,6 +497,119 @@ TEST(SharedBasisPlan, NanPoisonedWorkspaceIsHarmless) {
                      poisoned);
   EXPECT_EQ(0,
             std::memcmp(ya.data(), ya_clean.data(), ya.size() * sizeof(cf32)));
+}
+
+TEST(SharedBasisPlan, LegacyFactoredRankZeroCoreReplaysAsZero) {
+  // Archives saved before rank-0 cores were kept dense can contain
+  // FACTORED cores with rank 0 (empty Cu/CvH). The plan must treat the
+  // storage form as explicit — zero-filling the op's yu/yv slice — rather
+  // than keying off r == 0, which used to route these ops to the dense
+  // branch over planes that were never allocated.
+  const index_t m = 40, n = 30, nb = 10, nf = 2;
+  const auto band = coherent_band(m, n, nf);
+  const auto fit = SharedBasisStackedTlr<cf32>::fit(
+      std::span<const la::MatrixCF>(band), config(nb));
+  using Band = SharedBasisStackedTlr<cf32>;
+  const auto& g = fit.grid();
+  const auto ntiles = static_cast<std::size_t>(g.num_tiles());
+  std::vector<la::MatrixCF> u(ntiles), vh(ntiles);
+  std::vector<std::vector<Band::Core>> cores(
+      static_cast<std::size_t>(nf), std::vector<Band::Core>(ntiles));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const auto t = static_cast<std::size_t>(g.tile_index(i, j));
+      u[t] = fit.basis_u(i, j);
+      vh[t] = fit.basis_vh(i, j);
+      cores[0][t] = fit.core(0, i, j);
+      // Frequency 1 rebuilt the legacy way: muted, stored factored.
+      Band::Core& c = cores[1][t];
+      c.factored = true;
+      c.rank = 0;
+      c.lr.U = la::MatrixCF(fit.u_rank(i, j), 0);
+      c.lr.Vh = la::MatrixCF(0, fit.v_rank(i, j));
+    }
+  }
+  const auto sb = Band::from_parts(g, fit.acc(), std::move(u), std::move(vh),
+                                   std::move(cores));
+  const SharedBasisMvmPlan plan(sb);
+  Rng rng(71);
+  const auto x = tlrwse::testing::random_vector<cf32>(rng, n);
+  PlanWorkspace ws;
+  std::vector<cf32> y(static_cast<std::size_t>(m));
+  plan.apply(0, std::span<const cf32>(x), std::span<cf32>(y), ws);
+  const auto y_ref = sb.apply(0, std::span<const cf32>(x));
+  EXPECT_LT(tlrwse::testing::rel_error(y, y_ref), 1e-5);
+
+  // Muted frequency: exact zeros, even from a NaN-poisoned workspace and
+  // with multi-RHS (the zero-fill must cover every RHS column).
+  constexpr float kSentinel = std::numeric_limits<float>::quiet_NaN();
+  for (auto* buf : {&ws.xr, &ws.xi, &ws.yvr, &ws.yvi, &ws.yur, &ws.yui,
+                    &ws.tr, &ws.ti, &ws.cr, &ws.ci}) {
+    std::fill(buf->begin(), buf->end(), kSentinel);
+  }
+  plan.apply(1, std::span<const cf32>(x), std::span<cf32>(y), ws);
+  for (const auto& v : y) EXPECT_EQ(v, cf32{});
+  const index_t nrhs = 3;
+  const auto X = tlrwse::testing::random_vector<cf32>(rng, n * nrhs);
+  std::vector<cf32> Y(static_cast<std::size_t>(m * nrhs));
+  plan.apply_multi(1, std::span<const cf32>(X), std::span<cf32>(Y), nrhs, ws);
+  for (const auto& v : Y) EXPECT_EQ(v, cf32{});
+  const auto xa = tlrwse::testing::random_vector<cf32>(rng, m * nrhs);
+  std::vector<cf32> Ya(static_cast<std::size_t>(n * nrhs));
+  plan.apply_adjoint_multi(1, std::span<const cf32>(xa), std::span<cf32>(Ya),
+                           nrhs, ws);
+  for (const auto& v : Ya) EXPECT_EQ(v, cf32{});
+}
+
+TEST(SharedBasis, FromPartsRejectsMalformedParts) {
+  // from_parts must enforce the invariants fit_tile guarantees; a corrupt
+  // or hand-built archive violating them would otherwise corrupt the
+  // plan's arena layout (unpaired zero ranks leave yu slices unwritten,
+  // mismatched core dims overrun the deposit).
+  using Band = SharedBasisStackedTlr<cf32>;
+  const TileGrid g(10, 8, 16);  // single 10 x 8 tile
+  Rng rng(83);
+  const auto u0 = tlrwse::testing::random_matrix<cf32>(rng, 10, 2);
+  const auto vh0 = tlrwse::testing::random_matrix<cf32>(rng, 2, 8);
+  auto make_cores = [&](la::MatrixCF dense, index_t rank) {
+    Band::Core c;
+    c.dense = std::move(dense);
+    c.rank = rank;
+    return std::vector<std::vector<Band::Core>>{{std::move(c)}};
+  };
+  // Baseline is well-formed.
+  EXPECT_NO_THROW(Band::from_parts(g, 1e-4, {u0}, {vh0},
+                                   make_cores(la::MatrixCF(2, 2), 1)));
+  // Unpaired zero rank: ku = 2 but kv = 0.
+  EXPECT_THROW(Band::from_parts(g, 1e-4, {u0}, {la::MatrixCF(0, 8)},
+                                make_cores(la::MatrixCF(2, 0), 0)),
+               std::invalid_argument);
+  // Basis dimensions disagree with the grid.
+  EXPECT_THROW(
+      Band::from_parts(g, 1e-4,
+                       {tlrwse::testing::random_matrix<cf32>(rng, 9, 2)},
+                       {vh0}, make_cores(la::MatrixCF(2, 2), 1)),
+      std::invalid_argument);
+  // Dense core dims disagree with the basis ranks.
+  EXPECT_THROW(Band::from_parts(g, 1e-4, {u0}, {vh0},
+                                make_cores(la::MatrixCF(3, 2), 1)),
+               std::invalid_argument);
+  // Core rank above min(ku, kv).
+  EXPECT_THROW(Band::from_parts(g, 1e-4, {u0}, {vh0},
+                                make_cores(la::MatrixCF(2, 2), 5)),
+               std::invalid_argument);
+  // Factored core whose factor shapes disagree with rank/basis ranks.
+  Band::Core bad;
+  bad.factored = true;
+  bad.rank = 2;
+  bad.lr.U = tlrwse::testing::random_matrix<cf32>(rng, 2, 1);
+  bad.lr.Vh = tlrwse::testing::random_matrix<cf32>(rng, 1, 2);
+  std::vector<std::vector<Band::Core>> bad_cores;
+  bad_cores.push_back({});
+  bad_cores.back().push_back(std::move(bad));
+  EXPECT_THROW(
+      Band::from_parts(g, 1e-4, {u0}, {vh0}, std::move(bad_cores)),
+      std::invalid_argument);
 }
 
 TEST(SharedBasisPlan, SharedArenaIsBandInvariant) {
