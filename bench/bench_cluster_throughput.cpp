@@ -1,0 +1,244 @@
+// Cluster serving throughput sweep over solver-worker counts.
+//
+// Builds a small synthetic survey, archives it, then for each worker count
+// stands up a fresh in-process fleet (ShardWorkers behind LocalChannels, so
+// every request still rides the real wire encode/decode path) fronted by a
+// ClusterService, and hammers it with closed-loop adjoint clients. The
+// placement is made resident by a warm-up request, so the timed region
+// measures the sharded serving path — gather, per-shard RPC fan-out,
+// scatter — not the one-time archive load. One JSON line per worker count
+// carries requests/s and the speedup over the single-worker point. Usage:
+//
+//   ./bench_cluster_throughput [max_workers] [requests_per_client] [--check]
+//
+// --check enforces the distributed-serving acceptance bar: every response
+// kOk, finite positive throughput, and >=2.5x scaling from 1 to 4 workers.
+// The scaling bar needs real cores to mean anything, so it is only enforced
+// when hardware_concurrency() >= 4; below that it prints an informational
+// skip instead.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tlrwse/cluster/frontend.hpp"
+#include "tlrwse/cluster/transport.hpp"
+#include "tlrwse/cluster/worker.hpp"
+#include "tlrwse/common/timer.hpp"
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/serve/solve_service.hpp"
+
+namespace {
+
+using namespace tlrwse;
+
+constexpr int kClients = 4;
+
+seismic::SeismicDataset build_data() {
+  seismic::DatasetConfig cfg;
+  cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+  cfg.nt = 128;
+  cfg.f_min = 4.0;
+  cfg.f_max = 40.0;
+  return seismic::build_dataset(cfg);
+}
+
+/// An in-process fleet: each WorkerClient speaks to its own ShardWorker
+/// over a LocalChannel, so shard applies across workers run on the
+/// clients' dispatcher threads — the same concurrency shape as real
+/// worker processes, minus the kernel socket hop.
+struct LocalFleet {
+  std::vector<std::unique_ptr<cluster::ShardWorker>> workers;
+  std::vector<std::unique_ptr<cluster::WorkerClient>> clients;
+};
+
+LocalFleet make_fleet(int n) {
+  LocalFleet fleet;
+  for (int i = 0; i < n; ++i) {
+    fleet.workers.push_back(std::make_unique<cluster::ShardWorker>());
+    cluster::ShardWorker* worker = fleet.workers.back().get();
+    auto chan = std::make_unique<cluster::LocalChannel>(
+        [worker](const cluster::Frame& f) { return worker->handle(f); });
+    std::string name = "w";
+    name += std::to_string(i);
+    fleet.clients.push_back(std::make_unique<cluster::WorkerClient>(
+        std::move(chan), std::move(name)));
+  }
+  return fleet;
+}
+
+struct SweepPoint {
+  int workers = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  double wall_s = 0.0;
+  double requests_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+};
+
+SweepPoint run_point(const serve::OperatorKey& key,
+                     const seismic::SeismicDataset& data, int workers,
+                     int per_client) {
+  auto fleet = make_fleet(workers);
+  cluster::ClusterConfig cfg;
+  cfg.frontend_workers = kClients;
+  cfg.queue_capacity = static_cast<std::size_t>(kClients) * 2;
+  cluster::ClusterService service(cfg, std::move(fleet.clients));
+
+  const index_t nvsrc = std::min<index_t>(4, data.num_receivers());
+  std::vector<std::vector<float>> rhs;
+  for (index_t v = 0; v < nvsrc; ++v) {
+    rhs.push_back(mdd::virtual_source_rhs(data, v));
+  }
+  const auto request = [&](int j) {
+    cluster::ClusterRequest req;
+    req.op = key;
+    req.kind = serve::RequestKind::kAdjoint;
+    req.vsrc = j % nvsrc;
+    req.rhs = rhs[static_cast<std::size_t>(req.vsrc)];
+    return req;
+  };
+
+  // Warm-up: the first request plans the placement and loads the shards,
+  // so the timed region measures serving, not the one-time archive load.
+  (void)service.submit(request(0)).response.get();
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < per_client; ++r) {
+        const auto resp =
+            service.submit(request(c * per_client + r)).response.get();
+        if (resp.status == cluster::ClusterStatus::kOk) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  SweepPoint p;
+  p.workers = workers;
+  p.wall_s = timer.seconds();
+  p.completed = ok.load();
+  p.failed = failed.load();
+  p.requests_per_sec =
+      p.wall_s > 0.0 ? static_cast<double>(p.completed) / p.wall_s : 0.0;
+  return p;
+}
+
+void print_point(const SweepPoint& p) {
+  std::cout << "{\"workers\":" << p.workers << ",\"completed\":" << p.completed
+            << ",\"failed\":" << p.failed << ",\"wall_s\":" << p.wall_s
+            << ",\"requests_per_sec\":" << p.requests_per_sec
+            << ",\"speedup_vs_1\":" << p.speedup_vs_1 << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_workers = 4;
+  int per_client = 4;
+  bool check = false;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (pos == 0) {
+      max_workers = std::atoi(argv[i]);
+      ++pos;
+    } else {
+      per_client = std::atoi(argv[i]);
+      ++pos;
+    }
+  }
+  if (max_workers < 1) max_workers = 1;
+  if (per_client < 1) per_client = 1;
+
+  const auto data = build_data();
+  tlr::CompressionConfig cc;
+  cc.nb = 12;
+  cc.acc = 1e-4;
+  const std::string archive =
+      (std::filesystem::temp_directory_path() / "tlrwse_bench_cluster.tlra")
+          .string();
+  io::save_archive(archive, io::build_archive(data, cc));
+  const serve::OperatorKey key{archive, cc.nb, cc.acc};
+
+  std::cout << "{\"bench\":\"cluster_throughput\",\"nt\":" << data.config.nt
+            << ",\"num_freq\":" << data.num_freqs()
+            << ",\"ns\":" << data.num_sources()
+            << ",\"nr\":" << data.num_receivers() << ",\"clients\":" << kClients
+            << ",\"mode\":\"adjoint\",\"requests_per_client\":" << per_client
+            << "," << bench::json_meta_fields() << "}\n";
+
+  std::vector<int> sweep{1};
+  for (int w = 2; w <= max_workers; w *= 2) sweep.push_back(w);
+  if (sweep.back() != max_workers) sweep.push_back(max_workers);
+
+  std::vector<SweepPoint> points;
+  double rps_1 = 0.0;
+  for (int workers : sweep) {
+    SweepPoint p = run_point(key, data, workers, per_client);
+    if (workers == 1) rps_1 = p.requests_per_sec;
+    p.speedup_vs_1 = rps_1 > 0.0 ? p.requests_per_sec / rps_1 : 0.0;
+    print_point(p);
+    points.push_back(p);
+  }
+
+  std::remove(archive.c_str());
+
+  if (!check) return 0;
+
+  int rc = 0;
+  for (const auto& p : points) {
+    if (p.failed != 0 || p.completed == 0) {
+      std::cerr << "cluster_throughput: " << p.failed << " failed / "
+                << p.completed << " ok at " << p.workers << " workers\n";
+      rc = 1;
+    }
+    if (!(p.requests_per_sec > 0.0) || !std::isfinite(p.requests_per_sec)) {
+      std::cerr << "cluster_throughput: non-finite throughput at " << p.workers
+                << " workers\n";
+      rc = 1;
+    }
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  bool scaling_checked = false;
+  for (const auto& p : points) {
+    if (p.workers != 4) continue;
+    scaling_checked = true;
+    if (cores >= 4) {
+      if (p.speedup_vs_1 < 2.5) {
+        std::cerr << "cluster_throughput: 1->4 worker speedup "
+                  << p.speedup_vs_1 << " below the 2.5x bar\n";
+        rc = 1;
+      }
+    } else {
+      std::cerr << "cluster_throughput: " << cores
+                << " hardware threads — 2.5x scaling bar skipped "
+                   "(informational: speedup_vs_1="
+                << p.speedup_vs_1 << ")\n";
+    }
+  }
+  if (!scaling_checked && max_workers >= 4) {
+    std::cerr << "cluster_throughput: sweep missing the 4-worker point\n";
+    rc = 1;
+  }
+  return rc;
+}

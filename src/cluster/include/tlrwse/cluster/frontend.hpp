@@ -1,0 +1,329 @@
+// Frontend of the distributed serving tier: admission, placement, remote
+// solve orchestration.
+//
+// The frontend keeps the whole solve loop local — rFFT, LSQR, inverse rFFT
+// — and ships only the per-frequency kernel MVMs to the workers, as
+// RemoteMdcOperator. Because the workers run the exact FrequencyMvm
+// arithmetic over the exact gathered bytes a local MdcOperator would (and
+// each frequency bin is owned by exactly one shard), a distributed solve
+// is bitwise identical to the single-process SolveService solving the same
+// archive.
+//
+// Failure semantics: a worker death surfaces as TransportError inside one
+// shard exchange; the frontend marks the worker dead, retries the shard on
+// the next live replica, and only when no replica remains does the request
+// fail — typed kWorkerFailed, never a hang. Deadlines travel in each
+// ApplyMsg (remaining budget) and are also enforced between LSQR
+// iterations; cancellation is a frontend flag plus a best-effort kCancel
+// broadcast so workers abandon the shard mid-loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "tlrwse/cluster/shard_planner.hpp"
+#include "tlrwse/cluster/transport.hpp"
+#include "tlrwse/cluster/wire.hpp"
+#include "tlrwse/fft/fft.hpp"
+#include "tlrwse/mdc/linear_operator.hpp"
+#include "tlrwse/mdd/lsqr.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/serve/admission_queue.hpp"
+#include "tlrwse/serve/operator_cache.hpp"
+#include "tlrwse/serve/solve_service.hpp"
+#include "tlrwse/serve/task_executor.hpp"
+
+namespace tlrwse::cluster {
+
+/// Raised when a shard has no live replica left to serve an exchange.
+/// Maps to ClusterStatus::kWorkerFailed — typed degradation, not a hang.
+class WorkerFailure : public std::runtime_error {
+ public:
+  explicit WorkerFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One connected worker. call_async() hands the frame to a dispatcher
+/// thread (so fan-out to N workers overlaps even though each Channel is
+/// one-call-at-a-time); a TransportError marks the worker dead and fails
+/// everything still queued — callers re-route to replicas.
+class WorkerClient {
+ public:
+  WorkerClient(std::unique_ptr<Channel> channel, std::string name);
+  ~WorkerClient();
+  WorkerClient(const WorkerClient&) = delete;
+  WorkerClient& operator=(const WorkerClient&) = delete;
+
+  [[nodiscard]] std::future<Frame> call_async(Frame request);
+  /// Convenience synchronous exchange; rethrows the dispatcher's error.
+  [[nodiscard]] Frame call(Frame request);
+
+  [[nodiscard]] bool alive() const noexcept {
+    return !dead_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Stops the dispatcher and closes the channel (failing queued calls).
+  void close();
+
+ private:
+  struct Pending {
+    Frame request;
+    std::promise<Frame> reply;
+  };
+
+  void dispatch_loop();
+  void mark_dead(const TransportError& err);
+
+  std::unique_ptr<Channel> channel_;
+  std::string name_;
+  std::atomic<bool> dead_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool stop_ = false;
+  std::exception_ptr death_;  // the TransportError that killed the worker
+  std::thread dispatcher_;
+};
+
+/// Placement of one operator's frequencies onto the fleet.
+struct ShardAssignment {
+  std::uint32_t shard_id = 0;
+  index_t q_begin = 0;  // archive frequency-index range of this shard
+  index_t q_end = 0;
+  std::vector<index_t> freq_bins;  // global rFFT bins, one per kernel
+  /// Worker indices (into the fleet) holding this shard, in retry order.
+  /// Sharded placements have one entry; replicated placements list every
+  /// worker that finished the load.
+  std::vector<std::size_t> workers;
+};
+
+struct Placement {
+  index_t nt = 0;
+  index_t ns = 0;
+  index_t nr = 0;
+  bool replicated = false;
+  std::vector<ShardAssignment> shards;
+};
+
+/// The MDC operator y = F^H K F x with the K stage executed remotely:
+/// rFFT locally, gather each shard's per-frequency slices, exchange with a
+/// live replica, scatter the replies into the zero-initialised spectrum
+/// (shards own disjoint bins), inverse rFFT locally. One instance per
+/// request; the placement and fleet are shared.
+class RemoteMdcOperator final : public mdc::LinearOperator {
+ public:
+  /// `cancelled` (optional) is polled before every remote exchange; a true
+  /// return aborts the apply with mdc::CancelledError, mirroring the
+  /// CancelScope deadline poll of the local operator. `on_worker_death` is
+  /// notified once per worker this operator discovers dead.
+  RemoteMdcOperator(std::span<const std::unique_ptr<WorkerClient>> fleet,
+                    std::shared_ptr<const Placement> placement,
+                    std::uint64_t request_id,
+                    std::chrono::steady_clock::time_point deadline_at = {},
+                    std::function<bool()> cancelled = {},
+                    std::function<void(std::size_t)> on_worker_death = {});
+
+  [[nodiscard]] index_t rows() const override;
+  [[nodiscard]] index_t cols() const override;
+
+  void apply(std::span<const float> x, std::span<float> y) const override;
+  void apply_adjoint(std::span<const float> y,
+                     std::span<float> x) const override;
+  /// Batched forms (nrhs wavefields back to back), one multi-RHS panel per
+  /// remote frequency — the cluster counterpart of MdcOperator's batched
+  /// applies, every RHS bitwise identical to its single-RHS call.
+  void apply_batch(std::span<const float> X, std::span<float> Y,
+                   index_t nrhs) const;
+  void apply_adjoint_batch(std::span<const float> Y, std::span<float> X,
+                           index_t nrhs) const;
+
+ private:
+  void run(std::span<const float> in, std::span<float> out, index_t nrhs,
+           bool adjoint) const;
+  /// One shard exchange with replica retry. Throws WorkerFailure when the
+  /// replica list is exhausted, mdc::CancelledError on a typed
+  /// kCancelled / kDeadlineExceeded reply.
+  [[nodiscard]] ApplyOkMsg exchange(const ShardAssignment& shard,
+                                    ApplyMsg msg) const;
+  void check_abort() const;
+  [[nodiscard]] double remaining_deadline_s() const;
+
+  std::span<const std::unique_ptr<WorkerClient>> fleet_;
+  std::shared_ptr<const Placement> placement_;
+  std::uint64_t request_id_;
+  std::chrono::steady_clock::time_point deadline_at_;
+  std::function<bool()> cancelled_;
+  std::function<void(std::size_t)> on_worker_death_;
+  fft::FftPlan plan_;
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<cf32> in_spec_, out_spec_;
+  mutable fft::BatchWorkspace fft_ws_;
+};
+
+enum class ClusterStatus {
+  kOk,
+  kQueueFull,         // bounded admission queue was full
+  kQuotaExceeded,     // tenant's in-flight quota was exhausted
+  kDeadlineExceeded,  // deadline hit before/during the solve
+  kArchiveMissing,    // archive absent/unreadable at placement time
+  kWorkerFailed,      // a shard lost every replica mid-solve
+  kCancelled,         // cancel(request_id) landed before completion
+  kError,             // unexpected failure (details in .error)
+};
+[[nodiscard]] const char* to_string(ClusterStatus s);
+
+struct ClusterRequest {
+  serve::OperatorKey op;  // archive_id doubles as the archive path
+  serve::RequestKind kind = serve::RequestKind::kLsqr;
+  std::string tenant;     // quota bucket; empty shares the default bucket
+  index_t vsrc = -1;
+  std::vector<float> rhs;
+  mdd::LsqrConfig lsqr;
+  double deadline_s = 0.0;
+};
+
+struct ClusterResponse {
+  ClusterStatus status = ClusterStatus::kOk;
+  index_t vsrc = -1;
+  std::uint64_t request_id = 0;
+  std::vector<float> x;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  double queue_wait_s = 0.0;
+  double solve_s = 0.0;
+  double total_s = 0.0;
+  std::string error;
+};
+
+struct ClusterConfig {
+  int frontend_workers = 2;         // concurrent solve batches
+  std::size_t queue_capacity = 64;  // admission bound
+  std::size_t max_batch = 4;        // per-operator coalescing limit
+  /// Max in-flight (queued + solving) requests per tenant; 0 = unlimited.
+  std::size_t tenant_quota = 0;
+  PlannerConfig planner;            // num_workers is overridden per plan
+};
+
+/// Handle returned by submit(): the id is live immediately (usable for
+/// cancel() while the request is still queued), the future resolves when
+/// the request finishes or is rejected.
+struct SubmittedRequest {
+  std::uint64_t request_id = 0;
+  std::future<ClusterResponse> response;
+};
+
+/// The RPC front door: bounded admission + per-tenant quotas (front half
+/// shared with serve::SolveService via AdmissionQueue), deduplicated
+/// placement/loading of archives onto the worker fleet, per-operator
+/// batched solving over RemoteMdcOperator, typed degradation on worker
+/// death, and a fleet-wide merged metrics view.
+class ClusterService {
+ public:
+  ClusterService(ClusterConfig cfg,
+                 std::vector<std::unique_ptr<WorkerClient>> workers);
+  ~ClusterService();
+  ClusterService(const ClusterService&) = delete;
+  ClusterService& operator=(const ClusterService&) = delete;
+
+  [[nodiscard]] SubmittedRequest submit(ClusterRequest req);
+
+  /// Flags the request locally and broadcasts kCancel to the fleet
+  /// (best-effort): queued requests reject at dequeue, in-flight solves
+  /// abort between frequency MVMs / LSQR iterations.
+  void cancel(std::uint64_t request_id);
+
+  /// Stops admission, drains admitted requests, joins the solve workers,
+  /// then asks every live remote worker to shut down. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t live_workers() const;
+  /// Frontend-only metrics ("cluster.*" names).
+  [[nodiscard]] const obs::MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+  /// Frontend snapshot merged with every live worker's (worker.* names),
+  /// via obs::merge_snapshots.
+  [[nodiscard]] obs::MetricsRegistry::Snapshot cluster_snapshot();
+
+ private:
+  struct Ticket {
+    ClusterRequest req;
+    std::uint64_t id = 0;
+    std::promise<ClusterResponse> done;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void worker_loop();
+  void process_batch(const serve::OperatorKey& key,
+                     std::vector<Ticket> batch);
+  void solve_ticket(Ticket& ticket,
+                    const std::shared_ptr<const Placement>& placement);
+  /// Serves >= 2 deadline-free adjoint tickets with one multi-RHS remote
+  /// sweep (each RHS bitwise identical to its single solve).
+  void solve_adjoint_group(std::vector<Ticket>& batch,
+                           const std::vector<std::size_t>& adj,
+                           const std::shared_ptr<const Placement>& placement);
+  [[nodiscard]] std::shared_ptr<const Placement> resolve_placement(
+      const serve::OperatorKey& key);
+  [[nodiscard]] std::shared_ptr<const Placement> build_placement(
+      const serve::OperatorKey& key);
+  [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
+  void note_worker_death(std::size_t worker);
+  /// Drops the cached placement after a kWorkerFailed solve so the next
+  /// request for this operator replans over the workers still alive.
+  void invalidate_placement(const serve::OperatorKey& key);
+  void respond(Ticket& ticket, ClusterResponse r);
+
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<WorkerClient>> fleet_;
+
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter& submitted_;
+  obs::Counter& admitted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_full_;
+  obs::Counter& rejected_quota_;
+  obs::Counter& rejected_deadline_;
+  obs::Counter& rejected_missing_;
+  obs::Counter& worker_failed_;
+  obs::Counter& cancelled_count_;
+  obs::Counter& failed_;
+  obs::Counter& worker_deaths_;
+  obs::Counter& placements_;
+  obs::Counter& replans_;
+  obs::Histogram& solve_hist_;
+
+  serve::AdmissionQueue<serve::OperatorKey, Ticket, serve::OperatorKeyHash>
+      queue_;
+  std::atomic<bool> shut_down_{false};
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint32_t> next_shard_id_{1};
+
+  mutable std::mutex state_mu_;
+  std::unordered_map<std::string, std::size_t> tenant_inflight_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<serve::OperatorKey,
+                     std::shared_future<std::shared_ptr<const Placement>>,
+                     serve::OperatorKeyHash>
+      placements_cache_;
+  std::unordered_set<std::size_t> dead_noted_;
+
+  serve::TaskExecutor exec_;  // declared last: workers see live members
+  std::vector<std::future<void>> worker_futures_;
+};
+
+}  // namespace tlrwse::cluster

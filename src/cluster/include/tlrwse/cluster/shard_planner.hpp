@@ -1,0 +1,52 @@
+// Frequency placement for the distributed serving tier.
+//
+// The planner answers one question: given the per-frequency compressed
+// kernel weight of an archive (io::archive_kernel_bytes) and a worker
+// fleet, which contiguous frequency range does each worker own?
+//
+// Two regimes, mirroring the two WSE mapping strategies in
+// wse::Strategy (machine.hpp):
+//  - Small/hot operators are REPLICATED onto every worker — the analogue
+//    of kScatterRealMvms, which trades duplicated bases for parallelism
+//    when each unit easily holds the whole thing.
+//  - Large operators are SHARDED into contiguous weight-balanced ranges —
+//    the analogue of kSplitStackWidth, which scales by splitting the rank
+//    stack when one unit cannot hold it. Contiguity matters for the same
+//    reason wse chunking keeps rank rows consecutive: one shard = one
+//    archive slice = one seek-forward pass over the file.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+
+namespace tlrwse::cluster {
+
+struct PlannerConfig {
+  /// Number of workers available for this operator.
+  int num_workers = 1;
+  /// Operators whose total compressed kernel weight fits under this bound
+  /// are replicated onto every worker instead of sharded. 0 disables
+  /// replication (always shard).
+  double replicate_max_bytes = 0.0;
+};
+
+/// Placement decision for one operator.
+struct ShardPlan {
+  /// True when every worker holds all frequencies (hot/small operator);
+  /// false when each worker owns one contiguous [q_begin, q_end) range.
+  bool replicated = false;
+  /// Half-open frequency ranges, one per shard, covering [0, nf) exactly
+  /// in order. Replicated plans have a single range [0, nf).
+  std::vector<std::pair<index_t, index_t>> shards;
+};
+
+/// Plans a placement for `weights[q]` = compressed bytes of frequency q.
+/// Sharded plans greedily accumulate frequencies toward total/num_workers
+/// per shard, so a rank-heavy band does not overload one worker. Never
+/// returns more shards than frequencies; trailing workers may be idle.
+[[nodiscard]] ShardPlan plan_shards(const std::vector<double>& weights,
+                                    const PlannerConfig& cfg);
+
+}  // namespace tlrwse::cluster

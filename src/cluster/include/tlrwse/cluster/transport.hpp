@@ -1,0 +1,144 @@
+// Frame transports between the frontend and its workers.
+//
+// Channel is the client side: call() sends one frame and blocks for the
+// reply. Two implementations exist with identical semantics:
+//
+//  - LocalChannel: in-process, wraps a handler function but still routes
+//    every frame through encode_frame/decode_frame, so tests over it
+//    exercise the exact byte path the sockets carry. kill() makes it
+//    behave like a dead worker (kClosed), which is how the failure tests
+//    simulate a crash deterministically.
+//  - SocketChannel: a connected Unix or TCP stream socket, one in-flight
+//    call at a time (the frontend's WorkerClient serializes through its
+//    own dispatcher, so this is not a throughput limit).
+//
+// SocketServer is the worker side: accepts connections and feeds each
+// frame to the handler, writing the handler's reply back. A handler
+// exception becomes a kError frame, never a dropped connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tlrwse/cluster/wire.hpp"
+
+namespace tlrwse::cluster {
+
+/// Thrown when the *connection* fails (peer death, timeout, malformed
+/// stream) as opposed to the peer returning a typed ErrorMsg.
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind { kClosed, kTimeout, kProtocol };
+
+  TransportError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// One request/reply exchange with a worker. Implementations are safe to
+/// call from one thread at a time; the frontend's per-worker dispatcher
+/// provides that serialization.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Sends `request` and blocks for the peer's reply frame. Throws
+  /// TransportError if the connection dies or times out mid-call.
+  virtual Frame call(const Frame& request) = 0;
+  /// Best-effort close; subsequent call() throws kClosed.
+  virtual void close() = 0;
+};
+
+using FrameHandler = std::function<Frame(const Frame&)>;
+
+/// In-process channel for deterministic tests: frames round-trip through
+/// the real encode/decode path into `handler` on the caller's thread.
+class LocalChannel final : public Channel {
+ public:
+  explicit LocalChannel(FrameHandler handler);
+
+  Frame call(const Frame& request) override;
+  void close() override;
+
+  /// Simulates a worker crash: every subsequent call() throws kClosed,
+  /// exactly what a SocketChannel raises when its peer process dies.
+  void kill() { dead_.store(true, std::memory_order_relaxed); }
+
+ private:
+  FrameHandler handler_;
+  std::atomic<bool> dead_{false};
+};
+
+/// Blocking stream-socket channel (Unix domain or TCP). One in-flight
+/// call; reads poll with `timeout_ms` so a hung peer surfaces as kTimeout
+/// instead of a wedged frontend.
+class SocketChannel final : public Channel {
+ public:
+  ~SocketChannel() override;
+
+  static std::unique_ptr<SocketChannel> connect_unix(const std::string& path,
+                                                     int timeout_ms = 30000);
+  static std::unique_ptr<SocketChannel> connect_tcp(const std::string& host,
+                                                    std::uint16_t port,
+                                                    int timeout_ms = 30000);
+
+  Frame call(const Frame& request) override;
+  void close() override;
+
+ private:
+  SocketChannel(int fd, int timeout_ms);
+
+  void write_all(const std::uint8_t* data, std::size_t n);
+  /// Reads until `buf_` holds a whole frame or the poll deadline passes.
+  Frame read_frame();
+
+  std::mutex mu_;
+  int fd_ = -1;
+  int timeout_ms_;
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Worker-side listener: an accept thread plus one thread per connection,
+/// each reading frames and writing `handler`'s replies until the peer
+/// hangs up. stop() closes the listening socket and joins everything.
+class SocketServer {
+ public:
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+  ~SocketServer();
+
+  static std::unique_ptr<SocketServer> listen_unix(const std::string& path,
+                                                   FrameHandler handler);
+  static std::unique_ptr<SocketServer> listen_tcp(std::uint16_t port,
+                                                  FrameHandler handler);
+  /// Port actually bound (useful with listen_tcp(0)); 0 for Unix sockets.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void stop();
+
+ private:
+  SocketServer(int listen_fd, std::uint16_t port, FrameHandler handler);
+
+  void accept_loop();
+  void serve_connection(int fd);
+
+  int listen_fd_;
+  std::uint16_t port_;
+  FrameHandler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  // live connections, for wake-up on stop()
+};
+
+}  // namespace tlrwse::cluster

@@ -1,0 +1,85 @@
+// Shard worker: the backend half of the distributed serving tier.
+//
+// A worker owns one or more frequency shards — contiguous slices of an
+// archive loaded with io::load_archive_slice / load_shared_archive_slice —
+// and answers kApply frames by running the exact same FrequencyMvm objects
+// a single-process MdcOperator would, over the exact bytes the frontend
+// gathered. No FFT happens here: frequency-domain slices in, slices out,
+// which is what keeps a distributed solve bitwise identical to a local
+// one.
+//
+// The handler is transport-agnostic: handle() maps one request frame to
+// one reply frame, so the same ShardWorker sits behind a SocketServer in a
+// real worker process and behind a LocalChannel in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "tlrwse/cluster/wire.hpp"
+#include "tlrwse/common/workspace_pool.hpp"
+#include "tlrwse/mdc/frequency_mvm.hpp"
+#include "tlrwse/obs/metrics_registry.hpp"
+
+namespace tlrwse::cluster {
+
+class ShardWorker {
+ public:
+  ShardWorker() = default;
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// One request frame in, one reply frame out. Malformed frames come back
+  /// as kError/kBadRequest; internal failures as kError/kInternal — the
+  /// caller always gets a frame, never an exception.
+  [[nodiscard]] Frame handle(const Frame& request);
+
+  /// Direct shard injection for tests (e.g. dense kernels, which have no
+  /// archive format). `kernels[i]` serves `freq_bins[i]`.
+  void add_shard(std::uint32_t shard_id, index_t nt, index_t ns, index_t nr,
+                 std::vector<index_t> freq_bins,
+                 std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels);
+
+  /// True once a kShutdown frame has been answered; the process driver
+  /// polls this to know when to stop its server and exit.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  /// This worker's metrics (worker.* names), for kMetrics replies and
+  /// direct inspection in tests.
+  [[nodiscard]] obs::MetricsRegistry::Snapshot metrics_snapshot() const {
+    return registry_.snapshot();
+  }
+
+ private:
+  struct Shard {
+    index_t nt = 0;
+    index_t ns = 0;  // kernel rows
+    index_t nr = 0;  // kernel cols
+    std::vector<index_t> freq_bins;
+    std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
+  };
+
+  Frame handle_load(const LoadShardMsg& msg);
+  Frame handle_apply(const ApplyMsg& msg);
+  Frame handle_cancel(const CancelMsg& msg);
+  Frame handle_metrics();
+  Frame handle_shutdown();
+
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, std::shared_ptr<const Shard>> shards_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::atomic<bool> shutdown_{false};
+
+  obs::MetricsRegistry registry_;
+  WorkspacePool<mdc::FrequencyWorkspace> ws_pool_;
+};
+
+}  // namespace tlrwse::cluster

@@ -1,0 +1,57 @@
+#include "tlrwse/cluster/shard_planner.hpp"
+
+#include <numeric>
+
+#include "tlrwse/common/error.hpp"
+
+namespace tlrwse::cluster {
+
+ShardPlan plan_shards(const std::vector<double>& weights,
+                      const PlannerConfig& cfg) {
+  TLRWSE_REQUIRE(cfg.num_workers >= 1, "planner: need at least one worker");
+  TLRWSE_REQUIRE(!weights.empty(), "planner: no frequencies to place");
+  const auto nf = static_cast<index_t>(weights.size());
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  ShardPlan plan;
+  if (cfg.replicate_max_bytes > 0.0 && total <= cfg.replicate_max_bytes) {
+    plan.replicated = true;
+    plan.shards.emplace_back(0, nf);
+    return plan;
+  }
+
+  const auto nshards =
+      static_cast<index_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(cfg.num_workers), weights.size()));
+  // Greedy contiguous fill toward the ideal per-shard weight, the same
+  // accumulate-until-full walk wse::for_each_chunk does over rank rows.
+  // Remaining shards always get at least one frequency each.
+  index_t q = 0;
+  for (index_t s = 0; s < nshards; ++s) {
+    const index_t begin = q;
+    const index_t shards_left = nshards - s;
+    const index_t max_end = nf - (shards_left - 1);  // leave one per shard
+    if (s + 1 == nshards) {
+      q = nf;
+    } else {
+      double acc = 0.0;
+      double rest = 0.0;
+      for (index_t j = q; j < nf; ++j) rest += weights[static_cast<std::size_t>(j)];
+      const double ideal = rest / static_cast<double>(shards_left);
+      while (q < max_end) {
+        const double w = weights[static_cast<std::size_t>(q)];
+        // Take the frequency if the shard is empty or closer to ideal
+        // with it than without it.
+        if (q > begin && acc + w - ideal > ideal - acc) break;
+        acc += w;
+        ++q;
+      }
+    }
+    plan.shards.emplace_back(begin, q);
+  }
+  TLRWSE_REQUIRE(q == nf, "planner: shards must cover all frequencies");
+  return plan;
+}
+
+}  // namespace tlrwse::cluster

@@ -1,0 +1,219 @@
+#include "tlrwse/cluster/worker.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "tlrwse/io/archive.hpp"
+
+namespace tlrwse::cluster {
+
+namespace {
+
+Frame error_frame(std::uint64_t request_id, WireErrorCode code,
+                  std::string message) {
+  ErrorMsg err;
+  err.request_id = request_id;
+  err.code = code;
+  err.message = std::move(message);
+  return err.to_frame();
+}
+
+}  // namespace
+
+Frame ShardWorker::handle(const Frame& request) {
+  try {
+    switch (static_cast<MsgType>(request.type)) {
+      case MsgType::kLoadShard:
+        return handle_load(LoadShardMsg::from_frame(request));
+      case MsgType::kApply:
+        return handle_apply(ApplyMsg::from_frame(request));
+      case MsgType::kCancel:
+        return handle_cancel(CancelMsg::from_frame(request));
+      case MsgType::kMetrics:
+        return handle_metrics();
+      case MsgType::kShutdown:
+        return handle_shutdown();
+      default:
+        return error_frame(0, WireErrorCode::kBadRequest,
+                           "worker: unexpected frame type " +
+                               std::to_string(request.type));
+    }
+  } catch (const WireError& e) {
+    return error_frame(0, WireErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return error_frame(0, WireErrorCode::kInternal, e.what());
+  }
+}
+
+void ShardWorker::add_shard(
+    std::uint32_t shard_id, index_t nt, index_t ns, index_t nr,
+    std::vector<index_t> freq_bins,
+    std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels) {
+  auto shard = std::make_shared<Shard>();
+  shard->nt = nt;
+  shard->ns = ns;
+  shard->nr = nr;
+  shard->freq_bins = std::move(freq_bins);
+  shard->kernels = std::move(kernels);
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_[shard_id] = std::move(shard);
+}
+
+Frame ShardWorker::handle_load(const LoadShardMsg& msg) {
+  auto shard = std::make_shared<Shard>();
+  try {
+    const io::ArchiveInfo info = io::peek_archive(msg.archive_path);
+    if (msg.q_begin < 0 || msg.q_end > info.num_freqs() ||
+        msg.q_begin >= msg.q_end) {
+      return error_frame(0, WireErrorCode::kBadRequest,
+                         "worker: shard range outside archive frequencies");
+    }
+    if (info.shared_basis) {
+      const io::SharedKernelArchive slice =
+          io::load_shared_archive_slice(msg.archive_path, msg.q_begin,
+                                        msg.q_end);
+      shard->nt = slice.nt;
+      shard->freq_bins = slice.freq_bins;
+      shard->kernels = io::make_kernels(slice);
+    } else {
+      const io::KernelArchive slice =
+          io::load_archive_slice(msg.archive_path, msg.q_begin, msg.q_end);
+      shard->nt = slice.nt;
+      shard->freq_bins = slice.freq_bins;
+      shard->kernels = io::make_kernels(slice);
+    }
+  } catch (const std::exception& e) {
+    return error_frame(0, WireErrorCode::kArchiveMissing, e.what());
+  }
+  if (shard->kernels.empty()) {
+    return error_frame(0, WireErrorCode::kArchiveMissing,
+                       "worker: shard has no kernels");
+  }
+  shard->ns = shard->kernels.front()->rows();
+  shard->nr = shard->kernels.front()->cols();
+
+  LoadShardOkMsg ok;
+  ok.shard_id = msg.shard_id;
+  ok.nt = shard->nt;
+  ok.ns = shard->ns;
+  ok.nr = shard->nr;
+  ok.freq_bins = shard->freq_bins;
+  registry_.counter("worker.shards_loaded").add();
+  registry_.gauge("worker.frequencies_resident")
+      .add(static_cast<std::int64_t>(shard->freq_bins.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_[msg.shard_id] = std::move(shard);
+  }
+  return ok.to_frame();
+}
+
+Frame ShardWorker::handle_apply(const ApplyMsg& msg) {
+  // Snapshot the shard under the lock, run the kernels outside it: loads
+  // of other shards and cancels must not wait on an in-flight apply.
+  std::shared_ptr<const Shard> shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = shards_.find(msg.shard_id);
+    if (it != shards_.end()) shard = it->second;
+  }
+  if (!shard) {
+    return error_frame(msg.request_id, WireErrorCode::kUnknownShard,
+                       "worker: unknown shard " +
+                           std::to_string(msg.shard_id));
+  }
+  if (msg.nrhs < 1) {
+    return error_frame(msg.request_id, WireErrorCode::kBadRequest,
+                       "worker: nrhs must be >= 1");
+  }
+  const auto nq = shard->kernels.size();
+  const auto nin =
+      static_cast<std::size_t>(msg.adjoint ? shard->ns : shard->nr);
+  const auto nout =
+      static_cast<std::size_t>(msg.adjoint ? shard->nr : shard->ns);
+  const auto nrhs = static_cast<std::size_t>(msg.nrhs);
+  if (msg.data.size() != nq * nrhs * nin) {
+    return error_frame(msg.request_id, WireErrorCode::kBadRequest,
+                       "worker: apply payload size mismatch");
+  }
+
+  const obs::ScopedHistTimer timer(registry_.histogram("worker.apply_s"));
+  const auto start = std::chrono::steady_clock::now();
+  ApplyOkMsg ok;
+  ok.request_id = msg.request_id;
+  ok.data.resize(nq * nrhs * nout);
+
+  mdc::FrequencyWorkspace& ws = ws_pool_.local();
+  for (std::size_t q = 0; q < nq; ++q) {
+    // Between per-frequency MVMs is where a deadline or cancel can take
+    // effect without tearing a kernel apply in half.
+    if (msg.deadline_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= msg.deadline_s) {
+        registry_.counter("worker.deadline_exceeded").add();
+        return error_frame(msg.request_id, WireErrorCode::kDeadlineExceeded,
+                           "worker: deadline exceeded mid-shard");
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_.count(msg.request_id) != 0) {
+        cancelled_.erase(msg.request_id);
+        registry_.counter("worker.cancelled").add();
+        return error_frame(msg.request_id, WireErrorCode::kCancelled,
+                           "worker: request cancelled");
+      }
+    }
+    const mdc::FrequencyMvm& kernel = *shard->kernels[q];
+    const std::span<const cf32> xk(msg.data.data() + q * nrhs * nin,
+                                   nrhs * nin);
+    const std::span<cf32> yk(ok.data.data() + q * nrhs * nout, nrhs * nout);
+    if (msg.nrhs == 1) {
+      if (msg.adjoint) {
+        kernel.apply_adjoint(xk, yk, ws);
+      } else {
+        kernel.apply(xk, yk, ws);
+      }
+    } else {
+      if (msg.adjoint) {
+        kernel.apply_adjoint_batch(xk, yk, msg.nrhs, ws);
+      } else {
+        kernel.apply_batch(xk, yk, msg.nrhs, ws);
+      }
+    }
+  }
+  {
+    // A cancel that raced past the last check is moot now; drop it so the
+    // set stays bounded by genuinely in-flight ids.
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_.erase(msg.request_id);
+  }
+  registry_.counter("worker.applies").add();
+  return ok.to_frame();
+}
+
+Frame ShardWorker::handle_cancel(const CancelMsg& msg) {
+  CancelOkMsg ok;
+  ok.request_id = msg.request_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ok.in_flight = cancelled_.insert(msg.request_id).second;
+  }
+  registry_.counter("worker.cancel_requests").add();
+  return ok.to_frame();
+}
+
+Frame ShardWorker::handle_metrics() {
+  MetricsOkMsg ok;
+  ok.snapshot = registry_.snapshot();
+  return ok.to_frame();
+}
+
+Frame ShardWorker::handle_shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  return ShutdownOkMsg{}.to_frame();
+}
+
+}  // namespace tlrwse::cluster

@@ -118,6 +118,29 @@ struct ArchiveInfo {
 /// load_archive on a missing file, bad magic, or unsupported version.
 [[nodiscard]] ArchiveInfo peek_archive(const std::string& path);
 
+/// Loads only frequencies [q_begin, q_end) of an archive, seeking past the
+/// payload of every other kernel — what a cluster worker owning one
+/// frequency shard reads instead of the whole survey. The returned archive
+/// carries the sliced band metadata; kernels are bitwise identical to the
+/// same indices of a full load_archive.
+[[nodiscard]] KernelArchive load_archive_slice(const std::string& path,
+                                               index_t q_begin,
+                                               index_t q_end);
+
+/// Shared-basis counterpart. Bands with no frequency in [q_begin, q_end)
+/// are skipped whole; overlapping bands load their (band-shared) bases
+/// plus only the overlapping cores, so the per-frequency arithmetic of the
+/// trimmed band matches the full band's exactly.
+[[nodiscard]] SharedKernelArchive load_shared_archive_slice(
+    const std::string& path, index_t q_begin, index_t q_end);
+
+/// Per-frequency compressed payload bytes, computed from headers and rank
+/// tables alone (payloads are seeked past, never read) — the shard
+/// planner's placement weights. Shared-basis archives amortise each band's
+/// basis bytes evenly over its frequencies.
+[[nodiscard]] std::vector<double> archive_kernel_bytes(
+    const std::string& path);
+
 /// Builds the MDC operator directly from an archive (no recompression).
 [[nodiscard]] std::unique_ptr<mdc::MdcOperator> make_operator(
     const KernelArchive& archive, mdc::TlrKernel kernel = mdc::TlrKernel::kFused);
@@ -125,6 +148,16 @@ struct ArchiveInfo {
 /// Shared-basis counterpart: one SharedBasisMvm per frequency, each band's
 /// basis arena compiled once and shared by its frequencies.
 [[nodiscard]] std::unique_ptr<mdc::MdcOperator> make_operator(
+    const SharedKernelArchive& archive);
+
+/// The per-frequency kernel factories behind make_operator, exposed for
+/// callers that drive frequencies directly (cluster workers run the exact
+/// same FrequencyMvm objects without the FFT wrapper, which is what keeps
+/// a distributed solve bitwise identical to the single-process one).
+[[nodiscard]] std::vector<std::unique_ptr<mdc::FrequencyMvm>> make_kernels(
+    const KernelArchive& archive,
+    mdc::TlrKernel kernel = mdc::TlrKernel::kFused);
+[[nodiscard]] std::vector<std::unique_ptr<mdc::FrequencyMvm>> make_kernels(
     const SharedKernelArchive& archive);
 
 }  // namespace tlrwse::io

@@ -65,6 +65,120 @@ la::MatrixCF read_mat(std::istream& is, index_t max_rows, index_t max_cols) {
   if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
   return m;
 }
+
+/// Reads a matrix header and seeks past its payload (slice loads and the
+/// byte scan never touch skipped factors). Returns the payload bytes.
+double skip_mat(std::istream& is) {
+  const index_t r = read_i64(is);
+  const index_t c = read_i64(is);
+  if (!is) throw std::runtime_error("tlrwse::io: truncated matrix header");
+  TLRWSE_REQUIRE(
+      r >= 0 && c >= 0 && r <= kMaxArchiveDim && c <= kMaxArchiveDim,
+      "corrupt matrix header: dims out of range");
+  const auto bytes =
+      static_cast<std::int64_t>(r) * c *
+      static_cast<std::int64_t>(sizeof(cf32));
+  is.seekg(bytes, std::ios::cur);
+  if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+  return static_cast<double>(bytes);
+}
+
+/// One embedded TLRA kernel's magic, dims and rank table (the payload's
+/// exact size follows from the ranks, so skipping costs a single seek).
+struct TlrKernelHeader {
+  tlr::TileGrid grid;
+  std::vector<index_t> ranks;
+};
+
+TlrKernelHeader read_tlr_kernel_header(std::istream& is,
+                                       const std::string& path) {
+  if (read_u32(is) != kTlrMagic) {
+    throw std::runtime_error("tlrwse::io: bad kernel magic in " + path);
+  }
+  if (read_u32(is) != kFormatVersion) {
+    throw std::runtime_error("tlrwse::io: unsupported kernel version");
+  }
+  const index_t rows = read_i64(is);
+  const index_t cols = read_i64(is);
+  const index_t nb = read_i64(is);
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+  TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
+                 "corrupt kernel header: dims out of range");
+  TlrKernelHeader h{tlr::TileGrid(rows, cols, nb), {}};
+  h.ranks.resize(static_cast<std::size_t>(h.grid.num_tiles()));
+  for (index_t j = 0; j < h.grid.nt(); ++j) {
+    for (index_t i = 0; i < h.grid.mt(); ++i) {
+      h.ranks[static_cast<std::size_t>(h.grid.tile_index(i, j))] =
+          read_i64(is);
+    }
+  }
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+  for (index_t j = 0; j < h.grid.nt(); ++j) {
+    for (index_t i = 0; i < h.grid.mt(); ++i) {
+      const index_t rank =
+          h.ranks[static_cast<std::size_t>(h.grid.tile_index(i, j))];
+      TLRWSE_REQUIRE(rank >= 0 && rank <= std::min(h.grid.tile_rows(i),
+                                                   h.grid.tile_cols(j)),
+                     "corrupt archive: tile rank out of range");
+    }
+  }
+  return h;
+}
+
+/// Factor payload bytes of one kernel (excluding per-tile dim headers).
+double tlr_factor_bytes(const TlrKernelHeader& h) {
+  double bytes = 0.0;
+  for (index_t j = 0; j < h.grid.nt(); ++j) {
+    for (index_t i = 0; i < h.grid.mt(); ++i) {
+      const index_t rank =
+          h.ranks[static_cast<std::size_t>(h.grid.tile_index(i, j))];
+      bytes += static_cast<double>(rank) *
+               static_cast<double>(h.grid.tile_rows(i) + h.grid.tile_cols(j)) *
+               static_cast<double>(sizeof(cf32));
+    }
+  }
+  return bytes;
+}
+
+/// Seeks past one kernel's tile payload (4 i64 dims + factors per tile).
+void skip_tlr_tiles(std::istream& is, const TlrKernelHeader& h) {
+  std::int64_t bytes = 0;
+  for (index_t j = 0; j < h.grid.nt(); ++j) {
+    for (index_t i = 0; i < h.grid.mt(); ++i) {
+      const index_t rank =
+          h.ranks[static_cast<std::size_t>(h.grid.tile_index(i, j))];
+      bytes += static_cast<std::int64_t>(4 * sizeof(std::int64_t)) +
+               static_cast<std::int64_t>(rank) *
+                   (h.grid.tile_rows(i) + h.grid.tile_cols(j)) *
+                   static_cast<std::int64_t>(sizeof(cf32));
+    }
+  }
+  is.seekg(bytes, std::ios::cur);
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+}
+
+tlr::TlrMatrix<cf32> read_tlr_tiles(std::istream& is,
+                                    const TlrKernelHeader& h) {
+  const tlr::TileGrid& g = h.grid;
+  std::vector<la::LowRankFactors<cf32>> tiles(
+      static_cast<std::size_t>(g.num_tiles()));
+  for (index_t j = 0; j < g.nt(); ++j) {
+    for (index_t i = 0; i < g.mt(); ++i) {
+      const index_t rank =
+          h.ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+      la::LowRankFactors<cf32> t;
+      t.U = read_mat(is, g.tile_rows(i), rank);
+      t.Vh = read_mat(is, rank, g.tile_cols(j));
+      TLRWSE_REQUIRE(t.U.rows() == g.tile_rows(i) && t.U.cols() == rank &&
+                         t.Vh.rows() == rank &&
+                         t.Vh.cols() == g.tile_cols(j),
+                     "corrupt archive: tile factors mismatch rank table");
+      tiles[static_cast<std::size_t>(g.tile_index(i, j))] = std::move(t);
+    }
+  }
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+  return tlr::TlrMatrix<cf32>(g, std::move(tiles));
+}
 }  // namespace
 
 KernelArchive build_archive(const seismic::SeismicDataset& data,
@@ -171,7 +285,12 @@ ArchiveInfo peek_archive(const std::string& path) {
   return info;
 }
 
-KernelArchive load_archive(const std::string& path) {
+namespace {
+
+/// Shared body of load_archive / load_archive_slice: q_end < 0 means the
+/// whole archive.
+KernelArchive load_archive_range(const std::string& path, index_t q_begin,
+                                 index_t q_end) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
   if (read_u32(is) != kArchiveMagic) {
@@ -185,69 +304,137 @@ KernelArchive load_archive(const std::string& path) {
   archive.dt = read_f64(is);
   const index_t nf = read_i64(is);
   TLRWSE_REQUIRE(nf >= 0, "corrupt archive");
-  archive.freq_bins.resize(static_cast<std::size_t>(nf));
-  archive.freqs_hz.resize(static_cast<std::size_t>(nf));
+  if (q_end < 0) q_end = nf;
+  TLRWSE_REQUIRE(q_begin >= 0 && q_begin <= q_end && q_end <= nf,
+                 "archive slice [", q_begin, ", ", q_end,
+                 ") out of range for ", nf, " frequencies");
+  std::vector<index_t> bins(static_cast<std::size_t>(nf));
+  std::vector<double> hz(static_cast<std::size_t>(nf));
   for (index_t q = 0; q < nf; ++q) {
-    archive.freq_bins[static_cast<std::size_t>(q)] = read_i64(is);
-    archive.freqs_hz[static_cast<std::size_t>(q)] = read_f64(is);
+    bins[static_cast<std::size_t>(q)] = read_i64(is);
+    hz[static_cast<std::size_t>(q)] = read_f64(is);
   }
   if (!is) throw std::runtime_error("tlrwse::io: truncated archive header");
-  archive.kernels.reserve(static_cast<std::size_t>(nf));
-  for (index_t q = 0; q < nf; ++q) {
-    if (read_u32(is) != kTlrMagic) {
-      throw std::runtime_error("tlrwse::io: bad kernel magic in " + path);
+  archive.freq_bins.assign(bins.begin() + q_begin, bins.begin() + q_end);
+  archive.freqs_hz.assign(hz.begin() + q_begin, hz.begin() + q_end);
+  archive.kernels.reserve(static_cast<std::size_t>(q_end - q_begin));
+  for (index_t q = 0; q < q_end; ++q) {
+    const TlrKernelHeader h = read_tlr_kernel_header(is, path);
+    if (q < q_begin) {
+      skip_tlr_tiles(is, h);
+    } else {
+      archive.kernels.push_back(read_tlr_tiles(is, h));
     }
-    if (read_u32(is) != kFormatVersion) {
-      throw std::runtime_error("tlrwse::io: unsupported kernel version");
-    }
-    const index_t rows = read_i64(is);
-    const index_t cols = read_i64(is);
-    const index_t nb = read_i64(is);
-    if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
-    TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
-                   "corrupt kernel header: dims out of range");
-    const tlr::TileGrid g(rows, cols, nb);
-    std::vector<index_t> ranks(static_cast<std::size_t>(g.num_tiles()));
-    for (index_t j = 0; j < g.nt(); ++j) {
-      for (index_t i = 0; i < g.mt(); ++i) {
-        ranks[static_cast<std::size_t>(g.tile_index(i, j))] = read_i64(is);
-      }
-    }
-    std::vector<la::LowRankFactors<cf32>> tiles(
-        static_cast<std::size_t>(g.num_tiles()));
-    for (index_t j = 0; j < g.nt(); ++j) {
-      for (index_t i = 0; i < g.mt(); ++i) {
-        const index_t rank =
-            ranks[static_cast<std::size_t>(g.tile_index(i, j))];
-        TLRWSE_REQUIRE(
-            rank >= 0 && rank <= std::min(g.tile_rows(i), g.tile_cols(j)),
-            "corrupt archive: tile rank out of range");
-        la::LowRankFactors<cf32> t;
-        t.U = read_mat(is, g.tile_rows(i), rank);
-        t.Vh = read_mat(is, rank, g.tile_cols(j));
-        TLRWSE_REQUIRE(t.U.rows() == g.tile_rows(i) && t.U.cols() == rank &&
-                           t.Vh.rows() == rank &&
-                           t.Vh.cols() == g.tile_cols(j),
-                       "corrupt archive: tile factors mismatch rank table");
-        tiles[static_cast<std::size_t>(g.tile_index(i, j))] = std::move(t);
-      }
-    }
-    if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
-    archive.kernels.emplace_back(g, std::move(tiles));
   }
   return archive;
 }
 
-std::unique_ptr<mdc::MdcOperator> make_operator(const KernelArchive& archive,
-                                                mdc::TlrKernel kernel) {
+}  // namespace
+
+KernelArchive load_archive(const std::string& path) {
+  return load_archive_range(path, 0, -1);
+}
+
+KernelArchive load_archive_slice(const std::string& path, index_t q_begin,
+                                 index_t q_end) {
+  TLRWSE_REQUIRE(q_end >= 0, "archive slice end must be non-negative");
+  return load_archive_range(path, q_begin, q_end);
+}
+
+std::vector<std::unique_ptr<mdc::FrequencyMvm>> make_kernels(
+    const KernelArchive& archive, mdc::TlrKernel kernel) {
   std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
   kernels.reserve(static_cast<std::size_t>(archive.num_freqs()));
   for (const auto& k : archive.kernels) {
     kernels.push_back(
         std::make_unique<mdc::TlrMvm>(tlr::StackedTlr<cf32>(k), kernel));
   }
+  return kernels;
+}
+
+std::unique_ptr<mdc::MdcOperator> make_operator(const KernelArchive& archive,
+                                                mdc::TlrKernel kernel) {
   return std::make_unique<mdc::MdcOperator>(archive.nt, archive.freq_bins,
-                                            std::move(kernels));
+                                            make_kernels(archive, kernel));
+}
+
+std::vector<double> archive_kernel_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
+  const std::uint32_t magic = read_u32(is);
+  if (magic != kArchiveMagic && magic != kSharedMagic) {
+    throw std::runtime_error("tlrwse::io: bad archive magic in " + path);
+  }
+  if (read_u32(is) != kFormatVersion) {
+    throw std::runtime_error("tlrwse::io: unsupported archive version");
+  }
+  (void)read_i64(is);  // nt
+  (void)read_f64(is);  // dt
+  const index_t nf = read_i64(is);
+  TLRWSE_REQUIRE(nf >= 0, "corrupt archive");
+  for (index_t q = 0; q < nf; ++q) {
+    (void)read_i64(is);
+    (void)read_f64(is);
+  }
+  if (!is) throw std::runtime_error("tlrwse::io: truncated archive header");
+  std::vector<double> bytes(static_cast<std::size_t>(nf), 0.0);
+  if (magic == kArchiveMagic) {
+    for (index_t q = 0; q < nf; ++q) {
+      const TlrKernelHeader h = read_tlr_kernel_header(is, path);
+      bytes[static_cast<std::size_t>(q)] = tlr_factor_bytes(h);
+      skip_tlr_tiles(is, h);
+    }
+    return bytes;
+  }
+  (void)read_f64(is);  // payload_bytes
+  const index_t num_bands = read_i64(is);
+  if (!is) {
+    throw std::runtime_error("tlrwse::io: truncated shared archive header");
+  }
+  TLRWSE_REQUIRE(num_bands >= 0, "corrupt shared archive");
+  index_t band_start = 0;
+  for (index_t bi = 0; bi < num_bands; ++bi) {
+    if (read_u32(is) != kBandMagic) {
+      throw std::runtime_error("tlrwse::io: bad band magic in " + path);
+    }
+    const index_t rows = read_i64(is);
+    const index_t cols = read_i64(is);
+    const index_t nb = read_i64(is);
+    (void)read_f64(is);  // acc
+    const index_t band_nf = read_i64(is);
+    if (!is) throw std::runtime_error("tlrwse::io: truncated shared archive");
+    TLRWSE_REQUIRE(band_nf >= 0 && band_start + band_nf <= nf,
+                   "corrupt shared archive band");
+    TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
+                   "corrupt shared archive band: dims out of range");
+    const tlr::TileGrid g(rows, cols, nb);
+    const auto ntiles = static_cast<std::size_t>(g.num_tiles());
+    double basis_bytes = 0.0;
+    for (std::size_t t = 0; t < 2 * ntiles; ++t) basis_bytes += skip_mat(is);
+    // Bases are shared by the whole band; amortise them evenly so the
+    // planner's weights sum to the real resident cost.
+    const double basis_share =
+        band_nf > 0 ? basis_bytes / static_cast<double>(band_nf) : 0.0;
+    for (index_t f = 0; f < band_nf; ++f) {
+      double core_bytes = 0.0;
+      for (std::size_t t = 0; t < ntiles; ++t) {
+        const bool factored = read_u32(is) != 0;
+        (void)read_i64(is);
+        if (!is) {
+          throw std::runtime_error("tlrwse::io: truncated shared archive");
+        }
+        core_bytes += skip_mat(is);
+        if (factored) core_bytes += skip_mat(is);
+      }
+      bytes[static_cast<std::size_t>(band_start + f)] =
+          core_bytes + basis_share;
+    }
+    band_start += band_nf;
+  }
+  TLRWSE_REQUIRE(band_start == nf,
+                 "corrupt shared archive: band frequency counts do not "
+                 "cover the header frequency list");
+  return bytes;
 }
 
 namespace {
@@ -376,7 +563,25 @@ void save_shared_archive(const std::string& path,
   if (!os) throw std::runtime_error("tlrwse::io: write failed: " + path);
 }
 
-SharedKernelArchive load_shared_archive(const std::string& path) {
+namespace {
+
+/// Seeks past one core's matrices (the flag and rank were already read).
+void skip_core_mats(std::istream& is, bool factored) {
+  if (factored) {
+    (void)skip_mat(is);
+    (void)skip_mat(is);
+  } else {
+    (void)skip_mat(is);
+  }
+}
+
+/// Shared body of load_shared_archive / load_shared_archive_slice:
+/// q_end < 0 means the whole archive. Bands with no frequency in
+/// [q_begin, q_end) are seeked past; overlapping bands keep their bases
+/// and only the overlapping cores.
+SharedKernelArchive load_shared_archive_range(const std::string& path,
+                                              index_t q_begin,
+                                              index_t q_end) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
   if (read_u32(is) != kSharedMagic) {
@@ -391,18 +596,25 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
   archive.dt = read_f64(is);
   const index_t nf = read_i64(is);
   TLRWSE_REQUIRE(nf >= 0, "corrupt shared archive");
-  archive.freq_bins.resize(static_cast<std::size_t>(nf));
-  archive.freqs_hz.resize(static_cast<std::size_t>(nf));
+  if (q_end < 0) q_end = nf;
+  TLRWSE_REQUIRE(q_begin >= 0 && q_begin <= q_end && q_end <= nf,
+                 "archive slice [", q_begin, ", ", q_end,
+                 ") out of range for ", nf, " frequencies");
+  std::vector<index_t> bins(static_cast<std::size_t>(nf));
+  std::vector<double> hz(static_cast<std::size_t>(nf));
   for (index_t q = 0; q < nf; ++q) {
-    archive.freq_bins[static_cast<std::size_t>(q)] = read_i64(is);
-    archive.freqs_hz[static_cast<std::size_t>(q)] = read_f64(is);
+    bins[static_cast<std::size_t>(q)] = read_i64(is);
+    hz[static_cast<std::size_t>(q)] = read_f64(is);
   }
+  archive.freq_bins.assign(bins.begin() + q_begin, bins.begin() + q_end);
+  archive.freqs_hz.assign(hz.begin() + q_begin, hz.begin() + q_end);
   (void)read_f64(is);  // payload_bytes: recomputed from the loaded bands
   const index_t num_bands = read_i64(is);
   if (!is) {
     throw std::runtime_error("tlrwse::io: truncated shared archive header");
   }
   TLRWSE_REQUIRE(num_bands >= 0, "corrupt shared archive");
+  index_t band_start = 0;  // global index of this band's first frequency
   for (index_t bi = 0; bi < num_bands; ++bi) {
     if (read_u32(is) != kBandMagic) {
       throw std::runtime_error("tlrwse::io: bad band magic in " + path);
@@ -419,6 +631,27 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
                    "corrupt shared archive band: dims out of range");
     const tlr::TileGrid g(rows, cols, nb);
     const auto ntiles = static_cast<std::size_t>(g.num_tiles());
+    // The band covers global frequencies [band_start, band_start+band_nf);
+    // keep its cores intersecting the requested [q_begin, q_end).
+    const index_t keep_lo = std::max(q_begin - band_start, index_t{0});
+    const index_t keep_hi = std::min(q_end - band_start, band_nf);
+    band_start += band_nf;
+    if (keep_lo >= keep_hi) {
+      // No overlap: seek past the bases and every core.
+      for (std::size_t t = 0; t < 2 * ntiles; ++t) (void)skip_mat(is);
+      for (index_t f = 0; f < band_nf; ++f) {
+        for (std::size_t t = 0; t < ntiles; ++t) {
+          const bool factored = read_u32(is) != 0;
+          (void)read_i64(is);
+          if (!is) {
+            throw std::runtime_error(
+                "tlrwse::io: truncated shared archive");
+          }
+          skip_core_mats(is, factored);
+        }
+      }
+      continue;
+    }
     std::vector<la::MatrixCF> u(ntiles), vh(ntiles);
     for (index_t j = 0; j < g.nt(); ++j) {
       for (index_t i = 0; i < g.mt(); ++i) {
@@ -431,14 +664,26 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
     }
     using Band = tlr::SharedBasisStackedTlr<cf32>;
     std::vector<std::vector<Band::Core>> cores(
-        static_cast<std::size_t>(band_nf), std::vector<Band::Core>(ntiles));
+        static_cast<std::size_t>(keep_hi - keep_lo),
+        std::vector<Band::Core>(ntiles));
     for (index_t f = 0; f < band_nf; ++f) {
+      const bool keep = f >= keep_lo && f < keep_hi;
       for (index_t j = 0; j < g.nt(); ++j) {
         for (index_t i = 0; i < g.mt(); ++i) {
           const auto t = static_cast<std::size_t>(g.tile_index(i, j));
-          Band::Core& c = cores[static_cast<std::size_t>(f)][t];
-          c.factored = read_u32(is) != 0;
-          c.rank = read_i64(is);
+          const bool factored = read_u32(is) != 0;
+          const index_t rank = read_i64(is);
+          if (!is) {
+            throw std::runtime_error(
+                "tlrwse::io: truncated shared archive");
+          }
+          if (!keep) {
+            skip_core_mats(is, factored);
+            continue;
+          }
+          Band::Core& c = cores[static_cast<std::size_t>(f - keep_lo)][t];
+          c.factored = factored;
+          c.rank = rank;
           // Cores live inside the tile's shared bases, so their dims are
           // bounded by the basis ranks just read (exactness is enforced
           // by from_parts; the bound stops arena-overrun-sized reads).
@@ -458,15 +703,31 @@ SharedKernelArchive load_shared_archive(const std::string& path) {
     archive.bands.push_back(std::make_shared<const Band>(Band::from_parts(
         g, acc, std::move(u), std::move(vh), std::move(cores))));
   }
-  index_t band_freqs = 0;
-  for (const auto& b : archive.bands) band_freqs += b->num_freqs();
-  TLRWSE_REQUIRE(band_freqs == nf,
+  TLRWSE_REQUIRE(band_start == nf,
                  "corrupt shared archive: band frequency counts do not "
                  "cover the header frequency list");
+  index_t band_freqs = 0;
+  for (const auto& b : archive.bands) band_freqs += b->num_freqs();
+  TLRWSE_REQUIRE(band_freqs == q_end - q_begin,
+                 "corrupt shared archive: sliced band frequency counts do "
+                 "not cover the requested range");
   return archive;
 }
 
-std::unique_ptr<mdc::MdcOperator> make_operator(
+}  // namespace
+
+SharedKernelArchive load_shared_archive(const std::string& path) {
+  return load_shared_archive_range(path, 0, -1);
+}
+
+SharedKernelArchive load_shared_archive_slice(const std::string& path,
+                                              index_t q_begin,
+                                              index_t q_end) {
+  TLRWSE_REQUIRE(q_end >= 0, "archive slice end must be non-negative");
+  return load_shared_archive_range(path, q_begin, q_end);
+}
+
+std::vector<std::unique_ptr<mdc::FrequencyMvm>> make_kernels(
     const SharedKernelArchive& archive) {
   std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
   kernels.reserve(static_cast<std::size_t>(archive.num_freqs()));
@@ -474,8 +735,13 @@ std::unique_ptr<mdc::MdcOperator> make_operator(
     auto band_kernels = mdc::make_shared_basis_kernels(band);
     for (auto& k : band_kernels) kernels.push_back(std::move(k));
   }
+  return kernels;
+}
+
+std::unique_ptr<mdc::MdcOperator> make_operator(
+    const SharedKernelArchive& archive) {
   return std::make_unique<mdc::MdcOperator>(archive.nt, archive.freq_bins,
-                                            std::move(kernels));
+                                            make_kernels(archive));
 }
 
 }  // namespace tlrwse::io

@@ -1,6 +1,7 @@
 #include "tlrwse/mdc/mdc_operator.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -9,6 +10,7 @@
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/common/timer.hpp"
 #include "tlrwse/common/tsan.hpp"
+#include "tlrwse/mdc/cancellation.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/obs/tracer.hpp"
 
@@ -109,12 +111,23 @@ void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
     const bool trace_freqs = obs::Tracer::detail_enabled();
+    // Captured once: the hook lives on the calling thread, but every team
+    // member polls it between MVMs so a deadline hit stops the whole batch.
+    const CancelScope::Hook* const cancel = CancelScope::current();
+    std::atomic<bool> cancelled{false};
     TLRWSE_TSAN_RELEASE(&ps);
 #pragma omp parallel num_threads(team)
     {
       TLRWSE_TSAN_ACQUIRE(&ps);
 #pragma omp for schedule(static)
       for (index_t q = 0; q < nq; ++q) {
+        if (cancel != nullptr) {
+          if (cancelled.load(std::memory_order_relaxed)) continue;
+          if ((*cancel)()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            continue;
+          }
+        }
         const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
         FreqScratch& fs = freq_scratch_.local();
         fs.xk.resize(static_cast<std::size_t>(nr_));
@@ -139,6 +152,7 @@ void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
     }
     TLRWSE_TSAN_ACQUIRE(&ps);
     met.kernel_loop_s.record(kernel_timer.seconds());
+    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   // F^H: Hermitian inverse rFFT back to time.
@@ -179,12 +193,21 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
     const bool trace_freqs = obs::Tracer::detail_enabled();
+    const CancelScope::Hook* const cancel = CancelScope::current();
+    std::atomic<bool> cancelled{false};
     TLRWSE_TSAN_RELEASE(&ps);
 #pragma omp parallel num_threads(team)
     {
       TLRWSE_TSAN_ACQUIRE(&ps);
 #pragma omp for schedule(static)
       for (index_t q = 0; q < nq; ++q) {
+        if (cancel != nullptr) {
+          if (cancelled.load(std::memory_order_relaxed)) continue;
+          if ((*cancel)()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            continue;
+          }
+        }
         const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
         FreqScratch& fs = freq_scratch_.local();
         fs.xk.resize(static_cast<std::size_t>(nr_));
@@ -210,6 +233,7 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
     }
     TLRWSE_TSAN_ACQUIRE(&ps);
     met.kernel_loop_s.record(kernel_timer.seconds());
+    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   {
@@ -262,12 +286,21 @@ void MdcOperator::apply_batch(std::span<const float> X, std::span<float> Y,
     [[maybe_unused]] const int team = freq_team_size(inner_threads_);
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
+    const CancelScope::Hook* const cancel = CancelScope::current();
+    std::atomic<bool> cancelled{false};
     TLRWSE_TSAN_RELEASE(&ps);
 #pragma omp parallel num_threads(team)
     {
       TLRWSE_TSAN_ACQUIRE(&ps);
 #pragma omp for schedule(static)
       for (index_t q = 0; q < nq; ++q) {
+        if (cancel != nullptr) {
+          if (cancelled.load(std::memory_order_relaxed)) continue;
+          if ((*cancel)()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            continue;
+          }
+        }
         FreqScratch& fs = freq_scratch_.local();
         fs.xk.resize(static_cast<std::size_t>(nr_ * nrhs));
         fs.yk.resize(static_cast<std::size_t>(ns_ * nrhs));
@@ -292,6 +325,7 @@ void MdcOperator::apply_batch(std::span<const float> X, std::span<float> Y,
     }
     TLRWSE_TSAN_ACQUIRE(&ps);
     met.kernel_loop_s.record(kernel_timer.seconds());
+    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   {
@@ -350,12 +384,21 @@ void MdcOperator::apply_adjoint_batch(std::span<const float> Y,
     [[maybe_unused]] const int team = freq_team_size(inner_threads_);
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
+    const CancelScope::Hook* const cancel = CancelScope::current();
+    std::atomic<bool> cancelled{false};
     TLRWSE_TSAN_RELEASE(&ps);
 #pragma omp parallel num_threads(team)
     {
       TLRWSE_TSAN_ACQUIRE(&ps);
 #pragma omp for schedule(static)
       for (index_t q = 0; q < nq; ++q) {
+        if (cancel != nullptr) {
+          if (cancelled.load(std::memory_order_relaxed)) continue;
+          if ((*cancel)()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            continue;
+          }
+        }
         FreqScratch& fs = freq_scratch_.local();
         fs.xk.resize(static_cast<std::size_t>(nr_ * nrhs));
         fs.yk.resize(static_cast<std::size_t>(ns_ * nrhs));
@@ -379,6 +422,7 @@ void MdcOperator::apply_adjoint_batch(std::span<const float> Y,
     }
     TLRWSE_TSAN_ACQUIRE(&ps);
     met.kernel_loop_s.record(kernel_timer.seconds());
+    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   {

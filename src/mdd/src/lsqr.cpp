@@ -6,6 +6,7 @@
 
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/common/timer.hpp"
+#include "tlrwse/mdc/cancellation.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/obs/tracer.hpp"
 
@@ -51,7 +52,17 @@ LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
   double alpha = 0.0;
   if (beta > 0.0) {
     scale(u, 1.0 / beta);
-    A.apply_adjoint(u, v);
+    // An operator-level cancellation (deadline hit between per-frequency
+    // MVMs) aborts the solve before the first iterate: x stays zero, which
+    // is the consistent iterate at this point.
+    try {
+      A.apply_adjoint(u, v);
+    } catch (const mdc::CancelledError&) {
+      out.stop = LsqrResult::Stop::kAborted;
+      out.residual_history.push_back(beta);
+      out.residual_norm = beta;
+      return out;
+    }
     alpha = norm2(v);
     if (alpha > 0.0) scale(v, 1.0 / alpha);
   }
@@ -78,21 +89,28 @@ LsqrResult lsqr_solve(const mdc::LinearOperator& A, std::span<const float> b,
     TLRWSE_TRACE_SPAN("mdd.lsqr.iter", "mdd");
     WallTimer iter_timer;
     iterations.add();
-    // Bidiagonalisation step: beta u = A v - alpha u.
-    A.apply(v, tmp_m);
-    for (std::size_t i = 0; i < m; ++i) {
-      u[i] = tmp_m[i] - static_cast<float>(alpha) * u[i];
-    }
-    beta = norm2(u);
-    if (beta > 0.0) {
-      scale(u, 1.0 / beta);
-      // alpha v = A^T u - beta v.
-      A.apply_adjoint(u, tmp_n);
-      for (std::size_t i = 0; i < n; ++i) {
-        v[i] = tmp_n[i] - static_cast<float>(beta) * v[i];
+    // A cancelled MVM leaves this iteration's state untouched — x still
+    // holds the previous consistent iterate, so abort cleanly.
+    try {
+      // Bidiagonalisation step: beta u = A v - alpha u.
+      A.apply(v, tmp_m);
+      for (std::size_t i = 0; i < m; ++i) {
+        u[i] = tmp_m[i] - static_cast<float>(alpha) * u[i];
       }
-      alpha = norm2(v);
-      if (alpha > 0.0) scale(v, 1.0 / alpha);
+      beta = norm2(u);
+      if (beta > 0.0) {
+        scale(u, 1.0 / beta);
+        // alpha v = A^T u - beta v.
+        A.apply_adjoint(u, tmp_n);
+        for (std::size_t i = 0; i < n; ++i) {
+          v[i] = tmp_n[i] - static_cast<float>(beta) * v[i];
+        }
+        alpha = norm2(v);
+        if (alpha > 0.0) scale(v, 1.0 / alpha);
+      }
+    } catch (const mdc::CancelledError&) {
+      out.stop = LsqrResult::Stop::kAborted;
+      break;
     }
     anorm = std::sqrt(anorm * anorm + alpha * alpha + beta * beta +
                       damp * damp);

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -280,5 +281,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Merges per-worker registry snapshots into one cluster-wide view:
+/// counters and histogram counts/sums/buckets add by name, gauges add by
+/// name (each worker reports its own depth/residency; the sum is the fleet
+/// total), histogram min/max combine respecting empty inputs. Workers
+/// prefix their metric names distinctly, so a frontend snapshot and the
+/// workers' never collide.
+[[nodiscard]] MetricsRegistry::Snapshot merge_snapshots(
+    std::span<const MetricsRegistry::Snapshot> snaps);
 
 }  // namespace tlrwse::obs

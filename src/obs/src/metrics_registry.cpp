@@ -96,4 +96,37 @@ std::string MetricsRegistry::Snapshot::to_json() const {
   return os.str();
 }
 
+MetricsRegistry::Snapshot merge_snapshots(
+    std::span<const MetricsRegistry::Snapshot> snaps) {
+  MetricsRegistry::Snapshot out;
+  // Histograms merge through a name-keyed map, then flatten back to the
+  // name-sorted vector layout Snapshot promises.
+  std::map<std::string, Histogram::Snapshot> hists;
+  for (const auto& s : snaps) {
+    for (const auto& [name, v] : s.counters) out.counters[name] += v;
+    for (const auto& [name, v] : s.gauges) out.gauges[name] += v;
+    for (const auto& h : s.histograms) {
+      Histogram::Snapshot& dst = hists[h.name];
+      if (h.snap.count == 0) continue;
+      if (dst.count == 0) {
+        dst.min = h.snap.min;
+        dst.max = h.snap.max;
+      } else {
+        dst.min = std::min(dst.min, h.snap.min);
+        dst.max = std::max(dst.max, h.snap.max);
+      }
+      dst.count += h.snap.count;
+      dst.sum += h.snap.sum;
+      for (std::size_t b = 0; b < dst.buckets.size(); ++b) {
+        dst.buckets[b] += h.snap.buckets[b];
+      }
+    }
+  }
+  out.histograms.reserve(hists.size());
+  for (auto& [name, snap] : hists) {
+    out.histograms.push_back(MetricsRegistry::HistogramEntry{name, snap});
+  }
+  return out;
+}
+
 }  // namespace tlrwse::obs

@@ -1,0 +1,133 @@
+// Bounded, per-operator-batching admission queue — the front half of the
+// solve service, extracted so the cluster frontend shares one admission
+// semantics with the single-process service.
+//
+// Tickets enter under a global capacity bound (backpressure: try_push
+// refuses instead of blocking) and are grouped by an operator key. Groups
+// form a FIFO that consumers round-robin over: pop_batch takes up to
+// max_batch tickets from the front group and splices any remainder to the
+// back, so one hot operator cannot starve the others and every popped
+// batch shares a single operator resolution downstream.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tlrwse::serve {
+
+template <typename Key, typename Ticket, typename KeyHash = std::hash<Key>>
+class AdmissionQueue {
+ public:
+  /// Depth snapshot taken atomically with the push that produced it, so
+  /// callers can mirror the queue into gauges without re-locking.
+  struct PushResult {
+    bool admitted = false;
+    std::size_t depth = 0;
+    std::size_t peak_depth = 0;
+  };
+
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits under the capacity bound; a full or closed queue refuses
+  /// without blocking (the caller answers with its typed rejection).
+  /// Moves from `ticket` only on admission — a refused ticket stays with
+  /// the caller, promise intact.
+  [[nodiscard]] PushResult try_push(const Key& key, Ticket& ticket) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || depth_ >= capacity_) {
+      return PushResult{false, depth_, peak_depth_};
+    }
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      ready_.push_back(Group{key, {}});
+      it = groups_.emplace(key, std::prev(ready_.end())).first;
+    }
+    it->second->waiting.push_back(std::move(ticket));
+    ++depth_;
+    peak_depth_ = std::max(peak_depth_, depth_);
+    work_cv_.notify_one();
+    return PushResult{true, depth_, peak_depth_};
+  }
+
+  /// Blocks until work or close; an empty result means closed AND drained.
+  /// Takes up to max_batch tickets from the front group; a non-empty
+  /// remainder goes to the back of the group FIFO (round-robin) and wakes
+  /// another consumer.
+  [[nodiscard]] std::vector<Ticket> pop_batch(std::size_t max_batch,
+                                              Key& key) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] { return closed_ || !ready_.empty(); });
+    if (ready_.empty()) return {};
+    Group& group = ready_.front();
+    key = group.key;
+    std::vector<Ticket> batch;
+    const std::size_t take = std::min(max_batch, group.waiting.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(group.waiting.front()));
+      group.waiting.pop_front();
+    }
+    depth_ -= take;
+    if (group.waiting.empty()) {
+      groups_.erase(group.key);
+      ready_.pop_front();
+    } else {
+      ready_.splice(ready_.end(), ready_, ready_.begin());
+      work_cv_.notify_one();
+    }
+    return batch;
+  }
+
+  /// Stops admission and wakes every blocked consumer; already-admitted
+  /// tickets keep draining through pop_batch. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    work_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_;
+  }
+  [[nodiscard]] std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  /// Per-operator FIFO of waiting tickets; see class comment for why
+  /// groups themselves form a FIFO.
+  struct Group {
+    Key key;
+    std::deque<Ticket> waiting;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::list<Group> ready_;
+  std::unordered_map<Key, typename std::list<Group>::iterator, KeyHash>
+      groups_;
+  std::size_t depth_ = 0;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tlrwse::serve

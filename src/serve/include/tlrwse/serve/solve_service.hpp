@@ -24,20 +24,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "tlrwse/mdd/lsqr.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/serve/admission_queue.hpp"
 #include "tlrwse/serve/metrics.hpp"
 #include "tlrwse/serve/operator_cache.hpp"
 #include "tlrwse/serve/task_executor.hpp"
@@ -128,13 +125,6 @@ class SolveService {
     std::promise<SolveResponse> done;
     std::chrono::steady_clock::time_point admitted;
   };
-  /// Per-operator FIFO of waiting tickets; groups themselves form a FIFO
-  /// that workers round-robin over, so one hot operator cannot starve the
-  /// others and every batch shares a single cache resolution.
-  struct Group {
-    OperatorKey key;
-    std::deque<Ticket> waiting;
-  };
 
   void worker_loop();
   /// Blocks for work; empty result means the service is shutting down.
@@ -176,14 +166,10 @@ class SolveService {
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& solve_hist_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::list<Group> ready_;  // FIFO of operator groups with waiting tickets
-  std::unordered_map<OperatorKey, std::list<Group>::iterator, OperatorKeyHash>
-      groups_;
-  std::size_t depth_ = 0;
-  std::size_t peak_depth_ = 0;
-  bool closed_ = false;
+  // Admission, per-operator grouping and round-robin batching live in the
+  // shared queue (also the cluster frontend's front half).
+  AdmissionQueue<OperatorKey, Ticket, OperatorKeyHash> queue_;
+  std::atomic<bool> shut_down_{false};
 
   // Exact per-request samples (the histograms above are octave-bucketed;
   // LatencySummary wants exact quantiles).

@@ -10,6 +10,7 @@
 
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdc/cancellation.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/obs/tracer.hpp"
 
@@ -65,6 +66,7 @@ SolveService::SolveService(ServiceConfig cfg)
       latency_hist_(registry_.histogram("serve.latency_s")),
       queue_wait_hist_(registry_.histogram("serve.queue_wait_s")),
       solve_hist_(registry_.histogram("serve.solve_s")),
+      queue_(cfg.queue_capacity),
       exec_(std::max(1, cfg.workers)) {
   TLRWSE_REQUIRE(cfg_.workers > 0, "service needs at least one worker");
   TLRWSE_REQUIRE(cfg_.queue_capacity > 0, "queue capacity must be positive");
@@ -108,24 +110,13 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!closed_ && depth_ < cfg_.queue_capacity) {
-      ticket.admitted = Clock::now();
-      auto it = groups_.find(ticket.req.op);
-      if (it == groups_.end()) {
-        ready_.push_back(Group{ticket.req.op, {}});
-        it = groups_.emplace(ticket.req.op, std::prev(ready_.end())).first;
-      }
-      it->second->waiting.push_back(std::move(ticket));
-      ++depth_;
-      peak_depth_ = std::max(peak_depth_, depth_);
-      queue_depth_gauge_.set(static_cast<std::int64_t>(depth_));
-      queue_peak_gauge_.set(static_cast<std::int64_t>(peak_depth_));
-      admitted_.add();
-      work_cv_.notify_one();
-      return future;
-    }
+  ticket.admitted = Clock::now();
+  const auto push = queue_.try_push(ticket.req.op, ticket);
+  if (push.admitted) {
+    queue_depth_gauge_.set(static_cast<std::int64_t>(push.depth));
+    queue_peak_gauge_.set(static_cast<std::int64_t>(push.peak_depth));
+    admitted_.add();
+    return future;
   }
 
   // Backpressure: reject instead of blocking the caller or growing the
@@ -139,28 +130,9 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
 }
 
 std::vector<SolveService::Ticket> SolveService::pop_batch(OperatorKey& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [&] { return closed_ || !ready_.empty(); });
-  if (ready_.empty()) return {};  // closed and drained
-  Group& group = ready_.front();
-  key = group.key;
-  std::vector<Ticket> batch;
-  const std::size_t take = std::min(cfg_.max_batch, group.waiting.size());
-  batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(group.waiting.front()));
-    group.waiting.pop_front();
-  }
-  depth_ -= take;
-  queue_depth_gauge_.set(static_cast<std::int64_t>(depth_));
-  if (group.waiting.empty()) {
-    groups_.erase(group.key);
-    ready_.pop_front();
-  } else {
-    // Round-robin across operators: the remainder goes to the back so one
-    // hot operator cannot starve the others.
-    ready_.splice(ready_.end(), ready_, ready_.begin());
-    work_cv_.notify_one();  // more work remains for another worker
+  std::vector<Ticket> batch = queue_.pop_batch(cfg_.max_batch, key);
+  if (!batch.empty()) {
+    queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.depth()));
   }
   return batch;
 }
@@ -350,15 +322,23 @@ void SolveService::solve_ticket(Ticket& ticket,
     return;
   }
 
+  const Clock::time_point deadline_at =
+      ticket.admitted + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(deadline_s));
+  // The scope lets a deadline hit cancel between per-frequency MVMs
+  // inside one apply, not only between LSQR iterations; LSQR translates
+  // the resulting CancelledError into a clean kAborted partial iterate.
+  mdc::CancelScope cancel_scope(
+      deadline_s > 0.0
+          ? mdc::CancelScope::Hook([deadline_at] {
+              return Clock::now() >= deadline_at;
+            })
+          : mdc::CancelScope::Hook{});
   try {
     if (ticket.req.kind == RequestKind::kAdjoint) {
       r.x = mdd::adjoint_reflectivity(*resident.op, ticket.req.rhs);
     } else {
       mdd::LsqrConfig lsqr = ticket.req.lsqr;
-      const Clock::time_point deadline_at =
-          ticket.admitted +
-          std::chrono::duration_cast<Clock::duration>(
-              std::chrono::duration<double>(deadline_s));
       if (deadline_s > 0.0) {
         // Enforce the deadline *during* the solve too: LSQR polls the hook
         // once per iteration and returns the consistent partial iterate.
@@ -377,6 +357,15 @@ void SolveService::solve_ticket(Ticket& ticket,
         r.status = SolveStatus::kDeadlineExceeded;
       }
     }
+  } catch (const mdc::CancelledError&) {
+    // An adjoint pass has no iterate to return partially; the deadline
+    // hook is the only installed cancel source here.
+    rejected_deadline_.add();
+    r.status = SolveStatus::kDeadlineExceeded;
+    r.x.clear();
+    r.total_s = seconds_between(ticket.admitted, Clock::now());
+    respond(ticket, std::move(r));
+    return;
   } catch (const std::exception& e) {
     failed_.add();
     r.status = SolveStatus::kError;
@@ -410,12 +399,8 @@ void SolveService::record_latency(double total_s, double wait_s,
 }
 
 void SolveService::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) return;
-    closed_ = true;
-  }
-  work_cv_.notify_all();
+  if (shut_down_.exchange(true)) return;
+  queue_.close();
   for (auto& f : worker_futures_) f.get();
   worker_futures_.clear();
   exec_.shutdown();
@@ -434,11 +419,8 @@ ServiceMetrics SolveService::metrics() const {
   m.counters.failed = failed_.value();
   m.counters.batches = batches_.value();
   m.counters.coalesced = coalesced_.value();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    m.counters.queue_depth = depth_;
-    m.counters.queue_peak_depth = peak_depth_;
-  }
+  m.counters.queue_depth = queue_.depth();
+  m.counters.queue_peak_depth = queue_.peak_depth();
   m.cache = cache_.stats();
   {
     std::lock_guard<std::mutex> lock(latency_mu_);

@@ -1,6 +1,7 @@
 // Tests for kernel archives: build, round trip, and operator equivalence
 // (an operator from a reloaded archive gives the same MDD solution).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -16,8 +17,12 @@ namespace {
 
 struct TempFile {
   std::string path;
+  // The pid keeps concurrent ctest shards of this binary (each TEST runs
+  // as its own process) from clobbering each other's fixture files.
   explicit TempFile(const char* name)
-      : path((std::filesystem::temp_directory_path() / name).string()) {}
+      : path((std::filesystem::temp_directory_path() /
+              (std::to_string(::getpid()) + "." + name))
+                 .string()) {}
   ~TempFile() { std::remove(path.c_str()); }
 };
 

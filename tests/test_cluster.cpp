@@ -1,0 +1,780 @@
+// Tests for the distributed serving tier: wire-protocol framing (round
+// trips, truncation, garbage rejection), the shard planner's placement
+// properties, and — over the in-process LocalTransport, which round-trips
+// every frame through the real encode/decode path — the bitwise identity
+// of cluster solves with the single-process operator for dense, TLR, and
+// shared-basis kernels, plus the typed failure semantics (worker death,
+// quotas, deadlines, cancellation).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tlrwse/cluster/frontend.hpp"
+#include "tlrwse/cluster/shard_planner.hpp"
+#include "tlrwse/cluster/transport.hpp"
+#include "tlrwse/cluster/wire.hpp"
+#include "tlrwse/cluster/worker.hpp"
+#include "tlrwse/common/rng.hpp"
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdc/mdc_operator.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/seismic/modeling.hpp"
+
+namespace tlrwse::cluster {
+namespace {
+
+// ---------------------------------------------------------------- wire --
+
+TEST(Wire, FrameRoundTripsEveryMessageType) {
+  LoadShardMsg load;
+  load.shard_id = 7;
+  load.q_begin = 3;
+  load.q_end = 9;
+  load.archive_path = "/tmp/survey.tlra";
+  LoadShardOkMsg load_ok;
+  load_ok.shard_id = 7;
+  load_ok.nt = 128;
+  load_ok.ns = 48;
+  load_ok.nr = 30;
+  load_ok.freq_bins = {4, 5, 6};
+  ApplyMsg apply;
+  apply.request_id = 42;
+  apply.shard_id = 7;
+  apply.adjoint = true;
+  apply.nrhs = 2;
+  apply.deadline_s = 1.5;
+  apply.data = {cf32{1.0f, -2.0f}, cf32{0.25f, 3.5f}};
+  ApplyOkMsg apply_ok;
+  apply_ok.request_id = 42;
+  apply_ok.data = {cf32{-0.5f, 0.125f}};
+  CancelMsg cancel;
+  cancel.request_id = 42;
+  CancelOkMsg cancel_ok;
+  cancel_ok.request_id = 42;
+  cancel_ok.in_flight = true;
+  ErrorMsg error;
+  error.request_id = 42;
+  error.code = WireErrorCode::kDeadlineExceeded;
+  error.message = "too slow";
+
+  const auto round_trip = [](const Frame& f) {
+    const std::vector<std::uint8_t> bytes = encode_frame(f);
+    Frame out;
+    EXPECT_EQ(decode_frame(bytes, out), bytes.size());
+    EXPECT_EQ(out.type, f.type);
+    EXPECT_EQ(out.payload, f.payload);
+    return out;
+  };
+
+  const auto l2 = LoadShardMsg::from_frame(round_trip(load.to_frame()));
+  EXPECT_EQ(l2.shard_id, load.shard_id);
+  EXPECT_EQ(l2.q_begin, load.q_begin);
+  EXPECT_EQ(l2.q_end, load.q_end);
+  EXPECT_EQ(l2.archive_path, load.archive_path);
+
+  const auto lo2 = LoadShardOkMsg::from_frame(round_trip(load_ok.to_frame()));
+  EXPECT_EQ(lo2.nt, load_ok.nt);
+  EXPECT_EQ(lo2.ns, load_ok.ns);
+  EXPECT_EQ(lo2.nr, load_ok.nr);
+  EXPECT_EQ(lo2.freq_bins, load_ok.freq_bins);
+
+  const auto a2 = ApplyMsg::from_frame(round_trip(apply.to_frame()));
+  EXPECT_EQ(a2.request_id, apply.request_id);
+  EXPECT_EQ(a2.shard_id, apply.shard_id);
+  EXPECT_EQ(a2.adjoint, apply.adjoint);
+  EXPECT_EQ(a2.nrhs, apply.nrhs);
+  EXPECT_DOUBLE_EQ(a2.deadline_s, apply.deadline_s);
+  ASSERT_EQ(a2.data.size(), apply.data.size());
+  EXPECT_EQ(std::memcmp(a2.data.data(), apply.data.data(),
+                        apply.data.size() * sizeof(cf32)),
+            0);
+
+  const auto ao2 = ApplyOkMsg::from_frame(round_trip(apply_ok.to_frame()));
+  EXPECT_EQ(ao2.request_id, apply_ok.request_id);
+  ASSERT_EQ(ao2.data.size(), apply_ok.data.size());
+  EXPECT_EQ(std::memcmp(ao2.data.data(), apply_ok.data.data(),
+                        apply_ok.data.size() * sizeof(cf32)),
+            0);
+
+  EXPECT_EQ(CancelMsg::from_frame(round_trip(cancel.to_frame())).request_id,
+            cancel.request_id);
+  const auto co2 = CancelOkMsg::from_frame(round_trip(cancel_ok.to_frame()));
+  EXPECT_EQ(co2.request_id, cancel_ok.request_id);
+  EXPECT_TRUE(co2.in_flight);
+
+  (void)MetricsMsg::from_frame(round_trip(MetricsMsg{}.to_frame()));
+  (void)ShutdownMsg::from_frame(round_trip(ShutdownMsg{}.to_frame()));
+  (void)ShutdownOkMsg::from_frame(round_trip(ShutdownOkMsg{}.to_frame()));
+
+  const auto e2 = ErrorMsg::from_frame(round_trip(error.to_frame()));
+  EXPECT_EQ(e2.request_id, error.request_id);
+  EXPECT_EQ(e2.code, error.code);
+  EXPECT_EQ(e2.message, error.message);
+}
+
+TEST(Wire, MetricsSnapshotRoundTrips) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("a.gauge").add(-7);
+  reg.histogram("a.hist").record(0.5);
+  reg.histogram("a.hist").record(2.0);
+  MetricsOkMsg msg;
+  msg.snapshot = reg.snapshot();
+
+  const auto decoded =
+      MetricsOkMsg::from_frame([&] {
+        const auto bytes = encode_frame(msg.to_frame());
+        Frame f;
+        EXPECT_EQ(decode_frame(bytes, f), bytes.size());
+        return f;
+      }());
+  EXPECT_EQ(decoded.snapshot.counters.at("a.count"), 3u);
+  EXPECT_EQ(decoded.snapshot.gauges.at("a.gauge"), -7);
+  ASSERT_EQ(decoded.snapshot.histograms.size(), 1u);
+  EXPECT_EQ(decoded.snapshot.histograms[0].name, "a.hist");
+  EXPECT_EQ(decoded.snapshot.histograms[0].snap.count, 2u);
+  EXPECT_DOUBLE_EQ(decoded.snapshot.histograms[0].snap.sum, 2.5);
+}
+
+TEST(Wire, TruncatedFramesAskForMoreBytes) {
+  CancelMsg msg;
+  msg.request_id = 9;
+  const std::vector<std::uint8_t> bytes = encode_frame(msg.to_frame());
+  Frame out;
+  // Partial header, then a complete header with partial payload: both are
+  // "need more", not errors.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_EQ(decode_frame(std::span(bytes.data(), n), out), 0u);
+  }
+  EXPECT_EQ(decode_frame(bytes, out), bytes.size());
+}
+
+TEST(Wire, GarbageHeaderIsRejectedTyped) {
+  CancelMsg msg;
+  msg.request_id = 9;
+  std::vector<std::uint8_t> bytes = encode_frame(msg.to_frame());
+  Frame out;
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW((void)decode_frame(bad_magic, out), WireError);
+
+  auto bad_version = bytes;
+  bad_version[4] ^= 0xFF;
+  EXPECT_THROW((void)decode_frame(bad_version, out), WireError);
+
+  // An implausible payload length must be rejected before any allocation,
+  // even though the buffer is far shorter than the claimed length.
+  auto oversized = bytes;
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  std::memcpy(oversized.data() + 8, &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_frame(oversized, out), WireError);
+}
+
+TEST(Wire, TrailingAndMissingBytesAreRejected) {
+  CancelMsg msg;
+  msg.request_id = 9;
+  Frame frame = msg.to_frame();
+  frame.payload.push_back(0);  // trailing junk -> expect_end throws
+  EXPECT_THROW((void)CancelMsg::from_frame(frame), WireError);
+
+  Frame short_frame = msg.to_frame();
+  short_frame.payload.pop_back();  // truncated field -> checked take throws
+  EXPECT_THROW((void)CancelMsg::from_frame(short_frame), WireError);
+
+  // A string length pointing past the end of the payload must not read.
+  LoadShardMsg load;
+  load.shard_id = 1;
+  load.q_begin = 0;
+  load.q_end = 1;
+  load.archive_path = "abcdef";
+  Frame lying = load.to_frame();
+  lying.payload.resize(lying.payload.size() - 3);
+  EXPECT_THROW((void)LoadShardMsg::from_frame(lying), WireError);
+}
+
+TEST(Wire, FromFrameChecksTheType) {
+  CancelMsg msg;
+  msg.request_id = 1;
+  EXPECT_THROW((void)ApplyMsg::from_frame(msg.to_frame()), WireError);
+}
+
+// ------------------------------------------------------------- planner --
+
+TEST(ShardPlanner, ShardsPartitionTheFrequencyRange) {
+  const std::vector<double> weights(14, 100.0);
+  PlannerConfig cfg;
+  cfg.num_workers = 3;
+  const ShardPlan plan = plan_shards(weights, cfg);
+  ASSERT_FALSE(plan.replicated);
+  ASSERT_EQ(plan.shards.size(), 3u);
+  index_t expected_begin = 0;
+  for (const auto& [begin, end] : plan.shards) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);  // non-empty
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, static_cast<index_t>(weights.size()));
+}
+
+TEST(ShardPlanner, UniformWeightsBalanceWithinOneFrequency) {
+  const std::vector<double> weights(16, 50.0);
+  PlannerConfig cfg;
+  cfg.num_workers = 4;
+  const ShardPlan plan = plan_shards(weights, cfg);
+  for (const auto& [begin, end] : plan.shards) {
+    EXPECT_GE(end - begin, 3);
+    EXPECT_LE(end - begin, 5);
+  }
+}
+
+TEST(ShardPlanner, MoreWorkersThanFrequenciesCapsTheShardCount) {
+  const std::vector<double> weights(3, 10.0);
+  PlannerConfig cfg;
+  cfg.num_workers = 8;
+  const ShardPlan plan = plan_shards(weights, cfg);
+  EXPECT_EQ(plan.shards.size(), 3u);
+}
+
+TEST(ShardPlanner, SmallOperatorsReplicate) {
+  const std::vector<double> weights(8, 10.0);
+  PlannerConfig cfg;
+  cfg.num_workers = 4;
+  cfg.replicate_max_bytes = 1000.0;  // total 80 <= 1000 -> replicate
+  EXPECT_TRUE(plan_shards(weights, cfg).replicated);
+  cfg.replicate_max_bytes = 50.0;  // too big to replicate -> shard
+  EXPECT_FALSE(plan_shards(weights, cfg).replicated);
+}
+
+// ----------------------------------------------------------- transport --
+
+TEST(LocalChannel, RoundTripsThroughTheRealBytePath) {
+  // The handler sees exactly the frame the encode/decode path produces, so
+  // LocalTransport tests certify the same bytes a socket would carry.
+  LocalChannel chan([](const Frame& f) {
+    const CancelMsg msg = CancelMsg::from_frame(f);
+    CancelOkMsg ok;
+    ok.request_id = msg.request_id + 1;
+    ok.in_flight = false;
+    return ok.to_frame();
+  });
+  CancelMsg msg;
+  msg.request_id = 41;
+  const auto reply = CancelOkMsg::from_frame(chan.call(msg.to_frame()));
+  EXPECT_EQ(reply.request_id, 42u);
+}
+
+TEST(LocalChannel, KillFailsCallsTyped) {
+  LocalChannel chan([](const Frame& f) { return f; });
+  chan.kill();
+  CancelMsg msg;
+  msg.request_id = 1;
+  try {
+    (void)chan.call(msg.to_frame());
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kClosed);
+  }
+}
+
+// -------------------------------------------------------------- worker --
+
+TEST(ShardWorker, UnknownShardAndBadPayloadAreTypedErrors) {
+  ShardWorker worker;
+  ApplyMsg apply;
+  apply.request_id = 5;
+  apply.shard_id = 99;
+  apply.nrhs = 1;
+  const auto err = ErrorMsg::from_frame(worker.handle(apply.to_frame()));
+  EXPECT_EQ(err.code, WireErrorCode::kUnknownShard);
+  EXPECT_EQ(err.request_id, 5u);
+
+  Frame bogus;
+  bogus.type = 999;
+  const auto err2 = ErrorMsg::from_frame(worker.handle(bogus));
+  EXPECT_EQ(err2.code, WireErrorCode::kBadRequest);
+}
+
+TEST(ShardWorker, MissingArchiveLoadIsTyped) {
+  ShardWorker worker;
+  LoadShardMsg load;
+  load.shard_id = 1;
+  load.q_begin = 0;
+  load.q_end = 1;
+  load.archive_path = "/nonexistent/archive.tlra";
+  const auto err = ErrorMsg::from_frame(worker.handle(load.to_frame()));
+  EXPECT_EQ(err.code, WireErrorCode::kArchiveMissing);
+}
+
+// ------------------------------------------------------- dense parity --
+
+/// Random dense kernels for a tiny operator; the same matrices feed both
+/// the local MdcOperator and the workers, so a remote apply must be
+/// bitwise identical to the local one.
+std::vector<la::MatrixCF> dense_kernels(index_t nq, index_t ns, index_t nr) {
+  Rng rng(7);
+  std::vector<la::MatrixCF> out;
+  for (index_t q = 0; q < nq; ++q) {
+    la::MatrixCF K(ns, nr);
+    fill_normal(rng, K.data(), static_cast<std::size_t>(ns * nr));
+    out.push_back(std::move(K));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<mdc::FrequencyMvm>> dense_mvms(
+    const std::vector<la::MatrixCF>& mats, std::size_t begin,
+    std::size_t end) {
+  std::vector<std::unique_ptr<mdc::FrequencyMvm>> out;
+  for (std::size_t q = begin; q < end; ++q) {
+    out.push_back(std::make_unique<mdc::DenseMvm>(mats[q]));
+  }
+  return out;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+TEST(RemoteMdcOperator, DenseShardedApplyMatchesLocalBitwise) {
+  const index_t nt = 32, ns = 6, nr = 5, nq = 4;
+  const std::vector<index_t> bins = {1, 2, 3, 4};
+  const auto mats = dense_kernels(nq, ns, nr);
+
+  mdc::MdcOperator local(nt, bins, dense_mvms(mats, 0, 4));
+
+  // Two workers, two frequencies each, shards injected directly (dense
+  // kernels have no archive format).
+  auto w0 = std::make_unique<ShardWorker>();
+  auto w1 = std::make_unique<ShardWorker>();
+  w0->add_shard(1, nt, ns, nr, {bins[0], bins[1]}, dense_mvms(mats, 0, 2));
+  w1->add_shard(2, nt, ns, nr, {bins[2], bins[3]}, dense_mvms(mats, 2, 4));
+
+  std::vector<std::unique_ptr<WorkerClient>> fleet;
+  ShardWorker* raw0 = w0.get();
+  ShardWorker* raw1 = w1.get();
+  fleet.push_back(std::make_unique<WorkerClient>(
+      std::make_unique<LocalChannel>(
+          [raw0](const Frame& f) { return raw0->handle(f); }),
+      "w0"));
+  fleet.push_back(std::make_unique<WorkerClient>(
+      std::make_unique<LocalChannel>(
+          [raw1](const Frame& f) { return raw1->handle(f); }),
+      "w1"));
+
+  auto placement = std::make_shared<Placement>();
+  placement->nt = nt;
+  placement->ns = ns;
+  placement->nr = nr;
+  ShardAssignment s0;
+  s0.shard_id = 1;
+  s0.q_begin = 0;
+  s0.q_end = 2;
+  s0.freq_bins = {bins[0], bins[1]};
+  s0.workers = {0};
+  ShardAssignment s1;
+  s1.shard_id = 2;
+  s1.q_begin = 2;
+  s1.q_end = 4;
+  s1.freq_bins = {bins[2], bins[3]};
+  s1.workers = {1};
+  placement->shards = {s0, s1};
+
+  RemoteMdcOperator remote(fleet, placement, /*request_id=*/7);
+  ASSERT_EQ(remote.rows(), local.rows());
+  ASSERT_EQ(remote.cols(), local.cols());
+
+  Rng rng(11);
+  std::vector<float> x(static_cast<std::size_t>(local.cols()));
+  fill_normal(rng, x.data(), x.size());
+  std::vector<float> y_local(static_cast<std::size_t>(local.rows()));
+  std::vector<float> y_remote(y_local.size());
+  local.apply(x, y_local);
+  remote.apply(x, y_remote);
+  EXPECT_TRUE(bitwise_equal(y_local, y_remote));
+
+  std::vector<float> x_local(x.size()), x_remote(x.size());
+  local.apply_adjoint(y_local, x_local);
+  remote.apply_adjoint(y_local, x_remote);
+  EXPECT_TRUE(bitwise_equal(x_local, x_remote));
+
+  // Batched forms: each RHS column bitwise equal to the local batch.
+  const index_t nrhs = 3;
+  std::vector<float> X(x.size() * static_cast<std::size_t>(nrhs));
+  fill_normal(rng, X.data(), X.size());
+  std::vector<float> Y_local(y_local.size() * static_cast<std::size_t>(nrhs));
+  std::vector<float> Y_remote(Y_local.size());
+  local.apply_batch(X, Y_local, nrhs);
+  remote.apply_batch(X, Y_remote, nrhs);
+  EXPECT_EQ(std::memcmp(Y_local.data(), Y_remote.data(),
+                        Y_local.size() * sizeof(float)),
+            0);
+}
+
+// --------------------------------------------------- cluster fixtures --
+
+struct TempFile {
+  std::string path;
+  // The pid keeps concurrent ctest shards of this binary (each TEST runs
+  // as its own process) from clobbering each other's fixture files.
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() /
+              (std::to_string(::getpid()) + "." + name))
+                 .string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+const seismic::SeismicDataset& dataset() {
+  static const seismic::SeismicDataset data = [] {
+    seismic::DatasetConfig cfg;
+    cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+    cfg.nt = 128;
+    cfg.f_min = 4.0;
+    cfg.f_max = 40.0;
+    return seismic::build_dataset(cfg);
+  }();
+  return data;
+}
+
+/// One per-frequency ("TLRA") archive on disk, built once.
+const std::string& tlr_archive_path() {
+  static const TempFile file("tlrwse_cluster_test.tlra");
+  static const bool built = [] {
+    tlr::CompressionConfig cc;
+    cc.nb = 12;
+    cc.acc = 1e-4;
+    io::save_archive(file.path, io::build_archive(dataset(), cc));
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
+/// One shared-basis ("TLRS") archive on disk, built once.
+const std::string& shared_archive_path() {
+  static const TempFile file("tlrwse_cluster_test.tlrs");
+  static const bool built = [] {
+    tlr::SharedBasisConfig sc;
+    sc.nb = 12;
+    sc.acc = 1e-4;
+    io::save_shared_archive(file.path,
+                            io::build_shared_archive(dataset(), sc, 4));
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
+/// An in-process fleet: each WorkerClient speaks to its own ShardWorker
+/// over a LocalChannel. The raw channel pointers stay valid for kill().
+struct LocalFleet {
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<LocalChannel*> channels;
+  std::vector<std::unique_ptr<WorkerClient>> clients;
+};
+
+LocalFleet make_fleet(int n) {
+  LocalFleet fleet;
+  for (int i = 0; i < n; ++i) {
+    fleet.workers.push_back(std::make_unique<ShardWorker>());
+    ShardWorker* worker = fleet.workers.back().get();
+    auto chan = std::make_unique<LocalChannel>(
+        [worker](const Frame& f) { return worker->handle(f); });
+    fleet.channels.push_back(chan.get());
+    fleet.clients.push_back(std::make_unique<WorkerClient>(
+        std::move(chan), "w" + std::to_string(i)));
+  }
+  return fleet;
+}
+
+ClusterRequest make_request(const std::string& archive,
+                            serve::RequestKind kind, index_t vsrc,
+                            int iters) {
+  ClusterRequest req;
+  req.op = serve::OperatorKey{archive, 12, 1e-4};
+  req.kind = kind;
+  req.vsrc = vsrc;
+  req.rhs = mdd::virtual_source_rhs(dataset(), vsrc);
+  req.lsqr.max_iters = iters;
+  return req;
+}
+
+std::vector<float> reference_solve(const std::string& archive,
+                                   serve::RequestKind kind, index_t vsrc,
+                                   int iters) {
+  const bool shared = io::peek_archive(archive).shared_basis;
+  const auto op = shared
+                      ? io::make_operator(io::load_shared_archive(archive))
+                      : io::make_operator(io::load_archive(archive));
+  const auto rhs = mdd::virtual_source_rhs(dataset(), vsrc);
+  if (kind == serve::RequestKind::kAdjoint) {
+    return mdd::adjoint_reflectivity(*op, rhs);
+  }
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = iters;
+  return mdd::solve_mdd(*op, rhs, lsqr).x;
+}
+
+// ------------------------------------------------------ cluster solve --
+
+TEST(ClusterService, TlrShardedSolveMatchesSingleProcessBitwise) {
+  auto fleet = make_fleet(3);
+  ClusterConfig cfg;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = tlr_archive_path();
+  auto lsqr = service.submit(
+      make_request(path, serve::RequestKind::kLsqr, 2, 6));
+  auto adj = service.submit(
+      make_request(path, serve::RequestKind::kAdjoint, 3, 6));
+
+  const auto r1 = lsqr.response.get();
+  const auto r2 = adj.response.get();
+  ASSERT_EQ(r1.status, ClusterStatus::kOk) << r1.error;
+  ASSERT_EQ(r2.status, ClusterStatus::kOk) << r2.error;
+  EXPECT_TRUE(bitwise_equal(
+      r1.x, reference_solve(path, serve::RequestKind::kLsqr, 2, 6)));
+  EXPECT_TRUE(bitwise_equal(
+      r2.x, reference_solve(path, serve::RequestKind::kAdjoint, 3, 6)));
+  EXPECT_EQ(service.live_workers(), 3u);
+}
+
+TEST(ClusterService, SharedBasisShardedSolveMatchesSingleProcessBitwise) {
+  auto fleet = make_fleet(3);
+  ClusterConfig cfg;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = shared_archive_path();
+  auto lsqr = service.submit(
+      make_request(path, serve::RequestKind::kLsqr, 2, 6));
+  auto adj = service.submit(
+      make_request(path, serve::RequestKind::kAdjoint, 1, 6));
+  const auto r1 = lsqr.response.get();
+  const auto r2 = adj.response.get();
+  ASSERT_EQ(r1.status, ClusterStatus::kOk) << r1.error;
+  ASSERT_EQ(r2.status, ClusterStatus::kOk) << r2.error;
+  EXPECT_TRUE(bitwise_equal(
+      r1.x, reference_solve(path, serve::RequestKind::kLsqr, 2, 6)));
+  EXPECT_TRUE(bitwise_equal(
+      r2.x, reference_solve(path, serve::RequestKind::kAdjoint, 1, 6)));
+}
+
+TEST(ClusterService, ReplicatedSolveMatchesAndSurvivesReplicaDeath) {
+  auto fleet = make_fleet(3);
+  ClusterConfig cfg;
+  cfg.planner.replicate_max_bytes = 1e12;  // everything fits -> replicate
+  std::vector<LocalChannel*> channels = fleet.channels;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = tlr_archive_path();
+  const auto warm = service
+                        .submit(make_request(path, serve::RequestKind::kLsqr,
+                                             2, 6))
+                        .response.get();
+  ASSERT_EQ(warm.status, ClusterStatus::kOk) << warm.error;
+  const auto ref = reference_solve(path, serve::RequestKind::kLsqr, 2, 6);
+  EXPECT_TRUE(bitwise_equal(warm.x, ref));
+
+  // Kill the first replica: the exchange fails over to a survivor and the
+  // solve still completes bitwise identical.
+  channels[0]->kill();
+  const auto after = service
+                         .submit(make_request(path, serve::RequestKind::kLsqr,
+                                              2, 6))
+                         .response.get();
+  ASSERT_EQ(after.status, ClusterStatus::kOk) << after.error;
+  EXPECT_TRUE(bitwise_equal(after.x, ref));
+  EXPECT_EQ(service.live_workers(), 2u);
+}
+
+TEST(ClusterService, ShardedWorkerDeathIsTypedThenReplans) {
+  auto fleet = make_fleet(2);
+  ClusterConfig cfg;
+  std::vector<LocalChannel*> channels = fleet.channels;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = tlr_archive_path();
+  const auto warm = service
+                        .submit(make_request(path, serve::RequestKind::kLsqr,
+                                             2, 6))
+                        .response.get();
+  ASSERT_EQ(warm.status, ClusterStatus::kOk) << warm.error;
+
+  // A sharded placement has one replica per shard: killing a worker makes
+  // the next solve fail typed (never hang)...
+  channels[1]->kill();
+  const auto failed = service
+                          .submit(make_request(path,
+                                               serve::RequestKind::kLsqr, 2,
+                                               6))
+                          .response.get();
+  EXPECT_EQ(failed.status, ClusterStatus::kWorkerFailed);
+  EXPECT_TRUE(failed.x.empty());
+
+  // ...and the failure drops the cached placement, so the request after
+  // that replans onto the survivor and succeeds bitwise.
+  const auto replanned = service
+                             .submit(make_request(
+                                 path, serve::RequestKind::kLsqr, 2, 6))
+                             .response.get();
+  ASSERT_EQ(replanned.status, ClusterStatus::kOk) << replanned.error;
+  EXPECT_TRUE(bitwise_equal(
+      replanned.x, reference_solve(path, serve::RequestKind::kLsqr, 2, 6)));
+}
+
+TEST(ClusterService, CoalescedAdjointsMatchSingleProcessBitwise) {
+  auto fleet = make_fleet(2);
+  ClusterConfig cfg;
+  cfg.max_batch = 4;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = tlr_archive_path();
+  std::vector<SubmittedRequest> handles;
+  for (index_t v = 0; v < 3; ++v) {
+    handles.push_back(service.submit(
+        make_request(path, serve::RequestKind::kAdjoint, v, 6)));
+  }
+  for (index_t v = 0; v < 3; ++v) {
+    auto resp = handles[static_cast<std::size_t>(v)].response.get();
+    ASSERT_EQ(resp.status, ClusterStatus::kOk) << resp.error;
+    EXPECT_TRUE(bitwise_equal(
+        resp.x,
+        reference_solve(path, serve::RequestKind::kAdjoint, v, 6)));
+  }
+}
+
+TEST(ClusterService, MissingArchiveIsTyped) {
+  auto fleet = make_fleet(2);
+  ClusterService service(ClusterConfig{}, std::move(fleet.clients));
+  auto resp = service
+                  .submit(ClusterRequest{
+                      serve::OperatorKey{"/nonexistent/archive.tlra", 0, 0.0},
+                      serve::RequestKind::kAdjoint,
+                      "",
+                      0,
+                      std::vector<float>(16, 0.0f),
+                      {},
+                      0.0})
+                  .response.get();
+  EXPECT_EQ(resp.status, ClusterStatus::kArchiveMissing);
+}
+
+TEST(ClusterService, TenantQuotaIsTypedAndReleased) {
+  auto fleet = make_fleet(2);
+  ClusterConfig cfg;
+  cfg.frontend_workers = 1;
+  cfg.tenant_quota = 1;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = tlr_archive_path();
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+
+  auto blocked = make_request(path, serve::RequestKind::kLsqr, 2, 50);
+  blocked.tenant = "acme";
+  // Holds the solve in-flight (quota charged) until the gate opens.
+  blocked.lsqr.should_stop = [gate] {
+    gate.wait();
+    return true;
+  };
+  auto first = service.submit(std::move(blocked));
+
+  auto second = make_request(path, serve::RequestKind::kLsqr, 3, 6);
+  second.tenant = "acme";
+  const auto rejected = service.submit(std::move(second)).response.get();
+  EXPECT_EQ(rejected.status, ClusterStatus::kQuotaExceeded);
+
+  release.set_value();
+  const auto done = first.response.get();
+  EXPECT_EQ(done.status, ClusterStatus::kOk) << done.error;
+
+  // Quota released on completion: the same tenant is admitted again.
+  auto third = make_request(path, serve::RequestKind::kLsqr, 3, 6);
+  third.tenant = "acme";
+  EXPECT_EQ(service.submit(std::move(third)).response.get().status,
+            ClusterStatus::kOk);
+}
+
+TEST(ClusterService, ExpiredDeadlineIsTyped) {
+  auto fleet = make_fleet(2);
+  ClusterService service(ClusterConfig{}, std::move(fleet.clients));
+  auto req = make_request(tlr_archive_path(), serve::RequestKind::kLsqr, 2,
+                          6);
+  req.deadline_s = 1e-9;  // expired before the solver can dequeue it
+  EXPECT_EQ(service.submit(std::move(req)).response.get().status,
+            ClusterStatus::kDeadlineExceeded);
+}
+
+TEST(ClusterService, CancelledRequestIsTyped) {
+  auto fleet = make_fleet(2);
+  ClusterConfig cfg;
+  cfg.frontend_workers = 1;
+  cfg.max_batch = 1;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = tlr_archive_path();
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = make_request(path, serve::RequestKind::kLsqr, 2, 50);
+  blocker.lsqr.should_stop = [gate] {
+    gate.wait();
+    return true;
+  };
+  auto first = service.submit(std::move(blocker));
+
+  // The victim sits behind the blocked solve; the cancel lands while it is
+  // still queued, so it rejects at dequeue without touching a worker.
+  auto victim = service.submit(
+      make_request(path, serve::RequestKind::kLsqr, 3, 6));
+  service.cancel(victim.request_id);
+  release.set_value();
+  EXPECT_EQ(victim.response.get().status, ClusterStatus::kCancelled);
+  EXPECT_EQ(first.response.get().status, ClusterStatus::kOk);
+}
+
+TEST(ClusterService, MergedSnapshotCoversFrontendAndWorkers) {
+  auto fleet = make_fleet(2);
+  ClusterService service(ClusterConfig{}, std::move(fleet.clients));
+  const auto resp =
+      service
+          .submit(make_request(tlr_archive_path(),
+                               serve::RequestKind::kAdjoint, 2, 6))
+          .response.get();
+  ASSERT_EQ(resp.status, ClusterStatus::kOk) << resp.error;
+
+  const auto snap = service.cluster_snapshot();
+  EXPECT_GE(snap.counters.at("cluster.completed"), 1u);
+  EXPECT_GE(snap.counters.at("worker.applies"), 1u);
+  EXPECT_GE(snap.counters.at("worker.shards_loaded"), 2u);
+  EXPECT_GT(snap.gauges.at("worker.frequencies_resident"), 0);
+}
+
+TEST(ClusterService, ShutdownAsksWorkersToExit) {
+  auto fleet = make_fleet(2);
+  std::vector<ShardWorker*> workers;
+  for (auto& w : fleet.workers) workers.push_back(w.get());
+  {
+    ClusterService service(ClusterConfig{}, std::move(fleet.clients));
+    const auto resp =
+        service
+            .submit(make_request(tlr_archive_path(),
+                                 serve::RequestKind::kAdjoint, 2, 6))
+            .response.get();
+    ASSERT_EQ(resp.status, ClusterStatus::kOk) << resp.error;
+    service.shutdown();
+  }
+  for (ShardWorker* w : workers) EXPECT_TRUE(w->shutdown_requested());
+}
+
+}  // namespace
+}  // namespace tlrwse::cluster

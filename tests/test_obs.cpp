@@ -5,6 +5,7 @@
 // bitwise parity between the legacy ServiceMetrics snapshot and the
 // registry that now backs it.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdint>
@@ -506,8 +507,12 @@ namespace fx {
 
 struct TempFile {
   std::string path;
+  // The pid keeps concurrent ctest shards of this binary (each TEST runs
+  // as its own process) from clobbering each other's fixture files.
   explicit TempFile(const char* name)
-      : path((std::filesystem::temp_directory_path() / name).string()) {}
+      : path((std::filesystem::temp_directory_path() /
+              (std::to_string(::getpid()) + "." + name))
+                 .string()) {}
   ~TempFile() { std::remove(path.c_str()); }
 };
 

@@ -2,6 +2,7 @@
 // dedup, concurrency), task executor, and the solve service end to end —
 // including the bitwise-vs-sequential guarantee and typed backpressure.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -213,8 +214,12 @@ TEST(TaskExecutor, SubmitAfterShutdownThrows) {
 
 struct TempFile {
   std::string path;
+  // The pid keeps concurrent ctest shards of this binary (each TEST runs
+  // as its own process) from clobbering each other's fixture files.
   explicit TempFile(const char* name)
-      : path((std::filesystem::temp_directory_path() / name).string()) {}
+      : path((std::filesystem::temp_directory_path() /
+              (std::to_string(::getpid()) + "." + name))
+                 .string()) {}
   ~TempFile() { std::remove(path.c_str()); }
 };
 

@@ -64,6 +64,14 @@ METRICS = {
         "higher_better": ("storage_ratio", "throughput_ratio"),
         "lower_better": ("max_rel_err",),
     },
+    # Gated on the worker-scaling ratio, not raw requests/s: the ratio
+    # cancels the runner's absolute clock, and the hard >=2.5x 1->4 bar
+    # (on machines with >=4 cores) is enforced by --check, not here.
+    "cluster_throughput": {
+        "key": ("workers",),
+        "higher_better": ("speedup_vs_1",),
+        "lower_better": (),
+    },
 }
 
 

@@ -40,6 +40,17 @@ SCHEMAS = {
             "queue_wait_p95_s",
         },
     ),
+    "cluster_throughput": (
+        {"bench", "nt", "num_freq", "ns", "nr", "clients", "mode"},
+        {
+            "workers",
+            "completed",
+            "failed",
+            "wall_s",
+            "requests_per_sec",
+            "speedup_vs_1",
+        },
+    ),
     "obs_overhead": (
         {"bench", "nt", "num_freq", "ns", "nr", "reps", "trials"},
         {

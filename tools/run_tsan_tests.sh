@@ -37,7 +37,7 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   fi
 fi
 
-TESTS=(test_mdc_parallel test_tlr_mvm test_shared_basis test_serve test_obs test_common)
+TESTS=(test_mdc_parallel test_tlr_mvm test_shared_basis test_serve test_cluster test_obs test_common)
 
 cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

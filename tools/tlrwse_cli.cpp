@@ -26,6 +26,21 @@
 //                       [geometry flags as for synth]   (end-to-end demo:
 //                       archive -> serve -> solve, captured as a
 //                       chrome://tracing file plus a metrics JSON dump)
+//   tlrwse_cli cluster  --archive survey.tlra [--workers 3] [--requests 6]
+//                       [--iters 8] [--mode lsqr|adjoint] [--kill-worker 0]
+//                       [--verify 1] [--replicate-mb 0] [geometry flags as
+//                       for solve]   (multi-process smoke: forks real
+//                       worker processes behind unix sockets, solves
+//                       through the cluster frontend, verifies bitwise vs
+//                       the single-process solve; --kill-worker 1 SIGKILLs
+//                       one worker mid-run and asserts typed degradation)
+//
+// `serve` installs SIGINT/SIGTERM handlers: on the first signal admission
+// stops (clients submit nothing new), in-flight requests drain, and the
+// metrics/trace outputs are still flushed before exit.
+//
+// There is also a hidden `cluster-worker --socket PATH` subcommand: the
+// worker half of `cluster`, exec'd by the driver — not for interactive use.
 //
 // Every command also accepts --trace-out FILE: the whole run is recorded
 // with the scoped-span tracer and dumped as chrome://tracing JSON (load it
@@ -33,9 +48,13 @@
 // TLRWSE_TRACING=ON (the default).
 //
 // Exit code 0 on success, 1 on usage error, 2 on runtime failure.
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -46,6 +65,9 @@
 #include <thread>
 #include <vector>
 
+#include "tlrwse/cluster/frontend.hpp"
+#include "tlrwse/cluster/transport.hpp"
+#include "tlrwse/cluster/worker.hpp"
 #include "tlrwse/common/rng.hpp"
 #include "tlrwse/common/timer.hpp"
 #include "tlrwse/common/units.hpp"
@@ -374,6 +396,13 @@ int cmd_solve(const Args& args) {
   return 0;
 }
 
+/// Set by the first SIGINT/SIGTERM during `serve`: client threads stop
+/// submitting (admission stops), in-flight requests finish, and the run
+/// exits through the normal path so metrics/trace files still flush.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void drain_signal_handler(int) { g_drain_requested = 1; }
+
 int cmd_serve(const Args& args) {
   TLRWSE_TRACE_SPAN("cli.serve", "cli");
   const std::string path = args.get("archive", "");
@@ -433,6 +462,17 @@ int cmd_serve(const Args& args) {
               cfg.queue_capacity);
   std::vector<serve::SolveResponse> responses(
       static_cast<std::size_t>(total));
+  std::vector<char> submitted(static_cast<std::size_t>(total), 0);
+  // Graceful drain: the first SIGINT/SIGTERM stops admission (clients
+  // submit nothing new), every in-flight request runs to completion, and
+  // the metrics/trace dumps below still happen.
+  g_drain_requested = 0;
+  struct sigaction drain_action = {};
+  drain_action.sa_handler = drain_signal_handler;
+  struct sigaction prev_int = {};
+  struct sigaction prev_term = {};
+  ::sigaction(SIGINT, &drain_action, &prev_int);
+  ::sigaction(SIGTERM, &drain_action, &prev_term);
   WallTimer wall;
   {
     serve::SolveService service(cfg);
@@ -441,6 +481,7 @@ int cmd_serve(const Args& args) {
     for (int c = 0; c < clients; ++c) {
       pool.emplace_back([&, c] {
         for (int r = 0; r < requests; ++r) {
+          if (g_drain_requested != 0) break;  // admission stopped
           const int j = c * requests + r;
           const auto v = static_cast<std::size_t>(j) % rhs.size();
           serve::SolveRequest req;
@@ -450,6 +491,7 @@ int cmd_serve(const Args& args) {
           req.rhs = rhs[v];
           req.lsqr.max_iters = iters;
           req.deadline_s = deadline_s;
+          submitted[static_cast<std::size_t>(j)] = 1;
           // Closed loop: each client waits for its response before the
           // next submission.
           responses[static_cast<std::size_t>(j)] =
@@ -458,15 +500,25 @@ int cmd_serve(const Args& args) {
       });
     }
     for (auto& t : pool) t.join();
+    ::sigaction(SIGINT, &prev_int, nullptr);
+    ::sigaction(SIGTERM, &prev_term, nullptr);
+    const bool drained = g_drain_requested != 0;
+    int n_submitted = 0;
+    for (const char s : submitted) n_submitted += s;
+    if (drained) {
+      std::printf("drain: signal received; %d of %d requests submitted, "
+                  "in-flight work completed\n",
+                  n_submitted, total);
+    }
     const double elapsed = wall.seconds();
 
     const auto m = service.metrics();
     std::printf("%s\n", m.to_json().c_str());
-    std::printf("served %llu ok / %d total in %.2fs (%.1f req/s); "
+    std::printf("served %llu ok / %d submitted in %.2fs (%.1f req/s); "
                 "rejected: %llu queue-full, %llu deadline, %llu missing; "
                 "cache: %llu loads, %.0f%% hit rate\n",
-                static_cast<unsigned long long>(m.counters.completed), total,
-                elapsed,
+                static_cast<unsigned long long>(m.counters.completed),
+                n_submitted, elapsed,
                 static_cast<double>(m.counters.completed) / elapsed,
                 static_cast<unsigned long long>(m.counters.rejected_queue_full),
                 static_cast<unsigned long long>(m.counters.rejected_deadline),
@@ -502,6 +554,8 @@ int cmd_serve(const Args& args) {
       std::map<std::pair<std::size_t, int>, std::vector<float>> reference;
       int mismatched = 0, errored = 0;
       for (int j = 0; j < total; ++j) {
+        // A drain leaves later slots unsubmitted; only check real replies.
+        if (submitted[static_cast<std::size_t>(j)] == 0) continue;
         const auto& resp = responses[static_cast<std::size_t>(j)];
         if (resp.status == serve::SolveStatus::kError) {
           std::fprintf(stderr, "request %d failed: %s\n", j,
@@ -547,6 +601,258 @@ int cmd_serve(const Args& args) {
     }
   }
   return 0;
+}
+
+/// Hidden worker half of `cluster`: serve one unix socket with a
+/// ShardWorker until a kShutdown frame arrives. Exec'd by the driver via
+/// /proc/self/exe — fork alone is not safe once OpenMP regions have run.
+int cmd_cluster_worker(const Args& args) {
+  const std::string sock = args.get("socket", "");
+  if (sock.empty()) {
+    std::fprintf(stderr, "cluster-worker: --socket is required\n");
+    return 1;
+  }
+  cluster::ShardWorker worker;
+  const auto server = cluster::SocketServer::listen_unix(
+      sock, [&worker](const cluster::Frame& f) { return worker.handle(f); });
+  while (!worker.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Grace period so the ShutdownOk reply flushes before the server stops.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server->stop();
+  std::error_code ec;
+  std::filesystem::remove(sock, ec);
+  return 0;
+}
+
+/// Multi-process cluster smoke driver: forks real worker processes behind
+/// unix sockets, routes solves through the ClusterService front door, and
+/// verifies every completed solve bitwise against the single-process
+/// operator. With --kill-worker 1 it SIGKILLs one worker mid-run and
+/// asserts typed degradation: responses are kOk (replanned onto the
+/// survivors) or kWorkerFailed — never a hang, never an untyped error.
+int cmd_cluster(const Args& args) {
+  TLRWSE_TRACE_SPAN("cli.cluster", "cli");
+  namespace fs = std::filesystem;
+  // Consume every flag up front so early-exit paths don't misreport
+  // recognised flags as typos.
+  const std::string path = args.get("archive", "");
+  const int workers = static_cast<int>(args.integer("workers", 3));
+  const int requests = static_cast<int>(args.integer("requests", 6));
+  const int iters = static_cast<int>(args.integer("iters", 8));
+  const std::string mode = args.get("mode", "lsqr");
+  const bool kill_worker = args.integer("kill-worker", 0) != 0;
+  const bool verify = args.integer("verify", 1) != 0;
+  const double replicate_mb = args.num("replicate-mb", 0.0);
+  const auto dcfg = dataset_config(args);
+  if (path.empty()) {
+    std::fprintf(stderr, "cluster: --archive is required\n");
+    return 1;
+  }
+  if (workers < 1 || requests < 1) {
+    std::fprintf(stderr, "cluster: --workers/--requests must be >= 1\n");
+    return 1;
+  }
+  if (mode != "lsqr" && mode != "adjoint") {
+    std::fprintf(stderr, "cluster: --mode must be lsqr|adjoint\n");
+    return 1;
+  }
+
+  const auto info = io::peek_archive(path);
+  const auto data = seismic::build_dataset(dcfg);
+  TLRWSE_REQUIRE(info.nt == data.config.nt,
+                 "archive nt does not match the survey geometry flags");
+  const index_t nr = data.num_receivers();
+
+  // One process per worker. fork is immediately followed by exec, so the
+  // children never touch this process's OpenMP/thread state.
+  std::vector<pid_t> pids;
+  std::vector<std::string> sockets;
+  auto kill_all = [&pids] {
+    for (const pid_t pid : pids) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  };
+  for (int w = 0; w < workers; ++w) {
+    const std::string sock =
+        (fs::temp_directory_path() /
+         ("tlrwse_cluster_" + std::to_string(::getpid()) + "_" +
+          std::to_string(w) + ".sock"))
+            .string();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "cluster: fork failed\n");
+      kill_all();
+      return 2;
+    }
+    if (pid == 0) {
+      ::execl("/proc/self/exe", "tlrwse_cli", "cluster-worker", "--socket",
+              sock.c_str(), static_cast<char*>(nullptr));
+      std::_Exit(127);  // exec failed; no cleanup in the child
+    }
+    pids.push_back(pid);
+    sockets.push_back(sock);
+  }
+
+  std::vector<std::unique_ptr<cluster::WorkerClient>> fleet;
+  for (int w = 0; w < workers; ++w) {
+    std::unique_ptr<cluster::SocketChannel> chan;
+    for (int attempt = 0; attempt < 400 && !chan; ++attempt) {
+      try {
+        chan = cluster::SocketChannel::connect_unix(
+            sockets[static_cast<std::size_t>(w)], /*timeout_ms=*/60000);
+      } catch (const cluster::TransportError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    if (!chan) {
+      std::fprintf(stderr, "cluster: worker %d never came up\n", w);
+      kill_all();
+      return 2;
+    }
+    fleet.push_back(std::make_unique<cluster::WorkerClient>(
+        std::move(chan), "worker" + std::to_string(w)));
+  }
+  std::printf("cluster: %d worker processes up (%s placement)\n", workers,
+              replicate_mb > 0.0 ? "replicated-if-small" : "sharded");
+
+  cluster::ClusterConfig ccfg;
+  ccfg.planner.replicate_max_bytes = replicate_mb * 1024.0 * 1024.0;
+  int rc = 0;
+  int killed_index = -1;
+  std::vector<cluster::ClusterResponse> responses;
+  {
+    cluster::ClusterService service(ccfg, std::move(fleet));
+    const serve::OperatorKey key{path, 0, 0.0};
+    auto make_req = [&](int j) {
+      cluster::ClusterRequest req;
+      req.op = key;
+      req.kind = mode == "adjoint" ? serve::RequestKind::kAdjoint
+                                   : serve::RequestKind::kLsqr;
+      req.vsrc = static_cast<index_t>(j) % nr;
+      req.rhs = mdd::virtual_source_rhs(data, req.vsrc);
+      req.lsqr.max_iters = iters;
+      return req;
+    };
+
+    // First request runs alone so a --kill-worker run kills a fleet with
+    // a warm placement: mid-service, not mid-load.
+    responses.push_back(service.submit(make_req(0)).response.get());
+    if (kill_worker) {
+      killed_index = workers - 1;
+      const pid_t victim = pids[static_cast<std::size_t>(killed_index)];
+      ::kill(victim, SIGKILL);
+      int status = 0;
+      ::waitpid(victim, &status, 0);
+      std::printf("cluster: killed worker %d (pid %ld) mid-run\n",
+                  killed_index, static_cast<long>(victim));
+    }
+    std::vector<cluster::SubmittedRequest> handles;
+    for (int j = 1; j < requests; ++j) {
+      handles.push_back(service.submit(make_req(j)));
+    }
+    for (auto& h : handles) responses.push_back(h.response.get());
+
+    if (kill_worker) {
+      // The kWorkerFailed solves above dropped the cached placement; this
+      // request must replan onto the survivors and succeed.
+      auto recovered = service.submit(make_req(requests)).response.get();
+      std::printf("cluster: post-kill replan request -> %s\n",
+                  cluster::to_string(recovered.status));
+      if (recovered.status != cluster::ClusterStatus::kOk) rc = 2;
+      responses.push_back(std::move(recovered));
+    }
+
+    std::printf("%s\n", service.cluster_snapshot().to_json().c_str());
+    service.shutdown();
+  }
+
+  int ok = 0, failed_typed = 0, other = 0;
+  for (const auto& r : responses) {
+    if (r.status == cluster::ClusterStatus::kOk) {
+      ++ok;
+    } else if (r.status == cluster::ClusterStatus::kWorkerFailed) {
+      ++failed_typed;
+    } else {
+      ++other;
+      std::fprintf(stderr, "cluster: request %llu -> %s: %s\n",
+                   static_cast<unsigned long long>(r.request_id),
+                   cluster::to_string(r.status), r.error.c_str());
+    }
+  }
+  std::printf("cluster: %d ok, %d worker-failed, %d other of %zu requests\n",
+              ok, failed_typed, other, responses.size());
+  // Typed degradation contract: every response resolved (no hang by
+  // construction of the futures above), none with an untyped status, and
+  // the fleet kept serving — even a kill leaves the replanned survivors
+  // answering later requests.
+  if (other > 0 || ok == 0) rc = 2;
+  if (!kill_worker && failed_typed > 0) rc = 2;
+
+  if (verify && rc == 0) {
+    // Single-process reference on a fresh operator: distributed solves
+    // must be bitwise identical per virtual source.
+    const auto op = info.shared_basis
+                        ? io::make_operator(io::load_shared_archive(path))
+                        : io::make_operator(io::load_archive(path));
+    std::map<index_t, std::vector<float>> reference;
+    int mismatched = 0;
+    for (const auto& r : responses) {
+      if (r.status != cluster::ClusterStatus::kOk) continue;
+      auto it = reference.find(r.vsrc);
+      if (it == reference.end()) {
+        const auto rhs_v = mdd::virtual_source_rhs(data, r.vsrc);
+        std::vector<float> ref;
+        if (mode == "adjoint") {
+          ref = mdd::adjoint_reflectivity(*op, rhs_v);
+        } else {
+          mdd::LsqrConfig lsqr;
+          lsqr.max_iters = iters;
+          ref = mdd::solve_mdd(*op, rhs_v, lsqr).x;
+        }
+        it = reference.emplace(r.vsrc, std::move(ref)).first;
+      }
+      const auto& ref = it->second;
+      if (r.x.size() != ref.size() ||
+          std::memcmp(r.x.data(), ref.data(),
+                      ref.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "cluster: vsrc %lld differs from the single-process "
+                     "solve\n",
+                     static_cast<long long>(r.vsrc));
+        ++mismatched;
+      }
+    }
+    std::printf("verify: %d mismatches across %d completed solves\n",
+                mismatched, ok);
+    if (mismatched > 0) rc = 2;
+  }
+
+  // shutdown() asked the surviving workers to exit; reap them, escalating
+  // to SIGKILL if one lingers.
+  for (std::size_t w = 0; w < pids.size(); ++w) {
+    if (static_cast<int>(w) == killed_index) continue;  // already reaped
+    int status = 0;
+    pid_t reaped = 0;
+    for (int spin = 0; spin < 200 && reaped == 0; ++spin) {
+      reaped = ::waitpid(pids[w], &status, WNOHANG);
+      if (reaped == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    if (reaped == 0) {
+      ::kill(pids[w], SIGKILL);
+      ::waitpid(pids[w], &status, 0);
+    }
+  }
+  for (const auto& sock : sockets) {
+    std::error_code ec;
+    fs::remove(sock, ec);
+  }
+  return rc;
 }
 
 /// End-to-end observability demo: model a small survey, archive it, drive
@@ -628,7 +934,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: tlrwse_cli "
                "<synth|compress|info|mvm|simulate|mdd|archive|solve|serve|"
-               "trace> [--flag value ...] [--trace-out trace.json]\n"
+               "cluster|trace> [--flag value ...] [--trace-out trace.json]\n"
                "see the header of tools/tlrwse_cli.cpp for the flag list\n");
 }
 
@@ -667,6 +973,8 @@ int main(int argc, char** argv) {
     else if (cmd == "archive") rc = cmd_archive(args);
     else if (cmd == "solve") rc = cmd_solve(args);
     else if (cmd == "serve") rc = cmd_serve(args);
+    else if (cmd == "cluster") rc = cmd_cluster(args);
+    else if (cmd == "cluster-worker") rc = cmd_cluster_worker(args);
     else if (cmd == "trace") rc = cmd_trace(args);
     if (rc == -1) {
       usage();
