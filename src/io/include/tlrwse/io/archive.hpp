@@ -93,6 +93,19 @@ void save_shared_archive(const std::string& path,
                          const SharedKernelArchive& archive);
 [[nodiscard]] SharedKernelArchive load_shared_archive(const std::string& path);
 
+/// Byte extent of one archive granule — a frequency kernel in a "TLRA"
+/// container, a whole band in a "TLRS" one — measured during a single
+/// header peek. `offset`/`bytes` frame the granule in the file (where an
+/// extent-seeking slice load jumps to); `payload_bytes` is the factor/core
+/// payload, the residency currency of cache admission and stream planning.
+struct ShardExtent {
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+  double payload_bytes = 0.0;
+  index_t first_freq = 0;  // global index of the granule's first frequency
+  index_t num_freqs = 0;   // frequencies covered (1 per TLRA kernel)
+};
+
 /// Band metadata of an archive, readable without touching the kernel
 /// payload. The serving layer validates requests against this at admission
 /// (a few hundred bytes of header) instead of paying a full kernel load
@@ -102,21 +115,37 @@ struct ArchiveInfo {
   double dt = 0.0;
   std::vector<index_t> freq_bins;
   std::vector<double> freqs_hz;
-  /// Shared-basis ("TLRS") archives only: format flag, number of bands,
-  /// and the payload size in bytes — the byte count OperatorCache charges
-  /// for residency, known before any kernel data is read. Per-frequency
-  /// ("TLRA") archives keep the defaults.
+  /// Shared-basis ("TLRS") archives only: format flag and number of bands.
+  /// Per-frequency ("TLRA") archives keep the defaults.
   bool shared_basis = false;
   index_t num_bands = 0;
+  /// Compressed payload bytes. "TLRS" headers carry it up front so the
+  /// plain peek fills it; for "TLRA" it is known only after an extents
+  /// peek (0.0 until then).
   double payload_bytes = 0.0;
+  /// Filled by peek_archive_extents only (the plain peek stops at the
+  /// band-metadata header): kernel dimensions, the per-granule byte
+  /// extents, and the per-frequency payload weights (shared-basis bands
+  /// amortise their basis bytes evenly over their frequencies).
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<ShardExtent> extents;
+  std::vector<double> freq_payload_bytes;
   [[nodiscard]] index_t num_freqs() const {
     return static_cast<index_t>(freq_bins.size());
   }
+  [[nodiscard]] bool has_extents() const { return !extents.empty(); }
 };
 
 /// Reads only the header of `path` (either container format). Throws like
 /// load_archive on a missing file, bad magic, or unsupported version.
 [[nodiscard]] ArchiveInfo peek_archive(const std::string& path);
+
+/// One-pass peek that also walks the kernel headers (payloads are seeked
+/// past, never read) and records each granule's byte extent. This is the
+/// single directory read shared by the stream planner and the
+/// extent-seeking slice loads below — neither re-scans headers.
+[[nodiscard]] ArchiveInfo peek_archive_extents(const std::string& path);
 
 /// Loads only frequencies [q_begin, q_end) of an archive, seeking past the
 /// payload of every other kernel — what a cluster worker owning one
@@ -134,10 +163,23 @@ struct ArchiveInfo {
 [[nodiscard]] SharedKernelArchive load_shared_archive_slice(
     const std::string& path, index_t q_begin, index_t q_end);
 
+/// Extent-seeking slice loads: same results as the two-argument forms but
+/// seek straight to the granule offsets recorded in `info` instead of
+/// re-reading every preceding kernel header — what the out-of-core
+/// prefetcher calls once per shard, per sweep. `info` must come from
+/// peek_archive_extents on the same (unmodified) file.
+[[nodiscard]] KernelArchive load_archive_slice(const std::string& path,
+                                               index_t q_begin, index_t q_end,
+                                               const ArchiveInfo& info);
+[[nodiscard]] SharedKernelArchive load_shared_archive_slice(
+    const std::string& path, index_t q_begin, index_t q_end,
+    const ArchiveInfo& info);
+
 /// Per-frequency compressed payload bytes, computed from headers and rank
 /// tables alone (payloads are seeked past, never read) — the shard
 /// planner's placement weights. Shared-basis archives amortise each band's
-/// basis bytes evenly over its frequencies.
+/// basis bytes evenly over its frequencies. Equivalent to
+/// peek_archive_extents(path).freq_payload_bytes.
 [[nodiscard]] std::vector<double> archive_kernel_bytes(
     const std::string& path);
 

@@ -252,9 +252,12 @@ void save_archive(const std::string& path, const KernelArchive& archive) {
   if (!app) throw std::runtime_error("tlrwse::io: write failed: " + path);
 }
 
-ArchiveInfo peek_archive(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
+namespace {
+
+/// Parses the band-metadata header of either container format, leaving the
+/// stream positioned at the first kernel/band. Shared by peek_archive and
+/// the extents scan.
+ArchiveInfo peek_header(std::istream& is, const std::string& path) {
   const std::uint32_t magic = read_u32(is);
   if (magic != kArchiveMagic && magic != kSharedMagic) {
     throw std::runtime_error("tlrwse::io: bad archive magic in " + path);
@@ -285,12 +288,113 @@ ArchiveInfo peek_archive(const std::string& path) {
   return info;
 }
 
+}  // namespace
+
+ArchiveInfo peek_archive(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
+  return peek_header(is, path);
+}
+
+ArchiveInfo peek_archive_extents(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
+  ArchiveInfo info = peek_header(is, path);
+  const index_t nf = info.num_freqs();
+  info.freq_payload_bytes.assign(static_cast<std::size_t>(nf), 0.0);
+  if (!info.shared_basis) {
+    info.extents.reserve(static_cast<std::size_t>(nf));
+    double total = 0.0;
+    for (index_t q = 0; q < nf; ++q) {
+      const auto offset = static_cast<std::int64_t>(is.tellg());
+      const TlrKernelHeader h = read_tlr_kernel_header(is, path);
+      if (q == 0) {
+        info.rows = h.grid.rows();
+        info.cols = h.grid.cols();
+      }
+      const double payload = tlr_factor_bytes(h);
+      skip_tlr_tiles(is, h);
+      ShardExtent e;
+      e.offset = offset;
+      e.bytes = static_cast<std::int64_t>(is.tellg()) - offset;
+      e.payload_bytes = payload;
+      e.first_freq = q;
+      e.num_freqs = 1;
+      info.extents.push_back(e);
+      info.freq_payload_bytes[static_cast<std::size_t>(q)] = payload;
+      total += payload;
+    }
+    info.payload_bytes = total;
+    return info;
+  }
+  info.extents.reserve(static_cast<std::size_t>(info.num_bands));
+  index_t band_start = 0;
+  for (index_t bi = 0; bi < info.num_bands; ++bi) {
+    const auto offset = static_cast<std::int64_t>(is.tellg());
+    if (read_u32(is) != kBandMagic) {
+      throw std::runtime_error("tlrwse::io: bad band magic in " + path);
+    }
+    const index_t rows = read_i64(is);
+    const index_t cols = read_i64(is);
+    const index_t nb = read_i64(is);
+    (void)read_f64(is);  // acc
+    const index_t band_nf = read_i64(is);
+    if (!is) throw std::runtime_error("tlrwse::io: truncated shared archive");
+    TLRWSE_REQUIRE(band_nf >= 0 && band_start + band_nf <= nf,
+                   "corrupt shared archive band");
+    TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
+                   "corrupt shared archive band: dims out of range");
+    if (bi == 0) {
+      info.rows = rows;
+      info.cols = cols;
+    }
+    const tlr::TileGrid g(rows, cols, nb);
+    const auto ntiles = static_cast<std::size_t>(g.num_tiles());
+    double basis_bytes = 0.0;
+    for (std::size_t t = 0; t < 2 * ntiles; ++t) basis_bytes += skip_mat(is);
+    // Bases are shared by the whole band; amortise them evenly so the
+    // per-frequency weights sum to the real resident cost.
+    const double basis_share =
+        band_nf > 0 ? basis_bytes / static_cast<double>(band_nf) : 0.0;
+    double band_payload = basis_bytes;
+    for (index_t f = 0; f < band_nf; ++f) {
+      double core_bytes = 0.0;
+      for (std::size_t t = 0; t < ntiles; ++t) {
+        const bool factored = read_u32(is) != 0;
+        (void)read_i64(is);
+        if (!is) {
+          throw std::runtime_error("tlrwse::io: truncated shared archive");
+        }
+        core_bytes += skip_mat(is);
+        if (factored) core_bytes += skip_mat(is);
+      }
+      info.freq_payload_bytes[static_cast<std::size_t>(band_start + f)] =
+          core_bytes + basis_share;
+      band_payload += core_bytes;
+    }
+    ShardExtent e;
+    e.offset = offset;
+    e.bytes = static_cast<std::int64_t>(is.tellg()) - offset;
+    e.payload_bytes = band_payload;
+    e.first_freq = band_start;
+    e.num_freqs = band_nf;
+    info.extents.push_back(e);
+    band_start += band_nf;
+  }
+  TLRWSE_REQUIRE(band_start == nf,
+                 "corrupt shared archive: band frequency counts do not "
+                 "cover the header frequency list");
+  return info;
+}
+
 namespace {
 
 /// Shared body of load_archive / load_archive_slice: q_end < 0 means the
-/// whole archive.
+/// whole archive. A non-null `info` (from peek_archive_extents on the same
+/// file) lets the slice seek straight to the first kept kernel instead of
+/// walking every preceding header.
 KernelArchive load_archive_range(const std::string& path, index_t q_begin,
-                                 index_t q_end) {
+                                 index_t q_end, const ArchiveInfo* info) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
   if (read_u32(is) != kArchiveMagic) {
@@ -318,6 +422,20 @@ KernelArchive load_archive_range(const std::string& path, index_t q_begin,
   archive.freq_bins.assign(bins.begin() + q_begin, bins.begin() + q_end);
   archive.freqs_hz.assign(hz.begin() + q_begin, hz.begin() + q_end);
   archive.kernels.reserve(static_cast<std::size_t>(q_end - q_begin));
+  if (info != nullptr && info->has_extents()) {
+    TLRWSE_REQUIRE(static_cast<index_t>(info->extents.size()) == nf,
+                   "archive extents do not match file: ", info->extents.size(),
+                   " granules for ", nf, " frequencies");
+    if (q_begin < q_end) {
+      is.seekg(info->extents[static_cast<std::size_t>(q_begin)].offset);
+      if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+      for (index_t q = q_begin; q < q_end; ++q) {
+        const TlrKernelHeader h = read_tlr_kernel_header(is, path);
+        archive.kernels.push_back(read_tlr_tiles(is, h));
+      }
+    }
+    return archive;
+  }
   for (index_t q = 0; q < q_end; ++q) {
     const TlrKernelHeader h = read_tlr_kernel_header(is, path);
     if (q < q_begin) {
@@ -332,13 +450,21 @@ KernelArchive load_archive_range(const std::string& path, index_t q_begin,
 }  // namespace
 
 KernelArchive load_archive(const std::string& path) {
-  return load_archive_range(path, 0, -1);
+  return load_archive_range(path, 0, -1, nullptr);
 }
 
 KernelArchive load_archive_slice(const std::string& path, index_t q_begin,
                                  index_t q_end) {
   TLRWSE_REQUIRE(q_end >= 0, "archive slice end must be non-negative");
-  return load_archive_range(path, q_begin, q_end);
+  return load_archive_range(path, q_begin, q_end, nullptr);
+}
+
+KernelArchive load_archive_slice(const std::string& path, index_t q_begin,
+                                 index_t q_end, const ArchiveInfo& info) {
+  TLRWSE_REQUIRE(q_end >= 0, "archive slice end must be non-negative");
+  TLRWSE_REQUIRE(info.has_extents() && !info.shared_basis,
+                 "extent-seeking slice needs a TLRA extents peek");
+  return load_archive_range(path, q_begin, q_end, &info);
 }
 
 std::vector<std::unique_ptr<mdc::FrequencyMvm>> make_kernels(
@@ -359,82 +485,7 @@ std::unique_ptr<mdc::MdcOperator> make_operator(const KernelArchive& archive,
 }
 
 std::vector<double> archive_kernel_bytes(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
-  const std::uint32_t magic = read_u32(is);
-  if (magic != kArchiveMagic && magic != kSharedMagic) {
-    throw std::runtime_error("tlrwse::io: bad archive magic in " + path);
-  }
-  if (read_u32(is) != kFormatVersion) {
-    throw std::runtime_error("tlrwse::io: unsupported archive version");
-  }
-  (void)read_i64(is);  // nt
-  (void)read_f64(is);  // dt
-  const index_t nf = read_i64(is);
-  TLRWSE_REQUIRE(nf >= 0, "corrupt archive");
-  for (index_t q = 0; q < nf; ++q) {
-    (void)read_i64(is);
-    (void)read_f64(is);
-  }
-  if (!is) throw std::runtime_error("tlrwse::io: truncated archive header");
-  std::vector<double> bytes(static_cast<std::size_t>(nf), 0.0);
-  if (magic == kArchiveMagic) {
-    for (index_t q = 0; q < nf; ++q) {
-      const TlrKernelHeader h = read_tlr_kernel_header(is, path);
-      bytes[static_cast<std::size_t>(q)] = tlr_factor_bytes(h);
-      skip_tlr_tiles(is, h);
-    }
-    return bytes;
-  }
-  (void)read_f64(is);  // payload_bytes
-  const index_t num_bands = read_i64(is);
-  if (!is) {
-    throw std::runtime_error("tlrwse::io: truncated shared archive header");
-  }
-  TLRWSE_REQUIRE(num_bands >= 0, "corrupt shared archive");
-  index_t band_start = 0;
-  for (index_t bi = 0; bi < num_bands; ++bi) {
-    if (read_u32(is) != kBandMagic) {
-      throw std::runtime_error("tlrwse::io: bad band magic in " + path);
-    }
-    const index_t rows = read_i64(is);
-    const index_t cols = read_i64(is);
-    const index_t nb = read_i64(is);
-    (void)read_f64(is);  // acc
-    const index_t band_nf = read_i64(is);
-    if (!is) throw std::runtime_error("tlrwse::io: truncated shared archive");
-    TLRWSE_REQUIRE(band_nf >= 0 && band_start + band_nf <= nf,
-                   "corrupt shared archive band");
-    TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
-                   "corrupt shared archive band: dims out of range");
-    const tlr::TileGrid g(rows, cols, nb);
-    const auto ntiles = static_cast<std::size_t>(g.num_tiles());
-    double basis_bytes = 0.0;
-    for (std::size_t t = 0; t < 2 * ntiles; ++t) basis_bytes += skip_mat(is);
-    // Bases are shared by the whole band; amortise them evenly so the
-    // planner's weights sum to the real resident cost.
-    const double basis_share =
-        band_nf > 0 ? basis_bytes / static_cast<double>(band_nf) : 0.0;
-    for (index_t f = 0; f < band_nf; ++f) {
-      double core_bytes = 0.0;
-      for (std::size_t t = 0; t < ntiles; ++t) {
-        const bool factored = read_u32(is) != 0;
-        (void)read_i64(is);
-        if (!is) {
-          throw std::runtime_error("tlrwse::io: truncated shared archive");
-        }
-        core_bytes += skip_mat(is);
-        if (factored) core_bytes += skip_mat(is);
-      }
-      bytes[static_cast<std::size_t>(band_start + f)] =
-          core_bytes + basis_share;
-    }
-    band_start += band_nf;
-  }
-  TLRWSE_REQUIRE(band_start == nf,
-                 "corrupt shared archive: band frequency counts do not "
-                 "cover the header frequency list");
-  return bytes;
+  return peek_archive_extents(path).freq_payload_bytes;
 }
 
 namespace {
@@ -578,10 +629,12 @@ void skip_core_mats(std::istream& is, bool factored) {
 /// Shared body of load_shared_archive / load_shared_archive_slice:
 /// q_end < 0 means the whole archive. Bands with no frequency in
 /// [q_begin, q_end) are seeked past; overlapping bands keep their bases
-/// and only the overlapping cores.
+/// and only the overlapping cores. A non-null `info` (an extents peek of
+/// the same file) turns each non-overlapping band into a single absolute
+/// seek — no header parsing, no per-core skip walk.
 SharedKernelArchive load_shared_archive_range(const std::string& path,
-                                              index_t q_begin,
-                                              index_t q_end) {
+                                              index_t q_begin, index_t q_end,
+                                              const ArchiveInfo* info) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tlrwse::io: cannot read " + path);
   if (read_u32(is) != kSharedMagic) {
@@ -614,8 +667,35 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
     throw std::runtime_error("tlrwse::io: truncated shared archive header");
   }
   TLRWSE_REQUIRE(num_bands >= 0, "corrupt shared archive");
+  const bool seek_extents = info != nullptr && info->has_extents();
+  if (seek_extents) {
+    TLRWSE_REQUIRE(static_cast<index_t>(info->extents.size()) == num_bands,
+                   "archive extents do not match file: ",
+                   info->extents.size(), " granules for ", num_bands,
+                   " bands");
+  }
   index_t band_start = 0;  // global index of this band's first frequency
   for (index_t bi = 0; bi < num_bands; ++bi) {
+    if (seek_extents) {
+      const ShardExtent& e = info->extents[static_cast<std::size_t>(bi)];
+      TLRWSE_REQUIRE(e.first_freq == band_start,
+                     "archive extents do not match file: band ", bi,
+                     " starts at frequency ", e.first_freq, ", expected ",
+                     band_start);
+      if (e.first_freq + e.num_freqs <= q_begin || e.first_freq >= q_end) {
+        // No overlap: one absolute seek past the whole band.
+        is.seekg(e.offset + e.bytes);
+        if (!is) {
+          throw std::runtime_error("tlrwse::io: truncated shared archive");
+        }
+        band_start += e.num_freqs;
+        continue;
+      }
+      is.seekg(e.offset);
+      if (!is) {
+        throw std::runtime_error("tlrwse::io: truncated shared archive");
+      }
+    }
     if (read_u32(is) != kBandMagic) {
       throw std::runtime_error("tlrwse::io: bad band magic in " + path);
     }
@@ -717,14 +797,23 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
 }  // namespace
 
 SharedKernelArchive load_shared_archive(const std::string& path) {
-  return load_shared_archive_range(path, 0, -1);
+  return load_shared_archive_range(path, 0, -1, nullptr);
 }
 
 SharedKernelArchive load_shared_archive_slice(const std::string& path,
                                               index_t q_begin,
                                               index_t q_end) {
   TLRWSE_REQUIRE(q_end >= 0, "archive slice end must be non-negative");
-  return load_shared_archive_range(path, q_begin, q_end);
+  return load_shared_archive_range(path, q_begin, q_end, nullptr);
+}
+
+SharedKernelArchive load_shared_archive_slice(const std::string& path,
+                                              index_t q_begin, index_t q_end,
+                                              const ArchiveInfo& info) {
+  TLRWSE_REQUIRE(q_end >= 0, "archive slice end must be non-negative");
+  TLRWSE_REQUIRE(info.has_extents() && info.shared_basis,
+                 "extent-seeking slice needs a TLRS extents peek");
+  return load_shared_archive_range(path, q_begin, q_end, &info);
 }
 
 std::vector<std::unique_ptr<mdc::FrequencyMvm>> make_kernels(

@@ -1,0 +1,100 @@
+// Shard-granular kernel delivery for MdcOperator.
+//
+// A fully-resident operator owns every FrequencyMvm for its lifetime; an
+// out-of-core operator cannot. KernelStream is the seam between the two:
+// each apply sweeps the shards [0, num_shards) in ascending order,
+// acquiring a shard's kernels right before its frequencies run (the
+// shard-ready wait of a prefetching stream) and releasing them right after
+// (the stream's cue to evict behind and prefetch ahead). The resident case
+// is the degenerate one-shard stream below, which keeps the hot path
+// identical to a pre-streaming operator: one acquire, one OpenMP region,
+// one release — and the per-frequency arithmetic never depends on the
+// sharding, so streamed results are bitwise equal to resident ones.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tlrwse/mdc/frequency_mvm.hpp"
+
+namespace tlrwse::mdc {
+
+class KernelStream {
+ public:
+  virtual ~KernelStream() = default;
+
+  [[nodiscard]] virtual index_t rows() const = 0;  // sources
+  [[nodiscard]] virtual index_t cols() const = 0;  // receivers
+  [[nodiscard]] virtual index_t num_freqs() const = 0;
+  [[nodiscard]] virtual index_t num_shards() const = 0;
+  /// Frequencies [first, second) of shard s. Shards must partition
+  /// [0, num_freqs) in ascending order (MdcOperator validates this once
+  /// at construction).
+  [[nodiscard]] virtual std::pair<index_t, index_t> shard_range(
+      index_t s) const = 0;
+
+  /// Brackets one full ascending sweep (one apply). A stream may use this
+  /// to serialise overlapping sweeps from concurrent applies; end_sweep is
+  /// called exactly once per begin_sweep, exceptions included.
+  virtual void begin_sweep() = 0;
+  virtual void end_sweep() noexcept = 0;
+
+  /// Blocks until shard s is resident (the shard-ready wait) and pins it.
+  /// The returned span holds the shard's kernels indexed by
+  /// q - shard_range(s).first and stays valid until release_shard(s).
+  /// Throws a stream-defined typed error when the shard cannot be
+  /// delivered, or CancelledError when the calling scope's deadline fires
+  /// first — never returns partial data.
+  [[nodiscard]] virtual std::span<FrequencyMvm* const> acquire_shard(
+      index_t s) = 0;
+  /// Unpins shard s, allowing eviction.
+  virtual void release_shard(index_t s) noexcept = 0;
+};
+
+/// The degenerate resident stream: owns all kernels and exposes them as
+/// one always-ready shard.
+class ResidentKernelStream final : public KernelStream {
+ public:
+  explicit ResidentKernelStream(
+      std::vector<std::unique_ptr<FrequencyMvm>> kernels)
+      : kernels_(std::move(kernels)) {
+    raw_.reserve(kernels_.size());
+    for (const auto& k : kernels_) raw_.push_back(k.get());
+  }
+
+  [[nodiscard]] index_t rows() const override {
+    return kernels_.empty() ? 0 : kernels_.front()->rows();
+  }
+  [[nodiscard]] index_t cols() const override {
+    return kernels_.empty() ? 0 : kernels_.front()->cols();
+  }
+  [[nodiscard]] index_t num_freqs() const override {
+    return static_cast<index_t>(kernels_.size());
+  }
+  [[nodiscard]] index_t num_shards() const override { return 1; }
+  [[nodiscard]] std::pair<index_t, index_t> shard_range(
+      index_t) const override {
+    return {0, num_freqs()};
+  }
+  void begin_sweep() override {}
+  void end_sweep() noexcept override {}
+  [[nodiscard]] std::span<FrequencyMvm* const> acquire_shard(
+      index_t) override {
+    return raw_;
+  }
+  void release_shard(index_t) noexcept override {}
+
+  /// Direct access for callers that validate per-kernel dimensions.
+  [[nodiscard]] const std::vector<std::unique_ptr<FrequencyMvm>>& kernels()
+      const noexcept {
+    return kernels_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<FrequencyMvm>> kernels_;
+  std::vector<FrequencyMvm*> raw_;
+};
+
+}  // namespace tlrwse::mdc

@@ -22,6 +22,7 @@
 #include "tlrwse/common/workspace_pool.hpp"
 #include "tlrwse/fft/fft.hpp"
 #include "tlrwse/mdc/frequency_mvm.hpp"
+#include "tlrwse/mdc/kernel_stream.hpp"
 #include "tlrwse/mdc/linear_operator.hpp"
 
 namespace tlrwse::mdc {
@@ -31,18 +32,27 @@ class MdcOperator final : public LinearOperator {
   /// `freq_bins[q]` is the rFFT bin index of kernel q; bins must be
   /// distinct (each kernel owns its bin — also what makes the frequency
   /// loop race-free) and lie strictly between DC and Nyquist. All kernels
-  /// must share dimensions.
+  /// must share dimensions. Wraps the kernels in a one-shard resident
+  /// stream, so the frequency loop runs as a single OpenMP region exactly
+  /// as before streams existed.
   MdcOperator(index_t nt, std::vector<index_t> freq_bins,
               std::vector<std::unique_ptr<FrequencyMvm>> kernels);
+
+  /// Streamed form: kernels arrive shard by shard from `stream` (e.g. an
+  /// out-of-core prefetcher). Given the same kernels, results are bitwise
+  /// identical to the resident constructor's — each frequency's arithmetic
+  /// and rFFT bin never depend on the sharding; only residency timing
+  /// differs. The cancel hook of the calling scope is additionally checked
+  /// between shards, before each (possibly blocking) acquire.
+  MdcOperator(index_t nt, std::vector<index_t> freq_bins,
+              std::shared_ptr<KernelStream> stream);
 
   [[nodiscard]] index_t rows() const override { return nt_ * ns_; }
   [[nodiscard]] index_t cols() const override { return nt_ * nr_; }
   [[nodiscard]] index_t nt() const noexcept { return nt_; }
   [[nodiscard]] index_t num_sources() const noexcept { return ns_; }
   [[nodiscard]] index_t num_receivers() const noexcept { return nr_; }
-  [[nodiscard]] index_t num_freqs() const noexcept {
-    return static_cast<index_t>(kernels_.size());
-  }
+  [[nodiscard]] index_t num_freqs() const noexcept { return nq_; }
 
   void apply(std::span<const float> x, std::span<float> y) const override;
   void apply_adjoint(std::span<const float> y,
@@ -85,12 +95,23 @@ class MdcOperator final : public LinearOperator {
     fft::BatchWorkspace fft;
   };
 
+  /// The kernel loop shared by the four apply forms: one ascending sweep
+  /// over the stream's shards, each shard an OpenMP region over its
+  /// frequencies with `per_freq(q, kernel, scratch)` doing the
+  /// direction-specific gather/MVM/scatter. Polls the calling scope's
+  /// cancel hook between MVMs and between shards; throws CancelledError
+  /// on cancellation and rethrows the stream's typed error on a failed
+  /// acquire. Defined in the .cpp (only apply* instantiates it).
+  template <typename PerFreq>
+  void kernel_sweep(PageScratch& ps, const PerFreq& per_freq) const;
+
   index_t nt_ = 0;
   index_t ns_ = 0;  // kernel rows (sources)
   index_t nr_ = 0;  // kernel cols (receivers)
+  index_t nq_ = 0;  // retained frequencies
   int inner_threads_ = 0;  // 0 = OpenMP runtime default team size
   std::vector<index_t> freq_bins_;
-  std::vector<std::unique_ptr<FrequencyMvm>> kernels_;
+  std::shared_ptr<KernelStream> stream_;
   fft::FftPlan plan_;  // time-axis plan, shared by every apply
   WorkspacePool<FreqScratch> freq_scratch_;
   WorkspacePool<PageScratch> page_scratch_;

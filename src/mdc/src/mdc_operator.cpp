@@ -52,24 +52,60 @@ struct ApplyMetrics {
     return m;
   }
 };
+
+/// Validates and wraps resident kernels into the degenerate one-shard
+/// stream behind the classic constructor.
+std::shared_ptr<KernelStream> make_resident_stream(
+    std::vector<std::unique_ptr<FrequencyMvm>> kernels) {
+  TLRWSE_REQUIRE(!kernels.empty(), "need at least one frequency kernel");
+  auto stream = std::make_shared<ResidentKernelStream>(std::move(kernels));
+  const auto& ks = stream->kernels();
+  const index_t ns = ks.front()->rows();
+  const index_t nr = ks.front()->cols();
+  for (std::size_t q = 0; q < ks.size(); ++q) {
+    TLRWSE_REQUIRE(ks[q] != nullptr, "null kernel at frequency ", q);
+    TLRWSE_REQUIRE(ks[q]->rows() == ns && ks[q]->cols() == nr,
+                   "kernel dimension mismatch at frequency ", q);
+  }
+  return stream;
+}
 }  // namespace
 
 MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
                          std::vector<std::unique_ptr<FrequencyMvm>> kernels)
+    : MdcOperator(nt, std::move(freq_bins),
+                  make_resident_stream(std::move(kernels))) {}
+
+MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
+                         std::shared_ptr<KernelStream> stream)
     : nt_(nt),
       freq_bins_(std::move(freq_bins)),
-      kernels_(std::move(kernels)),
+      stream_(std::move(stream)),
       plan_(nt >= 1 ? nt : 1) {
   TLRWSE_REQUIRE(nt_ >= 4, "nt too small");
-  TLRWSE_REQUIRE(!kernels_.empty(), "need at least one frequency kernel");
-  TLRWSE_REQUIRE(freq_bins_.size() == kernels_.size(),
+  TLRWSE_REQUIRE(stream_ != nullptr, "null kernel stream");
+  nq_ = stream_->num_freqs();
+  TLRWSE_REQUIRE(nq_ >= 1, "need at least one frequency kernel");
+  TLRWSE_REQUIRE(static_cast<index_t>(freq_bins_.size()) == nq_,
                  "bins/kernels count mismatch");
-  ns_ = kernels_.front()->rows();
-  nr_ = kernels_.front()->cols();
-  for (std::size_t q = 0; q < kernels_.size(); ++q) {
-    TLRWSE_REQUIRE(kernels_[q]->rows() == ns_ && kernels_[q]->cols() == nr_,
-                   "kernel dimension mismatch at frequency ", q);
-    const index_t bin = freq_bins_[q];
+  ns_ = stream_->rows();
+  nr_ = stream_->cols();
+  TLRWSE_REQUIRE(ns_ > 0 && nr_ > 0, "kernel stream with empty dimensions");
+  const index_t nshards = stream_->num_shards();
+  TLRWSE_REQUIRE(nshards >= 1, "kernel stream with no shards");
+  index_t expect = 0;
+  for (index_t s = 0; s < nshards; ++s) {
+    const auto [b, e] = stream_->shard_range(s);
+    TLRWSE_REQUIRE(b == expect && e > b,
+                   "kernel stream shards must partition the frequency "
+                   "range in ascending order (shard ",
+                   s, " covers [", b, ", ", e, "))");
+    expect = e;
+  }
+  TLRWSE_REQUIRE(expect == nq_, "kernel stream shards do not cover all ", nq_,
+                 " frequencies");
+  for (index_t q = 0; q < nq_; ++q) {
+    const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
     TLRWSE_REQUIRE(bin > 0 && bin < nt_ / 2,
                    "frequency bin must exclude DC and Nyquist, got ", bin);
   }
@@ -80,6 +116,54 @@ MdcOperator::MdcOperator(index_t nt, std::vector<index_t> freq_bins,
                  "frequency bins must be distinct");
 }
 
+template <typename PerFreq>
+void MdcOperator::kernel_sweep([[maybe_unused]] PageScratch& ps,
+                               const PerFreq& per_freq) const {
+  [[maybe_unused]] const int team = freq_team_size(inner_threads_);
+  // Captured once: the hook lives on the calling thread, but every team
+  // member polls it between MVMs so a deadline hit stops the whole batch.
+  const CancelScope::Hook* const cancel = CancelScope::current();
+  std::atomic<bool> cancelled{false};
+  KernelStream& stream = *stream_;
+  const index_t nshards = stream.num_shards();
+  stream.begin_sweep();
+  // end_sweep must run exactly once even when an acquire throws (stream
+  // failure or deadline during a stall).
+  struct SweepGuard {
+    KernelStream& s;
+    ~SweepGuard() { s.end_sweep(); }
+  } guard{stream};
+  for (index_t sh = 0; sh < nshards; ++sh) {
+    // should_stop between shards: a deadline that fired during the last
+    // shard is honoured before the next (possibly blocking) acquire.
+    if (cancel != nullptr && (*cancel)()) throw CancelledError();
+    const auto [q_begin, q_end] = stream.shard_range(sh);
+    const std::span<FrequencyMvm* const> kernels = stream.acquire_shard(sh);
+    TLRWSE_TSAN_RELEASE(&ps);
+#pragma omp parallel num_threads(team)
+    {
+      TLRWSE_TSAN_ACQUIRE(&ps);
+#pragma omp for schedule(static)
+      for (index_t q = q_begin; q < q_end; ++q) {
+        if (cancel != nullptr) {
+          if (cancelled.load(std::memory_order_relaxed)) continue;
+          if ((*cancel)()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            continue;
+          }
+        }
+        FreqScratch& fs = freq_scratch_.local();
+        per_freq(q, *kernels[static_cast<std::size_t>(q - q_begin)], fs);
+      }
+      TLRWSE_TSAN_RELEASE(&ps);
+    }
+    TLRWSE_TSAN_ACQUIRE(&ps);
+    stream.release_shard(sh);
+    if (cancelled.load(std::memory_order_relaxed)) break;
+  }
+  if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
+}
+
 void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
   TLRWSE_TRACE_SPAN("mdc.apply", "mdc");
   ApplyMetrics& met = ApplyMetrics::instance();
@@ -88,7 +172,6 @@ void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
   const index_t nf_full = nt_ / 2 + 1;
-  const auto nq = static_cast<index_t>(kernels_.size());
   PageScratch& ps = page_scratch_.local();
 
   // F: batched rFFT over receiver traces.
@@ -107,52 +190,30 @@ void MdcOperator::apply(std::span<const float> x, std::span<float> y) const {
   {
     const std::span<const cf32> xhat(ps.xhat);
     const std::span<cf32> yhat(ps.yhat);
-    [[maybe_unused]] const int team = freq_team_size(inner_threads_);
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
     const bool trace_freqs = obs::Tracer::detail_enabled();
-    // Captured once: the hook lives on the calling thread, but every team
-    // member polls it between MVMs so a deadline hit stops the whole batch.
-    const CancelScope::Hook* const cancel = CancelScope::current();
-    std::atomic<bool> cancelled{false};
-    TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel num_threads(team)
-    {
-      TLRWSE_TSAN_ACQUIRE(&ps);
-#pragma omp for schedule(static)
-      for (index_t q = 0; q < nq; ++q) {
-        if (cancel != nullptr) {
-          if (cancelled.load(std::memory_order_relaxed)) continue;
-          if ((*cancel)()) {
-            cancelled.store(true, std::memory_order_relaxed);
-            continue;
-          }
-        }
-        const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
-        FreqScratch& fs = freq_scratch_.local();
-        fs.xk.resize(static_cast<std::size_t>(nr_));
-        fs.yk.resize(static_cast<std::size_t>(ns_));
-        const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
-        for (index_t r = 0; r < nr_; ++r) {
-          fs.xk[static_cast<std::size_t>(r)] =
-              xhat[static_cast<std::size_t>(r * nf_full + bin)];
-        }
-        kernels_[static_cast<std::size_t>(q)]->apply(fs.xk, fs.yk, fs.kernel);
-        for (index_t s = 0; s < ns_; ++s) {
-          yhat[static_cast<std::size_t>(s * nf_full + bin)] =
-              fs.yk[static_cast<std::size_t>(s)];
-        }
-        if (trace_freqs) {
-          const std::uint64_t dur = obs::Tracer::now_ns() - t0;
-          obs::Tracer::instance().complete("mdc.freq_mvm", "mdc", t0, dur);
-          met.freq_mvm_s.record(static_cast<double>(dur) * 1e-9);
-        }
+    kernel_sweep(ps, [&](index_t q, FrequencyMvm& kernel, FreqScratch& fs) {
+      const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
+      fs.xk.resize(static_cast<std::size_t>(nr_));
+      fs.yk.resize(static_cast<std::size_t>(ns_));
+      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+      for (index_t r = 0; r < nr_; ++r) {
+        fs.xk[static_cast<std::size_t>(r)] =
+            xhat[static_cast<std::size_t>(r * nf_full + bin)];
       }
-      TLRWSE_TSAN_RELEASE(&ps);
-    }
-    TLRWSE_TSAN_ACQUIRE(&ps);
+      kernel.apply(fs.xk, fs.yk, fs.kernel);
+      for (index_t s = 0; s < ns_; ++s) {
+        yhat[static_cast<std::size_t>(s * nf_full + bin)] =
+            fs.yk[static_cast<std::size_t>(s)];
+      }
+      if (trace_freqs) {
+        const std::uint64_t dur = obs::Tracer::now_ns() - t0;
+        obs::Tracer::instance().complete("mdc.freq_mvm", "mdc", t0, dur);
+        met.freq_mvm_s.record(static_cast<double>(dur) * 1e-9);
+      }
+    });
     met.kernel_loop_s.record(kernel_timer.seconds());
-    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   // F^H: Hermitian inverse rFFT back to time.
@@ -174,7 +235,6 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
   TLRWSE_REQUIRE(static_cast<index_t>(y.size()) == rows(), "y size");
   TLRWSE_REQUIRE(static_cast<index_t>(x.size()) == cols(), "x size");
   const index_t nf_full = nt_ / 2 + 1;
-  const auto nq = static_cast<index_t>(kernels_.size());
   PageScratch& ps = page_scratch_.local();
 
   ps.yhat.resize(static_cast<std::size_t>(nf_full * ns_));
@@ -189,51 +249,30 @@ void MdcOperator::apply_adjoint(std::span<const float> y,
   {
     const std::span<const cf32> yhat(ps.yhat);
     const std::span<cf32> xhat(ps.xhat);
-    [[maybe_unused]] const int team = freq_team_size(inner_threads_);
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
     const bool trace_freqs = obs::Tracer::detail_enabled();
-    const CancelScope::Hook* const cancel = CancelScope::current();
-    std::atomic<bool> cancelled{false};
-    TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel num_threads(team)
-    {
-      TLRWSE_TSAN_ACQUIRE(&ps);
-#pragma omp for schedule(static)
-      for (index_t q = 0; q < nq; ++q) {
-        if (cancel != nullptr) {
-          if (cancelled.load(std::memory_order_relaxed)) continue;
-          if ((*cancel)()) {
-            cancelled.store(true, std::memory_order_relaxed);
-            continue;
-          }
-        }
-        const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
-        FreqScratch& fs = freq_scratch_.local();
-        fs.xk.resize(static_cast<std::size_t>(nr_));
-        fs.yk.resize(static_cast<std::size_t>(ns_));
-        const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
-        for (index_t s = 0; s < ns_; ++s) {
-          fs.yk[static_cast<std::size_t>(s)] =
-              yhat[static_cast<std::size_t>(s * nf_full + bin)];
-        }
-        kernels_[static_cast<std::size_t>(q)]->apply_adjoint(fs.yk, fs.xk,
-                                                             fs.kernel);
-        for (index_t r = 0; r < nr_; ++r) {
-          xhat[static_cast<std::size_t>(r * nf_full + bin)] =
-              fs.xk[static_cast<std::size_t>(r)];
-        }
-        if (trace_freqs) {
-          const std::uint64_t dur = obs::Tracer::now_ns() - t0;
-          obs::Tracer::instance().complete("mdc.freq_mvm", "mdc", t0, dur);
-          met.freq_mvm_s.record(static_cast<double>(dur) * 1e-9);
-        }
+    kernel_sweep(ps, [&](index_t q, FrequencyMvm& kernel, FreqScratch& fs) {
+      const std::uint64_t t0 = trace_freqs ? obs::Tracer::now_ns() : 0;
+      fs.xk.resize(static_cast<std::size_t>(nr_));
+      fs.yk.resize(static_cast<std::size_t>(ns_));
+      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+      for (index_t s = 0; s < ns_; ++s) {
+        fs.yk[static_cast<std::size_t>(s)] =
+            yhat[static_cast<std::size_t>(s * nf_full + bin)];
       }
-      TLRWSE_TSAN_RELEASE(&ps);
-    }
-    TLRWSE_TSAN_ACQUIRE(&ps);
+      kernel.apply_adjoint(fs.yk, fs.xk, fs.kernel);
+      for (index_t r = 0; r < nr_; ++r) {
+        xhat[static_cast<std::size_t>(r * nf_full + bin)] =
+            fs.xk[static_cast<std::size_t>(r)];
+      }
+      if (trace_freqs) {
+        const std::uint64_t dur = obs::Tracer::now_ns() - t0;
+        obs::Tracer::instance().complete("mdc.freq_mvm", "mdc", t0, dur);
+        met.freq_mvm_s.record(static_cast<double>(dur) * 1e-9);
+      }
+    });
     met.kernel_loop_s.record(kernel_timer.seconds());
-    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   {
@@ -255,7 +294,6 @@ void MdcOperator::apply_batch(std::span<const float> X, std::span<float> Y,
   TLRWSE_REQUIRE(static_cast<index_t>(X.size()) == cols() * nrhs, "X size");
   TLRWSE_REQUIRE(static_cast<index_t>(Y.size()) == rows() * nrhs, "Y size");
   const index_t nf_full = nt_ / 2 + 1;
-  const auto nq = static_cast<index_t>(kernels_.size());
   const index_t xpage = nf_full * nr_;
   const index_t ypage = nf_full * ns_;
   PageScratch& ps = page_scratch_.local();
@@ -283,49 +321,27 @@ void MdcOperator::apply_batch(std::span<const float> X, std::span<float> Y,
   {
     const std::span<const cf32> xhat(ps.xhat);
     const std::span<cf32> yhat(ps.yhat);
-    [[maybe_unused]] const int team = freq_team_size(inner_threads_);
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
-    const CancelScope::Hook* const cancel = CancelScope::current();
-    std::atomic<bool> cancelled{false};
-    TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel num_threads(team)
-    {
-      TLRWSE_TSAN_ACQUIRE(&ps);
-#pragma omp for schedule(static)
-      for (index_t q = 0; q < nq; ++q) {
-        if (cancel != nullptr) {
-          if (cancelled.load(std::memory_order_relaxed)) continue;
-          if ((*cancel)()) {
-            cancelled.store(true, std::memory_order_relaxed);
-            continue;
-          }
-        }
-        FreqScratch& fs = freq_scratch_.local();
-        fs.xk.resize(static_cast<std::size_t>(nr_ * nrhs));
-        fs.yk.resize(static_cast<std::size_t>(ns_ * nrhs));
-        const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
-        for (index_t r = 0; r < nrhs; ++r) {
-          for (index_t rec = 0; rec < nr_; ++rec) {
-            fs.xk[static_cast<std::size_t>(r * nr_ + rec)] =
-                xhat[static_cast<std::size_t>(r * xpage + rec * nf_full +
-                                              bin)];
-          }
-        }
-        kernels_[static_cast<std::size_t>(q)]->apply_batch(fs.xk, fs.yk, nrhs,
-                                                           fs.kernel);
-        for (index_t r = 0; r < nrhs; ++r) {
-          for (index_t s = 0; s < ns_; ++s) {
-            yhat[static_cast<std::size_t>(r * ypage + s * nf_full + bin)] =
-                fs.yk[static_cast<std::size_t>(r * ns_ + s)];
-          }
+    kernel_sweep(ps, [&](index_t q, FrequencyMvm& kernel, FreqScratch& fs) {
+      fs.xk.resize(static_cast<std::size_t>(nr_ * nrhs));
+      fs.yk.resize(static_cast<std::size_t>(ns_ * nrhs));
+      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+      for (index_t r = 0; r < nrhs; ++r) {
+        for (index_t rec = 0; rec < nr_; ++rec) {
+          fs.xk[static_cast<std::size_t>(r * nr_ + rec)] =
+              xhat[static_cast<std::size_t>(r * xpage + rec * nf_full + bin)];
         }
       }
-      TLRWSE_TSAN_RELEASE(&ps);
-    }
-    TLRWSE_TSAN_ACQUIRE(&ps);
+      kernel.apply_batch(fs.xk, fs.yk, nrhs, fs.kernel);
+      for (index_t r = 0; r < nrhs; ++r) {
+        for (index_t s = 0; s < ns_; ++s) {
+          yhat[static_cast<std::size_t>(r * ypage + s * nf_full + bin)] =
+              fs.yk[static_cast<std::size_t>(r * ns_ + s)];
+        }
+      }
+    });
     met.kernel_loop_s.record(kernel_timer.seconds());
-    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   {
@@ -356,7 +372,6 @@ void MdcOperator::apply_adjoint_batch(std::span<const float> Y,
   TLRWSE_REQUIRE(static_cast<index_t>(Y.size()) == rows() * nrhs, "Y size");
   TLRWSE_REQUIRE(static_cast<index_t>(X.size()) == cols() * nrhs, "X size");
   const index_t nf_full = nt_ / 2 + 1;
-  const auto nq = static_cast<index_t>(kernels_.size());
   const index_t xpage = nf_full * nr_;
   const index_t ypage = nf_full * ns_;
   PageScratch& ps = page_scratch_.local();
@@ -381,48 +396,27 @@ void MdcOperator::apply_adjoint_batch(std::span<const float> Y,
   {
     const std::span<const cf32> yhat(ps.yhat);
     const std::span<cf32> xhat(ps.xhat);
-    [[maybe_unused]] const int team = freq_team_size(inner_threads_);
     TLRWSE_TRACE_SPAN("mdc.kernel_loop", "mdc");
     WallTimer kernel_timer;
-    const CancelScope::Hook* const cancel = CancelScope::current();
-    std::atomic<bool> cancelled{false};
-    TLRWSE_TSAN_RELEASE(&ps);
-#pragma omp parallel num_threads(team)
-    {
-      TLRWSE_TSAN_ACQUIRE(&ps);
-#pragma omp for schedule(static)
-      for (index_t q = 0; q < nq; ++q) {
-        if (cancel != nullptr) {
-          if (cancelled.load(std::memory_order_relaxed)) continue;
-          if ((*cancel)()) {
-            cancelled.store(true, std::memory_order_relaxed);
-            continue;
-          }
-        }
-        FreqScratch& fs = freq_scratch_.local();
-        fs.xk.resize(static_cast<std::size_t>(nr_ * nrhs));
-        fs.yk.resize(static_cast<std::size_t>(ns_ * nrhs));
-        const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
-        for (index_t r = 0; r < nrhs; ++r) {
-          for (index_t s = 0; s < ns_; ++s) {
-            fs.yk[static_cast<std::size_t>(r * ns_ + s)] =
-                yhat[static_cast<std::size_t>(r * ypage + s * nf_full + bin)];
-          }
-        }
-        kernels_[static_cast<std::size_t>(q)]->apply_adjoint_batch(
-            fs.yk, fs.xk, nrhs, fs.kernel);
-        for (index_t r = 0; r < nrhs; ++r) {
-          for (index_t rec = 0; rec < nr_; ++rec) {
-            xhat[static_cast<std::size_t>(r * xpage + rec * nf_full + bin)] =
-                fs.xk[static_cast<std::size_t>(r * nr_ + rec)];
-          }
+    kernel_sweep(ps, [&](index_t q, FrequencyMvm& kernel, FreqScratch& fs) {
+      fs.xk.resize(static_cast<std::size_t>(nr_ * nrhs));
+      fs.yk.resize(static_cast<std::size_t>(ns_ * nrhs));
+      const index_t bin = freq_bins_[static_cast<std::size_t>(q)];
+      for (index_t r = 0; r < nrhs; ++r) {
+        for (index_t s = 0; s < ns_; ++s) {
+          fs.yk[static_cast<std::size_t>(r * ns_ + s)] =
+              yhat[static_cast<std::size_t>(r * ypage + s * nf_full + bin)];
         }
       }
-      TLRWSE_TSAN_RELEASE(&ps);
-    }
-    TLRWSE_TSAN_ACQUIRE(&ps);
+      kernel.apply_adjoint_batch(fs.yk, fs.xk, nrhs, fs.kernel);
+      for (index_t r = 0; r < nrhs; ++r) {
+        for (index_t rec = 0; rec < nr_; ++rec) {
+          xhat[static_cast<std::size_t>(r * xpage + rec * nf_full + bin)] =
+              fs.xk[static_cast<std::size_t>(r * nr_ + rec)];
+        }
+      }
+    });
     met.kernel_loop_s.record(kernel_timer.seconds());
-    if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
   }
 
   {

@@ -1,0 +1,187 @@
+// ShardStreamer: the double-buffered prefetcher behind a streamed
+// MdcOperator.
+//
+// A background thread walks the StreamPlan ahead of the consumer, loading
+// upcoming shards disk->RAM while the consumer's OpenMP team computes the
+// current one, so the per-frequency FFT->MVM->IFFT work overlaps storage
+// I/O. Eviction is plan-driven: among the resident, unpinned shards, drop
+// the one whose next use (in the known cyclic order) is farthest away —
+// Belady's rule, exact because LSQR's sweep order is known. When a caller
+// declares the order unknown, eviction falls back to LRU. All failure
+// modes are typed and prompt: a truncated or deleted archive surfaces as
+// StreamError(kIo) on the next acquire (from either the prefetch thread or
+// a synchronous load), a budget that cannot hold one double-buffer window
+// is rejected at construction as kBudgetTooSmall, and a deadline that
+// fires during a stall throws mdc::CancelledError — never a hang, never
+// partial data.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdc/kernel_stream.hpp"
+#include "tlrwse/oocache/stream_plan.hpp"
+
+namespace tlrwse::oocache {
+
+/// Typed failure of the streaming layer, mirroring cluster::TransportError:
+/// callers switch on code(), the what() string carries the io detail.
+class StreamError : public std::runtime_error {
+ public:
+  enum class Code {
+    kBudgetTooSmall,  // budget cannot hold one double-buffer window
+    kIo,              // a shard load failed (truncated, deleted, corrupt)
+    kShutdown,        // streamer torn down while a sweep was in flight
+  };
+  StreamError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] Code code() const noexcept { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// One loaded shard: per-frequency kernels plus their true resident bytes
+/// (which may exceed the plan's payload estimate, e.g. compiled arenas).
+struct ShardKernels {
+  std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
+  double bytes = 0.0;
+};
+
+/// Where shard payloads come from. load() runs on the prefetch thread (or
+/// the consumer thread when prefetch is off) and may throw anything; the
+/// streamer wraps failures into StreamError(kIo).
+class ShardSource {
+ public:
+  virtual ~ShardSource() = default;
+  [[nodiscard]] virtual index_t rows() const = 0;
+  [[nodiscard]] virtual index_t cols() const = 0;
+  [[nodiscard]] virtual ShardKernels load(index_t q_begin, index_t q_end) = 0;
+};
+
+/// Archive-backed source: slices a TLRA/TLRS container with the extent
+/// table of one peek, so per-shard loads seek straight to their granules
+/// instead of rescanning headers.
+class ArchiveShardSource final : public ShardSource {
+ public:
+  /// `info` must be an extents peek of `path` (has_extents()).
+  ArchiveShardSource(std::string path, io::ArchiveInfo info,
+                     mdc::TlrKernel kernel = mdc::TlrKernel::kFused);
+  [[nodiscard]] index_t rows() const override { return info_.rows; }
+  [[nodiscard]] index_t cols() const override { return info_.cols; }
+  [[nodiscard]] ShardKernels load(index_t q_begin, index_t q_end) override;
+
+ private:
+  std::string path_;
+  io::ArchiveInfo info_;
+  mdc::TlrKernel kernel_;
+};
+
+struct StreamConfig {
+  double budget_bytes = 0.0;
+  bool prefetch = true;     // background thread; false = load in acquire
+  bool cyclic_plan = true;  // plan-driven (Belady) eviction; false = LRU
+  /// Lift an undersized budget to the plan's double-buffer window instead
+  /// of throwing kBudgetTooSmall (CLI convenience; serve admission keeps
+  /// the strict default).
+  bool grow_to_window = false;
+};
+
+struct StreamStats {
+  std::uint64_t hits = 0;       // acquires that found the shard resident
+  std::uint64_t misses = 0;     // acquires that had to wait for a load
+  std::uint64_t loads = 0;
+  std::uint64_t evictions = 0;
+  double bytes_streamed = 0.0;  // payload bytes read disk->RAM
+  double stall_s = 0.0;         // consumer time blocked in acquire
+  double peak_resident_bytes = 0.0;
+};
+
+class ShardStreamer final : public mdc::KernelStream {
+ public:
+  /// Throws StreamError(kBudgetTooSmall) unless cfg.budget_bytes (or the
+  /// grown budget) holds the plan's double-buffer window.
+  ShardStreamer(std::shared_ptr<ShardSource> source, StreamPlan plan,
+                StreamConfig cfg);
+  ~ShardStreamer() override;
+
+  ShardStreamer(const ShardStreamer&) = delete;
+  ShardStreamer& operator=(const ShardStreamer&) = delete;
+
+  [[nodiscard]] index_t rows() const override { return source_->rows(); }
+  [[nodiscard]] index_t cols() const override { return source_->cols(); }
+  [[nodiscard]] index_t num_freqs() const override {
+    return plan_.num_freqs();
+  }
+  [[nodiscard]] index_t num_shards() const override {
+    return plan_.num_shards();
+  }
+  [[nodiscard]] std::pair<index_t, index_t> shard_range(
+      index_t s) const override {
+    const StreamShard& sh = plan_.shard(s);
+    return {sh.q_begin, sh.q_end};
+  }
+  void begin_sweep() override;
+  void end_sweep() noexcept override;
+  [[nodiscard]] std::span<mdc::FrequencyMvm* const> acquire_shard(
+      index_t s) override;
+  void release_shard(index_t s) noexcept override;
+
+  [[nodiscard]] const StreamPlan& plan() const noexcept { return plan_; }
+  /// The effective budget (equal to the config's unless grow_to_window
+  /// lifted it) — what a cache should charge for this stream's residency.
+  [[nodiscard]] double budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] StreamStats stats() const;
+
+ private:
+  enum class ShardState : std::uint8_t { kAbsent, kLoading, kReady };
+  struct Slot {
+    ShardState state = ShardState::kAbsent;
+    std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
+    std::vector<mdc::FrequencyMvm*> raw;
+    double bytes = 0.0;
+    std::uint64_t last_use = 0;  // LRU clock, unknown-order fallback
+    bool pinned = false;         // held by the consumer between acq/rel
+  };
+
+  void prefetch_loop();
+  /// Evicts until `need` more bytes fit the budget without touching pinned
+  /// shards or (cyclic plans) shards needed before `target_step`. Returns
+  /// false when nothing more can be evicted yet. Caller holds mu_.
+  bool make_room(double need, std::uint64_t target_step);
+  void install_loaded(index_t s, ShardKernels&& loaded);
+  void fail_stream(StreamError::Code code, const std::string& what);
+  /// Synchronous load of shard s on the calling thread (prefetch off).
+  void load_inline(index_t s, std::unique_lock<std::mutex>& lk);
+
+  std::shared_ptr<ShardSource> source_;
+  StreamPlan plan_;
+  StreamConfig cfg_;
+  double budget_ = 0.0;
+
+  std::mutex sweep_mu_;  // serialises overlapping sweeps of this stream
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  // consumer waits: shard ready/failed
+  std::condition_variable work_cv_;   // prefetcher waits: work or room
+  std::vector<Slot> slots_;
+  std::uint64_t cursor_ = 0;    // sweep step the consumer acquires next
+  std::uint64_t use_tick_ = 0;  // LRU clock source
+  double resident_bytes_ = 0.0;
+  bool stop_ = false;
+  bool failed_ = false;
+  StreamError::Code fail_code_ = StreamError::Code::kIo;
+  std::string fail_what_;
+  StreamStats stats_;
+
+  std::thread prefetcher_;  // last member: started last, joined in dtor
+};
+
+}  // namespace tlrwse::oocache

@@ -1,0 +1,105 @@
+// StreamPlan: the compiled disk->RAM schedule of an out-of-core solve.
+//
+// LSQR's access pattern is known before the first iteration: every apply —
+// forward or adjoint — sweeps the frequency shards in ascending order, and
+// the solve alternates applies until convergence. That turns cache policy
+// from a guessing game into a plan, the same move the paper makes for the
+// 48 kB PE scratchpads: group the archive's granules (frequency kernels
+// for "TLRA", whole bands for "TLRS" — a band's kernels share one compiled
+// basis arena, so splitting it would duplicate basis residency) into
+// shards of about half the byte budget, so one half computes while the
+// other prefetches, and evict the resident shard whose next use is
+// farthest in the cyclic order (Belady's rule, exact here because the
+// order is known). LRU survives only as the fallback for callers that
+// declare the access order unknown.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tlrwse/common/types.hpp"
+#include "tlrwse/io/archive.hpp"
+
+namespace tlrwse::oocache {
+
+/// One planned shard: a run of consecutive frequencies loaded and evicted
+/// as a unit.
+struct StreamShard {
+  index_t q_begin = 0;  // frequency range [q_begin, q_end)
+  index_t q_end = 0;
+  index_t g_begin = 0;  // granule (extent) range composing the shard
+  index_t g_end = 0;
+  double bytes = 0.0;   // payload bytes, the residency currency
+};
+
+struct StreamPlanConfig {
+  double budget_bytes = 0.0;  // RAM allowance for resident shards
+  /// Ascending cyclic sweeps (the LSQR pattern). False = access order
+  /// unknown: the plan still shards ascending, but consumers must fall
+  /// back to LRU eviction instead of next-use distances.
+  bool cyclic = true;
+};
+
+class StreamPlan {
+ public:
+  StreamPlan() = default;
+  StreamPlan(std::vector<StreamShard> shards, StreamPlanConfig cfg);
+
+  [[nodiscard]] const std::vector<StreamShard>& shards() const noexcept {
+    return shards_;
+  }
+  [[nodiscard]] index_t num_shards() const noexcept {
+    return static_cast<index_t>(shards_.size());
+  }
+  [[nodiscard]] const StreamShard& shard(index_t s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] index_t num_freqs() const noexcept {
+    return shards_.empty() ? 0 : shards_.back().q_end;
+  }
+  [[nodiscard]] double budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] double total_bytes() const noexcept { return total_; }
+  [[nodiscard]] bool cyclic() const noexcept { return cyclic_; }
+  /// Max bytes of two consecutive shards in the sweep (wrapping when
+  /// cyclic): the smallest budget that can double-buffer this plan.
+  [[nodiscard]] double window_bytes() const noexcept { return window_; }
+
+  /// Shard consumed at sweep step `step`; steps count monotonically across
+  /// sweeps, so step % num_shards() walks each ascending sweep.
+  [[nodiscard]] index_t shard_at_step(std::uint64_t step) const {
+    return static_cast<index_t>(step %
+                                static_cast<std::uint64_t>(num_shards()));
+  }
+  /// First step >= from_step that consumes `shard` — the next-use distance
+  /// behind plan-driven (Belady) eviction. Only meaningful when cyclic().
+  [[nodiscard]] std::uint64_t next_use(index_t shard,
+                                       std::uint64_t from_step) const {
+    const auto S = static_cast<std::uint64_t>(num_shards());
+    const std::uint64_t pos = from_step % S;
+    const auto sh = static_cast<std::uint64_t>(shard);
+    return from_step + (sh + S - pos) % S;
+  }
+
+ private:
+  std::vector<StreamShard> shards_;
+  double budget_ = 0.0;
+  double total_ = 0.0;
+  double window_ = 0.0;
+  bool cyclic_ = true;
+};
+
+/// Compiles a plan from the granule extents of one archive peek
+/// (peek_archive_extents). Shards target budget_bytes / 2 so a double
+/// buffer fits the budget; a granule larger than that becomes its own
+/// shard (the budget check happens where the stream is built, not here).
+[[nodiscard]] StreamPlan compile_stream_plan(const io::ArchiveInfo& info,
+                                             const StreamPlanConfig& cfg);
+
+/// Granule-list form for injected (non-archive) sources: granule g covers
+/// freqs[g] consecutive frequencies and weighs bytes[g] payload bytes.
+[[nodiscard]] StreamPlan compile_stream_plan(std::span<const double> bytes,
+                                             std::span<const index_t> freqs,
+                                             const StreamPlanConfig& cfg);
+
+}  // namespace tlrwse::oocache

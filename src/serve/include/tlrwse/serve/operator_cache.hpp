@@ -26,6 +26,10 @@
 #include "tlrwse/common/types.hpp"
 #include "tlrwse/mdc/mdc_operator.hpp"
 
+namespace tlrwse::oocache {
+class ShardStreamer;
+}  // namespace tlrwse::oocache
+
 namespace tlrwse::serve {
 
 /// Identity of a resident operator: which archive, compressed how. Two
@@ -52,11 +56,18 @@ struct OperatorKeyHash {
 
 /// A cache entry: the rebuilt operator plus the byte accounting the LRU
 /// budget runs on and the band metadata requests are validated against.
+/// Streamed entries (archives bigger than the service's residency cap)
+/// also hold their prefetcher; the cache charges them their stream budget
+/// — priced from one extents peek — rather than the full payload, which is
+/// exactly what admits an over-budget archive as long as one double-buffer
+/// window fits.
 struct ResidentOperator {
   std::unique_ptr<mdc::MdcOperator> op;
   double bytes = 0.0;  // compressed kernel footprint (budget currency)
   index_t nt = 0;
   std::vector<double> freqs_hz;
+  std::shared_ptr<oocache::ShardStreamer> streamer;  // null when fully resident
+  [[nodiscard]] bool streamed() const noexcept { return streamer != nullptr; }
 };
 
 struct CacheStats {

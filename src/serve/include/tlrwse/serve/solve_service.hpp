@@ -83,6 +83,12 @@ struct ServiceConfig {
   std::size_t max_batch = 8;           // per-operator coalescing limit
   double cache_budget_bytes = 512.0 * 1024.0 * 1024.0;
   std::size_t cache_shards = 8;
+  /// Residency cap per operator. 0 keeps every archive fully resident.
+  /// Positive: archives whose compressed payload exceeds it are served
+  /// out-of-core through a ShardStreamer with this byte budget — the cache
+  /// charges the budget, not the payload — and rejected (typed load
+  /// failure) only when even one double-buffer window cannot fit.
+  double max_resident_bytes = 0.0;
   /// OpenMP team size of each solve's frequency loop; 0 divides the
   /// machine evenly between workers (never oversubscribing workers x
   /// omp_get_max_threads() ways).

@@ -13,6 +13,8 @@
 #include "tlrwse/mdc/cancellation.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/obs/tracer.hpp"
+#include "tlrwse/oocache/shard_streamer.hpp"
+#include "tlrwse/oocache/stream_plan.hpp"
 
 namespace tlrwse::serve {
 
@@ -149,6 +151,33 @@ void SolveService::worker_loop() {
 OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
   TLRWSE_TRACE_SPAN("serve.load_operator", "serve");
   auto resident = std::make_shared<ResidentOperator>();
+  // Archives over the residency cap are served out-of-core: one extents
+  // peek prices the payload AND seeds both the stream plan and every later
+  // slice load (a single directory read). The cache is charged the stream
+  // budget, so an over-budget archive is admitted as long as one
+  // double-buffer window fits; otherwise the kBudgetTooSmall throw
+  // propagates to every waiter as a typed load failure.
+  if (cfg_.max_resident_bytes > 0.0) {
+    const io::ArchiveInfo info = io::peek_archive_extents(key.archive_id);
+    if (info.payload_bytes > cfg_.max_resident_bytes) {
+      oocache::StreamPlanConfig plan_cfg;
+      plan_cfg.budget_bytes = cfg_.max_resident_bytes;
+      oocache::StreamPlan plan = oocache::compile_stream_plan(info, plan_cfg);
+      auto source =
+          std::make_shared<oocache::ArchiveShardSource>(key.archive_id, info);
+      oocache::StreamConfig stream_cfg;
+      stream_cfg.budget_bytes = cfg_.max_resident_bytes;
+      resident->streamer = std::make_shared<oocache::ShardStreamer>(
+          std::move(source), std::move(plan), stream_cfg);
+      resident->bytes = resident->streamer->budget_bytes();
+      resident->nt = info.nt;
+      resident->freqs_hz = info.freqs_hz;
+      resident->op = std::make_unique<mdc::MdcOperator>(
+          info.nt, info.freq_bins, resident->streamer);
+      resident->op->set_inner_threads(cfg_.inner_threads);
+      return resident;
+    }
+  }
   // The header names the container format; shared-basis archives charge
   // the cache their (band-shared) payload bytes, so more of them fit in
   // one budget than per-frequency archives of the same survey.

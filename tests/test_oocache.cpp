@@ -1,0 +1,508 @@
+// Out-of-core streaming tests: StreamPlan compilation and next-use
+// arithmetic, typed budget rejection, bitwise parity of streamed solves
+// against fully resident operators (TLRA, TLRS, and injected dense
+// kernels; Belady and LRU eviction), hostile streams (archive truncated
+// mid-shard, archive deleted between loads — typed kIo, never a hang),
+// cancellation during a prefetch stall, concurrent sweeps over one
+// streamer, and the serve-layer streamed-resident entries.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "test_helpers.hpp"
+#include "tlrwse/io/archive.hpp"
+#include "tlrwse/mdc/cancellation.hpp"
+#include "tlrwse/mdd/mdd_solver.hpp"
+#include "tlrwse/oocache/streamed_operator.hpp"
+#include "tlrwse/serve/solve_service.hpp"
+
+namespace tlrwse::oocache {
+namespace {
+
+struct TempFile {
+  std::string path;
+  // The pid keeps concurrent ctest shards of this binary (each TEST runs
+  // as its own process) from clobbering each other's fixture files.
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() /
+              (std::to_string(::getpid()) + "." + name))
+                 .string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+const seismic::SeismicDataset& dataset() {
+  static const seismic::SeismicDataset data = [] {
+    seismic::DatasetConfig cfg;
+    cfg.geometry = seismic::AcquisitionGeometry::small_scale(8, 6, 6, 5);
+    cfg.nt = 128;
+    cfg.f_min = 4.0;
+    cfg.f_max = 40.0;
+    return seismic::build_dataset(cfg);
+  }();
+  return data;
+}
+
+tlr::CompressionConfig cc() {
+  tlr::CompressionConfig c;
+  c.nb = 12;
+  c.acc = 1e-4;
+  return c;
+}
+
+/// One TLRA archive on disk, shared by every streaming test (built once).
+const std::string& tlra_path() {
+  static const TempFile file("tlrwse_oocache.tlra");
+  static const bool built = [] {
+    io::save_archive(file.path, io::build_archive(dataset(), cc()));
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// --- StreamPlan -------------------------------------------------------------
+
+TEST(StreamPlan, PacksGranulesToHalfBudget) {
+  const std::vector<double> bytes(8, 10.0);
+  const std::vector<index_t> freqs(8, 1);
+  StreamPlanConfig cfg;
+  cfg.budget_bytes = 40.0;  // target 20 -> 2 granules per shard
+  const StreamPlan plan = compile_stream_plan(bytes, freqs, cfg);
+  ASSERT_EQ(plan.num_shards(), 4);
+  for (index_t s = 0; s < plan.num_shards(); ++s) {
+    EXPECT_EQ(plan.shard(s).bytes, 20.0);
+    EXPECT_EQ(plan.shard(s).q_end - plan.shard(s).q_begin, 2);
+  }
+  EXPECT_EQ(plan.num_freqs(), 8);
+  EXPECT_EQ(plan.total_bytes(), 80.0);
+  EXPECT_EQ(plan.window_bytes(), 40.0);  // any adjacent pair
+}
+
+TEST(StreamPlan, OversizedGranuleBecomesItsOwnShard) {
+  const std::vector<double> bytes{50.0, 10.0, 10.0};
+  const std::vector<index_t> freqs{2, 1, 1};
+  StreamPlanConfig cfg;
+  cfg.budget_bytes = 40.0;  // target max(20, 50) = 50
+  const StreamPlan plan = compile_stream_plan(bytes, freqs, cfg);
+  ASSERT_EQ(plan.num_shards(), 2);
+  EXPECT_EQ(plan.shard(0).bytes, 50.0);
+  EXPECT_EQ(plan.shard(1).bytes, 20.0);
+  EXPECT_EQ(plan.shard(0).q_end, 2);
+  EXPECT_EQ(plan.shard(1).q_end, 4);
+  // Cyclic window wraps: shard 1 + shard 0 of the next sweep.
+  EXPECT_EQ(plan.window_bytes(), 70.0);
+}
+
+TEST(StreamPlan, NextUseWalksTheCyclicSweep) {
+  const std::vector<double> bytes(4, 1.0);
+  const std::vector<index_t> freqs(4, 1);
+  StreamPlanConfig cfg;
+  cfg.budget_bytes = 2.0;  // one granule per shard
+  const StreamPlan plan = compile_stream_plan(bytes, freqs, cfg);
+  ASSERT_EQ(plan.num_shards(), 4);
+  EXPECT_EQ(plan.shard_at_step(0), 0);
+  EXPECT_EQ(plan.shard_at_step(5), 1);
+  EXPECT_EQ(plan.next_use(1, 5), 5u);  // due right now
+  EXPECT_EQ(plan.next_use(2, 5), 6u);
+  EXPECT_EQ(plan.next_use(0, 5), 8u);  // wraps into the next sweep
+}
+
+TEST(StreamPlan, RejectsNonPartitionShards) {
+  std::vector<StreamShard> shards(2);
+  shards[0] = StreamShard{0, 2, 0, 1, 1.0};
+  shards[1] = StreamShard{3, 4, 1, 2, 1.0};  // gap: q 2 unowned
+  StreamPlanConfig cfg;
+  cfg.budget_bytes = 4.0;
+  EXPECT_THROW(StreamPlan(std::move(shards), cfg), std::invalid_argument);
+}
+
+TEST(StreamPlan, ArchiveExtentsPeekFeedsThePlanner) {
+  const io::ArchiveInfo info = io::peek_archive_extents(tlra_path());
+  ASSERT_TRUE(info.has_extents());
+  EXPECT_GT(info.payload_bytes, 0.0);
+  EXPECT_EQ(static_cast<index_t>(info.extents.size()), info.num_freqs());
+  index_t q = 0;
+  std::int64_t prev_end = 0;
+  double payload = 0.0;
+  for (const io::ShardExtent& e : info.extents) {
+    EXPECT_EQ(e.first_freq, q);
+    EXPECT_GE(e.offset, prev_end);  // ascending, non-overlapping
+    EXPECT_GT(e.bytes, 0);
+    q += e.num_freqs;
+    prev_end = e.offset + e.bytes;
+    payload += e.payload_bytes;
+  }
+  EXPECT_EQ(q, info.num_freqs());
+  EXPECT_NEAR(payload, info.payload_bytes, 1.0);
+
+  StreamPlanConfig cfg;
+  cfg.budget_bytes = info.payload_bytes / 4.0;
+  const StreamPlan plan = compile_stream_plan(info, cfg);
+  EXPECT_GT(plan.num_shards(), 1);
+  EXPECT_EQ(plan.num_freqs(), info.num_freqs());
+  EXPECT_NEAR(plan.total_bytes(), info.payload_bytes, 1.0);
+}
+
+// --- Injected sources -------------------------------------------------------
+
+/// Dense kernels fabricated per frequency: granule q is an oscillatory
+/// ns x nr matrix, so a streamed operator over this source can be checked
+/// bitwise against a resident MdcOperator holding the same matrices.
+struct DenseSource final : ShardSource {
+  index_t ns, nr, nq;
+  std::atomic<int> loads{0};
+  int fail_after = -1;          // >=0: throw once this many loads happened
+  int delay_ms = 0;             // per-load sleep (stall/cancel tests)
+
+  DenseSource(index_t ns_, index_t nr_, index_t nq_)
+      : ns(ns_), nr(nr_), nq(nq_) {}
+  [[nodiscard]] index_t rows() const override { return ns; }
+  [[nodiscard]] index_t cols() const override { return nr; }
+  [[nodiscard]] static la::MatrixCF matrix_for(index_t ns, index_t nr,
+                                               index_t q) {
+    return tlrwse::testing::oscillatory_matrix<cf32>(
+        ns, nr, 4.0 + 2.5 * static_cast<double>(q));
+  }
+  ShardKernels load(index_t q_begin, index_t q_end) override {
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    const int n = loads.fetch_add(1);
+    if (fail_after >= 0 && n >= fail_after) {
+      throw std::runtime_error("injected source failure");
+    }
+    ShardKernels out;
+    for (index_t q = q_begin; q < q_end; ++q) {
+      out.kernels.push_back(
+          std::make_unique<mdc::DenseMvm>(matrix_for(ns, nr, q)));
+      out.bytes += static_cast<double>(ns * nr) * sizeof(cf32);
+    }
+    return out;
+  }
+};
+
+/// Streamer over a DenseSource with one single-frequency granule per bin.
+std::shared_ptr<ShardStreamer> dense_streamer(
+    const std::shared_ptr<DenseSource>& src, double budget_fraction,
+    StreamConfig cfg = {}) {
+  const double granule =
+      static_cast<double>(src->ns * src->nr) * sizeof(cf32);
+  const std::vector<double> bytes(static_cast<std::size_t>(src->nq), granule);
+  const std::vector<index_t> freqs(static_cast<std::size_t>(src->nq), 1);
+  StreamPlanConfig plan_cfg;
+  plan_cfg.budget_bytes =
+      std::max(granule * 2.0, granule * src->nq * budget_fraction);
+  plan_cfg.cyclic = cfg.cyclic_plan;
+  cfg.budget_bytes = plan_cfg.budget_bytes;
+  return std::make_shared<ShardStreamer>(
+      src, compile_stream_plan(bytes, freqs, plan_cfg), cfg);
+}
+
+constexpr index_t kNt = 64;
+const std::vector<index_t> kBins{3, 5, 7, 9, 11, 14, 17, 20, 23, 26};
+
+std::unique_ptr<mdc::MdcOperator> dense_resident(index_t ns, index_t nr) {
+  std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
+  for (std::size_t q = 0; q < kBins.size(); ++q) {
+    kernels.push_back(std::make_unique<mdc::DenseMvm>(
+        DenseSource::matrix_for(ns, nr, static_cast<index_t>(q))));
+  }
+  return std::make_unique<mdc::MdcOperator>(kNt, kBins, std::move(kernels));
+}
+
+// --- Typed budget rejection -------------------------------------------------
+
+TEST(ShardStreamer, BudgetBelowWindowIsTypedRejection) {
+  auto src = std::make_shared<DenseSource>(6, 5, 10);
+  const std::vector<double> bytes(10, 100.0);
+  const std::vector<index_t> freqs(10, 1);
+  StreamPlanConfig plan_cfg;
+  plan_cfg.budget_bytes = 150.0;  // one granule per shard, window = 200
+  StreamPlan plan = compile_stream_plan(bytes, freqs, plan_cfg);
+  StreamConfig cfg;
+  cfg.budget_bytes = 150.0;
+  try {
+    ShardStreamer streamer(src, plan, cfg);
+    FAIL() << "expected StreamError(kBudgetTooSmall)";
+  } catch (const StreamError& e) {
+    EXPECT_EQ(e.code(), StreamError::Code::kBudgetTooSmall);
+    EXPECT_NE(std::string(e.what()).find("double-buffer"), std::string::npos);
+  }
+  EXPECT_EQ(src->loads.load(), 0) << "rejected stream must not touch disk";
+
+  // grow_to_window turns the same request into a servable stream.
+  cfg.grow_to_window = true;
+  ShardStreamer grown(src, plan, cfg);
+  EXPECT_EQ(grown.budget_bytes(), plan.window_bytes());
+}
+
+// --- Bitwise parity ---------------------------------------------------------
+
+TEST(StreamedOperator, TlraQuarterBudgetSolveIsBitwiseIdentical) {
+  const auto archive = io::load_archive(tlra_path());
+  const auto resident = io::make_operator(archive);
+  const double payload = archive.compressed_bytes();
+
+  StreamConfig cfg;
+  cfg.budget_bytes = payload / 4.0;
+  cfg.grow_to_window = true;  // tiny test archives: never reject, still tight
+  auto streamed = make_streamed_operator(tlra_path(), cfg);
+  ASSERT_GT(streamed.streamer->plan().num_shards(), 1)
+      << "quarter budget must actually shard the archive";
+
+  const index_t v = dataset().num_receivers() / 2;
+  const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 8;
+  const auto ref = mdd::solve_mdd(*resident, rhs, lsqr);
+  const auto got = mdd::solve_mdd(*streamed.op, rhs, lsqr);
+  EXPECT_TRUE(bitwise_equal(ref.x, got.x));
+  EXPECT_EQ(ref.iterations, got.iterations);
+
+  const StreamStats st = streamed.streamer->stats();
+  EXPECT_GT(st.loads, 0u);
+  EXPECT_GT(st.evictions, 0u) << "a sharded sweep under budget must evict";
+  EXPECT_GT(st.bytes_streamed, payload) << "multiple sweeps re-stream";
+  EXPECT_LE(st.peak_resident_bytes,
+            streamed.streamer->budget_bytes() + 1.0)
+      << "residency must respect the budget";
+}
+
+TEST(StreamedOperator, SharedBasisArchiveStreamsBands) {
+  TempFile file("tlrwse_oocache.tlrs");
+  tlr::SharedBasisConfig sb;
+  sb.nb = cc().nb;
+  sb.acc = cc().acc;
+  const auto shared = io::build_shared_archive(dataset(), sb, 4);
+  io::save_shared_archive(file.path, shared);
+  const auto resident = io::make_operator(io::load_shared_archive(file.path));
+
+  StreamConfig cfg;
+  cfg.budget_bytes = shared.shared_bytes() / 4.0;
+  cfg.grow_to_window = true;
+  auto streamed = make_streamed_operator(file.path, cfg);
+  ASSERT_TRUE(streamed.info.shared_basis);
+  ASSERT_GT(streamed.streamer->plan().num_shards(), 1);
+
+  const index_t v = dataset().num_receivers() / 3;
+  const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 8;
+  const auto ref = mdd::solve_mdd(*resident, rhs, lsqr);
+  const auto got = mdd::solve_mdd(*streamed.op, rhs, lsqr);
+  EXPECT_TRUE(bitwise_equal(ref.x, got.x));
+}
+
+TEST(StreamedOperator, DenseKernelsStreamBitwiseUnderBeladyAndLru) {
+  const auto resident = dense_resident(22, 17);
+  std::vector<float> x(static_cast<std::size_t>(resident->cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.37 * static_cast<double>(i + 1));
+  }
+  std::vector<float> ref_y(static_cast<std::size_t>(resident->rows()));
+  resident->apply(x, std::span<float>(ref_y));
+  std::vector<float> ref_x(static_cast<std::size_t>(resident->cols()));
+  resident->apply_adjoint(ref_y, std::span<float>(ref_x));
+
+  for (const bool cyclic : {true, false}) {
+    auto src = std::make_shared<DenseSource>(
+        22, 17, static_cast<index_t>(kBins.size()));
+    StreamConfig cfg;
+    cfg.cyclic_plan = cyclic;  // false = LRU fallback eviction
+    auto streamer = dense_streamer(src, 0.25, cfg);
+    mdc::MdcOperator op(kNt, kBins, streamer);
+
+    std::vector<float> y(static_cast<std::size_t>(op.rows()));
+    op.apply(x, std::span<float>(y));
+    EXPECT_TRUE(bitwise_equal(ref_y, y)) << "cyclic=" << cyclic;
+    std::vector<float> xt(static_cast<std::size_t>(op.cols()));
+    op.apply_adjoint(y, std::span<float>(xt));
+    EXPECT_TRUE(bitwise_equal(ref_x, xt)) << "cyclic=" << cyclic;
+  }
+}
+
+TEST(StreamedOperator, ConcurrentSweepsSerializeAndStayBitwise) {
+  const auto resident = dense_resident(22, 17);
+  std::vector<float> x(static_cast<std::size_t>(resident->cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::cos(0.21 * static_cast<double>(i + 1));
+  }
+  std::vector<float> ref_y(static_cast<std::size_t>(resident->rows()));
+  resident->apply(x, std::span<float>(ref_y));
+
+  auto src = std::make_shared<DenseSource>(
+      22, 17, static_cast<index_t>(kBins.size()));
+  auto streamer = dense_streamer(src, 0.3);
+  mdc::MdcOperator op(kNt, kBins, streamer);
+
+  constexpr int kThreads = 3;
+  std::vector<std::vector<float>> ys(
+      kThreads, std::vector<float>(static_cast<std::size_t>(op.rows())));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { op.apply(x, std::span<float>(ys[static_cast<std::size_t>(t)])); });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(bitwise_equal(ref_y, ys[static_cast<std::size_t>(t)]))
+        << "thread " << t;
+  }
+}
+
+// --- Hostile streams --------------------------------------------------------
+
+TEST(ShardStreamer, TruncatedArchiveSurfacesTypedIoError) {
+  TempFile file("tlrwse_oocache_trunc.tlra");
+  std::filesystem::copy_file(tlra_path(), file.path);
+  const io::ArchiveInfo info = io::peek_archive_extents(file.path);
+  // Chop the file mid-way through the last granule: the extents peek
+  // succeeded, so the failure must come from the prefetch thread's slice
+  // load and surface as StreamError(kIo) on the consumer's acquire.
+  const io::ShardExtent& last = info.extents.back();
+  std::filesystem::resize_file(
+      file.path, static_cast<std::uintmax_t>(last.offset + last.bytes / 2));
+
+  StreamPlanConfig plan_cfg;
+  plan_cfg.budget_bytes = info.payload_bytes / 4.0;
+  StreamPlan plan = compile_stream_plan(info, plan_cfg);
+  StreamConfig cfg;
+  cfg.budget_bytes = plan_cfg.budget_bytes;
+  cfg.grow_to_window = true;
+  auto streamer = std::make_shared<ShardStreamer>(
+      std::make_shared<ArchiveShardSource>(file.path, info), plan, cfg);
+  mdc::MdcOperator op(info.nt, info.freq_bins, streamer);
+
+  std::vector<float> x(static_cast<std::size_t>(op.cols()), 1.0F);
+  std::vector<float> y(static_cast<std::size_t>(op.rows()));
+  try {
+    op.apply(x, std::span<float>(y));
+    FAIL() << "expected StreamError(kIo)";
+  } catch (const StreamError& e) {
+    EXPECT_EQ(e.code(), StreamError::Code::kIo);
+    EXPECT_NE(std::string(e.what()).find("tlrwse::oocache"),
+              std::string::npos);
+  }
+  // The stream stays failed (no hang, no partial re-serve) on reuse.
+  EXPECT_THROW(op.apply(x, std::span<float>(y)), StreamError);
+}
+
+TEST(ShardStreamer, ArchiveDeletedBetweenLoadsSurfacesTypedIoError) {
+  TempFile file("tlrwse_oocache_gone.tlra");
+  std::filesystem::copy_file(tlra_path(), file.path);
+  const io::ArchiveInfo info = io::peek_archive_extents(file.path);
+  StreamPlanConfig plan_cfg;
+  plan_cfg.budget_bytes = info.payload_bytes / 4.0;
+  StreamPlan plan = compile_stream_plan(info, plan_cfg);
+  StreamConfig cfg;
+  cfg.budget_bytes = plan_cfg.budget_bytes;
+  cfg.grow_to_window = true;
+  cfg.prefetch = false;  // synchronous loads: the deletion point is exact
+  auto streamer = std::make_shared<ShardStreamer>(
+      std::make_shared<ArchiveShardSource>(file.path, info), plan, cfg);
+  mdc::MdcOperator op(info.nt, info.freq_bins, streamer);
+
+  // First sweep streams the (present) file end to end.
+  std::vector<float> x(static_cast<std::size_t>(op.cols()), 1.0F);
+  std::vector<float> y(static_cast<std::size_t>(op.rows()));
+  op.apply(x, std::span<float>(y));
+
+  // Delete it; the next sweep's first evicted-and-reloaded shard fails.
+  std::filesystem::remove(file.path);
+  try {
+    op.apply(x, std::span<float>(y));
+    FAIL() << "expected StreamError(kIo)";
+  } catch (const StreamError& e) {
+    EXPECT_EQ(e.code(), StreamError::Code::kIo);
+  }
+}
+
+TEST(ShardStreamer, CancelDuringPrefetchStallThrowsCancelled) {
+  auto src = std::make_shared<DenseSource>(22, 17,
+                                           static_cast<index_t>(kBins.size()));
+  src->delay_ms = 100;  // every load stalls the consumer
+  auto streamer = dense_streamer(src, 0.25);
+  mdc::MdcOperator op(kNt, kBins, streamer);
+
+  std::vector<float> x(static_cast<std::size_t>(op.cols()), 1.0F);
+  std::vector<float> y(static_cast<std::size_t>(op.rows()));
+  {
+    const auto start = std::chrono::steady_clock::now();
+    mdc::CancelScope cancel([start] {
+      return std::chrono::steady_clock::now() - start >
+             std::chrono::milliseconds(30);
+    });
+    EXPECT_THROW(op.apply(x, std::span<float>(y)), mdc::CancelledError);
+  }
+  // The streamer survives a cancelled sweep: once the deadline scope is gone
+  // the same operator serves the full apply.
+  op.apply(x, std::span<float>(y));
+  const auto resident = dense_resident(22, 17);
+  std::vector<float> ref(static_cast<std::size_t>(resident->rows()));
+  resident->apply(x, std::span<float>(ref));
+  EXPECT_TRUE(bitwise_equal(ref, y));
+}
+
+// --- Serve integration ------------------------------------------------------
+
+TEST(SolveServiceStreaming, StreamedEntryMatchesResidentBitwise) {
+  const auto archive = io::load_archive(tlra_path());
+  const auto reference_op = io::make_operator(archive);
+  const double payload = archive.compressed_bytes();
+  const index_t v = 2;
+  const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 6;
+  const auto ref = mdd::solve_mdd(*reference_op, rhs, lsqr);
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_resident_bytes = payload / 4.0;  // forces the streamed path
+  serve::SolveService service(cfg);
+  serve::SolveRequest req;
+  req.op = serve::OperatorKey{tlra_path(), cc().nb, cc().acc};
+  req.kind = serve::RequestKind::kLsqr;
+  req.vsrc = v;
+  req.rhs = rhs;
+  req.lsqr = lsqr;
+  const auto resp = service.submit(std::move(req)).get();
+  ASSERT_EQ(resp.status, serve::SolveStatus::kOk) << resp.error;
+  EXPECT_TRUE(bitwise_equal(ref.x, resp.x));
+
+  // The cache charged the stream budget, not the full payload: admission
+  // of an over-budget archive is exactly what the streamed entry buys.
+  const serve::CacheStats cache = service.cache().stats();
+  EXPECT_EQ(cache.entries, 1u);
+  EXPECT_LT(cache.bytes_resident, payload);
+}
+
+TEST(SolveServiceStreaming, UnservableBudgetIsTypedLoadFailure) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_resident_bytes = 64.0;  // below any double-buffer window
+  serve::SolveService service(cfg);
+  serve::SolveRequest req;
+  req.op = serve::OperatorKey{tlra_path(), cc().nb, cc().acc};
+  req.kind = serve::RequestKind::kAdjoint;
+  req.vsrc = 0;
+  req.rhs = mdd::virtual_source_rhs(dataset(), 0);
+  const auto resp = service.submit(std::move(req)).get();
+  EXPECT_EQ(resp.status, serve::SolveStatus::kError);
+  EXPECT_NE(resp.error.find("double-buffer"), std::string::npos)
+      << resp.error;
+}
+
+}  // namespace
+}  // namespace tlrwse::oocache

@@ -94,6 +94,26 @@ SCHEMAS = {
             "pflops",
         },
     ),
+    "oocache": (
+        {"bench", "nt", "num_freq", "ns", "nr", "payload_mb", "pairs", "nrhs"},
+        {
+            "budget",
+            "budget_mb",
+            "shards",
+            "window_mb",
+            "applies_per_sec",
+            "no_prefetch_applies_per_sec",
+            "pct_of_resident",
+            "prefetch_speedup",
+            "hits",
+            "misses",
+            "loads",
+            "evictions",
+            "bytes_streamed_mb",
+            "stall_s",
+            "bitwise",
+        },
+    ),
     "shared_basis": (
         {"bench", "simd_compiled", "simd_level", "m", "n", "nb", "num_freq", "acc"},
         {

@@ -37,7 +37,7 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   fi
 fi
 
-TESTS=(test_mdc_parallel test_tlr_mvm test_shared_basis test_serve test_cluster test_obs test_common)
+TESTS=(test_mdc_parallel test_tlr_mvm test_shared_basis test_serve test_cluster test_oocache test_obs test_common)
 
 cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -56,8 +56,10 @@ status=0
 for t in "${TESTS[@]}"; do
   echo "=== TSan: $t (OMP_NUM_THREADS=$OMP_NUM_THREADS) ==="
   log="$BUILD_DIR/$t.tsan.log"
-  if ! "$BUILD_DIR/tests/$t" >"$log" 2>&1; then
-    echo "FAIL: $t test failures"
+  # A hung binary (deadlocked prefetcher, stuck queue) must fail loudly,
+  # not stall the job until the CI-level timeout reaps it.
+  if ! timeout 600 "$BUILD_DIR/tests/$t" >"$log" 2>&1; then
+    echo "FAIL: $t test failures (or 600s timeout)"
     tail -n 40 "$log"
     status=1
   fi

@@ -12,8 +12,14 @@
 //   tlrwse_cli archive  --out survey.tlra [--nb 24] [--acc 1e-4] [geometry
 //                       flags as for synth]   (compress a whole survey)
 //   tlrwse_cli solve    --archive survey.tlra [--vsrc v] [--iters 30]
+//                       [--stream-mb 0] [--stream-verify 0]
 //                       (MDD from precompressed kernels; geometry flags
-//                        must match the archive's survey)
+//                        must match the archive's survey. --stream-mb > 0
+//                        runs out-of-core: kernels stream disk->RAM under
+//                        that byte budget, grown to the plan's
+//                        double-buffer window when too small;
+//                        --stream-verify 1 re-solves fully resident and
+//                        asserts the streamed solution is bitwise equal)
 //   tlrwse_cli serve    --archive survey.tlra [--clients 8] [--requests 4]
 //                       [--workers 4] [--queue 64] [--batch 8] [--iters 10]
 //                       [--mode lsqr|adjoint|mixed] [--deadline-ms 0]
@@ -78,6 +84,7 @@
 #include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/obs/prometheus.hpp"
 #include "tlrwse/obs/tracer.hpp"
+#include "tlrwse/oocache/streamed_operator.hpp"
 #include "tlrwse/seismic/modeling.hpp"
 #include "tlrwse/seismic/rank_model.hpp"
 #include "tlrwse/serve/solve_service.hpp"
@@ -373,8 +380,32 @@ int cmd_solve(const Args& args) {
     std::fprintf(stderr, "solve: --archive is required\n");
     return 1;
   }
-  const auto archive = io::load_archive(path);
-  const auto op = io::make_operator(archive);
+  const double stream_mb = args.num("stream-mb", 0.0);
+  const bool stream_verify = args.integer("stream-verify", 0) != 0;
+  std::unique_ptr<mdc::MdcOperator> op;
+  std::shared_ptr<oocache::ShardStreamer> streamer;
+  bool shared_basis = false;
+  if (stream_mb > 0.0) {
+    // Out-of-core: kernels stream disk->RAM under the byte budget while
+    // the solve runs, grown to the plan's double-buffer window when the
+    // request is too small to be servable at all.
+    oocache::StreamConfig scfg;
+    scfg.budget_bytes = stream_mb * 1024.0 * 1024.0;
+    scfg.grow_to_window = true;
+    auto streamed = oocache::make_streamed_operator(path, scfg);
+    op = std::move(streamed.op);
+    streamer = streamed.streamer;
+    shared_basis = streamed.info.shared_basis;
+    std::printf("streaming %s: %.1f MiB payload in %lld shard(s), budget "
+                "%.1f MiB (window %.1f MiB)\n",
+                path.c_str(), streamed.info.payload_bytes / (1024.0 * 1024.0),
+                static_cast<long long>(streamer->plan().num_shards()),
+                streamer->budget_bytes() / (1024.0 * 1024.0),
+                streamer->plan().window_bytes() / (1024.0 * 1024.0));
+  } else {
+    const auto archive = io::load_archive(path);
+    op = io::make_operator(archive);
+  }
   // The observed data still comes from the (re-modelled) survey; in a real
   // deployment it would be loaded from disk alongside the archive.
   const auto data = seismic::build_dataset(dataset_config(args));
@@ -393,6 +424,32 @@ int cmd_solve(const Args& args) {
               "correlation %.3f\n",
               static_cast<long long>(v), path.c_str(), t.seconds(),
               mdd::nmse(sol.x, truth), mdd::correlation(sol.x, truth));
+  if (streamer != nullptr) {
+    const oocache::StreamStats st = streamer->stats();
+    std::printf("stream stats: %llu hits, %llu misses, %llu loads, %llu "
+                "evictions, %.1f MiB streamed, %.2fs stalled\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.loads),
+                static_cast<unsigned long long>(st.evictions),
+                st.bytes_streamed / (1024.0 * 1024.0), st.stall_s);
+  }
+  if (stream_verify && streamer != nullptr) {
+    // Ground truth: the same solve with every kernel resident. Streaming
+    // must change residency timing only, never a single bit of the result.
+    std::unique_ptr<mdc::MdcOperator> resident =
+        shared_basis ? io::make_operator(io::load_shared_archive(path))
+                     : io::make_operator(io::load_archive(path));
+    const auto ref = mdd::solve_mdd(*resident, rhs, lsqr);
+    const bool bitwise =
+        ref.x.size() == sol.x.size() &&
+        std::memcmp(ref.x.data(), sol.x.data(),
+                    ref.x.size() * sizeof(float)) == 0;
+    std::printf("stream verify: %s\n",
+                bitwise ? "bitwise identical to resident solve"
+                        : "MISMATCH vs resident solve");
+    if (!bitwise) return 2;
+  }
   return 0;
 }
 
