@@ -23,15 +23,27 @@
 // The recorder's cost on the pure cost-model sweep (no data moves, ~50 ns
 // per chunk, so per-launch recording is a large fraction by construction)
 // is reported as an informational number like the detail tier.
+//
+// A third paired gate covers the always-on per-request bookkeeping the
+// serving tiers added for latency attribution: every request pays a
+// StageBreakdown fill (wall-clock reads around each stage), a
+// StageRecorder publish (9 histogram records), and an SloTracker record
+// (one mutex + octave bucketing). The "request" mode charges exactly that
+// per apply pair against the bare pair, with its own < 2% bar.
 // Usage:
 //
-//   ./bench_obs_overhead [reps] [trials]
+//   ./bench_obs_overhead [reps] [trials] [--check]
+//
+// Exit code: without --check, nonzero when the long-standing tracer/
+// recorder gates fail (unchanged); with --check the request-tracking gate
+// is enforced too.
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -39,6 +51,9 @@
 #include "tlrwse/common/timer.hpp"
 #include "tlrwse/mdc/mdc_operator.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/slo_tracker.hpp"
+#include "tlrwse/obs/stage_breakdown.hpp"
+#include "tlrwse/obs/trace_context.hpp"
 #include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
 #include "tlrwse/wse/functional.hpp"
@@ -94,6 +109,30 @@ double time_trial(const mdc::MdcOperator& op, std::span<const float> x,
   for (int r = 0; r < reps; ++r) {
     op.apply(x, y);
     op.apply_adjoint(yb, xt);
+  }
+  return timer.seconds() / reps;
+}
+
+/// Seconds per forward+adjoint pair with the serving tiers' always-on
+/// per-request bookkeeping charged to every pair: stage timing via the
+/// shared steady clock, a StageBreakdown publish into the stage
+/// histograms, and an SLO window record.
+double time_request_trial(const mdc::MdcOperator& op, std::span<const float> x,
+                          std::span<float> y, std::span<const float> yb,
+                          std::span<float> xt, obs::StageRecorder& stages,
+                          obs::SloTracker& slo, int reps) {
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t t0 = obs::steady_now_ns();
+    op.apply(x, y);
+    const std::uint64_t mid = obs::steady_now_ns();
+    op.apply_adjoint(yb, xt);
+    const std::uint64_t end = obs::steady_now_ns();
+    obs::StageBreakdown st;
+    st.mvm_s = 1e-9 * static_cast<double>(mid - t0);
+    st.lsqr_s = 1e-9 * static_cast<double>(end - t0);
+    stages.record(st);
+    slo.record(st.lsqr_s, /*ok=*/true);
   }
   return timer.seconds() / reps;
 }
@@ -155,8 +194,21 @@ int main(int argc, char** argv) {
   // 21 bursts discards every burst that didn't.
   int reps = 3;
   int trials = 21;
-  if (argc > 1) reps = std::max(1, std::atoi(argv[1]));
-  if (argc > 2) trials = std::max(1, std::atoi(argv[2]));
+  bool check = false;
+  {
+    int pos = 0;
+    for (int a = 1; a < argc; ++a) {
+      if (std::string_view(argv[a]) == "--check") {
+        check = true;
+      } else if (pos == 0) {
+        reps = std::max(1, std::atoi(argv[a]));
+        ++pos;
+      } else if (pos == 1) {
+        trials = std::max(1, std::atoi(argv[a]));
+        ++pos;
+      }
+    }
+  }
 
   const auto op = build_operator();
   Rng rng(7);
@@ -175,11 +227,16 @@ int main(int argc, char** argv) {
 
   // Interleave the modes so frequency scaling and scheduler drift hit all
   // of them equally instead of biasing whichever runs last.
-  std::vector<double> base_trials, traced_trials, detail_trials;
+  std::vector<double> base_trials, traced_trials, detail_trials,
+      request_trials;
   base_trials.reserve(static_cast<std::size_t>(trials));
   traced_trials.reserve(static_cast<std::size_t>(trials));
   detail_trials.reserve(static_cast<std::size_t>(trials));
+  request_trials.reserve(static_cast<std::size_t>(trials));
   std::size_t traced_events = 0;
+  obs::MetricsRegistry request_reg;
+  obs::StageRecorder stage_recorder(request_reg, "bench");
+  obs::SloTracker slo;
   // One untimed settle pair after every mode switch: enabling the tracer
   // (re)allocates and faults in the ring buffers, a one-time cost that
   // would otherwise be billed to the first timed apply of the burst.
@@ -195,6 +252,11 @@ int main(int argc, char** argv) {
     time_trial(*op, x, y, yb, xt, 1);
     detail_trials.push_back(time_trial(*op, x, y, yb, xt, reps));
     tracer.disable();
+    // Request bookkeeping rides the tracer-disabled production default —
+    // it is what serve/cluster pay on every request regardless of tracing.
+    time_request_trial(*op, x, y, yb, xt, stage_recorder, slo, 1);
+    request_trials.push_back(
+        time_request_trial(*op, x, y, yb, xt, stage_recorder, slo, reps));
   }
 
   const double base_s = min_of(base_trials);
@@ -202,6 +264,9 @@ int main(int argc, char** argv) {
   const double overhead_pct = paired_overhead_pct(base_trials, traced_trials);
   const double detail_pct = paired_overhead_pct(base_trials, detail_trials);
   const bool pass = overhead_pct < 2.0;
+  const double request_s = min_of(request_trials);
+  const double request_pct = paired_overhead_pct(base_trials, request_trials);
+  const bool request_pass = request_pct < 2.0;
 
   // Flight-recorder overhead on the simulated apply path: the functional
   // (value-exact) WSE execution of a compressed 2048x2048 kernel — each
@@ -277,6 +342,11 @@ int main(int argc, char** argv) {
             << ",\"sim_overhead_pct\":" << sim_pct
             << ",\"sim_chunks\":" << sim_chunks
             << ",\"sim_pass_lt_2pct\":" << (sim_pass ? "true" : "false")
-            << ",\"costmodel_overhead_pct\":" << cm_pct << "}\n";
+            << ",\"costmodel_overhead_pct\":" << cm_pct
+            << ",\"min_request_s\":" << request_s
+            << ",\"request_overhead_pct\":" << request_pct
+            << ",\"request_pass_lt_2pct\":" << (request_pass ? "true" : "false")
+            << "}\n";
+  if (check && !request_pass) return 1;
   return (pass && sim_pass) ? 0 : 1;
 }

@@ -41,6 +41,10 @@
 #include "tlrwse/mdc/linear_operator.hpp"
 #include "tlrwse/mdd/lsqr.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/slo_tracker.hpp"
+#include "tlrwse/obs/stage_breakdown.hpp"
+#include "tlrwse/obs/trace_context.hpp"
+#include "tlrwse/obs/trace_merge.hpp"
 #include "tlrwse/serve/admission_queue.hpp"
 #include "tlrwse/serve/operator_cache.hpp"
 #include "tlrwse/serve/solve_service.hpp"
@@ -119,6 +123,54 @@ struct Placement {
   std::vector<ShardAssignment> shards;
 };
 
+/// Per-request observability state threaded through a RemoteMdcOperator.
+/// Stage times are always accumulated (they feed the per-stage latency
+/// histograms and the response's StageBreakdown); spans and clock samples
+/// are only collected when `ctx.sampled` — the cost of a full distributed
+/// timeline is opt-in per request.
+struct RequestTrace {
+  obs::TraceContext ctx;
+  obs::StageBreakdown stages;
+  /// Frontend-side spans (raw steady-clock ns), bounded; overflow counts
+  /// into `dropped` so the merged timeline can be marked lossy.
+  std::vector<obs::RemoteSpan> spans;
+  std::uint64_t dropped = 0;
+  /// RPC send/recv timestamp pairs per fleet index, for NTP-style clock
+  /// alignment of that worker's spans against the frontend clock.
+  std::vector<std::vector<obs::ClockSample>> clock_samples;
+  /// Fleet indices that served at least one exchange of this request.
+  std::vector<std::size_t> workers;
+
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  std::uint64_t new_span_id() { return next_span_id_++; }
+  void note_worker(std::size_t w) {
+    for (const std::size_t seen : workers) {
+      if (seen == w) return;
+    }
+    workers.push_back(w);
+  }
+  void add_span(std::string name, std::uint64_t span_id,
+                std::uint64_t parent_span_id, std::uint64_t ts_ns,
+                std::uint64_t dur_ns) {
+    if (spans.size() >= kMaxSpans) {
+      ++dropped;
+      return;
+    }
+    obs::RemoteSpan s;
+    s.name = std::move(name);
+    s.trace_id = ctx.trace_id;
+    s.span_id = span_id;
+    s.parent_span_id = parent_span_id;
+    s.ts_ns = ts_ns;
+    s.dur_ns = dur_ns;
+    spans.push_back(std::move(s));
+  }
+
+ private:
+  std::uint64_t next_span_id_ = 1;
+};
+
 /// The MDC operator y = F^H K F x with the K stage executed remotely:
 /// rFFT locally, gather each shard's per-frequency slices, exchange with a
 /// live replica, scatter the replies into the zero-initialised spectrum
@@ -130,12 +182,16 @@ class RemoteMdcOperator final : public mdc::LinearOperator {
   /// return aborts the apply with mdc::CancelledError, mirroring the
   /// CancelScope deadline poll of the local operator. `on_worker_death` is
   /// notified once per worker this operator discovers dead.
+  /// `rt` (optional, not owned, must outlive the operator) accumulates
+  /// per-stage latency and — when rt->ctx.sampled — spans and clock
+  /// samples for the merged distributed timeline.
   RemoteMdcOperator(std::span<const std::unique_ptr<WorkerClient>> fleet,
                     std::shared_ptr<const Placement> placement,
                     std::uint64_t request_id,
                     std::chrono::steady_clock::time_point deadline_at = {},
                     std::function<bool()> cancelled = {},
-                    std::function<void(std::size_t)> on_worker_death = {});
+                    std::function<void(std::size_t)> on_worker_death = {},
+                    RequestTrace* rt = nullptr);
 
   [[nodiscard]] index_t rows() const override;
   [[nodiscard]] index_t cols() const override;
@@ -159,6 +215,10 @@ class RemoteMdcOperator final : public mdc::LinearOperator {
   /// kCancelled / kDeadlineExceeded reply.
   [[nodiscard]] ApplyOkMsg exchange(const ShardAssignment& shard,
                                     ApplyMsg msg) const;
+  /// Folds one successful exchange's reply into `rt_`: clock sample, MVM
+  /// vs RPC-overhead attribution, participating-worker set.
+  void note_exchange(std::size_t worker, std::uint64_t t0_ns,
+                     std::uint64_t t3_ns, const ApplyOkMsg& ok) const;
   void check_abort() const;
   [[nodiscard]] double remaining_deadline_s() const;
 
@@ -168,6 +228,7 @@ class RemoteMdcOperator final : public mdc::LinearOperator {
   std::chrono::steady_clock::time_point deadline_at_;
   std::function<bool()> cancelled_;
   std::function<void(std::size_t)> on_worker_death_;
+  RequestTrace* rt_ = nullptr;  // not owned; may be null
   fft::FftPlan plan_;
   mutable std::mutex scratch_mu_;
   mutable std::vector<cf32> in_spec_, out_spec_;
@@ -194,6 +255,9 @@ struct ClusterRequest {
   std::vector<float> rhs;
   mdd::LsqrConfig lsqr;
   double deadline_s = 0.0;
+  /// Request a full distributed trace: worker spans are buffered, dumped,
+  /// clock-aligned and merged into ClusterResponse::trace_json.
+  bool trace = false;
 };
 
 struct ClusterResponse {
@@ -206,6 +270,12 @@ struct ClusterResponse {
   double queue_wait_s = 0.0;
   double solve_s = 0.0;
   double total_s = 0.0;
+  /// Per-stage latency attribution for this request (always filled for
+  /// solved requests, regardless of tracing).
+  obs::StageBreakdown stages;
+  /// chrome://tracing timeline merged across frontend + workers; empty
+  /// unless the request set `trace`.
+  std::string trace_json;
   std::string error;
 };
 
@@ -216,6 +286,9 @@ struct ClusterConfig {
   /// Max in-flight (queued + solving) requests per tenant; 0 = unlimited.
   std::size_t tenant_quota = 0;
   PlannerConfig planner;            // num_workers is overridden per plan
+  /// Latency/availability objectives for the rolling SLO window; latency
+  /// breaches persist exemplars when `slo.exemplar_dir` is set.
+  obs::SloConfig slo;
 };
 
 /// Handle returned by submit(): the id is live immediately (usable for
@@ -258,6 +331,29 @@ class ClusterService {
   /// Frontend snapshot merged with every live worker's (worker.* names),
   /// via obs::merge_snapshots.
   [[nodiscard]] obs::MetricsRegistry::Snapshot cluster_snapshot();
+  /// Fleet-wide Prometheus exposition text: the frontend's and every live
+  /// worker's snapshot merged, then rendered (cumulative histograms).
+  [[nodiscard]] std::string fleet_prometheus_text();
+
+  /// One worker's health as seen from the frontend. `alive == false`
+  /// means the poll failed (or the worker was already marked dead); the
+  /// embedded HealthOkMsg is then default-constructed.
+  struct WorkerHealth {
+    std::string name;
+    bool alive = false;
+    HealthOkMsg health;
+  };
+  /// Polls every fleet member with kHealth (dead workers are reported,
+  /// not skipped, so the fleet view shows holes).
+  [[nodiscard]] std::vector<WorkerHealth> fleet_health();
+  /// fleet_health() rendered as a JSON document (for --health-out and the
+  /// live --watch view).
+  [[nodiscard]] std::string fleet_health_json();
+
+  /// The rolling SLO window (p50/p95/p99, error-budget burn rate).
+  [[nodiscard]] obs::SloTracker::Window slo_window() const {
+    return slo_.window();
+  }
 
  private:
   struct Ticket {
@@ -271,12 +367,14 @@ class ClusterService {
   void process_batch(const serve::OperatorKey& key,
                      std::vector<Ticket> batch);
   void solve_ticket(Ticket& ticket,
-                    const std::shared_ptr<const Placement>& placement);
+                    const std::shared_ptr<const Placement>& placement,
+                    double load_s);
   /// Serves >= 2 deadline-free adjoint tickets with one multi-RHS remote
   /// sweep (each RHS bitwise identical to its single solve).
   void solve_adjoint_group(std::vector<Ticket>& batch,
                            const std::vector<std::size_t>& adj,
-                           const std::shared_ptr<const Placement>& placement);
+                           const std::shared_ptr<const Placement>& placement,
+                           double load_s);
   [[nodiscard]] std::shared_ptr<const Placement> resolve_placement(
       const serve::OperatorKey& key);
   [[nodiscard]] std::shared_ptr<const Placement> build_placement(
@@ -287,6 +385,13 @@ class ClusterService {
   /// request for this operator replans over the workers still alive.
   void invalidate_placement(const serve::OperatorKey& key);
   void respond(Ticket& ticket, ClusterResponse r);
+  /// Feeds one finished response into the SLO window and persists an
+  /// exemplar on a latency breach. Called from respond() so rejects count
+  /// as availability errors too.
+  void record_slo(const ClusterResponse& r);
+  /// kTraceDump every participating worker, align clocks from the
+  /// request's RPC timestamp pairs, merge into one timeline JSON.
+  [[nodiscard]] std::string collect_trace(RequestTrace& rt);
 
   ClusterConfig cfg_;
   std::vector<std::unique_ptr<WorkerClient>> fleet_;
@@ -306,6 +411,8 @@ class ClusterService {
   obs::Counter& placements_;
   obs::Counter& replans_;
   obs::Histogram& solve_hist_;
+  obs::StageRecorder stage_recorder_;
+  obs::SloTracker slo_;
 
   serve::AdmissionQueue<serve::OperatorKey, Ticket, serve::OperatorKeyHash>
       queue_;

@@ -23,11 +23,17 @@
 
 #include "tlrwse/common/types.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/trace_context.hpp"
 
 namespace tlrwse::cluster {
 
 constexpr std::uint32_t kWireMagic = 0x54575250;  // "PRWT" on disk: TWRP
-constexpr std::uint16_t kWireVersion = 1;
+/// v2 added the optional trailing trace-context field on kApply, the
+/// worker clock stamps on kApplyOk, and the kTraceDump/kHealth message
+/// types. Frames are still decoded down to kMinWireVersion: a v1 frontend
+/// or worker keeps interoperating (the optional trailers simply default).
+constexpr std::uint16_t kWireVersion = 2;
+constexpr std::uint16_t kMinWireVersion = 1;
 constexpr std::size_t kFrameHeaderBytes = 16;
 /// Payload cap: a corrupt or hostile length field past this is rejected
 /// before it can demand the allocation.
@@ -53,6 +59,10 @@ enum class MsgType : std::uint16_t {
   kShutdown = 9,     // frontend -> worker: drain and exit
   kShutdownOk = 10,
   kError = 11,       // worker -> frontend: typed failure
+  kTraceDump = 12,   // frontend -> worker: return buffered spans of a trace
+  kTraceDumpOk = 13, // worker -> frontend: the spans + drop accounting
+  kHealth = 14,      // frontend -> worker: liveness/residency probe
+  kHealthOk = 15,    // worker -> frontend: shard table, bytes, uptime, ...
 };
 
 enum class WireErrorCode : std::uint16_t {
@@ -189,6 +199,9 @@ struct ApplyMsg {
   index_t nrhs = 1;
   double deadline_s = 0.0;  // remaining budget at send time; 0 = none
   std::vector<cf32> data;   // nq * nrhs * (adjoint ? ns : nr) values
+  /// Optional v2 trailer: distributed trace identity. A v1 frame ends at
+  /// `data`; from_frame leaves the context defaulted (trace_id 0) then.
+  obs::TraceContext trace;
 
   [[nodiscard]] Frame to_frame() const;
   [[nodiscard]] static ApplyMsg from_frame(const Frame& f);
@@ -197,6 +210,11 @@ struct ApplyMsg {
 struct ApplyOkMsg {
   std::uint64_t request_id = 0;
   std::vector<cf32> data;  // nq * nrhs * (adjoint ? nr : ns) values
+  /// Optional v2 trailer: the worker's steady clock at frame receive and
+  /// reply send — one NTP-style clock sample per exchange when paired with
+  /// the frontend's send/receive stamps. 0 when absent (v1 peer).
+  std::uint64_t worker_recv_ns = 0;
+  std::uint64_t worker_send_ns = 0;
 
   [[nodiscard]] Frame to_frame() const;
   [[nodiscard]] static ApplyOkMsg from_frame(const Frame& f);
@@ -246,6 +264,52 @@ struct ErrorMsg {
 
   [[nodiscard]] Frame to_frame() const;
   [[nodiscard]] static ErrorMsg from_frame(const Frame& f);
+};
+
+/// Asks the worker for the spans it buffered under one trace id (the
+/// worker forgets the trace after answering).
+struct TraceDumpMsg {
+  std::uint64_t trace_id = 0;
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static TraceDumpMsg from_frame(const Frame& f);
+};
+
+struct TraceDumpOkMsg {
+  std::uint64_t trace_id = 0;
+  std::uint64_t dropped_spans = 0;  // buffer overflow during recording
+  std::vector<obs::RemoteSpan> spans;
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static TraceDumpOkMsg from_frame(const Frame& f);
+};
+
+struct HealthMsg {
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static HealthMsg from_frame(const Frame& f);
+};
+
+/// One worker's liveness/residency report for the fleet view.
+struct HealthOkMsg {
+  struct ShardInfo {
+    std::uint32_t shard_id = 0;
+    index_t q_begin = 0;  // archive frequency-index range (test-injected
+    index_t q_end = 0;    // shards report [0, num_freqs))
+    std::uint32_t num_freqs = 0;
+    double bytes = 0.0;  // compressed payload resident for this shard
+  };
+
+  std::uint64_t uptime_ns = 0;
+  std::uint64_t inflight = 0;  // applies currently executing
+  std::uint64_t applies = 0;   // completed applies since start
+  double resident_bytes = 0.0;
+  double streamed_bytes = 0.0;  // oocache bytes streamed (0: resident-only)
+  double stall_s = 0.0;         // cumulative oocache stall time
+  std::uint64_t dropped_spans = 0;  // remote span buffer overflow, total
+  std::vector<ShardInfo> shards;
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static HealthOkMsg from_frame(const Frame& f);
 };
 
 }  // namespace tlrwse::cluster

@@ -26,6 +26,7 @@
 #include "tlrwse/common/workspace_pool.hpp"
 #include "tlrwse/mdc/frequency_mvm.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/trace_context.hpp"
 
 namespace tlrwse::cluster {
 
@@ -58,27 +59,42 @@ class ShardWorker {
     return registry_.snapshot();
   }
 
+  /// This worker's health report (kHealthOk payload): shard ownership,
+  /// resident bytes, uptime, in-flight applies, span-buffer drops.
+  [[nodiscard]] HealthOkMsg health() const;
+
  private:
   struct Shard {
     index_t nt = 0;
     index_t ns = 0;  // kernel rows
     index_t nr = 0;  // kernel cols
+    index_t q_begin = 0;  // archive frequency-index range
+    index_t q_end = 0;
+    double bytes = 0.0;  // compressed payload resident for this shard
     std::vector<index_t> freq_bins;
     std::vector<std::unique_ptr<mdc::FrequencyMvm>> kernels;
   };
 
   Frame handle_load(const LoadShardMsg& msg);
-  Frame handle_apply(const ApplyMsg& msg);
+  Frame handle_apply(const ApplyMsg& msg, std::uint64_t recv_ns);
   Frame handle_cancel(const CancelMsg& msg);
   Frame handle_metrics();
+  Frame handle_trace_dump(const TraceDumpMsg& msg);
   Frame handle_shutdown();
 
   mutable std::mutex mu_;
   std::map<std::uint32_t, std::shared_ptr<const Shard>> shards_;
   std::unordered_set<std::uint64_t> cancelled_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> span_drops_{0};  // take()-observed drop total
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 
   obs::MetricsRegistry registry_;
+  /// Completed spans of sampled requests, held until the frontend's
+  /// kTraceDump collects them (bounded; overflow is counted per trace).
+  obs::RemoteSpanBuffer span_buf_;
   WorkspacePool<mdc::FrequencyWorkspace> ws_pool_;
 };
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "tlrwse/common/error.hpp"
 #include "tlrwse/io/archive.hpp"
 #include "tlrwse/mdc/cancellation.hpp"
+#include "tlrwse/obs/prometheus.hpp"
 
 namespace tlrwse::cluster {
 
@@ -156,18 +158,20 @@ RemoteMdcOperator::RemoteMdcOperator(
     std::span<const std::unique_ptr<WorkerClient>> fleet,
     std::shared_ptr<const Placement> placement, std::uint64_t request_id,
     Clock::time_point deadline_at, std::function<bool()> cancelled,
-    std::function<void(std::size_t)> on_worker_death)
+    std::function<void(std::size_t)> on_worker_death, RequestTrace* rt)
     : fleet_(fleet),
       placement_(std::move(placement)),
       request_id_(request_id),
       deadline_at_(deadline_at),
       cancelled_(std::move(cancelled)),
       on_worker_death_(std::move(on_worker_death)),
+      rt_(rt),
       plan_(placement_ != nullptr && placement_->nt >= 1 ? placement_->nt
                                                          : 1) {
   TLRWSE_REQUIRE(placement_ != nullptr, "RemoteMdcOperator: null placement");
   TLRWSE_REQUIRE(!placement_->shards.empty(),
                  "RemoteMdcOperator: empty placement");
+  if (rt_ != nullptr) rt_->clock_samples.resize(fleet_.size());
 }
 
 index_t RemoteMdcOperator::rows() const {
@@ -211,6 +215,27 @@ double RemoteMdcOperator::remaining_deadline_s() const {
   return std::max(1e-9, seconds_between(Clock::now(), deadline_at_));
 }
 
+void RemoteMdcOperator::note_exchange(std::size_t worker, std::uint64_t t0_ns,
+                                      std::uint64_t t3_ns,
+                                      const ApplyOkMsg& ok) const {
+  if (rt_ == nullptr) return;
+  rt_->note_worker(worker);
+  const double round_trip_s = 1e-9 * static_cast<double>(t3_ns - t0_ns);
+  if (ok.worker_recv_ns != 0 && ok.worker_send_ns >= ok.worker_recv_ns) {
+    // v2 reply: split the round trip into worker compute (MVM) and
+    // everything else (serialization + transport + queueing = RPC).
+    const double worker_s =
+        1e-9 * static_cast<double>(ok.worker_send_ns - ok.worker_recv_ns);
+    rt_->stages.mvm_s += std::min(worker_s, round_trip_s);
+    rt_->stages.rpc_s += std::max(0.0, round_trip_s - worker_s);
+    rt_->clock_samples[worker].push_back(
+        obs::ClockSample{t0_ns, ok.worker_recv_ns, ok.worker_send_ns, t3_ns});
+  } else {
+    // v1 worker: no clock stamps — the whole round trip is RPC time.
+    rt_->stages.rpc_s += round_trip_s;
+  }
+}
+
 ApplyOkMsg RemoteMdcOperator::exchange(const ShardAssignment& shard,
                                        ApplyMsg msg) const {
   const Frame request = msg.to_frame();
@@ -218,7 +243,10 @@ ApplyOkMsg RemoteMdcOperator::exchange(const ShardAssignment& shard,
     WorkerClient& client = *fleet_[w];
     if (!client.alive()) continue;
     try {
-      return parse_apply_reply(client.call(request));
+      const std::uint64_t t0 = obs::steady_now_ns();
+      ApplyOkMsg ok = parse_apply_reply(client.call(request));
+      note_exchange(w, t0, obs::steady_now_ns(), ok);
+      return ok;
     } catch (const TransportError&) {
       if (on_worker_death_) on_worker_death_(w);
       continue;  // next replica
@@ -249,6 +277,10 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
   const index_t in_page = nf_full * in_traces;
   const index_t out_page = nf_full * out_traces;
 
+  const bool sampled = rt_ != nullptr && rt_->ctx.sampled;
+  const std::uint64_t run_span = sampled ? rt_->new_span_id() : 0;
+  const std::uint64_t run_start = rt_ != nullptr ? obs::steady_now_ns() : 0;
+
   // F: local rFFT per RHS — identical to MdcOperator's forward stage.
   in_spec_.resize(static_cast<std::size_t>(in_page * nrhs));
   for (index_t r = 0; r < nrhs; ++r) {
@@ -260,12 +292,24 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
                                     static_cast<std::size_t>(in_page)),
                     fft_ws_);
   }
+  std::uint64_t mark = 0;
+  if (rt_ != nullptr) {
+    mark = obs::steady_now_ns();
+    rt_->stages.fft_s += 1e-9 * static_cast<double>(mark - run_start);
+    if (sampled) {
+      rt_->add_span("frontend.rfft", rt_->new_span_id(), run_span, run_start,
+                    mark - run_start);
+    }
+  }
 
   // K (remote): gather each shard's per-frequency panels and fan out. The
   // gather formulas match MdcOperator's kernel loop exactly, so workers
   // see the same bytes a local FreqScratch would.
   const std::size_t nshards = pl.shards.size();
   std::vector<ApplyMsg> msgs(nshards);
+  /// Per-shard RPC span ids; the worker parents its apply span under the
+  /// shard's RPC span, so the merged timeline nests correctly.
+  std::vector<std::uint64_t> rpc_spans(nshards, 0);
   const std::span<const cf32> spec(in_spec_);
   for (std::size_t s = 0; s < nshards; ++s) {
     const ShardAssignment& shard = pl.shards[s];
@@ -275,6 +319,12 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
     msg.adjoint = adjoint;
     msg.nrhs = nrhs;
     msg.deadline_s = remaining_deadline_s();
+    if (sampled) {
+      rpc_spans[s] = rt_->new_span_id();
+      msg.trace.trace_id = rt_->ctx.trace_id;
+      msg.trace.parent_span_id = rpc_spans[s];
+      msg.trace.sampled = true;
+    }
     const auto nq = static_cast<index_t>(shard.freq_bins.size());
     msg.data.resize(static_cast<std::size_t>(nq * nrhs * in_traces));
     for (index_t q = 0; q < nq; ++q) {
@@ -288,18 +338,29 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
       }
     }
   }
+  if (rt_ != nullptr) {
+    const std::uint64_t now = obs::steady_now_ns();
+    rt_->stages.gather_scatter_s += 1e-9 * static_cast<double>(now - mark);
+    if (sampled) {
+      rt_->add_span("frontend.gather", rt_->new_span_id(), run_span, mark,
+                    now - mark);
+    }
+    mark = now;
+  }
 
   // Dispatch every shard's exchange concurrently (each worker's dispatcher
   // runs its call), then collect with per-shard replica retry.
   struct InFlight {
     std::future<Frame> fut;
     std::size_t worker = 0;
+    std::uint64_t t0_ns = 0;
     bool dispatched = false;
   };
   std::vector<InFlight> flights(nshards);
   for (std::size_t s = 0; s < nshards; ++s) {
     for (const std::size_t w : pl.shards[s].workers) {
       if (fleet_[w]->alive()) {
+        flights[s].t0_ns = rt_ != nullptr ? obs::steady_now_ns() : 0;
         flights[s].fut = fleet_[w]->call_async(msgs[s].to_frame());
         flights[s].worker = w;
         flights[s].dispatched = true;
@@ -310,6 +371,7 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
 
   out_spec_.assign(static_cast<std::size_t>(out_page * nrhs), cf32{});
   const std::span<cf32> out_span(out_spec_);
+  double scatter_s = 0.0;
   for (std::size_t s = 0; s < nshards; ++s) {
     const ShardAssignment& shard = pl.shards[s];
     ApplyOkMsg ok;
@@ -317,12 +379,23 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
     if (flights[s].dispatched) {
       try {
         ok = parse_apply_reply(flights[s].fut.get());
+        note_exchange(flights[s].worker, flights[s].t0_ns,
+                      rt_ != nullptr ? obs::steady_now_ns() : 0, ok);
         have = true;
       } catch (const TransportError&) {
         if (on_worker_death_) on_worker_death_(flights[s].worker);
       }
     }
+    const std::uint64_t rpc_start =
+        flights[s].dispatched && have ? flights[s].t0_ns
+        : sampled                     ? obs::steady_now_ns()
+                                      : 0;
     if (!have) ok = exchange(shard, std::move(msgs[s]));
+    if (sampled) {
+      rt_->add_span("frontend.rpc shard=" + std::to_string(shard.shard_id),
+                    rpc_spans[s], run_span, rpc_start,
+                    obs::steady_now_ns() - rpc_start);
+    }
 
     const auto nq = static_cast<index_t>(shard.freq_bins.size());
     if (static_cast<index_t>(ok.data.size()) != nq * nrhs * out_traces) {
@@ -331,6 +404,8 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
     }
     // Scatter into the zero-initialised spectrum; shards own disjoint
     // bins, so writes never overlap.
+    const std::uint64_t scatter_start =
+        rt_ != nullptr ? obs::steady_now_ns() : 0;
     for (index_t q = 0; q < nq; ++q) {
       const index_t bin = shard.freq_bins[static_cast<std::size_t>(q)];
       for (index_t r = 0; r < nrhs; ++r) {
@@ -341,9 +416,15 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
         }
       }
     }
+    if (rt_ != nullptr) {
+      scatter_s +=
+          1e-9 * static_cast<double>(obs::steady_now_ns() - scatter_start);
+    }
   }
+  if (rt_ != nullptr) rt_->stages.gather_scatter_s += scatter_s;
 
   // F^H: local inverse rFFT per RHS.
+  const std::uint64_t ifft_start = rt_ != nullptr ? obs::steady_now_ns() : 0;
   for (index_t r = 0; r < nrhs; ++r) {
     fft::irfft_batch(plan_,
                      std::span<const cf32>(out_spec_.data() + r * out_page,
@@ -352,6 +433,17 @@ void RemoteMdcOperator::run(std::span<const float> in, std::span<float> out,
                      out.subspan(static_cast<std::size_t>(r * nt * out_traces),
                                  static_cast<std::size_t>(nt * out_traces)),
                      fft_ws_);
+  }
+  if (rt_ != nullptr) {
+    const std::uint64_t now = obs::steady_now_ns();
+    rt_->stages.fft_s += 1e-9 * static_cast<double>(now - ifft_start);
+    if (sampled) {
+      rt_->add_span("frontend.irfft", rt_->new_span_id(), run_span,
+                    ifft_start, now - ifft_start);
+      rt_->add_span(adjoint ? "frontend.apply_adjoint" : "frontend.apply",
+                    run_span, rt_->ctx.parent_span_id, run_start,
+                    now - run_start);
+    }
   }
 }
 
@@ -389,6 +481,8 @@ ClusterService::ClusterService(
       placements_(registry_.counter("cluster.placements")),
       replans_(registry_.counter("cluster.replans")),
       solve_hist_(registry_.histogram("cluster.solve_s")),
+      stage_recorder_(registry_, "cluster"),
+      slo_(cfg_.slo),
       queue_(cfg.queue_capacity),
       exec_(std::max(1, cfg.frontend_workers)) {
   TLRWSE_REQUIRE(!fleet_.empty(), "cluster: need at least one worker");
@@ -495,6 +589,81 @@ obs::MetricsRegistry::Snapshot ClusterService::cluster_snapshot() {
   return obs::merge_snapshots(snaps);
 }
 
+std::string ClusterService::fleet_prometheus_text() {
+  std::vector<obs::MetricsRegistry::Snapshot> snaps;
+  snaps.push_back(registry_.snapshot());
+  const Frame request = MetricsMsg{}.to_frame();
+  for (const auto& worker : fleet_) {
+    if (!worker->alive()) continue;
+    try {
+      const Frame reply = worker->call(request);
+      if (reply.type == static_cast<std::uint16_t>(MsgType::kMetricsOk)) {
+        snaps.push_back(MetricsOkMsg::from_frame(reply).snapshot);
+      }
+    } catch (const std::exception&) {
+      // A dying worker's numbers are simply absent from the merge.
+    }
+  }
+  return obs::fleet_to_prometheus_text(snaps);
+}
+
+std::vector<ClusterService::WorkerHealth> ClusterService::fleet_health() {
+  std::vector<WorkerHealth> out;
+  out.reserve(fleet_.size());
+  const Frame request = HealthMsg{}.to_frame();
+  for (const auto& worker : fleet_) {
+    WorkerHealth wh;
+    wh.name = worker->name();
+    if (worker->alive()) {
+      try {
+        const Frame reply = worker->call(request);
+        if (reply.type == static_cast<std::uint16_t>(MsgType::kHealthOk)) {
+          wh.health = HealthOkMsg::from_frame(reply);
+          wh.alive = true;
+        }
+      } catch (const std::exception&) {
+        // Poll failure reads as a dead worker in the fleet view.
+      }
+    }
+    out.push_back(std::move(wh));
+  }
+  return out;
+}
+
+std::string ClusterService::fleet_health_json() {
+  const std::vector<WorkerHealth> fleet = fleet_health();
+  const obs::SloTracker::Window win = slo_.window();
+  std::ostringstream os;
+  os << "{\"live_workers\":" << live_workers()
+     << ",\"slo\":{\"count\":" << win.count << ",\"errors\":" << win.errors
+     << ",\"breaches\":" << win.breaches << ",\"p50_s\":" << win.p50_s
+     << ",\"p95_s\":" << win.p95_s << ",\"p99_s\":" << win.p99_s
+     << ",\"burn_rate\":" << win.burn_rate << "},\"workers\":[";
+  for (std::size_t w = 0; w < fleet.size(); ++w) {
+    const WorkerHealth& wh = fleet[w];
+    if (w != 0) os << ",";
+    os << "{\"name\":\"" << wh.name << "\",\"alive\":"
+       << (wh.alive ? "true" : "false")
+       << ",\"uptime_s\":" << 1e-9 * static_cast<double>(wh.health.uptime_ns)
+       << ",\"inflight\":" << wh.health.inflight
+       << ",\"applies\":" << wh.health.applies
+       << ",\"resident_bytes\":" << wh.health.resident_bytes
+       << ",\"streamed_bytes\":" << wh.health.streamed_bytes
+       << ",\"stall_s\":" << wh.health.stall_s
+       << ",\"dropped_spans\":" << wh.health.dropped_spans << ",\"shards\":[";
+    for (std::size_t s = 0; s < wh.health.shards.size(); ++s) {
+      const auto& sh = wh.health.shards[s];
+      if (s != 0) os << ",";
+      os << "{\"shard_id\":" << sh.shard_id << ",\"q_begin\":" << sh.q_begin
+         << ",\"q_end\":" << sh.q_end << ",\"num_freqs\":" << sh.num_freqs
+         << ",\"bytes\":" << sh.bytes << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 void ClusterService::worker_loop() {
   for (;;) {
     serve::OperatorKey key;
@@ -507,6 +676,7 @@ void ClusterService::worker_loop() {
 void ClusterService::process_batch(const serve::OperatorKey& key,
                                    std::vector<Ticket> batch) {
   std::shared_ptr<const Placement> placement;
+  const auto load_start = Clock::now();
   try {
     placement = resolve_placement(key);
   } catch (const WorkerFailure& e) {
@@ -528,6 +698,9 @@ void ClusterService::process_batch(const serve::OperatorKey& key,
     }
     return;
   }
+  // Placement resolution (first request pays the shard loads; later ones
+  // hit the cache) is this batch's "load" stage.
+  const double load_s = seconds_between(load_start, Clock::now());
 
   // Coalescible adjoints: no deadline, not cancelled. Everything else is
   // solved individually with its own deadline/cancel plumbing.
@@ -542,7 +715,7 @@ void ClusterService::process_batch(const serve::OperatorKey& key,
     }
   }
   if (adjoint_group.size() >= 2) {
-    solve_adjoint_group(batch, adjoint_group, placement);
+    solve_adjoint_group(batch, adjoint_group, placement, load_s);
   } else {
     adjoint_group.clear();
   }
@@ -551,13 +724,13 @@ void ClusterService::process_batch(const serve::OperatorKey& key,
         adjoint_group.end()) {
       continue;  // already answered by the grouped sweep
     }
-    solve_ticket(batch[i], placement);
+    solve_ticket(batch[i], placement, load_s);
   }
 }
 
 void ClusterService::solve_adjoint_group(
     std::vector<Ticket>& batch, const std::vector<std::size_t>& adj,
-    const std::shared_ptr<const Placement>& placement) {
+    const std::shared_ptr<const Placement>& placement, double load_s) {
   const auto nrhs = static_cast<index_t>(adj.size());
   const index_t rows = placement->nt * placement->ns;
   const index_t cols = placement->nt * placement->nr;
@@ -569,11 +742,16 @@ void ClusterService::solve_adjoint_group(
               Y.begin() + static_cast<std::ptrdiff_t>(r * rows));
   }
   const auto t0 = Clock::now();
+  // Stage attribution only (no sampling): the grouped sweep shares one
+  // remote pass, so its stage times are shared by every grouped ticket.
+  RequestTrace rt;
+  rt.stages.load_s = load_s;
   try {
     // request_id 0 is never issued to callers, so the group can't be hit
     // by a cancel; deadline-carrying tickets were excluded above.
     RemoteMdcOperator op(fleet_, placement, /*request_id=*/0, {}, {},
-                         [this](std::size_t w) { note_worker_death(w); });
+                         [this](std::size_t w) { note_worker_death(w); },
+                         &rt);
     op.apply_adjoint_batch(Y, X, nrhs);
   } catch (const WorkerFailure& e) {
     invalidate_placement(batch[adj.front()].req.op);
@@ -604,13 +782,17 @@ void ClusterService::solve_adjoint_group(
                   X.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
     resp.queue_wait_s = seconds_between(t.admitted, t0);
     resp.solve_s = solve_s;
+    resp.stages = rt.stages;
+    resp.stages.queue_wait_s = resp.queue_wait_s;
     solve_hist_.record(solve_s);
+    stage_recorder_.record(resp.stages);
     respond(t, std::move(resp));
   }
 }
 
 void ClusterService::solve_ticket(
-    Ticket& ticket, const std::shared_ptr<const Placement>& placement) {
+    Ticket& ticket, const std::shared_ptr<const Placement>& placement,
+    double load_s) {
   const auto dequeued = Clock::now();
   ClusterResponse resp;
   resp.queue_wait_s = seconds_between(ticket.admitted, dequeued);
@@ -644,10 +826,24 @@ void ClusterService::solve_ticket(
   }
 
   const std::uint64_t id = ticket.id;
+  // Always-on stage attribution; spans/clock samples only when the caller
+  // asked for a distributed trace. The request id doubles as the trace id
+  // (unique per service, never 0 for issued requests).
+  RequestTrace rt;
+  rt.stages.queue_wait_s = resp.queue_wait_s;
+  rt.stages.load_s = load_s;
+  std::uint64_t root_span = 0;
+  const std::uint64_t solve_start_ns = obs::steady_now_ns();
+  if (ticket.req.trace) {
+    rt.ctx.trace_id = id;
+    rt.ctx.sampled = true;
+    root_span = rt.new_span_id();
+    rt.ctx.parent_span_id = root_span;
+  }
   RemoteMdcOperator op(
       fleet_, placement, id, deadline_at,
       [this, id] { return is_cancelled(id); },
-      [this](std::size_t w) { note_worker_death(w); });
+      [this](std::size_t w) { note_worker_death(w); }, &rt);
 
   try {
     if (ticket.req.kind == serve::RequestKind::kAdjoint) {
@@ -663,7 +859,11 @@ void ClusterService::solve_ticket(
         return deadline_at != Clock::time_point{} &&
                Clock::now() >= deadline_at;
       };
+      const std::uint64_t lsqr_start_ns = obs::steady_now_ns();
       mdd::LsqrResult result = mdd::lsqr_solve(op, ticket.req.rhs, lsqr);
+      rt.stages.lsqr_s +=
+          1e-9 * static_cast<double>(obs::steady_now_ns() - lsqr_start_ns);
+      rt.stages.lsqr_iterations = result.iterations;
       resp.x = std::move(result.x);
       resp.iterations = result.iterations;
       resp.residual_norm = result.residual_norm;
@@ -706,6 +906,13 @@ void ClusterService::solve_ticket(
   }
   resp.solve_s = seconds_between(dequeued, Clock::now());
   if (resp.status == ClusterStatus::kOk) solve_hist_.record(resp.solve_s);
+  resp.stages = rt.stages;
+  stage_recorder_.record(resp.stages);
+  if (rt.ctx.sampled) {
+    rt.add_span("request", root_span, /*parent_span_id=*/0, solve_start_ns,
+                obs::steady_now_ns() - solve_start_ns);
+    resp.trace_json = collect_trace(rt);
+  }
   respond(ticket, std::move(resp));
 }
 
@@ -839,6 +1046,54 @@ std::shared_ptr<const Placement> ClusterService::build_placement(
   throw WorkerFailure("cluster: no live workers to place archive " + path);
 }
 
+std::string ClusterService::collect_trace(RequestTrace& rt) {
+  obs::MergedTraceInput input;
+  input.trace_id = rt.ctx.trace_id;
+  input.frontend_spans = std::move(rt.spans);
+  input.frontend_dropped = rt.dropped;
+
+  TraceDumpMsg dump;
+  dump.trace_id = rt.ctx.trace_id;
+  const Frame request = dump.to_frame();
+  for (const std::size_t w : rt.workers) {
+    if (w >= fleet_.size() || !fleet_[w]->alive()) continue;
+    try {
+      const Frame reply = fleet_[w]->call(request);
+      if (reply.type != static_cast<std::uint16_t>(MsgType::kTraceDumpOk)) {
+        continue;  // v1 worker answered kError; its spans are simply absent
+      }
+      TraceDumpOkMsg ok = TraceDumpOkMsg::from_frame(reply);
+      obs::WorkerTrace wt;
+      wt.name = fleet_[w]->name();
+      wt.offset_ns = obs::estimate_clock_offset_ns(rt.clock_samples[w]);
+      wt.spans = std::move(ok.spans);
+      wt.dropped_spans = ok.dropped_spans;
+      input.workers.push_back(std::move(wt));
+    } catch (const std::exception&) {
+      // A worker that died after serving its exchanges just leaves a hole
+      // in the timeline; the frontend spans still merge.
+    }
+  }
+  return obs::merge_trace_json(input);
+}
+
+void ClusterService::record_slo(const ClusterResponse& r) {
+  slo_.record(r.total_s, r.status == ClusterStatus::kOk);
+  slo_.publish(registry_, "cluster");
+  if (!slo_.breaches_objective(r.total_s) ||
+      slo_.config().exemplar_dir.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "{\"request_id\":" << r.request_id << ",\"status\":\""
+     << to_string(r.status) << "\",\"queue_wait_s\":" << r.queue_wait_s
+     << ",\"solve_s\":" << r.solve_s << ",\"total_s\":" << r.total_s
+     << ",\"stages\":" << r.stages.to_json();
+  if (!r.trace_json.empty()) os << ",\"trace\":" << r.trace_json;
+  os << "}";
+  (void)slo_.persist_exemplar(r.request_id, os.str());
+}
+
 bool ClusterService::is_cancelled(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return cancelled_.count(id) != 0;
@@ -861,6 +1116,7 @@ void ClusterService::respond(Ticket& ticket, ClusterResponse r) {
   r.request_id = ticket.id;
   r.total_s = seconds_between(ticket.admitted, Clock::now());
   if (r.status == ClusterStatus::kOk) completed_.add();
+  record_slo(r);
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     if (cfg_.tenant_quota > 0) {

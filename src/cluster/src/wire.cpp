@@ -74,7 +74,9 @@ std::size_t decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
   std::memcpy(&type, bytes.data() + 6, sizeof(type));
   std::memcpy(&len, bytes.data() + 8, sizeof(len));
   if (magic != kWireMagic) throw WireError("wire: bad frame magic");
-  if (version != kWireVersion) {
+  // Backward compatible down to kMinWireVersion: v1 frames simply lack the
+  // optional v2 trailers, which every from_frame treats as defaulted.
+  if (version < kMinWireVersion || version > kWireVersion) {
     throw WireError("wire: unsupported frame version");
   }
   if (len > kMaxFramePayload) {
@@ -149,6 +151,11 @@ Frame ApplyMsg::to_frame() const {
   w.f64(deadline_s);
   w.u64(data.size());
   w.cf32_span(data);
+  // v2 trailer: always written by a v2 encoder; a v1 decoder never sees it
+  // (v1 peers also never emit v2 frames), a v1 frame simply ends above.
+  w.u64(trace.trace_id);
+  w.u64(trace.parent_span_id);
+  w.u8(trace.sampled ? 1 : 0);
   return finish(MsgType::kApply, std::move(w));
 }
 
@@ -165,6 +172,11 @@ ApplyMsg ApplyMsg::from_frame(const Frame& f) {
   check_count(n, "apply payload");
   m.data.resize(static_cast<std::size_t>(n));
   r.cf32_into(m.data);
+  if (r.remaining() != 0) {  // v2 trailer; absent in v1 frames
+    m.trace.trace_id = r.u64();
+    m.trace.parent_span_id = r.u64();
+    m.trace.sampled = r.u8() != 0;
+  }
   r.expect_end();
   return m;
 }
@@ -174,6 +186,8 @@ Frame ApplyOkMsg::to_frame() const {
   w.u64(request_id);
   w.u64(data.size());
   w.cf32_span(data);
+  w.u64(worker_recv_ns);  // v2 trailer: clock sample for trace alignment
+  w.u64(worker_send_ns);
   return finish(MsgType::kApplyOk, std::move(w));
 }
 
@@ -186,6 +200,10 @@ ApplyOkMsg ApplyOkMsg::from_frame(const Frame& f) {
   check_count(n, "apply result");
   m.data.resize(static_cast<std::size_t>(n));
   r.cf32_into(m.data);
+  if (r.remaining() != 0) {  // v2 trailer; absent in v1 frames
+    m.worker_recv_ns = r.u64();
+    m.worker_send_ns = r.u64();
+  }
   r.expect_end();
   return m;
 }
@@ -332,6 +350,120 @@ ErrorMsg ErrorMsg::from_frame(const Frame& f) {
   m.request_id = r.u64();
   m.code = static_cast<WireErrorCode>(r.u16());
   m.message = r.str();
+  r.expect_end();
+  return m;
+}
+
+// --- TraceDump / Health (v2) ----------------------------------------------
+
+Frame TraceDumpMsg::to_frame() const {
+  WireWriter w;
+  w.u64(trace_id);
+  return finish(MsgType::kTraceDump, std::move(w));
+}
+
+TraceDumpMsg TraceDumpMsg::from_frame(const Frame& f) {
+  check_type(f, MsgType::kTraceDump);
+  WireReader r(f.payload);
+  TraceDumpMsg m;
+  m.trace_id = r.u64();
+  r.expect_end();
+  return m;
+}
+
+Frame TraceDumpOkMsg::to_frame() const {
+  WireWriter w;
+  w.u64(trace_id);
+  w.u64(dropped_spans);
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const obs::RemoteSpan& s : spans) {
+    w.str(s.name);
+    w.u64(s.trace_id);
+    w.u64(s.span_id);
+    w.u64(s.parent_span_id);
+    w.u64(s.ts_ns);
+    w.u64(s.dur_ns);
+  }
+  return finish(MsgType::kTraceDumpOk, std::move(w));
+}
+
+TraceDumpOkMsg TraceDumpOkMsg::from_frame(const Frame& f) {
+  check_type(f, MsgType::kTraceDumpOk);
+  WireReader r(f.payload);
+  TraceDumpOkMsg m;
+  m.trace_id = r.u64();
+  m.dropped_spans = r.u64();
+  const std::uint32_t n = r.u32();
+  check_count(n, "trace spans");
+  m.spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    obs::RemoteSpan s;
+    s.name = r.str();
+    s.trace_id = r.u64();
+    s.span_id = r.u64();
+    s.parent_span_id = r.u64();
+    s.ts_ns = r.u64();
+    s.dur_ns = r.u64();
+    m.spans.push_back(std::move(s));
+  }
+  r.expect_end();
+  return m;
+}
+
+Frame HealthMsg::to_frame() const {
+  return Frame{static_cast<std::uint16_t>(MsgType::kHealth), {}};
+}
+
+HealthMsg HealthMsg::from_frame(const Frame& f) {
+  check_type(f, MsgType::kHealth);
+  WireReader r(f.payload);
+  r.expect_end();
+  return HealthMsg{};
+}
+
+Frame HealthOkMsg::to_frame() const {
+  WireWriter w;
+  w.u64(uptime_ns);
+  w.u64(inflight);
+  w.u64(applies);
+  w.f64(resident_bytes);
+  w.f64(streamed_bytes);
+  w.f64(stall_s);
+  w.u64(dropped_spans);
+  w.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const ShardInfo& s : shards) {
+    w.u32(s.shard_id);
+    w.i64(s.q_begin);
+    w.i64(s.q_end);
+    w.u32(s.num_freqs);
+    w.f64(s.bytes);
+  }
+  return finish(MsgType::kHealthOk, std::move(w));
+}
+
+HealthOkMsg HealthOkMsg::from_frame(const Frame& f) {
+  check_type(f, MsgType::kHealthOk);
+  WireReader r(f.payload);
+  HealthOkMsg m;
+  m.uptime_ns = r.u64();
+  m.inflight = r.u64();
+  m.applies = r.u64();
+  m.resident_bytes = r.f64();
+  m.streamed_bytes = r.f64();
+  m.stall_s = r.f64();
+  m.dropped_spans = r.u64();
+  const std::uint32_t n = r.u32();
+  check_count(n, "health shards");
+  m.shards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardInfo s;
+    s.shard_id = r.u32();
+    s.q_begin = r.i64();
+    s.q_end = r.i64();
+    s.num_freqs = r.u32();
+    s.bytes = r.f64();
+    m.shards.push_back(s);
+  }
   r.expect_end();
   return m;
 }

@@ -22,16 +22,23 @@ Frame error_frame(std::uint64_t request_id, WireErrorCode code,
 }  // namespace
 
 Frame ShardWorker::handle(const Frame& request) {
+  // Stamped before any parsing so the reply's clock sample brackets the
+  // worker's whole processing time (the t1 of the NTP offset estimate).
+  const std::uint64_t recv_ns = obs::steady_now_ns();
   try {
     switch (static_cast<MsgType>(request.type)) {
       case MsgType::kLoadShard:
         return handle_load(LoadShardMsg::from_frame(request));
       case MsgType::kApply:
-        return handle_apply(ApplyMsg::from_frame(request));
+        return handle_apply(ApplyMsg::from_frame(request), recv_ns);
       case MsgType::kCancel:
         return handle_cancel(CancelMsg::from_frame(request));
       case MsgType::kMetrics:
         return handle_metrics();
+      case MsgType::kTraceDump:
+        return handle_trace_dump(TraceDumpMsg::from_frame(request));
+      case MsgType::kHealth:
+        return health().to_frame();
       case MsgType::kShutdown:
         return handle_shutdown();
       default:
@@ -54,6 +61,8 @@ void ShardWorker::add_shard(
   shard->nt = nt;
   shard->ns = ns;
   shard->nr = nr;
+  shard->q_begin = 0;
+  shard->q_end = static_cast<index_t>(freq_bins.size());
   shard->freq_bins = std::move(freq_bins);
   shard->kernels = std::move(kernels);
   std::lock_guard<std::mutex> lock(mu_);
@@ -75,14 +84,18 @@ Frame ShardWorker::handle_load(const LoadShardMsg& msg) {
                                         msg.q_end);
       shard->nt = slice.nt;
       shard->freq_bins = slice.freq_bins;
+      shard->bytes = slice.shared_bytes();
       shard->kernels = io::make_kernels(slice);
     } else {
       const io::KernelArchive slice =
           io::load_archive_slice(msg.archive_path, msg.q_begin, msg.q_end);
       shard->nt = slice.nt;
       shard->freq_bins = slice.freq_bins;
+      shard->bytes = slice.compressed_bytes();
       shard->kernels = io::make_kernels(slice);
     }
+    shard->q_begin = msg.q_begin;
+    shard->q_end = msg.q_end;
   } catch (const std::exception& e) {
     return error_frame(0, WireErrorCode::kArchiveMissing, e.what());
   }
@@ -109,7 +122,15 @@ Frame ShardWorker::handle_load(const LoadShardMsg& msg) {
   return ok.to_frame();
 }
 
-Frame ShardWorker::handle_apply(const ApplyMsg& msg) {
+Frame ShardWorker::handle_apply(const ApplyMsg& msg, std::uint64_t recv_ns) {
+  struct InflightGuard {
+    std::atomic<std::uint64_t>& n;
+    explicit InflightGuard(std::atomic<std::uint64_t>& c) : n(c) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard(inflight_);
+
   // Snapshot the shard under the lock, run the kernels outside it: loads
   // of other shards and cancels must not wait on an in-flight apply.
   std::shared_ptr<const Shard> shard;
@@ -144,6 +165,12 @@ Frame ShardWorker::handle_apply(const ApplyMsg& msg) {
   ok.request_id = msg.request_id;
   ok.data.resize(nq * nrhs * nout);
 
+  // Sampled requests buffer their spans for a later kTraceDump; the apply
+  // span parents the per-frequency MVM spans.
+  const bool traced = msg.trace.active();
+  const std::uint64_t apply_span_id = traced ? span_buf_.next_span_id() : 0;
+  const std::uint64_t apply_start_ns = traced ? obs::steady_now_ns() : 0;
+
   mdc::FrequencyWorkspace& ws = ws_pool_.local();
   for (std::size_t q = 0; q < nq; ++q) {
     // Between per-frequency MVMs is where a deadline or cancel can take
@@ -170,6 +197,7 @@ Frame ShardWorker::handle_apply(const ApplyMsg& msg) {
     const std::span<const cf32> xk(msg.data.data() + q * nrhs * nin,
                                    nrhs * nin);
     const std::span<cf32> yk(ok.data.data() + q * nrhs * nout, nrhs * nout);
+    const std::uint64_t mvm_start_ns = traced ? obs::steady_now_ns() : 0;
     if (msg.nrhs == 1) {
       if (msg.adjoint) {
         kernel.apply_adjoint(xk, yk, ws);
@@ -183,6 +211,17 @@ Frame ShardWorker::handle_apply(const ApplyMsg& msg) {
         kernel.apply_batch(xk, yk, msg.nrhs, ws);
       }
     }
+    if (traced) {
+      obs::RemoteSpan span;
+      span.name = "worker.mvm q=" +
+                  std::to_string(shard->freq_bins[q]);
+      span.trace_id = msg.trace.trace_id;
+      span.span_id = span_buf_.next_span_id();
+      span.parent_span_id = apply_span_id;
+      span.ts_ns = mvm_start_ns;
+      span.dur_ns = obs::steady_now_ns() - mvm_start_ns;
+      span_buf_.record(std::move(span));
+    }
   }
   {
     // A cancel that raced past the last check is moot now; drop it so the
@@ -191,7 +230,61 @@ Frame ShardWorker::handle_apply(const ApplyMsg& msg) {
     cancelled_.erase(msg.request_id);
   }
   registry_.counter("worker.applies").add();
+  if (traced) {
+    obs::RemoteSpan span;
+    span.name = "worker.apply";
+    span.trace_id = msg.trace.trace_id;
+    span.span_id = apply_span_id;
+    span.parent_span_id = msg.trace.parent_span_id;
+    span.ts_ns = apply_start_ns;
+    span.dur_ns = obs::steady_now_ns() - apply_start_ns;
+    span_buf_.record(std::move(span));
+  }
+  ok.worker_recv_ns = recv_ns;
+  ok.worker_send_ns = obs::steady_now_ns();
   return ok.to_frame();
+}
+
+Frame ShardWorker::handle_trace_dump(const TraceDumpMsg& msg) {
+  obs::RemoteSpanBuffer::Dump dump = span_buf_.take(msg.trace_id);
+  span_drops_.fetch_add(dump.dropped, std::memory_order_relaxed);
+  TraceDumpOkMsg ok;
+  ok.trace_id = msg.trace_id;
+  ok.dropped_spans = dump.dropped;
+  ok.spans = std::move(dump.spans);
+  return ok.to_frame();
+}
+
+HealthOkMsg ShardWorker::health() const {
+  HealthOkMsg ok;
+  ok.uptime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  ok.inflight = inflight_.load(std::memory_order_relaxed);
+  ok.dropped_spans = span_drops_.load(std::memory_order_relaxed);
+  const obs::MetricsRegistry::Snapshot snap = registry_.snapshot();
+  if (const auto it = snap.counters.find("worker.applies");
+      it != snap.counters.end()) {
+    ok.applies = it->second;
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == "oocache.stall_s") ok.stall_s = h.snap.sum;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [shard_id, shard] : shards_) {
+      HealthOkMsg::ShardInfo info;
+      info.shard_id = shard_id;
+      info.q_begin = shard->q_begin;
+      info.q_end = shard->q_end;
+      info.num_freqs = static_cast<std::uint32_t>(shard->freq_bins.size());
+      info.bytes = shard->bytes;
+      ok.resident_bytes += shard->bytes;
+      ok.shards.push_back(info);
+    }
+  }
+  return ok;
 }
 
 Frame ShardWorker::handle_cancel(const CancelMsg& msg) {

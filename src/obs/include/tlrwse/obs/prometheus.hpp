@@ -9,6 +9,7 @@
 // upper bounds (empty leading/trailing octaves are skipped).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "tlrwse/obs/metrics_registry.hpp"
@@ -21,5 +22,12 @@ namespace tlrwse::obs {
 /// The whole snapshot in Prometheus text exposition format.
 [[nodiscard]] std::string metrics_to_prometheus_text(
     const MetricsRegistry::Snapshot& snap);
+
+/// Fleet-wide export: merges per-process snapshots (frontend + every
+/// worker) via obs::merge_snapshots and renders the merged view, so one
+/// scrape covers the whole cluster with cumulative histogram buckets that
+/// stay monotone across the merge.
+[[nodiscard]] std::string fleet_to_prometheus_text(
+    std::span<const MetricsRegistry::Snapshot> snaps);
 
 }  // namespace tlrwse::obs

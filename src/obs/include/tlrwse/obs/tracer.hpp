@@ -26,6 +26,8 @@
 
 namespace tlrwse::obs {
 
+class MetricsRegistry;
+
 /// Global recording flag; inline so the enabled() check inlines to one
 /// relaxed load at every instrumentation site.
 inline std::atomic<bool> g_trace_enabled{false};
@@ -101,6 +103,20 @@ class Tracer {
   [[nodiscard]] std::size_t event_count() const;
   /// Events lost to ring overwrite since enable().
   [[nodiscard]] std::uint64_t dropped_count() const;
+
+  /// Per-thread drop accounting — which thread's ring overflowed, not just
+  /// the process total — so a lossy trace is diagnosable to the thread
+  /// that needs a bigger ring (or less detail).
+  struct ThreadDrops {
+    std::uint32_t tid = 0;
+    std::string name;  // "thread-<tid>" when unnamed
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] std::vector<ThreadDrops> dropped_by_thread() const;
+  /// Publishes one gauge per thread ("trace.dropped_spans.<name>") plus
+  /// the process total ("trace.dropped_spans.total") into `reg`, so the
+  /// snapshot shows per-thread losses alongside the global counter.
+  void publish_drop_gauges(MetricsRegistry& reg) const;
 
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 

@@ -58,4 +58,9 @@ std::string metrics_to_prometheus_text(const MetricsRegistry::Snapshot& snap) {
   return os.str();
 }
 
+std::string fleet_to_prometheus_text(
+    std::span<const MetricsRegistry::Snapshot> snaps) {
+  return metrics_to_prometheus_text(merge_snapshots(snaps));
+}
+
 }  // namespace tlrwse::obs

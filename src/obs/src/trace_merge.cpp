@@ -1,0 +1,159 @@
+#include "tlrwse/obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace tlrwse::obs {
+
+namespace {
+
+/// Signed difference of two unsigned clock readings.
+std::int64_t diff_ns(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b);
+}
+
+std::int64_t sample_offset_ns(const ClockSample& s) noexcept {
+  // ((t1 - t0) + (t2 - t3)) / 2 — symmetric-delay NTP offset.
+  return (diff_ns(s.remote_recv_ns, s.local_send_ns) +
+          diff_ns(s.remote_send_ns, s.local_recv_ns)) /
+         2;
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+struct PlacedSpan {
+  const RemoteSpan* span = nullptr;
+  int pid = 0;
+  std::uint64_t ts_ns = 0;  // aligned + normalised
+  std::uint64_t dur_ns = 0;
+};
+
+}  // namespace
+
+std::int64_t clock_sample_rtt_ns(const ClockSample& s) noexcept {
+  return diff_ns(s.local_recv_ns, s.local_send_ns) -
+         diff_ns(s.remote_send_ns, s.remote_recv_ns);
+}
+
+std::int64_t estimate_clock_offset_ns(
+    std::span<const ClockSample> samples) noexcept {
+  if (samples.empty()) return 0;
+  const ClockSample* best = &samples.front();
+  std::int64_t best_rtt = clock_sample_rtt_ns(*best);
+  for (const ClockSample& s : samples.subspan(1)) {
+    const std::int64_t rtt = clock_sample_rtt_ns(s);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = &s;
+    }
+  }
+  return sample_offset_ns(*best);
+}
+
+std::string merge_trace_json(const MergedTraceInput& input) {
+  // The frontend's spans define the request window everything is clamped
+  // into; without any the window collapses to the workers' aligned extent.
+  std::uint64_t window_begin = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t window_end = 0;
+  for (const RemoteSpan& s : input.frontend_spans) {
+    window_begin = std::min(window_begin, s.ts_ns);
+    window_end = std::max(window_end, s.ts_ns + s.dur_ns);
+  }
+  const bool have_window = window_end > 0 &&
+                           window_begin != std::numeric_limits<std::uint64_t>::max();
+
+  std::vector<PlacedSpan> placed;
+  placed.reserve(input.frontend_spans.size());
+  for (const RemoteSpan& s : input.frontend_spans) {
+    placed.push_back({&s, 0, s.ts_ns, s.dur_ns});
+  }
+  for (std::size_t w = 0; w < input.workers.size(); ++w) {
+    const WorkerTrace& wt = input.workers[w];
+    for (const RemoteSpan& s : wt.spans) {
+      // Worker clock -> frontend clock, then clamp into the window so an
+      // offset mis-estimate can never push a child span outside its
+      // enclosing request (monotone, non-negative overlap by
+      // construction).
+      std::int64_t ts = static_cast<std::int64_t>(s.ts_ns) - wt.offset_ns;
+      std::int64_t dur = static_cast<std::int64_t>(s.dur_ns);
+      if (have_window) {
+        const auto lo = static_cast<std::int64_t>(window_begin);
+        const auto hi = static_cast<std::int64_t>(window_end);
+        ts = std::clamp(ts, lo, hi);
+        dur = std::min(dur, hi - ts);
+      }
+      placed.push_back({&s, static_cast<int>(w) + 1,
+                        static_cast<std::uint64_t>(std::max<std::int64_t>(ts, 0)),
+                        static_cast<std::uint64_t>(std::max<std::int64_t>(dur, 0))});
+    }
+  }
+
+  // Normalise so the merged timeline starts at 0.
+  std::uint64_t t0 = have_window ? window_begin
+                                 : std::numeric_limits<std::uint64_t>::max();
+  if (!have_window) {
+    for (const PlacedSpan& p : placed) t0 = std::min(t0, p.ts_ns);
+    if (placed.empty()) t0 = 0;
+  }
+  for (PlacedSpan& p : placed) p.ts_ns = p.ts_ns >= t0 ? p.ts_ns - t0 : 0;
+
+  std::sort(placed.begin(), placed.end(),
+            [](const PlacedSpan& a, const PlacedSpan& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.dur_ns > b.dur_ns;  // parents before their children
+            });
+
+  std::uint64_t dropped = input.frontend_dropped;
+  for (const WorkerTrace& wt : input.workers) dropped += wt.dropped_spans;
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceId\":\"" << input.trace_id
+     << "\",\"droppedSpans\":" << dropped << ",\"traceEvents\":[\n";
+  bool first = true;
+  const auto process_meta = [&](int pid, const std::string& name,
+                                std::uint64_t proc_dropped) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape(os, name);
+    os << "\",\"dropped_spans\":" << proc_dropped << "}}";
+  };
+  process_meta(0, input.frontend_name, input.frontend_dropped);
+  for (std::size_t w = 0; w < input.workers.size(); ++w) {
+    process_meta(static_cast<int>(w) + 1, input.workers[w].name,
+                 input.workers[w].dropped_spans);
+  }
+  for (const PlacedSpan& p : placed) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, p.span->name);
+    os << "\",\"cat\":\"request\",\"ph\":\"X\",\"pid\":" << p.pid
+       << ",\"tid\":0,\"ts\":" << static_cast<double>(p.ts_ns) / 1e3
+       << ",\"dur\":" << static_cast<double>(p.dur_ns) / 1e3
+       << ",\"args\":{\"trace_id\":\"" << input.trace_id << "\",\"span_id\":"
+       << p.span->span_id << ",\"parent_span_id\":" << p.span->parent_span_id
+       << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace tlrwse::obs

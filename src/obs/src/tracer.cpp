@@ -96,6 +96,32 @@ std::uint64_t Tracer::dropped_count() const {
   return n;
 }
 
+std::vector<Tracer::ThreadDrops> Tracer::dropped_by_thread() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ThreadDrops> out;
+  out.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    ThreadDrops d;
+    d.tid = buf->tid;
+    d.name = buf->name.empty() ? "thread-" + std::to_string(buf->tid)
+                               : buf->name;
+    d.dropped =
+        buf->pushed > buf->ring.size() ? buf->pushed - buf->ring.size() : 0;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void Tracer::publish_drop_gauges(MetricsRegistry& reg) const {
+  std::uint64_t total = 0;
+  for (const ThreadDrops& d : dropped_by_thread()) {
+    total += d.dropped;
+    reg.gauge("trace.dropped_spans." + d.name)
+        .set(static_cast<std::int64_t>(d.dropped));
+  }
+  reg.gauge("trace.dropped_spans.total").set(static_cast<std::int64_t>(total));
+}
+
 namespace {
 void append_event(std::ostringstream& os, const TraceEvent& e,
                   std::uint32_t tid, bool& first) {
@@ -128,11 +154,13 @@ std::string Tracer::to_json() const {
       // Thread-name metadata makes chrome://tracing label each row.
       if (!first) os << ",\n";
       first = false;
+      const std::uint64_t thread_dropped =
+          buf->pushed > buf->ring.size() ? buf->pushed - buf->ring.size() : 0;
       os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
          << buf->tid << ",\"args\":{\"name\":\""
          << (buf->name.empty() ? "thread-" + std::to_string(buf->tid)
                                : buf->name)
-         << "\"}}";
+         << "\",\"dropped_spans\":" << thread_dropped << "}}";
       const auto held = static_cast<std::size_t>(
           std::min<std::uint64_t>(buf->pushed, buf->ring.size()));
       const std::uint64_t start = buf->pushed - held;

@@ -38,6 +38,18 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
+  /// Called under the queue mutex on every depth change, so a gauge
+  /// mirror updates in queue-operation order: two racing set()s from
+  /// stale snapshots taken outside the lock could otherwise leave the
+  /// gauge disagreeing with depth() at a quiescent point. Set before
+  /// producers/consumers start; must not call back into the queue.
+  using DepthObserver = std::function<void(std::size_t depth,
+                                           std::size_t peak_depth)>;
+  void set_depth_observer(DepthObserver observer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    observer_ = std::move(observer);
+  }
+
   /// Admits under the capacity bound; a full or closed queue refuses
   /// without blocking (the caller answers with its typed rejection).
   /// Moves from `ticket` only on admission — a refused ticket stays with
@@ -55,6 +67,7 @@ class AdmissionQueue {
     it->second->waiting.push_back(std::move(ticket));
     ++depth_;
     peak_depth_ = std::max(peak_depth_, depth_);
+    if (observer_) observer_(depth_, peak_depth_);
     work_cv_.notify_one();
     return PushResult{true, depth_, peak_depth_};
   }
@@ -78,6 +91,7 @@ class AdmissionQueue {
       group.waiting.pop_front();
     }
     depth_ -= take;
+    if (observer_) observer_(depth_, peak_depth_);
     if (group.waiting.empty()) {
       groups_.erase(group.key);
       ready_.pop_front();
@@ -127,6 +141,7 @@ class AdmissionQueue {
       groups_;
   std::size_t depth_ = 0;
   std::size_t peak_depth_ = 0;
+  DepthObserver observer_;
   bool closed_ = false;
 };
 

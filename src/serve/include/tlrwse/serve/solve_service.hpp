@@ -34,6 +34,8 @@
 
 #include "tlrwse/mdd/lsqr.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
+#include "tlrwse/obs/slo_tracker.hpp"
+#include "tlrwse/obs/stage_breakdown.hpp"
 #include "tlrwse/serve/admission_queue.hpp"
 #include "tlrwse/serve/metrics.hpp"
 #include "tlrwse/serve/operator_cache.hpp"
@@ -74,6 +76,9 @@ struct SolveResponse {
   double solve_s = 0.0;                // dequeue -> solved
   double total_s = 0.0;                // admission -> response
   std::size_t batch_size = 0;          // requests coalesced into its batch
+  /// Per-stage latency attribution (queue/load/stall/lsqr on this local
+  /// path; the fft/mvm/rpc fields stay 0 — the cluster tier fills them).
+  obs::StageBreakdown stages;
   std::string error;                   // populated for kError / kArchiveMissing
 };
 
@@ -93,6 +98,9 @@ struct ServiceConfig {
   /// machine evenly between workers (never oversubscribing workers x
   /// omp_get_max_threads() ways).
   int inner_threads = 0;
+  /// Latency/availability objectives for the rolling SLO window; latency
+  /// breaches persist exemplars when `slo.exemplar_dir` is set.
+  obs::SloConfig slo;
 };
 
 class SolveService {
@@ -125,6 +133,12 @@ class SolveService {
     return registry_;
   }
 
+  /// The rolling SLO window (p50/p95/p99, error-budget burn rate) over
+  /// requests that reached a solve attempt.
+  [[nodiscard]] obs::SloTracker::Window slo_window() const {
+    return slo_.window();
+  }
+
  private:
   struct Ticket {
     SolveRequest req;
@@ -137,17 +151,21 @@ class SolveService {
   [[nodiscard]] std::vector<Ticket> pop_batch(OperatorKey& key);
   void process_batch(const OperatorKey& key, std::vector<Ticket> batch);
   void solve_ticket(Ticket& ticket, const ResidentOperator& resident,
-                    std::size_t batch_size);
+                    std::size_t batch_size, double load_s);
   /// Serves >= 2 coalesced adjoint tickets with ONE multi-RHS adjoint
   /// sweep over the resident operator (each result bitwise identical to
   /// its single-request solve). `adj` indexes into `batch`.
   void solve_adjoint_group(std::vector<Ticket>& batch,
                            const std::vector<std::size_t>& adj,
                            const ResidentOperator& resident,
-                           std::size_t batch_size);
+                           std::size_t batch_size, double load_s);
   [[nodiscard]] OperatorCache::Value load_resident(const OperatorKey& key);
   void record_latency(double total_s, double wait_s, double solve_s);
   static void respond(Ticket& ticket, SolveResponse response);
+  /// Stage histograms + SLO window + breach exemplar, then respond().
+  /// Stage rows are only recorded when the solve actually ran (solve_s >
+  /// 0), so dequeue-time rejects don't drown the attribution in zeros.
+  void finish(Ticket& ticket, SolveResponse response);
 
   ServiceConfig cfg_;
   OperatorCache cache_;
@@ -171,6 +189,9 @@ class SolveService {
   obs::Histogram& latency_hist_;
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& solve_hist_;
+  obs::StageRecorder stage_recorder_;
+  obs::SloTracker slo_;
+  std::atomic<std::uint64_t> exemplar_id_{1};
 
   // Admission, per-operator grouping and round-robin batching live in the
   // shared queue (also the cluster frontend's front half).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <sstream>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -68,11 +69,20 @@ SolveService::SolveService(ServiceConfig cfg)
       latency_hist_(registry_.histogram("serve.latency_s")),
       queue_wait_hist_(registry_.histogram("serve.queue_wait_s")),
       solve_hist_(registry_.histogram("serve.solve_s")),
+      stage_recorder_(registry_, "serve"),
+      slo_(cfg.slo),
       queue_(cfg.queue_capacity),
       exec_(std::max(1, cfg.workers)) {
   TLRWSE_REQUIRE(cfg_.workers > 0, "service needs at least one worker");
   TLRWSE_REQUIRE(cfg_.queue_capacity > 0, "queue capacity must be positive");
   TLRWSE_REQUIRE(cfg_.max_batch > 0, "max batch must be positive");
+  // Mirrored under the queue mutex so the gauges always agree with
+  // depth() at any quiescent point (set()s from snapshots taken outside
+  // the lock can land out of order against a racing pop).
+  queue_.set_depth_observer([this](std::size_t depth, std::size_t peak) {
+    queue_depth_gauge_.set(static_cast<std::int64_t>(depth));
+    queue_peak_gauge_.set(static_cast<std::int64_t>(peak));
+  });
   if (cfg_.inner_threads <= 0) {
     cfg_.inner_threads = default_inner_threads(cfg_.workers);
   }
@@ -87,6 +97,25 @@ SolveService::~SolveService() { shutdown(); }
 void SolveService::respond(Ticket& ticket, SolveResponse response) {
   response.vsrc = ticket.req.vsrc;
   ticket.done.set_value(std::move(response));
+}
+
+void SolveService::finish(Ticket& ticket, SolveResponse response) {
+  if (response.solve_s > 0.0) stage_recorder_.record(response.stages);
+  slo_.record(response.total_s, response.status == SolveStatus::kOk);
+  slo_.publish(registry_, "serve");
+  if (slo_.breaches_objective(response.total_s) &&
+      !slo_.config().exemplar_dir.empty()) {
+    std::ostringstream os;
+    os << "{\"vsrc\":" << ticket.req.vsrc << ",\"status\":\""
+       << to_string(response.status)
+       << "\",\"queue_wait_s\":" << response.queue_wait_s
+       << ",\"solve_s\":" << response.solve_s
+       << ",\"total_s\":" << response.total_s
+       << ",\"stages\":" << response.stages.to_json() << "}";
+    (void)slo_.persist_exemplar(
+        exemplar_id_.fetch_add(1, std::memory_order_relaxed), os.str());
+  }
+  respond(ticket, std::move(response));
 }
 
 std::future<SolveResponse> SolveService::submit(SolveRequest req) {
@@ -115,8 +144,6 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
   ticket.admitted = Clock::now();
   const auto push = queue_.try_push(ticket.req.op, ticket);
   if (push.admitted) {
-    queue_depth_gauge_.set(static_cast<std::int64_t>(push.depth));
-    queue_peak_gauge_.set(static_cast<std::int64_t>(push.peak_depth));
     admitted_.add();
     return future;
   }
@@ -132,11 +159,7 @@ std::future<SolveResponse> SolveService::submit(SolveRequest req) {
 }
 
 std::vector<SolveService::Ticket> SolveService::pop_batch(OperatorKey& key) {
-  std::vector<Ticket> batch = queue_.pop_batch(cfg_.max_batch, key);
-  if (!batch.empty()) {
-    queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.depth()));
-  }
-  return batch;
+  return queue_.pop_batch(cfg_.max_batch, key);
 }
 
 void SolveService::worker_loop() {
@@ -212,6 +235,7 @@ void SolveService::process_batch(const OperatorKey& key,
   }
 
   OperatorCache::Value resident;
+  const Clock::time_point load_start = Clock::now();
   try {
     resident = cache_.get_or_load(key, [&] { return load_resident(key); });
   } catch (const std::exception& e) {
@@ -227,6 +251,9 @@ void SolveService::process_batch(const OperatorKey& key,
     }
     return;
   }
+  // A cache hit makes this ~0; a miss charges the archive load (or stream
+  // plan compile) to every request in the batch that triggered it.
+  const double load_s = seconds_between(load_start, Clock::now());
 
   // Coalesced adjoint requests share one multi-RHS sweep over the resident
   // operator instead of N independent passes; LSQR tickets (whose iterates
@@ -240,27 +267,28 @@ void SolveService::process_batch(const OperatorKey& key,
     }
   }
   if (adj.size() >= 2) {
-    solve_adjoint_group(batch, adj, *resident, batch.size());
+    solve_adjoint_group(batch, adj, *resident, batch.size(), load_s);
     std::size_t next_adj = 0;
     for (std::size_t t = 0; t < batch.size(); ++t) {
       if (next_adj < adj.size() && adj[next_adj] == t) {
         ++next_adj;
         continue;
       }
-      solve_ticket(batch[t], *resident, batch.size());
+      solve_ticket(batch[t], *resident, batch.size(), load_s);
     }
     return;
   }
 
   for (auto& ticket : batch) {
-    solve_ticket(ticket, *resident, batch.size());
+    solve_ticket(ticket, *resident, batch.size(), load_s);
   }
 }
 
 void SolveService::solve_adjoint_group(std::vector<Ticket>& batch,
                                        const std::vector<std::size_t>& adj,
                                        const ResidentOperator& resident,
-                                       std::size_t batch_size) {
+                                       std::size_t batch_size,
+                                       double load_s) {
   TLRWSE_TRACE_SPAN("serve.adjoint_group", "serve");
   const Clock::time_point dequeued = Clock::now();
 
@@ -286,7 +314,7 @@ void SolveService::solve_adjoint_group(std::vector<Ticket>& batch,
   }
   if (live.empty()) return;
   if (live.size() == 1) {  // nothing left to share; take the normal path
-    solve_ticket(batch[live.front()], resident, batch_size);
+    solve_ticket(batch[live.front()], resident, batch_size, load_s);
     return;
   }
 
@@ -299,6 +327,8 @@ void SolveService::solve_adjoint_group(std::vector<Ticket>& batch,
     std::copy(rhs.begin(), rhs.end(), rhs_panel.begin() + k * rhs_len);
   }
 
+  const double stall0_s =
+      resident.streamer ? resident.streamer->stats().stall_s : 0.0;
   std::vector<float> x;
   try {
     x = mdd::adjoint_reflectivity_batch(*resident.op, rhs_panel, nrhs);
@@ -317,6 +347,10 @@ void SolveService::solve_adjoint_group(std::vector<Ticket>& batch,
   }
 
   const Clock::time_point done = Clock::now();
+  const double stall_s =
+      resident.streamer
+          ? std::max(0.0, resident.streamer->stats().stall_s - stall0_s)
+          : 0.0;
   multi_rhs_.add(static_cast<std::uint64_t>(live.size()));
   for (std::size_t k = 0; k < live.size(); ++k) {
     Ticket& ticket = batch[live[k]];
@@ -327,27 +361,32 @@ void SolveService::solve_adjoint_group(std::vector<Ticket>& batch,
                x.begin() + static_cast<std::ptrdiff_t>((k + 1) * out_len));
     r.solve_s = seconds_between(dequeued, done);
     r.total_s = seconds_between(ticket.admitted, done);
+    r.stages.queue_wait_s = r.queue_wait_s;
+    r.stages.load_s = load_s;
+    r.stages.stream_stall_s = stall_s;
     completed_.add();
     record_latency(r.total_s, r.queue_wait_s, r.solve_s);
-    respond(ticket, std::move(r));
+    finish(ticket, std::move(r));
   }
 }
 
 void SolveService::solve_ticket(Ticket& ticket,
                                 const ResidentOperator& resident,
-                                std::size_t batch_size) {
+                                std::size_t batch_size, double load_s) {
   TLRWSE_TRACE_SPAN("serve.request", "serve");
   const Clock::time_point dequeued = Clock::now();
   SolveResponse r;
   r.batch_size = batch_size;
   r.queue_wait_s = seconds_between(ticket.admitted, dequeued);
+  r.stages.queue_wait_s = r.queue_wait_s;
+  r.stages.load_s = load_s;
 
   const double deadline_s = ticket.req.deadline_s;
   if (deadline_s > 0.0 && r.queue_wait_s >= deadline_s) {
     rejected_deadline_.add();
     r.status = SolveStatus::kDeadlineExceeded;
     r.total_s = seconds_between(ticket.admitted, Clock::now());
-    respond(ticket, std::move(r));
+    finish(ticket, std::move(r));
     return;
   }
 
@@ -363,6 +402,8 @@ void SolveService::solve_ticket(Ticket& ticket,
               return Clock::now() >= deadline_at;
             })
           : mdc::CancelScope::Hook{});
+  const double stall0_s =
+      resident.streamer ? resident.streamer->stats().stall_s : 0.0;
   try {
     if (ticket.req.kind == RequestKind::kAdjoint) {
       r.x = mdd::adjoint_reflectivity(*resident.op, ticket.req.rhs);
@@ -377,7 +418,10 @@ void SolveService::solve_ticket(Ticket& ticket,
           return Clock::now() >= deadline_at;
         };
       }
+      const Clock::time_point lsqr_start = Clock::now();
       mdd::LsqrResult sol = mdd::solve_mdd(*resident.op, ticket.req.rhs, lsqr);
+      r.stages.lsqr_s = seconds_between(lsqr_start, Clock::now());
+      r.stages.lsqr_iterations = sol.iterations;
       r.x = std::move(sol.x);
       r.iterations = sol.iterations;
       r.residual_norm = sol.residual_norm;
@@ -393,27 +437,33 @@ void SolveService::solve_ticket(Ticket& ticket,
     r.status = SolveStatus::kDeadlineExceeded;
     r.x.clear();
     r.total_s = seconds_between(ticket.admitted, Clock::now());
-    respond(ticket, std::move(r));
+    finish(ticket, std::move(r));
     return;
   } catch (const std::exception& e) {
     failed_.add();
     r.status = SolveStatus::kError;
     r.error = e.what();
     r.total_s = seconds_between(ticket.admitted, Clock::now());
-    respond(ticket, std::move(r));
+    finish(ticket, std::move(r));
     return;
   }
 
   const Clock::time_point done = Clock::now();
   r.solve_s = seconds_between(dequeued, done);
   r.total_s = seconds_between(ticket.admitted, done);
+  if (resident.streamer) {
+    // Shared streamer: concurrent solves on the same operator can bleed
+    // stalls into each other's delta; the window is still the right order.
+    r.stages.stream_stall_s =
+        std::max(0.0, resident.streamer->stats().stall_s - stall0_s);
+  }
   if (r.status == SolveStatus::kOk) {
     completed_.add();
     record_latency(r.total_s, r.queue_wait_s, r.solve_s);
   } else {
     rejected_deadline_.add();
   }
-  respond(ticket, std::move(r));
+  finish(ticket, std::move(r));
 }
 
 void SolveService::record_latency(double total_s, double wait_s,

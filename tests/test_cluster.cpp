@@ -776,5 +776,243 @@ TEST(ClusterService, ShutdownAsksWorkersToExit) {
   for (ShardWorker* w : workers) EXPECT_TRUE(w->shutdown_requested());
 }
 
+// ---------------------------------------------------- tracing & health --
+
+TEST(Wire, TraceAndHealthMessagesRoundTrip) {
+  TraceDumpMsg dump;
+  dump.trace_id = 99;
+  const auto d2 = TraceDumpMsg::from_frame(dump.to_frame());
+  EXPECT_EQ(d2.trace_id, 99u);
+
+  TraceDumpOkMsg dump_ok;
+  dump_ok.trace_id = 99;
+  dump_ok.dropped_spans = 5;
+  dump_ok.spans.push_back({"worker.apply", 99, 7, 3, 123456789ull, 4200ull});
+  dump_ok.spans.push_back({"worker.mvm q=4", 99, 8, 7, 123460000ull, 900ull});
+  const auto do2 = TraceDumpOkMsg::from_frame(dump_ok.to_frame());
+  EXPECT_EQ(do2.trace_id, 99u);
+  EXPECT_EQ(do2.dropped_spans, 5u);
+  ASSERT_EQ(do2.spans.size(), 2u);
+  EXPECT_EQ(do2.spans[0].name, "worker.apply");
+  EXPECT_EQ(do2.spans[1].name, "worker.mvm q=4");
+  EXPECT_EQ(do2.spans[0].span_id, 7u);
+  EXPECT_EQ(do2.spans[1].parent_span_id, 7u);
+  EXPECT_EQ(do2.spans[0].ts_ns, 123456789ull);
+  EXPECT_EQ(do2.spans[1].dur_ns, 900ull);
+
+  (void)HealthMsg::from_frame(HealthMsg{}.to_frame());
+  HealthOkMsg health;
+  health.uptime_ns = 5'000'000'000ull;
+  health.inflight = 2;
+  health.applies = 40;
+  health.resident_bytes = 1.5e6;
+  health.streamed_bytes = 2.5e6;
+  health.stall_s = 0.25;
+  health.dropped_spans = 1;
+  health.shards.push_back({3, 0, 16, 16, 1.5e6});
+  const auto h2 = HealthOkMsg::from_frame(health.to_frame());
+  EXPECT_EQ(h2.uptime_ns, health.uptime_ns);
+  EXPECT_EQ(h2.inflight, 2u);
+  EXPECT_EQ(h2.applies, 40u);
+  EXPECT_DOUBLE_EQ(h2.resident_bytes, 1.5e6);
+  EXPECT_DOUBLE_EQ(h2.streamed_bytes, 2.5e6);
+  EXPECT_DOUBLE_EQ(h2.stall_s, 0.25);
+  EXPECT_EQ(h2.dropped_spans, 1u);
+  ASSERT_EQ(h2.shards.size(), 1u);
+  EXPECT_EQ(h2.shards[0].shard_id, 3u);
+  EXPECT_EQ(h2.shards[0].q_begin, 0);
+  EXPECT_EQ(h2.shards[0].q_end, 16);
+  EXPECT_EQ(h2.shards[0].num_freqs, 16u);
+}
+
+TEST(Wire, V1ApplyFramesDecodeWithDefaultedTrailers) {
+  // A v1 peer's kApply frame is a v2 frame minus the 17-byte trace
+  // trailer, with version 1 in the header. It must decode to an inactive
+  // TraceContext — not an error, not garbage.
+  ApplyMsg apply;
+  apply.request_id = 11;
+  apply.shard_id = 2;
+  apply.nrhs = 1;
+  apply.data = {cf32{1.0f, 2.0f}};
+  apply.trace = {77, 5, true};
+  Frame v1 = apply.to_frame();
+  v1.payload.resize(v1.payload.size() - 17);  // u64 + u64 + u8 trailer
+  const auto a1 = ApplyMsg::from_frame(v1);
+  EXPECT_EQ(a1.request_id, 11u);
+  EXPECT_EQ(a1.trace.trace_id, 0u);
+  EXPECT_FALSE(a1.trace.active());
+  ASSERT_EQ(a1.data.size(), 1u);
+
+  // The same frame as raw bytes stamped with version 1 still passes the
+  // transport-level version check (kMinWireVersion = 1).
+  std::vector<std::uint8_t> bytes = encode_frame(v1);
+  bytes[4] = 1;
+  bytes[5] = 0;
+  Frame out;
+  EXPECT_EQ(decode_frame(bytes, out), bytes.size());
+  // ...while a version from the future is rejected typed.
+  bytes[4] = kWireVersion + 1;
+  EXPECT_THROW((void)decode_frame(bytes, out), WireError);
+
+  // The v2 frame (trailer intact) round-trips the context.
+  const auto a2 = ApplyMsg::from_frame(apply.to_frame());
+  EXPECT_EQ(a2.trace.trace_id, 77u);
+  EXPECT_EQ(a2.trace.parent_span_id, 5u);
+  EXPECT_TRUE(a2.trace.active());
+
+  // ApplyOk: stripping the 16-byte clock trailer gives zeroed stamps (the
+  // frontend's v1 signal: no clock sample, round trip attributed to RPC).
+  ApplyOkMsg ok;
+  ok.request_id = 11;
+  ok.data = {cf32{0.5f, -0.5f}};
+  ok.worker_recv_ns = 1000;
+  ok.worker_send_ns = 2000;
+  Frame ok_v1 = ok.to_frame();
+  ok_v1.payload.resize(ok_v1.payload.size() - 16);
+  const auto o1 = ApplyOkMsg::from_frame(ok_v1);
+  EXPECT_EQ(o1.worker_recv_ns, 0u);
+  EXPECT_EQ(o1.worker_send_ns, 0u);
+  const auto o2 = ApplyOkMsg::from_frame(ok.to_frame());
+  EXPECT_EQ(o2.worker_recv_ns, 1000u);
+  EXPECT_EQ(o2.worker_send_ns, 2000u);
+}
+
+TEST(Wire, TraceAndHealthFramesRejectTruncationAndJunk) {
+  TraceDumpOkMsg dump_ok;
+  dump_ok.trace_id = 1;
+  dump_ok.spans.push_back({"s", 1, 2, 0, 10, 5});
+  HealthOkMsg health;
+  health.shards.push_back({1, 0, 4, 4, 100.0});
+
+  const std::vector<Frame> frames = {TraceDumpMsg{}.to_frame(),
+                                     dump_ok.to_frame(), health.to_frame()};
+  for (const Frame& f : frames) {
+    const auto expect_rejected = [](const Frame& bad) {
+      switch (static_cast<MsgType>(bad.type)) {
+        case MsgType::kTraceDump:
+          EXPECT_THROW((void)TraceDumpMsg::from_frame(bad), WireError);
+          break;
+        case MsgType::kTraceDumpOk:
+          EXPECT_THROW((void)TraceDumpOkMsg::from_frame(bad), WireError);
+          break;
+        default:
+          EXPECT_THROW((void)HealthOkMsg::from_frame(bad), WireError);
+      }
+    };
+    // Every truncation point: checked reads throw, never over-read.
+    for (std::size_t n = 0; n < f.payload.size(); ++n) {
+      Frame cut = f;
+      cut.payload.resize(n);
+      expect_rejected(cut);
+    }
+    // Trailing junk after a complete payload is rejected too (these
+    // messages have no optional trailer).
+    Frame fat = f;
+    fat.payload.push_back(0xAB);
+    expect_rejected(fat);
+  }
+
+  // A span-count field lying past the end of the payload must not read.
+  Frame lying = dump_ok.to_frame();
+  lying.payload.resize(lying.payload.size() - 4);
+  EXPECT_THROW((void)TraceDumpOkMsg::from_frame(lying), WireError);
+}
+
+TEST(ClusterService, TracedSolveProducesMergedTimeline) {
+  auto fleet = make_fleet(2);
+  ClusterService service(ClusterConfig{}, std::move(fleet.clients));
+
+  auto req = make_request(tlr_archive_path(), serve::RequestKind::kLsqr, 1, 4);
+  req.trace = true;
+  const auto resp = service.submit(std::move(req)).response.get();
+  ASSERT_EQ(resp.status, ClusterStatus::kOk) << resp.error;
+
+  // One merged chrome://tracing document: single trace id (the request
+  // id), frontend spans in pid 0, both workers' spans in pids 1 and 2.
+  ASSERT_FALSE(resp.trace_json.empty());
+  const std::string& json = resp.trace_json;
+  const std::string id_key =
+      "\"traceId\":\"" + std::to_string(resp.request_id) + "\"";
+  EXPECT_NE(json.find(id_key), std::string::npos);
+  EXPECT_NE(json.find("\"request\""), std::string::npos);
+  EXPECT_NE(json.find("frontend.rfft"), std::string::npos);
+  EXPECT_NE(json.find("frontend.rpc shard="), std::string::npos);
+  EXPECT_NE(json.find("worker.apply"), std::string::npos);
+  EXPECT_NE(json.find("worker.mvm q="), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // No foreign trace ids leaked in from other requests.
+  EXPECT_EQ(json.find("\"trace_id\":\"0\""), std::string::npos);
+
+  // Per-stage attribution rode along: the solve spent time in LSQR, the
+  // FFTs, the remote MVMs, and the RPC layer, and the stages are disjoint
+  // slices (mvm+rpc is the fan-out, bounded by the whole LSQR loop).
+  EXPECT_GT(resp.stages.lsqr_s, 0.0);
+  EXPECT_GT(resp.stages.fft_s, 0.0);
+  EXPECT_GT(resp.stages.mvm_s, 0.0);
+  EXPECT_GE(resp.stages.rpc_s, 0.0);
+  EXPECT_EQ(resp.stages.lsqr_iterations, resp.iterations);
+  EXPECT_LE(resp.stages.mvm_s + resp.stages.rpc_s,
+            resp.stages.lsqr_s + resp.stages.fft_s + 1e-6);
+
+  // An untraced request pays nothing and carries no timeline...
+  auto quiet =
+      make_request(tlr_archive_path(), serve::RequestKind::kLsqr, 2, 4);
+  const auto quiet_resp = service.submit(std::move(quiet)).response.get();
+  ASSERT_EQ(quiet_resp.status, ClusterStatus::kOk);
+  EXPECT_TRUE(quiet_resp.trace_json.empty());
+  // ...but still gets stage attribution (always-on).
+  EXPECT_GT(quiet_resp.stages.lsqr_s, 0.0);
+}
+
+TEST(ClusterService, FleetHealthReportsShardsBytesAndSlo) {
+  auto fleet = make_fleet(2);
+  ClusterConfig cfg;
+  cfg.slo.latency_objective_s = 1e-9;  // everything breaches
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const auto resp =
+      service
+          .submit(make_request(tlr_archive_path(),
+                               serve::RequestKind::kAdjoint, 2, 6))
+          .response.get();
+  ASSERT_EQ(resp.status, ClusterStatus::kOk) << resp.error;
+
+  const auto health = service.fleet_health();
+  ASSERT_EQ(health.size(), 2u);
+  index_t total_freqs = 0;
+  for (const auto& wh : health) {
+    EXPECT_TRUE(wh.alive) << wh.name;
+    EXPECT_GT(wh.health.applies, 0u) << wh.name;
+    EXPECT_GT(wh.health.resident_bytes, 0.0) << wh.name;
+    EXPECT_GT(wh.health.uptime_ns, 0u) << wh.name;
+    ASSERT_FALSE(wh.health.shards.empty()) << wh.name;
+    for (const auto& sh : wh.health.shards) {
+      EXPECT_LT(sh.q_begin, sh.q_end);
+      EXPECT_EQ(sh.q_end - sh.q_begin, static_cast<index_t>(sh.num_freqs));
+      EXPECT_GT(sh.bytes, 0.0);
+      total_freqs += static_cast<index_t>(sh.num_freqs);
+    }
+  }
+  // Sharded placement: the two workers partition the frequency axis.
+  const auto nf = io::peek_archive(tlr_archive_path()).num_freqs();
+  EXPECT_EQ(total_freqs, nf);
+
+  // The JSON fleet view and the SLO window agree with the poll above.
+  const std::string json = service.fleet_health_json();
+  EXPECT_NE(json.find("\"live_workers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  const auto win = service.slo_window();
+  EXPECT_GE(win.count, 1u);
+  EXPECT_GE(win.breaches, 1u);  // 1ns objective: every request breaches
+  EXPECT_GT(win.burn_rate, 0.0);
+
+  // Fleet-wide Prometheus export merges every worker's registry with the
+  // frontend's (worker counters appear once, summed).
+  const std::string prom = service.fleet_prometheus_text();
+  EXPECT_NE(prom.find("worker_applies"), std::string::npos);
+  EXPECT_NE(prom.find("cluster_completed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tlrwse::cluster

@@ -22,6 +22,10 @@
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/obs/prometheus.hpp"
+#include "tlrwse/obs/slo_tracker.hpp"
+#include "tlrwse/obs/stage_breakdown.hpp"
+#include "tlrwse/obs/trace_context.hpp"
+#include "tlrwse/obs/trace_merge.hpp"
 #include "tlrwse/obs/tracer.hpp"
 #include "tlrwse/serve/solve_service.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
@@ -610,6 +614,283 @@ TEST(ObsServeParity, ServiceMetricsAgreesBitwiseWithRegistrySnapshot) {
     }
   }
 }
+
+// ----------------------------------------------------------------- slo --
+
+TEST(SloTracker, WindowCountsBreachesAndBurnRate) {
+  obs::SloConfig cfg;
+  cfg.latency_objective_s = 0.1;
+  cfg.availability_objective = 0.99;  // 1% error budget
+  cfg.window_s = 60.0;
+  cfg.slots = 6;
+  obs::SloTracker slo(cfg);
+
+  // 100 requests at t=1: 90 fast+ok, 5 slow (latency breach), 5 errors.
+  for (int i = 0; i < 90; ++i) slo.record_at(1.0, 0.01, true);
+  for (int i = 0; i < 5; ++i) slo.record_at(1.0, 0.5, true);
+  for (int i = 0; i < 5; ++i) slo.record_at(1.0, 0.01, false);
+
+  const auto w = slo.window_at(2.0);
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_EQ(w.breaches, 5u);
+  EXPECT_EQ(w.errors, 5u);
+  EXPECT_DOUBLE_EQ(w.max_s, 0.5);
+  // 10 bad of 100 against a 1% budget: burning 10x faster than it refills.
+  EXPECT_NEAR(w.burn_rate, 10.0, 1e-9);
+  // Octave buckets: percentiles land in the right decade, not exactly.
+  EXPECT_GT(w.p50_s, 0.0);
+  EXPECT_LT(w.p50_s, 0.1);
+  EXPECT_GE(w.p99_s, 0.1);
+}
+
+TEST(SloTracker, OldSlotsRotateOutOfTheWindow) {
+  obs::SloConfig cfg;
+  cfg.window_s = 60.0;
+  cfg.slots = 6;  // 10s per slot
+  obs::SloTracker slo(cfg);
+
+  slo.record_at(5.0, 0.01, true);
+  EXPECT_EQ(slo.window_at(6.0).count, 1u);
+  // Still inside the window...
+  EXPECT_EQ(slo.window_at(50.0).count, 1u);
+  // ...and gone once the window has moved past its slot.
+  EXPECT_EQ(slo.window_at(80.0).count, 0u);
+  EXPECT_DOUBLE_EQ(slo.window_at(80.0).burn_rate, 0.0);
+
+  // A lap of the ring (same slot index, later epoch) resets the slot
+  // rather than mixing epochs.
+  slo.record_at(5.0 + cfg.window_s, 0.02, true);
+  const auto w = slo.window_at(6.0 + cfg.window_s);
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_DOUBLE_EQ(w.max_s, 0.02);
+}
+
+TEST(SloTracker, NoObjectiveMeansNoBreaches) {
+  obs::SloTracker slo;  // latency_objective_s = 0
+  EXPECT_FALSE(slo.breaches_objective(1e9));
+  slo.record_at(1.0, 123.0, true);
+  EXPECT_EQ(slo.window_at(2.0).breaches, 0u);
+}
+
+TEST(SloTracker, PublishesWindowGauges) {
+  obs::SloConfig cfg;
+  cfg.latency_objective_s = 0.001;
+  obs::SloTracker slo(cfg);
+  slo.record(0.5, true);  // breach
+  obs::MetricsRegistry reg;
+  slo.publish(reg, "svc");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.at("svc.slo.window_count"), 1);
+  EXPECT_EQ(snap.gauges.at("svc.slo.window_breaches"), 1);
+  EXPECT_EQ(snap.gauges.at("svc.slo.window_errors"), 0);
+  EXPECT_GT(snap.gauges.at("svc.slo.p99_us"), 0);
+}
+
+TEST(SloTracker, ExemplarsAreAtomicAndBounded) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("tlrwse_slo_ex_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  obs::SloConfig cfg;
+  cfg.exemplar_dir = dir.string();
+  cfg.max_exemplars = 4;
+  obs::SloTracker slo(cfg);
+
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    const std::string path =
+        slo.persist_exemplar(id, "{\"request_id\":" + std::to_string(id) + "}");
+    ASSERT_FALSE(path.empty());
+    EXPECT_TRUE(fs::exists(path));
+  }
+
+  std::size_t files = 0;
+  bool newest_present = false;
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    const std::string name = ent.path().filename().string();
+    // Atomic rename: no half-written temp files survive.
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    ++files;
+    if (name == "exemplar_10.json") newest_present = true;
+  }
+  // Retention keeps the directory bounded and favours the newest.
+  EXPECT_LE(files, cfg.max_exemplars);
+  EXPECT_TRUE(newest_present);
+
+  // Unset directory: best-effort no-op, never an exception.
+  obs::SloTracker unset;
+  EXPECT_EQ(unset.persist_exemplar(1, "{}"), "");
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------------- trace merge --
+
+TEST(ClockAlignment, OffsetRecoveredFromMinRttSample) {
+  // Worker clock = frontend clock + 5000ns. Two samples: a noisy one
+  // (asymmetric delay, high RTT residual) and a tight one; the NTP filter
+  // must pick the tight sample's offset.
+  std::vector<obs::ClockSample> samples;
+  // Tight: t0=1000 t1=6100 t2=6200 t3=1400 -> offset ((5100)+(4800))/2=4950
+  samples.push_back({1000, 6100, 6200, 1400});
+  // Noisy: 3000ns of one-sided delay -> offset estimate way off (8000+).
+  samples.push_back({1000, 9100, 9200, 1400 + 6000});
+  EXPECT_LT(obs::clock_sample_rtt_ns(samples[0]),
+            obs::clock_sample_rtt_ns(samples[1]));
+  EXPECT_EQ(obs::estimate_clock_offset_ns(samples), 4950);
+  EXPECT_EQ(obs::estimate_clock_offset_ns({}), 0);
+}
+
+TEST(TraceMerge, AlignsNormalisesAndMarksDrops) {
+  // Frontend spans on its own clock; one worker whose clock runs 1ms
+  // ahead. After the merge every timestamp is frontend-relative with the
+  // earliest span at 0, worker spans clamped into the frontend window.
+  obs::MergedTraceInput in;
+  in.trace_id = 42;
+  in.frontend_spans.push_back(
+      {"request", 42, 1, 0, 1'000'000'000ull, 2'000'000ull});
+  in.frontend_spans.push_back(
+      {"frontend.rpc shard=1", 42, 2, 1, 1'000'100'000ull, 1'500'000ull});
+
+  obs::WorkerTrace w;
+  w.name = "worker0";
+  w.offset_ns = 1'000'000;  // worker clock minus frontend clock
+  w.spans.push_back(
+      {"worker.apply", 42, 7, 2, 1'001'200'000ull, 400'000ull});
+  w.dropped_spans = 3;
+  in.workers.push_back(w);
+
+  const std::string json = obs::merge_trace_json(in);
+  EXPECT_NE(json.find("\"traceId\":\"42\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedSpans\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);  // normalised
+  EXPECT_NE(json.find("worker.apply"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"42\""), std::string::npos);
+  // Worker span: 1'001'200'000 - offset 1'000'000 - base 1'000'000'000 =
+  // 200'000ns = 200us into the request window.
+  EXPECT_NE(json.find("\"ts\":200"), std::string::npos);
+  // Frontend is pid 0, the worker pid 1.
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TraceMerge, ClampsWorkerSpansIntoTheFrontendWindow) {
+  obs::MergedTraceInput in;
+  in.trace_id = 7;
+  in.frontend_spans.push_back({"request", 7, 1, 0, 1'000'000ull, 1'000'000ull});
+  obs::WorkerTrace w;
+  w.name = "worker0";
+  // Bad offset estimate: the aligned span would start before the request.
+  w.offset_ns = 5'000'000;
+  w.spans.push_back({"worker.apply", 7, 2, 1, 1'000'000ull, 500'000ull});
+  in.workers.push_back(w);
+  const std::string json = obs::merge_trace_json(in);
+  // Clamped to the window start, not negative and not pre-request.
+  EXPECT_EQ(json.find("\"ts\":-"), std::string::npos);
+  EXPECT_NE(json.find("worker.apply"), std::string::npos);
+}
+
+TEST(RemoteSpanBuffer, BoundsSpansPerTraceAndCountsDrops) {
+  obs::RemoteSpanBuffer buf(/*max_traces=*/2, /*max_spans_per_trace=*/3);
+  for (int i = 0; i < 5; ++i) {
+    buf.record({"s", 1, buf.next_span_id(), 0, 0, 0});
+  }
+  auto dump = buf.take(1);
+  EXPECT_EQ(dump.spans.size(), 3u);
+  EXPECT_EQ(dump.dropped, 2u);
+  // take() removed it.
+  EXPECT_EQ(buf.take(1).spans.size(), 0u);
+
+  // FIFO eviction across traces: the oldest trace goes first.
+  buf.record({"a", 10, 1, 0, 0, 0});
+  buf.record({"b", 11, 2, 0, 0, 0});
+  buf.record({"c", 12, 3, 0, 0, 0});  // evicts trace 10
+  EXPECT_EQ(buf.trace_count(), 2u);
+  EXPECT_EQ(buf.take(10).spans.size(), 0u);
+  EXPECT_EQ(buf.take(11).spans.size(), 1u);
+  EXPECT_EQ(buf.take(12).spans.size(), 1u);
+
+  // trace_id 0 is "no trace" and never recorded.
+  buf.record({"z", 0, 1, 0, 0, 0});
+  EXPECT_EQ(buf.trace_count(), 0u);
+}
+
+// --------------------------------------------------- stage breakdown ----
+
+TEST(StageBreakdown, RecorderFillsAllStageHistograms) {
+  obs::MetricsRegistry reg;
+  obs::StageRecorder rec(reg, "svc");
+  obs::StageBreakdown st;
+  st.queue_wait_s = 0.001;
+  st.load_s = 0.002;
+  st.fft_s = 0.003;
+  st.mvm_s = 0.004;
+  st.rpc_s = 0.005;
+  st.lsqr_s = 0.01;
+  st.lsqr_iterations = 4;
+  rec.record(st);
+  rec.record(st);
+  const auto snap = reg.snapshot();
+  std::size_t stage_hists = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("svc.stage.", 0) == 0) {
+      ++stage_hists;
+      EXPECT_EQ(h.snap.count, 2u) << h.name;
+    }
+  }
+  EXPECT_EQ(stage_hists, 9u);
+  EXPECT_NE(st.to_json().find("\"mvm_s\""), std::string::npos);
+}
+
+// ------------------------------------------------------ fleet metrics ---
+
+TEST(Prometheus, FleetExportMergesSnapshots) {
+  obs::MetricsRegistry a, b;
+  a.counter("fleet.applies").add(3);
+  b.counter("fleet.applies").add(4);
+  b.histogram("fleet.lat_s").record(0.5);
+  const std::vector<obs::MetricsRegistry::Snapshot> snaps{a.snapshot(),
+                                                          b.snapshot()};
+  const std::string text = obs::fleet_to_prometheus_text(snaps);
+  // Counters sum across the fleet; histograms merge.
+  EXPECT_NE(text.find("fleet_applies 7"), std::string::npos);
+  EXPECT_NE(text.find("fleet_lat_s_count 1"), std::string::npos);
+}
+
+#ifdef TLRWSE_TRACING_ENABLED
+TEST(Tracer, DropsAttributedPerThread) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(/*capacity=*/4);
+  tracer.set_thread_name("drops-main");
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tracer.complete("obs_test.per_thread", "test", i, 1);
+  }
+  std::thread quiet([&] {
+    tracer.set_thread_name("drops-quiet");
+    tracer.complete("obs_test.quiet", "test", 0, 1);
+  });
+  quiet.join();
+  tracer.disable();
+
+  const auto drops = tracer.dropped_by_thread();
+  std::uint64_t main_drops = 0, quiet_drops = 0, listed = 0;
+  for (const auto& d : drops) {
+    ++listed;
+    if (d.name == "drops-main") main_drops = d.dropped;
+    if (d.name == "drops-quiet") quiet_drops = d.dropped;
+  }
+  EXPECT_GE(listed, 2u);
+  EXPECT_EQ(main_drops, 16u);  // 20 pushed into a 4-slot ring
+  EXPECT_EQ(quiet_drops, 0u);
+
+  obs::MetricsRegistry reg;
+  tracer.publish_drop_gauges(reg);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.at("trace.dropped_spans.drops-main"), 16);
+  EXPECT_EQ(snap.gauges.at("trace.dropped_spans.drops-quiet"), 0);
+  EXPECT_GE(snap.gauges.at("trace.dropped_spans.total"), 16);
+}
+#endif  // TLRWSE_TRACING_ENABLED
 
 }  // namespace
 }  // namespace tlrwse

@@ -46,7 +46,8 @@ METRICS = {
     "obs_overhead": {
         "key": (),
         "higher_better": (),
-        "lower_better": ("min_baseline_s", "min_sim_baseline_s"),
+        "lower_better": ("min_baseline_s", "min_sim_baseline_s",
+                         "min_request_s"),
     },
     # Gated on the speedup RATIOS, not raw GFLOP/s: ratios cancel the
     # machine's absolute clock so a shared CI runner stays comparable.

@@ -66,6 +66,9 @@ SCHEMAS = {
             "sim_chunks",
             "sim_pass_lt_2pct",
             "costmodel_overhead_pct",
+            "min_request_s",
+            "request_overhead_pct",
+            "request_pass_lt_2pct",
         },
     ),
     "kernels": (

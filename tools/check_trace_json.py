@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a merged distributed-trace file from `tlrwse_cli cluster
+--trace-merged-out`.
+
+Checks the structural contract the merger (obs::merge_trace_json) promises:
+
+  * top-level keys: traceEvents, traceId, droppedSpans, displayTimeUnit;
+  * every complete ("X") event carries args.trace_id and they all agree
+    with the top-level traceId (one request == one trace);
+  * events are sorted by timestamp, timestamps are normalized (min == 0)
+    and non-negative, durations are non-negative -- i.e. worker clocks were
+    aligned into the frontend's timeline, not pasted in raw;
+  * the span families that make a timeline readable are all present:
+    the root request span, frontend stage spans (fft/gather), per-shard
+    RPC spans, and worker-side apply + per-frequency MVM spans;
+  * worker spans come from >= --min-worker-pids distinct processes
+    (default 2: a single-pid "distributed" trace means the dump/merge
+    path silently lost a worker).
+
+Exit code 0 when every check passes, 1 with a message per failure.
+
+Usage: check_trace_json.py TRACE.json [--min-worker-pids 2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="merged chrome://tracing JSON file")
+    ap.add_argument("--min-worker-pids", type=int, default=2,
+                    help="distinct worker processes required (default 2)")
+    args = ap.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    failures = []
+
+    def check(ok, message):
+        if not ok:
+            failures.append(message)
+
+    for key in ("traceEvents", "traceId", "droppedSpans", "displayTimeUnit"):
+        check(key in doc, f"missing top-level key {key!r}")
+    events = doc.get("traceEvents", [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    check(len(spans) > 0, "no complete (ph=X) events")
+
+    # One request, one trace: every span agrees with the top-level id.
+    trace_id = str(doc.get("traceId", ""))
+    span_ids = {str(e.get("args", {}).get("trace_id", "")) for e in spans}
+    check(span_ids == {trace_id},
+          f"span trace ids {sorted(span_ids)} != traceId {trace_id!r}")
+    check(trace_id not in ("", "0"), f"traceId {trace_id!r} is not a real id")
+
+    # Aligned + normalized timeline: sorted, starts at 0, nothing negative.
+    ts = [e.get("ts", -1) for e in spans]
+    check(all(t >= 0 for t in ts), "negative timestamp after alignment")
+    check(ts == sorted(ts), "events are not sorted by timestamp")
+    if ts:
+        check(min(ts) == 0, f"timeline is not normalized (min ts {min(ts)})")
+    check(all(e.get("dur", -1) >= 0 for e in spans), "negative duration")
+
+    # The span families a readable timeline needs, and worker fan-out.
+    names = [e.get("name", "") for e in spans]
+    for needed in ("request", "frontend.rfft", "frontend.gather"):
+        check(needed in names, f"missing span {needed!r}")
+    check(any(n.startswith("frontend.rpc") for n in names),
+          "missing frontend.rpc shard spans")
+    check(any(n == "frontend.apply" or n == "frontend.apply_adjoint"
+              for n in names), "missing frontend.apply[_adjoint] span")
+    worker_pids = {e.get("pid") for e in spans
+                   if e.get("name", "").startswith("worker.")}
+    check(any(n == "worker.apply" for n in names),
+          "missing worker.apply spans")
+    check(any(n.startswith("worker.mvm") for n in names),
+          "missing per-frequency worker.mvm spans")
+    check(len(worker_pids) >= args.min_worker_pids,
+          f"worker spans from {len(worker_pids)} process(es), "
+          f"need >= {args.min_worker_pids}")
+
+    # Frontend spans live in pid 0, workers elsewhere (merge layout).
+    frontend_pids = {e.get("pid") for e in spans
+                     if e.get("name", "").startswith("frontend.")}
+    check(frontend_pids == {0} if frontend_pids else False,
+          f"frontend spans not confined to pid 0: {sorted(frontend_pids)}")
+    check(0 not in worker_pids,
+          "worker spans leaked into the frontend pid")
+
+    if failures:
+        for message in failures:
+            print(f"check_trace_json: FAIL: {message}", file=sys.stderr)
+        return 1
+    print(f"check_trace_json: OK ({len(spans)} spans, "
+          f"{len(worker_pids)} worker pids, trace {trace_id}, "
+          f"{doc.get('droppedSpans', 0)} dropped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,22 +24,37 @@
 //                       [--workers 4] [--queue 64] [--batch 8] [--iters 10]
 //                       [--mode lsqr|adjoint|mixed] [--deadline-ms 0]
 //                       [--cache-mb 512] [--verify 1] [--metrics-out FILE]
-//                       [geometry flags as for solve]   (closed-loop
-//                       multi-client solve service driver; verifies
-//                       bitwise vs sequential; --metrics-out dumps the
-//                       service registry in Prometheus text format)
+//                       [--health-out FILE] [--watch MS] [--slo-ms 0]
+//                       [--exemplar-dir DIR] [geometry flags as for solve]
+//                       (closed-loop multi-client solve service driver;
+//                       verifies bitwise vs sequential; --metrics-out
+//                       dumps the service registry in Prometheus text
+//                       format; --health-out dumps metrics + the rolling
+//                       SLO window as JSON; --watch MS repaints a live
+//                       service view every MS milliseconds; --slo-ms sets
+//                       the latency objective, with breach exemplars
+//                       persisted under --exemplar-dir)
 //   tlrwse_cli trace    --out trace.json [--iters 5] [--nb 24] [--acc 1e-4]
 //                       [geometry flags as for synth]   (end-to-end demo:
 //                       archive -> serve -> solve, captured as a
 //                       chrome://tracing file plus a metrics JSON dump)
 //   tlrwse_cli cluster  --archive survey.tlra [--workers 3] [--requests 6]
 //                       [--iters 8] [--mode lsqr|adjoint] [--kill-worker 0]
-//                       [--verify 1] [--replicate-mb 0] [geometry flags as
-//                       for solve]   (multi-process smoke: forks real
-//                       worker processes behind unix sockets, solves
-//                       through the cluster frontend, verifies bitwise vs
-//                       the single-process solve; --kill-worker 1 SIGKILLs
-//                       one worker mid-run and asserts typed degradation)
+//                       [--verify 1] [--replicate-mb 0]
+//                       [--trace-merged-out FILE] [--health-out FILE]
+//                       [--watch MS] [--slo-ms 0] [--exemplar-dir DIR]
+//                       [geometry flags as for solve]   (multi-process
+//                       smoke: forks real worker processes behind unix
+//                       sockets, solves through the cluster frontend,
+//                       verifies bitwise vs the single-process solve;
+//                       --kill-worker 1 SIGKILLs one worker mid-run and
+//                       asserts typed degradation; --trace-merged-out
+//                       traces the first request end-to-end and writes one
+//                       clock-aligned chrome://tracing timeline spanning
+//                       the frontend and every worker process;
+//                       --health-out dumps per-worker shard/bytes/stall
+//                       health + the SLO window as JSON; --watch MS
+//                       repaints a live fleet view)
 //
 // `serve` installs SIGINT/SIGTERM handlers: on the first signal admission
 // stops (clients submit nothing new), in-flight requests drain, and the
@@ -147,6 +162,57 @@ class Args {
   std::map<std::string, std::string> values_;
   mutable std::set<std::string> consumed_;
 };
+
+/// Writes `text` to `path`; returns false (with a message) on failure.
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::FILE* fh = std::fopen(path.c_str(), "wb");
+  if (fh == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", what, path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), fh);
+  std::fclose(fh);
+  return true;
+}
+
+/// One top-like frame of the fleet view for `cluster --watch`.
+std::string format_fleet_view(
+    const std::vector<cluster::ClusterService::WorkerHealth>& fleet,
+    const obs::SloTracker::Window& win) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "fleet: %zu workers | slo window: %llu reqs, p50 %.3fs, "
+                "p95 %.3fs, p99 %.3fs, burn %.2f\n",
+                fleet.size(), static_cast<unsigned long long>(win.count),
+                win.p50_s, win.p95_s, win.p99_s, win.burn_rate);
+  out += line;
+  for (const auto& wh : fleet) {
+    if (!wh.alive) {
+      std::snprintf(line, sizeof(line), "  %-10s DEAD\n", wh.name.c_str());
+      out += line;
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-10s up %6.1fs  inflight %2llu  applies %6llu  "
+                  "resident %8.1f KiB  stall %5.2fs  drops %llu",
+                  wh.name.c_str(), 1e-9 * static_cast<double>(wh.health.uptime_ns),
+                  static_cast<unsigned long long>(wh.health.inflight),
+                  static_cast<unsigned long long>(wh.health.applies),
+                  wh.health.resident_bytes / 1024.0, wh.health.stall_s,
+                  static_cast<unsigned long long>(wh.health.dropped_spans));
+    out += line;
+    for (const auto& sh : wh.health.shards) {
+      std::snprintf(line, sizeof(line), "  shard %u [q %lld:%lld)",
+                    sh.shard_id, static_cast<long long>(sh.q_begin),
+                    static_cast<long long>(sh.q_end));
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
 
 seismic::DatasetConfig dataset_config(const Args& args) {
   seismic::DatasetConfig cfg;
@@ -474,6 +540,10 @@ int cmd_serve(const Args& args) {
   const double deadline_s = args.num("deadline-ms", 0.0) / 1e3;
   const bool verify = args.integer("verify", 1) != 0;
   const std::string metrics_out = args.get("metrics-out", "");
+  const std::string health_out = args.get("health-out", "");
+  const int watch_ms = static_cast<int>(args.integer("watch", 0));
+  const double slo_ms = args.num("slo-ms", 0.0);
+  const std::string exemplar_dir = args.get("exemplar-dir", "");
   if (clients < 1 || requests < 1) {
     std::fprintf(stderr, "serve: --clients/--requests must be >= 1\n");
     return 1;
@@ -488,6 +558,8 @@ int cmd_serve(const Args& args) {
   cfg.queue_capacity = static_cast<std::size_t>(args.integer("queue", 64));
   cfg.max_batch = static_cast<std::size_t>(args.integer("batch", 8));
   cfg.cache_budget_bytes = args.num("cache-mb", 512.0) * 1024.0 * 1024.0;
+  cfg.slo.latency_objective_s = slo_ms / 1e3;
+  cfg.slo.exemplar_dir = exemplar_dir;
 
   // The observed data comes from the (re-modelled) survey, exactly as in
   // `solve`; the archive must match the geometry flags.
@@ -533,6 +605,40 @@ int cmd_serve(const Args& args) {
   WallTimer wall;
   {
     serve::SolveService service(cfg);
+    // Live service view: repaint queue depth, completion counters, and the
+    // rolling SLO window while the client pool runs.
+    std::atomic<bool> watch_stop{false};
+    std::thread watch_thread;
+    if (watch_ms > 0) {
+      watch_thread = std::thread([&] {
+        const bool tty = ::isatty(1) != 0;
+        while (!watch_stop.load(std::memory_order_relaxed)) {
+          const auto m = service.metrics();
+          const auto win = service.slo_window();
+          char line[256];
+          std::snprintf(
+              line, sizeof(line),
+              "serve: queue %llu (peak %llu) | done %llu/%llu | slo "
+              "window: %llu reqs, p50 %.3fs, p95 %.3fs, p99 %.3fs, "
+              "burn %.2f\n",
+              static_cast<unsigned long long>(m.counters.queue_depth),
+              static_cast<unsigned long long>(m.counters.queue_peak_depth),
+              static_cast<unsigned long long>(m.counters.completed),
+              static_cast<unsigned long long>(m.counters.submitted),
+              static_cast<unsigned long long>(win.count), win.p50_s,
+              win.p95_s, win.p99_s, win.burn_rate);
+          if (tty) std::printf("\033[2J\033[H");
+          std::fputs(line, stdout);
+          std::fflush(stdout);
+          for (int spin = 0;
+               spin * 25 < watch_ms &&
+               !watch_stop.load(std::memory_order_relaxed);
+               ++spin) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          }
+        }
+      });
+    }
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
@@ -557,6 +663,10 @@ int cmd_serve(const Args& args) {
       });
     }
     for (auto& t : pool) t.join();
+    if (watch_thread.joinable()) {
+      watch_stop.store(true, std::memory_order_relaxed);
+      watch_thread.join();
+    }
     ::sigaction(SIGINT, &prev_int, nullptr);
     ::sigaction(SIGTERM, &prev_term, nullptr);
     const bool drained = g_drain_requested != 0;
@@ -598,6 +708,27 @@ int cmd_serve(const Args& args) {
       std::fclose(fh);
       std::printf("metrics: wrote %zu bytes to %s\n", text.size(),
                   metrics_out.c_str());
+    }
+
+    if (!health_out.empty()) {
+      // Single-process health view: the service metrics JSON plus the
+      // rolling SLO window (the cluster tier's fleet_health_json analogue).
+      const auto win = service.slo_window();
+      char slo_json[256];
+      std::snprintf(slo_json, sizeof(slo_json),
+                    "{\"count\":%llu,\"errors\":%llu,\"breaches\":%llu,"
+                    "\"p50_s\":%.6f,\"p95_s\":%.6f,\"p99_s\":%.6f,"
+                    "\"burn_rate\":%.4f}",
+                    static_cast<unsigned long long>(win.count),
+                    static_cast<unsigned long long>(win.errors),
+                    static_cast<unsigned long long>(win.breaches), win.p50_s,
+                    win.p95_s, win.p99_s, win.burn_rate);
+      const std::string health = std::string("{\"slo\":") + slo_json +
+                                 ",\"metrics\":" + service.metrics_json() +
+                                 "}";
+      if (!write_text_file(health_out, health, "serve")) return 2;
+      std::printf("health: wrote %zu bytes to %s\n", health.size(),
+                  health_out.c_str());
     }
 
     if (verify) {
@@ -702,6 +833,11 @@ int cmd_cluster(const Args& args) {
   const bool kill_worker = args.integer("kill-worker", 0) != 0;
   const bool verify = args.integer("verify", 1) != 0;
   const double replicate_mb = args.num("replicate-mb", 0.0);
+  const std::string trace_merged_out = args.get("trace-merged-out", "");
+  const std::string health_out = args.get("health-out", "");
+  const int watch_ms = static_cast<int>(args.integer("watch", 0));
+  const double slo_ms = args.num("slo-ms", 0.0);
+  const std::string exemplar_dir = args.get("exemplar-dir", "");
   const auto dcfg = dataset_config(args);
   if (path.empty()) {
     std::fprintf(stderr, "cluster: --archive is required\n");
@@ -778,13 +914,15 @@ int cmd_cluster(const Args& args) {
 
   cluster::ClusterConfig ccfg;
   ccfg.planner.replicate_max_bytes = replicate_mb * 1024.0 * 1024.0;
+  ccfg.slo.latency_objective_s = slo_ms / 1e3;
+  ccfg.slo.exemplar_dir = exemplar_dir;
   int rc = 0;
   int killed_index = -1;
   std::vector<cluster::ClusterResponse> responses;
   {
     cluster::ClusterService service(ccfg, std::move(fleet));
     const serve::OperatorKey key{path, 0, 0.0};
-    auto make_req = [&](int j) {
+    auto make_req = [&](int j, bool trace = false) {
       cluster::ClusterRequest req;
       req.op = key;
       req.kind = mode == "adjoint" ? serve::RequestKind::kAdjoint
@@ -792,12 +930,54 @@ int cmd_cluster(const Args& args) {
       req.vsrc = static_cast<index_t>(j) % nr;
       req.rhs = mdd::virtual_source_rhs(data, req.vsrc);
       req.lsqr.max_iters = iters;
+      req.trace = trace;
       return req;
     };
 
+    // Live fleet view: a background poller drives kHealth frames against
+    // every worker and repaints a top-like summary (cleared in-place on a
+    // tty, appended when piped) until the run completes.
+    std::atomic<bool> watch_stop{false};
+    std::thread watch_thread;
+    if (watch_ms > 0) {
+      watch_thread = std::thread([&] {
+        const bool tty = ::isatty(1) != 0;
+        while (!watch_stop.load(std::memory_order_relaxed)) {
+          const std::string view =
+              format_fleet_view(service.fleet_health(), service.slo_window());
+          if (tty) std::printf("\033[2J\033[H");
+          std::fwrite(view.data(), 1, view.size(), stdout);
+          std::fflush(stdout);
+          for (int spin = 0;
+               spin * 25 < watch_ms &&
+               !watch_stop.load(std::memory_order_relaxed);
+               ++spin) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          }
+        }
+      });
+    }
+
     // First request runs alone so a --kill-worker run kills a fleet with
-    // a warm placement: mid-service, not mid-load.
-    responses.push_back(service.submit(make_req(0)).response.get());
+    // a warm placement: mid-service, not mid-load. It is also the traced
+    // request: quiescent, so the merged timeline is one clean solve.
+    responses.push_back(
+        service.submit(make_req(0, !trace_merged_out.empty())).response.get());
+    if (!trace_merged_out.empty()) {
+      if (responses.back().trace_json.empty()) {
+        std::fprintf(stderr, "cluster: traced request produced no timeline "
+                             "(status %s)\n",
+                     cluster::to_string(responses.back().status));
+        rc = 2;
+      } else if (!write_text_file(trace_merged_out,
+                                  responses.back().trace_json, "cluster")) {
+        rc = 2;
+      } else {
+        std::printf("cluster: wrote merged trace (%zu bytes) to %s\n",
+                    responses.back().trace_json.size(),
+                    trace_merged_out.c_str());
+      }
+    }
     if (kill_worker) {
       killed_index = workers - 1;
       const pid_t victim = pids[static_cast<std::size_t>(killed_index)];
@@ -821,6 +1001,24 @@ int cmd_cluster(const Args& args) {
                   cluster::to_string(recovered.status));
       if (recovered.status != cluster::ClusterStatus::kOk) rc = 2;
       responses.push_back(std::move(recovered));
+    }
+
+    if (watch_thread.joinable()) {
+      watch_stop.store(true, std::memory_order_relaxed);
+      watch_thread.join();
+    }
+
+    // Health snapshot while the workers are still up: per-worker shard
+    // ownership, resident/streamed bytes, stall totals, and the frontend's
+    // rolling SLO window, in one JSON document.
+    if (!health_out.empty()) {
+      const std::string health = service.fleet_health_json();
+      if (!write_text_file(health_out, health, "cluster")) {
+        rc = 2;
+      } else {
+        std::printf("cluster: wrote fleet health (%zu bytes) to %s\n",
+                    health.size(), health_out.c_str());
+      }
     }
 
     std::printf("%s\n", service.cluster_snapshot().to_json().c_str());
