@@ -15,6 +15,7 @@
 #include "tlrwse/mdc/mdc_operator.hpp"
 #include "tlrwse/mdd/mdd_solver.hpp"
 #include "tlrwse/seismic/modeling.hpp"
+#include "tlrwse/tlr/mixed.hpp"
 #include "tlrwse/tlr/shared_basis.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
 
@@ -47,6 +48,13 @@ struct KernelArchive {
 /// serialize.hpp after a band-metadata header.
 void save_archive(const std::string& path, const KernelArchive& archive);
 [[nodiscard]] KernelArchive load_archive(const std::string& path);
+
+/// Quantizes every kernel in place (tile factors rounded and tagged per
+/// tlr::MixedPrecisionPolicy). A subsequent save_archive writes packed
+/// version-2 payloads at roughly half the bytes for fp16/bf16 tiles, and
+/// MvmPlan packs the tagged tiles as 16-bit arena panels.
+void quantize_archive(KernelArchive& archive,
+                      const tlr::MixedPrecisionPolicy& policy);
 
 /// Shared-basis archive: the survey's frequencies split into consecutive
 /// bands, each stored as one tlr::SharedBasisStackedTlr (bases fit once per
@@ -93,6 +101,11 @@ void save_shared_archive(const std::string& path,
                          const SharedKernelArchive& archive);
 [[nodiscard]] SharedKernelArchive load_shared_archive(const std::string& path);
 
+/// Rounds every band to one uniform storage precision (bases and cores
+/// alike, see SharedBasisStackedTlr::set_precision). Idempotent.
+void quantize_shared_archive(SharedKernelArchive& archive,
+                             tlr::StoragePrecision p);
+
 /// Byte extent of one archive granule — a frequency kernel in a "TLRA"
 /// container, a whole band in a "TLRS" one — measured during a single
 /// header peek. `offset`/`bytes` frame the granule in the file (where an
@@ -113,6 +126,10 @@ struct ShardExtent {
 struct ArchiveInfo {
   index_t nt = 0;
   double dt = 0.0;
+  /// Container format version of the file header (2 = half-precision
+  /// payload encodings; "TLRA" containers stay at 1 and version their
+  /// embedded kernels individually).
+  std::uint32_t format_version = 1;
   std::vector<index_t> freq_bins;
   std::vector<double> freqs_hz;
   /// Shared-basis ("TLRS") archives only: format flag and number of bands.

@@ -21,6 +21,14 @@ inline constexpr std::uint32_t kTlrMagic = 0x544C5254;     // "TLRT"
 inline constexpr std::uint32_t kSharedMagic = 0x544C5253;  // "TLRS"
 inline constexpr std::uint32_t kBandMagic = 0x544C5242;    // "TLRB"
 inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version 2 adds half-precision payload encodings: a "TLRT" kernel gains a
+/// per-tile precision table (one StoragePrecision byte per tile, after the
+/// rank table) and fp16/bf16 tiles store each complex element as two
+/// packed uint16 (re, im bits) — half the bytes of fp32. A "TLRS" band
+/// carries one precision byte after its frequency count and packs bases
+/// and cores alike. Writers emit version 1 whenever everything is fp32, so
+/// legacy archives stay byte-identical; readers accept both versions.
+inline constexpr std::uint32_t kFormatVersionMixed = 2;
 
 /// Writes a dense complex matrix. Throws std::runtime_error on IO failure.
 void save_matrix(const std::string& path, const la::MatrixCF& m);

@@ -41,53 +41,95 @@ double read_f64(std::istream& is) {
 // header past this is rejected before it can demand a huge allocation.
 constexpr index_t kMaxArchiveDim = index_t{1} << 30;
 
-void write_mat(std::ostream& os, const la::MatrixCF& m) {
+/// On-disk bytes of one complex element at the given storage precision:
+/// fp32 stores cf32, half stores two packed uint16 (re, im bits).
+std::int64_t complex_disk_bytes(tlr::StoragePrecision p) {
+  return tlr::is_half(p) ? static_cast<std::int64_t>(2 * sizeof(std::uint16_t))
+                         : static_cast<std::int64_t>(sizeof(cf32));
+}
+
+void write_mat(std::ostream& os, const la::MatrixCF& m,
+               tlr::StoragePrecision p = tlr::StoragePrecision::kFp32) {
   write_i64(os, m.rows());
   write_i64(os, m.cols());
-  os.write(reinterpret_cast<const char*>(m.data()),
-           static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
-                                        sizeof(cf32)));
+  if (!tlr::is_half(p)) {
+    os.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                          sizeof(cf32)));
+    return;
+  }
+  // Values were pre-rounded through la/half.hpp at quantize time, so the
+  // packed payload reproduces them bitwise on reload.
+  const la::HalfFormat fmt = tlr::half_format(p);
+  const cf32* d = m.data();
+  std::vector<std::uint16_t> buf(2 * static_cast<std::size_t>(m.size()));
+  for (std::size_t k = 0; k < static_cast<std::size_t>(m.size()); ++k) {
+    buf[2 * k] = la::f32_to_half_bits(d[k].real(), fmt);
+    buf[2 * k + 1] = la::f32_to_half_bits(d[k].imag(), fmt);
+  }
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(std::uint16_t)));
 }
 
 /// Reads one matrix, rejecting dimensions outside [0, max_rows/cols] (the
 /// caller's structural bound) and any short read — a truncated or corrupt
 /// stream must throw, never hand back silently-garbage factors.
-la::MatrixCF read_mat(std::istream& is, index_t max_rows, index_t max_cols) {
+la::MatrixCF read_mat(std::istream& is, index_t max_rows, index_t max_cols,
+                      tlr::StoragePrecision p = tlr::StoragePrecision::kFp32) {
   const index_t r = read_i64(is);
   const index_t c = read_i64(is);
   if (!is) throw std::runtime_error("tlrwse::io: truncated matrix header");
   TLRWSE_REQUIRE(r >= 0 && c >= 0 && r <= max_rows && c <= max_cols,
                  "corrupt matrix header: dims out of range");
   la::MatrixCF m(r, c);
-  is.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
-                                       sizeof(cf32)));
+  if (!tlr::is_half(p)) {
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                         sizeof(cf32)));
+    if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+    return m;
+  }
+  const la::HalfFormat fmt = tlr::half_format(p);
+  std::vector<std::uint16_t> buf(2 * static_cast<std::size_t>(m.size()));
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size() * sizeof(std::uint16_t)));
   if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+  cf32* d = m.data();
+  for (std::size_t k = 0; k < static_cast<std::size_t>(m.size()); ++k) {
+    d[k] = cf32(la::half_bits_to_f32(buf[2 * k], fmt),
+                la::half_bits_to_f32(buf[2 * k + 1], fmt));
+  }
   return m;
 }
 
 /// Reads a matrix header and seeks past its payload (slice loads and the
 /// byte scan never touch skipped factors). Returns the payload bytes.
-double skip_mat(std::istream& is) {
+double skip_mat(std::istream& is,
+                tlr::StoragePrecision p = tlr::StoragePrecision::kFp32) {
   const index_t r = read_i64(is);
   const index_t c = read_i64(is);
   if (!is) throw std::runtime_error("tlrwse::io: truncated matrix header");
   TLRWSE_REQUIRE(
       r >= 0 && c >= 0 && r <= kMaxArchiveDim && c <= kMaxArchiveDim,
       "corrupt matrix header: dims out of range");
-  const auto bytes =
-      static_cast<std::int64_t>(r) * c *
-      static_cast<std::int64_t>(sizeof(cf32));
+  const auto bytes = static_cast<std::int64_t>(r) * c * complex_disk_bytes(p);
   is.seekg(bytes, std::ios::cur);
   if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
   return static_cast<double>(bytes);
 }
 
-/// One embedded TLRA kernel's magic, dims and rank table (the payload's
-/// exact size follows from the ranks, so skipping costs a single seek).
+/// One embedded TLRA kernel's magic, dims, rank table and (version 2)
+/// per-tile precision table. The payload's exact size follows from ranks
+/// and precisions, so skipping costs a single seek.
 struct TlrKernelHeader {
   tlr::TileGrid grid;
   std::vector<index_t> ranks;
+  std::vector<tlr::StoragePrecision> prec;  // empty = uniform fp32 (v1)
+
+  [[nodiscard]] tlr::StoragePrecision precision(index_t i, index_t j) const {
+    if (prec.empty()) return tlr::StoragePrecision::kFp32;
+    return prec[static_cast<std::size_t>(grid.tile_index(i, j))];
+  }
 };
 
 TlrKernelHeader read_tlr_kernel_header(std::istream& is,
@@ -95,7 +137,8 @@ TlrKernelHeader read_tlr_kernel_header(std::istream& is,
   if (read_u32(is) != kTlrMagic) {
     throw std::runtime_error("tlrwse::io: bad kernel magic in " + path);
   }
-  if (read_u32(is) != kFormatVersion) {
+  const std::uint32_t version = read_u32(is);
+  if (version != kFormatVersion && version != kFormatVersionMixed) {
     throw std::runtime_error("tlrwse::io: unsupported kernel version");
   }
   const index_t rows = read_i64(is);
@@ -104,7 +147,7 @@ TlrKernelHeader read_tlr_kernel_header(std::istream& is,
   if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
   TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
                  "corrupt kernel header: dims out of range");
-  TlrKernelHeader h{tlr::TileGrid(rows, cols, nb), {}};
+  TlrKernelHeader h{tlr::TileGrid(rows, cols, nb), {}, {}};
   h.ranks.resize(static_cast<std::size_t>(h.grid.num_tiles()));
   for (index_t j = 0; j < h.grid.nt(); ++j) {
     for (index_t i = 0; i < h.grid.mt(); ++i) {
@@ -122,10 +165,26 @@ TlrKernelHeader read_tlr_kernel_header(std::istream& is,
                      "corrupt archive: tile rank out of range");
     }
   }
+  if (version == kFormatVersionMixed) {
+    h.prec.resize(static_cast<std::size_t>(h.grid.num_tiles()));
+    for (index_t j = 0; j < h.grid.nt(); ++j) {
+      for (index_t i = 0; i < h.grid.mt(); ++i) {
+        std::uint8_t tag{};
+        is.read(reinterpret_cast<char*>(&tag), 1);
+        TLRWSE_REQUIRE(tlr::valid_precision_tag(tag),
+                       "corrupt archive: bad precision tag");
+        h.prec[static_cast<std::size_t>(h.grid.tile_index(i, j))] =
+            static_cast<tlr::StoragePrecision>(tag);
+      }
+    }
+    if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
+  }
   return h;
 }
 
-/// Factor payload bytes of one kernel (excluding per-tile dim headers).
+/// Factor payload bytes of one kernel (excluding per-tile dim headers),
+/// at each tile's true on-disk precision — the residency currency cache
+/// admission and stream planning price against.
 double tlr_factor_bytes(const TlrKernelHeader& h) {
   double bytes = 0.0;
   for (index_t j = 0; j < h.grid.nt(); ++j) {
@@ -134,7 +193,7 @@ double tlr_factor_bytes(const TlrKernelHeader& h) {
           h.ranks[static_cast<std::size_t>(h.grid.tile_index(i, j))];
       bytes += static_cast<double>(rank) *
                static_cast<double>(h.grid.tile_rows(i) + h.grid.tile_cols(j)) *
-               static_cast<double>(sizeof(cf32));
+               static_cast<double>(complex_disk_bytes(h.precision(i, j)));
     }
   }
   return bytes;
@@ -150,7 +209,7 @@ void skip_tlr_tiles(std::istream& is, const TlrKernelHeader& h) {
       bytes += static_cast<std::int64_t>(4 * sizeof(std::int64_t)) +
                static_cast<std::int64_t>(rank) *
                    (h.grid.tile_rows(i) + h.grid.tile_cols(j)) *
-                   static_cast<std::int64_t>(sizeof(cf32));
+                   complex_disk_bytes(h.precision(i, j));
     }
   }
   is.seekg(bytes, std::ios::cur);
@@ -166,9 +225,10 @@ tlr::TlrMatrix<cf32> read_tlr_tiles(std::istream& is,
     for (index_t i = 0; i < g.mt(); ++i) {
       const index_t rank =
           h.ranks[static_cast<std::size_t>(g.tile_index(i, j))];
+      const tlr::StoragePrecision p = h.precision(i, j);
       la::LowRankFactors<cf32> t;
-      t.U = read_mat(is, g.tile_rows(i), rank);
-      t.Vh = read_mat(is, rank, g.tile_cols(j));
+      t.U = read_mat(is, g.tile_rows(i), rank, p);
+      t.Vh = read_mat(is, rank, g.tile_cols(j), p);
       TLRWSE_REQUIRE(t.U.rows() == g.tile_rows(i) && t.U.cols() == rank &&
                          t.Vh.rows() == rank &&
                          t.Vh.cols() == g.tile_cols(j),
@@ -177,7 +237,9 @@ tlr::TlrMatrix<cf32> read_tlr_tiles(std::istream& is,
     }
   }
   if (!is) throw std::runtime_error("tlrwse::io: truncated archive");
-  return tlr::TlrMatrix<cf32>(g, std::move(tiles));
+  tlr::TlrMatrix<cf32> m(g, std::move(tiles));
+  if (!h.prec.empty()) m.set_precision_tags(h.prec);
+  return m;
 }
 }  // namespace
 
@@ -222,10 +284,13 @@ void save_archive(const std::string& path, const KernelArchive& archive) {
   std::ofstream app(path, std::ios::binary | std::ios::app);
   for (index_t q = 0; q < archive.num_freqs(); ++q) {
     // Reuse the TLR container format via a temporary in-memory detour is
-    // wasteful; serialize inline with the same layout as save_tlr.
+    // wasteful; serialize inline with the same layout as save_tlr. Kernels
+    // with half tiles write the version-2 container (precision table +
+    // packed payloads); all-fp32 kernels stay byte-identical to version 1.
     const auto& m = archive.kernels[static_cast<std::size_t>(q)];
+    const bool mixed = m.has_half_tiles();
     write_u32(app, kTlrMagic);
-    write_u32(app, kFormatVersion);
+    write_u32(app, mixed ? kFormatVersionMixed : kFormatVersion);
     const auto& g = m.grid();
     write_i64(app, g.rows());
     write_i64(app, g.cols());
@@ -233,19 +298,21 @@ void save_archive(const std::string& path, const KernelArchive& archive) {
     for (index_t j = 0; j < g.nt(); ++j) {
       for (index_t i = 0; i < g.mt(); ++i) write_i64(app, m.rank(i, j));
     }
+    if (mixed) {
+      for (index_t j = 0; j < g.nt(); ++j) {
+        for (index_t i = 0; i < g.mt(); ++i) {
+          const auto tag = static_cast<std::uint8_t>(m.precision(i, j));
+          app.write(reinterpret_cast<const char*>(&tag), 1);
+        }
+      }
+    }
     for (index_t j = 0; j < g.nt(); ++j) {
       for (index_t i = 0; i < g.mt(); ++i) {
         const auto& t = m.tile(i, j);
-        write_i64(app, t.U.rows());
-        write_i64(app, t.U.cols());
-        app.write(reinterpret_cast<const char*>(t.U.data()),
-                  static_cast<std::streamsize>(
-                      static_cast<std::size_t>(t.U.size()) * sizeof(cf32)));
-        write_i64(app, t.Vh.rows());
-        write_i64(app, t.Vh.cols());
-        app.write(reinterpret_cast<const char*>(t.Vh.data()),
-                  static_cast<std::streamsize>(
-                      static_cast<std::size_t>(t.Vh.size()) * sizeof(cf32)));
+        const tlr::StoragePrecision p =
+            mixed ? m.precision(i, j) : tlr::StoragePrecision::kFp32;
+        write_mat(app, t.U, p);
+        write_mat(app, t.Vh, p);
       }
     }
   }
@@ -262,10 +329,12 @@ ArchiveInfo peek_header(std::istream& is, const std::string& path) {
   if (magic != kArchiveMagic && magic != kSharedMagic) {
     throw std::runtime_error("tlrwse::io: bad archive magic in " + path);
   }
-  if (read_u32(is) != kFormatVersion) {
+  const std::uint32_t version = read_u32(is);
+  if (version != kFormatVersion && version != kFormatVersionMixed) {
     throw std::runtime_error("tlrwse::io: unsupported archive version");
   }
   ArchiveInfo info;
+  info.format_version = version;
   info.nt = read_i64(is);
   info.dt = read_f64(is);
   const index_t nf = read_i64(is);
@@ -344,6 +413,17 @@ ArchiveInfo peek_archive_extents(const std::string& path) {
                    "corrupt shared archive band");
     TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
                    "corrupt shared archive band: dims out of range");
+    tlr::StoragePrecision band_prec = tlr::StoragePrecision::kFp32;
+    if (info.format_version == kFormatVersionMixed) {
+      std::uint8_t tag{};
+      is.read(reinterpret_cast<char*>(&tag), 1);
+      if (!is) {
+        throw std::runtime_error("tlrwse::io: truncated shared archive");
+      }
+      TLRWSE_REQUIRE(tlr::valid_precision_tag(tag),
+                     "corrupt shared archive: bad precision tag");
+      band_prec = static_cast<tlr::StoragePrecision>(tag);
+    }
     if (bi == 0) {
       info.rows = rows;
       info.cols = cols;
@@ -351,7 +431,9 @@ ArchiveInfo peek_archive_extents(const std::string& path) {
     const tlr::TileGrid g(rows, cols, nb);
     const auto ntiles = static_cast<std::size_t>(g.num_tiles());
     double basis_bytes = 0.0;
-    for (std::size_t t = 0; t < 2 * ntiles; ++t) basis_bytes += skip_mat(is);
+    for (std::size_t t = 0; t < 2 * ntiles; ++t) {
+      basis_bytes += skip_mat(is, band_prec);
+    }
     // Bases are shared by the whole band; amortise them evenly so the
     // per-frequency weights sum to the real resident cost.
     const double basis_share =
@@ -365,8 +447,8 @@ ArchiveInfo peek_archive_extents(const std::string& path) {
         if (!is) {
           throw std::runtime_error("tlrwse::io: truncated shared archive");
         }
-        core_bytes += skip_mat(is);
-        if (factored) core_bytes += skip_mat(is);
+        core_bytes += skip_mat(is, band_prec);
+        if (factored) core_bytes += skip_mat(is, band_prec);
       }
       info.freq_payload_bytes[static_cast<std::size_t>(band_start + f)] =
           core_bytes + basis_share;
@@ -451,6 +533,21 @@ KernelArchive load_archive_range(const std::string& path, index_t q_begin,
 
 KernelArchive load_archive(const std::string& path) {
   return load_archive_range(path, 0, -1, nullptr);
+}
+
+void quantize_archive(KernelArchive& archive,
+                      const tlr::MixedPrecisionPolicy& policy) {
+  for (auto& k : archive.kernels) k = tlr::quantize_tlr(k, policy).matrix;
+}
+
+void quantize_shared_archive(SharedKernelArchive& archive,
+                             tlr::StoragePrecision p) {
+  for (auto& bp : archive.bands) {
+    tlr::SharedBasisStackedTlr<cf32> band = *bp;
+    band.set_precision(p);
+    bp = std::make_shared<const tlr::SharedBasisStackedTlr<cf32>>(
+        std::move(band));
+  }
 }
 
 KernelArchive load_archive_slice(const std::string& path, index_t q_begin,
@@ -569,8 +666,14 @@ void save_shared_archive(const std::string& path,
                  "inconsistent shared archive metadata");
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("tlrwse::io: cannot write " + path);
+  // Half-precision bands need the version-2 container (per-band precision
+  // byte + packed payloads); all-fp32 archives stay byte-identical to v1.
+  bool any_half = false;
+  for (const auto& b : archive.bands) {
+    if (tlr::is_half(b->precision())) any_half = true;
+  }
   write_u32(os, kSharedMagic);
-  write_u32(os, kFormatVersion);
+  write_u32(os, any_half ? kFormatVersionMixed : kFormatVersion);
   write_i64(os, archive.nt);
   write_f64(os, archive.dt);
   write_i64(os, archive.num_freqs());
@@ -583,16 +686,21 @@ void save_shared_archive(const std::string& path,
   for (const auto& bp : archive.bands) {
     const auto& b = *bp;
     const auto& g = b.grid();
+    const tlr::StoragePrecision p = b.precision();
     write_u32(os, kBandMagic);
     write_i64(os, g.rows());
     write_i64(os, g.cols());
     write_i64(os, g.nb());
     write_f64(os, b.acc());
     write_i64(os, b.num_freqs());
+    if (any_half) {
+      const auto tag = static_cast<std::uint8_t>(p);
+      os.write(reinterpret_cast<const char*>(&tag), 1);
+    }
     for (index_t j = 0; j < g.nt(); ++j) {
       for (index_t i = 0; i < g.mt(); ++i) {
-        write_mat(os, b.basis_u(i, j));
-        write_mat(os, b.basis_vh(i, j));
+        write_mat(os, b.basis_u(i, j), p);
+        write_mat(os, b.basis_vh(i, j), p);
       }
     }
     for (index_t f = 0; f < b.num_freqs(); ++f) {
@@ -602,10 +710,10 @@ void save_shared_archive(const std::string& path,
           write_u32(os, c.factored ? 1u : 0u);
           write_i64(os, c.rank);
           if (c.factored) {
-            write_mat(os, c.lr.U);
-            write_mat(os, c.lr.Vh);
+            write_mat(os, c.lr.U, p);
+            write_mat(os, c.lr.Vh, p);
           } else {
-            write_mat(os, c.dense);
+            write_mat(os, c.dense, p);
           }
         }
       }
@@ -617,12 +725,13 @@ void save_shared_archive(const std::string& path,
 namespace {
 
 /// Seeks past one core's matrices (the flag and rank were already read).
-void skip_core_mats(std::istream& is, bool factored) {
+void skip_core_mats(std::istream& is, bool factored,
+                    tlr::StoragePrecision p = tlr::StoragePrecision::kFp32) {
   if (factored) {
-    (void)skip_mat(is);
-    (void)skip_mat(is);
+    (void)skip_mat(is, p);
+    (void)skip_mat(is, p);
   } else {
-    (void)skip_mat(is);
+    (void)skip_mat(is, p);
   }
 }
 
@@ -641,7 +750,8 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
     throw std::runtime_error("tlrwse::io: bad shared archive magic in " +
                              path);
   }
-  if (read_u32(is) != kFormatVersion) {
+  const std::uint32_t version = read_u32(is);
+  if (version != kFormatVersion && version != kFormatVersionMixed) {
     throw std::runtime_error("tlrwse::io: unsupported archive version");
   }
   SharedKernelArchive archive;
@@ -709,6 +819,17 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
                    "corrupt shared archive band");
     TLRWSE_REQUIRE(rows <= kMaxArchiveDim && cols <= kMaxArchiveDim,
                    "corrupt shared archive band: dims out of range");
+    tlr::StoragePrecision band_prec = tlr::StoragePrecision::kFp32;
+    if (version == kFormatVersionMixed) {
+      std::uint8_t tag{};
+      is.read(reinterpret_cast<char*>(&tag), 1);
+      if (!is) {
+        throw std::runtime_error("tlrwse::io: truncated shared archive");
+      }
+      TLRWSE_REQUIRE(tlr::valid_precision_tag(tag),
+                     "corrupt shared archive: bad precision tag");
+      band_prec = static_cast<tlr::StoragePrecision>(tag);
+    }
     const tlr::TileGrid g(rows, cols, nb);
     const auto ntiles = static_cast<std::size_t>(g.num_tiles());
     // The band covers global frequencies [band_start, band_start+band_nf);
@@ -718,7 +839,9 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
     band_start += band_nf;
     if (keep_lo >= keep_hi) {
       // No overlap: seek past the bases and every core.
-      for (std::size_t t = 0; t < 2 * ntiles; ++t) (void)skip_mat(is);
+      for (std::size_t t = 0; t < 2 * ntiles; ++t) {
+        (void)skip_mat(is, band_prec);
+      }
       for (index_t f = 0; f < band_nf; ++f) {
         for (std::size_t t = 0; t < ntiles; ++t) {
           const bool factored = read_u32(is) != 0;
@@ -727,7 +850,7 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
             throw std::runtime_error(
                 "tlrwse::io: truncated shared archive");
           }
-          skip_core_mats(is, factored);
+          skip_core_mats(is, factored, band_prec);
         }
       }
       continue;
@@ -738,8 +861,8 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
         // A shared basis cannot out-rank its tile (orthonormal columns /
         // rows); from_parts re-checks the exact dimensions below.
         const auto t = static_cast<std::size_t>(g.tile_index(i, j));
-        u[t] = read_mat(is, g.tile_rows(i), g.tile_rows(i));
-        vh[t] = read_mat(is, g.tile_cols(j), g.tile_cols(j));
+        u[t] = read_mat(is, g.tile_rows(i), g.tile_rows(i), band_prec);
+        vh[t] = read_mat(is, g.tile_cols(j), g.tile_cols(j), band_prec);
       }
     }
     using Band = tlr::SharedBasisStackedTlr<cf32>;
@@ -758,7 +881,7 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
                 "tlrwse::io: truncated shared archive");
           }
           if (!keep) {
-            skip_core_mats(is, factored);
+            skip_core_mats(is, factored, band_prec);
             continue;
           }
           Band::Core& c = cores[static_cast<std::size_t>(f - keep_lo)][t];
@@ -771,17 +894,22 @@ SharedKernelArchive load_shared_archive_range(const std::string& path,
           const index_t kv = vh[t].rows();
           if (c.factored) {
             const index_t rmax = std::min(ku, kv);
-            c.lr.U = read_mat(is, ku, rmax);
-            c.lr.Vh = read_mat(is, rmax, kv);
+            c.lr.U = read_mat(is, ku, rmax, band_prec);
+            c.lr.Vh = read_mat(is, rmax, kv, band_prec);
           } else {
-            c.dense = read_mat(is, ku, kv);
+            c.dense = read_mat(is, ku, kv, band_prec);
           }
         }
       }
     }
     if (!is) throw std::runtime_error("tlrwse::io: truncated shared archive");
-    archive.bands.push_back(std::make_shared<const Band>(Band::from_parts(
-        g, acc, std::move(u), std::move(vh), std::move(cores))));
+    Band band = Band::from_parts(g, acc, std::move(u), std::move(vh),
+                                 std::move(cores));
+    // Re-tag the band: the payload values are already rounded, so
+    // set_precision is a lossless no-op on the data and restores the
+    // precision-aware byte accounting and packed-plan packing.
+    if (tlr::is_half(band_prec)) band.set_precision(band_prec);
+    archive.bands.push_back(std::make_shared<const Band>(std::move(band)));
   }
   TLRWSE_REQUIRE(band_start == nf,
                  "corrupt shared archive: band frequency counts do not "

@@ -3,8 +3,11 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/la/half.hpp"
+#include "tlrwse/tlr/precision.hpp"
 
 namespace tlrwse::io {
 
@@ -27,23 +30,55 @@ std::int64_t read_i64(std::istream& is) {
   return v;
 }
 
-void write_matrix_payload(std::ostream& os, const la::MatrixCF& m) {
+// Half-precision payloads (format version 2) store each complex element as
+// two packed uint16 — (re bits, im bits) — in the matrix's storage order.
+// Values were pre-rounded through the same la/half.hpp conversions at
+// quantize time, so pack -> widen reproduces them bitwise.
+void write_matrix_payload(std::ostream& os, const la::MatrixCF& m,
+                          tlr::StoragePrecision p = tlr::StoragePrecision::kFp32) {
   write_i64(os, m.rows());
   write_i64(os, m.cols());
-  os.write(reinterpret_cast<const char*>(m.data()),
-           static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
-                                        sizeof(cf32)));
+  if (!tlr::is_half(p)) {
+    os.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                          sizeof(cf32)));
+    return;
+  }
+  const la::HalfFormat fmt = tlr::half_format(p);
+  const cf32* d = m.data();
+  std::vector<std::uint16_t> buf(2 * static_cast<std::size_t>(m.size()));
+  for (std::size_t k = 0; k < static_cast<std::size_t>(m.size()); ++k) {
+    buf[2 * k] = la::f32_to_half_bits(d[k].real(), fmt);
+    buf[2 * k + 1] = la::f32_to_half_bits(d[k].imag(), fmt);
+  }
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(std::uint16_t)));
 }
 
-la::MatrixCF read_matrix_payload(std::istream& is) {
+la::MatrixCF read_matrix_payload(
+    std::istream& is,
+    tlr::StoragePrecision p = tlr::StoragePrecision::kFp32) {
   const index_t rows = read_i64(is);
   const index_t cols = read_i64(is);
   TLRWSE_REQUIRE(rows >= 0 && cols >= 0, "corrupt matrix header");
   la::MatrixCF m(rows, cols);
-  is.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
-                                       sizeof(cf32)));
+  if (!tlr::is_half(p)) {
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                         sizeof(cf32)));
+    if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+    return m;
+  }
+  const la::HalfFormat fmt = tlr::half_format(p);
+  std::vector<std::uint16_t> buf(2 * static_cast<std::size_t>(m.size()));
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size() * sizeof(std::uint16_t)));
   if (!is) throw std::runtime_error("tlrwse::io: truncated matrix payload");
+  cf32* d = m.data();
+  for (std::size_t k = 0; k < static_cast<std::size_t>(m.size()); ++k) {
+    d[k] = cf32(la::half_bits_to_f32(buf[2 * k], fmt),
+                la::half_bits_to_f32(buf[2 * k + 1], fmt));
+  }
   return m;
 }
 
@@ -82,8 +117,9 @@ la::MatrixCF load_matrix(const std::string& path) {
 
 void save_tlr(const std::string& path, const tlr::TlrMatrix<cf32>& m) {
   auto os = open_out(path);
+  const bool mixed = m.has_half_tiles();
   write_u32(os, kTlrMagic);
-  write_u32(os, kFormatVersion);
+  write_u32(os, mixed ? kFormatVersionMixed : kFormatVersion);
   const auto& g = m.grid();
   write_i64(os, g.rows());
   write_i64(os, g.cols());
@@ -93,11 +129,21 @@ void save_tlr(const std::string& path, const tlr::TlrMatrix<cf32>& m) {
       write_i64(os, m.rank(i, j));
     }
   }
+  if (mixed) {
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        const auto tag = static_cast<std::uint8_t>(m.precision(i, j));
+        os.write(reinterpret_cast<const char*>(&tag), 1);
+      }
+    }
+  }
   for (index_t j = 0; j < g.nt(); ++j) {
     for (index_t i = 0; i < g.mt(); ++i) {
       const auto& t = m.tile(i, j);
-      write_matrix_payload(os, t.U);
-      write_matrix_payload(os, t.Vh);
+      const tlr::StoragePrecision p =
+          mixed ? m.precision(i, j) : tlr::StoragePrecision::kFp32;
+      write_matrix_payload(os, t.U, p);
+      write_matrix_payload(os, t.Vh, p);
     }
   }
   if (!os) throw std::runtime_error("tlrwse::io: write failed: " + path);
@@ -108,7 +154,8 @@ tlr::TlrMatrix<cf32> load_tlr(const std::string& path) {
   if (read_u32(is) != kTlrMagic) {
     throw std::runtime_error("tlrwse::io: bad magic in " + path);
   }
-  if (read_u32(is) != kFormatVersion) {
+  const std::uint32_t version = read_u32(is);
+  if (version != kFormatVersion && version != kFormatVersionMixed) {
     throw std::runtime_error("tlrwse::io: unsupported version in " + path);
   }
   const index_t rows = read_i64(is);
@@ -121,14 +168,29 @@ tlr::TlrMatrix<cf32> load_tlr(const std::string& path) {
       ranks[static_cast<std::size_t>(g.tile_index(i, j))] = read_i64(is);
     }
   }
+  std::vector<tlr::StoragePrecision> prec(
+      static_cast<std::size_t>(g.num_tiles()), tlr::StoragePrecision::kFp32);
+  if (version == kFormatVersionMixed) {
+    for (index_t j = 0; j < g.nt(); ++j) {
+      for (index_t i = 0; i < g.mt(); ++i) {
+        std::uint8_t tag{};
+        is.read(reinterpret_cast<char*>(&tag), 1);
+        TLRWSE_REQUIRE(tlr::valid_precision_tag(tag),
+                       "corrupt precision table in ", path);
+        prec[static_cast<std::size_t>(g.tile_index(i, j))] =
+            static_cast<tlr::StoragePrecision>(tag);
+      }
+    }
+    if (!is) throw std::runtime_error("tlrwse::io: truncated file: " + path);
+  }
   std::vector<la::LowRankFactors<cf32>> tiles(
       static_cast<std::size_t>(g.num_tiles()));
   for (index_t j = 0; j < g.nt(); ++j) {
     for (index_t i = 0; i < g.mt(); ++i) {
-      la::LowRankFactors<cf32> t;
-      t.U = read_matrix_payload(is);
-      t.Vh = read_matrix_payload(is);
       const auto idx = static_cast<std::size_t>(g.tile_index(i, j));
+      la::LowRankFactors<cf32> t;
+      t.U = read_matrix_payload(is, prec[idx]);
+      t.Vh = read_matrix_payload(is, prec[idx]);
       TLRWSE_REQUIRE(t.U.cols() == ranks[idx] && t.Vh.rows() == ranks[idx],
                      "rank table mismatch in ", path);
       TLRWSE_REQUIRE(t.U.rows() == g.tile_rows(i) &&
@@ -137,7 +199,9 @@ tlr::TlrMatrix<cf32> load_tlr(const std::string& path) {
       tiles[idx] = std::move(t);
     }
   }
-  return tlr::TlrMatrix<cf32>(g, std::move(tiles));
+  tlr::TlrMatrix<cf32> out(g, std::move(tiles));
+  if (version == kFormatVersionMixed) out.set_precision_tags(std::move(prec));
+  return out;
 }
 
 }  // namespace tlrwse::io

@@ -1,0 +1,123 @@
+// Bit-exact 16-bit storage formats for the TLR factor planes.
+//
+// The TLR-MVM is memory-bandwidth-bound (the paper's "memory wall"), so
+// halving the bytes per stored factor is worth ~2x effective bandwidth on
+// the hot path. Two formats are supported:
+//   * IEEE binary16 (fp16): 5-bit exponent, 10-bit mantissa. Fine mantissa,
+//     narrow range — right for the normalised seismic bases.
+//   * bfloat16 (bf16): 8-bit exponent (same range as float32), 7-bit
+//     mantissa. Coarser, but never overflows where float32 does not.
+//
+// These functions define the PACKING SEMANTICS for the whole repo — the
+// mixed-precision rounding helpers (tlr::round_to_fp16/round_to_bf16), the
+// plan arenas, and the archive payload encodings all agree by construction
+// because they all go through here:
+//   * rounding is round-to-nearest-even on the stored mantissa;
+//   * NaN packs to the canonical quiet NaN of the format (sign preserved);
+//   * +-Inf packs to +-Inf;
+//   * finite fp16 overflow SATURATES to +-65504 (the seismic bases are
+//     normalised, so overflow means a bug upstream — saturation keeps it
+//     finite and visible instead of poisoning the solve with Inf);
+//   * finite bf16 overflow rounds to +-Inf (standard bf16: only values
+//     above ~3.39e38 qualify, beyond anything a normalised base holds);
+//   * fp16 denormals (|v| < 2^-14) flush to SIGNED zero on pack — and the
+//     widening side decodes denormal bit patterns exactly anyway, so
+//     foreign fp16 data also round-trips;
+//   * signed zero is preserved by both formats.
+// Widening (16 -> 32 bits) is EXACT for every bit pattern, which is what
+// makes the fp32-accumulating kernels bitwise-reproducible: a hardware
+// F16C/NEON convert and the scalar bit-manipulation below produce the same
+// float, so every dispatch tier computes identical results.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace tlrwse::la {
+
+/// Which 16-bit encoding a packed plane uses.
+enum class HalfFormat : std::uint8_t { kFp16 = 0, kBf16 = 1 };
+
+[[nodiscard]] constexpr const char* half_format_name(HalfFormat f) noexcept {
+  return f == HalfFormat::kFp16 ? "fp16" : "bf16";
+}
+
+/// float -> IEEE binary16 bits (semantics documented above).
+[[nodiscard]] constexpr std::uint16_t f32_to_fp16_bits(float v) noexcept {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(v);
+  const auto sign = static_cast<std::uint16_t>((u >> 16) & 0x8000u);
+  const std::uint32_t exp = (u >> 23) & 0xFFu;
+  const std::uint32_t mant = u & 0x7FFFFFu;
+  if (exp == 0xFFu) {  // Inf / NaN
+    if (mant != 0) return static_cast<std::uint16_t>(sign | 0x7E00u);  // qNaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u);                 // Inf
+  }
+  const std::uint32_t au = u & 0x7FFFFFFFu;
+  if (au > 0x477FE000u) {  // |v| > 65504: saturate to the largest finite half
+    return static_cast<std::uint16_t>(sign | 0x7BFFu);
+  }
+  if (au < 0x38800000u) {  // |v| < 2^-14: flush half-denormals to signed zero
+    return sign;
+  }
+  // Round the 23-bit mantissa to 10 bits (round-to-nearest-even), letting a
+  // carry propagate into the exponent, then rebias 127 -> 15.
+  std::uint32_t b = au;
+  const std::uint32_t lsb = 1u << 13;
+  const std::uint32_t round_bit = lsb >> 1;
+  const std::uint32_t sticky = b & (round_bit - 1u);
+  if ((b & round_bit) != 0 && (sticky != 0 || (b & lsb) != 0)) b += lsb;
+  b &= ~(lsb - 1u);
+  const std::uint32_t hexp = ((b >> 23) & 0xFFu) - 112u;  // 127 - 15
+  const std::uint32_t hmant = (b >> 13) & 0x3FFu;
+  return static_cast<std::uint16_t>(sign | (hexp << 10) | hmant);
+}
+
+/// IEEE binary16 bits -> float. Exact for EVERY bit pattern, including the
+/// denormals the packer never emits.
+[[nodiscard]] constexpr float fp16_bits_to_f32(std::uint16_t h) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);  // signed zero
+    // Denormal half: mant * 2^-24, exact in float32.
+    const float r = static_cast<float>(mant) * 0x1p-24f;
+    return std::bit_cast<float>(sign | std::bit_cast<std::uint32_t>(r));
+  }
+  if (exp == 0x1Fu) {  // Inf / NaN (payload widened into the f32 mantissa)
+    return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+/// float -> bfloat16 bits (round-to-nearest-even on the top 16 bits).
+[[nodiscard]] constexpr std::uint16_t f32_to_bf16_bits(float v) noexcept {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(v);
+  if ((u & 0x7F800000u) == 0x7F800000u && (u & 0x7FFFFFu) != 0) {
+    // NaN: truncating could zero the stored mantissa bits and turn it into
+    // Inf; force a quiet-NaN bit instead (sign preserved).
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  // RNE via the carry trick; a finite overflow carries into Inf, Inf stays
+  // Inf (its mantissa field is zero so the bias never reaches the exponent).
+  const std::uint32_t bias = 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>((u + bias) >> 16);
+}
+
+/// bfloat16 bits -> float: exact by construction.
+[[nodiscard]] constexpr float bf16_bits_to_f32(std::uint16_t h) noexcept {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(h) << 16);
+}
+
+/// Pack/widen through the format selected at runtime.
+[[nodiscard]] constexpr std::uint16_t f32_to_half_bits(float v,
+                                                       HalfFormat f) noexcept {
+  return f == HalfFormat::kFp16 ? f32_to_fp16_bits(v) : f32_to_bf16_bits(v);
+}
+
+[[nodiscard]] constexpr float half_bits_to_f32(std::uint16_t h,
+                                               HalfFormat f) noexcept {
+  return f == HalfFormat::kFp16 ? fp16_bits_to_f32(h) : bf16_bits_to_f32(h);
+}
+
+}  // namespace tlrwse::la

@@ -24,9 +24,11 @@
 // compiled and dispatch() always returns it.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "tlrwse/common/types.hpp"
+#include "tlrwse/la/half.hpp"
 
 namespace tlrwse::la::simd {
 
@@ -78,6 +80,28 @@ struct KernelTable {
                                     const float* Xr, const float* Xi,
                                     index_t ldx, float* Yr, float* Yi,
                                     index_t ldy, index_t nrhs, bool accumulate);
+  /// Multi-RHS fused split-complex MVM over PACKED 16-bit factor planes
+  /// (fp16 or bf16 per `fmt`): each factor register is widened to float32
+  /// in-register (F16C / AVX-512 / NEON converts, or the bit-exact scalar
+  /// conversion on the scalar tier) and ALL arithmetic accumulates in
+  /// float32 with the same fused multiply-add order as sgemv_split_multi.
+  /// Because widening is exact, results are bitwise identical across tiers
+  /// AND to the float32 kernel applied to the widened planes; nrhs = 1 is
+  /// the single-RHS form. `lda` counts uint16 elements.
+  void (*hgemv_split_multi)(HalfFormat fmt, index_t m, index_t n,
+                            const std::uint16_t* Ar, const std::uint16_t* Ai,
+                            index_t lda, const float* Xr, const float* Xi,
+                            index_t ldx, float* Yr, float* Yi, index_t ldy,
+                            index_t nrhs, bool accumulate);
+  /// Multi-RHS fused split-complex adjoint over packed 16-bit factors,
+  /// float32 accumulation (same lane pattern as sgemv_split_adjoint).
+  void (*hgemv_split_adjoint_multi)(HalfFormat fmt, index_t m, index_t n,
+                                    const std::uint16_t* Ar,
+                                    const std::uint16_t* Ai, index_t lda,
+                                    const float* Xr, const float* Xi,
+                                    index_t ldx, float* Yr, float* Yi,
+                                    index_t ldy, index_t nrhs,
+                                    bool accumulate);
   /// Deinterleave a complex vector into planar re/im.
   void (*split_complex)(index_t n, const cf32* x, float* re, float* im);
   /// Interleave planar re/im back into a complex vector.
@@ -109,5 +133,13 @@ struct KernelTable {
 
 /// Kernel table of active_level().
 [[nodiscard]] const KernelTable& dispatch() noexcept;
+
+/// True when the active tier widens 16-bit factors with hardware converts
+/// (F16C on AVX2, AVX-512F, NEON). False on the scalar tier, when the host
+/// lacks F16C, or when TLRWSE_NO_F16C is set in the environment — in those
+/// cases the hgemv_* entries of every table are patched to the scalar
+/// conversion tier. Both paths widen exactly, so results are bitwise
+/// identical either way; this only affects throughput.
+[[nodiscard]] bool half_hw_convert() noexcept;
 
 }  // namespace tlrwse::la::simd

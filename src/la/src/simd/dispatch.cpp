@@ -59,6 +59,68 @@ bool host_supports(Level level) {
   return false;
 }
 
+// Whether a tier's compiled-in half-precision loads are real hardware
+// converts on THIS host. The AVX2 tier is compiled with -mf16c, so its
+// table is only safe where cpuid reports F16C (every AVX2 part shipped has
+// it, but the contract is cpuid, not folklore). vcvtph2ps on zmm is part
+// of AVX-512F itself and NEON fcvtl is ARMv8-A baseline, so those tiers
+// need no extra bit.
+bool half_hw_ok(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return false;
+    case Level::kNeon:
+      return true;
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("f16c");
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+      return true;
+  }
+  return false;
+}
+
+// Patched copies of the raw tables: when hardware widening is unavailable
+// (no F16C) or explicitly disabled (TLRWSE_NO_F16C set, the CI switch for
+// exercising the scalar conversion tier), the hgemv_* entries fall back to
+// the scalar tier's bit-exact conversions while every float32 kernel stays
+// vectorised. Results are bitwise identical either way.
+struct EffectiveTables {
+  std::array<KernelTable, 4> tables{};
+  std::array<bool, 4> hw_half{};
+};
+
+const EffectiveTables& effective_tables() {
+  static const EffectiveTables tb = [] {
+    EffectiveTables out;
+    const bool no_f16c = std::getenv("TLRWSE_NO_F16C") != nullptr;
+    const KernelTable* scalar = detail::scalar_table();
+    for (int i = 0; i < 4; ++i) {
+      const Level l = static_cast<Level>(i);
+      const KernelTable* raw = raw_table(l);
+      if (raw == nullptr) continue;
+      out.tables[i] = *raw;
+      const bool hw = !no_f16c && half_hw_ok(l);
+      if (!hw) {
+        out.tables[i].hgemv_split_multi = scalar->hgemv_split_multi;
+        out.tables[i].hgemv_split_adjoint_multi =
+            scalar->hgemv_split_adjoint_multi;
+      }
+      out.hw_half[i] = hw;
+    }
+    return out;
+  }();
+  return tb;
+}
+
+const KernelTable* effective_table(Level level) {
+  if (raw_table(level) == nullptr) return nullptr;
+  return &effective_tables().tables[static_cast<int>(level)];
+}
+
 struct Availability {
   std::array<Level, 4> levels{};
   std::size_t count = 0;
@@ -131,7 +193,7 @@ Level resolve_level(Level want) noexcept {
 }
 
 const KernelTable& table(Level want) noexcept {
-  return *raw_table(resolve_level(want));
+  return *effective_table(resolve_level(want));
 }
 
 Level active_level() noexcept {
@@ -147,6 +209,12 @@ Level active_level() noexcept {
   return active;
 }
 
-const KernelTable& dispatch() noexcept { return *raw_table(active_level()); }
+const KernelTable& dispatch() noexcept {
+  return *effective_table(active_level());
+}
+
+bool half_hw_convert() noexcept {
+  return effective_tables().hw_half[static_cast<int>(active_level())];
+}
 
 }  // namespace tlrwse::la::simd

@@ -11,6 +11,8 @@
 //     static reg broadcast(float v);
 //     static reg fmadd(reg a, reg b, reg c);   //  a*b + c, single rounding
 //     static reg fnmadd(reg a, reg b, reg c);  // -a*b + c, single rounding
+//     static reg load_f16(const std::uint16_t* p);  // widen kWidth fp16
+//     static reg load_bf16(const std::uint16_t* p); // widen kWidth bf16
 //   };
 //
 // and instantiates make_table<Vec>() in a translation unit compiled with
@@ -342,6 +344,193 @@ struct Kernels {
     }
   }
 
+  // --- Packed 16-bit factor kernels -------------------------------------
+  // Same bodies as the float32 split kernels, except every factor load
+  // widens a 16-bit plane (fp16 or bf16) to float32 in-register. Widening
+  // is exact (see la/half.hpp), so each element sees the identical fused
+  // multiply-add chain as the float32 kernel on pre-widened data — the
+  // half kernels are bitwise identical across tiers and to their float32
+  // counterparts, only the bytes moved change.
+
+  template <HalfFormat FMT>
+  static typename V::reg load_h(const std::uint16_t* p) {
+    if constexpr (FMT == HalfFormat::kFp16) {
+      return V::load_f16(p);
+    } else {
+      return V::load_bf16(p);
+    }
+  }
+
+  template <HalfFormat FMT>
+  static float widen1(std::uint16_t b) {
+    if constexpr (FMT == HalfFormat::kFp16) {
+      return fp16_bits_to_f32(b);
+    } else {
+      return bf16_bits_to_f32(b);
+    }
+  }
+
+  template <index_t RB, HalfFormat FMT>
+  static void hsplit_multi_panel(index_t m, index_t n, const std::uint16_t* Ar,
+                                 const std::uint16_t* Ai, index_t lda,
+                                 const float* Xr, const float* Xi, index_t ldx,
+                                 float* Yr, float* Yi, index_t ldy,
+                                 bool accumulate) {
+    const index_t mv = m - m % W;
+    index_t i = 0;
+    for (; i < mv; i += W) {
+      typename V::reg accr[RB];
+      typename V::reg acci[RB];
+      for (index_t r = 0; r < RB; ++r) {
+        accr[r] = accumulate ? V::load(Yr + r * ldy + i) : V::zero();
+        acci[r] = accumulate ? V::load(Yi + r * ldy + i) : V::zero();
+      }
+      for (index_t j = 0; j < n; ++j) {
+        const typename V::reg ar = load_h<FMT>(Ar + j * lda + i);
+        const typename V::reg ai = load_h<FMT>(Ai + j * lda + i);
+        for (index_t r = 0; r < RB; ++r) {
+          const typename V::reg xrv = V::broadcast(Xr[r * ldx + j]);
+          const typename V::reg xiv = V::broadcast(Xi[r * ldx + j]);
+          accr[r] = V::fmadd(ar, xrv, accr[r]);
+          accr[r] = V::fnmadd(ai, xiv, accr[r]);
+          acci[r] = V::fmadd(ar, xiv, acci[r]);
+          acci[r] = V::fmadd(ai, xrv, acci[r]);
+        }
+      }
+      for (index_t r = 0; r < RB; ++r) {
+        V::store(Yr + r * ldy + i, accr[r]);
+        V::store(Yi + r * ldy + i, acci[r]);
+      }
+    }
+    for (; i < m; ++i) {
+      for (index_t r = 0; r < RB; ++r) {
+        float ar_acc = accumulate ? Yr[r * ldy + i] : 0.0f;
+        float ai_acc = accumulate ? Yi[r * ldy + i] : 0.0f;
+        for (index_t j = 0; j < n; ++j) {
+          const float ar = widen1<FMT>(Ar[j * lda + i]);
+          const float ai = widen1<FMT>(Ai[j * lda + i]);
+          ar_acc = std::fma(ar, Xr[r * ldx + j], ar_acc);
+          ar_acc = std::fma(-ai, Xi[r * ldx + j], ar_acc);
+          ai_acc = std::fma(ar, Xi[r * ldx + j], ai_acc);
+          ai_acc = std::fma(ai, Xr[r * ldx + j], ai_acc);
+        }
+        Yr[r * ldy + i] = ar_acc;
+        Yi[r * ldy + i] = ai_acc;
+      }
+    }
+  }
+
+  template <HalfFormat FMT>
+  static void hgemv_split_multi_f(index_t m, index_t n, const std::uint16_t* Ar,
+                                  const std::uint16_t* Ai, index_t lda,
+                                  const float* Xr, const float* Xi, index_t ldx,
+                                  float* Yr, float* Yi, index_t ldy,
+                                  index_t nrhs, bool accumulate) {
+    index_t r0 = 0;
+    while (nrhs - r0 >= 4) {
+      hsplit_multi_panel<4, FMT>(m, n, Ar, Ai, lda, Xr + r0 * ldx,
+                                 Xi + r0 * ldx, ldx, Yr + r0 * ldy,
+                                 Yi + r0 * ldy, ldy, accumulate);
+      r0 += 4;
+    }
+    if (nrhs - r0 >= 2) {
+      hsplit_multi_panel<2, FMT>(m, n, Ar, Ai, lda, Xr + r0 * ldx,
+                                 Xi + r0 * ldx, ldx, Yr + r0 * ldy,
+                                 Yi + r0 * ldy, ldy, accumulate);
+      r0 += 2;
+    }
+    if (nrhs - r0 >= 1) {
+      hsplit_multi_panel<1, FMT>(m, n, Ar, Ai, lda, Xr + r0 * ldx,
+                                 Xi + r0 * ldx, ldx, Yr + r0 * ldy,
+                                 Yi + r0 * ldy, ldy, accumulate);
+    }
+  }
+
+  static void hgemv_split_multi(HalfFormat fmt, index_t m, index_t n,
+                                const std::uint16_t* Ar,
+                                const std::uint16_t* Ai, index_t lda,
+                                const float* Xr, const float* Xi, index_t ldx,
+                                float* Yr, float* Yi, index_t ldy, index_t nrhs,
+                                bool accumulate) {
+    if (fmt == HalfFormat::kFp16) {
+      hgemv_split_multi_f<HalfFormat::kFp16>(m, n, Ar, Ai, lda, Xr, Xi, ldx,
+                                             Yr, Yi, ldy, nrhs, accumulate);
+    } else {
+      hgemv_split_multi_f<HalfFormat::kBf16>(m, n, Ar, Ai, lda, Xr, Xi, ldx,
+                                             Yr, Yi, ldy, nrhs, accumulate);
+    }
+  }
+
+  template <HalfFormat FMT>
+  static void hgemv_split_adjoint(index_t m, index_t n, const std::uint16_t* Ar,
+                                  const std::uint16_t* Ai, index_t lda,
+                                  const float* xr, const float* xi, float* yr,
+                                  float* yi, bool accumulate) {
+    constexpr index_t NR = kAccLanes / W;
+    const index_t mb = m - m % kAccLanes;
+    for (index_t j = 0; j < n; ++j) {
+      const std::uint16_t* arj = Ar + j * lda;
+      const std::uint16_t* aij = Ai + j * lda;
+      typename V::reg accr[NR];
+      typename V::reg acci[NR];
+      for (index_t r = 0; r < NR; ++r) {
+        accr[r] = V::zero();
+        acci[r] = V::zero();
+      }
+      for (index_t i = 0; i < mb; i += kAccLanes) {
+        for (index_t r = 0; r < NR; ++r) {
+          const typename V::reg ar = load_h<FMT>(arj + i + r * W);
+          const typename V::reg ai = load_h<FMT>(aij + i + r * W);
+          const typename V::reg vr = V::load(xr + i + r * W);
+          const typename V::reg vi = V::load(xi + i + r * W);
+          accr[r] = V::fmadd(ar, vr, accr[r]);
+          accr[r] = V::fmadd(ai, vi, accr[r]);
+          acci[r] = V::fmadd(ar, vi, acci[r]);
+          acci[r] = V::fnmadd(ai, vr, acci[r]);
+        }
+      }
+      alignas(64) float lanesr[kAccLanes];
+      alignas(64) float lanesi[kAccLanes];
+      for (index_t r = 0; r < NR; ++r) {
+        V::store(lanesr + r * W, accr[r]);
+        V::store(lanesi + r * W, acci[r]);
+      }
+      for (index_t i = mb; i < m; ++i) {
+        const index_t l = i - mb;
+        const float ar = widen1<FMT>(arj[i]);
+        const float ai = widen1<FMT>(aij[i]);
+        lanesr[l] = std::fma(ar, xr[i], lanesr[l]);
+        lanesr[l] = std::fma(ai, xi[i], lanesr[l]);
+        lanesi[l] = std::fma(ar, xi[i], lanesi[l]);
+        lanesi[l] = std::fma(-ai, xr[i], lanesi[l]);
+      }
+      const float sr = reduce_lanes(lanesr);
+      const float si = reduce_lanes(lanesi);
+      yr[j] = accumulate ? yr[j] + sr : sr;
+      yi[j] = accumulate ? yi[j] + si : si;
+    }
+  }
+
+  static void hgemv_split_adjoint_multi(HalfFormat fmt, index_t m, index_t n,
+                                        const std::uint16_t* Ar,
+                                        const std::uint16_t* Ai, index_t lda,
+                                        const float* Xr, const float* Xi,
+                                        index_t ldx, float* Yr, float* Yi,
+                                        index_t ldy, index_t nrhs,
+                                        bool accumulate) {
+    for (index_t r = 0; r < nrhs; ++r) {
+      if (fmt == HalfFormat::kFp16) {
+        hgemv_split_adjoint<HalfFormat::kFp16>(m, n, Ar, Ai, lda, Xr + r * ldx,
+                                               Xi + r * ldx, Yr + r * ldy,
+                                               Yi + r * ldy, accumulate);
+      } else {
+        hgemv_split_adjoint<HalfFormat::kBf16>(m, n, Ar, Ai, lda, Xr + r * ldx,
+                                               Xi + r * ldx, Yr + r * ldy,
+                                               Yi + r * ldy, accumulate);
+      }
+    }
+  }
+
   static void split_complex(index_t n, const cf32* x, float* re, float* im) {
     const float* p = reinterpret_cast<const float*>(x);
     for (index_t i = 0; i < n; ++i) {
@@ -371,6 +560,8 @@ template <class V>
                      &K::sgemv_multi,
                      &K::sgemv_split_multi,
                      &K::sgemv_split_adjoint_multi,
+                     &K::hgemv_split_multi,
+                     &K::hgemv_split_adjoint_multi,
                      &K::split_complex,
                      &K::merge_complex};
 }

@@ -22,6 +22,15 @@ struct VecAvx512 {
   static reg broadcast(float v) { return _mm512_set1_ps(v); }
   static reg fmadd(reg a, reg b, reg c) { return _mm512_fmadd_ps(a, b, c); }
   static reg fnmadd(reg a, reg b, reg c) { return _mm512_fnmadd_ps(a, b, c); }
+  // vcvtph2ps on zmm is plain AVX512F — no F16C needed at this tier.
+  static reg load_f16(const std::uint16_t* p) {
+    return _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static reg load_bf16(const std::uint16_t* p) {
+    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    return _mm512_castsi512_ps(_mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16));
+  }
 };
 
 }  // namespace

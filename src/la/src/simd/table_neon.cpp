@@ -22,6 +22,13 @@ struct VecNeon {
   static reg broadcast(float v) { return vdupq_n_f32(v); }
   static reg fmadd(reg a, reg b, reg c) { return vfmaq_f32(c, a, b); }
   static reg fnmadd(reg a, reg b, reg c) { return vfmsq_f32(c, a, b); }
+  // fp16 storage-format converts (fcvtl) are ARMv8-A baseline.
+  static reg load_f16(const std::uint16_t* p) {
+    return vcvt_f32_f16(vreinterpret_f16_u16(vld1_u16(p)));
+  }
+  static reg load_bf16(const std::uint16_t* p) {
+    return vreinterpretq_f32_u32(vshlq_n_u32(vmovl_u16(vld1_u16(p)), 16));
+  }
 };
 
 }  // namespace

@@ -18,6 +18,9 @@ struct VecScalar {
   static reg broadcast(float v) { return v; }
   static reg fmadd(reg a, reg b, reg c) { return std::fma(a, b, c); }
   static reg fnmadd(reg a, reg b, reg c) { return std::fma(-a, b, c); }
+  // The bit-exact scalar conversion tier: same floats as F16C/NEON emit.
+  static reg load_f16(const std::uint16_t* p) { return fp16_bits_to_f32(*p); }
+  static reg load_bf16(const std::uint16_t* p) { return bf16_bits_to_f32(*p); }
 };
 
 }  // namespace

@@ -64,6 +64,12 @@ struct OperatorKeyHash {
 struct ResidentOperator {
   std::unique_ptr<mdc::MdcOperator> op;
   double bytes = 0.0;  // compressed kernel footprint (budget currency)
+  /// The same footprint stored uniformly fp32. Half-precision archives
+  /// charge the budget their true packed bytes (~half), and the gap
+  /// between the two is the mixed-precision capacity win the
+  /// serve.cache.* gauges report. 0 means "same as bytes" (fp32 archive
+  /// or a loader that does not distinguish).
+  double fp32_bytes = 0.0;
   index_t nt = 0;
   std::vector<double> freqs_hz;
   std::shared_ptr<oocache::ShardStreamer> streamer;  // null when fully resident
@@ -78,6 +84,9 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   double bytes_evicted = 0.0;
   double bytes_resident = 0.0;
+  /// Resident footprint if every entry were stored uniformly fp32; equals
+  /// bytes_resident when nothing is half-precision.
+  double bytes_resident_fp32 = 0.0;
   std::size_t entries = 0;
   double budget_bytes = 0.0;
   [[nodiscard]] double hit_rate() const {
@@ -127,6 +136,7 @@ class OperatorCache {
     std::shared_future<Value> value;
     std::uint64_t generation = 0;  // guards post-load accounting vs clear()
     double bytes = 0.0;            // 0 until the load completes
+    double fp32_bytes = 0.0;       // fp32-equivalent footprint
     bool ready = false;
   };
   struct Shard {
@@ -135,6 +145,7 @@ class OperatorCache {
     std::unordered_map<OperatorKey, std::list<Entry>::iterator, OperatorKeyHash>
         index;
     double bytes = 0.0;
+    double fp32_bytes = 0.0;
     std::uint64_t hits = 0, misses = 0, loads = 0, load_failures = 0,
                   evictions = 0;
     double bytes_evicted = 0.0;

@@ -186,6 +186,10 @@ class SolveService {
   obs::Counter& multi_rhs_;  // adjoint tickets served by a shared multi-RHS sweep
   obs::Gauge& queue_depth_gauge_;
   obs::Gauge& queue_peak_gauge_;
+  // Resident operator bytes as stored (packed) vs stored-uniformly-fp32;
+  // the gap is the mixed-precision capacity win of half archives.
+  obs::Gauge& cache_packed_gauge_;
+  obs::Gauge& cache_fp32_gauge_;
   obs::Histogram& latency_hist_;
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& solve_hist_;

@@ -32,6 +32,7 @@ std::string ServiceMetrics::to_json() const {
      << ",\"evictions\":" << cache.evictions
      << ",\"bytes_evicted\":" << cache.bytes_evicted
      << ",\"bytes_resident\":" << cache.bytes_resident
+     << ",\"bytes_resident_fp32\":" << cache.bytes_resident_fp32
      << ",\"entries\":" << cache.entries
      << ",\"budget_bytes\":" << cache.budget_bytes
      << ",\"hit_rate\":" << cache.hit_rate()

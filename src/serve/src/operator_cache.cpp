@@ -29,6 +29,7 @@ void OperatorCache::evict_to_budget(Shard& shard,
     // newer displaces it.
     if (!it->ready || it->generation == keep_generation) continue;
     shard.bytes -= it->bytes;
+    shard.fp32_bytes -= it->fp32_bytes;
     shard.bytes_evicted += it->bytes;
     ++shard.evictions;
     shard.index.erase(it->key);
@@ -52,7 +53,7 @@ OperatorCache::Value OperatorCache::get_or_load(const OperatorKey& key,
       ++shard.misses;
       my_generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
       future = promise.get_future().share();
-      shard.lru.push_front(Entry{key, future, my_generation, 0.0, false});
+      shard.lru.push_front(Entry{key, future, my_generation, 0.0, 0.0, false});
       shard.index[key] = shard.lru.begin();
     }
   }
@@ -74,9 +75,15 @@ OperatorCache::Value OperatorCache::get_or_load(const OperatorKey& key,
     if (value) {
       ++shard.loads;
       if (mine) {
+        // fp32_bytes == 0 means the loader did not distinguish precisions;
+        // charge the packed size so the gap reads as zero, not negative.
+        const double fp32 =
+            value->fp32_bytes > 0.0 ? value->fp32_bytes : value->bytes;
         it->second->bytes = value->bytes;
+        it->second->fp32_bytes = fp32;
         it->second->ready = true;
         shard.bytes += value->bytes;
+        shard.fp32_bytes += fp32;
         evict_to_budget(shard, my_generation);
       }
     } else {
@@ -108,6 +115,7 @@ CacheStats OperatorCache::stats() const {
     s.evictions += shard->evictions;
     s.bytes_evicted += shard->bytes_evicted;
     s.bytes_resident += shard->bytes;
+    s.bytes_resident_fp32 += shard->fp32_bytes;
     s.entries += shard->index.size();
   }
   return s;
@@ -119,6 +127,7 @@ void OperatorCache::clear() {
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0.0;
+    shard->fp32_bytes = 0.0;
   }
 }
 

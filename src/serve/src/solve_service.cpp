@@ -66,6 +66,8 @@ SolveService::SolveService(ServiceConfig cfg)
       multi_rhs_(registry_.counter("serve.multi_rhs")),
       queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
       queue_peak_gauge_(registry_.gauge("serve.queue_peak_depth")),
+      cache_packed_gauge_(registry_.gauge("serve.cache.packed_bytes")),
+      cache_fp32_gauge_(registry_.gauge("serve.cache.fp32_equiv_bytes")),
       latency_hist_(registry_.histogram("serve.latency_s")),
       queue_wait_hist_(registry_.histogram("serve.queue_wait_s")),
       solve_hist_(registry_.histogram("serve.solve_s")),
@@ -192,6 +194,9 @@ OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
       stream_cfg.budget_bytes = cfg_.max_resident_bytes;
       resident->streamer = std::make_shared<oocache::ShardStreamer>(
           std::move(source), std::move(plan), stream_cfg);
+      // Streamed entries are priced at their window budget regardless of
+      // storage precision (fp32_bytes stays 0 = "same as bytes"); the
+      // capacity win shows up as more frequencies per window instead.
       resident->bytes = resident->streamer->budget_bytes();
       resident->nt = info.nt;
       resident->freqs_hz = info.freqs_hz;
@@ -209,6 +214,7 @@ OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
     io::SharedKernelArchive archive =
         io::load_shared_archive(key.archive_id);
     resident->bytes = archive.shared_bytes();
+    for (const auto& b : archive.bands) resident->fp32_bytes += b->fp32_bytes();
     resident->nt = archive.nt;
     resident->freqs_hz = archive.freqs_hz;
     resident->op = io::make_operator(archive);
@@ -217,6 +223,7 @@ OperatorCache::Value SolveService::load_resident(const OperatorKey& key) {
   }
   io::KernelArchive archive = io::load_archive(key.archive_id);
   resident->bytes = archive.compressed_bytes();
+  for (const auto& k : archive.kernels) resident->fp32_bytes += k.fp32_bytes();
   resident->nt = archive.nt;
   resident->freqs_hz = archive.freqs_hz;
   resident->op = io::make_operator(archive);
@@ -254,6 +261,11 @@ void SolveService::process_batch(const OperatorKey& key,
   // A cache hit makes this ~0; a miss charges the archive load (or stream
   // plan compile) to every request in the batch that triggered it.
   const double load_s = seconds_between(load_start, Clock::now());
+  {
+    const CacheStats cs = cache_.stats();
+    cache_packed_gauge_.set(static_cast<std::int64_t>(cs.bytes_resident));
+    cache_fp32_gauge_.set(static_cast<std::int64_t>(cs.bytes_resident_fp32));
+  }
 
   // Coalesced adjoint requests share one multi-RHS sweep over the resident
   // operator instead of N independent passes; LSQR tickets (whose iterates

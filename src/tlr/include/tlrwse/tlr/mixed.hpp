@@ -2,34 +2,36 @@
 // low-rank compression, and mixed-precision computations").
 //
 // Tiles whose contribution to the operator norm is small can store their
-// U/V bases in reduced precision without hurting the MDD solution. Since
-// the build targets FP32 hardware, FP16/BF16 storage is EMULATED: values
-// are rounded through the narrow format back to float, while the byte
-// accounting reflects the narrow storage size. This reproduces the
-// accuracy/footprint trade-off without native half support.
+// U/V bases in reduced precision without hurting the MDD solution. The
+// policy here assigns a StoragePrecision per tile and rounds the factor
+// values through the chosen format; downstream the tag is REAL storage:
+// MvmPlan/SharedBasisMvmPlan pack tagged tiles as 16-bit planes in their
+// arenas (widening fp32-accumulating kernels, see la/simd.hpp) and the
+// TLRA/TLRS archives write 16-bit payloads. Because the values are
+// pre-rounded through la/half.hpp — the same functions the packers use —
+// packing is lossless and plan applies are bitwise identical to applying
+// the rounded fp32 values.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "tlrwse/tlr/precision.hpp"
 #include "tlrwse/tlr/tlr_matrix.hpp"
 
 namespace tlrwse::tlr {
 
-enum class StoragePrecision { kFp32, kFp16, kBf16 };
-
-[[nodiscard]] constexpr double bytes_per_real(StoragePrecision p) {
-  return p == StoragePrecision::kFp32 ? 4.0 : 2.0;
-}
-
 /// Rounds a float through IEEE binary16 (round-to-nearest-even), returning
-/// the nearest representable value as float. Overflow saturates to +-inf's
-/// nearest finite half (65504), underflow flushes denormals to zero.
+/// the nearest representable value as float. Exactly widen(pack(v)) for
+/// la/half.hpp's packing: NaN -> canonical quiet NaN, +-Inf -> +-Inf,
+/// finite overflow saturates to +-65504, |v| < 2^-14 flushes to signed
+/// zero, signed zero preserved.
 [[nodiscard]] float round_to_fp16(float v);
 
-/// Rounds a float through bfloat16 (truncated 8-bit-exponent format with
-/// round-to-nearest-even on the 7-bit mantissa).
+/// Rounds a float through bfloat16 (8-bit exponent, round-to-nearest-even
+/// on the 7-bit mantissa). NaN -> quiet NaN, +-Inf -> +-Inf, finite
+/// overflow rounds to +-Inf, denormals and signed zero preserved.
 [[nodiscard]] float round_to_bf16(float v);
 
 [[nodiscard]] cf32 round_complex(cf32 v, StoragePrecision p);
@@ -57,7 +59,8 @@ struct MixedTlrResult {
 };
 
 /// Applies the policy to a compressed matrix: quantizes each tile's bases
-/// through the chosen storage format and accounts the storage bytes.
+/// through the chosen storage format, tags the result's tiles with their
+/// precision (TlrMatrix::precision), and accounts the storage bytes.
 [[nodiscard]] MixedTlrResult quantize_tlr(const TlrMatrix<cf32>& src,
                                           const MixedPrecisionPolicy& policy);
 

@@ -1,13 +1,20 @@
 // Precompiled MVM plan for a StackedTlr<cf32>: the SIMD-engine execution
 // form of the 3-phase TLR-MVM.
 //
-// Building a plan copies every V/U stack into ONE 64-byte-aligned float
-// arena, split into planar real/imag planes (the paper's complex-to-real
-// splitting, Sec. 6.6) with leading dimensions padded to 16 floats so each
-// column starts on a cache-line boundary. The phase-2 shuffle is flattened
-// at build time into a program of (src, dst, len) segment copies with
-// adjacent tiles merged, replacing the mt x nt nested copy loop of
-// tlr_mvm_3phase with a short run of memcpys.
+// Building a plan copies every V/U stack into 64-byte-aligned arenas,
+// split into planar real/imag planes (the paper's complex-to-real
+// splitting, Sec. 6.6) with leading dimensions padded to 16 elements so
+// each column starts on a cache-line boundary. Tiles tagged fp16/bf16
+// (TlrMatrix precision tags, see tlr/precision.hpp) are PACKED as 16-bit
+// planes in a separate uint16 arena — consecutive same-precision tiles of
+// a stack coalesce into one panel, and the widening hgemv kernels stream
+// half the bytes per sweep, which on the memory-bound shapes of the paper
+// is nearly 2x apply throughput. All arithmetic stays fp32: packing is
+// lossless for pre-rounded (quantize_tlr) values, so a uniform-precision
+// plan applies bitwise identically to the fp32 plan of the same rounded
+// matrix. The phase-2 shuffle is flattened at build time into a program of
+// (src, dst, len) segment copies with adjacent tiles merged, replacing the
+// mt x nt nested copy loop of tlr_mvm_3phase with a short run of memcpys.
 //
 // apply()/apply_adjoint() run the planned 3-phase dataflow through the
 // fused split-complex microkernels of la::simd; the _multi variants carry
@@ -73,9 +80,19 @@ class MvmPlan {
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] index_t total_rank() const noexcept { return total_rank_; }
-  /// Arena footprint in bytes (all V/U planes, one slab).
+  /// Arena footprint in bytes: fp32 planes at 4 B/real plus packed 16-bit
+  /// planes at 2 B/real — the real resident size of the factors.
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
-    return arena_.size() * sizeof(float);
+    return arena_.size() * sizeof(float) +
+           arena16_.size() * sizeof(std::uint16_t);
+  }
+  /// Bytes the same planes would occupy stored uniformly fp32.
+  [[nodiscard]] std::size_t fp32_equivalent_bytes() const noexcept {
+    return (arena_.size() + 2 * arena16_.size()) * sizeof(float);
+  }
+  /// True when at least one stack panel is packed 16-bit.
+  [[nodiscard]] bool has_half_panels() const noexcept {
+    return !arena16_.empty();
   }
   [[nodiscard]] const std::vector<ShuffleSegment>& shuffle_program()
       const noexcept {
@@ -86,19 +103,30 @@ class MvmPlan {
   }
 
  private:
-  struct ColPlane {  // one tile column's V planes inside the arena
-    index_t re, im;  // plane offsets (floats)
-    index_t ld;      // padded leading dimension
+  // One same-precision run of tiles inside a stack. V panels split the
+  // stack along its ROWS (disjoint output slices, so panel order cannot
+  // change results); U panels split along its COLUMNS, and phase 3 chains
+  // accumulation across panels in the same per-element FMA order as the
+  // unsplit sweep, so a uniform-precision plan stays bitwise identical to
+  // the single-panel layout.
+  struct Panel {
+    StoragePrecision prec;
+    index_t re, im;  // plane offsets into arena_ (fp32) or arena16_ (half)
+    index_t ld;      // padded leading dimension, in elements
+    index_t off;     // start along the split dimension of the stack
+    index_t len;     // extent along the split dimension
+  };
+  struct ColPlane {  // one tile column's V planes
     index_t m, n;    // logical stack shape (rank_sum x tile_cols)
     index_t x_off;   // offset of this column's slice of x
     index_t y_base;  // offset of this column's segment in yv-space
+    std::vector<Panel> panels;  // partition of [0, m) by precision
   };
-  struct RowPlane {  // one tile row's U planes inside the arena
-    index_t re, im;
-    index_t ld;
+  struct RowPlane {  // one tile row's U planes
     index_t m, n;    // tile_rows x rank_sum
     index_t x_off;   // offset of this row's slice of the output
     index_t y_base;  // offset of this row's segment in yu-space
+    std::vector<Panel> panels;  // partition of [0, n) by precision
   };
 
   const la::simd::KernelTable* kt_;
@@ -106,6 +134,7 @@ class MvmPlan {
   index_t cols_ = 0;
   index_t total_rank_ = 0;
   std::vector<float, AlignedAllocator<float>> arena_;
+  std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> arena16_;
   std::vector<ColPlane> v_;
   std::vector<RowPlane> u_;
   std::vector<ShuffleSegment> shuffle_;

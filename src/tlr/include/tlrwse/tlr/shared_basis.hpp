@@ -153,6 +153,47 @@ class SharedBasisStackedTlr {
   [[nodiscard]] const TileGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] index_t num_freqs() const noexcept { return num_freqs_; }
   [[nodiscard]] double acc() const noexcept { return acc_; }
+
+  /// Uniform storage precision of the band: bases AND cores share one tag
+  /// (they are streamed together every apply, so mixing per-tile buys
+  /// little here). kFp32 is the default and the historical behaviour.
+  [[nodiscard]] StoragePrecision precision() const noexcept {
+    return precision_;
+  }
+  /// Rounds every stored value (bases, dense cores, factored core
+  /// factors) through the format and tags the band; SharedBasisMvmPlan
+  /// then packs its arenas as 16-bit planes and the TLRS archive writes
+  /// 16-bit payloads. Rounding is idempotent, so re-tagging
+  /// already-rounded data (e.g. after an archive reload) is lossless.
+  void set_precision(StoragePrecision p) {
+    precision_ = p;
+    if (!is_half(p)) return;
+    const la::HalfFormat fmt = half_format(p);
+    auto round_mat = [&](la::Matrix<T>& m) {
+      for (index_t c = 0; c < m.cols(); ++c) {
+        T* col = m.col(c);
+        for (index_t r = 0; r < m.rows(); ++r) {
+          col[r] = T(
+              la::half_bits_to_f32(la::f32_to_half_bits(col[r].real(), fmt),
+                                   fmt),
+              la::half_bits_to_f32(la::f32_to_half_bits(col[r].imag(), fmt),
+                                   fmt));
+        }
+      }
+    };
+    for (auto& m : u_) round_mat(m);
+    for (auto& m : vh_) round_mat(m);
+    for (auto& fc : cores_) {
+      for (Core& c : fc) {
+        if (c.factored) {
+          round_mat(c.lr.U);
+          round_mat(c.lr.Vh);
+        } else {
+          round_mat(c.dense);
+        }
+      }
+    }
+  }
   [[nodiscard]] index_t rows() const noexcept { return grid_.rows(); }
   [[nodiscard]] index_t cols() const noexcept { return grid_.cols(); }
 
@@ -313,8 +354,14 @@ class SharedBasisStackedTlr {
     return TlrMatrix<T>(grid_, std::move(tiles));
   }
 
-  /// Bytes of the shared representation: bases once + cores per frequency.
+  /// Bytes of the shared representation: bases once + cores per frequency,
+  /// at the band's storage precision.
   [[nodiscard]] double shared_bytes() const {
+    return fp32_bytes() * (bytes_per_real(precision_) / 4.0);
+  }
+  /// The same footprint stored uniformly fp32 (equals shared_bytes() for
+  /// fp32 bands); serve's cache gauges report both.
+  [[nodiscard]] double fp32_bytes() const {
     double total = 0.0;
     for (const auto& m : u_) total += static_cast<double>(m.size()) * sizeof(T);
     for (const auto& m : vh_) {
@@ -325,9 +372,9 @@ class SharedBasisStackedTlr {
     }
     return total;
   }
-  /// Equivalent per-frequency TLR footprint at the same tolerance, derived
-  /// from the per-frequency core ranks — the storage the band would need
-  /// without basis sharing.
+  /// Equivalent per-frequency TLR footprint at the same tolerance (and the
+  /// same storage precision), derived from the per-frequency core ranks —
+  /// the storage the band would need without basis sharing.
   [[nodiscard]] double per_frequency_bytes() const {
     double total = 0.0;
     for (index_t f = 0; f < num_freqs_; ++f) {
@@ -340,7 +387,7 @@ class SharedBasisStackedTlr {
         }
       }
     }
-    return total;
+    return total * (bytes_per_real(precision_) / 4.0);
   }
   [[nodiscard]] double dense_bytes() const {
     return static_cast<double>(num_freqs_) *
@@ -594,6 +641,7 @@ class SharedBasisStackedTlr {
   TileGrid grid_;
   index_t num_freqs_ = 0;
   double acc_ = 0.0;
+  StoragePrecision precision_ = StoragePrecision::kFp32;
   index_t max_core_r_ = 0;
   std::vector<la::Matrix<T>> u_;            // per tile, mt x ku
   std::vector<la::Matrix<T>> vh_;           // per tile, kv x nt

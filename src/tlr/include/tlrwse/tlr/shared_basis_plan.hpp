@@ -57,13 +57,19 @@ class SharedBasisMvmPlan {
   /// (yu-space height). Unlike MvmPlan these differ in general.
   [[nodiscard]] index_t total_v_rank() const noexcept { return total_v_; }
   [[nodiscard]] index_t total_u_rank() const noexcept { return total_u_; }
-  /// Shared basis planes, laid out once for the whole band.
+  /// Storage precision inherited from the band (uniform across bases and
+  /// cores; half bands pack BOTH arenas as 16-bit planes).
+  [[nodiscard]] StoragePrecision precision() const noexcept { return prec_; }
+  /// Shared basis planes, laid out once for the whole band — real resident
+  /// bytes (16-bit planes count 2 B/real).
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
-    return arena_.size() * sizeof(float);
+    return arena_.size() * sizeof(float) +
+           arena16_.size() * sizeof(std::uint16_t);
   }
-  /// All frequencies' core planes together.
+  /// All frequencies' core planes together, real resident bytes.
   [[nodiscard]] std::size_t core_arena_bytes() const noexcept {
-    return core_arena_.size() * sizeof(float);
+    return core_arena_.size() * sizeof(float) +
+           core_arena16_.size() * sizeof(std::uint16_t);
   }
 
  private:
@@ -105,8 +111,13 @@ class SharedBasisMvmPlan {
   index_t total_v_ = 0;
   index_t total_u_ = 0;
   index_t max_core_r_ = 0;
+  StoragePrecision prec_ = StoragePrecision::kFp32;
+  // A band packs all-or-nothing: fp32 bands fill the float arenas, half
+  // bands fill the uint16 arenas (same plane offsets either way).
   std::vector<float, AlignedAllocator<float>> arena_;       // shared planes
   std::vector<float, AlignedAllocator<float>> core_arena_;  // per-freq cores
+  std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> arena16_;
+  std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> core_arena16_;
   std::vector<ColPlane> v_;
   std::vector<RowPlane> u_;
   std::vector<std::vector<CoreOp>> cores_;  // [frequency]

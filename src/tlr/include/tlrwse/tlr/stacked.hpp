@@ -27,7 +27,8 @@ namespace tlrwse::tlr {
 template <typename T>
 class StackedTlr {
  public:
-  explicit StackedTlr(const TlrMatrix<T>& A) : grid_(A.grid()) {
+  explicit StackedTlr(const TlrMatrix<T>& A)
+      : grid_(A.grid()), prec_(A.precision_tags()) {
     const index_t mt = grid_.mt();
     const index_t nt = grid_.nt();
 
@@ -98,6 +99,19 @@ class StackedTlr {
     return v1 - v0;
   }
 
+  /// Storage precision of tile (i, j), inherited from the source matrix's
+  /// tags; MvmPlan packs the corresponding stack slices accordingly.
+  [[nodiscard]] StoragePrecision precision(index_t i, index_t j) const {
+    if (prec_.empty()) return StoragePrecision::kFp32;
+    return prec_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+  [[nodiscard]] bool has_half_tiles() const {
+    for (const StoragePrecision p : prec_) {
+      if (is_half(p)) return true;
+    }
+    return false;
+  }
+
  private:
   TileGrid grid_;
   std::vector<la::Matrix<T>> v_stack_;   // nt stacks, (sum_i k_ij) x nb_j
@@ -106,6 +120,7 @@ class StackedTlr {
   std::vector<index_t> u_offset_;        // per tile, col offset in u_stack
   std::vector<index_t> col_ranks_;
   std::vector<index_t> row_ranks_;
+  std::vector<StoragePrecision> prec_;   // per tile; empty = uniform fp32
 };
 
 }  // namespace tlrwse::tlr

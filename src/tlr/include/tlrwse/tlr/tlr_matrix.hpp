@@ -20,6 +20,7 @@
 #include "tlrwse/la/matrix.hpp"
 #include "tlrwse/la/qr.hpp"
 #include "tlrwse/la/svd.hpp"
+#include "tlrwse/tlr/precision.hpp"
 #include "tlrwse/tlr/tile_grid.hpp"
 
 namespace tlrwse::tlr {
@@ -77,8 +78,48 @@ class TlrMatrix {
     return tile(i, j).rank();
   }
 
-  /// Bytes of the U/V bases (the paper's "compressed size").
+  /// Per-tile storage precision. An empty tag vector means uniform fp32
+  /// (the default); otherwise one tag per tile in tile_index order. Tags
+  /// describe how the factors are PACKED downstream (plan arenas, archive
+  /// payloads) — the values held here stay float, pre-rounded through the
+  /// tagged format by quantize_tlr so packing is lossless.
+  [[nodiscard]] StoragePrecision precision(index_t i, index_t j) const {
+    if (precision_.empty()) return StoragePrecision::kFp32;
+    return precision_[static_cast<std::size_t>(grid_.tile_index(i, j))];
+  }
+  [[nodiscard]] const std::vector<StoragePrecision>& precision_tags()
+      const noexcept {
+    return precision_;
+  }
+  void set_precision_tags(std::vector<StoragePrecision> tags) {
+    TLRWSE_REQUIRE(tags.empty() || static_cast<index_t>(tags.size()) ==
+                                       grid_.num_tiles(),
+                   "precision tag count mismatch");
+    precision_ = std::move(tags);
+  }
+  [[nodiscard]] bool has_half_tiles() const {
+    for (const StoragePrecision p : precision_) {
+      if (is_half(p)) return true;
+    }
+    return false;
+  }
+
+  /// Bytes of the U/V bases at their tagged storage precision (the paper's
+  /// "compressed size", now precision-aware).
   [[nodiscard]] double compressed_bytes() const {
+    double total = 0.0;
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      const double elems =
+          static_cast<double>(tiles_[t].U.size() + tiles_[t].Vh.size());
+      const StoragePrecision p =
+          precision_.empty() ? StoragePrecision::kFp32 : precision_[t];
+      total += elems * sizeof(T) * (bytes_per_real(p) / 4.0);
+    }
+    return total;
+  }
+  /// Bytes of the bases if everything were stored fp32 (the pre-packing
+  /// footprint; equals compressed_bytes() for untagged matrices).
+  [[nodiscard]] double fp32_bytes() const {
     double total = 0.0;
     for (const auto& t : tiles_) {
       total += static_cast<double>(t.U.size() + t.Vh.size()) * sizeof(T);
@@ -130,6 +171,7 @@ class TlrMatrix {
  private:
   TileGrid grid_;
   std::vector<la::LowRankFactors<T>> tiles_;  // column-of-tiles-major
+  std::vector<StoragePrecision> precision_;   // empty = uniform fp32
 };
 
 /// Compresses one dense tile with the configured backend at tolerance

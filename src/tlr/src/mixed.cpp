@@ -4,62 +4,21 @@
 #include <cmath>
 
 #include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/half.hpp"
 
 namespace tlrwse::tlr {
 
-namespace {
-
-std::uint32_t float_bits(float v) {
-  std::uint32_t b;
-  std::memcpy(&b, &v, sizeof(b));
-  return b;
-}
-
-float bits_float(std::uint32_t b) {
-  float v;
-  std::memcpy(&v, &b, sizeof(v));
-  return v;
-}
-
-}  // namespace
-
+// Both rounders are pack-then-widen through la/half.hpp — the SAME
+// functions the plan arenas and archive writers use to pack 16-bit planes.
+// That identity is what makes packing lossless: round_to_*(v) is exactly
+// the value the widening kernels will compute with. (This also fixes the
+// old emulation's Inf bug, which saturated +-Inf to +-65504.)
 float round_to_fp16(float v) {
-  if (std::isnan(v)) return v;
-  const std::uint32_t bits = float_bits(v);
-  const std::uint32_t sign = bits & 0x80000000u;
-  const float av = std::abs(v);
-  // Saturate to the largest finite half value.
-  constexpr float kMaxHalf = 65504.0f;
-  if (av > kMaxHalf) return sign ? -kMaxHalf : kMaxHalf;
-  // Flush half-denormals (|v| < 2^-14) to zero: the emulation targets the
-  // normal range used by normalised seismic bases.
-  if (av < 6.103515625e-05f) return sign ? -0.0f : 0.0f;
-  // Round the 23-bit mantissa to 10 bits (round-to-nearest-even).
-  const std::uint32_t mant_shift = 13;
-  std::uint32_t b = bits;
-  const std::uint32_t lsb = 1u << mant_shift;
-  const std::uint32_t round_bit = lsb >> 1;
-  const std::uint32_t sticky = b & (round_bit - 1);
-  if ((b & round_bit) && (sticky || (b & lsb))) {
-    b += lsb;
-  }
-  b &= ~(lsb - 1);
-  return bits_float(b);
+  return la::fp16_bits_to_f32(la::f32_to_fp16_bits(v));
 }
 
 float round_to_bf16(float v) {
-  if (std::isnan(v)) return v;
-  std::uint32_t b = float_bits(v);
-  // Round the 23-bit mantissa to 7 bits (round-to-nearest-even on the
-  // upper 16 bits of the word).
-  const std::uint32_t lsb = 1u << 16;
-  const std::uint32_t round_bit = lsb >> 1;
-  const std::uint32_t sticky = b & (round_bit - 1);
-  if ((b & round_bit) && (sticky || (b & lsb))) {
-    b += lsb;
-  }
-  b &= 0xFFFF0000u;
-  return bits_float(b);
+  return la::bf16_bits_to_f32(la::f32_to_bf16_bits(v));
 }
 
 cf32 round_complex(cf32 v, StoragePrecision p) {
@@ -141,6 +100,7 @@ MixedTlrResult quantize_tlr(const TlrMatrix<cf32>& src,
     }
   }
   out.matrix = TlrMatrix<cf32>(g, std::move(tiles));
+  out.matrix.set_precision_tags(out.precision);
   return out;
 }
 

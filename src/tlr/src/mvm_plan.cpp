@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "tlrwse/common/error.hpp"
+#include "tlrwse/la/half.hpp"
 #include "tlrwse/obs/metrics_registry.hpp"
 #include "tlrwse/obs/tracer.hpp"
 
@@ -10,17 +11,47 @@ namespace tlrwse::tlr {
 
 namespace {
 
-// Leading dimensions round up to 16 floats: one cache line, and a multiple
-// of every kernel tier's register width, so every arena column (and every
-// plane, since plane sizes are ld * n) starts 64-byte aligned.
-constexpr index_t kPadFloats = 16;
+// Leading dimensions round up to 16 elements: a multiple of every kernel
+// tier's register width, so every arena column (and every plane, since
+// plane sizes are ld * n) starts 64-byte aligned in the fp32 arena and
+// 32-byte aligned in the uint16 arena — the kernels use unaligned loads,
+// alignment is a throughput nicety, not a contract.
+constexpr index_t kPadElems = 16;
 
 index_t round_up(index_t v) {
-  return (v + kPadFloats - 1) / kPadFloats * kPadFloats;
+  return (v + kPadElems - 1) / kPadElems * kPadElems;
 }
 
 void ensure(PlanWorkspace::Buf& b, std::size_t n) {
   if (b.size() < n) b.resize(n);
+}
+
+// One same-precision run of tiles along a stack: [off, off + len) in the
+// split dimension. Zero-rank tiles contribute nothing and do not break a
+// run.
+struct Run {
+  StoragePrecision prec;
+  index_t off;
+  index_t len;
+};
+
+template <class RankAt, class PrecAt>
+std::vector<Run> precision_runs(index_t count, RankAt&& rank_at,
+                                PrecAt&& prec_at) {
+  std::vector<Run> runs;
+  index_t off = 0;
+  for (index_t t = 0; t < count; ++t) {
+    const index_t len = rank_at(t);
+    if (len == 0) continue;
+    const StoragePrecision p = prec_at(t);
+    if (!runs.empty() && runs.back().prec == p) {
+      runs.back().len += len;
+    } else {
+      runs.push_back({p, off, len});
+    }
+    off += len;
+  }
+  return runs;
 }
 
 }  // namespace
@@ -31,22 +62,47 @@ MvmPlan::MvmPlan(const StackedTlr<cf32>& A, const la::simd::KernelTable* kt)
   rows_ = g.rows();
   cols_ = g.cols();
 
-  // Lay out all planes in one slab: per-column V re/im, then per-row U
-  // re/im. Every plane size is a multiple of 16 floats (ld is), so every
-  // plane offset stays 64-byte aligned.
-  index_t off = 0;
+  // Lay out all planes: per-column V re/im, then per-row U re/im, each
+  // stack partitioned into same-precision panels. fp32 panels go into the
+  // float arena, fp16/bf16 panels into the packed uint16 arena; both
+  // offsets advance independently and plane sizes stay multiples of 16
+  // elements.
+  index_t off32 = 0;
+  index_t off16 = 0;
+  auto place = [&](Panel& p, index_t plane_elems) {
+    if (is_half(p.prec)) {
+      p.re = off16;
+      off16 += plane_elems;
+      p.im = off16;
+      off16 += plane_elems;
+    } else {
+      p.re = off32;
+      off32 += plane_elems;
+      p.im = off32;
+      off32 += plane_elems;
+    }
+  };
+
   v_.resize(static_cast<std::size_t>(g.nt()));
   for (index_t j = 0; j < g.nt(); ++j) {
     ColPlane& c = v_[static_cast<std::size_t>(j)];
     c.m = A.col_rank_sum(j);
     c.n = g.tile_cols(j);
-    c.ld = round_up(c.m);
     c.x_off = g.col_offset(j);
     c.y_base = total_rank_;
-    c.re = off;
-    off += c.ld * c.n;
-    c.im = off;
-    off += c.ld * c.n;
+    // V stacks split along their rows (ranks): one panel per run of
+    // same-precision tiles down the column.
+    for (const Run& r : precision_runs(
+             g.mt(), [&](index_t i) { return A.rank(i, j); },
+             [&](index_t i) { return A.precision(i, j); })) {
+      Panel p;
+      p.prec = r.prec;
+      p.off = r.off;
+      p.len = r.len;
+      p.ld = round_up(r.len);
+      place(p, p.ld * c.n);
+      c.panels.push_back(p);
+    }
     total_rank_ += c.m;
   }
   u_.resize(static_cast<std::size_t>(g.mt()));
@@ -55,41 +111,67 @@ MvmPlan::MvmPlan(const StackedTlr<cf32>& A, const la::simd::KernelTable* kt)
     RowPlane& r = u_[static_cast<std::size_t>(i)];
     r.m = g.tile_rows(i);
     r.n = A.row_rank_sum(i);
-    r.ld = round_up(r.m);
     r.x_off = g.row_offset(i);
     r.y_base = yu_base;
     yu_base += r.n;
-    r.re = off;
-    off += r.ld * r.n;
-    r.im = off;
-    off += r.ld * r.n;
+    // U stacks split along their columns (ranks): every panel keeps the
+    // full tile height, so all panels of a row share one leading dim.
+    for (const Run& run : precision_runs(
+             g.nt(), [&](index_t j) { return A.rank(i, j); },
+             [&](index_t j) { return A.precision(i, j); })) {
+      Panel p;
+      p.prec = run.prec;
+      p.off = run.off;
+      p.len = run.len;
+      p.ld = round_up(r.m);
+      place(p, p.ld * run.len);
+      r.panels.push_back(p);
+    }
   }
 
-  arena_.assign(static_cast<std::size_t>(off), 0.0f);  // padding stays zero
+  // Zero bits are +0.0f in fp32, fp16, and bf16 alike, so padding in
+  // either arena contributes exact zeros to any kernel sweep.
+  arena_.assign(static_cast<std::size_t>(off32), 0.0f);
+  arena16_.assign(static_cast<std::size_t>(off16), 0);
+
+  // Deposit: split each stack slice into planar re/im, packing half panels
+  // through la/half.hpp (lossless for values pre-rounded by quantize_tlr).
+  auto deposit = [&](const Panel& p, const la::Matrix<cf32>& stack,
+                     index_t row0, index_t col0, index_t nrows,
+                     index_t ncols) {
+    if (is_half(p.prec)) {
+      const la::HalfFormat fmt = half_format(p.prec);
+      for (index_t col = 0; col < ncols; ++col) {
+        const cf32* src = stack.col(col0 + col) + row0;
+        std::uint16_t* re = arena16_.data() + p.re + col * p.ld;
+        std::uint16_t* im = arena16_.data() + p.im + col * p.ld;
+        for (index_t row = 0; row < nrows; ++row) {
+          re[row] = la::f32_to_half_bits(src[row].real(), fmt);
+          im[row] = la::f32_to_half_bits(src[row].imag(), fmt);
+        }
+      }
+    } else {
+      for (index_t col = 0; col < ncols; ++col) {
+        const cf32* src = stack.col(col0 + col) + row0;
+        float* re = arena_.data() + p.re + col * p.ld;
+        float* im = arena_.data() + p.im + col * p.ld;
+        for (index_t row = 0; row < nrows; ++row) {
+          re[row] = src[row].real();
+          im[row] = src[row].imag();
+        }
+      }
+    }
+  };
   for (index_t j = 0; j < g.nt(); ++j) {
     const ColPlane& c = v_[static_cast<std::size_t>(j)];
-    const la::Matrix<cf32>& vs = A.v_stack(j);
-    for (index_t col = 0; col < c.n; ++col) {
-      const cf32* src = vs.col(col);
-      float* re = arena_.data() + c.re + col * c.ld;
-      float* im = arena_.data() + c.im + col * c.ld;
-      for (index_t row = 0; row < c.m; ++row) {
-        re[row] = src[row].real();
-        im[row] = src[row].imag();
-      }
+    for (const Panel& p : c.panels) {
+      deposit(p, A.v_stack(j), p.off, 0, p.len, c.n);
     }
   }
   for (index_t i = 0; i < g.mt(); ++i) {
     const RowPlane& r = u_[static_cast<std::size_t>(i)];
-    const la::Matrix<cf32>& us = A.u_stack(i);
-    for (index_t col = 0; col < r.n; ++col) {
-      const cf32* src = us.col(col);
-      float* re = arena_.data() + r.re + col * r.ld;
-      float* im = arena_.data() + r.im + col * r.ld;
-      for (index_t row = 0; row < r.m; ++row) {
-        re[row] = src[row].real();
-        im[row] = src[row].imag();
-      }
+    for (const Panel& p : r.panels) {
+      deposit(p, A.u_stack(i), 0, p.off, r.m, p.len);
     }
   }
 
@@ -150,14 +232,27 @@ void MvmPlan::apply_multi(std::span<const cf32> X, std::span<cf32> Y,
                     ws.xi.data() + r * cols_);
   }
 
-  // Phase 1: V-batch per tile column, all RHS in one sweep over the planes.
+  // Phase 1: V-batch per tile column, all RHS in one sweep over the
+  // planes. Panels partition the output rows of the stack, so each panel
+  // writes its own disjoint yv slice.
   for (const ColPlane& c : v_) {
-    if (c.m == 0) continue;
-    k.sgemv_split_multi(c.m, c.n, arena_.data() + c.re, arena_.data() + c.im,
-                        c.ld, ws.xr.data() + c.x_off, ws.xi.data() + c.x_off,
-                        cols_, ws.yvr.data() + c.y_base,
-                        ws.yvi.data() + c.y_base, total_rank_, nrhs,
-                        /*accumulate=*/false);
+    for (const Panel& p : c.panels) {
+      float* yr = ws.yvr.data() + c.y_base + p.off;
+      float* yi = ws.yvi.data() + c.y_base + p.off;
+      if (is_half(p.prec)) {
+        k.hgemv_split_multi(half_format(p.prec), p.len, c.n,
+                            arena16_.data() + p.re, arena16_.data() + p.im,
+                            p.ld, ws.xr.data() + c.x_off,
+                            ws.xi.data() + c.x_off, cols_, yr, yi, total_rank_,
+                            nrhs, /*accumulate=*/false);
+      } else {
+        k.sgemv_split_multi(p.len, c.n, arena_.data() + p.re,
+                            arena_.data() + p.im, p.ld,
+                            ws.xr.data() + c.x_off, ws.xi.data() + c.x_off,
+                            cols_, yr, yi, total_rank_, nrhs,
+                            /*accumulate=*/false);
+      }
+    }
   }
 
   // Phase 2: the precompiled shuffle program (per RHS, both planes).
@@ -174,15 +269,39 @@ void MvmPlan::apply_multi(std::span<const cf32> X, std::span<cf32> Y,
     }
   }
 
-  // Phase 3: U-batch per tile row; rows partition the output, so each
-  // sweep writes its own slice (no accumulation).
+  // Phase 3: U-batch per tile row; rows partition the output. Panels split
+  // the reduction over the stack's columns, chaining accumulation in the
+  // same per-element FMA order as an unsplit sweep.
   for (const RowPlane& u : u_) {
     if (u.m == 0) continue;
-    k.sgemv_split_multi(u.m, u.n, arena_.data() + u.re, arena_.data() + u.im,
-                        u.ld, ws.yur.data() + u.y_base,
-                        ws.yui.data() + u.y_base, total_rank_,
-                        ws.tr.data() + u.x_off, ws.ti.data() + u.x_off, rows_,
-                        nrhs, /*accumulate=*/false);
+    if (u.panels.empty()) {
+      // All tiles of the row have rank zero: the output slice is zero.
+      for (index_t r = 0; r < nrhs; ++r) {
+        std::memset(ws.tr.data() + r * rows_ + u.x_off, 0,
+                    static_cast<std::size_t>(u.m) * sizeof(float));
+        std::memset(ws.ti.data() + r * rows_ + u.x_off, 0,
+                    static_cast<std::size_t>(u.m) * sizeof(float));
+      }
+      continue;
+    }
+    bool accumulate = false;
+    for (const Panel& p : u.panels) {
+      const float* xr = ws.yur.data() + u.y_base + p.off;
+      const float* xi = ws.yui.data() + u.y_base + p.off;
+      if (is_half(p.prec)) {
+        k.hgemv_split_multi(half_format(p.prec), u.m, p.len,
+                            arena16_.data() + p.re, arena16_.data() + p.im,
+                            p.ld, xr, xi, total_rank_,
+                            ws.tr.data() + u.x_off, ws.ti.data() + u.x_off,
+                            rows_, nrhs, accumulate);
+      } else {
+        k.sgemv_split_multi(u.m, p.len, arena_.data() + p.re,
+                            arena_.data() + p.im, p.ld, xr, xi, total_rank_,
+                            ws.tr.data() + u.x_off, ws.ti.data() + u.x_off,
+                            rows_, nrhs, accumulate);
+      }
+      accumulate = true;
+    }
   }
 
   for (index_t r = 0; r < nrhs; ++r) {
@@ -215,16 +334,27 @@ void MvmPlan::apply_adjoint_multi(std::span<const cf32> X, std::span<cf32> Y,
                     ws.xi.data() + r * rows_);
   }
 
-  // Adjoint runs the dataflow backwards: U^H per tile row ...
+  // Adjoint runs the dataflow backwards: U^H per tile row (panels
+  // partition the yu outputs, so order is free) ...
   for (const RowPlane& u : u_) {
-    if (u.n == 0) continue;
-    k.sgemv_split_adjoint_multi(u.m, u.n, arena_.data() + u.re,
-                                arena_.data() + u.im, u.ld,
-                                ws.xr.data() + u.x_off,
-                                ws.xi.data() + u.x_off, rows_,
-                                ws.yur.data() + u.y_base,
-                                ws.yui.data() + u.y_base, total_rank_, nrhs,
-                                /*accumulate=*/false);
+    for (const Panel& p : u.panels) {
+      float* yr = ws.yur.data() + u.y_base + p.off;
+      float* yi = ws.yui.data() + u.y_base + p.off;
+      if (is_half(p.prec)) {
+        k.hgemv_split_adjoint_multi(half_format(p.prec), u.m, p.len,
+                                    arena16_.data() + p.re,
+                                    arena16_.data() + p.im, p.ld,
+                                    ws.xr.data() + u.x_off,
+                                    ws.xi.data() + u.x_off, rows_, yr, yi,
+                                    total_rank_, nrhs, /*accumulate=*/false);
+      } else {
+        k.sgemv_split_adjoint_multi(u.m, p.len, arena_.data() + p.re,
+                                    arena_.data() + p.im, p.ld,
+                                    ws.xr.data() + u.x_off,
+                                    ws.xi.data() + u.x_off, rows_, yr, yi,
+                                    total_rank_, nrhs, /*accumulate=*/false);
+      }
+    }
   }
 
   // ... the shuffle program applied in reverse (dst -> src) ...
@@ -241,16 +371,43 @@ void MvmPlan::apply_adjoint_multi(std::span<const cf32> X, std::span<cf32> Y,
     }
   }
 
-  // ... then V^H per tile column (columns partition the output).
+  // ... then V^H per tile column (columns partition the output). Panels
+  // split the reduction over the stack's rows; partial dot results chain
+  // through accumulate. A mixed-precision column therefore sums its
+  // panels' reductions in panel order — deterministic, but grouped
+  // differently than a single-panel sweep; uniform-precision plans keep
+  // one panel and the historical bitwise behaviour.
   for (const ColPlane& c : v_) {
     if (c.n == 0) continue;
-    k.sgemv_split_adjoint_multi(c.m, c.n, arena_.data() + c.re,
-                                arena_.data() + c.im, c.ld,
-                                ws.yvr.data() + c.y_base,
-                                ws.yvi.data() + c.y_base, total_rank_,
-                                ws.tr.data() + c.x_off,
-                                ws.ti.data() + c.x_off, cols_, nrhs,
-                                /*accumulate=*/false);
+    if (c.panels.empty()) {
+      for (index_t r = 0; r < nrhs; ++r) {
+        std::memset(ws.tr.data() + r * cols_ + c.x_off, 0,
+                    static_cast<std::size_t>(c.n) * sizeof(float));
+        std::memset(ws.ti.data() + r * cols_ + c.x_off, 0,
+                    static_cast<std::size_t>(c.n) * sizeof(float));
+      }
+      continue;
+    }
+    bool accumulate = false;
+    for (const Panel& p : c.panels) {
+      const float* xr = ws.yvr.data() + c.y_base + p.off;
+      const float* xi = ws.yvi.data() + c.y_base + p.off;
+      if (is_half(p.prec)) {
+        k.hgemv_split_adjoint_multi(half_format(p.prec), p.len, c.n,
+                                    arena16_.data() + p.re,
+                                    arena16_.data() + p.im, p.ld, xr, xi,
+                                    total_rank_, ws.tr.data() + c.x_off,
+                                    ws.ti.data() + c.x_off, cols_, nrhs,
+                                    accumulate);
+      } else {
+        k.sgemv_split_adjoint_multi(p.len, c.n, arena_.data() + p.re,
+                                    arena_.data() + p.im, p.ld, xr, xi,
+                                    total_rank_, ws.tr.data() + c.x_off,
+                                    ws.ti.data() + c.x_off, cols_, nrhs,
+                                    accumulate);
+      }
+      accumulate = true;
+    }
   }
 
   for (index_t r = 0; r < nrhs; ++r) {

@@ -22,17 +22,33 @@ void ensure(PlanWorkspace::Buf& b, std::size_t n) {
   if (b.size() < n) b.resize(n);
 }
 
+// Writes split planes into either a float arena or a packed 16-bit arena,
+// depending on the band's storage precision. Exactly one pointer is set.
+struct ArenaSink {
+  float* f32 = nullptr;
+  std::uint16_t* u16 = nullptr;
+  la::HalfFormat fmt = la::HalfFormat::kFp16;
+  void store(index_t idx, float v) const {
+    if (f32 != nullptr) {
+      f32[idx] = v;
+    } else {
+      u16[idx] = la::f32_to_half_bits(v, fmt);
+    }
+  }
+};
+
 // Copies a complex matrix into split planes at (re, im) with leading
-// dimension ld (padding rows were zero-filled at arena allocation).
-void deposit(std::vector<float, AlignedAllocator<float>>& arena,
-             const la::Matrix<cf32>& a, index_t re, index_t im, index_t ld) {
+// dimension ld and row offset row0 (padding rows were zero-filled at arena
+// allocation; zero bits decode to +0.0 in every format).
+void deposit(const ArenaSink& sink, const la::Matrix<cf32>& a, index_t re,
+             index_t im, index_t ld, index_t row0 = 0) {
   for (index_t col = 0; col < a.cols(); ++col) {
     const cf32* src = a.col(col);
-    float* pr = arena.data() + re + col * ld;
-    float* pi = arena.data() + im + col * ld;
+    const index_t pr = re + col * ld + row0;
+    const index_t pi = im + col * ld + row0;
     for (index_t row = 0; row < a.rows(); ++row) {
-      pr[row] = src[row].real();
-      pi[row] = src[row].imag();
+      sink.store(pr + row, src[row].real());
+      sink.store(pi + row, src[row].imag());
     }
   }
 }
@@ -46,6 +62,9 @@ SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
   rows_ = g.rows();
   cols_ = g.cols();
   max_core_r_ = A.max_core_rank();
+  prec_ = A.precision();
+  const bool half = is_half(prec_);
+  const la::HalfFormat fmt = half_format(prec_);
 
   // Shared arena: per-column Vh planes, then per-row U planes — identical
   // geometry to MvmPlan, but holding the band-shared bases only.
@@ -78,26 +97,27 @@ SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
     r.im = off;
     off += r.ld * r.n;
   }
-  arena_.assign(static_cast<std::size_t>(off), 0.0f);  // padding stays zero
+  // Padding stays zero: zero bits decode to +0.0 in fp32, fp16 and bf16.
+  ArenaSink shared_sink{};
+  shared_sink.fmt = fmt;
+  if (half) {
+    arena16_.assign(static_cast<std::size_t>(off), 0);
+    shared_sink.u16 = arena16_.data();
+  } else {
+    arena_.assign(static_cast<std::size_t>(off), 0.0f);
+    shared_sink.f32 = arena_.data();
+  }
 
   // The shared Vh factors of one tile column stack vertically (like
   // StackedTlr's v_stack); the shared U factors of one tile row stack
-  // horizontally. Both are deposited column-slice by column-slice.
+  // horizontally. Both are deposited column-slice by column-slice. Half
+  // bands were pre-rounded by set_precision, so packing is lossless.
   for (index_t j = 0; j < g.nt(); ++j) {
     const ColPlane& c = v_[static_cast<std::size_t>(j)];
     for (index_t i = 0; i < g.mt(); ++i) {
       const la::Matrix<cf32>& vh = A.basis_vh(i, j);
       if (vh.rows() == 0) continue;
-      const index_t row0 = A.v_offset(i, j);
-      for (index_t col = 0; col < c.n; ++col) {
-        const cf32* src = vh.col(col);
-        float* pr = arena_.data() + c.re + col * c.ld + row0;
-        float* pi = arena_.data() + c.im + col * c.ld + row0;
-        for (index_t row = 0; row < vh.rows(); ++row) {
-          pr[row] = src[row].real();
-          pi[row] = src[row].imag();
-        }
-      }
+      deposit(shared_sink, vh, c.re, c.im, c.ld, A.v_offset(i, j));
     }
   }
   for (index_t i = 0; i < g.mt(); ++i) {
@@ -106,7 +126,7 @@ SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
       const la::Matrix<cf32>& u = A.basis_u(i, j);
       if (u.cols() == 0) continue;
       const index_t col0 = A.u_offset(i, j);
-      deposit(arena_, u, r.re + col0 * r.ld, r.im + col0 * r.ld, r.ld);
+      deposit(shared_sink, u, r.re + col0 * r.ld, r.im + col0 * r.ld, r.ld);
     }
   }
 
@@ -152,7 +172,15 @@ SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
       }
     }
   }
-  core_arena_.assign(static_cast<std::size_t>(core_off), 0.0f);
+  ArenaSink core_sink{};
+  core_sink.fmt = fmt;
+  if (half) {
+    core_arena16_.assign(static_cast<std::size_t>(core_off), 0);
+    core_sink.u16 = core_arena16_.data();
+  } else {
+    core_arena_.assign(static_cast<std::size_t>(core_off), 0.0f);
+    core_sink.f32 = core_arena_.data();
+  }
   for (index_t f = 0; f < nf; ++f) {
     std::size_t slot = 0;
     for (index_t j = 0; j < g.nt(); ++j) {
@@ -161,10 +189,10 @@ SharedBasisMvmPlan::SharedBasisMvmPlan(const SharedBasisStackedTlr<cf32>& A,
         const CoreOp& op = cores_[static_cast<std::size_t>(f)][slot++];
         const auto& core = A.core(f, i, j);
         if (core.factored) {
-          deposit(core_arena_, core.lr.U, op.ure, op.uim, op.uld);
-          deposit(core_arena_, core.lr.Vh, op.vre, op.vim, op.vld);
+          deposit(core_sink, core.lr.U, op.ure, op.uim, op.uld);
+          deposit(core_sink, core.lr.Vh, op.vre, op.vim, op.vld);
         } else {
-          deposit(core_arena_, core.dense, op.re, op.im, op.ld);
+          deposit(core_sink, core.dense, op.re, op.im, op.ld);
         }
       }
     }
@@ -201,6 +229,24 @@ void SharedBasisMvmPlan::apply_multi(index_t f, std::span<const cf32> X,
   calls.add();
   check_io(f, X.size(), Y.size(), nrhs, /*adjoint=*/false);
   const la::simd::KernelTable& k = *kt_;
+  // Half bands route every plane multiply through the widening kernels;
+  // accumulation stays fp32 with the identical per-element FMA order, so a
+  // half plan applies bitwise like the fp32 plan of the rounded band.
+  const bool half = is_half(prec_);
+  const la::HalfFormat hfmt = half_format(prec_);
+  auto gemv = [&](bool core, index_t m, index_t n, index_t re, index_t im,
+                  index_t ld, const float* xr, const float* xi, index_t ldx,
+                  float* yr, float* yi, index_t ldy, index_t nr) {
+    if (half) {
+      const std::uint16_t* a = core ? core_arena16_.data() : arena16_.data();
+      k.hgemv_split_multi(hfmt, m, n, a + re, a + im, ld, xr, xi, ldx, yr, yi,
+                          ldy, nr, /*accumulate=*/false);
+    } else {
+      const float* a = core ? core_arena_.data() : arena_.data();
+      k.sgemv_split_multi(m, n, a + re, a + im, ld, xr, xi, ldx, yr, yi, ldy,
+                          nr, /*accumulate=*/false);
+    }
+  };
 
   ensure(ws.xr, static_cast<std::size_t>(cols_ * nrhs));
   ensure(ws.xi, static_cast<std::size_t>(cols_ * nrhs));
@@ -223,11 +269,9 @@ void SharedBasisMvmPlan::apply_multi(index_t f, std::span<const cf32> X,
   // Phase 1: shared-Vh batch per tile column (band-invariant planes).
   for (const ColPlane& c : v_) {
     if (c.m == 0) continue;
-    k.sgemv_split_multi(c.m, c.n, arena_.data() + c.re, arena_.data() + c.im,
-                        c.ld, ws.xr.data() + c.x_off, ws.xi.data() + c.x_off,
-                        cols_, ws.yvr.data() + c.y_base,
-                        ws.yvi.data() + c.y_base, total_v_, nrhs,
-                        /*accumulate=*/false);
+    gemv(/*core=*/false, c.m, c.n, c.re, c.im, c.ld, ws.xr.data() + c.x_off,
+         ws.xi.data() + c.x_off, cols_, ws.yvr.data() + c.y_base,
+         ws.yvi.data() + c.y_base, total_v_, nrhs);
   }
 
   // Phase 2: frequency f's block-diagonal core program, yv -> yu. Every
@@ -236,12 +280,9 @@ void SharedBasisMvmPlan::apply_multi(index_t f, std::span<const cf32> X,
   // overwrites yu-space — no zero-fill needed.
   for (const CoreOp& op : cores_[static_cast<std::size_t>(f)]) {
     if (!op.factored) {
-      k.sgemv_split_multi(op.m, op.n, core_arena_.data() + op.re,
-                          core_arena_.data() + op.im, op.ld,
-                          ws.yvr.data() + op.src, ws.yvi.data() + op.src,
-                          total_v_, ws.yur.data() + op.dst,
-                          ws.yui.data() + op.dst, total_u_, nrhs,
-                          /*accumulate=*/false);
+      gemv(/*core=*/true, op.m, op.n, op.re, op.im, op.ld,
+           ws.yvr.data() + op.src, ws.yvi.data() + op.src, total_v_,
+           ws.yur.data() + op.dst, ws.yui.data() + op.dst, total_u_, nrhs);
     } else if (op.r == 0) {
       // Rank-0 factored core (legacy archive): no planes exist; its whole
       // contribution is zero, but the slice must still be overwritten so
@@ -251,27 +292,21 @@ void SharedBasisMvmPlan::apply_multi(index_t f, std::span<const cf32> X,
         std::fill_n(ws.yui.data() + r * total_u_ + op.dst, op.m, 0.0f);
       }
     } else {
-      k.sgemv_split_multi(op.r, op.n, core_arena_.data() + op.vre,
-                          core_arena_.data() + op.vim, op.vld,
-                          ws.yvr.data() + op.src, ws.yvi.data() + op.src,
-                          total_v_, ws.cr.data(), ws.ci.data(), max_core_r_,
-                          nrhs, /*accumulate=*/false);
-      k.sgemv_split_multi(op.m, op.r, core_arena_.data() + op.ure,
-                          core_arena_.data() + op.uim, op.uld, ws.cr.data(),
-                          ws.ci.data(), max_core_r_, ws.yur.data() + op.dst,
-                          ws.yui.data() + op.dst, total_u_, nrhs,
-                          /*accumulate=*/false);
+      gemv(/*core=*/true, op.r, op.n, op.vre, op.vim, op.vld,
+           ws.yvr.data() + op.src, ws.yvi.data() + op.src, total_v_,
+           ws.cr.data(), ws.ci.data(), max_core_r_, nrhs);
+      gemv(/*core=*/true, op.m, op.r, op.ure, op.uim, op.uld, ws.cr.data(),
+           ws.ci.data(), max_core_r_, ws.yur.data() + op.dst,
+           ws.yui.data() + op.dst, total_u_, nrhs);
     }
   }
 
   // Phase 3: shared-U batch per tile row; rows partition the output.
   for (const RowPlane& u : u_) {
     if (u.m == 0) continue;
-    k.sgemv_split_multi(u.m, u.n, arena_.data() + u.re, arena_.data() + u.im,
-                        u.ld, ws.yur.data() + u.y_base,
-                        ws.yui.data() + u.y_base, total_u_,
-                        ws.tr.data() + u.x_off, ws.ti.data() + u.x_off, rows_,
-                        nrhs, /*accumulate=*/false);
+    gemv(/*core=*/false, u.m, u.n, u.re, u.im, u.ld,
+         ws.yur.data() + u.y_base, ws.yui.data() + u.y_base, total_u_,
+         ws.tr.data() + u.x_off, ws.ti.data() + u.x_off, rows_, nrhs);
   }
 
   for (index_t r = 0; r < nrhs; ++r) {
@@ -290,6 +325,22 @@ void SharedBasisMvmPlan::apply_adjoint_multi(index_t f,
   calls.add();
   check_io(f, X.size(), Y.size(), nrhs, /*adjoint=*/true);
   const la::simd::KernelTable& k = *kt_;
+  const bool half = is_half(prec_);
+  const la::HalfFormat hfmt = half_format(prec_);
+  auto gemv_adj = [&](bool core, index_t m, index_t n, index_t re, index_t im,
+                      index_t ld, const float* xr, const float* xi,
+                      index_t ldx, float* yr, float* yi, index_t ldy,
+                      index_t nr) {
+    if (half) {
+      const std::uint16_t* a = core ? core_arena16_.data() : arena16_.data();
+      k.hgemv_split_adjoint_multi(hfmt, m, n, a + re, a + im, ld, xr, xi, ldx,
+                                  yr, yi, ldy, nr, /*accumulate=*/false);
+    } else {
+      const float* a = core ? core_arena_.data() : arena_.data();
+      k.sgemv_split_adjoint_multi(m, n, a + re, a + im, ld, xr, xi, ldx, yr,
+                                  yi, ldy, nr, /*accumulate=*/false);
+    }
+  };
 
   ensure(ws.xr, static_cast<std::size_t>(rows_ * nrhs));
   ensure(ws.xi, static_cast<std::size_t>(rows_ * nrhs));
@@ -312,25 +363,19 @@ void SharedBasisMvmPlan::apply_adjoint_multi(index_t f,
   // Adjoint dataflow in reverse: shared U^H per tile row ...
   for (const RowPlane& u : u_) {
     if (u.n == 0) continue;
-    k.sgemv_split_adjoint_multi(u.m, u.n, arena_.data() + u.re,
-                                arena_.data() + u.im, u.ld,
-                                ws.xr.data() + u.x_off,
-                                ws.xi.data() + u.x_off, rows_,
-                                ws.yur.data() + u.y_base,
-                                ws.yui.data() + u.y_base, total_u_, nrhs,
-                                /*accumulate=*/false);
+    gemv_adj(/*core=*/false, u.m, u.n, u.re, u.im, u.ld,
+             ws.xr.data() + u.x_off, ws.xi.data() + u.x_off, rows_,
+             ws.yur.data() + u.y_base, ws.yui.data() + u.y_base, total_u_,
+             nrhs);
   }
 
   // ... core adjoints, yu -> yv (each yv slice written exactly once) ...
   for (const CoreOp& op : cores_[static_cast<std::size_t>(f)]) {
     if (!op.factored) {
-      k.sgemv_split_adjoint_multi(op.m, op.n, core_arena_.data() + op.re,
-                                  core_arena_.data() + op.im, op.ld,
-                                  ws.yur.data() + op.dst,
-                                  ws.yui.data() + op.dst, total_u_,
-                                  ws.yvr.data() + op.src,
-                                  ws.yvi.data() + op.src, total_v_, nrhs,
-                                  /*accumulate=*/false);
+      gemv_adj(/*core=*/true, op.m, op.n, op.re, op.im, op.ld,
+               ws.yur.data() + op.dst, ws.yui.data() + op.dst, total_u_,
+               ws.yvr.data() + op.src, ws.yvi.data() + op.src, total_v_,
+               nrhs);
     } else if (op.r == 0) {
       // Rank-0 factored core: C^H is zero too; overwrite the yv slice.
       for (index_t r = 0; r < nrhs; ++r) {
@@ -338,31 +383,22 @@ void SharedBasisMvmPlan::apply_adjoint_multi(index_t f,
         std::fill_n(ws.yvi.data() + r * total_v_ + op.src, op.n, 0.0f);
       }
     } else {
-      k.sgemv_split_adjoint_multi(op.m, op.r, core_arena_.data() + op.ure,
-                                  core_arena_.data() + op.uim, op.uld,
-                                  ws.yur.data() + op.dst,
-                                  ws.yui.data() + op.dst, total_u_,
-                                  ws.cr.data(), ws.ci.data(), max_core_r_,
-                                  nrhs, /*accumulate=*/false);
-      k.sgemv_split_adjoint_multi(op.r, op.n, core_arena_.data() + op.vre,
-                                  core_arena_.data() + op.vim, op.vld,
-                                  ws.cr.data(), ws.ci.data(), max_core_r_,
-                                  ws.yvr.data() + op.src,
-                                  ws.yvi.data() + op.src, total_v_, nrhs,
-                                  /*accumulate=*/false);
+      gemv_adj(/*core=*/true, op.m, op.r, op.ure, op.uim, op.uld,
+               ws.yur.data() + op.dst, ws.yui.data() + op.dst, total_u_,
+               ws.cr.data(), ws.ci.data(), max_core_r_, nrhs);
+      gemv_adj(/*core=*/true, op.r, op.n, op.vre, op.vim, op.vld,
+               ws.cr.data(), ws.ci.data(), max_core_r_,
+               ws.yvr.data() + op.src, ws.yvi.data() + op.src, total_v_,
+               nrhs);
     }
   }
 
   // ... then shared Vh^H per tile column (columns partition the output).
   for (const ColPlane& c : v_) {
     if (c.n == 0) continue;
-    k.sgemv_split_adjoint_multi(c.m, c.n, arena_.data() + c.re,
-                                arena_.data() + c.im, c.ld,
-                                ws.yvr.data() + c.y_base,
-                                ws.yvi.data() + c.y_base, total_v_,
-                                ws.tr.data() + c.x_off,
-                                ws.ti.data() + c.x_off, cols_, nrhs,
-                                /*accumulate=*/false);
+    gemv_adj(/*core=*/false, c.m, c.n, c.re, c.im, c.ld,
+             ws.yvr.data() + c.y_base, ws.yvi.data() + c.y_base, total_v_,
+             ws.tr.data() + c.x_off, ws.ti.data() + c.x_off, cols_, nrhs);
   }
 
   for (index_t r = 0; r < nrhs; ++r) {

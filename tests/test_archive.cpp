@@ -325,6 +325,228 @@ TEST(SharedArchive, CorruptDimensionsRejectedBeforeAllocation) {
   EXPECT_THROW((void)load_shared_archive(f.path), std::invalid_argument);
 }
 
+tlr::MixedPrecisionPolicy all_fp16() {
+  tlr::MixedPrecisionPolicy p;
+  p.fp16_below = 2.0;  // every tile's relative norm is <= 1
+  p.bf16_below = 0.0;
+  return p;
+}
+
+TEST(MixedArchive, HalfRoundTripIsBitwise) {
+  // A quantized archive's values are pre-rounded through la/half.hpp, so
+  // the packed v2 payload must reload them bit-exactly, tags included.
+  TempFile f("tlrwse_half_archive.bin");
+  const auto& data = dataset();
+  auto archive = build_archive(data, cc());
+  const double fp32_bytes = archive.compressed_bytes();
+  quantize_archive(archive, all_fp16());
+  EXPECT_NEAR(archive.compressed_bytes(), fp32_bytes / 2.0,
+              1e-6 * fp32_bytes);
+  save_archive(f.path, archive);
+  const auto back = load_archive(f.path);
+  ASSERT_EQ(back.num_freqs(), archive.num_freqs());
+  EXPECT_DOUBLE_EQ(back.compressed_bytes(), archive.compressed_bytes());
+  for (index_t q = 0; q < archive.num_freqs(); ++q) {
+    const auto& a = archive.kernels[static_cast<std::size_t>(q)];
+    const auto& b = back.kernels[static_cast<std::size_t>(q)];
+    for (index_t j = 0; j < a.grid().nt(); ++j) {
+      for (index_t i = 0; i < a.grid().mt(); ++i) {
+        EXPECT_EQ(b.precision(i, j), tlr::StoragePrecision::kFp16);
+        EXPECT_TRUE(a.tile(i, j).U == b.tile(i, j).U);
+        EXPECT_TRUE(a.tile(i, j).Vh == b.tile(i, j).Vh);
+      }
+    }
+  }
+}
+
+TEST(MixedArchive, AllFp32ArchiveStaysLegacyVersion1) {
+  // Writers emit the legacy v1 container when nothing is half, so archives
+  // produced before the mixed format existed and archives written today
+  // are byte-identical — old readers keep working on new fp32 files.
+  TempFile f("tlrwse_legacy_archive.bin");
+  const auto& data = dataset();
+  const auto archive = build_archive(data, cc());
+  save_archive(f.path, archive);
+  std::ifstream is(f.path, std::ios::binary);
+  // First embedded kernel's version field sits after the band-metadata
+  // header: magic(4) version(4) nt(8) dt(8) nf(8) + nf*(bin 8 + hz 8).
+  const auto nf = static_cast<std::size_t>(archive.num_freqs());
+  is.seekg(static_cast<std::streamoff>(32 + 16 * nf + 4));
+  std::uint32_t kernel_version{};
+  is.read(reinterpret_cast<char*>(&kernel_version), 4);
+  EXPECT_EQ(kernel_version, 1u);
+  const auto back = load_archive(f.path);
+  EXPECT_DOUBLE_EQ(back.compressed_bytes(), archive.compressed_bytes());
+}
+
+TEST(MixedArchive, ReloadedHalfOperatorSolvesIdentically) {
+  TempFile f("tlrwse_half_archive2.bin");
+  const auto& data = dataset();
+  auto archive = build_archive(data, cc());
+  quantize_archive(archive, all_fp16());
+  save_archive(f.path, archive);
+  const auto back = load_archive(f.path);
+
+  const auto op_fresh = make_operator(archive);
+  const auto op_back = make_operator(back);
+  const index_t v = data.num_receivers() / 2;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 20;
+  const auto x1 = mdd::solve_mdd(*op_fresh, rhs, lsqr);
+  const auto x2 = mdd::solve_mdd(*op_back, rhs, lsqr);
+  ASSERT_EQ(x1.x.size(), x2.x.size());
+  for (std::size_t i = 0; i < x1.x.size(); ++i) {
+    EXPECT_EQ(x1.x[i], x2.x[i]);  // packed reload is lossless -> bitwise
+  }
+}
+
+TEST(MixedArchive, ExtentsPriceHalfPayloadAtPackedBytes) {
+  // The extents peek must price fp16 kernels at their true packed bytes —
+  // this is what makes cache admission and stream planning see the ~2x
+  // capacity win without any serve/oocache changes.
+  TempFile f32("tlrwse_extents_fp32.bin"), f16("tlrwse_extents_fp16.bin");
+  const auto& data = dataset();
+  auto archive = build_archive(data, cc());
+  save_archive(f32.path, archive);
+  quantize_archive(archive, all_fp16());
+  save_archive(f16.path, archive);
+
+  const auto info32 = peek_archive_extents(f32.path);
+  const auto info16 = peek_archive_extents(f16.path);
+  EXPECT_DOUBLE_EQ(info16.payload_bytes, archive.compressed_bytes());
+  EXPECT_NEAR(info16.payload_bytes, info32.payload_bytes / 2.0,
+              1e-6 * info32.payload_bytes);
+  ASSERT_EQ(info16.freq_payload_bytes.size(), info32.freq_payload_bytes.size());
+  for (std::size_t q = 0; q < info16.freq_payload_bytes.size(); ++q) {
+    EXPECT_NEAR(info16.freq_payload_bytes[q],
+                info32.freq_payload_bytes[q] / 2.0,
+                1e-6 * info32.freq_payload_bytes[q]);
+  }
+  // Extent-seeking slice loads stay bitwise on the packed payloads.
+  const auto slice = load_archive_slice(f16.path, 1, 3, info16);
+  ASSERT_EQ(slice.num_freqs(), 2);
+  for (index_t q = 0; q < 2; ++q) {
+    const auto& a = archive.kernels[static_cast<std::size_t>(q + 1)];
+    const auto& b = slice.kernels[static_cast<std::size_t>(q)];
+    for (index_t j = 0; j < a.grid().nt(); ++j) {
+      for (index_t i = 0; i < a.grid().mt(); ++i) {
+        EXPECT_TRUE(a.tile(i, j).U == b.tile(i, j).U);
+        EXPECT_EQ(b.precision(i, j), tlr::StoragePrecision::kFp16);
+      }
+    }
+  }
+}
+
+TEST(MixedArchive, TruncatedHalfArchiveThrows) {
+  // The hostile-loader sweep of the fp32 path, rerun over a packed file:
+  // a cut anywhere must throw, never hand back silently-garbage factors.
+  TempFile f("tlrwse_half_truncated.bin");
+  const auto& data = dataset();
+  auto archive = build_archive(data, cc());
+  quantize_archive(archive, all_fp16());
+  save_archive(f.path, archive);
+  std::string bytes;
+  {
+    std::ifstream is(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  for (const std::size_t cut : {std::size_t{16}, bytes.size() / 3,
+                                (2 * bytes.size()) / 3, bytes.size() - 1}) {
+    std::ofstream os(f.path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(cut));
+    os.close();
+    EXPECT_THROW((void)load_archive(f.path), std::exception)
+        << "cut at " << cut;
+  }
+}
+
+TEST(MixedArchive, CorruptPrecisionTagRejected) {
+  // On-disk precision tags are untrusted: a tag outside {0, 1, 2} must be
+  // rejected before any payload is interpreted at the wrong width.
+  TempFile f("tlrwse_half_bad_tag.bin");
+  const auto& data = dataset();
+  auto archive = build_archive(data, cc());
+  quantize_archive(archive, all_fp16());
+  save_archive(f.path, archive);
+  std::string bytes;
+  {
+    std::ifstream is(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  // First kernel's precision table follows its rank table: band header
+  // (32 + 16*nf) + kernel header (magic 4, version 4, rows/cols/nb 24)
+  // + mt*nt ranks of 8 bytes.
+  const auto nf = static_cast<std::size_t>(archive.num_freqs());
+  const auto& g = archive.kernels.front().grid();
+  const auto tiles = static_cast<std::size_t>(g.mt() * g.nt());
+  const std::size_t tag_off = 32 + 16 * nf + 32 + 8 * tiles;
+  ASSERT_LT(tag_off, bytes.size());
+  bytes[tag_off] = 7;  // not a StoragePrecision
+  {
+    std::ofstream os(f.path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)load_archive(f.path), std::exception);
+}
+
+TEST(MixedSharedArchive, QuantizedBandRoundTripIsBitwise) {
+  // Shared-basis archives quantize band-uniformly; the v2 container must
+  // reload bases AND cores bit-exactly at the halved byte price.
+  TempFile f("tlrwse_shared_half.bin");
+  const auto& data = dataset();
+  auto archive = build_shared_archive(data, sc(), 3);
+  const double fp32_bytes = archive.shared_bytes();
+  quantize_shared_archive(archive, tlr::StoragePrecision::kFp16);
+  EXPECT_NEAR(archive.shared_bytes(), fp32_bytes / 2.0, 1e-6 * fp32_bytes);
+  save_shared_archive(f.path, archive);
+
+  const auto info = peek_archive(f.path);
+  EXPECT_EQ(info.format_version, 2u);
+  EXPECT_DOUBLE_EQ(info.payload_bytes, archive.shared_bytes());
+
+  const auto back = load_shared_archive(f.path);
+  ASSERT_EQ(back.num_bands(), archive.num_bands());
+  EXPECT_DOUBLE_EQ(back.shared_bytes(), archive.shared_bytes());
+  for (index_t b = 0; b < archive.num_bands(); ++b) {
+    const auto& x = *archive.bands[static_cast<std::size_t>(b)];
+    const auto& y = *back.bands[static_cast<std::size_t>(b)];
+    EXPECT_EQ(y.precision(), tlr::StoragePrecision::kFp16);
+    for (index_t j = 0; j < x.grid().nt(); ++j) {
+      for (index_t i = 0; i < x.grid().mt(); ++i) {
+        EXPECT_TRUE(x.basis_u(i, j) == y.basis_u(i, j));
+        EXPECT_TRUE(x.basis_vh(i, j) == y.basis_vh(i, j));
+        for (index_t q = 0; q < x.num_freqs(); ++q) {
+          const auto& cx = x.core(q, i, j);
+          const auto& cy = y.core(q, i, j);
+          ASSERT_EQ(cx.factored, cy.factored);
+          if (cx.factored) {
+            EXPECT_TRUE(cx.lr.U == cy.lr.U);
+            EXPECT_TRUE(cx.lr.Vh == cy.lr.Vh);
+          } else {
+            EXPECT_TRUE(cx.dense == cy.dense);
+          }
+        }
+      }
+    }
+  }
+
+  // And the reloaded operator solves bitwise like the in-memory one.
+  const auto op_fresh = make_operator(archive);
+  const auto op_back = make_operator(back);
+  const index_t v = data.num_receivers() / 2;
+  const auto rhs = mdd::virtual_source_rhs(data, v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 15;
+  const auto x1 = mdd::solve_mdd(*op_fresh, rhs, lsqr);
+  const auto x2 = mdd::solve_mdd(*op_back, rhs, lsqr);
+  ASSERT_EQ(x1.x.size(), x2.x.size());
+  for (std::size_t i = 0; i < x1.x.size(); ++i) {
+    EXPECT_EQ(x1.x[i], x2.x[i]);
+  }
+}
+
 TEST(Archive, RejectsCorruptFiles) {
   TempFile f("tlrwse_bad_archive.bin");
   {

@@ -460,6 +460,25 @@ const std::string& tlr_archive_path() {
   return file.path;
 }
 
+/// The all-fp16 quantized twin of tlr_archive_path(), built once.
+const std::string& half_archive_path() {
+  static const TempFile file("tlrwse_cluster_test_fp16.tlra");
+  static const bool built = [] {
+    tlr::CompressionConfig cc;
+    cc.nb = 12;
+    cc.acc = 1e-4;
+    auto archive = io::build_archive(dataset(), cc);
+    tlr::MixedPrecisionPolicy policy;
+    policy.fp16_below = 2.0;  // every tile
+    policy.bf16_below = 0.0;
+    io::quantize_archive(archive, policy);
+    io::save_archive(file.path, archive);
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
 /// One shared-basis ("TLRS") archive on disk, built once.
 const std::string& shared_archive_path() {
   static const TempFile file("tlrwse_cluster_test.tlrs");
@@ -547,6 +566,30 @@ TEST(ClusterService, TlrShardedSolveMatchesSingleProcessBitwise) {
   EXPECT_TRUE(bitwise_equal(
       r2.x, reference_solve(path, serve::RequestKind::kAdjoint, 3, 6)));
   EXPECT_EQ(service.live_workers(), 3u);
+}
+
+TEST(ClusterService, HalfArchiveShardedSolveMatchesSingleProcessBitwise) {
+  // Workers load their frequency slices of a packed fp16 archive; the
+  // widened per-frequency arithmetic is identical to the single-process
+  // operator over the same file, so the distributed solve stays bitwise.
+  auto fleet = make_fleet(3);
+  ClusterConfig cfg;
+  ClusterService service(cfg, std::move(fleet.clients));
+
+  const std::string& path = half_archive_path();
+  auto lsqr = service.submit(
+      make_request(path, serve::RequestKind::kLsqr, 2, 6));
+  auto adj = service.submit(
+      make_request(path, serve::RequestKind::kAdjoint, 3, 6));
+
+  const auto r1 = lsqr.response.get();
+  const auto r2 = adj.response.get();
+  ASSERT_EQ(r1.status, ClusterStatus::kOk) << r1.error;
+  ASSERT_EQ(r2.status, ClusterStatus::kOk) << r2.error;
+  EXPECT_TRUE(bitwise_equal(
+      r1.x, reference_solve(path, serve::RequestKind::kLsqr, 2, 6)));
+  EXPECT_TRUE(bitwise_equal(
+      r2.x, reference_solve(path, serve::RequestKind::kAdjoint, 3, 6)));
 }
 
 TEST(ClusterService, SharedBasisShardedSolveMatchesSingleProcessBitwise) {

@@ -2,10 +2,14 @@
 // and the norm-driven per-tile precision policy.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "test_helpers.hpp"
 #include "tlrwse/la/blas.hpp"
+#include "tlrwse/la/half.hpp"
 #include "tlrwse/tlr/mixed.hpp"
 #include "tlrwse/tlr/stacked.hpp"
 #include "tlrwse/tlr/tlr_mvm.hpp"
@@ -58,6 +62,103 @@ TEST(Bf16Rounding, RoundToNearestEven) {
   const float ulp = 1.0f / 128.0f;  // bf16 ulp at 1.0
   EXPECT_EQ(round_to_bf16(1.0f + ulp / 2.0f), 1.0f);
   EXPECT_EQ(round_to_bf16(1.0f + 0.75f * ulp), 1.0f + ulp);
+}
+
+TEST(HalfBits, SpecialValuesSurviveBothFormats) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const la::HalfFormat f : {la::HalfFormat::kFp16, la::HalfFormat::kBf16}) {
+    // +-Inf packs to +-Inf (the old rounder saturated Inf to 65504).
+    EXPECT_EQ(la::half_bits_to_f32(la::f32_to_half_bits(inf, f), f), inf);
+    EXPECT_EQ(la::half_bits_to_f32(la::f32_to_half_bits(-inf, f), f), -inf);
+    // NaN packs to the canonical quiet NaN of the format, sign preserved.
+    EXPECT_TRUE(std::isnan(la::half_bits_to_f32(la::f32_to_half_bits(nan, f), f)));
+    EXPECT_TRUE(std::isnan(la::half_bits_to_f32(la::f32_to_half_bits(-nan, f), f)));
+    // Signed zero survives the round trip bit-exactly.
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(
+                  la::half_bits_to_f32(la::f32_to_half_bits(-0.0f, f), f)),
+              std::bit_cast<std::uint32_t>(-0.0f));
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(
+                  la::half_bits_to_f32(la::f32_to_half_bits(0.0f, f), f)),
+              std::bit_cast<std::uint32_t>(0.0f));
+  }
+  EXPECT_EQ(la::f32_to_fp16_bits(nan), 0x7E00u);
+  EXPECT_EQ(la::f32_to_fp16_bits(-nan), 0xFE00u);
+  // fp16: finite overflow saturates; bf16: finite overflow rounds to Inf.
+  EXPECT_EQ(la::fp16_bits_to_f32(la::f32_to_fp16_bits(1e9f)), 65504.0f);
+  EXPECT_EQ(la::f32_to_bf16_bits(std::numeric_limits<float>::max()), 0x7F80u);
+}
+
+TEST(HalfBits, Fp16WidenRepackExhaustive) {
+  // Every one of the 2^16 fp16 bit patterns widens EXACTLY; repacking the
+  // widened value must reproduce the pattern, modulo the two documented
+  // canonicalizations (denormals flush to signed zero, NaNs collapse to
+  // the canonical qNaN). This is the identity the plan arenas and archive
+  // payloads rely on for bitwise-reproducible reload.
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto bits = static_cast<std::uint16_t>(h);
+    const std::uint16_t sign = bits & 0x8000u;
+    const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+    const std::uint32_t mant = bits & 0x3FFu;
+    const std::uint16_t back = la::f32_to_fp16_bits(la::fp16_bits_to_f32(bits));
+    if (exp == 0 && mant != 0) {
+      EXPECT_EQ(back, sign) << "denormal " << h;  // flushed, sign kept
+    } else if (exp == 0x1Fu && mant != 0) {
+      EXPECT_EQ(back, sign | 0x7E00u) << "nan " << h;  // canonical qNaN
+    } else {
+      EXPECT_EQ(back, bits) << "pattern " << h;
+    }
+  }
+}
+
+TEST(HalfBits, Bf16WidenRepackExhaustive) {
+  // bf16 widening is a bare shift, so every pattern round-trips except
+  // signaling NaNs, which gain the quiet bit.
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto bits = static_cast<std::uint16_t>(h);
+    const std::uint16_t back = la::f32_to_bf16_bits(la::bf16_bits_to_f32(bits));
+    const bool is_nan = (bits & 0x7F80u) == 0x7F80u && (bits & 0x7Fu) != 0;
+    EXPECT_EQ(back, is_nan ? (bits | 0x0040u) : bits) << "pattern " << h;
+  }
+}
+
+TEST(HalfBits, PackIsIdempotentOnRoundedValues) {
+  // pack(widen(pack(v))) == pack(v): once a value has been rounded through
+  // a format, re-rounding never moves it again. Random floats across the
+  // whole dynamic range plus the denormal/overflow edges of both formats.
+  Rng rng(23);
+  for (const la::HalfFormat f : {la::HalfFormat::kFp16, la::HalfFormat::kBf16}) {
+    for (int i = 0; i < 20000; ++i) {
+      const auto v = static_cast<float>(rng.normal() *
+                                        std::pow(10.0, rng.normal() * 8.0));
+      const std::uint16_t once = la::f32_to_half_bits(v, f);
+      EXPECT_EQ(la::f32_to_half_bits(la::half_bits_to_f32(once, f), f), once);
+    }
+    for (float v : {6.0e-5f, 6.1e-5f, 5.9e-8f, 65504.0f, 65520.0f, 3.39e38f}) {
+      for (const float s : {v, -v}) {
+        const std::uint16_t once = la::f32_to_half_bits(s, f);
+        EXPECT_EQ(la::f32_to_half_bits(la::half_bits_to_f32(once, f), f), once);
+      }
+    }
+  }
+}
+
+TEST(Fp16Rounding, InfAndNanPassThrough) {
+  // The rounders are exactly widen(pack(v)): Inf must stay Inf (not
+  // saturate to 65504) and NaN must stay NaN in both formats.
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(round_to_fp16(inf), inf);
+  EXPECT_EQ(round_to_fp16(-inf), -inf);
+  EXPECT_TRUE(std::isnan(round_to_fp16(std::nanf(""))));
+  EXPECT_EQ(round_to_bf16(inf), inf);
+  EXPECT_EQ(round_to_bf16(-inf), -inf);
+  EXPECT_TRUE(std::isnan(round_to_bf16(std::nanf(""))));
+  // Signed zero preserved by both rounders.
+  EXPECT_TRUE(std::signbit(round_to_fp16(-0.0f)));
+  EXPECT_TRUE(std::signbit(round_to_bf16(-0.0f)));
+  EXPECT_FALSE(std::signbit(round_to_fp16(0.0f)));
+  // fp16 flush keeps the sign too.
+  EXPECT_TRUE(std::signbit(round_to_fp16(-1e-8f)));
 }
 
 struct MixedSetup {

@@ -305,6 +305,53 @@ TEST(StreamedOperator, SharedBasisArchiveStreamsBands) {
   EXPECT_TRUE(bitwise_equal(ref.x, got.x));
 }
 
+/// The all-fp16 quantized twin of tlra_path()'s archive, built once.
+const std::string& half_tlra_path() {
+  static const TempFile file("tlrwse_oocache_fp16.tlra");
+  static const bool built = [] {
+    auto archive = io::build_archive(dataset(), cc());
+    tlr::MixedPrecisionPolicy policy;
+    policy.fp16_below = 2.0;  // every tile
+    policy.bf16_below = 0.0;
+    io::quantize_archive(archive, policy);
+    io::save_archive(file.path, archive);
+    return true;
+  }();
+  (void)built;
+  return file.path;
+}
+
+TEST(StreamedOperator, HalfArchiveStreamsBitwiseAtHalfThePayload) {
+  // A packed fp16 archive must (a) be priced by the stream planner at its
+  // true ~half payload and (b) stream bitwise identical to the fully
+  // resident operator over the same file — streaming only changes
+  // residency, never the widened arithmetic.
+  const auto archive = io::load_archive(half_tlra_path());
+  const auto resident = io::make_operator(archive);
+  const double payload = archive.compressed_bytes();
+  const double fp32_payload =
+      io::peek_archive_extents(tlra_path()).payload_bytes;
+  EXPECT_NEAR(payload, fp32_payload / 2.0, 1e-6 * fp32_payload);
+  EXPECT_DOUBLE_EQ(io::peek_archive_extents(half_tlra_path()).payload_bytes,
+                   payload);
+
+  StreamConfig cfg;
+  cfg.budget_bytes = payload / 4.0;
+  cfg.grow_to_window = true;
+  auto streamed = make_streamed_operator(half_tlra_path(), cfg);
+  ASSERT_GT(streamed.streamer->plan().num_shards(), 1)
+      << "quarter budget must actually shard the archive";
+
+  const index_t v = dataset().num_receivers() / 2;
+  const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 8;
+  const auto ref = mdd::solve_mdd(*resident, rhs, lsqr);
+  const auto got = mdd::solve_mdd(*streamed.op, rhs, lsqr);
+  EXPECT_TRUE(bitwise_equal(ref.x, got.x));
+  EXPECT_EQ(ref.iterations, got.iterations);
+}
+
 TEST(StreamedOperator, DenseKernelsStreamBitwiseUnderBeladyAndLru) {
   const auto resident = dense_resident(22, 17);
   std::vector<float> x(static_cast<std::size_t>(resident->cols()));

@@ -378,6 +378,57 @@ TEST(SolveService, SharedBasisArchiveServedAndChargedSharedBytes) {
   EXPECT_GT(m.cache.datasets_per_gb(), 0.0);
 }
 
+TEST(SolveService, HalfArchiveChargedPackedBytesAndGaugesReportWin) {
+  // A quantized (all-fp16) archive is admitted at its true packed bytes —
+  // ~2x datasets_per_gb vs the fp32 twin — while the serve.cache.* gauges
+  // report both the packed and the fp32-equivalent footprint so the
+  // capacity win is observable. Solves stay bitwise equal to a direct
+  // operator rebuilt from the same file.
+  TempFile file("tlrwse_serve_fp16.tlra");
+  tlr::CompressionConfig cc;
+  cc.nb = 12;
+  cc.acc = 1e-4;
+  auto archive = io::build_archive(dataset(), cc);
+  const double fp32_bytes = archive.compressed_bytes();
+  tlr::MixedPrecisionPolicy policy;
+  policy.fp16_below = 2.0;  // every tile
+  policy.bf16_below = 0.0;
+  io::quantize_archive(archive, policy);
+  io::save_archive(file.path, archive);
+
+  const auto reference_op = io::make_operator(io::load_archive(file.path));
+  mdd::LsqrConfig lsqr;
+  lsqr.max_iters = 6;
+  const index_t v = 2;
+  const auto rhs = mdd::virtual_source_rhs(dataset(), v);
+  const auto ref = mdd::solve_mdd(*reference_op, rhs, lsqr).x;
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SolveService service(cfg);
+  SolveRequest req;
+  req.op = OperatorKey{file.path, cc.nb, cc.acc};
+  req.kind = RequestKind::kLsqr;
+  req.vsrc = v;
+  req.rhs = rhs;
+  req.lsqr.max_iters = 6;
+  const auto resp = service.submit(std::move(req)).get();
+  ASSERT_EQ(resp.status, SolveStatus::kOk) << resp.error;
+  EXPECT_TRUE(bitwise_equal(resp.x, ref));
+
+  const auto m = service.metrics();
+  EXPECT_DOUBLE_EQ(m.cache.bytes_resident, archive.compressed_bytes());
+  EXPECT_NEAR(m.cache.bytes_resident, fp32_bytes / 2.0, 1e-6 * fp32_bytes);
+  EXPECT_DOUBLE_EQ(m.cache.bytes_resident_fp32, fp32_bytes);
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(snap.gauges.at("serve.cache.packed_bytes"),
+            static_cast<std::int64_t>(m.cache.bytes_resident));
+  EXPECT_EQ(snap.gauges.at("serve.cache.fp32_equiv_bytes"),
+            static_cast<std::int64_t>(m.cache.bytes_resident_fp32));
+  EXPECT_NE(service.metrics_json().find("\"bytes_resident_fp32\""),
+            std::string::npos);
+}
+
 /// Holds the single worker inside an LSQR iteration until released, giving
 /// the backpressure tests a deterministic "service is busy" state.
 struct Blocker {

@@ -76,6 +76,14 @@ METRICS = {
         "higher_better": ("pct_of_resident", "prefetch_speedup"),
         "lower_better": (),
     },
+    # Both metrics are deterministic (same dataset, same quantization, no
+    # timing): any drift in the storage saving is a real policy/packing
+    # change, any NMSE rise is a real quality loss of the rounded tiles.
+    "ablation_precision": {
+        "key": ("row",),
+        "higher_better": ("saving",),
+        "lower_better": ("nmse",),
+    },
     # Gated on the worker-scaling ratio, not raw requests/s: the ratio
     # cancels the runner's absolute clock, and the hard >=2.5x 1->4 bar
     # (on machines with >=4 cores) is enforced by --check, not here.

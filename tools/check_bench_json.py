@@ -84,6 +84,19 @@ SCHEMAS = {
             "speedup_8rhs",
         },
     ),
+    "ablation_precision": (
+        {"bench", "nt", "num_freq", "ns", "nr", "nb", "acc"},
+        {
+            "row",
+            "saving",
+            "stored_mb",
+            "fp32_mb",
+            "tiles_fp32",
+            "tiles_fp16",
+            "tiles_bf16",
+            "nmse",
+        },
+    ),
     "table3_bandwidth": (
         {"bench"},
         {
